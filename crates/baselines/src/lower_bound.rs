@@ -1,0 +1,205 @@
+//! The paper's §5 lower bound, made computable.
+//!
+//! * **Lemma 5.1** — the family of full binary trees (bidirectional edges)
+//!   of height h with a directed loop through the 2^h leaves contains
+//!   N^{CN} distinct topologies: [`tree_loop_params`],
+//!   [`family_size_log2`], and — for tiny instances, used by tests —
+//!   [`count_distinct_small`], which counts *exactly* by reducing each
+//!   member to the canonical map the GTD root would output.
+//! * **Lemma 5.2** — after x ticks the root has seen one of at most
+//!   \|I\|^{δx} transcripts: [`transcript_capacity_log2`] with our concrete
+//!   wire alphabet ([`signal_alphabet_log2`]).
+//! * **Theorem 5.1** — pigeonhole: \|I\|^{δT} ≥ G(N) forces
+//!   T ≥ log₂G(N)/(δ·log₂\|I\|) = Ω(N log N): [`min_ticks_lower_bound`].
+
+use gtd_netsim::{algo, generators, NodeId, Port, Topology};
+use std::collections::BTreeSet;
+
+/// Shape parameters of one Lemma 5.1 family member.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TreeLoopParams {
+    /// Tree height h (≥ 1).
+    pub height: u32,
+    /// Number of leaves L = 2^h (the loop's length).
+    pub leaves: u64,
+    /// Processors N = 2^{h+1} − 1.
+    pub n: u64,
+    /// The paper's diameter bound 2·log₂N + 1 (the family is built to
+    /// stay under it).
+    pub diameter_bound: u64,
+    /// Port bound δ of every member.
+    pub delta: u8,
+}
+
+/// Parameters of the height-h member.
+pub fn tree_loop_params(height: u32) -> TreeLoopParams {
+    assert!(height >= 1);
+    let leaves = 1u64 << height;
+    let n = (1u64 << (height + 1)) - 1;
+    let log2n = 64 - n.leading_zeros() as u64; // ⌈log₂(n+1)⌉
+    TreeLoopParams { height, leaves, n, diameter_bound: 2 * log2n + 1, delta: 3 }
+}
+
+/// A conservative lower bound on log₂ G(N) for the height-h family:
+/// the L leaves can be looped in (L−1)! cyclic orders, and identifying
+/// members that differ only by one of the ≤ 2^{L−1} automorphisms of the
+/// full binary tree still leaves (L−1)!/2^{L−1} distinct topologies —
+/// log₂ of which is Θ(L·log L) = Θ(N·log N), which is all Theorem 5.1
+/// needs.
+pub fn family_size_log2(height: u32) -> f64 {
+    let l = 1u64 << height;
+    let log2_fact: f64 = (2..l).map(|k| (k as f64).log2()).sum();
+    (log2_fact - (l as f64 - 1.0)).max(0.0)
+}
+
+/// log₂ of the per-tick, per-port wire alphabet |I| of our concrete
+/// implementation: the product of six snake channels (each the paper's
+/// 2(δ²+δ)+1 characters plus "absent"), the KILL and UNMARK bits, the
+/// loop-token channel (δ² FORWARD variants + BACK + the BCA payload +
+/// "absent") and the DFS channel (δ out-port stamps + "absent").
+pub fn signal_alphabet_log2(delta: u8) -> f64 {
+    let d = delta as f64;
+    let snake = 2.0 * (d * d + d) + 2.0; // alphabet + absent
+    6.0 * snake.log2() + 2.0 /* kill, unmark bits */
+        + (d * d + 3.0).log2()
+        + (d + 1.0).log2()
+}
+
+/// Lemma 5.2: log₂ of the number of transcripts the root can have seen
+/// after `ticks` ticks, reading δ ports per tick.
+pub fn transcript_capacity_log2(delta: u8, ticks: u64) -> f64 {
+    ticks as f64 * delta as f64 * signal_alphabet_log2(delta)
+}
+
+/// Theorem 5.1: the minimum number of ticks any GTD algorithm needs on the
+/// height-h family — the x at which |I|^{δx} first reaches G(N).
+pub fn min_ticks_lower_bound(height: u32) -> f64 {
+    let p = tree_loop_params(height);
+    family_size_log2(height) / (p.delta as f64 * signal_alphabet_log2(p.delta))
+}
+
+/// The canonical map key of a network as the GTD root would name it:
+/// every node named by its canonical shortest path from the root, edges
+/// rewritten in those names. Two networks get the same key **iff** the
+/// paper's protocol (or any correct mapper) cannot — and need not —
+/// distinguish them.
+pub fn canonical_map_key(topo: &Topology, root: NodeId) -> Vec<(u64, Port, u64, Port)> {
+    // Name nodes by their canonical path, ordered lexicographically.
+    let mut paths: Vec<(Vec<(Port, Port)>, NodeId)> = topo
+        .node_ids()
+        .map(|v| (algo::canonical_path(topo, root, v).expect("strongly connected"), v))
+        .collect();
+    paths.sort();
+    let mut name = vec![0u64; topo.num_nodes()];
+    for (i, (_, v)) in paths.iter().enumerate() {
+        name[v.idx()] = i as u64;
+    }
+    let mut key: Vec<(u64, Port, u64, Port)> = topo
+        .edges()
+        .into_iter()
+        .map(|e| (name[e.src.idx()], e.src_port, name[e.dst.idx()], e.dst_port))
+        .collect();
+    key.sort_unstable();
+    key
+}
+
+/// Exact count of distinguishable height-h family members by brute force
+/// over all leaf permutations (tiny h only — L! blows up fast).
+pub fn count_distinct_small(height: u32) -> usize {
+    let leaves = 1usize << height;
+    assert!(leaves <= 6, "factorial blow-up: keep h tiny");
+    let mut perm: Vec<usize> = (0..leaves).collect();
+    let mut keys = BTreeSet::new();
+    permute(&mut perm, 0, &mut |p| {
+        let topo = generators::tree_loop(height, p);
+        keys.insert(canonical_map_key(&topo, NodeId(0)));
+    });
+    keys.len()
+}
+
+fn permute(xs: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+    if k == xs.len() {
+        f(xs);
+        return;
+    }
+    for i in k..xs.len() {
+        xs.swap(k, i);
+        permute(xs, k + 1, f);
+        xs.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_match_construction() {
+        for h in 1..=6 {
+            let p = tree_loop_params(h);
+            let t = generators::tree_loop_random(h, 0);
+            assert_eq!(t.num_nodes() as u64, p.n);
+            let d = algo::diameter(&t) as u64;
+            assert!(d <= p.diameter_bound, "h={h}: D={d} > bound {}", p.diameter_bound);
+        }
+    }
+
+    #[test]
+    fn family_size_grows_like_n_log_n() {
+        // log2 G(N) / (N log2 N) should be bounded above and below.
+        for h in 4..=10 {
+            let p = tree_loop_params(h);
+            let g = family_size_log2(h);
+            let nlogn = p.n as f64 * (p.n as f64).log2();
+            let ratio = g / nlogn;
+            assert!(ratio > 0.1, "h={h}: ratio {ratio}");
+            assert!(ratio < 1.0, "h={h}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn alphabet_is_constant_in_n() {
+        let a = signal_alphabet_log2(3);
+        assert!(a > 1.0 && a < 64.0, "log2|I| = {a} should be a small constant");
+        assert!(signal_alphabet_log2(8) > a, "alphabet grows with delta only");
+    }
+
+    #[test]
+    fn min_ticks_is_superlinear() {
+        let t8 = min_ticks_lower_bound(8);
+        let t9 = min_ticks_lower_bound(9);
+        let n8 = tree_loop_params(8).n as f64;
+        let n9 = tree_loop_params(9).n as f64;
+        // T(N)/N must grow (Ω(N log N) is superlinear).
+        assert!(t9 / n9 > t8 / n8);
+    }
+
+    #[test]
+    fn exact_count_exceeds_formula_bound_tiny() {
+        // h=1: 2 leaves, 2 permutations; h=2: 4 leaves, 24 permutations.
+        for h in [1u32, 2] {
+            let exact = count_distinct_small(h);
+            let bound = family_size_log2(h);
+            assert!(
+                (exact as f64).log2() >= bound,
+                "h={h}: exact {exact} below claimed bound {bound}"
+            );
+            assert!(exact >= 1);
+        }
+    }
+
+    #[test]
+    fn distinct_permutations_usually_distinct_keys() {
+        // h=2: of the 24 leaf orderings at least 6 distinct cyclic orders
+        // exist ((L-1)!/... ); our exact count must see at least (L-1)!/2.
+        let exact = count_distinct_small(2);
+        assert!(exact >= 3, "exact = {exact}");
+    }
+
+    #[test]
+    fn canonical_key_invariant_under_member_identity() {
+        let a = generators::tree_loop(2, &[0, 1, 2, 3]);
+        let b = generators::tree_loop(2, &[0, 1, 2, 3]);
+        assert_eq!(canonical_map_key(&a, NodeId(0)), canonical_map_key(&b, NodeId(0)));
+    }
+}

@@ -1,0 +1,26 @@
+//! E1 — wall-clock cost of a verified full GTD run per family (Theorem 4.1
+//! exercised end-to-end, including map verification against ground truth).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtd_bench::core_families;
+use gtd_core::run_gtd;
+use gtd_netsim::{EngineMode, NodeId};
+use std::hint::black_box;
+
+fn bench_e1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_gtd_verified");
+    g.sample_size(10);
+    for w in core_families(1) {
+        g.bench_with_input(BenchmarkId::from_parameter(&w.name), &w.topo, |b, topo| {
+            b.iter(|| {
+                let run = run_gtd(black_box(topo), EngineMode::Sparse).expect("terminates");
+                run.map.verify_against(topo, NodeId(0)).expect("exact");
+                black_box(run.ticks)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_e1);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E2 — Lemma 4.4 scaling: GTD cost as N grows, on a constant-degree
+//! random family (D = O(log N)) and on the ring (D = N − 1). The reported
+//! criterion throughput is per simulated edge·diameter unit, so flat
+//! numbers across sizes confirm the O(E·D) shape in wall-clock terms too.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gtd_core::run_gtd;
+use gtd_netsim::{algo, generators, EngineMode};
+use std::hint::black_box;
+
+fn bench_e2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_scaling_random");
+    g.sample_size(10);
+    for n in [32usize, 64, 96] {
+        let topo = generators::random_sc(n, 3, 5);
+        let ed = topo.num_edges() as u64 * algo::diameter(&topo) as u64;
+        g.throughput(Throughput::Elements(ed));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &topo, |b, topo| {
+            b.iter(|| black_box(run_gtd(black_box(topo), EngineMode::Sparse).unwrap().ticks))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("e2_scaling_ring");
+    g.sample_size(10);
+    for n in [16usize, 32, 48] {
+        let topo = generators::ring(n);
+        let ed = (n * (n - 1)) as u64;
+        g.throughput(Throughput::Elements(ed));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &topo, |b, topo| {
+            b.iter(|| black_box(run_gtd(black_box(topo), EngineMode::Sparse).unwrap().ticks))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_e2);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E3 — Lemma 4.3: a single Root Communication Algorithm probe, swept over
+//! the marked-loop length (ring distance). Throughput is per loop hop, so
+//! flat wall-clock numbers mirror the linear-tick result of the harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gtd_core::run_single_rca;
+use gtd_netsim::{generators, EngineMode, NodeId};
+use std::hint::black_box;
+
+fn bench_e3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_rca_ring");
+    for n in [8usize, 16, 32, 48] {
+        let topo = generators::ring(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &topo, |b, topo| {
+            b.iter(|| {
+                let probe =
+                    run_single_rca(black_box(topo), NodeId(n as u32 / 2), EngineMode::Sparse)
+                        .unwrap();
+                assert!(probe.clean_at_end);
+                black_box(probe.ticks)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_e3);
+criterion_main!(benches);

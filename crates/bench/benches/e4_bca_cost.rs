@@ -1,0 +1,28 @@
+//! E4 — the Backwards Communication Algorithm probe, swept over the
+//! backwards-loop length (one message crossing one edge backwards).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gtd_core::run_single_bca;
+use gtd_netsim::{generators, EngineMode, NodeId, Port};
+use std::hint::black_box;
+
+fn bench_e4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_bca_ring");
+    for n in [8usize, 16, 32, 48] {
+        let topo = generators::ring(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &topo, |b, topo| {
+            b.iter(|| {
+                let probe =
+                    run_single_bca(black_box(topo), NodeId(1), Port(0), EngineMode::Sparse)
+                        .unwrap();
+                assert!(probe.clean_at_end);
+                black_box(probe.ticks_delivered)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_e4);
+criterion_main!(benches);

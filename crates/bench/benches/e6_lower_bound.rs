@@ -1,0 +1,38 @@
+//! E6 — the §5 counting machinery itself: cost of computing the Lemma 5.1
+//! family bound and of the exact tiny-instance census, plus a full GTD run
+//! on a tree-loop member (the measured side of Theorem 5.1's comparison).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtd_baselines::{count_distinct_small, family_size_log2, min_ticks_lower_bound};
+use gtd_core::run_gtd;
+use gtd_netsim::{generators, EngineMode};
+use std::hint::black_box;
+
+fn bench_e6(c: &mut Criterion) {
+    c.bench_function("e6_bound_h20", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for h in 2..=20u32 {
+                acc += black_box(family_size_log2(h)) + black_box(min_ticks_lower_bound(h));
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("e6_exact_census_h2", |b| {
+        b.iter(|| black_box(count_distinct_small(black_box(2))))
+    });
+
+    let mut g = c.benchmark_group("e6_gtd_on_tree_loop");
+    g.sample_size(10);
+    for h in [3u32, 4] {
+        let topo = generators::tree_loop_random(h, 3);
+        g.bench_with_input(BenchmarkId::from_parameter(h), &topo, |b, topo| {
+            b.iter(|| black_box(run_gtd(black_box(topo), EngineMode::Sparse).unwrap().ticks))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_e6);
+criterion_main!(benches);

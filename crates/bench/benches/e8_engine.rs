@@ -1,0 +1,61 @@
+//! E8 — engine-strategy ablation: stepping cost of the three execution
+//! modes on (a) an idle network, (b) a flood-saturated network. This is
+//! the hpc-parallel heart of the simulator: dense = O(N) per tick no
+//! matter what, sparse = O(active), parallel = dense fanned out on rayon.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gtd_core::{ProtocolNode, StartBehavior};
+use gtd_netsim::{generators, Engine, EngineMode, NodeId};
+use std::hint::black_box;
+
+fn engine_with_flood(
+    topo: &gtd_netsim::Topology,
+    mode: EngineMode,
+    flood: bool,
+) -> Engine<ProtocolNode> {
+    let mut engine = Engine::new(topo, mode, |meta| {
+        let start = if flood && meta.id == NodeId(1) {
+            StartBehavior::SingleRca
+        } else {
+            StartBehavior::Passive
+        };
+        ProtocolNode::new(&meta, start)
+    });
+    if flood {
+        // Let the IG flood saturate a good part of the network first.
+        let mut events = Vec::new();
+        for _ in 0..60 {
+            engine.tick(&mut events);
+        }
+    }
+    engine
+}
+
+fn bench_modes(c: &mut Criterion, label: &str, n: usize, flood: bool) {
+    let topo = generators::random_sc(n, 3, 9);
+    let mut g = c.benchmark_group(label);
+    g.throughput(Throughput::Elements(n as u64));
+    for (name, mode) in [
+        ("dense", EngineMode::Dense),
+        ("sparse", EngineMode::Sparse),
+        ("parallel", EngineMode::Parallel),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
+            let mut engine = engine_with_flood(&topo, mode, flood);
+            let mut events = Vec::new();
+            b.iter(|| {
+                engine.tick(&mut events);
+                black_box(engine.tick_count())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_e8(c: &mut Criterion) {
+    bench_modes(c, "e8_idle_n4096", 4096, false);
+    bench_modes(c, "e8_flood_n4096", 4096, true);
+}
+
+criterion_group!(benches, bench_e8);
+criterion_main!(benches);

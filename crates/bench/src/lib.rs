@@ -1,0 +1,281 @@
+//! # gtd-bench
+//!
+//! Shared machinery for the experiment harness (`harness` binary) and the
+//! criterion benches: the workload families of DESIGN.md §8, a plain-text
+//! table writer, and JSON row dumps so EXPERIMENTS.md numbers stay
+//! regenerable.
+
+use gtd_core::TranscriptEvent;
+use gtd_netsim::{generators, EngineMode, Topology};
+use serde::Serialize;
+
+/// A named workload instance.
+pub struct Workload {
+    /// Family + parameters, e.g. `random_sc(n=256, δ=3, seed=1)`.
+    pub name: String,
+    /// The network.
+    pub topo: Topology,
+}
+
+impl Workload {
+    /// Construct with a formatted name.
+    pub fn new(name: impl Into<String>, topo: Topology) -> Self {
+        Workload { name: name.into(), topo }
+    }
+}
+
+/// The structured families used across experiments (kept small enough that
+/// every experiment finishes on a laptop; the harness accepts a scale knob).
+pub fn core_families(scale: usize) -> Vec<Workload> {
+    let s = scale.max(1);
+    vec![
+        Workload::new(format!("ring(n={})", 16 * s), generators::ring(16 * s)),
+        Workload::new(format!("line_bidi(n={})", 16 * s), generators::line_bidi(16 * s)),
+        Workload::new(
+            format!("torus({}x{})", 4 * s, 4),
+            generators::torus(4 * s, 4),
+        ),
+        Workload::new(
+            format!("debruijn(2,{})", 4 + s.ilog2() as usize),
+            generators::debruijn(2, 4 + s.ilog2() as usize),
+        ),
+        Workload::new(
+            format!("tree_loop(h={})", 3 + s.ilog2()),
+            generators::tree_loop_random(3 + s.ilog2(), 7),
+        ),
+        Workload::new(
+            format!("random_sc(n={}, d=3, seed=1)", 32 * s),
+            generators::random_sc(32 * s, 3, 1),
+        ),
+        Workload::new(
+            format!("grid_faulty({}x{}, p=0.2)", 4 * s, 4),
+            generators::bidi_grid_faulty(4 * s, 4, 0.2, 11),
+        ),
+    ]
+}
+
+/// Where a GTD run's ticks go, aggregated over all network RCAs — the
+/// anatomy of the ~33·E·D constant (experiment E2's ablation table).
+///
+/// Phase boundaries are read off the tick-stamped root transcript:
+/// * **search** — gap before the first IgHop of an RCA: the IG flood
+///   travelling A→root (speed-1) plus any DFS/BCA transit;
+/// * **echo** — IgTail→first IdHop: the OG snake growing back out to A and
+///   the ID snake returning (two more speed-1 diameters);
+/// * **mark** — IdHop→IdTail: the ID→OD conversion streaming through;
+/// * **report+cleanup** — IdTail→the next RCA's start (or termination):
+///   OD marking finishing, the FORWARD/BACK token circling, KILL dying
+///   out, UNMARK circling.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize)]
+pub struct PhaseBreakdown {
+    /// Ticks in the search phase (IG floods).
+    pub search: u64,
+    /// Ticks in the echo phase (OG out + ID back).
+    pub echo: u64,
+    /// Ticks streaming conversions at the root.
+    pub mark: u64,
+    /// Ticks reporting and cleaning up (loop token, KILL, UNMARK).
+    pub report_cleanup: u64,
+    /// Network RCAs observed.
+    pub rcas: usize,
+}
+
+impl PhaseBreakdown {
+    /// Total accounted ticks.
+    pub fn total(&self) -> u64 {
+        self.search + self.echo + self.mark + self.report_cleanup
+    }
+}
+
+/// Compute the phase breakdown from a tick-stamped root transcript.
+pub fn phase_breakdown(events: &[(u64, TranscriptEvent)]) -> PhaseBreakdown {
+    let mut out = PhaseBreakdown::default();
+    let mut prev_end = events.first().map_or(0, |&(t, _)| t);
+    let mut i = 0;
+    while i < events.len() {
+        // find the start of the next RCA block (first IgHop)
+        let Some(start) = events[i..]
+            .iter()
+            .position(|&(_, e)| matches!(e, TranscriptEvent::IgHop(_)))
+            .map(|k| i + k)
+        else {
+            break;
+        };
+        let t_start = events[start].0;
+        let find = |from: usize, pred: &dyn Fn(TranscriptEvent) -> bool| {
+            events[from..].iter().position(|&(_, e)| pred(e)).map(|k| from + k)
+        };
+        let Some(ig_tail) = find(start, &|e| e == TranscriptEvent::IgTail) else { break };
+        let Some(id_first) = find(ig_tail, &|e| matches!(e, TranscriptEvent::IdHop(_))) else {
+            break;
+        };
+        let Some(id_tail) = find(id_first, &|e| e == TranscriptEvent::IdTail) else { break };
+        // next block start (or final event) bounds report+cleanup
+        let next = find(id_tail, &|e| {
+            matches!(
+                e,
+                TranscriptEvent::IgHop(_)
+                    | TranscriptEvent::LocalForward { .. }
+                    | TranscriptEvent::LocalBack
+                    | TranscriptEvent::Terminated
+            )
+        })
+        .unwrap_or(events.len() - 1);
+        out.search += t_start.saturating_sub(prev_end);
+        out.echo += events[id_first].0 - events[ig_tail].0;
+        out.mark += (events[ig_tail].0 - t_start) + (events[id_tail].0 - events[id_first].0);
+        out.report_cleanup += events[next].0 - events[id_tail].0;
+        out.rcas += 1;
+        prev_end = events[next].0;
+        i = id_tail + 1;
+    }
+    out
+}
+
+/// Run GTD collecting tick-stamped root events (for [`phase_breakdown`]).
+pub fn run_gtd_timestamped(
+    topo: &Topology,
+    mode: EngineMode,
+) -> Vec<(u64, TranscriptEvent)> {
+    let mut engine = gtd_core::runner::build_gtd_engine(topo, mode);
+    let mut out = Vec::new();
+    let mut events = Vec::new();
+    loop {
+        events.clear();
+        engine.tick(&mut events);
+        for &(_, ev) in &events {
+            out.push((engine.tick_count(), ev));
+        }
+        if matches!(out.last(), Some((_, TranscriptEvent::Terminated))) {
+            return out;
+        }
+        assert!(engine.tick_count() < 500_000_000, "wedged");
+    }
+}
+
+/// Simple fixed-width table printer (markdown-flavoured).
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], widths: &[usize], out: &mut String| {
+            out.push('|');
+            for (c, w) in cells.iter().zip(widths) {
+                out.push(' ');
+                out.push_str(c);
+                out.push_str(&" ".repeat(w - c.len() + 1));
+                out.push('|');
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &widths, &mut out);
+        out.push('|');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('|');
+        }
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+/// One machine-readable experiment row (written as JSON lines next to the
+/// printed tables).
+#[derive(Serialize)]
+pub struct JsonRow<'a, T: Serialize> {
+    /// Experiment id, e.g. "E2".
+    pub experiment: &'a str,
+    /// Row payload.
+    pub data: T,
+}
+
+/// Serialize one row as a JSON line.
+pub fn json_line<T: Serialize>(experiment: &str, data: T) -> String {
+    serde_json::to_string(&JsonRow { experiment, data }).expect("row serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_are_valid_networks() {
+        for w in core_families(1) {
+            w.topo.validate().unwrap();
+            assert!(gtd_netsim::algo::is_strongly_connected(&w.topo), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn families_scale() {
+        let small: usize = core_families(1).iter().map(|w| w.topo.num_nodes()).sum();
+        let big: usize = core_families(4).iter().map(|w| w.topo.num_nodes()).sum();
+        assert!(big > small);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["a", "long-header"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["yyyy".into(), "2".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    fn phase_breakdown_accounts_for_most_ticks() {
+        let topo = generators::ring(8);
+        let trace = run_gtd_timestamped(&topo, EngineMode::Sparse);
+        let pb = phase_breakdown(&trace);
+        assert_eq!(pb.rcas, 14, "2E minus the root-local moves on an 8-ring");
+        let total_run = trace.last().unwrap().0;
+        assert!(pb.total() <= total_run);
+        assert!(
+            pb.total() * 10 >= total_run * 8,
+            "breakdown should cover >= 80% of the run: {} vs {}",
+            pb.total(),
+            total_run
+        );
+    }
+
+    #[test]
+    fn phase_breakdown_empty_transcript() {
+        assert_eq!(phase_breakdown(&[]).rcas, 0);
+        assert_eq!(phase_breakdown(&[(0, TranscriptEvent::Start)]).total(), 0);
+    }
+
+    #[test]
+    fn json_rows_parse_back() {
+        let line = json_line("E1", serde_json::json!({"n": 4}));
+        let v: serde_json::Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(v["experiment"], "E1");
+        assert_eq!(v["data"]["n"], 4);
+    }
+}

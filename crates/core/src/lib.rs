@@ -1,0 +1,42 @@
+//! # gtd-core
+//!
+//! Goldstein's **Global Topology Determination** protocol (IPPS 2002),
+//! complete with both auxiliary protocols:
+//!
+//! * the **Root Communication Algorithm** (RCA, paper §4.2) — a processor A
+//!   signals FORWARD/BACK to the root while the root's master computer
+//!   learns the canonical shortest paths A→root and root→A;
+//! * the **Backwards Communication Algorithm** (BCA, paper §4.1, rebuilt
+//!   from its stated contract — see DESIGN.md §5) — a constant-size message
+//!   crosses a directed edge backwards;
+//! * the **DFS driver** (§3) that walks the DFS token across every edge,
+//!   reporting each move to the root; and
+//! * the **master computer** (§3) that replays the root's transcript into
+//!   an exact port-level map of the network.
+//!
+//! The protocol runs on `gtd-netsim`'s lockstep engine as a single
+//! finite-state automaton type, [`ProtocolNode`], identical at every
+//! processor (the root differs only by its power-on flag, as in the paper).
+//!
+//! ```
+//! use gtd_core::run_gtd;
+//! use gtd_netsim::{generators, EngineMode};
+//!
+//! let topo = generators::random_sc(24, 3, 7);
+//! let run = run_gtd(&topo, EngineMode::Sparse).expect("protocol completes");
+//! run.map.verify_against(&topo, gtd_netsim::NodeId(0)).expect("exact map");
+//! assert!(run.ticks > 0);
+//! ```
+
+pub mod events;
+pub mod master;
+pub mod node;
+pub mod runner;
+
+pub use events::{RcaReport, TranscriptEvent};
+pub use master::{DecodeError, MasterComputer, NetworkMap, VerifyError};
+pub use node::{ProtocolNode, StartBehavior};
+pub use runner::{
+    run_gtd, run_gtd_repeated, run_single_bca, run_single_rca, BcaProbe, GtdError, GtdRun,
+    RcaProbe, RunStats,
+};

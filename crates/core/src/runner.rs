@@ -1,0 +1,394 @@
+//! Top-level protocol runners: the full Global Topology Determination and
+//! the standalone RCA/BCA probes the experiments measure.
+
+use crate::events::TranscriptEvent;
+use crate::master::{DecodeError, MasterComputer, NetworkMap};
+use crate::node::{ProtocolNode, StartBehavior};
+use gtd_netsim::{algo, Engine, EngineMode, NodeId, Port, Topology};
+
+/// Why a run failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GtdError {
+    /// The tick guard expired before the root terminated. Either the
+    /// network violates a model precondition (e.g. not strongly connected)
+    /// or there is a protocol bug.
+    Timeout {
+        /// Ticks simulated before giving up.
+        ticks: u64,
+    },
+    /// The root's transcript could not be replayed.
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for GtdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GtdError::Timeout { ticks } => write!(f, "protocol did not terminate in {ticks} ticks"),
+            GtdError::Decode(e) => write!(f, "transcript decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GtdError {}
+
+impl From<DecodeError> for GtdError {
+    fn from(e: DecodeError) -> Self {
+        GtdError::Decode(e)
+    }
+}
+
+/// Aggregate counters derived from the transcript.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RunStats {
+    /// Network RCAs with a FORWARD report.
+    pub forwards: usize,
+    /// Network RCAs with a BACK report.
+    pub backs: usize,
+    /// Root-local forward transcriptions (token re-entered the root).
+    pub local_forwards: usize,
+    /// Root-local backs (BCA returned the token to the root).
+    pub local_backs: usize,
+}
+
+impl RunStats {
+    /// Total RCAs run over the network.
+    pub fn rcas(&self) -> usize {
+        self.forwards + self.backs
+    }
+
+    /// Total BCAs run over the network: one per BACK report (every
+    /// backwards token move rides a BCA) plus one per root-local back.
+    pub fn bcas(&self) -> usize {
+        self.backs + self.local_backs
+    }
+
+    /// Total edge reports — must equal E exactly (Theorem 4.1's "a FORWARD
+    /// token is sent for every edge").
+    pub fn edges_reported(&self) -> usize {
+        self.forwards + self.local_forwards
+    }
+}
+
+/// The outcome of a full GTD run.
+#[derive(Clone, Debug)]
+pub struct GtdRun {
+    /// The reconstructed port-level map.
+    pub map: NetworkMap,
+    /// Global clock ticks from initiation to the root's terminal state.
+    pub ticks: u64,
+    /// Transcript-derived counters.
+    pub stats: RunStats,
+    /// The full transcript (for replay, tracing, tests).
+    pub events: Vec<TranscriptEvent>,
+    /// True if after termination every processor's snake/token state was
+    /// back to factory state (Lemma 4.2) and no signal was in flight.
+    pub clean_at_end: bool,
+    /// True if the DFS visited every processor.
+    pub all_visited: bool,
+}
+
+/// Generous tick guard: each edge costs at most two RCAs and one BCA, each
+/// O(D) ⊆ O(N) with small constants (speed-1 = 3 ticks/hop, ~4 loop
+/// traversals per RCA).
+fn tick_guard(topo: &Topology) -> u64 {
+    let n = topo.num_nodes() as u64;
+    let e = topo.num_edges() as u64;
+    1_000 + (e + 2) * (n + 8) * 60
+}
+
+/// Build a GTD engine over `topo` with the root at node 0 — exposed so
+/// tests and experiments can drive ticks manually (mid-run invariant
+/// checks, phase censuses).
+pub fn build_gtd_engine(topo: &Topology, mode: EngineMode) -> Engine<ProtocolNode> {
+    Engine::new(topo, mode, |meta| {
+        let start = if meta.is_root { StartBehavior::GtdRoot } else { StartBehavior::Passive };
+        ProtocolNode::new(&meta, start)
+    })
+}
+
+/// Run the Global Topology Determination protocol on `topo` with the root
+/// at node 0. Returns the reconstructed map and run metrics.
+pub fn run_gtd(topo: &Topology, mode: EngineMode) -> Result<GtdRun, GtdError> {
+    let mut engine = build_gtd_engine(topo, mode);
+    let guard = tick_guard(topo);
+    let root = NodeId(0);
+    let mut master = MasterComputer::new();
+    let mut events = Vec::new();
+    let mut stats = RunStats::default();
+    let mut scratch = Vec::new();
+    let mut ticks = None;
+    while ticks.is_none() {
+        if engine.tick_count() >= guard {
+            return Err(GtdError::Timeout { ticks: guard });
+        }
+        scratch.clear();
+        engine.tick(&mut scratch);
+        for (nid, ev) in scratch.drain(..) {
+            debug_assert_eq!(nid, root, "only the root emits transcript events in a GTD run");
+            match ev {
+                TranscriptEvent::LoopForward { .. } => stats.forwards += 1,
+                TranscriptEvent::LoopBack => stats.backs += 1,
+                TranscriptEvent::LocalForward { .. } => stats.local_forwards += 1,
+                TranscriptEvent::LocalBack => stats.local_backs += 1,
+                TranscriptEvent::Terminated => ticks = Some(engine.tick_count()),
+                _ => {}
+            }
+            master.feed(ev)?;
+            events.push(ev);
+        }
+    }
+    // One grace tick: emissions written on the terminal tick drain.
+    scratch.clear();
+    engine.tick(&mut scratch);
+    debug_assert!(scratch.is_empty());
+    let clean_at_end = engine.is_quiet()
+        && engine.signals_in_flight() == 0
+        && engine.nodes().iter().all(|n| n.snake_state_pristine());
+    let all_visited = engine.nodes().iter().all(|n| n.dfs_visited());
+    Ok(GtdRun {
+        map: master.into_map()?,
+        ticks: ticks.expect("loop exits only on termination"),
+        stats,
+        events,
+        clean_at_end,
+        all_visited,
+    })
+}
+
+/// Run the GTD protocol `rounds` times on the same live network: after each
+/// termination the master computer nudges the root ([`ProtocolNode::master_restart`]),
+/// a RESET flood clears the DFS bookkeeping, and the network is mapped
+/// again — the dynamic-remapping extension motivated by the paper's §1
+/// ("the network topology or size might change…"). Returns one [`GtdRun`]
+/// per round; determinism implies all rounds produce identical maps, which
+/// is asserted.
+pub fn run_gtd_repeated(
+    topo: &Topology,
+    mode: EngineMode,
+    rounds: usize,
+) -> Result<Vec<GtdRun>, GtdError> {
+    assert!(rounds >= 1);
+    let mut engine = build_gtd_engine(topo, mode);
+    let guard_per_round = tick_guard(topo);
+    let root = NodeId(0);
+    let mut runs = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        let mut master = MasterComputer::new();
+        let mut events = Vec::new();
+        let mut stats = RunStats::default();
+        let mut scratch = Vec::new();
+        let start_tick = engine.tick_count();
+        let mut end_tick = None;
+        while end_tick.is_none() {
+            if engine.tick_count() - start_tick >= guard_per_round {
+                return Err(GtdError::Timeout { ticks: guard_per_round });
+            }
+            scratch.clear();
+            engine.tick(&mut scratch);
+            for (nid, ev) in scratch.drain(..) {
+                debug_assert_eq!(nid, root);
+                match ev {
+                    TranscriptEvent::LoopForward { .. } => stats.forwards += 1,
+                    TranscriptEvent::LoopBack => stats.backs += 1,
+                    TranscriptEvent::LocalForward { .. } => stats.local_forwards += 1,
+                    TranscriptEvent::LocalBack => stats.local_backs += 1,
+                    TranscriptEvent::Terminated => end_tick = Some(engine.tick_count()),
+                    _ => {}
+                }
+                master.feed(ev)?;
+                events.push(ev);
+            }
+        }
+        // drain, then wait for total quiescence (the master knows the map,
+        // hence a safe settling bound; in practice 1–2 ticks).
+        let mut settle = 0;
+        loop {
+            scratch.clear();
+            engine.tick(&mut scratch);
+            debug_assert!(scratch.is_empty());
+            if engine.is_quiet() {
+                break;
+            }
+            settle += 1;
+            assert!(settle < 1000, "network failed to settle after termination");
+        }
+        let clean_at_end = engine.signals_in_flight() == 0
+            && engine.nodes().iter().all(|n| n.snake_state_pristine());
+        let all_visited = engine.nodes().iter().all(|n| n.dfs_visited());
+        runs.push(GtdRun {
+            map: master.into_map()?,
+            ticks: end_tick.expect("terminated") - start_tick,
+            stats,
+            events,
+            clean_at_end,
+            all_visited,
+        });
+        if round + 1 < rounds {
+            engine.node_mut(root).master_restart();
+        }
+    }
+    for r in &runs[1..] {
+        assert_eq!(r.map, runs[0].map, "re-mapping must reproduce the identical map");
+    }
+    Ok(runs)
+}
+
+/// Measurements from a standalone RCA (experiment E3, Lemma 4.3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RcaProbe {
+    /// Ticks from initiation until A terminates the RCA.
+    pub ticks: u64,
+    /// Hop distance d(A, root) in the network.
+    pub dist_to_root: u32,
+    /// Hop distance d(root, A).
+    pub dist_from_root: u32,
+    /// Was the entire network back to factory snake-state at completion?
+    pub clean_at_end: bool,
+}
+
+/// Run one RCA from processor `a` to the root (node 0) and measure it.
+pub fn run_single_rca(topo: &Topology, a: NodeId, mode: EngineMode) -> Result<RcaProbe, GtdError> {
+    assert_ne!(a, NodeId(0), "the root communicates with itself locally (DESIGN.md §5)");
+    let mut engine = Engine::new(topo, mode, |meta| {
+        let start =
+            if meta.id == a { StartBehavior::SingleRca } else { StartBehavior::Passive };
+        ProtocolNode::new(&meta, start)
+    });
+    let guard = tick_guard(topo);
+    let (_, fired) = engine.run_until(guard, |&(nid, ev)| {
+        nid == a && ev == TranscriptEvent::RcaComplete
+    });
+    if !fired {
+        return Err(GtdError::Timeout { ticks: guard });
+    }
+    let ticks = engine.tick_count();
+    // Drain the final tick's emissions (there are none in a clean run).
+    let mut scratch = Vec::new();
+    engine.tick(&mut scratch);
+    let clean_at_end = engine.is_quiet()
+        && engine.signals_in_flight() == 0
+        && engine.nodes().iter().all(|n| n.snake_state_pristine());
+    Ok(RcaProbe {
+        ticks,
+        dist_to_root: algo::bfs_dist(topo, a)[0],
+        dist_from_root: algo::bfs_dist(topo, NodeId(0))[a.idx()],
+        clean_at_end,
+    })
+}
+
+/// Measurements from a standalone BCA (experiment E4).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BcaProbe {
+    /// Ticks until the initiator B finished (released the UNMARK).
+    pub ticks_initiator: u64,
+    /// Ticks until the target acted on the payload (absorbed the UNMARK).
+    pub ticks_delivered: u64,
+    /// Length of the marked loop B→…→A→B (shortest B→A distance + 1).
+    pub loop_len: u32,
+    /// Was the entire network back to factory snake-state at completion?
+    pub clean_at_end: bool,
+}
+
+/// Run one BCA: processor `b` sends a message backwards through its
+/// in-port `via` (the wire from its in-neighbour) and both ends are timed.
+pub fn run_single_bca(
+    topo: &Topology,
+    b: NodeId,
+    via: Port,
+    mode: EngineMode,
+) -> Result<BcaProbe, GtdError> {
+    let target = topo
+        .in_endpoint(b, via)
+        .expect("BCA requires a wired in-port")
+        .node;
+    let mut engine = Engine::new(topo, mode, |meta| {
+        let start =
+            if meta.id == b { StartBehavior::SingleBca { via } } else { StartBehavior::Passive };
+        ProtocolNode::new(&meta, start)
+    });
+    let guard = tick_guard(topo);
+    let mut ticks_initiator = None;
+    let mut ticks_delivered = None;
+    let mut scratch = Vec::new();
+    while ticks_delivered.is_none() {
+        if engine.tick_count() >= guard {
+            return Err(GtdError::Timeout { ticks: guard });
+        }
+        scratch.clear();
+        engine.tick(&mut scratch);
+        for &(nid, ev) in scratch.iter() {
+            match ev {
+                TranscriptEvent::BcaComplete if nid == b => {
+                    ticks_initiator = Some(engine.tick_count());
+                }
+                TranscriptEvent::BcaDelivered => {
+                    debug_assert_eq!(nid, target, "payload must surface at the in-neighbour");
+                    ticks_delivered = Some(engine.tick_count());
+                }
+                _ => {}
+            }
+        }
+    }
+    scratch.clear();
+    engine.tick(&mut scratch);
+    let clean_at_end = engine.is_quiet()
+        && engine.signals_in_flight() == 0
+        && engine.nodes().iter().all(|n| n.snake_state_pristine());
+    Ok(BcaProbe {
+        ticks_initiator: ticks_initiator.expect("initiator finishes before delivery"),
+        ticks_delivered: ticks_delivered.unwrap(),
+        loop_len: algo::bfs_dist(topo, b)[target.idx()] + 1,
+        clean_at_end,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtd_netsim::generators;
+
+    #[test]
+    fn gtd_on_two_cycle() {
+        let topo = generators::ring(2);
+        let run = run_gtd(&topo, EngineMode::Dense).unwrap();
+        run.map.verify_against(&topo, NodeId(0)).unwrap();
+        assert_eq!(run.map.num_nodes(), 2);
+        assert_eq!(run.map.num_edges(), 2);
+        assert_eq!(run.stats.edges_reported(), 2);
+        assert!(run.clean_at_end, "Lemma 4.2 violated");
+        assert!(run.all_visited);
+    }
+
+    #[test]
+    fn gtd_on_small_ring() {
+        let topo = generators::ring(5);
+        let run = run_gtd(&topo, EngineMode::Sparse).unwrap();
+        run.map.verify_against(&topo, NodeId(0)).unwrap();
+        assert_eq!(run.stats.edges_reported(), topo.num_edges());
+        assert!(run.clean_at_end);
+    }
+
+    #[test]
+    fn single_rca_on_ring_is_clean_and_linear() {
+        let topo = generators::ring(6);
+        let probe = run_single_rca(&topo, NodeId(3), EngineMode::Dense).unwrap();
+        assert!(probe.clean_at_end, "Lemma 4.2 violated");
+        // loop length = d(A,root) + d(root,A) = 6 on a ring; speed-1 ≈ 3
+        // ticks/hop across ~4 phases
+        let loop_len = (probe.dist_to_root + probe.dist_from_root) as u64;
+        assert_eq!(loop_len, 6);
+        assert!(probe.ticks >= 3 * loop_len, "too fast to be speed-1");
+        assert!(probe.ticks <= 20 * loop_len + 40, "not O(D): {}", probe.ticks);
+    }
+
+    #[test]
+    fn single_bca_delivers_backwards() {
+        // ring: 1's in-port 0 is fed by 0; BCA from 1 targets 0.
+        let topo = generators::ring(4);
+        let probe = run_single_bca(&topo, NodeId(1), Port(0), EngineMode::Dense).unwrap();
+        assert!(probe.clean_at_end);
+        // loop 1→2→3→0→1: 4 hops
+        assert_eq!(probe.loop_len, 4);
+        assert!(probe.ticks_initiator < probe.ticks_delivered);
+    }
+}

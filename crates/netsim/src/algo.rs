@@ -1,0 +1,384 @@
+//! Reference graph algorithms over [`Topology`].
+//!
+//! These run on the simulator's omniscient view of the network and serve two
+//! purposes: (a) generators use them to enforce model preconditions (strong
+//! connectivity), and (b) tests use them as ground truth for protocol
+//! behaviour — in particular [`canonical_bfs`], which predicts exactly which
+//! breadth-first tree the paper's growing snakes carve and therefore the
+//! *canonical shortest paths* (Definition 4.1) the master computer decodes.
+
+use crate::ids::{NodeId, Port};
+use crate::topology::Topology;
+use std::collections::VecDeque;
+
+/// Distance value for unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// BFS distances (in hops) from `src` along forward edges.
+pub fn bfs_dist(topo: &Topology, src: NodeId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; topo.num_nodes()];
+    let mut q = VecDeque::new();
+    dist[src.idx()] = 0;
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u.idx()];
+        for (_, ep) in topo.out_edges(u) {
+            if dist[ep.node.idx()] == UNREACHABLE {
+                dist[ep.node.idx()] = du + 1;
+                q.push_back(ep.node);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS distances (in hops) *to* `dst` along forward edges, i.e. BFS from
+/// `dst` over reversed edges.
+pub fn bfs_dist_rev(topo: &Topology, dst: NodeId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; topo.num_nodes()];
+    let mut q = VecDeque::new();
+    dist[dst.idx()] = 0;
+    q.push_back(dst);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u.idx()];
+        for (_, ep) in topo.in_edges(u) {
+            if dist[ep.node.idx()] == UNREACHABLE {
+                dist[ep.node.idx()] = du + 1;
+                q.push_back(ep.node);
+            }
+        }
+    }
+    dist
+}
+
+/// Is the network strongly connected? (Model precondition, §1.1.)
+///
+/// Kosaraju-style double sweep: every node reachable from node 0 along
+/// forward edges and along reversed edges.
+pub fn is_strongly_connected(topo: &Topology) -> bool {
+    if topo.num_nodes() == 0 {
+        return false;
+    }
+    let fwd = bfs_dist(topo, NodeId(0));
+    if fwd.contains(&UNREACHABLE) {
+        return false;
+    }
+    let rev = bfs_dist_rev(topo, NodeId(0));
+    rev.iter().all(|&d| d != UNREACHABLE)
+}
+
+/// Strongly connected components via Tarjan's algorithm (iterative).
+///
+/// Returns a component id per node; ids are assigned in reverse topological
+/// order of the condensation (Tarjan's natural output order).
+pub fn tarjan_scc(topo: &Topology) -> Vec<u32> {
+    let n = topo.num_nodes();
+    const NONE: u32 = u32::MAX;
+    let mut index = vec![NONE; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![NONE; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut next_comp = 0u32;
+
+    // Explicit DFS stack of (node, out-edge cursor).
+    let mut call: Vec<(u32, usize)> = Vec::new();
+    for start in 0..n as u32 {
+        if index[start as usize] != NONE {
+            continue;
+        }
+        call.push((start, 0));
+        index[start as usize] = next_index;
+        low[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+
+        while let Some(&mut (v, ref mut cursor)) = call.last_mut() {
+            let succs: Vec<u32> = topo
+                .out_edges(NodeId(v))
+                .map(|(_, ep)| ep.node.0)
+                .collect();
+            if *cursor < succs.len() {
+                let w = succs[*cursor];
+                *cursor += 1;
+                if index[w as usize] == NONE {
+                    index[w as usize] = next_index;
+                    low[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    call.push((w, 0));
+                } else if on_stack[w as usize] {
+                    low[v as usize] = low[v as usize].min(index[w as usize]);
+                }
+            } else {
+                call.pop();
+                if let Some(&mut (parent, _)) = call.last_mut() {
+                    low[parent as usize] = low[parent as usize].min(low[v as usize]);
+                }
+                if low[v as usize] == index[v as usize] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp[w as usize] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// Exact directed diameter D: `max_{u,v} dist(u, v)` over ordered pairs.
+///
+/// Panics if the network is not strongly connected (diameter undefined).
+/// All-pairs BFS, O(N·(N+E)); fine for the network sizes the harness uses.
+pub fn diameter(topo: &Topology) -> u32 {
+    let mut d = 0;
+    for u in topo.node_ids() {
+        let dist = bfs_dist(topo, u);
+        for &x in &dist {
+            assert!(x != UNREACHABLE, "diameter of a non-strongly-connected network");
+            d = d.max(x);
+        }
+    }
+    d
+}
+
+/// One node's entry in a canonical breadth-first tree.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CanonicalEntry {
+    /// Hop distance from the tree root (`UNREACHABLE` if unreached).
+    pub dist: u32,
+    /// The in-port through which the first (canonical) arrival happens.
+    pub parent_in_port: Port,
+    /// The node on the far side of `parent_in_port`.
+    pub parent: NodeId,
+    /// The out-port of `parent` that feeds `parent_in_port`.
+    pub parent_out_port: Port,
+}
+
+/// The canonical BFS tree rooted at `src`, mirroring the paper's growing
+/// snakes: all frontier nodes transmit simultaneously, a node adopts the
+/// first arrival, and simultaneous arrivals are broken by the
+/// lowest-numbered in-port (paper §4.2.1, footnote 1).
+///
+/// Entry for `src` itself is `None` (the initiator has no parent).
+pub fn canonical_bfs(topo: &Topology, src: NodeId) -> Vec<Option<CanonicalEntry>> {
+    let n = topo.num_nodes();
+    let mut entries: Vec<Option<CanonicalEntry>> = vec![None; n];
+    let mut dist = vec![UNREACHABLE; n];
+    dist[src.idx()] = 0;
+    let mut frontier = vec![src];
+    let mut d = 0u32;
+    while !frontier.is_empty() {
+        d += 1;
+        // Collect all arrivals at distance d, then resolve ties per node by
+        // the lowest in-port. Iterating candidates in (node, in-port) order
+        // makes "first wins" deterministic.
+        let mut next = Vec::new();
+        let mut arrivals: Vec<(NodeId, Port, NodeId, Port)> = Vec::new();
+        for &u in &frontier {
+            for (out_port, ep) in topo.out_edges(u) {
+                if dist[ep.node.idx()] == UNREACHABLE {
+                    arrivals.push((ep.node, ep.port, u, out_port));
+                }
+            }
+        }
+        arrivals.sort_unstable_by_key(|&(v, i, _, _)| (v, i));
+        for (v, in_port, u, out_port) in arrivals {
+            if dist[v.idx()] == UNREACHABLE {
+                dist[v.idx()] = d;
+                entries[v.idx()] = Some(CanonicalEntry {
+                    dist: d,
+                    parent_in_port: in_port,
+                    parent: u,
+                    parent_out_port: out_port,
+                });
+                next.push(v);
+            }
+        }
+        frontier = next;
+    }
+    entries
+}
+
+/// The canonical shortest path `src → dst` as a sequence of
+/// `(out-port, in-port)` hops, derived from [`canonical_bfs`].
+///
+/// Returns `None` if `dst` is unreachable from `src`. For `src == dst`
+/// returns the empty path.
+pub fn canonical_path(topo: &Topology, src: NodeId, dst: NodeId) -> Option<Vec<(Port, Port)>> {
+    let tree = canonical_bfs(topo, src);
+    if src == dst {
+        return Some(Vec::new());
+    }
+    let mut hops = Vec::new();
+    let mut cur = dst;
+    while cur != src {
+        let e = tree[cur.idx()]?;
+        hops.push((e.parent_out_port, e.parent_in_port));
+        cur = e.parent;
+    }
+    hops.reverse();
+    Some(hops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::topology::TopologyBuilder;
+
+    fn ring(n: usize) -> Topology {
+        generators::ring(n)
+    }
+
+    #[test]
+    fn bfs_on_ring() {
+        let t = ring(5);
+        let d = bfs_dist(&t, NodeId(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        let dr = bfs_dist_rev(&t, NodeId(0));
+        assert_eq!(dr, vec![0, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn ring_strongly_connected_and_diameter() {
+        let t = ring(7);
+        assert!(is_strongly_connected(&t));
+        assert_eq!(diameter(&t), 6);
+    }
+
+    #[test]
+    fn broken_ring_not_strongly_connected() {
+        // 0 -> 1 -> 2 and 2 -> 1 only: 1,2 can't reach 0... but then 0 has no
+        // in-port, so build a shape that passes the builder: 0->1, 1->2, 2->1,
+        // 1->0 missing — use 2->0? that'd be a ring. Instead: two 2-cycles
+        // sharing no edge, bridged one way.
+        let mut b = TopologyBuilder::new(4, 2);
+        b.connect_auto(NodeId(0), NodeId(1)).unwrap();
+        b.connect_auto(NodeId(1), NodeId(0)).unwrap();
+        b.connect_auto(NodeId(2), NodeId(3)).unwrap();
+        b.connect_auto(NodeId(3), NodeId(2)).unwrap();
+        b.connect_auto(NodeId(1), NodeId(2)).unwrap(); // one-way bridge
+        let t = b.build().unwrap();
+        assert!(!is_strongly_connected(&t));
+        let comp = tarjan_scc(&t);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+    }
+
+    #[test]
+    fn tarjan_matches_double_bfs_on_random_graphs() {
+        for seed in 0..20 {
+            let t = generators::random_sc(40, 3, seed);
+            let comp = tarjan_scc(&t);
+            let all_same = comp.iter().all(|&c| c == comp[0]);
+            assert_eq!(all_same, is_strongly_connected(&t));
+            assert!(all_same, "random_sc must be strongly connected");
+        }
+    }
+
+    #[test]
+    fn tarjan_on_dag_of_cycles() {
+        // 0<->1 -> 2<->3 -> 4<->5 : three components in a chain.
+        let mut b = TopologyBuilder::new(6, 3);
+        for &(u, v) in &[(0, 1), (1, 0), (2, 3), (3, 2), (4, 5), (5, 4), (1, 2), (3, 4)] {
+            b.connect_auto(NodeId(u), NodeId(v)).unwrap();
+        }
+        // give 0 an in-edge from 1 (already), 4 in from 3 (already): builder ok
+        let t = b.build().unwrap();
+        let comp = tarjan_scc(&t);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_eq!(comp[4], comp[5]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[2], comp[4]);
+    }
+
+    #[test]
+    fn canonical_bfs_distances_match_bfs() {
+        for seed in 0..10 {
+            let t = generators::random_sc(60, 3, seed);
+            let d = bfs_dist(&t, NodeId(0));
+            let c = canonical_bfs(&t, NodeId(0));
+            for v in t.node_ids() {
+                if v == NodeId(0) {
+                    assert!(c[v.idx()].is_none());
+                } else {
+                    assert_eq!(c[v.idx()].unwrap().dist, d[v.idx()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_bfs_tie_break_prefers_lowest_in_port() {
+        // Diamond: 0 -> 1, 0 -> 2, 1 -> 3 (in-port chosen), 2 -> 3.
+        // Both arrivals at 3 happen at distance 2 simultaneously; the lower
+        // in-port must win regardless of insertion order.
+        let mut b = TopologyBuilder::new(4, 2);
+        b.connect(NodeId(0), Port(0), NodeId(1), Port(0)).unwrap();
+        b.connect(NodeId(0), Port(1), NodeId(2), Port(0)).unwrap();
+        b.connect(NodeId(2), Port(0), NodeId(3), Port(0)).unwrap(); // in-port 0 via node 2
+        b.connect(NodeId(1), Port(0), NodeId(3), Port(1)).unwrap(); // in-port 1 via node 1
+        // close the graph: 3 -> 0
+        b.connect(NodeId(3), Port(0), NodeId(0), Port(0)).unwrap();
+        // give 1 and 2 in..: 1 has in from 0 ok; 2 in from 0 ok; all good
+        let t = b.build().unwrap();
+        let c = canonical_bfs(&t, NodeId(0));
+        let e3 = c[3].unwrap();
+        assert_eq!(e3.parent_in_port, Port(0));
+        assert_eq!(e3.parent, NodeId(2));
+    }
+
+    #[test]
+    fn canonical_path_walks_to_destination() {
+        for seed in 0..10 {
+            let t = generators::random_sc(50, 3, seed);
+            let d = bfs_dist(&t, NodeId(0));
+            for v in t.node_ids() {
+                let p = canonical_path(&t, NodeId(0), v).unwrap();
+                assert_eq!(p.len() as u32, d[v.idx()]);
+                let outs: Vec<Port> = p.iter().map(|&(o, _)| o).collect();
+                assert_eq!(t.walk_out_ports(NodeId(0), &outs), Some(v));
+                // in-ports must match the wires walked
+                let mut cur = NodeId(0);
+                for &(o, i) in &p {
+                    let ep = t.out_endpoint(cur, o).unwrap();
+                    assert_eq!(ep.port, i);
+                    cur = ep.node;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_path_empty_for_self() {
+        let t = ring(4);
+        assert_eq!(canonical_path(&t, NodeId(2), NodeId(2)), Some(vec![]));
+    }
+
+    #[test]
+    fn diameter_of_two_cycle_is_one() {
+        let t = ring(2);
+        assert_eq!(diameter(&t), 1);
+    }
+
+    #[test]
+    fn diameter_of_torus() {
+        let t = generators::torus(4, 3);
+        // directed torus: wrap-around right+down moves only; D = (w-1)+(h-1)
+        // is wrong for directed wrap: worst case is w-1 + h-1 going forward
+        // only... with wrap edges distance (dx mod w) + (dy mod h), max = (w-1)+(h-1).
+        assert_eq!(diameter(&t), 3 + 2);
+    }
+}

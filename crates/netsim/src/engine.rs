@@ -1,0 +1,592 @@
+//! The synchronous lockstep engine (paper §1.1).
+//!
+//! "Processors synchronously, within a single global clock pulse, perform
+//! the following actions in order: read in the inputs from each of their
+//! in-ports, process their individual state changes, and prepare and
+//! broadcast their outputs."
+//!
+//! [`Engine::tick`] implements exactly that: every automaton reads the
+//! signals that were written onto its in-wires at the end of the previous
+//! tick, steps, and writes signals onto its out-wires for the next tick.
+//! Wires are double-buffered so all automata observe one consistent
+//! snapshot regardless of step order.
+//!
+//! Three observationally-equivalent execution strategies are provided
+//! (equivalence is enforced by tests and measured by experiment E8):
+//!
+//! * [`EngineMode::Dense`] — step every automaton every tick. The obvious
+//!   reference implementation.
+//! * [`EngineMode::Sparse`] — event-driven: only step automata that asked to
+//!   be re-stepped or that received a non-blank signal. Protocol activity is
+//!   usually localized, so this is the workhorse for large runs. Correctness
+//!   relies on the *quiescence contract* documented on [`Automaton`].
+//! * [`EngineMode::Parallel`] — dense stepping fanned out over a rayon
+//!   thread pool. The synchronous model is embarrassingly data-parallel
+//!   within a tick; this mode wins when floods keep most of the network
+//!   active at once.
+
+use crate::ids::{NodeId, Port};
+use crate::topology::Topology;
+use rayon::prelude::*;
+
+/// Static facts a processor knows about itself at power-on: which of its
+/// ports are wired (in-/out-port awareness, §1.2.1) and whether it is the
+/// root. The simulator-side `id` is provided **for tracing only** — protocol
+/// logic must never branch on it (the paper's processors are anonymous).
+#[derive(Clone, Debug)]
+pub struct NodeMeta {
+    /// Simulator-side identity. Tracing/diagnostics only.
+    pub id: NodeId,
+    /// True for the distinguished root processor.
+    pub is_root: bool,
+    /// `in_connected[i]` — is in-port `i` wired?
+    pub in_connected: Vec<bool>,
+    /// `out_connected[o]` — is out-port `o` wired?
+    pub out_connected: Vec<bool>,
+    /// The network constant δ.
+    pub delta: u8,
+}
+
+/// Everything an automaton sees during one clock pulse.
+pub struct StepCtx<'a, S, E> {
+    /// The current global tick (first step happens at tick 0).
+    pub tick: u64,
+    /// One signal per in-port, indexed by in-port number. Unwired ports
+    /// always read blank.
+    pub inputs: &'a [S],
+    /// One signal per out-port, indexed by out-port number; pre-blanked.
+    /// Writing to an unwired port is allowed and discarded.
+    pub outputs: &'a mut [S],
+    /// Transcript events (only the root uses this in the GTD protocol, but
+    /// the engine supports any node emitting).
+    pub events: &'a mut Vec<E>,
+    restep: &'a mut bool,
+}
+
+impl<S, E> StepCtx<'_, S, E> {
+    /// Ask to be stepped on the next tick even if no input arrives (used for
+    /// internal timers such as speed-1 dwell counters).
+    #[inline]
+    pub fn request_restep(&mut self) {
+        *self.restep = true;
+    }
+
+    /// Convenience: the input on in-port `p`.
+    #[inline]
+    pub fn input(&self, p: Port) -> &S {
+        &self.inputs[p.idx()]
+    }
+}
+
+/// A synchronous finite-state processor.
+///
+/// **Quiescence contract** (required by [`EngineMode::Sparse`]): if an
+/// automaton did not call [`StepCtx::request_restep`] on its previous step
+/// (or has never been stepped) and all its inputs are blank, then stepping
+/// it must not change its state and must emit only blank outputs. The
+/// engine exploits this by skipping such steps entirely; the dense/sparse
+/// equivalence tests in this crate and downstream enforce the contract.
+pub trait Automaton: Send {
+    /// The wire alphabet — one constant-size character per wire per tick.
+    /// `Default` is the blank character b of the paper.
+    type Sig: Clone + Default + PartialEq + Send + Sync;
+    /// Transcript event type (what the root pipes to its master computer).
+    type Event: Send;
+
+    /// One global clock pulse: read inputs, change state, write outputs.
+    fn step(&mut self, ctx: &mut StepCtx<'_, Self::Sig, Self::Event>);
+}
+
+/// Execution strategy. See module docs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EngineMode {
+    /// Step every node every tick, sequentially.
+    Dense,
+    /// Step only woken nodes (event-driven), sequentially.
+    Sparse,
+    /// Step every node every tick on the rayon pool.
+    Parallel,
+}
+
+const NO_ROUTE: u32 = u32::MAX;
+
+/// The lockstep simulator. Generic over the automaton type so the same
+/// engine runs the GTD protocol, unit-test probes, and ablation automata.
+pub struct Engine<A: Automaton> {
+    mode: EngineMode,
+    delta: usize,
+    tick: u64,
+    nodes: Vec<A>,
+    /// `in_buf[n*δ + i]` — signal visible on in-port `i` of node `n` this tick.
+    in_buf: Vec<A::Sig>,
+    /// `out_buf[n*δ + o]` — signal written on out-port `o` of node `n`.
+    out_buf: Vec<A::Sig>,
+    /// For each in-slot, the out-slot feeding it (dense/parallel gather).
+    route_in: Vec<u32>,
+    /// For each out-slot, the in-slot it feeds (sparse scatter).
+    route_out: Vec<u32>,
+    /// Nodes that asked to be re-stepped.
+    want_step: Vec<bool>,
+    /// Nodes that received a non-blank input for the coming tick.
+    has_input: Vec<bool>,
+    /// Per-node event buffers (kept separate for parallel stepping).
+    event_bufs: Vec<Vec<A::Event>>,
+    /// Scratch: which nodes were stepped this tick (sparse bookkeeping).
+    stepped: Vec<u32>,
+}
+
+impl<A: Automaton> Engine<A> {
+    /// Build an engine over `topo`, constructing one automaton per node via
+    /// `factory`. Node 0 is the root by convention (callers that want a
+    /// different root relabel their topology).
+    pub fn new(topo: &Topology, mode: EngineMode, mut factory: impl FnMut(NodeMeta) -> A) -> Self {
+        Self::with_root(topo, mode, NodeId(0), &mut factory)
+    }
+
+    /// Like [`Engine::new`] but with an explicit root processor.
+    pub fn with_root(
+        topo: &Topology,
+        mode: EngineMode,
+        root: NodeId,
+        factory: &mut dyn FnMut(NodeMeta) -> A,
+    ) -> Self {
+        assert!(root.idx() < topo.num_nodes(), "root must exist");
+        let n = topo.num_nodes();
+        let delta = topo.delta() as usize;
+        let mut nodes = Vec::with_capacity(n);
+        for id in topo.node_ids() {
+            nodes.push(factory(NodeMeta {
+                id,
+                is_root: id == root,
+                in_connected: topo.in_connected(id),
+                out_connected: topo.out_connected(id),
+                delta: topo.delta(),
+            }));
+        }
+        let mut route_in = vec![NO_ROUTE; n * delta];
+        let mut route_out = vec![NO_ROUTE; n * delta];
+        for u in topo.node_ids() {
+            for (o, ep) in topo.out_edges(u) {
+                let out_slot = u.idx() * delta + o.idx();
+                let in_slot = ep.node.idx() * delta + ep.port.idx();
+                route_out[out_slot] = in_slot as u32;
+                route_in[in_slot] = out_slot as u32;
+            }
+        }
+        Engine {
+            mode,
+            delta,
+            tick: 0,
+            nodes,
+            in_buf: vec![A::Sig::default(); n * delta],
+            out_buf: vec![A::Sig::default(); n * delta],
+            route_in,
+            route_out,
+            // Every node must be stepped at least once so initiators (the
+            // root) can start protocols without external input.
+            want_step: vec![true; n],
+            has_input: vec![false; n],
+            event_bufs: (0..n).map(|_| Vec::new()).collect(),
+            stepped: Vec::new(),
+        }
+    }
+
+    /// Number of automata.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Global ticks elapsed.
+    #[inline]
+    pub fn tick_count(&self) -> u64 {
+        self.tick
+    }
+
+    /// Immutable view of an automaton (invariant checks, tracing).
+    #[inline]
+    pub fn node(&self, n: NodeId) -> &A {
+        &self.nodes[n.idx()]
+    }
+
+    /// Immutable view of all automata.
+    #[inline]
+    pub fn nodes(&self) -> &[A] {
+        &self.nodes
+    }
+
+    /// Mutable access to one automaton — the "outside source" of the paper
+    /// nudging a processor (e.g. the master computer restarting the root
+    /// for a re-map). The node is also scheduled for a step so the nudge
+    /// takes effect even in sparse mode.
+    pub fn node_mut(&mut self, n: NodeId) -> &mut A {
+        self.want_step[n.idx()] = true;
+        &mut self.nodes[n.idx()]
+    }
+
+    /// True when nothing is pending: no node wants a re-step and no
+    /// non-blank signal is in flight. A quiet network stays quiet forever.
+    pub fn is_quiet(&self) -> bool {
+        !self.want_step.iter().any(|&w| w) && !self.has_input.iter().any(|&h| h)
+    }
+
+    /// Census of non-blank signals currently in flight (delivered for the
+    /// coming tick). Used by the Lemma 4.2 cleanliness experiments.
+    pub fn signals_in_flight(&self) -> usize {
+        let blank = A::Sig::default();
+        self.in_buf.iter().filter(|s| **s != blank).count()
+    }
+
+    /// Advance one global clock tick. Events emitted by nodes are appended
+    /// to `events` in ascending node order (deterministic across modes).
+    pub fn tick(&mut self, events: &mut Vec<(NodeId, A::Event)>) {
+        match self.mode {
+            EngineMode::Dense => self.tick_dense(events, false),
+            EngineMode::Parallel => self.tick_dense(events, true),
+            EngineMode::Sparse => self.tick_sparse(events),
+        }
+        self.tick += 1;
+    }
+
+    /// Run until `stop` returns true for some emitted event, or until the
+    /// network goes quiet, or until `max_ticks` elapse. Returns all events
+    /// emitted and whether `stop` fired.
+    pub fn run_until(
+        &mut self,
+        max_ticks: u64,
+        mut stop: impl FnMut(&(NodeId, A::Event)) -> bool,
+    ) -> (Vec<(NodeId, A::Event)>, bool) {
+        let mut all = Vec::new();
+        let mut scratch = Vec::new();
+        for _ in 0..max_ticks {
+            scratch.clear();
+            self.tick(&mut scratch);
+            let mut fired = false;
+            for ev in scratch.drain(..) {
+                if stop(&ev) {
+                    fired = true;
+                }
+                all.push(ev);
+            }
+            if fired {
+                return (all, true);
+            }
+            if self.is_quiet() {
+                break;
+            }
+        }
+        (all, false)
+    }
+
+    fn tick_dense(&mut self, events: &mut Vec<(NodeId, A::Event)>, parallel: bool) {
+        let delta = self.delta;
+        let tick = self.tick;
+        // Phase 1: step everyone against the in_buf snapshot.
+        let in_buf = &self.in_buf;
+        let step_one = |idx: usize,
+                        node: &mut A,
+                        out_chunk: &mut [A::Sig],
+                        evs: &mut Vec<A::Event>,
+                        want: &mut bool| {
+            for s in out_chunk.iter_mut() {
+                *s = A::Sig::default();
+            }
+            let mut restep = false;
+            let mut ctx = StepCtx {
+                tick,
+                inputs: &in_buf[idx * delta..(idx + 1) * delta],
+                outputs: out_chunk,
+                events: evs,
+                restep: &mut restep,
+            };
+            node.step(&mut ctx);
+            *want = restep;
+        };
+        if parallel {
+            self.nodes
+                .par_iter_mut()
+                .zip(self.out_buf.par_chunks_mut(delta))
+                .zip(self.event_bufs.par_iter_mut())
+                .zip(self.want_step.par_iter_mut())
+                .enumerate()
+                .for_each(|(idx, (((node, out_chunk), evs), want))| {
+                    step_one(idx, node, out_chunk, evs, want);
+                });
+        } else {
+            for (idx, ((node, out_chunk), (evs, want))) in self
+                .nodes
+                .iter_mut()
+                .zip(self.out_buf.chunks_mut(delta))
+                .zip(self.event_bufs.iter_mut().zip(self.want_step.iter_mut()))
+                .enumerate()
+            {
+                step_one(idx, node, out_chunk, evs, want);
+            }
+        }
+        // Phase 2: gather — route every wired out-slot to its in-slot.
+        let out_buf = &self.out_buf;
+        let route_in = &self.route_in;
+        let blank = A::Sig::default();
+        let gather_one = |in_slot: usize, dst: &mut A::Sig, has: &mut bool| {
+            let r = route_in[in_slot];
+            if r == NO_ROUTE {
+                if *dst != blank {
+                    *dst = A::Sig::default();
+                }
+            } else {
+                *dst = out_buf[r as usize].clone();
+                if *dst != blank {
+                    *has = true;
+                }
+            }
+        };
+        if parallel {
+            self.in_buf
+                .par_chunks_mut(delta)
+                .zip(self.has_input.par_iter_mut())
+                .enumerate()
+                .for_each(|(n, (chunk, has))| {
+                    *has = false;
+                    for (i, dst) in chunk.iter_mut().enumerate() {
+                        gather_one(n * delta + i, dst, has);
+                    }
+                });
+        } else {
+            for (n, (chunk, has)) in self
+                .in_buf
+                .chunks_mut(delta)
+                .zip(self.has_input.iter_mut())
+                .enumerate()
+            {
+                *has = false;
+                for (i, dst) in chunk.iter_mut().enumerate() {
+                    gather_one(n * delta + i, dst, has);
+                }
+            }
+        }
+        // Phase 3: drain events in node order.
+        for (n, buf) in self.event_bufs.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                events.extend(buf.drain(..).map(|e| (NodeId(n as u32), e)));
+            }
+        }
+    }
+
+    fn tick_sparse(&mut self, events: &mut Vec<(NodeId, A::Event)>) {
+        let delta = self.delta;
+        let tick = self.tick;
+        let blank = A::Sig::default();
+        // Phase 1: collect the step list.
+        self.stepped.clear();
+        for n in 0..self.nodes.len() {
+            if self.want_step[n] || self.has_input[n] {
+                self.stepped.push(n as u32);
+            }
+        }
+        // Phase 2: step them. out_buf is all-blank between ticks (invariant),
+        // so stepped nodes write into clean slices.
+        for &n in &self.stepped {
+            let n = n as usize;
+            let mut restep = false;
+            let mut ctx = StepCtx {
+                tick,
+                inputs: &self.in_buf[n * delta..(n + 1) * delta],
+                outputs: &mut self.out_buf[n * delta..(n + 1) * delta],
+                events: &mut self.event_bufs[n],
+                restep: &mut restep,
+            };
+            self.nodes[n].step(&mut ctx);
+            self.want_step[n] = restep;
+        }
+        // Phase 3: clear consumed inputs.
+        for &n in &self.stepped {
+            let n = n as usize;
+            if self.has_input[n] {
+                for s in &mut self.in_buf[n * delta..(n + 1) * delta] {
+                    if *s != blank {
+                        *s = A::Sig::default();
+                    }
+                }
+                self.has_input[n] = false;
+            }
+        }
+        // Phase 4: scatter the outputs of stepped nodes, restoring the
+        // all-blank out_buf invariant as we go.
+        for &n in &self.stepped {
+            let n = n as usize;
+            for o in 0..delta {
+                let out_slot = n * delta + o;
+                if self.out_buf[out_slot] == blank {
+                    continue;
+                }
+                let sig = std::mem::take(&mut self.out_buf[out_slot]);
+                let r = self.route_out[out_slot];
+                if r != NO_ROUTE {
+                    let in_slot = r as usize;
+                    self.in_buf[in_slot] = sig;
+                    self.has_input[in_slot / delta] = true;
+                }
+            }
+        }
+        // Phase 5: drain events in node order (step list is already sorted).
+        for &n in &self.stepped {
+            let n = n as usize;
+            if !self.event_bufs[n].is_empty() {
+                events.extend(self.event_bufs[n].drain(..).map(|e| (NodeId(n as u32), e)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    /// Test automaton: forwards any received u32+1 on all out-ports after a
+    /// fixed dwell; the root injects value 1 at tick 0. Exercises wake-up,
+    /// dwell timers, and the quiescence contract.
+    #[derive(Clone)]
+    struct Hopper {
+        meta_is_root: bool,
+        out_ports: Vec<usize>,
+        pending: Option<(u64, u32)>, // (emit_at_tick, value)
+        dwell: u64,
+        seen: Vec<u32>,
+        started: bool,
+    }
+
+    #[derive(Clone, PartialEq, Debug)]
+    #[derive(Default)]
+    struct U32Sig(u32);
+    
+
+    impl Automaton for Hopper {
+        type Sig = U32Sig;
+        type Event = u32;
+
+        fn step(&mut self, ctx: &mut StepCtx<'_, U32Sig, u32>) {
+            if self.meta_is_root && !self.started {
+                self.started = true;
+                self.pending = Some((ctx.tick, 1));
+            }
+            for s in ctx.inputs {
+                if s.0 != 0 {
+                    self.seen.push(s.0);
+                    ctx.events.push(s.0);
+                    if self.pending.is_none() && s.0 < 5 {
+                        self.pending = Some((ctx.tick + self.dwell, s.0 + 1));
+                    }
+                }
+            }
+            if let Some((at, v)) = self.pending {
+                if at <= ctx.tick {
+                    for &o in &self.out_ports {
+                        ctx.outputs[o] = U32Sig(v);
+                    }
+                    self.pending = None;
+                } else {
+                    ctx.request_restep();
+                }
+            }
+        }
+    }
+
+    fn hopper_engine(mode: EngineMode, dwell: u64) -> Engine<Hopper> {
+        let topo = generators::ring(4);
+        Engine::new(&topo, mode, |meta| Hopper {
+            meta_is_root: meta.is_root,
+            out_ports: meta
+                .out_connected
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c)
+                .map(|(i, _)| i)
+                .collect(),
+            pending: None,
+            dwell,
+            seen: Vec::new(),
+            started: false,
+        })
+    }
+
+    fn run_to_quiet(eng: &mut Engine<Hopper>) -> Vec<(NodeId, u32)> {
+        let mut events = Vec::new();
+        for _ in 0..200 {
+            eng.tick(&mut events);
+            if eng.is_quiet() {
+                break;
+            }
+        }
+        assert!(eng.is_quiet(), "hopper network should quiesce");
+        events
+    }
+
+    #[test]
+    fn message_hops_around_ring() {
+        let mut eng = hopper_engine(EngineMode::Dense, 0);
+        let events = run_to_quiet(&mut eng);
+        // Value k arrives at node k (mod 4): 1@n1, 2@n2, 3@n3, 4@n0, 5@n1 stops.
+        let vals: Vec<(u32, u32)> = events.iter().map(|&(n, v)| (n.0, v)).collect();
+        assert_eq!(vals, vec![(1, 1), (2, 2), (3, 3), (0, 4), (1, 5)]);
+    }
+
+    #[test]
+    fn all_modes_agree() {
+        for dwell in [0u64, 2, 3] {
+            let base = run_to_quiet(&mut hopper_engine(EngineMode::Dense, dwell));
+            let sparse = run_to_quiet(&mut hopper_engine(EngineMode::Sparse, dwell));
+            let par = run_to_quiet(&mut hopper_engine(EngineMode::Parallel, dwell));
+            assert_eq!(base, sparse, "dense vs sparse, dwell {dwell}");
+            assert_eq!(base, par, "dense vs parallel, dwell {dwell}");
+        }
+    }
+
+    #[test]
+    fn dwell_delays_hops() {
+        let mut fast = hopper_engine(EngineMode::Sparse, 0);
+        let mut slow = hopper_engine(EngineMode::Sparse, 2);
+        run_to_quiet(&mut fast);
+        run_to_quiet(&mut slow);
+        // 5 hops, each slowed by 2 extra ticks.
+        assert!(slow.tick_count() >= fast.tick_count() + 8);
+    }
+
+    #[test]
+    fn quiet_network_stays_quiet() {
+        let mut eng = hopper_engine(EngineMode::Sparse, 1);
+        run_to_quiet(&mut eng);
+        let t = eng.tick_count();
+        let mut events = Vec::new();
+        for _ in 0..10 {
+            eng.tick(&mut events);
+        }
+        assert!(events.is_empty());
+        assert!(eng.is_quiet());
+        assert_eq!(eng.tick_count(), t + 10);
+        assert_eq!(eng.signals_in_flight(), 0);
+    }
+
+    #[test]
+    fn run_until_stops_on_event() {
+        let mut eng = hopper_engine(EngineMode::Sparse, 0);
+        let (events, fired) = eng.run_until(100, |&(_, v)| v == 3);
+        assert!(fired);
+        assert_eq!(events.last().map(|&(_, v)| v), Some(3));
+    }
+
+    #[test]
+    fn run_until_times_out() {
+        let mut eng = hopper_engine(EngineMode::Sparse, 0);
+        let (_, fired) = eng.run_until(2, |&(_, v)| v == 99);
+        assert!(!fired);
+    }
+
+    #[test]
+    fn signals_in_flight_counts_nonblank() {
+        let mut eng = hopper_engine(EngineMode::Dense, 0);
+        let mut events = Vec::new();
+        eng.tick(&mut events); // root emitted 1 onto the wire
+        assert_eq!(eng.signals_in_flight(), 1);
+    }
+}

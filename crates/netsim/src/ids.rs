@@ -1,0 +1,114 @@
+//! Strongly-typed identifiers for processors and ports.
+//!
+//! The paper's processors are anonymous (finite-state automata cannot hold
+//! unique names); [`NodeId`]s exist only in the simulator and the master
+//! computer, never inside protocol logic. Ports are numbered `0..δ`
+//! (the paper numbers them from 1; we are 0-based throughout).
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a processor in a [`crate::Topology`].
+///
+/// `u32` keeps hot per-node tables small (see the type-size guidance in the
+/// Rust performance book); networks beyond 2³² processors are out of scope.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The processor index as a `usize`, for table lookups.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A port number on a single processor, in `0..δ`.
+///
+/// The same `Port` value can denote an in-port or an out-port depending on
+/// context; the two namespaces are independent (a processor has up to δ
+/// in-ports *and* up to δ out-ports).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Port(pub u8);
+
+impl Port {
+    /// The port number as a `usize`, for table lookups.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Port {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// One end of a wire: a specific port on a specific processor.
+///
+/// Stored in the topology's adjacency tables: the entry for an out-port
+/// holds the *remote* endpoint `(dst node, dst in-port)` and vice versa.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Endpoint {
+    /// The processor on this end of the wire.
+    pub node: NodeId,
+    /// The port on that processor the wire plugs into.
+    pub port: Port,
+}
+
+impl Endpoint {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(node: NodeId, port: Port) -> Self {
+        Endpoint { node, port }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.node, self.port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip_and_order() {
+        let a = NodeId(3);
+        let b = NodeId(7);
+        assert!(a < b);
+        assert_eq!(a.idx(), 3);
+        assert_eq!(format!("{a}"), "n3");
+    }
+
+    #[test]
+    fn port_order_and_display() {
+        assert!(Port(0) < Port(1));
+        assert_eq!(Port(5).idx(), 5);
+        assert_eq!(format!("{}", Port(2)), "p2");
+    }
+
+    #[test]
+    fn endpoint_display_and_eq() {
+        let e = Endpoint::new(NodeId(1), Port(2));
+        assert_eq!(format!("{e}"), "n1:p2");
+        assert_eq!(e, Endpoint::new(NodeId(1), Port(2)));
+        assert_ne!(e, Endpoint::new(NodeId(1), Port(3)));
+    }
+
+    #[test]
+    fn ids_are_small() {
+        // Hot tables index by these; keep them machine-word friendly.
+        assert_eq!(std::mem::size_of::<NodeId>(), 4);
+        assert_eq!(std::mem::size_of::<Port>(), 1);
+        assert!(std::mem::size_of::<Endpoint>() <= 8);
+    }
+}

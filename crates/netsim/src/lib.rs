@@ -1,0 +1,37 @@
+//! # gtd-netsim
+//!
+//! Substrate for reproducing Goldstein's *Determination of the Topology of a
+//! Directed Network* (IPPS 2002): a simulator for strongly-connected directed
+//! networks of identical synchronous finite-state automata.
+//!
+//! The crate provides three things:
+//!
+//! 1. **Topologies** ([`Topology`], [`TopologyBuilder`]) — port-labelled
+//!    directed multigraphs. Every edge is a unidirectional wire from a
+//!    numbered *out-port* of one processor to a numbered *in-port* of
+//!    another, exactly matching the paper's network model (§1.1). Port
+//!    counts are uniformly bounded by a network constant δ ≥ 2.
+//! 2. **Graph algorithms** ([`algo`]) — strong-connectivity, BFS layers,
+//!    exact diameters, and the *canonical* breadth-first trees that the
+//!    paper's growing snakes carve (first arrival wins, ties broken by the
+//!    lowest-numbered in-port). These are used as ground truth against
+//!    which protocol behaviour is verified.
+//! 3. **The lockstep engine** ([`engine`]) — a synchronous simulator in
+//!    which, on every global clock tick, each automaton reads one
+//!    constant-size character per in-port, performs a state change, and
+//!    writes one character per out-port. Three execution strategies are
+//!    provided (dense, sparse/event-driven, and rayon-parallel) which are
+//!    observationally identical; equivalence is enforced by tests.
+//!
+//! Nothing in this crate knows about snakes or the GTD protocol; it is the
+//! "hardware" on which `gtd-snake` and `gtd-core` run.
+
+pub mod algo;
+pub mod engine;
+pub mod generators;
+pub mod ids;
+pub mod topology;
+
+pub use engine::{Automaton, Engine, EngineMode, NodeMeta, StepCtx};
+pub use ids::{Endpoint, NodeId, Port};
+pub use topology::{Edge, Topology, TopologyBuilder, TopologyError};

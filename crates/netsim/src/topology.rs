@@ -1,0 +1,521 @@
+//! Port-labelled directed multigraphs — the paper's network model (§1.1).
+//!
+//! A network is formed "by connecting out-ports from processors to the
+//! in-ports of other processors with wires". Each wire is unidirectional and
+//! carries one constant-size character per tick. A pair of processors may be
+//! connected by two wires in opposite directions (a simulated bidirectional
+//! link) or by several parallel wires; a processor is never wired to itself
+//! (self-loops carry no information in the model and the paper never uses
+//! them — see DESIGN.md §5).
+
+use crate::ids::{Endpoint, NodeId, Port};
+use serde::{Deserialize, Serialize};
+
+/// A single wire: out-port `src_port` of `src` feeds in-port `dst_port` of `dst`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Edge {
+    /// Sending processor.
+    pub src: NodeId,
+    /// Out-port on the sender.
+    pub src_port: Port,
+    /// Receiving processor.
+    pub dst: NodeId,
+    /// In-port on the receiver.
+    pub dst_port: Port,
+}
+
+/// Errors raised while constructing a topology.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TopologyError {
+    /// A referenced node does not exist.
+    UnknownNode(NodeId),
+    /// A port number is ≥ δ.
+    PortOutOfRange { node: NodeId, port: Port, delta: u8 },
+    /// The out-port (or in-port) is already wired.
+    PortBusy { node: NodeId, port: Port, is_out: bool },
+    /// Self-loops are rejected (DESIGN.md §5).
+    SelfLoop(NodeId),
+    /// All ports on this side of the node are already wired.
+    NodeFull { node: NodeId, is_out: bool },
+    /// The finished network violates the model: a node lacks a connected
+    /// in-port or out-port, or there are fewer than two processors.
+    Malformed(String),
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            TopologyError::PortOutOfRange { node, port, delta } => {
+                write!(f, "port {port} on {node} out of range (delta = {delta})")
+            }
+            TopologyError::PortBusy { node, port, is_out } => {
+                let side = if *is_out { "out" } else { "in" };
+                write!(f, "{side}-port {port} on {node} already wired")
+            }
+            TopologyError::SelfLoop(n) => write!(f, "self-loop on {n} rejected"),
+            TopologyError::NodeFull { node, is_out } => {
+                let side = if *is_out { "out" } else { "in" };
+                write!(f, "all {side}-ports of {node} are wired")
+            }
+            TopologyError::Malformed(msg) => write!(f, "malformed network: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Per-node wiring table.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+struct NodeWiring {
+    /// `outs[o]` = remote `(node, in-port)` fed by our out-port `o`.
+    outs: Vec<Option<Endpoint>>,
+    /// `ins[i]` = remote `(node, out-port)` feeding our in-port `i`.
+    ins: Vec<Option<Endpoint>>,
+}
+
+/// An immutable, validated network topology.
+///
+/// Construct one through [`TopologyBuilder`] or the generators in
+/// [`crate::generators`]. Validation guarantees: at least two processors,
+/// every processor has ≥ 1 connected in-port and ≥ 1 connected out-port
+/// (required by the model, §1.1), no self-loops, and all port numbers < δ.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Topology {
+    delta: u8,
+    nodes: Vec<NodeWiring>,
+}
+
+impl Topology {
+    /// The network constant δ: the uniform bound on in- and out-degree.
+    #[inline]
+    pub fn delta(&self) -> u8 {
+        self.delta
+    }
+
+    /// Number of processors N.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of wires E.
+    pub fn num_edges(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| n.outs.iter().flatten().count())
+            .sum()
+    }
+
+    /// Iterate over all node ids `0..N`.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// The remote endpoint fed by `node`'s out-port `port`, if wired.
+    #[inline]
+    pub fn out_endpoint(&self, node: NodeId, port: Port) -> Option<Endpoint> {
+        self.nodes[node.idx()].outs.get(port.idx()).copied().flatten()
+    }
+
+    /// The remote endpoint feeding `node`'s in-port `port`, if wired.
+    #[inline]
+    pub fn in_endpoint(&self, node: NodeId, port: Port) -> Option<Endpoint> {
+        self.nodes[node.idx()].ins.get(port.idx()).copied().flatten()
+    }
+
+    /// Out-port connectivity mask of a node (out-port awareness, §1.2.1).
+    pub fn out_connected(&self, node: NodeId) -> Vec<bool> {
+        self.nodes[node.idx()].outs.iter().map(Option::is_some).collect()
+    }
+
+    /// In-port connectivity mask of a node (in-port awareness, §1.2.1).
+    pub fn in_connected(&self, node: NodeId) -> Vec<bool> {
+        self.nodes[node.idx()].ins.iter().map(Option::is_some).collect()
+    }
+
+    /// Connected out-degree of a node.
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        self.nodes[node.idx()].outs.iter().flatten().count()
+    }
+
+    /// Connected in-degree of a node.
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        self.nodes[node.idx()].ins.iter().flatten().count()
+    }
+
+    /// Out-neighbours of a node as `(out-port, remote endpoint)` pairs, in
+    /// ascending port order.
+    pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = (Port, Endpoint)> + '_ {
+        self.nodes[node.idx()]
+            .outs
+            .iter()
+            .enumerate()
+            .filter_map(|(o, ep)| ep.map(|ep| (Port(o as u8), ep)))
+    }
+
+    /// In-neighbours of a node as `(in-port, remote endpoint)` pairs, in
+    /// ascending port order.
+    pub fn in_edges(&self, node: NodeId) -> impl Iterator<Item = (Port, Endpoint)> + '_ {
+        self.nodes[node.idx()]
+            .ins
+            .iter()
+            .enumerate()
+            .filter_map(|(i, ep)| ep.map(|ep| (Port(i as u8), ep)))
+    }
+
+    /// Every wire in the network, in `(src node, src port)` order.
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut out = Vec::with_capacity(self.num_edges());
+        for src in self.node_ids() {
+            for (src_port, ep) in self.out_edges(src) {
+                out.push(Edge { src, src_port, dst: ep.node, dst_port: ep.port });
+            }
+        }
+        out
+    }
+
+    /// The edge set as a sorted vector — the canonical form used to compare a
+    /// reconstructed map against ground truth.
+    pub fn sorted_edges(&self) -> Vec<Edge> {
+        let mut e = self.edges();
+        e.sort_unstable();
+        e
+    }
+
+    /// Follow a sequence of out-ports starting from `from`. Returns the node
+    /// reached, or `None` if some port on the walk is unwired.
+    ///
+    /// This is how the master computer's canonical names (root→A port paths)
+    /// are resolved back to ground-truth processors during verification.
+    pub fn walk_out_ports(&self, from: NodeId, ports: &[Port]) -> Option<NodeId> {
+        let mut cur = from;
+        for &p in ports {
+            cur = self.out_endpoint(cur, p)?.node;
+        }
+        Some(cur)
+    }
+
+    /// Validate the cross-linking invariants; used by tests and after
+    /// deserialization. Checks that out- and in-tables mirror each other and
+    /// that model requirements hold.
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        if self.nodes.len() < 2 {
+            return Err(TopologyError::Malformed(
+                "the model requires at least two processors".into(),
+            ));
+        }
+        for node in self.node_ids() {
+            let w = &self.nodes[node.idx()];
+            if w.outs.len() > self.delta as usize || w.ins.len() > self.delta as usize {
+                return Err(TopologyError::Malformed(format!(
+                    "{node} has more than delta = {} ports",
+                    self.delta
+                )));
+            }
+            for (o, ep) in self.out_edges(node) {
+                if ep.node == node {
+                    return Err(TopologyError::SelfLoop(node));
+                }
+                let back = self.in_endpoint(ep.node, ep.port);
+                if back != Some(Endpoint::new(node, o)) {
+                    return Err(TopologyError::Malformed(format!(
+                        "wire {node}:{o} -> {ep} not mirrored ({back:?})"
+                    )));
+                }
+            }
+            for (i, ep) in self.in_edges(node) {
+                let fwd = self.out_endpoint(ep.node, ep.port);
+                if fwd != Some(Endpoint::new(node, i)) {
+                    return Err(TopologyError::Malformed(format!(
+                        "wire {ep} -> {node}:{i} not mirrored ({fwd:?})"
+                    )));
+                }
+            }
+            if self.out_degree(node) == 0 {
+                return Err(TopologyError::Malformed(format!(
+                    "{node} has no connected out-port"
+                )));
+            }
+            if self.in_degree(node) == 0 {
+                return Err(TopologyError::Malformed(format!(
+                    "{node} has no connected in-port"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental constructor for [`Topology`].
+///
+/// Port numbers can be chosen explicitly ([`TopologyBuilder::connect`]) or
+/// auto-assigned to the lowest free ports ([`TopologyBuilder::connect_auto`]),
+/// which keeps generator output deterministic in edge-insertion order.
+#[derive(Clone, Debug)]
+pub struct TopologyBuilder {
+    delta: u8,
+    nodes: Vec<NodeWiring>,
+}
+
+impl TopologyBuilder {
+    /// Start a network with `n` processors and port bound `delta` (δ ≥ 2,
+    /// as in the paper).
+    pub fn new(n: usize, delta: u8) -> Self {
+        assert!(delta >= 2, "the paper requires delta >= 2");
+        assert!(n >= 2, "the model requires at least two processors");
+        TopologyBuilder {
+            delta,
+            nodes: vec![
+                NodeWiring {
+                    outs: vec![None; delta as usize],
+                    ins: vec![None; delta as usize],
+                };
+                n
+            ],
+        }
+    }
+
+    /// δ of the network under construction.
+    pub fn delta(&self) -> u8 {
+        self.delta
+    }
+
+    /// Number of processors.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn check_node(&self, n: NodeId) -> Result<(), TopologyError> {
+        if n.idx() >= self.nodes.len() {
+            Err(TopologyError::UnknownNode(n))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Wire out-port `src_port` of `src` to in-port `dst_port` of `dst`.
+    pub fn connect(
+        &mut self,
+        src: NodeId,
+        src_port: Port,
+        dst: NodeId,
+        dst_port: Port,
+    ) -> Result<(), TopologyError> {
+        self.check_node(src)?;
+        self.check_node(dst)?;
+        if src == dst {
+            return Err(TopologyError::SelfLoop(src));
+        }
+        if src_port.idx() >= self.delta as usize {
+            return Err(TopologyError::PortOutOfRange { node: src, port: src_port, delta: self.delta });
+        }
+        if dst_port.idx() >= self.delta as usize {
+            return Err(TopologyError::PortOutOfRange { node: dst, port: dst_port, delta: self.delta });
+        }
+        if self.nodes[src.idx()].outs[src_port.idx()].is_some() {
+            return Err(TopologyError::PortBusy { node: src, port: src_port, is_out: true });
+        }
+        if self.nodes[dst.idx()].ins[dst_port.idx()].is_some() {
+            return Err(TopologyError::PortBusy { node: dst, port: dst_port, is_out: false });
+        }
+        self.nodes[src.idx()].outs[src_port.idx()] = Some(Endpoint::new(dst, dst_port));
+        self.nodes[dst.idx()].ins[dst_port.idx()] = Some(Endpoint::new(src, src_port));
+        Ok(())
+    }
+
+    /// Wire `src` to `dst` using the lowest free out-port on `src` and the
+    /// lowest free in-port on `dst`. Returns the chosen `(out, in)` ports.
+    pub fn connect_auto(&mut self, src: NodeId, dst: NodeId) -> Result<(Port, Port), TopologyError> {
+        self.check_node(src)?;
+        self.check_node(dst)?;
+        if src == dst {
+            return Err(TopologyError::SelfLoop(src));
+        }
+        let o = self.nodes[src.idx()]
+            .outs
+            .iter()
+            .position(Option::is_none)
+            .ok_or(TopologyError::NodeFull { node: src, is_out: true })?;
+        let i = self.nodes[dst.idx()]
+            .ins
+            .iter()
+            .position(Option::is_none)
+            .ok_or(TopologyError::NodeFull { node: dst, is_out: false })?;
+        let (o, i) = (Port(o as u8), Port(i as u8));
+        self.connect(src, o, dst, i)?;
+        Ok((o, i))
+    }
+
+    /// True if `src` has a free out-port and `dst` a free in-port.
+    pub fn can_connect(&self, src: NodeId, dst: NodeId) -> bool {
+        src != dst
+            && src.idx() < self.nodes.len()
+            && dst.idx() < self.nodes.len()
+            && self.nodes[src.idx()].outs.iter().any(Option::is_none)
+            && self.nodes[dst.idx()].ins.iter().any(Option::is_none)
+    }
+
+    /// True if some wire `src → dst` already exists (any port pair).
+    pub fn has_edge(&self, src: NodeId, dst: NodeId) -> bool {
+        self.nodes[src.idx()]
+            .outs
+            .iter()
+            .flatten()
+            .any(|ep| ep.node == dst)
+    }
+
+    /// Finish and validate.
+    pub fn build(self) -> Result<Topology, TopologyError> {
+        let t = Topology { delta: self.delta, nodes: self.nodes };
+        t.validate()?;
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cycle() -> Topology {
+        let mut b = TopologyBuilder::new(2, 2);
+        b.connect(NodeId(0), Port(0), NodeId(1), Port(0)).unwrap();
+        b.connect(NodeId(1), Port(0), NodeId(0), Port(0)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn minimal_two_cycle_builds() {
+        let t = two_cycle();
+        assert_eq!(t.num_nodes(), 2);
+        assert_eq!(t.num_edges(), 2);
+        assert_eq!(
+            t.out_endpoint(NodeId(0), Port(0)),
+            Some(Endpoint::new(NodeId(1), Port(0)))
+        );
+        assert_eq!(
+            t.in_endpoint(NodeId(0), Port(0)),
+            Some(Endpoint::new(NodeId(1), Port(0)))
+        );
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = TopologyBuilder::new(2, 2);
+        assert_eq!(
+            b.connect(NodeId(0), Port(0), NodeId(0), Port(1)),
+            Err(TopologyError::SelfLoop(NodeId(0)))
+        );
+        assert_eq!(
+            b.connect_auto(NodeId(1), NodeId(1)),
+            Err(TopologyError::SelfLoop(NodeId(1)))
+        );
+    }
+
+    #[test]
+    fn busy_port_rejected() {
+        let mut b = TopologyBuilder::new(3, 2);
+        b.connect(NodeId(0), Port(0), NodeId(1), Port(0)).unwrap();
+        assert_eq!(
+            b.connect(NodeId(0), Port(0), NodeId(2), Port(0)),
+            Err(TopologyError::PortBusy { node: NodeId(0), port: Port(0), is_out: true })
+        );
+        assert_eq!(
+            b.connect(NodeId(2), Port(0), NodeId(1), Port(0)),
+            Err(TopologyError::PortBusy { node: NodeId(1), port: Port(0), is_out: false })
+        );
+    }
+
+    #[test]
+    fn port_out_of_range_rejected() {
+        let mut b = TopologyBuilder::new(2, 2);
+        assert!(matches!(
+            b.connect(NodeId(0), Port(2), NodeId(1), Port(0)),
+            Err(TopologyError::PortOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let mut b = TopologyBuilder::new(2, 2);
+        assert_eq!(
+            b.connect(NodeId(5), Port(0), NodeId(1), Port(0)),
+            Err(TopologyError::UnknownNode(NodeId(5)))
+        );
+    }
+
+    #[test]
+    fn node_without_in_port_fails_validation() {
+        let mut b = TopologyBuilder::new(3, 2);
+        // n2 gets an out-edge but no in-edge.
+        b.connect(NodeId(0), Port(0), NodeId(1), Port(0)).unwrap();
+        b.connect(NodeId(1), Port(0), NodeId(0), Port(0)).unwrap();
+        b.connect(NodeId(2), Port(0), NodeId(0), Port(1)).unwrap();
+        assert!(matches!(b.build(), Err(TopologyError::Malformed(_))));
+    }
+
+    #[test]
+    fn connect_auto_picks_lowest_free_ports() {
+        let mut b = TopologyBuilder::new(3, 3);
+        assert_eq!(b.connect_auto(NodeId(0), NodeId(1)).unwrap(), (Port(0), Port(0)));
+        assert_eq!(b.connect_auto(NodeId(0), NodeId(1)).unwrap(), (Port(1), Port(1)));
+        assert_eq!(b.connect_auto(NodeId(2), NodeId(1)).unwrap(), (Port(0), Port(2)));
+        // n1 is now full on the in-side.
+        assert_eq!(
+            b.connect_auto(NodeId(2), NodeId(1)),
+            Err(TopologyError::NodeFull { node: NodeId(1), is_out: false })
+        );
+    }
+
+    #[test]
+    fn parallel_edges_supported() {
+        let mut b = TopologyBuilder::new(2, 2);
+        b.connect_auto(NodeId(0), NodeId(1)).unwrap();
+        b.connect_auto(NodeId(0), NodeId(1)).unwrap();
+        b.connect_auto(NodeId(1), NodeId(0)).unwrap();
+        let t = b.build().unwrap();
+        assert_eq!(t.num_edges(), 3);
+        assert_eq!(t.out_degree(NodeId(0)), 2);
+        assert_eq!(t.in_degree(NodeId(1)), 2);
+    }
+
+    #[test]
+    fn edges_listing_sorted_and_mirrored() {
+        let t = two_cycle();
+        let e = t.sorted_edges();
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[0].src, NodeId(0));
+        assert_eq!(e[1].src, NodeId(1));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn walk_out_ports_follows_wires() {
+        let t = two_cycle();
+        assert_eq!(t.walk_out_ports(NodeId(0), &[Port(0)]), Some(NodeId(1)));
+        assert_eq!(t.walk_out_ports(NodeId(0), &[Port(0), Port(0)]), Some(NodeId(0)));
+        assert_eq!(t.walk_out_ports(NodeId(0), &[Port(1)]), None);
+        assert_eq!(t.walk_out_ports(NodeId(0), &[]), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = two_cycle();
+        let s = serde_json::to_string(&t).unwrap();
+        let t2: Topology = serde_json::from_str(&s).unwrap();
+        assert_eq!(t, t2);
+        t2.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "delta >= 2")]
+    fn delta_below_two_panics() {
+        let _ = TopologyBuilder::new(2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "two processors")]
+    fn single_node_panics() {
+        let _ = TopologyBuilder::new(1, 2);
+    }
+}

@@ -1,0 +1,213 @@
+//! Property tests for the substrate: topology invariants, graph-algorithm
+//! cross-checks, and engine-mode equivalence under arbitrary automata.
+
+use gtd_netsim::{
+    algo, generators, Automaton, Engine, EngineMode, NodeId, Port, StepCtx, Topology,
+    TopologyBuilder,
+};
+use proptest::prelude::*;
+
+fn arb_sc_topology() -> impl Strategy<Value = Topology> {
+    (3usize..40, 2u8..6, 0u64..1_000_000)
+        .prop_map(|(n, d, seed)| generators::random_sc(n, d, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn generated_topologies_validate(topo in arb_sc_topology()) {
+        topo.validate().expect("generator output validates");
+        prop_assert!(algo::is_strongly_connected(&topo));
+    }
+
+    #[test]
+    fn degree_bounds_respected(topo in arb_sc_topology()) {
+        let delta = topo.delta() as usize;
+        for v in topo.node_ids() {
+            prop_assert!(topo.out_degree(v) >= 1 && topo.out_degree(v) <= delta);
+            prop_assert!(topo.in_degree(v) >= 1 && topo.in_degree(v) <= delta);
+        }
+    }
+
+    #[test]
+    fn edge_listing_is_involutive(topo in arb_sc_topology()) {
+        // rebuilding from the edge list reproduces the identical topology
+        let mut b = TopologyBuilder::new(topo.num_nodes(), topo.delta());
+        for e in topo.edges() {
+            b.connect(e.src, e.src_port, e.dst, e.dst_port).unwrap();
+        }
+        prop_assert_eq!(b.build().unwrap(), topo);
+    }
+
+    #[test]
+    fn serde_roundtrip(topo in arb_sc_topology()) {
+        let json = serde_json::to_string(&topo).unwrap();
+        let back: Topology = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, topo);
+    }
+
+    #[test]
+    fn bfs_satisfies_triangle_inequality_on_edges(topo in arb_sc_topology()) {
+        let d0 = algo::bfs_dist(&topo, NodeId(0));
+        for e in topo.edges() {
+            // dist(0, dst) <= dist(0, src) + 1
+            prop_assert!(d0[e.dst.idx()] <= d0[e.src.idx()] + 1);
+        }
+    }
+
+    #[test]
+    fn forward_and_reverse_bfs_agree_on_reachability(topo in arb_sc_topology()) {
+        // strongly connected: both directions fully reachable
+        let fwd = algo::bfs_dist(&topo, NodeId(1 % topo.num_nodes() as u32));
+        let rev = algo::bfs_dist_rev(&topo, NodeId(1 % topo.num_nodes() as u32));
+        prop_assert!(fwd.iter().all(|&d| d != algo::UNREACHABLE));
+        prop_assert!(rev.iter().all(|&d| d != algo::UNREACHABLE));
+    }
+
+    #[test]
+    fn tarjan_single_component_iff_strongly_connected(topo in arb_sc_topology()) {
+        let comp = algo::tarjan_scc(&topo);
+        prop_assert!(comp.iter().all(|&c| c == comp[0]));
+    }
+
+    #[test]
+    fn diameter_is_max_eccentricity(topo in arb_sc_topology()) {
+        let d = algo::diameter(&topo);
+        let mut max_ecc = 0;
+        for v in topo.node_ids() {
+            let dist = algo::bfs_dist(&topo, v);
+            max_ecc = max_ecc.max(*dist.iter().max().unwrap());
+        }
+        prop_assert_eq!(d, max_ecc);
+    }
+
+    #[test]
+    fn canonical_paths_are_shortest_and_deterministic(topo in arb_sc_topology()) {
+        let src = NodeId(0);
+        let dist = algo::bfs_dist(&topo, src);
+        let tree1 = algo::canonical_bfs(&topo, src);
+        let tree2 = algo::canonical_bfs(&topo, src);
+        prop_assert_eq!(&tree1, &tree2, "canonical BFS must be deterministic");
+        for v in topo.node_ids() {
+            let p = algo::canonical_path(&topo, src, v).unwrap();
+            prop_assert_eq!(p.len() as u32, dist[v.idx()], "canonical path not shortest");
+            // and it walks to v
+            let outs: Vec<Port> = p.iter().map(|&(o, _)| o).collect();
+            prop_assert_eq!(topo.walk_out_ports(src, &outs), Some(v));
+        }
+    }
+
+    #[test]
+    fn canonical_parent_is_lowest_inport_among_frontier(topo in arb_sc_topology()) {
+        let src = NodeId(0);
+        let dist = algo::bfs_dist(&topo, src);
+        let tree = algo::canonical_bfs(&topo, src);
+        for v in topo.node_ids() {
+            let Some(e) = tree[v.idx()] else { continue };
+            // no lower-numbered in-port of v is fed by a frontier node
+            for (i, ep) in topo.in_edges(v) {
+                if i < e.parent_in_port {
+                    prop_assert!(
+                        dist[ep.node.idx()] + 1 > dist[v.idx()],
+                        "in-port {i} of {v} would have won the tie-break"
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine equivalence under an arbitrary little automaton
+// ---------------------------------------------------------------------
+
+/// A pseudo-random but fully deterministic automaton: xor-accumulates
+/// inputs, emits on a schedule derived from its accumulated state, and
+/// emits events so transcript equality is a strong check.
+#[derive(Clone)]
+struct Scrambler {
+    acc: u64,
+    fires_left: u32,
+    out_ports: Vec<usize>,
+    is_root: bool,
+    started: bool,
+}
+
+#[derive(Clone, PartialEq, Debug, Default)]
+struct Word(u64);
+
+impl Automaton for Scrambler {
+    type Sig = Word;
+    type Event = u64;
+
+    fn step(&mut self, ctx: &mut StepCtx<'_, Word, u64>) {
+        if self.is_root && !self.started {
+            self.started = true;
+            self.acc = 0x9e3779b97f4a7c15;
+            self.fires_left = 6;
+        }
+        for (i, s) in ctx.inputs.iter().enumerate() {
+            if s.0 != 0 {
+                self.acc = self
+                    .acc
+                    .rotate_left(7)
+                    .wrapping_mul(0x2545f4914f6cdd1d)
+                    .wrapping_add(s.0 ^ i as u64);
+                if self.fires_left == 0 {
+                    self.fires_left = (s.0 % 3) as u32;
+                }
+                ctx.events.push(self.acc);
+            }
+        }
+        if self.fires_left > 0 {
+            self.fires_left -= 1;
+            let v = self.acc | 1;
+            let o = self.out_ports[(self.acc % self.out_ports.len() as u64) as usize];
+            ctx.outputs[o] = Word(v);
+            if self.fires_left > 0 {
+                ctx.request_restep();
+            }
+        }
+    }
+}
+
+fn run_scrambler(topo: &Topology, mode: EngineMode, ticks: u64) -> Vec<(NodeId, u64)> {
+    let mut engine = Engine::new(topo, mode, |meta| Scrambler {
+        acc: 0,
+        fires_left: 0,
+        out_ports: meta
+            .out_connected
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c)
+            .map(|(i, _)| i)
+            .collect(),
+        is_root: meta.is_root,
+        started: false,
+    });
+    let mut all = Vec::new();
+    let mut events = Vec::new();
+    for _ in 0..ticks {
+        events.clear();
+        engine.tick(&mut events);
+        all.append(&mut events);
+    }
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn engine_modes_equivalent_for_arbitrary_automata(
+        topo in arb_sc_topology(),
+        ticks in 10u64..120,
+    ) {
+        let dense = run_scrambler(&topo, EngineMode::Dense, ticks);
+        let sparse = run_scrambler(&topo, EngineMode::Sparse, ticks);
+        let parallel = run_scrambler(&topo, EngineMode::Parallel, ticks);
+        prop_assert_eq!(&dense, &sparse, "dense vs sparse");
+        prop_assert_eq!(&dense, &parallel, "dense vs parallel");
+    }
+}

@@ -1,0 +1,159 @@
+//! Port-path codec.
+//!
+//! A snake body encodes a path as a sequence of `(out-port, in-port)` hops
+//! (§2.3). The master computer reassembles these into [`PortPath`]s, which
+//! serve as the globally unique, reproducible processor names of the GTD
+//! protocol ("the canonical shortest path", Definition 4.1).
+
+use crate::chars::Hop;
+use gtd_netsim::{NodeId, Port, Topology};
+use serde::{Deserialize, Serialize};
+
+/// A path through the network as port pairs, relative to some start node.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct PortPath {
+    hops: Vec<(Port, Port)>,
+}
+
+impl PortPath {
+    /// The empty path (names the start node itself).
+    pub fn empty() -> Self {
+        PortPath::default()
+    }
+
+    /// Build from complete hops; panics on an unfilled `∗`.
+    pub fn from_hops(hops: impl IntoIterator<Item = Hop>) -> Self {
+        PortPath {
+            hops: hops
+                .into_iter()
+                .map(|h| (h.out_port, h.in_port.expect("path hop with unfilled ∗")))
+                .collect(),
+        }
+    }
+
+    /// Build from explicit `(out, in)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Port, Port)>) -> Self {
+        PortPath { hops: pairs.into_iter().collect() }
+    }
+
+    /// Append one hop.
+    pub fn push(&mut self, out_port: Port, in_port: Port) {
+        self.hops.push((out_port, in_port));
+    }
+
+    /// Number of hops.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Is this the empty path?
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// The hops as `(out-port, in-port)` pairs.
+    pub fn pairs(&self) -> &[(Port, Port)] {
+        &self.hops
+    }
+
+    /// Just the out-port sequence (enough to walk the path forward).
+    pub fn out_ports(&self) -> Vec<Port> {
+        self.hops.iter().map(|&(o, _)| o).collect()
+    }
+
+    /// Resolve the path against a ground-truth topology, checking that every
+    /// recorded in-port matches the wire actually walked. Returns the node
+    /// reached. Used to translate master-computer names back to simulator
+    /// node ids during verification.
+    pub fn resolve(&self, topo: &Topology, from: NodeId) -> Option<NodeId> {
+        let mut cur = from;
+        for &(o, i) in &self.hops {
+            let ep = topo.out_endpoint(cur, o)?;
+            if ep.port != i {
+                return None;
+            }
+            cur = ep.node;
+        }
+        Some(cur)
+    }
+}
+
+impl std::fmt::Display for PortPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.hops.is_empty() {
+            return f.write_str("ε");
+        }
+        for (k, (o, i)) in self.hops.iter().enumerate() {
+            if k > 0 {
+                f.write_str("·")?;
+            }
+            write!(f, "({},{})", o.0, i.0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtd_netsim::generators;
+
+    #[test]
+    fn empty_path_resolves_to_self() {
+        let t = generators::ring(3);
+        let p = PortPath::empty();
+        assert_eq!(p.resolve(&t, NodeId(1)), Some(NodeId(1)));
+        assert!(p.is_empty());
+        assert_eq!(format!("{p}"), "ε");
+    }
+
+    #[test]
+    fn path_resolves_along_ring() {
+        let t = generators::ring(4);
+        // every hop uses out-port 0 / in-port 0 on a ring built with connect_auto
+        let p = PortPath::from_pairs([(Port(0), Port(0)), (Port(0), Port(0))]);
+        assert_eq!(p.resolve(&t, NodeId(0)), Some(NodeId(2)));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn mismatched_in_port_fails_resolution() {
+        let t = generators::ring(4);
+        let p = PortPath::from_pairs([(Port(0), Port(1))]); // real wire lands on in-port 0
+        assert_eq!(p.resolve(&t, NodeId(0)), None);
+    }
+
+    #[test]
+    fn unwired_out_port_fails_resolution() {
+        let t = generators::ring(4);
+        let p = PortPath::from_pairs([(Port(1), Port(0))]);
+        assert_eq!(p.resolve(&t, NodeId(0)), None);
+    }
+
+    #[test]
+    fn from_hops_and_display() {
+        let p = PortPath::from_hops([Hop::new(Port(1), Port(2)), Hop::new(Port(0), Port(3))]);
+        assert_eq!(p.pairs(), &[(Port(1), Port(2)), (Port(0), Port(3))]);
+        assert_eq!(p.out_ports(), vec![Port(1), Port(0)]);
+        assert_eq!(format!("{p}"), "(1,2)·(0,3)");
+    }
+
+    #[test]
+    #[should_panic(expected = "unfilled")]
+    fn star_hop_panics() {
+        let _ = PortPath::from_hops([Hop::star(Port(0))]);
+    }
+
+    #[test]
+    fn paths_order_and_hash_as_names() {
+        use std::collections::HashSet;
+        let a = PortPath::from_pairs([(Port(0), Port(0))]);
+        let b = PortPath::from_pairs([(Port(0), Port(1))]);
+        let mut set = HashSet::new();
+        set.insert(a.clone());
+        set.insert(b.clone());
+        set.insert(a.clone());
+        assert_eq!(set.len(), 2);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,169 @@
+//! Speeds (paper §2.1).
+//!
+//! "A speed-1 construct will enter a processor. It will then remain there
+//! for 3 global clock ticks. At the third clock tick, it will proceed along
+//! its designated path. Similarly, a speed-3 construct will wait only 1
+//! global clock tick."
+//!
+//! Our tick convention: a character received as input at tick *t* is
+//! re-emitted as output at tick *t + dwell* and therefore received by the
+//! next processor at *t + dwell + 1*. With [`SPEED1_DWELL`] = 2 a speed-1
+//! construct advances one hop every 3 ticks; with [`SPEED3_DWELL`] = 0 a
+//! speed-3 construct advances one hop per tick — exactly the paper's 3:1
+//! ratio that Lemma 4.2's catch-up argument needs.
+//!
+//! Because consecutive snake characters can be spaced as little as one tick
+//! apart (a newborn snake is head-then-tail on consecutive ticks, §2.3.2),
+//! several characters of the same snake may dwell in one processor at once.
+//! [`DwellQueue`] holds them in FIFO order with per-item deadlines. The
+//! queue's occupancy is bounded by a small constant (the emission rate
+//! equals the arrival rate, at most one per tick), so the processor stays
+//! finite-state; [`DwellQueue::HARD_CAP`] turns any violation of that
+//! reasoning into a loud failure instead of silent unbounded memory.
+
+use std::collections::VecDeque;
+
+/// Ticks a speed-1 construct dwells between reception and re-emission.
+pub const SPEED1_DWELL: u64 = 2;
+
+/// Ticks a speed-3 construct dwells between reception and re-emission.
+pub const SPEED3_DWELL: u64 = 0;
+
+/// A FIFO of items with emission deadlines, preserving arrival order.
+///
+/// Deadlines must be pushed in non-decreasing order (streams cannot
+/// overtake themselves); this is asserted.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DwellQueue<T> {
+    items: VecDeque<(u64, T)>,
+}
+
+impl<T> Default for DwellQueue<T> {
+    fn default() -> Self {
+        DwellQueue { items: VecDeque::new() }
+    }
+}
+
+impl<T> DwellQueue<T> {
+    /// Finite-state guard: a correct protocol never holds more than a
+    /// handful of characters per construct per processor (analysis in the
+    /// module docs says ≲ 4). Exceeding this means the automaton is no
+    /// longer finite-state — fail loudly.
+    pub const HARD_CAP: usize = 16;
+
+    /// New empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `item` for emission at `deadline`.
+    pub fn push(&mut self, deadline: u64, item: T) {
+        if let Some(&(last, _)) = self.items.back() {
+            assert!(
+                deadline >= last,
+                "DwellQueue deadlines must be non-decreasing ({deadline} < {last})"
+            );
+        }
+        self.items.push_back((deadline, item));
+        assert!(
+            self.items.len() <= Self::HARD_CAP,
+            "DwellQueue overflow: the automaton is no longer finite-state"
+        );
+    }
+
+    /// Pop the next item whose deadline is ≤ `now`, if any.
+    pub fn pop_due(&mut self, now: u64) -> Option<T> {
+        match self.items.front() {
+            Some(&(deadline, _)) if deadline <= now => self.items.pop_front().map(|(_, t)| t),
+            _ => None,
+        }
+    }
+
+    /// Earliest pending deadline.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.items.front().map(|&(d, _)| d)
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Drop everything (KILL-token erasure).
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Iterate over pending `(deadline, item)` pairs (diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = &(u64, T)> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speed_ratio_is_three() {
+        // hop latency = dwell + 1 wire tick
+        assert_eq!((SPEED1_DWELL + 1) / (SPEED3_DWELL + 1), 3);
+    }
+
+    #[test]
+    fn pop_respects_deadlines_and_order() {
+        let mut q = DwellQueue::new();
+        q.push(5, 'a');
+        q.push(5, 'b');
+        q.push(7, 'c');
+        assert_eq!(q.pop_due(4), None);
+        assert_eq!(q.pop_due(5), Some('a'));
+        assert_eq!(q.pop_due(5), Some('b'));
+        assert_eq!(q.pop_due(5), None); // 'c' not due yet
+        assert_eq!(q.pop_due(8), Some('c'));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn late_pop_still_fifo() {
+        let mut q = DwellQueue::new();
+        q.push(1, 1);
+        q.push(2, 2);
+        assert_eq!(q.pop_due(10), Some(1));
+        assert_eq!(q.pop_due(10), Some(2));
+    }
+
+    #[test]
+    fn next_deadline_and_len() {
+        let mut q = DwellQueue::new();
+        assert_eq!(q.next_deadline(), None);
+        q.push(3, ());
+        q.push(4, ());
+        assert_eq!(q.next_deadline(), Some(3));
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_deadline_panics() {
+        let mut q = DwellQueue::new();
+        q.push(5, ());
+        q.push(4, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite-state")]
+    fn overflow_panics() {
+        let mut q = DwellQueue::new();
+        for i in 0..=DwellQueue::<u32>::HARD_CAP as u64 {
+            q.push(i, 0u32);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Mapping a bidirectional network with directional link failures
+//! (paper §1.2.2: "bidirectional networks with in-port or out-port
+//! shutdown failures at individual processors").
+//!
+//! ```text
+//! cargo run --release -p gtd-core --example faulty_bidirectional
+//! ```
+//!
+//! A healthy data-centre-style grid is fully bidirectional; after
+//! failures, individual *directions* die independently, leaving a
+//! genuinely directed network that ordinary bidirectional discovery cannot
+//! map. GTD maps it anyway — and this example shows the failure sweep:
+//! the same grid at increasing fault rates, with the surviving edge count
+//! and mapping cost.
+
+use gtd_core::run_gtd;
+use gtd_netsim::{algo, generators, EngineMode, NodeId};
+
+fn main() {
+    let (w, h) = (5usize, 4usize);
+    println!("grid {w}x{h}: sweeping directional fault probability\n");
+    println!(
+        "{:>6} {:>7} {:>7} {:>5} {:>9} {:>9} {:>11}",
+        "p", "links", "lost", "D", "ticks", "RCAs", "map"
+    );
+    let full = 2 * (w * (h - 1) + h * (w - 1));
+    for p in [0.0, 0.1, 0.2, 0.3, 0.4] {
+        let topo = generators::bidi_grid_faulty(w, h, p, 42);
+        let d = algo::diameter(&topo);
+        let run = run_gtd(&topo, EngineMode::Sparse).expect("terminates");
+        let exact = run.map.verify_against(&topo, NodeId(0)).is_ok();
+        println!(
+            "{:>6.2} {:>7} {:>7} {:>5} {:>9} {:>9} {:>11}",
+            p,
+            topo.num_edges(),
+            full - topo.num_edges(),
+            d,
+            run.ticks,
+            run.stats.rcas(),
+            if exact { "exact" } else { "WRONG" }
+        );
+        assert!(exact);
+        assert!(run.clean_at_end);
+    }
+    println!("\nevery surviving one-way link was discovered with its exact port pair —");
+    println!("the DFS token crosses each edge forward once and returns via the BCA,");
+    println!("so asymmetry costs time but never correctness.");
+}

@@ -1,0 +1,87 @@
+//! The three mappers — GTD (finite-state), B2 (unbounded-memory DFS) and
+//! B1 (unbounded-message flood) — must discover literally the same wires,
+//! and their costs must order the way DESIGN.md §2 predicts.
+
+use gtd_baselines::{flood_echo, source_routed_dfs};
+use gtd_core::run_gtd;
+use gtd_netsim::{algo, generators, EngineMode, NodeId};
+
+#[test]
+fn all_three_mappers_agree_on_the_edge_set() {
+    for seed in 0..10 {
+        let topo = generators::random_sc(30, 3, seed);
+        let truth = topo.sorted_edges();
+
+        let run = run_gtd(&topo, EngineMode::Sparse).unwrap();
+        run.map.verify_against(&topo, NodeId(0)).unwrap();
+
+        let b2 = source_routed_dfs(&topo, NodeId(0));
+        assert_eq!(b2.edges, truth, "B2 seed {seed}");
+
+        let b1 = flood_echo(&topo, NodeId(0));
+        assert_eq!(b1.edges, truth, "B1 seed {seed}");
+    }
+}
+
+#[test]
+fn cost_ordering_matches_design_predictions() {
+    for seed in 0..5 {
+        let topo = generators::random_sc(40, 3, seed);
+        let d = algo::diameter(&topo) as u64;
+        let e = topo.num_edges() as u64;
+
+        let gtd = run_gtd(&topo, EngineMode::Sparse).unwrap().ticks;
+        let b2 = source_routed_dfs(&topo, NodeId(0)).rounds;
+        let b1 = flood_echo(&topo, NodeId(0)).rounds;
+
+        // B1 = O(D): by far the fastest.
+        assert!(b1 <= d + 2, "B1 {b1} > D+2");
+        // B2 = Θ(E·avg-d): between the two.
+        assert!(b2 >= e, "B2 {b2} < E {e}");
+        assert!(b2 <= e * (d + 1), "B2 {b2} > E(D+1)");
+        // GTD pays the finite-state tax on top of B2's walk.
+        assert!(gtd > b2, "GTD {gtd} should exceed B2 {b2}");
+        assert!(gtd > b1 * 10, "GTD {gtd} should dwarf B1 {b1}");
+        // …but stays within its O(E·D) envelope.
+        assert!(gtd <= 60 * e * (d + 1), "GTD {gtd} outside O(E*D) envelope");
+    }
+}
+
+#[test]
+fn flood_hides_enormous_bandwidth() {
+    // The "unbounded message size" assumption is what B1 buys speed with;
+    // make the hidden cost visible and strictly larger than GTD's, which
+    // ships one constant-size character per wire per tick.
+    let topo = generators::random_sc(40, 3, 1);
+    let b1 = flood_echo(&topo, NodeId(0));
+    let per_round_records = b1.records_shipped / b1.rounds.max(1);
+    assert!(
+        per_round_records as usize > topo.num_edges(),
+        "flooding ships whole edge-sets per wire per round"
+    );
+}
+
+#[test]
+fn baselines_handle_structured_families() {
+    for topo in [
+        generators::ring(12),
+        generators::torus(4, 4),
+        generators::debruijn(2, 4),
+        generators::tree_loop_random(3, 5),
+        generators::line_bidi(9),
+    ] {
+        assert!(source_routed_dfs(&topo, NodeId(0)).verify_against(&topo));
+        assert!(flood_echo(&topo, NodeId(0)).verify_against(&topo));
+    }
+}
+
+#[test]
+fn gtd_and_b2_walk_the_same_number_of_edges() {
+    // Both perform the identical DFS edge walk; their forward-move counts
+    // must both equal E exactly.
+    let topo = generators::random_sc(25, 4, 2);
+    let run = run_gtd(&topo, EngineMode::Sparse).unwrap();
+    let b2 = source_routed_dfs(&topo, NodeId(0));
+    assert_eq!(run.stats.edges_reported() as u64, b2.forward_moves);
+    assert_eq!(b2.forward_moves as usize, topo.num_edges());
+}

@@ -1,0 +1,107 @@
+//! Property-based tests spanning the whole stack: random networks in,
+//! protocol guarantees out. These are the strongest correctness artillery
+//! in the repository — every property is a paper claim.
+
+use gtd_core::events::TranscriptEvent;
+use gtd_core::{run_gtd, run_single_rca, ProtocolNode, StartBehavior};
+use gtd_netsim::{algo, generators, Engine, EngineMode, NodeId};
+use gtd_snake::PortPath;
+use proptest::prelude::*;
+
+fn arb_topology() -> impl Strategy<Value = gtd_netsim::Topology> {
+    (4usize..28, 2u8..5, 0u64..1_000_000).prop_map(|(n, d, seed)| {
+        generators::random_sc(n, d, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Theorem 4.1: the reconstructed map equals the network, always.
+    #[test]
+    fn gtd_maps_any_random_network(topo in arb_topology()) {
+        let run = run_gtd(&topo, EngineMode::Sparse).expect("terminates");
+        run.map.verify_against(&topo, NodeId(0)).expect("exact");
+        prop_assert!(run.clean_at_end);
+        prop_assert_eq!(run.stats.edges_reported(), topo.num_edges());
+    }
+
+    /// Lemma 4.3: a single RCA's tick count is linear in the loop length,
+    /// with the implementation's constant (≈ 11, asserted ≤ 14) + setup.
+    #[test]
+    fn rca_cost_linear(topo in arb_topology(), a_raw in 1u32..28) {
+        let a = NodeId(1 + a_raw % (topo.num_nodes() as u32 - 1));
+        let probe = run_single_rca(&topo, a, EngineMode::Sparse).expect("completes");
+        prop_assert!(probe.clean_at_end);
+        let l = (probe.dist_to_root + probe.dist_from_root) as u64;
+        prop_assert!(probe.ticks >= 3 * l, "speed-1 floor violated");
+        prop_assert!(probe.ticks <= 14 * l + 40, "O(D) ceiling violated: {} vs L={}", probe.ticks, l);
+    }
+
+    /// Definition 4.1 determinism: the canonical paths the RCA transcribes
+    /// equal the tie-broken BFS paths predicted from ground truth.
+    #[test]
+    fn rca_paths_are_canonical(topo in arb_topology(), a_raw in 1u32..28) {
+        let a = NodeId(1 + a_raw % (topo.num_nodes() as u32 - 1));
+        let mut engine = Engine::new(&topo, EngineMode::Dense, |meta| {
+            let start = if meta.id == a { StartBehavior::SingleRca } else { StartBehavior::Passive };
+            ProtocolNode::new(&meta, start)
+        });
+        let mut ig = Vec::new();
+        let mut id = Vec::new();
+        let (events, fired) = engine.run_until(3_000_000, |&(_, ev)| ev == TranscriptEvent::RcaComplete);
+        prop_assert!(fired, "RCA did not complete");
+        for (_, ev) in events {
+            match ev {
+                TranscriptEvent::IgHop(h) => ig.push(h),
+                TranscriptEvent::IdHop(h) => id.push(h),
+                _ => {}
+            }
+        }
+        let got_in = PortPath::from_hops(ig);
+        let got_out = PortPath::from_hops(id);
+        let want_in = PortPath::from_pairs(algo::canonical_path(&topo, a, NodeId(0)).unwrap());
+        let want_out = PortPath::from_pairs(algo::canonical_path(&topo, NodeId(0), a).unwrap());
+        prop_assert_eq!(got_in, want_in, "A->root path not canonical");
+        prop_assert_eq!(got_out, want_out, "root->A path not canonical");
+    }
+
+    /// The three engine strategies are observationally identical.
+    #[test]
+    fn engine_modes_agree(topo in arb_topology()) {
+        let dense = run_gtd(&topo, EngineMode::Dense).expect("dense terminates");
+        let sparse = run_gtd(&topo, EngineMode::Sparse).expect("sparse terminates");
+        prop_assert_eq!(&dense.events, &sparse.events);
+        prop_assert_eq!(dense.ticks, sparse.ticks);
+    }
+
+    /// The map materializes into a valid Topology with identical shape.
+    #[test]
+    fn map_materializes(topo in arb_topology()) {
+        let run = run_gtd(&topo, EngineMode::Sparse).expect("terminates");
+        let rebuilt = run.map.to_topology().expect("valid topology");
+        prop_assert_eq!(rebuilt.num_nodes(), topo.num_nodes());
+        prop_assert_eq!(rebuilt.num_edges(), topo.num_edges());
+        // degree multiset must match (names permute nodes, degrees don't lie)
+        let mut a: Vec<usize> = topo.node_ids().map(|v| topo.out_degree(v)).collect();
+        let mut b: Vec<usize> = rebuilt.node_ids().map(|v| rebuilt.out_degree(v)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Canonical-path naming is stable across repeated RCAs from the same
+    /// initiator (Definition 4.1's "always produces the same canonical
+    /// shortest path").
+    #[test]
+    fn canonical_paths_stable_across_runs(topo in arb_topology(), a_raw in 1u32..28) {
+        let a = NodeId(1 + a_raw % (topo.num_nodes() as u32 - 1));
+        let p1 = run_single_rca(&topo, a, EngineMode::Sparse).unwrap();
+        let p2 = run_single_rca(&topo, a, EngineMode::Sparse).unwrap();
+        prop_assert_eq!(p1.ticks, p2.ticks);
+    }
+}

@@ -1,0 +1,177 @@
+//! End-to-end Global Topology Determination runs across graph families,
+//! seeds, roots and engine modes — Theorem 4.1 at integration scope.
+
+use gtd_core::{run_gtd, TranscriptEvent};
+use gtd_netsim::{algo, generators, EngineMode, NodeId, Topology, TopologyBuilder};
+
+fn assert_exact(topo: &Topology, mode: EngineMode) -> gtd_core::GtdRun {
+    let run = run_gtd(topo, mode).expect("protocol terminates");
+    run.map.verify_against(topo, NodeId(0)).expect("map is exact");
+    assert!(run.clean_at_end, "Lemma 4.2 violated");
+    assert!(run.all_visited, "DFS must visit every processor");
+    run
+}
+
+#[test]
+fn structured_families_map_exactly() {
+    for topo in [
+        generators::ring(2),
+        generators::ring(9),
+        generators::line_bidi(7),
+        generators::torus(3, 3),
+        generators::torus(5, 1),
+        generators::debruijn(2, 3),
+        generators::debruijn(3, 2),
+        generators::tree_loop(2, &[0, 1, 2, 3]),
+        generators::tree_loop(2, &[3, 1, 0, 2]),
+        generators::complete_bidi(4),
+        generators::bidi_grid_faulty(4, 3, 0.25, 7),
+    ] {
+        assert_exact(&topo, EngineMode::Sparse);
+    }
+}
+
+#[test]
+fn random_networks_many_seeds() {
+    for seed in 0..25 {
+        let topo = generators::random_sc(24, 3, seed);
+        assert_exact(&topo, EngineMode::Sparse);
+    }
+}
+
+#[test]
+fn random_networks_higher_degree() {
+    for seed in 0..6 {
+        let topo = generators::random_sc(40, 6, seed);
+        assert_exact(&topo, EngineMode::Sparse);
+    }
+}
+
+#[test]
+fn transcript_counts_match_edge_counts() {
+    // Theorem 4.1's core accounting: one FORWARD report per edge, one
+    // backwards (BCA) return per edge.
+    for seed in [3u64, 17] {
+        let topo = generators::random_sc(30, 3, seed);
+        let e = topo.num_edges();
+        let run = assert_exact(&topo, EngineMode::Sparse);
+        assert_eq!(run.stats.edges_reported(), e, "one FORWARD per edge");
+        assert_eq!(run.stats.backs + run.stats.local_backs, e, "one BCA return per edge");
+        assert_eq!(run.stats.bcas(), e);
+    }
+}
+
+#[test]
+fn all_modes_produce_identical_transcripts() {
+    let topo = generators::random_sc(20, 3, 11);
+    let dense = run_gtd(&topo, EngineMode::Dense).unwrap();
+    let sparse = run_gtd(&topo, EngineMode::Sparse).unwrap();
+    let parallel = run_gtd(&topo, EngineMode::Parallel).unwrap();
+    assert_eq!(dense.events, sparse.events, "dense vs sparse transcripts differ");
+    assert_eq!(dense.events, parallel.events, "dense vs parallel transcripts differ");
+    assert_eq!(dense.ticks, sparse.ticks);
+    assert_eq!(dense.ticks, parallel.ticks);
+}
+
+#[test]
+fn repeated_runs_are_deterministic() {
+    let topo = generators::random_sc(25, 3, 5);
+    let a = run_gtd(&topo, EngineMode::Sparse).unwrap();
+    let b = run_gtd(&topo, EngineMode::Sparse).unwrap();
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.ticks, b.ticks);
+}
+
+/// Relabel `topo` so that `new_root` becomes node 0 (the engine's root).
+fn relabel_root(topo: &Topology, new_root: NodeId) -> Topology {
+    let n = topo.num_nodes();
+    let map = |v: NodeId| -> NodeId {
+        if v == new_root {
+            NodeId(0)
+        } else if v == NodeId(0) {
+            new_root
+        } else {
+            v
+        }
+    };
+    let mut b = TopologyBuilder::new(n, topo.delta());
+    for e in topo.edges() {
+        b.connect(map(e.src), e.src_port, map(e.dst), e.dst_port).unwrap();
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn every_root_maps_the_same_network() {
+    let topo = generators::random_sc(14, 3, 9);
+    for root in topo.node_ids() {
+        let relabeled = relabel_root(&topo, root);
+        let run = run_gtd(&relabeled, EngineMode::Sparse)
+            .unwrap_or_else(|e| panic!("root {root}: {e}"));
+        run.map.verify_against(&relabeled, NodeId(0)).expect("exact from every root");
+    }
+}
+
+#[test]
+fn parallel_edges_and_two_cycles_mapped() {
+    // Adversarial small case: double edges both directions plus a 2-cycle.
+    let mut b = TopologyBuilder::new(3, 4);
+    for (u, v) in [(0u32, 1u32), (0, 1), (1, 0), (1, 0), (1, 2), (2, 0), (0, 2), (2, 1)] {
+        b.connect_auto(NodeId(u), NodeId(v)).unwrap();
+    }
+    let topo = b.build().unwrap();
+    let run = assert_exact(&topo, EngineMode::Dense);
+    assert_eq!(run.map.num_edges(), 8);
+}
+
+#[test]
+fn ticks_scale_linearly_in_e_times_d() {
+    // Lemma 4.4 as a test: the normalized cost stays within a narrow band.
+    let mut ratios = Vec::new();
+    for n in [12usize, 24, 36] {
+        let topo = generators::ring(n);
+        let run = assert_exact(&topo, EngineMode::Sparse);
+        let ed = (topo.num_edges() * algo::diameter(&topo) as usize) as f64;
+        ratios.push(run.ticks as f64 / ed);
+    }
+    let (lo, hi) = (
+        ratios.iter().cloned().fold(f64::MAX, f64::min),
+        ratios.iter().cloned().fold(0.0, f64::max),
+    );
+    assert!(hi / lo < 1.5, "O(E*D) band too wide: {ratios:?}");
+}
+
+#[test]
+fn transcript_replays_through_independent_master() {
+    // The events captured in the run can be replayed into a fresh master
+    // computer and produce the identical map (transcript completeness).
+    let topo = generators::random_sc(18, 3, 4);
+    let run = run_gtd(&topo, EngineMode::Sparse).unwrap();
+    let mut master = gtd_core::MasterComputer::new();
+    for &ev in &run.events {
+        master.feed(ev).expect("replay decodes");
+    }
+    let map = master.into_map().expect("replay terminates");
+    assert_eq!(map, run.map);
+}
+
+#[test]
+fn terminated_event_is_last_and_unique() {
+    let topo = generators::random_sc(16, 3, 8);
+    let run = run_gtd(&topo, EngineMode::Sparse).unwrap();
+    let terms = run
+        .events
+        .iter()
+        .filter(|&&e| e == TranscriptEvent::Terminated)
+        .count();
+    assert_eq!(terms, 1);
+    assert_eq!(*run.events.last().unwrap(), TranscriptEvent::Terminated);
+    assert_eq!(*run.events.first().unwrap(), TranscriptEvent::Start);
+}
+
+#[test]
+fn kautz_and_hypercube_families_map_exactly() {
+    for topo in [generators::kautz(2, 2), generators::kautz(2, 3), generators::hypercube_bidi(3)] {
+        assert_exact(&topo, EngineMode::Sparse);
+    }
+}
