@@ -44,7 +44,12 @@ pub fn flood_echo(topo: &Topology, root: NodeId) -> FloodOutcome {
     let mut records = 0u64;
     for v in topo.node_ids() {
         for (in_port, ep) in topo.in_edges(v) {
-            know[v.idx()].insert(Edge { src: ep.node, src_port: ep.port, dst: v, dst_port: in_port });
+            know[v.idx()].insert(Edge {
+                src: ep.node,
+                src_port: ep.port,
+                dst: v,
+                dst_port: in_port,
+            });
             messages += 1; // the (id, out-port) announcement on this wire
             records += 1;
         }
@@ -71,7 +76,12 @@ pub fn flood_echo(topo: &Topology, root: NodeId) -> FloodOutcome {
         );
     }
     let edges: Vec<Edge> = know[root.idx()].iter().copied().collect();
-    FloodOutcome { rounds, edges, messages, records_shipped: records }
+    FloodOutcome {
+        rounds,
+        edges,
+        messages,
+        records_shipped: records,
+    }
 }
 
 impl FloodOutcome {

@@ -32,4 +32,3 @@ pub use lower_bound::{
     signal_alphabet_log2, transcript_capacity_log2, tree_loop_params, TreeLoopParams,
 };
 pub use routed_dfs::{source_routed_dfs, RoutedDfsOutcome};
-

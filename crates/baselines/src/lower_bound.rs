@@ -37,7 +37,13 @@ pub fn tree_loop_params(height: u32) -> TreeLoopParams {
     let leaves = 1u64 << height;
     let n = (1u64 << (height + 1)) - 1;
     let log2n = 64 - n.leading_zeros() as u64; // ⌈log₂(n+1)⌉
-    TreeLoopParams { height, leaves, n, diameter_bound: 2 * log2n + 1, delta: 3 }
+    TreeLoopParams {
+        height,
+        leaves,
+        n,
+        diameter_bound: 2 * log2n + 1,
+        delta: 3,
+    }
 }
 
 /// A conservative lower bound on log₂ G(N) for the height-h family:
@@ -87,7 +93,12 @@ pub fn canonical_map_key(topo: &Topology, root: NodeId) -> Vec<(u64, Port, u64, 
     // Name nodes by their canonical path, ordered lexicographically.
     let mut paths: Vec<(Vec<(Port, Port)>, NodeId)> = topo
         .node_ids()
-        .map(|v| (algo::canonical_path(topo, root, v).expect("strongly connected"), v))
+        .map(|v| {
+            (
+                algo::canonical_path(topo, root, v).expect("strongly connected"),
+                v,
+            )
+        })
         .collect();
     paths.sort();
     let mut name = vec![0u64; topo.num_nodes()];
@@ -140,7 +151,11 @@ mod tests {
             let t = generators::tree_loop_random(h, 0);
             assert_eq!(t.num_nodes() as u64, p.n);
             let d = algo::diameter(&t) as u64;
-            assert!(d <= p.diameter_bound, "h={h}: D={d} > bound {}", p.diameter_bound);
+            assert!(
+                d <= p.diameter_bound,
+                "h={h}: D={d} > bound {}",
+                p.diameter_bound
+            );
         }
     }
 
@@ -160,8 +175,14 @@ mod tests {
     #[test]
     fn alphabet_is_constant_in_n() {
         let a = signal_alphabet_log2(3);
-        assert!(a > 1.0 && a < 64.0, "log2|I| = {a} should be a small constant");
-        assert!(signal_alphabet_log2(8) > a, "alphabet grows with delta only");
+        assert!(
+            a > 1.0 && a < 64.0,
+            "log2|I| = {a} should be a small constant"
+        );
+        assert!(
+            signal_alphabet_log2(8) > a,
+            "alphabet grows with delta only"
+        );
     }
 
     #[test]
@@ -200,6 +221,9 @@ mod tests {
     fn canonical_key_invariant_under_member_identity() {
         let a = generators::tree_loop(2, &[0, 1, 2, 3]);
         let b = generators::tree_loop(2, &[0, 1, 2, 3]);
-        assert_eq!(canonical_map_key(&a, NodeId(0)), canonical_map_key(&b, NodeId(0)));
+        assert_eq!(
+            canonical_map_key(&a, NodeId(0)),
+            canonical_map_key(&b, NodeId(0))
+        );
     }
 }

@@ -53,7 +53,12 @@ pub fn source_routed_dfs(topo: &Topology, root: NodeId) -> RoutedDfsOutcome {
             rounds += 1;
             forward_moves += 1;
             messages += 1;
-            edges.push(Edge { src: cur, src_port: o, dst: ep.node, dst_port: ep.port });
+            edges.push(Edge {
+                src: cur,
+                src_port: o,
+                dst: ep.node,
+                dst_port: ep.port,
+            });
             if !visited[ep.node.idx()] {
                 visited[ep.node.idx()] = true;
                 parent[ep.node.idx()] = Some(cur);
@@ -79,7 +84,13 @@ pub fn source_routed_dfs(topo: &Topology, root: NodeId) -> RoutedDfsOutcome {
         }
     }
     edges.sort_unstable();
-    RoutedDfsOutcome { rounds, edges, forward_moves, backward_moves, messages }
+    RoutedDfsOutcome {
+        rounds,
+        edges,
+        forward_moves,
+        backward_moves,
+        messages,
+    }
 }
 
 impl RoutedDfsOutcome {
@@ -122,7 +133,12 @@ mod tests {
             let d = algo::diameter(&t) as u64;
             let e = t.num_edges() as u64;
             let out = source_routed_dfs(&t, NodeId(0));
-            assert!(out.rounds <= e * (d + 1), "rounds {} > E(D+1) {}", out.rounds, e * (d + 1));
+            assert!(
+                out.rounds <= e * (d + 1),
+                "rounds {} > E(D+1) {}",
+                out.rounds,
+                e * (d + 1)
+            );
             assert!(out.rounds >= e, "at least one round per edge");
         }
     }

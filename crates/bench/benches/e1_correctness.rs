@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gtd_bench::core_families;
-use gtd_core::run_gtd;
-use gtd_netsim::{EngineMode, NodeId};
+use gtd_core::GtdSession;
+use gtd_netsim::NodeId;
 use std::hint::black_box;
 
 fn bench_e1(c: &mut Criterion) {
@@ -13,7 +13,7 @@ fn bench_e1(c: &mut Criterion) {
     for w in core_families(1) {
         g.bench_with_input(BenchmarkId::from_parameter(&w.name), &w.topo, |b, topo| {
             b.iter(|| {
-                let run = run_gtd(black_box(topo), EngineMode::Sparse).expect("terminates");
+                let run = GtdSession::on(black_box(topo)).run().expect("terminates");
                 run.map.verify_against(topo, NodeId(0)).expect("exact");
                 black_box(run.ticks)
             })

@@ -4,8 +4,8 @@
 //! numbers across sizes confirm the O(E·D) shape in wall-clock terms too.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use gtd_core::run_gtd;
-use gtd_netsim::{algo, generators, EngineMode};
+use gtd_core::GtdSession;
+use gtd_netsim::{algo, generators};
 use std::hint::black_box;
 
 fn bench_e2(c: &mut Criterion) {
@@ -16,7 +16,7 @@ fn bench_e2(c: &mut Criterion) {
         let ed = topo.num_edges() as u64 * algo::diameter(&topo) as u64;
         g.throughput(Throughput::Elements(ed));
         g.bench_with_input(BenchmarkId::from_parameter(n), &topo, |b, topo| {
-            b.iter(|| black_box(run_gtd(black_box(topo), EngineMode::Sparse).unwrap().ticks))
+            b.iter(|| black_box(GtdSession::on(black_box(topo)).run().unwrap().ticks))
         });
     }
     g.finish();
@@ -28,7 +28,7 @@ fn bench_e2(c: &mut Criterion) {
         let ed = (n * (n - 1)) as u64;
         g.throughput(Throughput::Elements(ed));
         g.bench_with_input(BenchmarkId::from_parameter(n), &topo, |b, topo| {
-            b.iter(|| black_box(run_gtd(black_box(topo), EngineMode::Sparse).unwrap().ticks))
+            b.iter(|| black_box(GtdSession::on(black_box(topo)).run().unwrap().ticks))
         });
     }
     g.finish();

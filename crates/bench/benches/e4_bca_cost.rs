@@ -13,9 +13,8 @@ fn bench_e4(c: &mut Criterion) {
         g.throughput(Throughput::Elements(n as u64));
         g.bench_with_input(BenchmarkId::from_parameter(n), &topo, |b, topo| {
             b.iter(|| {
-                let probe =
-                    run_single_bca(black_box(topo), NodeId(1), Port(0), EngineMode::Sparse)
-                        .unwrap();
+                let probe = run_single_bca(black_box(topo), NodeId(1), Port(0), EngineMode::Sparse)
+                    .unwrap();
                 assert!(probe.clean_at_end);
                 black_box(probe.ticks_delivered)
             })

@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gtd_baselines::{count_distinct_small, family_size_log2, min_ticks_lower_bound};
-use gtd_core::run_gtd;
-use gtd_netsim::{generators, EngineMode};
+use gtd_core::GtdSession;
+use gtd_netsim::generators;
 use std::hint::black_box;
 
 fn bench_e6(c: &mut Criterion) {
@@ -28,7 +28,7 @@ fn bench_e6(c: &mut Criterion) {
     for h in [3u32, 4] {
         let topo = generators::tree_loop_random(h, 3);
         g.bench_with_input(BenchmarkId::from_parameter(h), &topo, |b, topo| {
-            b.iter(|| black_box(run_gtd(black_box(topo), EngineMode::Sparse).unwrap().ticks))
+            b.iter(|| black_box(GtdSession::on(black_box(topo)).run().unwrap().ticks))
         });
     }
     g.finish();

@@ -1,25 +1,30 @@
-//! E7 — GTD vs the idealized mappers on the same workload: the wall-clock
-//! side of the "what does finite-stateness cost" comparison.
+//! E7 — every mapper through the common [`TopologyMapper`] interface on
+//! the same workload: the wall-clock side of the "what does
+//! finite-stateness cost" comparison.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gtd_baselines::{flood_echo, source_routed_dfs};
-use gtd_core::run_gtd;
-use gtd_netsim::{generators, EngineMode, NodeId};
+use gtd::all_mappers;
+use gtd_netsim::{generators, NodeId};
 use std::hint::black_box;
 
 fn bench_e7(c: &mut Criterion) {
     let topo = generators::random_sc(48, 3, 1);
     let mut g = c.benchmark_group("e7_mappers_random48");
     g.sample_size(10);
-    g.bench_with_input(BenchmarkId::from_parameter("gtd"), &topo, |b, topo| {
-        b.iter(|| black_box(run_gtd(black_box(topo), EngineMode::Sparse).unwrap().ticks))
-    });
-    g.bench_with_input(BenchmarkId::from_parameter("b2_routed_dfs"), &topo, |b, topo| {
-        b.iter(|| black_box(source_routed_dfs(black_box(topo), NodeId(0)).rounds))
-    });
-    g.bench_with_input(BenchmarkId::from_parameter("b1_flood_echo"), &topo, |b, topo| {
-        b.iter(|| black_box(flood_echo(black_box(topo), NodeId(0)).rounds))
-    });
+    for mapper in all_mappers() {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(mapper.name()),
+            &topo,
+            |b, topo| {
+                b.iter(|| {
+                    let run = mapper
+                        .map_network(black_box(topo), NodeId(0))
+                        .expect("maps");
+                    black_box(run.rounds)
+                })
+            },
+        );
+    }
     g.finish();
 }
 

@@ -4,15 +4,13 @@
 //!
 //! With no arguments all experiments run at scale 1. Each experiment
 //! corresponds to one formal claim of the paper (the paper has no empirical
-//! tables/figures — see DESIGN.md §2 for the mapping).
+//! tables/figures — see DESIGN.md §2 for the mapping). All protocol runs go
+//! through [`GtdSession`]; the mapper comparison (E7) runs every mapper
+//! through the [`TopologyMapper`] trait.
 
-use gtd_baselines::{
-    family_size_log2, flood_echo, min_ticks_lower_bound, source_routed_dfs, tree_loop_params,
-};
-use gtd_bench::{
-    core_families, json_line, phase_breakdown, run_gtd_timestamped, Table, Workload,
-};
-use gtd_core::{run_gtd, run_single_bca, run_single_rca};
+use gtd_baselines::{family_size_log2, min_ticks_lower_bound, tree_loop_params};
+use gtd_bench::{core_families, json, json_line, Table, Workload};
+use gtd_core::{run_single_bca, run_single_rca, GtdSession, TranscriptEvent};
 use gtd_netsim::{algo, generators, EngineMode, NodeId, Port};
 use std::io::Write;
 use std::time::Instant;
@@ -93,7 +91,7 @@ fn e1_correctness(out: &mut Out, scale: usize) {
     }
     for w in &workloads {
         let d = algo::diameter(&w.topo);
-        let run = run_gtd(&w.topo, EngineMode::Sparse).expect("protocol terminates");
+        let run = GtdSession::on(&w.topo).run().expect("protocol terminates");
         let ok = run.map.verify_against(&w.topo, NodeId(0)).is_ok();
         t.row(vec![
             w.name.clone(),
@@ -102,11 +100,15 @@ fn e1_correctness(out: &mut Out, scale: usize) {
             d.to_string(),
             run.ticks.to_string(),
             if ok { "exact".into() } else { "WRONG".into() },
-            if run.clean_at_end { "yes".into() } else { "NO".into() },
+            if run.clean_at_end {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
         out.json(json_line(
             "E1",
-            serde_json::json!({
+            json!({
                 "workload": w.name, "n": w.topo.num_nodes(), "e": w.topo.num_edges(),
                 "d": d, "ticks": run.ticks, "exact": ok, "clean": run.clean_at_end,
             }),
@@ -118,8 +120,15 @@ fn e1_correctness(out: &mut Out, scale: usize) {
 /// E2 (Lemma 4.4): total ticks scale as O(E·D).
 fn e2_scaling(out: &mut Out, scale: usize) {
     out.section("E2 — Lemma 4.4: GTD terminates in O(N·D) (measured against E·D)");
-    let mut t =
-        Table::new(&["workload", "N", "E", "D", "ticks", "ticks/(E*D)", "ticks/(N*D)"]);
+    let mut t = Table::new(&[
+        "workload",
+        "N",
+        "E",
+        "D",
+        "ticks",
+        "ticks/(E*D)",
+        "ticks/(N*D)",
+    ]);
     let mut rows: Vec<Workload> = Vec::new();
     for k in 1..=3usize {
         let n = 16 * k * scale;
@@ -133,13 +142,16 @@ fn e2_scaling(out: &mut Out, scale: usize) {
         ));
     }
     for m in 4..=6usize {
-        rows.push(Workload::new(format!("debruijn(2,{m})"), generators::debruijn(2, m)));
+        rows.push(Workload::new(
+            format!("debruijn(2,{m})"),
+            generators::debruijn(2, m),
+        ));
     }
     for w in &rows {
         let d = algo::diameter(&w.topo) as f64;
         let e = w.topo.num_edges() as f64;
         let n = w.topo.num_nodes() as f64;
-        let run = run_gtd(&w.topo, EngineMode::Sparse).expect("terminates");
+        let run = GtdSession::on(&w.topo).run().expect("terminates");
         run.map.verify_against(&w.topo, NodeId(0)).expect("exact");
         t.row(vec![
             w.name.clone(),
@@ -152,7 +164,7 @@ fn e2_scaling(out: &mut Out, scale: usize) {
         ]);
         out.json(json_line(
             "E2",
-            serde_json::json!({
+            json!({
                 "workload": w.name, "n": n, "e": e, "d": d, "ticks": run.ticks,
             }),
         ));
@@ -161,7 +173,7 @@ fn e2_scaling(out: &mut Out, scale: usize) {
     println!("shape check: ticks/(E*D) should stay in a narrow constant band.");
 
     // E2b — the anatomy of the constant: where do the ~33 ticks per
-    // edge-diameter go? Phase shares from the tick-stamped transcript.
+    // edge-diameter go? Phase shares straight off the session's breakdown.
     let mut t = Table::new(&[
         "workload",
         "RCAs",
@@ -171,15 +183,17 @@ fn e2_scaling(out: &mut Out, scale: usize) {
         "report+cleanup %",
     ]);
     for (name, topo) in [
-        (format!("ring(n={})", 24 * scale.min(4)), generators::ring(24 * scale.min(4))),
+        (
+            format!("ring(n={})", 24 * scale.min(4)),
+            generators::ring(24 * scale.min(4)),
+        ),
         (
             format!("random_sc(n={}, d=3)", 48 * scale),
             generators::random_sc(48 * scale, 3, 5),
         ),
         ("debruijn(2,5)".to_string(), generators::debruijn(2, 5)),
     ] {
-        let trace = run_gtd_timestamped(&topo, EngineMode::Sparse);
-        let pb = phase_breakdown(&trace);
+        let pb = GtdSession::on(&topo).run().expect("terminates").phases;
         let tot = pb.total().max(1) as f64;
         t.row(vec![
             name.clone(),
@@ -191,15 +205,16 @@ fn e2_scaling(out: &mut Out, scale: usize) {
         ]);
         out.json(json_line(
             "E2b",
-            serde_json::json!({
+            json!({
                 "workload": name, "rcas": pb.rcas, "search": pb.search,
                 "echo": pb.echo, "mark": pb.mark, "cleanup": pb.report_cleanup,
             }),
         ));
     }
     out.table(&t);
-    println!("search = IG flood; echo = OG+ID round trip; mark = conversions;");
-    println!("report+cleanup = OD marking + loop token + KILL + UNMARK circuits.");
+    println!("echo = OG+ID round trip; mark = conversions; report+cleanup = OD");
+    println!("marking + loop token + KILL + UNMARK circuits (plus the next RCA's");
+    println!("IG transit when RCAs are back-to-back; search = remaining idle gaps).");
 }
 
 /// E3 (Lemma 4.3): one RCA costs O(D) — linear in the marked-loop length.
@@ -219,7 +234,7 @@ fn e3_rca(out: &mut Out, scale: usize) {
         ]);
         out.json(json_line(
             "E3",
-            serde_json::json!({"workload": format!("ring({n})"), "loop": l, "ticks": probe.ticks}),
+            json!({"workload": format!("ring({n})"), "loop": l, "ticks": probe.ticks}),
         ));
     }
     for k in 1..=6usize {
@@ -236,7 +251,7 @@ fn e3_rca(out: &mut Out, scale: usize) {
         ]);
         out.json(json_line(
             "E3",
-            serde_json::json!({"workload": format!("line({n})"), "loop": l, "ticks": probe.ticks}),
+            json!({"workload": format!("line({n})"), "loop": l, "ticks": probe.ticks}),
         ));
     }
     out.table(&t);
@@ -258,11 +273,14 @@ fn e4_bca(out: &mut Out, scale: usize) {
             probe.loop_len.to_string(),
             probe.ticks_initiator.to_string(),
             probe.ticks_delivered.to_string(),
-            format!("{:.2}", probe.ticks_delivered as f64 / probe.loop_len as f64),
+            format!(
+                "{:.2}",
+                probe.ticks_delivered as f64 / probe.loop_len as f64
+            ),
         ]);
         out.json(json_line(
             "E4",
-            serde_json::json!({
+            json!({
                 "workload": format!("ring({n})"), "loop": probe.loop_len,
                 "initiator": probe.ticks_initiator, "delivered": probe.ticks_delivered,
             }),
@@ -284,7 +302,7 @@ fn e5_cleanup(out: &mut Out, scale: usize) {
         "pristine at end",
     ]);
     for w in core_families(scale) {
-        let mut engine = gtd_core::runner::build_gtd_engine(&w.topo, EngineMode::Sparse);
+        let mut engine = gtd_core::build_gtd_engine(&w.topo, EngineMode::Sparse);
         let mut events = Vec::new();
         let mut terminated = false;
         for _ in 0..200_000_000u64 {
@@ -292,7 +310,7 @@ fn e5_cleanup(out: &mut Out, scale: usize) {
             engine.tick(&mut events);
             if events
                 .iter()
-                .any(|&(_, ev)| ev == gtd_core::TranscriptEvent::Terminated)
+                .any(|&(_, ev)| ev == TranscriptEvent::Terminated)
             {
                 terminated = true;
                 break;
@@ -303,7 +321,12 @@ fn e5_cleanup(out: &mut Out, scale: usize) {
         let rcas: u64 = engine.nodes().iter().map(|n| n.stat_rcas_started).sum();
         let bcas: u64 = engine.nodes().iter().map(|n| n.stat_bcas_started).sum();
         let kills: u64 = engine.nodes().iter().map(|n| n.stat_kills_accepted).sum();
-        let maxc: usize = engine.nodes().iter().map(|n| n.stat_max_chars).max().unwrap_or(0);
+        let maxc: usize = engine
+            .nodes()
+            .iter()
+            .map(|n| n.stat_max_chars)
+            .max()
+            .unwrap_or(0);
         let pristine = engine.nodes().iter().all(|n| n.snake_state_pristine())
             && engine.signals_in_flight() == 0;
         t.row(vec![
@@ -316,7 +339,7 @@ fn e5_cleanup(out: &mut Out, scale: usize) {
         ]);
         out.json(json_line(
             "E5",
-            serde_json::json!({
+            json!({
                 "workload": w.name, "rcas": rcas, "bcas": bcas, "kills": kills,
                 "max_chars": maxc, "pristine": pristine,
             }),
@@ -345,7 +368,7 @@ fn e6_lower_bound(out: &mut Out, scale: usize) {
         let (d, ticks) = if run_protocol {
             let topo = generators::tree_loop_random(h, 3);
             let d = algo::diameter(&topo);
-            let run = run_gtd(&topo, EngineMode::Sparse).expect("terminates");
+            let run = GtdSession::on(&topo).run().expect("terminates");
             run.map.verify_against(&topo, NodeId(0)).expect("exact");
             (d.to_string(), Some(run.ticks))
         } else {
@@ -364,7 +387,7 @@ fn e6_lower_bound(out: &mut Out, scale: usize) {
         ]);
         out.json(json_line(
             "E6",
-            serde_json::json!({
+            json!({
                 "h": h, "n": p.n, "d": d, "log2_g": family_size_log2(h),
                 "min_ticks": bound, "gtd_ticks": ticks,
             }),
@@ -378,49 +401,64 @@ fn e6_lower_bound(out: &mut Out, scale: usize) {
     println!("within an O(D) factor of optimal — the paper's asymptotic-optimality claim.");
 }
 
-/// E7: GTD vs the idealized baselines.
+/// E7: every mapper through the common [`TopologyMapper`] interface.
 fn e7_baselines(out: &mut Out, scale: usize) {
-    out.section("E7 — what finite-stateness costs: GTD vs idealized mappers");
-    let mut t = Table::new(&[
-        "workload",
-        "N",
-        "GTD ticks",
-        "B2 routed-DFS rounds",
-        "B1 flood rounds",
-        "GTD/B2",
-        "GTD/B1",
-    ]);
+    out.section("E7 — what finite-stateness costs: all mappers through TopologyMapper");
+    let mappers = gtd::all_mappers();
+    // Ratio columns are derived from mapper names so reordering or
+    // extending all_mappers() cannot silently mislabel them.
+    let idx_of = |name: &str| mappers.iter().position(|m| m.name() == name);
+    let gtd_idx = idx_of("gtd");
+    let ratio_pairs: Vec<(String, usize, usize)> = ["routed-dfs", "flood-echo"]
+        .iter()
+        .filter_map(|base| {
+            let (g, b) = (gtd_idx?, idx_of(base)?);
+            Some((format!("gtd/{base}"), g, b))
+        })
+        .collect();
+    let mut headers: Vec<String> = vec!["workload".into(), "N".into()];
+    for m in &mappers {
+        headers.push(format!("{} rounds", m.name()));
+    }
+    for (label, _, _) in &ratio_pairs {
+        headers.push(label.clone());
+    }
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&header_refs);
     for w in core_families(scale) {
-        let run = run_gtd(&w.topo, EngineMode::Sparse).expect("terminates");
-        let b2 = source_routed_dfs(&w.topo, NodeId(0));
-        assert!(b2.verify_against(&w.topo));
-        let b1 = flood_echo(&w.topo, NodeId(0));
-        assert!(b1.verify_against(&w.topo));
-        t.row(vec![
-            w.name.clone(),
-            w.topo.num_nodes().to_string(),
-            run.ticks.to_string(),
-            b2.rounds.to_string(),
-            b1.rounds.to_string(),
-            format!("{:.1}", run.ticks as f64 / b2.rounds as f64),
-            format!("{:.0}", run.ticks as f64 / b1.rounds as f64),
-        ]);
-        out.json(json_line(
-            "E7",
-            serde_json::json!({
-                "workload": w.name, "n": w.topo.num_nodes(), "gtd": run.ticks,
-                "b2": b2.rounds, "b1": b1.rounds,
-            }),
-        ));
+        let mut rounds = Vec::new();
+        for m in &mappers {
+            let run = m.map_network(&w.topo, NodeId(0)).expect("mapper succeeds");
+            assert!(
+                run.verify_against(&w.topo),
+                "{} disagrees on {}",
+                m.name(),
+                w.name
+            );
+            out.json(json_line(
+                "E7",
+                json!({
+                    "workload": w.name, "n": w.topo.num_nodes(), "mapper": m.name(),
+                    "rounds": run.rounds, "messages": run.messages,
+                }),
+            ));
+            rounds.push(run.rounds);
+        }
+        let mut row = vec![w.name.clone(), w.topo.num_nodes().to_string()];
+        row.extend(rounds.iter().map(|r| r.to_string()));
+        for &(_, g, b) in &ratio_pairs {
+            row.push(format!("{:.1}", rounds[g] as f64 / rounds[b] as f64));
+        }
+        t.row(row);
     }
     out.table(&t);
-    println!("expected shape: B1 wins by ~N x (unbounded bandwidth), B2 by a constant");
-    println!("factor (same O(E*D) walk without snake machinery).");
+    println!("expected shape: flood-echo wins by ~N x (unbounded bandwidth), routed-dfs");
+    println!("by a constant factor (same O(E*D) walk without snake machinery).");
 }
 
 /// E8: engine strategy ablation.
 fn e8_engine(out: &mut Out, scale: usize) {
-    out.section("E8 — engine ablation: dense vs sparse vs rayon-parallel");
+    out.section("E8 — engine ablation: dense vs sparse vs thread-parallel");
     let mut t = Table::new(&["workload", "mode", "ticks", "wall ms", "Mnode-ticks/s"]);
     let n = 64 * scale;
     let topo = generators::random_sc(n, 3, 2);
@@ -430,7 +468,7 @@ fn e8_engine(out: &mut Out, scale: usize) {
         ("parallel", EngineMode::Parallel),
     ] {
         let t0 = Instant::now();
-        let run = run_gtd(&topo, mode).expect("terminates");
+        let run = GtdSession::on(&topo).mode(mode).run().expect("terminates");
         let wall = t0.elapsed();
         run.map.verify_against(&topo, NodeId(0)).expect("exact");
         let node_ticks = run.ticks as f64 * n as f64;
@@ -443,7 +481,7 @@ fn e8_engine(out: &mut Out, scale: usize) {
         ]);
         out.json(json_line(
             "E8",
-            serde_json::json!({
+            json!({
                 "workload": format!("random_sc({n})"), "mode": name,
                 "ticks": run.ticks, "wall_ms": wall.as_secs_f64() * 1e3,
             }),
@@ -452,7 +490,7 @@ fn e8_engine(out: &mut Out, scale: usize) {
     out.table(&t);
     println!("all modes simulate identical tick sequences; only wall time differs.");
     println!("(a full GTD run is latency-bound: ticks are tiny units of work, so");
-    println!("thread-pool dispatch dominates the parallel mode at these sizes)");
+    println!("thread dispatch dominates the parallel mode at these sizes)");
 
     // Saturated-flood throughput: step a large network through the flood
     // phase of one RCA, where every node is active every tick — the regime
@@ -490,12 +528,12 @@ fn e8_engine(out: &mut Out, scale: usize) {
         ]);
         out.json(json_line(
             "E8b",
-            serde_json::json!({
+            json!({
                 "workload": format!("flood({n})"), "mode": name,
                 "wall_ms": wall.as_secs_f64() * 1e3,
             }),
         ));
     }
     out.table(&t);
-    println!("during flood saturation every node is active; rayon amortizes.");
+    println!("during flood saturation every node is active; the thread fan-out amortizes.");
 }

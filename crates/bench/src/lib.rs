@@ -4,10 +4,19 @@
 //! criterion benches: the workload families of DESIGN.md §8, a plain-text
 //! table writer, and JSON row dumps so EXPERIMENTS.md numbers stay
 //! regenerable.
+//!
+//! Every experiment drives the protocol through the unified
+//! [`GtdSession`](gtd_core::GtdSession) API; the mapper comparisons (E7)
+//! go through [`gtd::TopologyMapper`].
 
-use gtd_core::TranscriptEvent;
+pub mod json;
+
+use gtd_core::{GtdSession, TranscriptEvent};
 use gtd_netsim::{generators, EngineMode, Topology};
-use serde::Serialize;
+
+pub use gtd_core::{phase_breakdown, PhaseBreakdown};
+
+use crate::json::JsonValue;
 
 /// A named workload instance.
 pub struct Workload {
@@ -20,7 +29,10 @@ pub struct Workload {
 impl Workload {
     /// Construct with a formatted name.
     pub fn new(name: impl Into<String>, topo: Topology) -> Self {
-        Workload { name: name.into(), topo }
+        Workload {
+            name: name.into(),
+            topo,
+        }
     }
 }
 
@@ -30,7 +42,10 @@ pub fn core_families(scale: usize) -> Vec<Workload> {
     let s = scale.max(1);
     vec![
         Workload::new(format!("ring(n={})", 16 * s), generators::ring(16 * s)),
-        Workload::new(format!("line_bidi(n={})", 16 * s), generators::line_bidi(16 * s)),
+        Workload::new(
+            format!("line_bidi(n={})", 16 * s),
+            generators::line_bidi(16 * s),
+        ),
         Workload::new(
             format!("torus({}x{})", 4 * s, 4),
             generators::torus(4 * s, 4),
@@ -54,103 +69,15 @@ pub fn core_families(scale: usize) -> Vec<Workload> {
     ]
 }
 
-/// Where a GTD run's ticks go, aggregated over all network RCAs — the
-/// anatomy of the ~33·E·D constant (experiment E2's ablation table).
-///
-/// Phase boundaries are read off the tick-stamped root transcript:
-/// * **search** — gap before the first IgHop of an RCA: the IG flood
-///   travelling A→root (speed-1) plus any DFS/BCA transit;
-/// * **echo** — IgTail→first IdHop: the OG snake growing back out to A and
-///   the ID snake returning (two more speed-1 diameters);
-/// * **mark** — IdHop→IdTail: the ID→OD conversion streaming through;
-/// * **report+cleanup** — IdTail→the next RCA's start (or termination):
-///   OD marking finishing, the FORWARD/BACK token circling, KILL dying
-///   out, UNMARK circling.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize)]
-pub struct PhaseBreakdown {
-    /// Ticks in the search phase (IG floods).
-    pub search: u64,
-    /// Ticks in the echo phase (OG out + ID back).
-    pub echo: u64,
-    /// Ticks streaming conversions at the root.
-    pub mark: u64,
-    /// Ticks reporting and cleaning up (loop token, KILL, UNMARK).
-    pub report_cleanup: u64,
-    /// Network RCAs observed.
-    pub rcas: usize,
-}
-
-impl PhaseBreakdown {
-    /// Total accounted ticks.
-    pub fn total(&self) -> u64 {
-        self.search + self.echo + self.mark + self.report_cleanup
-    }
-}
-
-/// Compute the phase breakdown from a tick-stamped root transcript.
-pub fn phase_breakdown(events: &[(u64, TranscriptEvent)]) -> PhaseBreakdown {
-    let mut out = PhaseBreakdown::default();
-    let mut prev_end = events.first().map_or(0, |&(t, _)| t);
-    let mut i = 0;
-    while i < events.len() {
-        // find the start of the next RCA block (first IgHop)
-        let Some(start) = events[i..]
-            .iter()
-            .position(|&(_, e)| matches!(e, TranscriptEvent::IgHop(_)))
-            .map(|k| i + k)
-        else {
-            break;
-        };
-        let t_start = events[start].0;
-        let find = |from: usize, pred: &dyn Fn(TranscriptEvent) -> bool| {
-            events[from..].iter().position(|&(_, e)| pred(e)).map(|k| from + k)
-        };
-        let Some(ig_tail) = find(start, &|e| e == TranscriptEvent::IgTail) else { break };
-        let Some(id_first) = find(ig_tail, &|e| matches!(e, TranscriptEvent::IdHop(_))) else {
-            break;
-        };
-        let Some(id_tail) = find(id_first, &|e| e == TranscriptEvent::IdTail) else { break };
-        // next block start (or final event) bounds report+cleanup
-        let next = find(id_tail, &|e| {
-            matches!(
-                e,
-                TranscriptEvent::IgHop(_)
-                    | TranscriptEvent::LocalForward { .. }
-                    | TranscriptEvent::LocalBack
-                    | TranscriptEvent::Terminated
-            )
-        })
-        .unwrap_or(events.len() - 1);
-        out.search += t_start.saturating_sub(prev_end);
-        out.echo += events[id_first].0 - events[ig_tail].0;
-        out.mark += (events[ig_tail].0 - t_start) + (events[id_tail].0 - events[id_first].0);
-        out.report_cleanup += events[next].0 - events[id_tail].0;
-        out.rcas += 1;
-        prev_end = events[next].0;
-        i = id_tail + 1;
-    }
-    out
-}
-
-/// Run GTD collecting tick-stamped root events (for [`phase_breakdown`]).
-pub fn run_gtd_timestamped(
-    topo: &Topology,
-    mode: EngineMode,
-) -> Vec<(u64, TranscriptEvent)> {
-    let mut engine = gtd_core::runner::build_gtd_engine(topo, mode);
-    let mut out = Vec::new();
-    let mut events = Vec::new();
-    loop {
-        events.clear();
-        engine.tick(&mut events);
-        for &(_, ev) in &events {
-            out.push((engine.tick_count(), ev));
-        }
-        if matches!(out.last(), Some((_, TranscriptEvent::Terminated))) {
-            return out;
-        }
-        assert!(engine.tick_count() < 500_000_000, "wedged");
-    }
+/// Run GTD collecting tick-stamped root events — a thin compatibility
+/// wrapper over the session's transcript capture. New code should read
+/// `RunOutcome::events` (and `RunOutcome::phases`) directly.
+pub fn run_gtd_timestamped(topo: &Topology, mode: EngineMode) -> Vec<(u64, TranscriptEvent)> {
+    GtdSession::on(topo)
+        .mode(mode)
+        .run()
+        .expect("protocol terminates")
+        .events
 }
 
 /// Simple fixed-width table printer (markdown-flavoured).
@@ -162,7 +89,10 @@ pub struct Table {
 impl Table {
     /// Start a table with column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header arity).
@@ -204,19 +134,10 @@ impl Table {
     }
 }
 
-/// One machine-readable experiment row (written as JSON lines next to the
-/// printed tables).
-#[derive(Serialize)]
-pub struct JsonRow<'a, T: Serialize> {
-    /// Experiment id, e.g. "E2".
-    pub experiment: &'a str,
-    /// Row payload.
-    pub data: T,
-}
-
-/// Serialize one row as a JSON line.
-pub fn json_line<T: Serialize>(experiment: &str, data: T) -> String {
-    serde_json::to_string(&JsonRow { experiment, data }).expect("row serializes")
+/// Serialize one experiment row as a JSON line:
+/// `{"experiment": "E2", "data": {...}}`.
+pub fn json_line(experiment: &str, data: JsonValue) -> String {
+    crate::json!({ "experiment": experiment, "data": data }).render()
 }
 
 #[cfg(test)]
@@ -227,7 +148,11 @@ mod tests {
     fn families_are_valid_networks() {
         for w in core_families(1) {
             w.topo.validate().unwrap();
-            assert!(gtd_netsim::algo::is_strongly_connected(&w.topo), "{}", w.name);
+            assert!(
+                gtd_netsim::algo::is_strongly_connected(&w.topo),
+                "{}",
+                w.name
+            );
         }
     }
 
@@ -266,16 +191,13 @@ mod tests {
     }
 
     #[test]
-    fn phase_breakdown_empty_transcript() {
-        assert_eq!(phase_breakdown(&[]).rcas, 0);
-        assert_eq!(phase_breakdown(&[(0, TranscriptEvent::Start)]).total(), 0);
-    }
-
-    #[test]
     fn json_rows_parse_back() {
-        let line = json_line("E1", serde_json::json!({"n": 4}));
-        let v: serde_json::Value = serde_json::from_str(&line).unwrap();
-        assert_eq!(v["experiment"], "E1");
-        assert_eq!(v["data"]["n"], 4);
+        let line = json_line("E1", crate::json!({"n": 4u32}));
+        let v = JsonValue::parse(&line).unwrap();
+        assert_eq!(v.get("experiment"), Some(&JsonValue::Str("E1".into())));
+        assert_eq!(
+            v.get("data").and_then(|d| d.get("n")),
+            Some(&JsonValue::Num(4.0))
+        );
     }
 }

@@ -9,10 +9,9 @@
 
 use gtd_netsim::Port;
 use gtd_snake::Hop;
-use serde::{Deserialize, Serialize};
 
 /// What an RCA reports to the root (paper §3: δ² FORWARD variants + BACK).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum RcaReport {
     /// The DFS token moved forward: out of `out_port` of the previous
     /// holder, into `in_port` of the reporting processor.
@@ -27,7 +26,7 @@ pub enum RcaReport {
 }
 
 /// One transcript symbol piped from the root to its master computer.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum TranscriptEvent {
     /// Protocol initiated (the outside source nudged the root).
     Start,
@@ -101,19 +100,27 @@ mod tests {
     }
 
     #[test]
-    fn events_roundtrip_serde() {
+    fn events_compare_by_payload() {
         let evs = [
             TranscriptEvent::Start,
             TranscriptEvent::IgHop(Hop::new(Port(1), Port(0))),
+            TranscriptEvent::IgHop(Hop::new(Port(0), Port(1))),
             TranscriptEvent::IgTail,
-            TranscriptEvent::LoopForward { out_port: Port(2), in_port: Port(1) },
+            TranscriptEvent::LoopForward {
+                out_port: Port(2),
+                in_port: Port(1),
+            },
+            TranscriptEvent::LoopForward {
+                out_port: Port(1),
+                in_port: Port(2),
+            },
             TranscriptEvent::LocalBack,
             TranscriptEvent::Terminated,
         ];
-        for e in evs {
-            let s = serde_json::to_string(&e).unwrap();
-            let d: TranscriptEvent = serde_json::from_str(&s).unwrap();
-            assert_eq!(e, d);
+        for (i, a) in evs.iter().enumerate() {
+            for (j, b) in evs.iter().enumerate() {
+                assert_eq!(a == b, i == j, "{a:?} vs {b:?}");
+            }
         }
     }
 }

@@ -18,25 +18,40 @@
 //! finite-state automaton type, [`ProtocolNode`], identical at every
 //! processor (the root differs only by its power-on flag, as in the paper).
 //!
+//! The primary entry point is the [`GtdSession`] builder: pick a root,
+//! an engine strategy and a tick budget, then run once or repeatedly.
+//!
 //! ```
-//! use gtd_core::run_gtd;
-//! use gtd_netsim::{generators, EngineMode};
+//! use gtd_core::GtdSession;
+//! use gtd_netsim::{generators, EngineMode, NodeId};
 //!
 //! let topo = generators::random_sc(24, 3, 7);
-//! let run = run_gtd(&topo, EngineMode::Sparse).expect("protocol completes");
-//! run.map.verify_against(&topo, gtd_netsim::NodeId(0)).expect("exact map");
+//! let run = GtdSession::on(&topo)
+//!     .root(NodeId(3))
+//!     .mode(EngineMode::Sparse)
+//!     .run()
+//!     .expect("protocol completes");
+//! run.map.verify_against(&topo, NodeId(3)).expect("exact map");
 //! assert!(run.ticks > 0);
+//! assert_eq!(run.stats.edges_reported(), topo.num_edges());
 //! ```
 
 pub mod events;
 pub mod master;
 pub mod node;
+pub mod phases;
 pub mod runner;
+pub mod session;
 
 pub use events::{RcaReport, TranscriptEvent};
-pub use master::{DecodeError, MasterComputer, NetworkMap, VerifyError};
+pub use master::{DecodeError, MapEdge, MasterComputer, NetworkMap, VerifyError};
 pub use node::{ProtocolNode, StartBehavior};
+pub use phases::{phase_breakdown, PhaseBreakdown};
+#[allow(deprecated)]
 pub use runner::{
-    run_gtd, run_gtd_repeated, run_single_bca, run_single_rca, BcaProbe, GtdError, GtdRun,
-    RcaProbe, RunStats,
+    build_gtd_engine, run_gtd, run_gtd_repeated, run_single_bca, run_single_rca, BcaProbe, GtdRun,
+    RcaProbe,
+};
+pub use session::{
+    default_tick_budget, GtdError, GtdSession, PreconditionViolation, RunOutcome, RunStats,
 };

@@ -20,14 +20,13 @@
 //! corrupted transcripts must never silently produce a wrong map.
 
 use crate::events::TranscriptEvent;
-use gtd_netsim::{NodeId, Port, Topology, TopologyBuilder};
+use gtd_netsim::{Edge, NodeId, Port, Topology, TopologyBuilder};
 use gtd_snake::{Hop, PortPath};
-use serde::{Deserialize, Serialize};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 /// One directed wire in the reconstructed map, in master-computer names.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct MapEdge {
     /// Name of the sending processor (0 = root).
     pub src: u32,
@@ -40,7 +39,7 @@ pub struct MapEdge {
 }
 
 /// The finished map: names with their canonical paths, plus every wire.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct NetworkMap {
     /// `paths[name]` = canonical root→processor port path; `paths[0]` = ε.
     pub paths: Vec<PortPath>,
@@ -139,9 +138,15 @@ impl NetworkMap {
         self.edges.len()
     }
 
-    /// Theorem 4.1 check: resolve every name against the ground-truth
-    /// network and require the edge sets to agree **exactly** (port level).
-    pub fn verify_against(&self, topo: &Topology, root: NodeId) -> Result<(), VerifyError> {
+    /// Resolve every master-computer name against the ground-truth
+    /// network and return the mapped wires in **ground-truth labels**,
+    /// sorted — the common currency of the `TopologyMapper` comparisons.
+    ///
+    /// Errors if a canonical path does not walk to a processor, two names
+    /// collide, or the processor count disagrees; the returned edge set
+    /// may still differ from the network's (that final check is
+    /// [`NetworkMap::verify_against`]'s job).
+    pub fn resolve_edges(&self, topo: &Topology, root: NodeId) -> Result<Vec<Edge>, VerifyError> {
         let mut resolved: Vec<NodeId> = Vec::with_capacity(self.paths.len());
         let mut seen: HashMap<NodeId, u32> = HashMap::new();
         for (name, path) in self.paths.iter().enumerate() {
@@ -160,17 +165,25 @@ impl NetworkMap {
                 actual: topo.num_nodes(),
             });
         }
-        let mut mapped: Vec<(NodeId, Port, NodeId, Port)> = self
+        let mut mapped: Vec<Edge> = self
             .edges
             .iter()
-            .map(|e| (resolved[e.src as usize], e.src_port, resolved[e.dst as usize], e.dst_port))
+            .map(|e| Edge {
+                src: resolved[e.src as usize],
+                src_port: e.src_port,
+                dst: resolved[e.dst as usize],
+                dst_port: e.dst_port,
+            })
             .collect();
         mapped.sort_unstable();
-        let actual: Vec<(NodeId, Port, NodeId, Port)> = topo
-            .sorted_edges()
-            .into_iter()
-            .map(|e| (e.src, e.src_port, e.dst, e.dst_port))
-            .collect();
+        Ok(mapped)
+    }
+
+    /// Theorem 4.1 check: resolve every name against the ground-truth
+    /// network and require the edge sets to agree **exactly** (port level).
+    pub fn verify_against(&self, topo: &Topology, root: NodeId) -> Result<(), VerifyError> {
+        let mapped = self.resolve_edges(topo, root)?;
+        let actual = topo.sorted_edges();
         if mapped != actual {
             let mapped_set: std::collections::BTreeSet<_> = mapped.iter().collect();
             let actual_set: std::collections::BTreeSet<_> = actual.iter().collect();
@@ -358,16 +371,14 @@ impl MasterComputer {
                 Ok(())
             }
             (Phase::AwaitLoop(v, w), TranscriptEvent::LoopForward { out_port, in_port }) => {
-                let name =
-                    self.intern(PortPath::from_hops(w), PortPath::from_hops(v))?;
+                let name = self.intern(PortPath::from_hops(w), PortPath::from_hops(v))?;
                 let &top = self.stack.last().ok_or(DecodeError::StackUnderflow)?;
                 self.draw_edge(top, out_port, name, in_port)?;
                 self.stack.push(name);
                 Ok(())
             }
             (Phase::AwaitLoop(v, w), TranscriptEvent::LoopBack) => {
-                let name =
-                    self.intern(PortPath::from_hops(w), PortPath::from_hops(v))?;
+                let name = self.intern(PortPath::from_hops(w), PortPath::from_hops(v))?;
                 self.stack.pop().ok_or(DecodeError::StackUnderflow)?;
                 let &top = self.stack.last().ok_or(DecodeError::StackUnderflow)?;
                 if top != name {
@@ -412,10 +423,18 @@ impl MasterComputer {
         let mut edges: Vec<MapEdge> = self
             .edges
             .into_iter()
-            .map(|((src, src_port), (dst, dst_port))| MapEdge { src, src_port, dst, dst_port })
+            .map(|((src, src_port), (dst, dst_port))| MapEdge {
+                src,
+                src_port,
+                dst,
+                dst_port,
+            })
             .collect();
         edges.sort_unstable();
-        Ok(NetworkMap { paths: self.paths, edges })
+        Ok(NetworkMap {
+            paths: self.paths,
+            edges,
+        })
     }
 }
 
@@ -441,9 +460,15 @@ mod tests {
             IgTail,
             IdHop(hop(0, 0)),
             IdTail,
-            LoopForward { out_port: Port(0), in_port: Port(0) },
+            LoopForward {
+                out_port: Port(0),
+                in_port: Port(0),
+            },
             // n1 explores its out-port: token re-enters the root…
-            LocalForward { out_port: Port(0), in_port: Port(0) },
+            LocalForward {
+                out_port: Port(0),
+                in_port: Port(0),
+            },
             // …the root bounces it back via BCA, and n1 reports BACK
             IgHop(hop(0, 0)),
             IgTail,
@@ -498,10 +523,17 @@ mod tests {
     fn rejects_duplicate_edge() {
         let mut m = MasterComputer::new();
         m.feed(TranscriptEvent::Start).unwrap();
-        m.feed(TranscriptEvent::LocalForward { out_port: Port(0), in_port: Port(0) }).unwrap();
+        m.feed(TranscriptEvent::LocalForward {
+            out_port: Port(0),
+            in_port: Port(0),
+        })
+        .unwrap();
         m.feed(TranscriptEvent::LocalBack).unwrap();
         assert!(matches!(
-            m.feed(TranscriptEvent::LocalForward { out_port: Port(0), in_port: Port(1) }),
+            m.feed(TranscriptEvent::LocalForward {
+                out_port: Port(0),
+                in_port: Port(1)
+            }),
             Err(DecodeError::DuplicateEdge(_))
         ));
     }
@@ -516,7 +548,10 @@ mod tests {
         m.feed(IgTail).unwrap();
         m.feed(IdHop(hop(0, 0))).unwrap();
         m.feed(IdTail).unwrap();
-        assert!(matches!(m.feed(LoopBack), Err(DecodeError::StackMismatch) | Err(DecodeError::StackUnderflow)));
+        assert!(matches!(
+            m.feed(LoopBack),
+            Err(DecodeError::StackMismatch) | Err(DecodeError::StackUnderflow)
+        ));
     }
 
     #[test]
@@ -524,8 +559,15 @@ mod tests {
         use TranscriptEvent::*;
         let mut m = MasterComputer::new();
         m.feed(Start).unwrap();
-        m.feed(LocalForward { out_port: Port(0), in_port: Port(0) }).unwrap();
-        assert_eq!(m.feed(Terminated), Err(DecodeError::UnbalancedAtTermination));
+        m.feed(LocalForward {
+            out_port: Port(0),
+            in_port: Port(0),
+        })
+        .unwrap();
+        assert_eq!(
+            m.feed(Terminated),
+            Err(DecodeError::UnbalancedAtTermination)
+        );
     }
 
     #[test]
@@ -538,7 +580,10 @@ mod tests {
             IgTail,
             IdHop(hop(0, 0)),
             IdTail,
-            LoopForward { out_port: Port(0), in_port: Port(0) },
+            LoopForward {
+                out_port: Port(0),
+                in_port: Port(0),
+            },
         ] {
             m.feed(ev).unwrap();
         }
@@ -546,7 +591,10 @@ mod tests {
         for ev in [IgHop(hop(1, 1)), IgTail, IdHop(hop(0, 0)), IdTail] {
             m.feed(ev).unwrap();
         }
-        assert_eq!(m.feed(LoopBack), Err(DecodeError::InconsistentReturnPath(1)));
+        assert_eq!(
+            m.feed(LoopBack),
+            Err(DecodeError::InconsistentReturnPath(1))
+        );
     }
 
     #[test]
@@ -561,6 +609,9 @@ mod tests {
         let mut m = MasterComputer::new();
         m.feed(TranscriptEvent::Start).unwrap();
         m.feed(TranscriptEvent::Terminated).unwrap();
-        assert_eq!(m.feed(TranscriptEvent::Start), Err(DecodeError::AfterTermination));
+        assert_eq!(
+            m.feed(TranscriptEvent::Start),
+            Err(DecodeError::AfterTermination)
+        );
     }
 }

@@ -69,13 +69,23 @@ enum AfterRca {
 enum RcaState {
     Idle,
     /// Step 1 done (IG snakes released); waiting for the first OG head.
-    AwaitOg { report: RcaReport, after: AfterRca },
+    AwaitOg {
+        report: RcaReport,
+        after: AfterRca,
+    },
     /// Converting OG→ID; waiting for the OD tail (step 3).
-    AwaitOdTail { report: RcaReport, after: AfterRca },
+    AwaitOdTail {
+        report: RcaReport,
+        after: AfterRca,
+    },
     /// Step 4: KILL + loop token released; waiting for the token to circle.
-    AwaitLoopReturn { after: AfterRca },
+    AwaitLoopReturn {
+        after: AfterRca,
+    },
     /// Step 5: UNMARK released; waiting for it to circle.
-    AwaitUnmarkReturn { after: AfterRca },
+    AwaitUnmarkReturn {
+        after: AfterRca,
+    },
 }
 
 /// Root-side RCA phases (§4.2.1 steps 2–3).
@@ -100,11 +110,17 @@ enum BcaState {
     Idle,
     /// BG snakes released; waiting for the first BG head to return through
     /// the designated in-port.
-    AwaitBgHead { via: Port },
+    AwaitBgHead {
+        via: Port,
+    },
     /// Converting the returning BG stream into the BD loop-marking snake.
-    Converting { via: Port },
+    Converting {
+        via: Port,
+    },
     /// Conversion done; waiting for the physical BD tail to circle the loop.
-    AwaitBdTail { via: Port },
+    AwaitBdTail {
+        via: Port,
+    },
     /// KILL + payload token released; waiting for the token to circle.
     AwaitLoopReturn,
 }
@@ -190,7 +206,10 @@ impl ProtocolNode {
             .filter(|&(_, &c)| c)
             .map(|(o, _)| Port(o as u8))
             .collect();
-        assert!(!out_ports.is_empty(), "the model requires a connected out-port");
+        assert!(
+            !out_ports.is_empty(),
+            "the model requires a connected out-port"
+        );
         if matches!(start, StartBehavior::GtdRoot) {
             assert!(meta.is_root, "GtdRoot behaviour belongs on the root");
         }
@@ -321,9 +340,18 @@ impl ProtocolNode {
     /// travels at least three times faster than any protocol progress, so
     /// it always runs ahead of the new DFS token.
     pub fn master_restart(&mut self) {
-        assert!(self.is_root, "only the root is attached to the master computer");
-        assert!(self.dfs.done, "restart is only meaningful after termination");
-        assert!(self.snake_state_pristine(), "network must be clean before a re-map");
+        assert!(
+            self.is_root,
+            "only the root is attached to the master computer"
+        );
+        assert!(
+            self.dfs.done,
+            "restart is only meaningful after termination"
+        );
+        assert!(
+            self.snake_state_pristine(),
+            "network must be clean before a re-map"
+        );
         self.pending_restart = true;
     }
 
@@ -391,7 +419,10 @@ impl ProtocolNode {
             RcaReport::Forward { out_port, in_port } => LoopToken::Forward { out_port, in_port },
             RcaReport::Back => LoopToken::Back,
         };
-        let succ = self.marks.succ(MarkPair::First).expect("loop marked before step 4");
+        let succ = self
+            .marks
+            .succ(MarkPair::First)
+            .expect("loop marked before step 4");
         ctx.outputs[succ.idx()].put_loop(tok);
         self.rca = RcaState::AwaitLoopReturn { after };
     }
@@ -422,7 +453,10 @@ impl ProtocolNode {
             self.dfs.done = true;
             ctx.events.push(TranscriptEvent::Terminated);
         } else {
-            let parent = self.dfs.parent.expect("finished non-root processor has a parent");
+            let parent = self
+                .dfs
+                .parent
+                .expect("finished non-root processor has a parent");
             self.start_bca(parent, now);
         }
     }
@@ -700,18 +734,17 @@ impl ProtocolNode {
         }
         // Absorption by the BCA initiator: release the UNMARK (absorbed at
         // the target) and finish — B already knows delivery succeeded.
-        if self.bca == BcaState::AwaitLoopReturn
-            && self.marks.pred(MarkPair::First) == Some(p) {
-                let succ = self.marks.succ(MarkPair::First).expect("marked loop");
-                ctx.outputs[succ.idx()].unmark = true;
-                self.marks.clear();
-                self.dying_bd.reset();
-                self.bca = BcaState::Idle;
-                if self.bca_probe {
-                    ctx.events.push(TranscriptEvent::BcaComplete);
-                }
-                return;
+        if self.bca == BcaState::AwaitLoopReturn && self.marks.pred(MarkPair::First) == Some(p) {
+            let succ = self.marks.succ(MarkPair::First).expect("marked loop");
+            ctx.outputs[succ.idx()].unmark = true;
+            self.marks.clear();
+            self.dying_bd.reset();
+            self.bca = BcaState::Idle;
+            if self.bca_probe {
+                ctx.events.push(TranscriptEvent::BcaComplete);
             }
+            return;
+        }
         // Ordinary loop-token forwarding.
         let Some(route) = self.marks.route(p) else {
             debug_assert!(false, "loop token arrived off-loop");
@@ -720,7 +753,8 @@ impl ProtocolNode {
         if self.is_root {
             match tok {
                 LoopToken::Forward { out_port, in_port } => {
-                    ctx.events.push(TranscriptEvent::LoopForward { out_port, in_port });
+                    ctx.events
+                        .push(TranscriptEvent::LoopForward { out_port, in_port });
                 }
                 LoopToken::Back => ctx.events.push(TranscriptEvent::LoopBack),
                 LoopToken::Bca(_) => {}
@@ -733,7 +767,10 @@ impl ProtocolNode {
                 self.pending_bca = Some(msg);
             }
         }
-        debug_assert!(self.pending_loop.is_none(), "one loop token at a time per processor");
+        debug_assert!(
+            self.pending_loop.is_none(),
+            "one loop token at a time per processor"
+        );
         self.pending_loop = Some((now + SPEED1_DWELL, tok, route.succ));
         self.marks.advance(route);
     }
@@ -755,7 +792,10 @@ impl ProtocolNode {
         if self.dying_bd.is_endpoint() && self.dying_bd.pred() == Some(p) {
             self.marks.clear();
             self.dying_bd.reset();
-            let msg = self.pending_bca.take().expect("BCA endpoint holds the payload");
+            let msg = self
+                .pending_bca
+                .take()
+                .expect("BCA endpoint holds the payload");
             self.on_bca_payload(msg, now, ctx);
             return;
         }
@@ -787,11 +827,17 @@ impl ProtocolNode {
         if self.is_root {
             // Root self-communication short-circuit (DESIGN.md §5): the
             // transcript is piped locally, then the token bounces back.
-            ctx.events.push(TranscriptEvent::LocalForward { out_port: o, in_port: i });
+            ctx.events.push(TranscriptEvent::LocalForward {
+                out_port: o,
+                in_port: i,
+            });
             self.start_bca(i, now);
             return;
         }
-        let report = RcaReport::Forward { out_port: o, in_port: i };
+        let report = RcaReport::Forward {
+            out_port: o,
+            in_port: i,
+        };
         if !self.dfs.visited {
             self.dfs.visited = true;
             self.dfs.parent = Some(i);
@@ -888,7 +934,13 @@ impl Automaton for ProtocolNode {
         if self.pending_restart {
             self.pending_restart = false;
             self.reset_parity = !self.reset_parity;
-            self.dfs = DfsState { visited: true, parent: None, cursor: 0, awaiting: false, done: false };
+            self.dfs = DfsState {
+                visited: true,
+                parent: None,
+                cursor: 0,
+                awaiting: false,
+                done: false,
+            };
             for &o in &self.out_ports {
                 ctx.outputs[o.idx()].reset = Some(self.reset_parity);
             }
@@ -901,8 +953,13 @@ impl Automaton for ProtocolNode {
                 if p != self.reset_parity {
                     // first copy of the new round: clear, stamp, forward.
                     self.reset_parity = p;
-                    self.dfs =
-                        DfsState { visited: false, parent: None, cursor: 0, awaiting: false, done: false };
+                    self.dfs = DfsState {
+                        visited: false,
+                        parent: None,
+                        cursor: 0,
+                        awaiting: false,
+                        done: false,
+                    };
                     for &o in &self.out_ports {
                         ctx.outputs[o.idx()].reset = Some(p);
                     }

@@ -1,0 +1,109 @@
+//! Phase accounting over the root's tick-stamped transcript.
+//!
+//! Where a GTD run's ticks go, aggregated over all network RCAs — the
+//! anatomy of the ~33·E·D constant (experiment E2's ablation table).
+//! [`GtdSession`](crate::GtdSession) computes a [`PhaseBreakdown`] for
+//! every run that captures its transcript.
+
+use crate::events::TranscriptEvent;
+
+/// Tick totals per protocol phase.
+///
+/// Phase boundaries are read off the tick-stamped root transcript:
+/// * **search** — the gap between the previous block's end marker and an
+///   RCA's first IgHop. The root's transcript cannot separate the next
+///   RCA's IG-flood transit from the tail of the previous RCA's cleanup,
+///   so for back-to-back RCAs (the common case) that transit is folded
+///   into the preceding **report+cleanup** bucket and `search` is
+///   non-zero mainly after root-local moves and at protocol start;
+/// * **echo** — IgTail→first IdHop: the OG snake growing back out to A and
+///   the ID snake returning (two more speed-1 diameters);
+/// * **mark** — IdHop→IdTail: the ID→OD conversion streaming through;
+/// * **report+cleanup** — IdTail→the next RCA's first IgHop (or the next
+///   local move / termination): OD marking finishing, the FORWARD/BACK
+///   token circling, KILL dying out, UNMARK circling — plus, per the
+///   `search` caveat, the following RCA's IG flood when blocks are
+///   adjacent.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PhaseBreakdown {
+    /// Ticks in the search phase (IG floods).
+    pub search: u64,
+    /// Ticks in the echo phase (OG out + ID back).
+    pub echo: u64,
+    /// Ticks streaming conversions at the root.
+    pub mark: u64,
+    /// Ticks reporting and cleaning up (loop token, KILL, UNMARK).
+    pub report_cleanup: u64,
+    /// Network RCAs observed.
+    pub rcas: usize,
+}
+
+impl PhaseBreakdown {
+    /// Total accounted ticks.
+    pub fn total(&self) -> u64 {
+        self.search + self.echo + self.mark + self.report_cleanup
+    }
+}
+
+/// Compute the phase breakdown from a tick-stamped root transcript.
+pub fn phase_breakdown(events: &[(u64, TranscriptEvent)]) -> PhaseBreakdown {
+    let mut out = PhaseBreakdown::default();
+    let mut prev_end = events.first().map_or(0, |&(t, _)| t);
+    let mut i = 0;
+    while i < events.len() {
+        // find the start of the next RCA block (first IgHop)
+        let Some(start) = events[i..]
+            .iter()
+            .position(|&(_, e)| matches!(e, TranscriptEvent::IgHop(_)))
+            .map(|k| i + k)
+        else {
+            break;
+        };
+        let t_start = events[start].0;
+        let find = |from: usize, pred: &dyn Fn(TranscriptEvent) -> bool| {
+            events[from..]
+                .iter()
+                .position(|&(_, e)| pred(e))
+                .map(|k| from + k)
+        };
+        let Some(ig_tail) = find(start, &|e| e == TranscriptEvent::IgTail) else {
+            break;
+        };
+        let Some(id_first) = find(ig_tail, &|e| matches!(e, TranscriptEvent::IdHop(_))) else {
+            break;
+        };
+        let Some(id_tail) = find(id_first, &|e| e == TranscriptEvent::IdTail) else {
+            break;
+        };
+        // next block start (or final event) bounds report+cleanup
+        let next = find(id_tail, &|e| {
+            matches!(
+                e,
+                TranscriptEvent::IgHop(_)
+                    | TranscriptEvent::LocalForward { .. }
+                    | TranscriptEvent::LocalBack
+                    | TranscriptEvent::Terminated
+            )
+        })
+        .unwrap_or(events.len() - 1);
+        out.search += t_start.saturating_sub(prev_end);
+        out.echo += events[id_first].0 - events[ig_tail].0;
+        out.mark += (events[ig_tail].0 - t_start) + (events[id_tail].0 - events[id_first].0);
+        out.report_cleanup += events[next].0 - events[id_tail].0;
+        out.rcas += 1;
+        prev_end = events[next].0;
+        i = id_tail + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_transcripts_account_nothing() {
+        assert_eq!(phase_breakdown(&[]).rcas, 0);
+        assert_eq!(phase_breakdown(&[(0, TranscriptEvent::Start)]).total(), 0);
+    }
+}

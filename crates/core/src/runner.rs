@@ -1,75 +1,19 @@
-//! Top-level protocol runners: the full Global Topology Determination and
-//! the standalone RCA/BCA probes the experiments measure.
+//! Legacy free-function runners and the standalone RCA/BCA probes.
+//!
+//! The full-protocol entry points now live on [`GtdSession`]
+//! (`crate::session`); [`run_gtd`] and [`run_gtd_repeated`] remain as
+//! thin deprecated shims for one release. The single-probe runners
+//! ([`run_single_rca`], [`run_single_bca`]) are still the canonical way
+//! to measure one auxiliary protocol in isolation (experiments E3/E4).
 
 use crate::events::TranscriptEvent;
-use crate::master::{DecodeError, MasterComputer, NetworkMap};
+use crate::master::NetworkMap;
 use crate::node::{ProtocolNode, StartBehavior};
+use crate::session::{default_tick_budget, GtdError, GtdSession, RunOutcome, RunStats};
 use gtd_netsim::{algo, Engine, EngineMode, NodeId, Port, Topology};
 
-/// Why a run failed.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub enum GtdError {
-    /// The tick guard expired before the root terminated. Either the
-    /// network violates a model precondition (e.g. not strongly connected)
-    /// or there is a protocol bug.
-    Timeout {
-        /// Ticks simulated before giving up.
-        ticks: u64,
-    },
-    /// The root's transcript could not be replayed.
-    Decode(DecodeError),
-}
-
-impl std::fmt::Display for GtdError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            GtdError::Timeout { ticks } => write!(f, "protocol did not terminate in {ticks} ticks"),
-            GtdError::Decode(e) => write!(f, "transcript decode error: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for GtdError {}
-
-impl From<DecodeError> for GtdError {
-    fn from(e: DecodeError) -> Self {
-        GtdError::Decode(e)
-    }
-}
-
-/// Aggregate counters derived from the transcript.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-pub struct RunStats {
-    /// Network RCAs with a FORWARD report.
-    pub forwards: usize,
-    /// Network RCAs with a BACK report.
-    pub backs: usize,
-    /// Root-local forward transcriptions (token re-entered the root).
-    pub local_forwards: usize,
-    /// Root-local backs (BCA returned the token to the root).
-    pub local_backs: usize,
-}
-
-impl RunStats {
-    /// Total RCAs run over the network.
-    pub fn rcas(&self) -> usize {
-        self.forwards + self.backs
-    }
-
-    /// Total BCAs run over the network: one per BACK report (every
-    /// backwards token move rides a BCA) plus one per root-local back.
-    pub fn bcas(&self) -> usize {
-        self.backs + self.local_backs
-    }
-
-    /// Total edge reports — must equal E exactly (Theorem 4.1's "a FORWARD
-    /// token is sent for every edge").
-    pub fn edges_reported(&self) -> usize {
-        self.forwards + self.local_forwards
-    }
-}
-
-/// The outcome of a full GTD run.
+/// The outcome of a full GTD run, in the pre-[`GtdSession`] shape
+/// (transcript without tick stamps, no phase breakdown).
 #[derive(Clone, Debug)]
 pub struct GtdRun {
     /// The reconstructed port-level map.
@@ -87,13 +31,17 @@ pub struct GtdRun {
     pub all_visited: bool,
 }
 
-/// Generous tick guard: each edge costs at most two RCAs and one BCA, each
-/// O(D) ⊆ O(N) with small constants (speed-1 = 3 ticks/hop, ~4 loop
-/// traversals per RCA).
-fn tick_guard(topo: &Topology) -> u64 {
-    let n = topo.num_nodes() as u64;
-    let e = topo.num_edges() as u64;
-    1_000 + (e + 2) * (n + 8) * 60
+impl From<RunOutcome> for GtdRun {
+    fn from(o: RunOutcome) -> Self {
+        GtdRun {
+            map: o.map,
+            ticks: o.ticks,
+            stats: o.stats,
+            events: o.events.into_iter().map(|(_, e)| e).collect(),
+            clean_at_end: o.clean_at_end,
+            all_visited: o.all_visited,
+        }
+    }
 }
 
 /// Build a GTD engine over `topo` with the root at node 0 — exposed so
@@ -101,136 +49,38 @@ fn tick_guard(topo: &Topology) -> u64 {
 /// checks, phase censuses).
 pub fn build_gtd_engine(topo: &Topology, mode: EngineMode) -> Engine<ProtocolNode> {
     Engine::new(topo, mode, |meta| {
-        let start = if meta.is_root { StartBehavior::GtdRoot } else { StartBehavior::Passive };
+        let start = if meta.is_root {
+            StartBehavior::GtdRoot
+        } else {
+            StartBehavior::Passive
+        };
         ProtocolNode::new(&meta, start)
     })
 }
 
 /// Run the Global Topology Determination protocol on `topo` with the root
 /// at node 0. Returns the reconstructed map and run metrics.
+#[deprecated(since = "0.2.0", note = "use `GtdSession::on(topo).mode(mode).run()`")]
 pub fn run_gtd(topo: &Topology, mode: EngineMode) -> Result<GtdRun, GtdError> {
-    let mut engine = build_gtd_engine(topo, mode);
-    let guard = tick_guard(topo);
-    let root = NodeId(0);
-    let mut master = MasterComputer::new();
-    let mut events = Vec::new();
-    let mut stats = RunStats::default();
-    let mut scratch = Vec::new();
-    let mut ticks = None;
-    while ticks.is_none() {
-        if engine.tick_count() >= guard {
-            return Err(GtdError::Timeout { ticks: guard });
-        }
-        scratch.clear();
-        engine.tick(&mut scratch);
-        for (nid, ev) in scratch.drain(..) {
-            debug_assert_eq!(nid, root, "only the root emits transcript events in a GTD run");
-            match ev {
-                TranscriptEvent::LoopForward { .. } => stats.forwards += 1,
-                TranscriptEvent::LoopBack => stats.backs += 1,
-                TranscriptEvent::LocalForward { .. } => stats.local_forwards += 1,
-                TranscriptEvent::LocalBack => stats.local_backs += 1,
-                TranscriptEvent::Terminated => ticks = Some(engine.tick_count()),
-                _ => {}
-            }
-            master.feed(ev)?;
-            events.push(ev);
-        }
-    }
-    // One grace tick: emissions written on the terminal tick drain.
-    scratch.clear();
-    engine.tick(&mut scratch);
-    debug_assert!(scratch.is_empty());
-    let clean_at_end = engine.is_quiet()
-        && engine.signals_in_flight() == 0
-        && engine.nodes().iter().all(|n| n.snake_state_pristine());
-    let all_visited = engine.nodes().iter().all(|n| n.dfs_visited());
-    Ok(GtdRun {
-        map: master.into_map()?,
-        ticks: ticks.expect("loop exits only on termination"),
-        stats,
-        events,
-        clean_at_end,
-        all_visited,
-    })
+    GtdSession::on(topo).mode(mode).run().map(GtdRun::from)
 }
 
-/// Run the GTD protocol `rounds` times on the same live network: after each
-/// termination the master computer nudges the root ([`ProtocolNode::master_restart`]),
-/// a RESET flood clears the DFS bookkeeping, and the network is mapped
-/// again — the dynamic-remapping extension motivated by the paper's §1
-/// ("the network topology or size might change…"). Returns one [`GtdRun`]
-/// per round; determinism implies all rounds produce identical maps, which
-/// is asserted.
+/// Run the GTD protocol `rounds` times on the same live network.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `GtdSession::on(topo).mode(mode).run_repeated(rounds)`"
+)]
 pub fn run_gtd_repeated(
     topo: &Topology,
     mode: EngineMode,
     rounds: usize,
 ) -> Result<Vec<GtdRun>, GtdError> {
-    assert!(rounds >= 1);
-    let mut engine = build_gtd_engine(topo, mode);
-    let guard_per_round = tick_guard(topo);
-    let root = NodeId(0);
-    let mut runs = Vec::with_capacity(rounds);
-    for round in 0..rounds {
-        let mut master = MasterComputer::new();
-        let mut events = Vec::new();
-        let mut stats = RunStats::default();
-        let mut scratch = Vec::new();
-        let start_tick = engine.tick_count();
-        let mut end_tick = None;
-        while end_tick.is_none() {
-            if engine.tick_count() - start_tick >= guard_per_round {
-                return Err(GtdError::Timeout { ticks: guard_per_round });
-            }
-            scratch.clear();
-            engine.tick(&mut scratch);
-            for (nid, ev) in scratch.drain(..) {
-                debug_assert_eq!(nid, root);
-                match ev {
-                    TranscriptEvent::LoopForward { .. } => stats.forwards += 1,
-                    TranscriptEvent::LoopBack => stats.backs += 1,
-                    TranscriptEvent::LocalForward { .. } => stats.local_forwards += 1,
-                    TranscriptEvent::LocalBack => stats.local_backs += 1,
-                    TranscriptEvent::Terminated => end_tick = Some(engine.tick_count()),
-                    _ => {}
-                }
-                master.feed(ev)?;
-                events.push(ev);
-            }
-        }
-        // drain, then wait for total quiescence (the master knows the map,
-        // hence a safe settling bound; in practice 1–2 ticks).
-        let mut settle = 0;
-        loop {
-            scratch.clear();
-            engine.tick(&mut scratch);
-            debug_assert!(scratch.is_empty());
-            if engine.is_quiet() {
-                break;
-            }
-            settle += 1;
-            assert!(settle < 1000, "network failed to settle after termination");
-        }
-        let clean_at_end = engine.signals_in_flight() == 0
-            && engine.nodes().iter().all(|n| n.snake_state_pristine());
-        let all_visited = engine.nodes().iter().all(|n| n.dfs_visited());
-        runs.push(GtdRun {
-            map: master.into_map()?,
-            ticks: end_tick.expect("terminated") - start_tick,
-            stats,
-            events,
-            clean_at_end,
-            all_visited,
-        });
-        if round + 1 < rounds {
-            engine.node_mut(root).master_restart();
-        }
-    }
-    for r in &runs[1..] {
-        assert_eq!(r.map, runs[0].map, "re-mapping must reproduce the identical map");
-    }
-    Ok(runs)
+    Ok(GtdSession::on(topo)
+        .mode(mode)
+        .run_repeated(rounds)?
+        .into_iter()
+        .map(GtdRun::from)
+        .collect())
 }
 
 /// Measurements from a standalone RCA (experiment E3, Lemma 4.3).
@@ -248,18 +98,28 @@ pub struct RcaProbe {
 
 /// Run one RCA from processor `a` to the root (node 0) and measure it.
 pub fn run_single_rca(topo: &Topology, a: NodeId, mode: EngineMode) -> Result<RcaProbe, GtdError> {
-    assert_ne!(a, NodeId(0), "the root communicates with itself locally (DESIGN.md §5)");
+    assert_ne!(
+        a,
+        NodeId(0),
+        "the root communicates with itself locally (DESIGN.md §5)"
+    );
     let mut engine = Engine::new(topo, mode, |meta| {
-        let start =
-            if meta.id == a { StartBehavior::SingleRca } else { StartBehavior::Passive };
+        let start = if meta.id == a {
+            StartBehavior::SingleRca
+        } else {
+            StartBehavior::Passive
+        };
         ProtocolNode::new(&meta, start)
     });
-    let guard = tick_guard(topo);
-    let (_, fired) = engine.run_until(guard, |&(nid, ev)| {
+    let budget = default_tick_budget(topo);
+    let (_, fired) = engine.run_until(budget, |&(nid, ev)| {
         nid == a && ev == TranscriptEvent::RcaComplete
     });
     if !fired {
-        return Err(GtdError::Timeout { ticks: guard });
+        return Err(GtdError::BudgetExhausted {
+            budget,
+            ticks: engine.tick_count(),
+        });
     }
     let ticks = engine.tick_count();
     // Drain the final tick's emissions (there are none in a clean run).
@@ -302,17 +162,23 @@ pub fn run_single_bca(
         .expect("BCA requires a wired in-port")
         .node;
     let mut engine = Engine::new(topo, mode, |meta| {
-        let start =
-            if meta.id == b { StartBehavior::SingleBca { via } } else { StartBehavior::Passive };
+        let start = if meta.id == b {
+            StartBehavior::SingleBca { via }
+        } else {
+            StartBehavior::Passive
+        };
         ProtocolNode::new(&meta, start)
     });
-    let guard = tick_guard(topo);
+    let budget = default_tick_budget(topo);
     let mut ticks_initiator = None;
     let mut ticks_delivered = None;
     let mut scratch = Vec::new();
     while ticks_delivered.is_none() {
-        if engine.tick_count() >= guard {
-            return Err(GtdError::Timeout { ticks: guard });
+        if engine.tick_count() >= budget {
+            return Err(GtdError::BudgetExhausted {
+                budget,
+                ticks: engine.tick_count(),
+            });
         }
         scratch.clear();
         engine.tick(&mut scratch);
@@ -350,7 +216,7 @@ mod tests {
     #[test]
     fn gtd_on_two_cycle() {
         let topo = generators::ring(2);
-        let run = run_gtd(&topo, EngineMode::Dense).unwrap();
+        let run = GtdSession::on(&topo).mode(EngineMode::Dense).run().unwrap();
         run.map.verify_against(&topo, NodeId(0)).unwrap();
         assert_eq!(run.map.num_nodes(), 2);
         assert_eq!(run.map.num_edges(), 2);
@@ -360,12 +226,18 @@ mod tests {
     }
 
     #[test]
-    fn gtd_on_small_ring() {
+    #[allow(deprecated)]
+    fn deprecated_shims_agree_with_the_session() {
         let topo = generators::ring(5);
-        let run = run_gtd(&topo, EngineMode::Sparse).unwrap();
-        run.map.verify_against(&topo, NodeId(0)).unwrap();
-        assert_eq!(run.stats.edges_reported(), topo.num_edges());
-        assert!(run.clean_at_end);
+        let legacy = run_gtd(&topo, EngineMode::Sparse).unwrap();
+        let session = GtdSession::on(&topo).run().unwrap();
+        assert_eq!(legacy.map, session.map);
+        assert_eq!(legacy.ticks, session.ticks);
+        assert_eq!(legacy.stats, session.stats);
+        assert_eq!(legacy.events, session.event_stream().collect::<Vec<_>>());
+        let repeated = run_gtd_repeated(&topo, EngineMode::Sparse, 2).unwrap();
+        assert_eq!(repeated.len(), 2);
+        assert_eq!(repeated[0].map, legacy.map);
     }
 
     #[test]
@@ -378,7 +250,11 @@ mod tests {
         let loop_len = (probe.dist_to_root + probe.dist_from_root) as u64;
         assert_eq!(loop_len, 6);
         assert!(probe.ticks >= 3 * loop_len, "too fast to be speed-1");
-        assert!(probe.ticks <= 20 * loop_len + 40, "not O(D): {}", probe.ticks);
+        assert!(
+            probe.ticks <= 20 * loop_len + 40,
+            "not O(D): {}",
+            probe.ticks
+        );
     }
 
     #[test]

@@ -1,0 +1,556 @@
+//! Builder-configured GTD runs — the crate's primary entry point.
+//!
+//! [`GtdSession`] replaces the old fixed-shape free functions (`run_gtd`,
+//! `run_gtd_repeated`): one builder configures the root processor, the
+//! engine strategy, the tick budget, transcript capture and a streaming
+//! observer, then [`GtdSession::run`] (or [`GtdSession::run_repeated`])
+//! produces a unified [`RunOutcome`].
+//!
+//! ```
+//! use gtd_core::GtdSession;
+//! use gtd_netsim::{generators, EngineMode, NodeId};
+//!
+//! let topo = generators::random_sc(24, 3, 7);
+//! let outcome = GtdSession::on(&topo)
+//!     .root(NodeId(5))             // any processor can host the master
+//!     .mode(EngineMode::Sparse)
+//!     .run()
+//!     .expect("protocol completes");
+//! outcome.map.verify_against(&topo, NodeId(5)).expect("exact map");
+//! assert!(outcome.ticks > 0);
+//! assert_eq!(outcome.phases.rcas, outcome.stats.rcas());
+//! ```
+//!
+//! A tick budget turns a wedged or oversized run into a structured error
+//! instead of an endless loop:
+//!
+//! ```
+//! use gtd_core::{GtdError, GtdSession};
+//! use gtd_netsim::generators;
+//!
+//! let topo = generators::ring(16);
+//! let err = GtdSession::on(&topo).tick_budget(10).run().unwrap_err();
+//! assert!(matches!(err, GtdError::BudgetExhausted { budget: 10, .. }));
+//! ```
+
+use crate::events::TranscriptEvent;
+use crate::master::{DecodeError, MasterComputer, NetworkMap};
+use crate::node::{ProtocolNode, StartBehavior};
+use crate::phases::{phase_breakdown, PhaseBreakdown};
+use gtd_netsim::{algo, Engine, EngineMode, NodeId, Topology};
+
+/// A model precondition the session detected before simulating a single
+/// tick (paper §1.1 assumes them; the protocol would simply never
+/// terminate otherwise).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PreconditionViolation {
+    /// The network is not strongly connected (checked via
+    /// [`gtd_netsim::algo::is_strongly_connected`]).
+    NotStronglyConnected,
+    /// The configured root is not a processor of the network.
+    RootOutOfRange {
+        /// The requested root.
+        root: NodeId,
+        /// Number of processors in the network.
+        nodes: usize,
+    },
+    /// The configured [`StartBehavior`] cannot drive a full GTD run to
+    /// termination (only [`StartBehavior::GtdRoot`] initiates the DFS
+    /// whose `Terminated` event ends a session run).
+    StartNotRunnable(StartBehavior),
+}
+
+impl std::fmt::Display for PreconditionViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PreconditionViolation::NotStronglyConnected => {
+                write!(f, "network is not strongly connected")
+            }
+            PreconditionViolation::RootOutOfRange { root, nodes } => {
+                write!(
+                    f,
+                    "root {root} out of range (network has {nodes} processors)"
+                )
+            }
+            PreconditionViolation::StartNotRunnable(start) => {
+                write!(f, "start behaviour {start:?} cannot terminate a GTD run")
+            }
+        }
+    }
+}
+
+/// Why a run failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GtdError {
+    /// The tick budget ran out before the root terminated. With the
+    /// default budget this indicates a protocol bug; with a user budget
+    /// it simply means the run was larger than allowed.
+    BudgetExhausted {
+        /// The budget that was exhausted.
+        budget: u64,
+        /// Ticks actually simulated (equals `budget` for a fresh run;
+        /// for [`GtdSession::run_repeated`] it is the round-local count).
+        ticks: u64,
+    },
+    /// A model precondition was violated; nothing was simulated.
+    Precondition(PreconditionViolation),
+    /// The root's transcript could not be replayed.
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for GtdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GtdError::BudgetExhausted { budget, ticks } => {
+                write!(f, "tick budget {budget} exhausted after {ticks} ticks")
+            }
+            GtdError::Precondition(p) => write!(f, "precondition violated: {p}"),
+            GtdError::Decode(e) => write!(f, "transcript decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GtdError {}
+
+impl From<DecodeError> for GtdError {
+    fn from(e: DecodeError) -> Self {
+        GtdError::Decode(e)
+    }
+}
+
+impl From<PreconditionViolation> for GtdError {
+    fn from(p: PreconditionViolation) -> Self {
+        GtdError::Precondition(p)
+    }
+}
+
+/// Aggregate counters derived from the transcript.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RunStats {
+    /// Network RCAs with a FORWARD report.
+    pub forwards: usize,
+    /// Network RCAs with a BACK report.
+    pub backs: usize,
+    /// Root-local forward transcriptions (token re-entered the root).
+    pub local_forwards: usize,
+    /// Root-local backs (BCA returned the token to the root).
+    pub local_backs: usize,
+}
+
+impl RunStats {
+    /// Total RCAs run over the network.
+    pub fn rcas(&self) -> usize {
+        self.forwards + self.backs
+    }
+
+    /// Total BCAs run over the network: one per BACK report (every
+    /// backwards token move rides a BCA) plus one per root-local back.
+    pub fn bcas(&self) -> usize {
+        self.backs + self.local_backs
+    }
+
+    /// Total edge reports — must equal E exactly (Theorem 4.1's "a FORWARD
+    /// token is sent for every edge").
+    pub fn edges_reported(&self) -> usize {
+        self.forwards + self.local_forwards
+    }
+}
+
+/// The unified outcome of one GTD run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// The processor that hosted the master computer.
+    pub root: NodeId,
+    /// The reconstructed port-level map.
+    pub map: NetworkMap,
+    /// Global clock ticks from initiation to the root's terminal state
+    /// (round-local for repeated runs).
+    pub ticks: u64,
+    /// Transcript-derived counters.
+    pub stats: RunStats,
+    /// Where the ticks went (empty unless the transcript was captured).
+    pub phases: PhaseBreakdown,
+    /// The tick-stamped transcript (for replay, tracing, phase analysis).
+    /// Empty when [`GtdSession::capture_transcript`] was turned off.
+    pub events: Vec<(u64, TranscriptEvent)>,
+    /// True if after termination every processor's snake/token state was
+    /// back to factory state (Lemma 4.2) and no signal was in flight.
+    pub clean_at_end: bool,
+    /// True if the DFS visited every processor.
+    pub all_visited: bool,
+}
+
+impl RunOutcome {
+    /// The transcript without tick stamps (replays into a
+    /// [`MasterComputer`] verbatim).
+    pub fn event_stream(&self) -> impl Iterator<Item = TranscriptEvent> + '_ {
+        self.events.iter().map(|&(_, e)| e)
+    }
+}
+
+/// Generous default tick budget: each edge costs at most two RCAs and one
+/// BCA, each O(D) ⊆ O(N) with small constants (speed-1 = 3 ticks/hop,
+/// ~4 loop traversals per RCA). A correct run always fits; exhaustion
+/// under this budget means a protocol bug or a violated precondition that
+/// slipped past the static check.
+pub fn default_tick_budget(topo: &Topology) -> u64 {
+    let n = topo.num_nodes() as u64;
+    let e = topo.num_edges() as u64;
+    1_000 + (e + 2) * (n + 8) * 60
+}
+
+/// Observer callback: `(tick, event)` for every root transcript symbol.
+type Observer<'a> = Box<dyn FnMut(u64, TranscriptEvent) + 'a>;
+
+/// Builder for configured GTD runs. See the [module docs](self) for
+/// examples.
+pub struct GtdSession<'a> {
+    topo: &'a Topology,
+    root: NodeId,
+    mode: EngineMode,
+    tick_budget: Option<u64>,
+    start: StartBehavior,
+    capture: bool,
+    observer: Option<Observer<'a>>,
+}
+
+impl<'a> GtdSession<'a> {
+    /// Start configuring a run on `topo`. Defaults: root `n0`, sparse
+    /// engine, [`default_tick_budget`], transcript captured, no observer.
+    pub fn on(topo: &'a Topology) -> Self {
+        GtdSession {
+            topo,
+            root: NodeId(0),
+            mode: EngineMode::Sparse,
+            tick_budget: None,
+            start: StartBehavior::GtdRoot,
+            capture: true,
+            observer: None,
+        }
+    }
+
+    /// Which processor hosts the master computer. The protocol is
+    /// identical at every processor, so any root works (§1.1: the root
+    /// differs only by its power-on flag).
+    pub fn root(mut self, root: NodeId) -> Self {
+        self.root = root;
+        self
+    }
+
+    /// Engine execution strategy (observationally identical across modes).
+    pub fn mode(mut self, mode: EngineMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Hard cap on simulated ticks (per round for repeated runs).
+    /// Exhaustion returns [`GtdError::BudgetExhausted`] instead of
+    /// spinning forever.
+    pub fn tick_budget(mut self, budget: u64) -> Self {
+        self.tick_budget = Some(budget);
+        self
+    }
+
+    /// The root's power-on behaviour. Only [`StartBehavior::GtdRoot`]
+    /// (the default) initiates the DFS whose `Terminated` event ends a
+    /// session run, so [`Self::run`]/[`Self::run_repeated`] reject any
+    /// other value up front with
+    /// [`PreconditionViolation::StartNotRunnable`] — probe behaviours
+    /// belong on non-root initiators and are driven by
+    /// [`run_single_rca`](crate::runner::run_single_rca) /
+    /// [`run_single_bca`](crate::runner::run_single_bca). The knob
+    /// exists so future run shapes (e.g. probe sessions) keep the same
+    /// builder surface.
+    pub fn start(mut self, start: StartBehavior) -> Self {
+        self.start = start;
+        self
+    }
+
+    /// Keep (default) or drop the tick-stamped transcript. Dropping it
+    /// saves memory on very large runs; the phase breakdown is then left
+    /// empty (it is derived from the transcript).
+    pub fn capture_transcript(mut self, capture: bool) -> Self {
+        self.capture = capture;
+        self
+    }
+
+    /// Stream every `(tick, event)` pair to `f` as the root emits it —
+    /// independent of [`Self::capture_transcript`], so huge runs can be
+    /// traced without buffering.
+    pub fn observer(mut self, f: impl FnMut(u64, TranscriptEvent) + 'a) -> Self {
+        self.observer = Some(Box::new(f));
+        self
+    }
+
+    fn check_preconditions(&self) -> Result<(), PreconditionViolation> {
+        if self.root.idx() >= self.topo.num_nodes() {
+            return Err(PreconditionViolation::RootOutOfRange {
+                root: self.root,
+                nodes: self.topo.num_nodes(),
+            });
+        }
+        if self.start != StartBehavior::GtdRoot {
+            return Err(PreconditionViolation::StartNotRunnable(self.start));
+        }
+        if !algo::is_strongly_connected(self.topo) {
+            return Err(PreconditionViolation::NotStronglyConnected);
+        }
+        Ok(())
+    }
+
+    fn build_engine(&self) -> Engine<ProtocolNode> {
+        let start = self.start;
+        Engine::with_root(self.topo, self.mode, self.root, &mut |meta| {
+            let behaviour = if meta.is_root {
+                start
+            } else {
+                StartBehavior::Passive
+            };
+            ProtocolNode::new(&meta, behaviour)
+        })
+    }
+
+    /// Run the protocol once and return the unified outcome.
+    pub fn run(self) -> Result<RunOutcome, GtdError> {
+        Ok(self.run_repeated(1)?.pop().expect("one round requested"))
+    }
+
+    /// Run the protocol `rounds` times on the same live network: after
+    /// each termination the master computer nudges the root
+    /// ([`ProtocolNode::master_restart`]), a RESET flood clears the DFS
+    /// bookkeeping, and the network is mapped again — the
+    /// dynamic-remapping extension motivated by the paper's §1 ("the
+    /// network topology or size might change…"). Determinism implies all
+    /// rounds produce identical maps, which is asserted.
+    pub fn run_repeated(mut self, rounds: usize) -> Result<Vec<RunOutcome>, GtdError> {
+        assert!(rounds >= 1);
+        self.check_preconditions()?;
+        let budget = self
+            .tick_budget
+            .unwrap_or_else(|| default_tick_budget(self.topo));
+        let mut engine = self.build_engine();
+        let root = self.root;
+        let capture = self.capture;
+        let mut outcomes: Vec<RunOutcome> = Vec::with_capacity(rounds);
+        let mut scratch = Vec::new();
+        for round in 0..rounds {
+            let mut master = MasterComputer::new();
+            let mut events: Vec<(u64, TranscriptEvent)> = Vec::new();
+            let mut stats = RunStats::default();
+            let start_tick = engine.tick_count();
+            let mut end_tick = None;
+            while end_tick.is_none() {
+                let spent = engine.tick_count() - start_tick;
+                if spent >= budget {
+                    return Err(GtdError::BudgetExhausted {
+                        budget,
+                        ticks: spent,
+                    });
+                }
+                scratch.clear();
+                engine.tick(&mut scratch);
+                let now = engine.tick_count();
+                for (nid, ev) in scratch.drain(..) {
+                    debug_assert_eq!(nid, root, "only the root emits transcript events");
+                    match ev {
+                        TranscriptEvent::LoopForward { .. } => stats.forwards += 1,
+                        TranscriptEvent::LoopBack => stats.backs += 1,
+                        TranscriptEvent::LocalForward { .. } => stats.local_forwards += 1,
+                        TranscriptEvent::LocalBack => stats.local_backs += 1,
+                        TranscriptEvent::Terminated => end_tick = Some(now),
+                        _ => {}
+                    }
+                    if let Some(obs) = self.observer.as_mut() {
+                        obs(now, ev);
+                    }
+                    if capture {
+                        events.push((now, ev));
+                    }
+                    master.feed(ev)?;
+                }
+            }
+            // Drain the terminal tick's emissions, then wait for total
+            // quiescence (the master knows the map, hence a safe settling
+            // bound; in practice 1–2 ticks).
+            let mut settle = 0;
+            loop {
+                scratch.clear();
+                engine.tick(&mut scratch);
+                debug_assert!(scratch.is_empty());
+                if engine.is_quiet() {
+                    break;
+                }
+                settle += 1;
+                assert!(settle < 1000, "network failed to settle after termination");
+            }
+            let clean_at_end = engine.signals_in_flight() == 0
+                && engine.nodes().iter().all(|n| n.snake_state_pristine());
+            let all_visited = engine.nodes().iter().all(|n| n.dfs_visited());
+            let phases = if capture {
+                phase_breakdown(&events)
+            } else {
+                PhaseBreakdown::default()
+            };
+            outcomes.push(RunOutcome {
+                root,
+                map: master.into_map()?,
+                ticks: end_tick.expect("loop exits only on termination") - start_tick,
+                stats,
+                phases,
+                events,
+                clean_at_end,
+                all_visited,
+            });
+            if round + 1 < rounds {
+                engine.node_mut(root).master_restart();
+            }
+        }
+        for o in &outcomes[1..] {
+            assert_eq!(
+                o.map, outcomes[0].map,
+                "re-mapping must reproduce the identical map"
+            );
+        }
+        Ok(outcomes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtd_netsim::{generators, NodeId, TopologyBuilder};
+
+    #[test]
+    fn session_defaults_match_protocol_contract() {
+        let topo = generators::ring(5);
+        let out = GtdSession::on(&topo).run().unwrap();
+        out.map.verify_against(&topo, NodeId(0)).unwrap();
+        assert_eq!(out.stats.edges_reported(), topo.num_edges());
+        assert!(out.clean_at_end);
+        assert!(out.all_visited);
+        assert_eq!(out.root, NodeId(0));
+        // tick-stamped transcript brackets the run
+        assert!(matches!(
+            out.events.first(),
+            Some(&(_, TranscriptEvent::Start))
+        ));
+        assert!(matches!(
+            out.events.last(),
+            Some(&(_, TranscriptEvent::Terminated))
+        ));
+    }
+
+    #[test]
+    fn non_default_root_maps_exactly() {
+        let topo = generators::random_sc(18, 3, 4);
+        for root in [1u32, 9, 17] {
+            let out = GtdSession::on(&topo).root(NodeId(root)).run().unwrap();
+            out.map.verify_against(&topo, NodeId(root)).unwrap();
+            assert!(out.clean_at_end);
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_structured() {
+        let topo = generators::ring(12);
+        match GtdSession::on(&topo).tick_budget(25).run() {
+            Err(GtdError::BudgetExhausted { budget: 25, ticks }) => assert!(ticks >= 25),
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_strongly_connected_is_rejected_up_front() {
+        // two 2-cycles bridged one way: valid wiring, not strongly connected
+        let mut b = TopologyBuilder::new(4, 2);
+        b.connect_auto(NodeId(0), NodeId(1)).unwrap();
+        b.connect_auto(NodeId(1), NodeId(0)).unwrap();
+        b.connect_auto(NodeId(2), NodeId(3)).unwrap();
+        b.connect_auto(NodeId(3), NodeId(2)).unwrap();
+        b.connect_auto(NodeId(1), NodeId(2)).unwrap();
+        let topo = b.build().unwrap();
+        assert_eq!(
+            GtdSession::on(&topo).run().unwrap_err(),
+            GtdError::Precondition(PreconditionViolation::NotStronglyConnected)
+        );
+    }
+
+    #[test]
+    fn non_runnable_start_behaviour_is_rejected_up_front() {
+        // A passive root would never emit `Terminated` and would burn the
+        // whole default budget; the session rejects it before simulating.
+        let topo = generators::ring(4);
+        assert_eq!(
+            GtdSession::on(&topo)
+                .start(StartBehavior::Passive)
+                .run()
+                .unwrap_err(),
+            GtdError::Precondition(PreconditionViolation::StartNotRunnable(
+                StartBehavior::Passive
+            ))
+        );
+    }
+
+    #[test]
+    fn bogus_root_is_rejected_up_front() {
+        let topo = generators::ring(3);
+        assert_eq!(
+            GtdSession::on(&topo).root(NodeId(99)).run().unwrap_err(),
+            GtdError::Precondition(PreconditionViolation::RootOutOfRange {
+                root: NodeId(99),
+                nodes: 3
+            })
+        );
+    }
+
+    #[test]
+    fn observer_streams_the_whole_transcript() {
+        let topo = generators::ring(4);
+        let mut streamed = Vec::new();
+        let out = GtdSession::on(&topo)
+            .observer(|t, e| streamed.push((t, e)))
+            .run()
+            .unwrap();
+        assert_eq!(streamed, out.events);
+    }
+
+    #[test]
+    fn capture_off_still_produces_the_map() {
+        let topo = generators::random_sc(16, 3, 2);
+        let out = GtdSession::on(&topo)
+            .capture_transcript(false)
+            .run()
+            .unwrap();
+        assert!(out.events.is_empty());
+        assert_eq!(out.phases, PhaseBreakdown::default());
+        out.map.verify_against(&topo, NodeId(0)).unwrap();
+    }
+
+    #[test]
+    fn phase_breakdown_covers_most_of_the_run() {
+        let topo = generators::ring(8);
+        let out = GtdSession::on(&topo).run().unwrap();
+        assert_eq!(out.phases.rcas, out.stats.rcas());
+        assert!(out.phases.total() <= out.ticks);
+        assert!(
+            out.phases.total() * 10 >= out.ticks * 8,
+            "breakdown should cover >= 80% of the run: {} vs {}",
+            out.phases.total(),
+            out.ticks
+        );
+    }
+
+    #[test]
+    fn repeated_rounds_reproduce_the_map() {
+        let topo = generators::random_sc(16, 3, 21);
+        let outs = GtdSession::on(&topo)
+            .mode(EngineMode::Dense)
+            .run_repeated(2)
+            .unwrap();
+        assert_eq!(outs.len(), 2);
+        for o in &outs {
+            assert!(o.clean_at_end);
+            o.map.verify_against(&topo, NodeId(0)).unwrap();
+        }
+    }
+}

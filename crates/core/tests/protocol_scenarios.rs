@@ -4,26 +4,20 @@
 //! hand; these tests pin them).
 
 use gtd_core::events::TranscriptEvent;
-use gtd_core::{run_gtd, run_single_bca, run_single_rca, MasterComputer, ProtocolNode, StartBehavior};
+use gtd_core::{
+    run_single_bca, run_single_rca, GtdSession, MasterComputer, ProtocolNode, StartBehavior,
+};
 use gtd_netsim::{generators, Engine, EngineMode, NodeId, Port, TopologyBuilder};
 use gtd_snake::Hop;
 
-/// Collect (tick, event) pairs from a full GTD run.
+/// Collect (tick, event) pairs from a full GTD run — the session captures
+/// the tick-stamped transcript directly.
 fn traced_gtd(topo: &gtd_netsim::Topology) -> Vec<(u64, TranscriptEvent)> {
-    let mut engine = gtd_core::runner::build_gtd_engine(topo, EngineMode::Dense);
-    let mut out = Vec::new();
-    let mut events = Vec::new();
-    for _ in 0..1_000_000 {
-        events.clear();
-        engine.tick(&mut events);
-        for &(_, ev) in &events {
-            out.push((engine.tick_count(), ev));
-        }
-        if matches!(out.last(), Some((_, TranscriptEvent::Terminated))) {
-            return out;
-        }
-    }
-    panic!("GTD did not terminate");
+    GtdSession::on(topo)
+        .mode(EngineMode::Dense)
+        .run()
+        .expect("GTD terminates")
+        .events
 }
 
 #[test]
@@ -41,9 +35,15 @@ fn two_cycle_transcript_is_exactly_the_hand_trace() {
             IgTail,
             IdHop(hop),
             IdTail,
-            LoopForward { out_port: Port(0), in_port: Port(0) },
+            LoopForward {
+                out_port: Port(0),
+                in_port: Port(0)
+            },
             // n1 explores its out-port; the token re-enters the root
-            LocalForward { out_port: Port(0), in_port: Port(0) },
+            LocalForward {
+                out_port: Port(0),
+                in_port: Port(0)
+            },
             // the root bounces via BCA; n1 reports BACK
             IgHop(hop),
             IgTail,
@@ -100,7 +100,11 @@ fn bca_on_two_cycle_delivers_and_cleans() {
     assert_eq!(probe.loop_len, 2);
     assert!(probe.clean_at_end);
     assert!(probe.ticks_initiator < probe.ticks_delivered);
-    assert!(probe.ticks_delivered < 50, "tiny loop, tiny cost: {}", probe.ticks_delivered);
+    assert!(
+        probe.ticks_delivered < 50,
+        "tiny loop, tiny cost: {}",
+        probe.ticks_delivered
+    );
 }
 
 #[test]
@@ -142,7 +146,7 @@ fn probe_roles_can_be_assigned_anywhere() {
 fn gtd_root_with_high_degree_terminates() {
     // Root with the maximum degree: complete bidirectional K5.
     let topo = generators::complete_bidi(5);
-    let run = run_gtd(&topo, EngineMode::Sparse).unwrap();
+    let run = GtdSession::on(&topo).run().unwrap();
     run.map.verify_against(&topo, NodeId(0)).unwrap();
     assert_eq!(run.map.num_edges(), 20);
 }
@@ -151,7 +155,7 @@ fn gtd_root_with_high_degree_terminates() {
 fn long_thin_network_terminates() {
     // Worst-case diameter vs N: a 40-node directed ring.
     let topo = generators::ring(40);
-    let run = run_gtd(&topo, EngineMode::Sparse).unwrap();
+    let run = GtdSession::on(&topo).run().unwrap();
     run.map.verify_against(&topo, NodeId(0)).unwrap();
     assert!(run.clean_at_end);
 }
@@ -169,7 +173,7 @@ fn asymmetric_distances_handled() {
     assert_eq!(probe.dist_to_root, 1, "via the shortcut");
     assert_eq!(probe.dist_from_root, 3);
     assert!(probe.clean_at_end);
-    let run = run_gtd(&topo, EngineMode::Sparse).unwrap();
+    let run = GtdSession::on(&topo).run().unwrap();
     run.map.verify_against(&topo, NodeId(0)).unwrap();
 }
 
@@ -214,7 +218,10 @@ fn stats_counters_census() {
     loop {
         events.clear();
         engine.tick(&mut events);
-        if events.iter().any(|&(_, e)| e == TranscriptEvent::Terminated) {
+        if events
+            .iter()
+            .any(|&(_, e)| e == TranscriptEvent::Terminated)
+        {
             break;
         }
         assert!(engine.tick_count() < 5_000_000);
@@ -235,7 +242,7 @@ fn remapping_extension_reproduces_identical_maps() {
     // times on one live network, identical results each round.
     for seed in [1u64, 8] {
         let topo = generators::random_sc(18, 3, seed);
-        let runs = gtd_core::run_gtd_repeated(&topo, EngineMode::Sparse, 3).unwrap();
+        let runs = GtdSession::on(&topo).run_repeated(3).unwrap();
         assert_eq!(runs.len(), 3);
         for r in &runs {
             r.map.verify_against(&topo, NodeId(0)).unwrap();
@@ -244,15 +251,27 @@ fn remapping_extension_reproduces_identical_maps() {
         // determinism: each round costs the same (the RESET flood itself
         // runs concurrently with the first RCA, so round 2+ may differ from
         // round 1 by at most the restart tick)
-        assert_eq!(runs[1].ticks, runs[2].ticks, "steady-state rounds identical");
-        assert_eq!(runs[0].events, runs[1].events);
+        assert_eq!(
+            runs[1].ticks, runs[2].ticks,
+            "steady-state rounds identical"
+        );
+        let stream = |i: usize| runs[i].event_stream().collect::<Vec<_>>();
+        assert_eq!(stream(0), stream(1));
     }
 }
 
 #[test]
 fn remapping_works_across_modes() {
     let topo = generators::ring(6);
-    let a = gtd_core::run_gtd_repeated(&topo, EngineMode::Dense, 2).unwrap();
-    let b = gtd_core::run_gtd_repeated(&topo, EngineMode::Sparse, 2).unwrap();
+    let a = GtdSession::on(&topo)
+        .mode(EngineMode::Dense)
+        .run_repeated(2)
+        .unwrap();
+    let b = GtdSession::on(&topo)
+        .mode(EngineMode::Sparse)
+        .run_repeated(2)
+        .unwrap();
+    // tick-stamped equality: the modes agree on *when* every transcript
+    // symbol of the second round is emitted, not just the symbol order
     assert_eq!(a[1].events, b[1].events);
 }

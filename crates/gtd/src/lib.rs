@@ -1,0 +1,51 @@
+//! # gtd — the facade crate
+//!
+//! One import for the whole reproduction of Goldstein's *Determination of
+//! the Topology of a Directed Network* (IPPS 2002):
+//!
+//! * [`netsim`] — the lockstep simulator: port-labelled directed
+//!   multigraphs ([`Topology`]), graph ground truth ([`algo`]), workload
+//!   [`generators`], and the three-strategy synchronous engine;
+//! * [`snake`] — the finite-state snake/token data structures (paper §2);
+//! * [`protocol`] — the GTD protocol itself: [`GtdSession`] builder,
+//!   [`RunOutcome`], the protocol automaton and the master computer;
+//! * [`baselines`] — unbounded-memory comparison mappers and the §5
+//!   lower-bound machinery;
+//! * [`mapper`] — the [`TopologyMapper`] trait that runs GTD, flood-echo
+//!   and source-routed DFS through one probe-and-reconstruct interface.
+//!
+//! ```
+//! use gtd::{generators, GtdSession, NodeId, TopologyMapper};
+//!
+//! let topo = generators::random_sc(20, 3, 1);
+//!
+//! // Run the protocol through the session builder…
+//! let run = GtdSession::on(&topo).root(NodeId(2)).run().expect("terminates");
+//! run.map.verify_against(&topo, NodeId(2)).expect("exact port-level map");
+//!
+//! // …or run *every* mapper through the common trait:
+//! for mapper in gtd::all_mappers() {
+//!     let out = mapper.map_network(&topo, NodeId(0)).expect("mapper succeeds");
+//!     assert!(out.verify_against(&topo), "{} disagrees", mapper.name());
+//! }
+//! ```
+
+pub mod mapper;
+
+pub use gtd_baselines as baselines;
+pub use gtd_core as protocol;
+pub use gtd_netsim as netsim;
+pub use gtd_snake as snake;
+
+pub use gtd_core::{
+    default_tick_budget, phase_breakdown, DecodeError, GtdError, GtdSession, MasterComputer,
+    NetworkMap, PhaseBreakdown, PreconditionViolation, ProtocolNode, RunOutcome, RunStats,
+    StartBehavior, TranscriptEvent, VerifyError,
+};
+pub use gtd_netsim::{
+    algo, generators, Edge, Engine, EngineMode, NodeId, Port, Topology, TopologyBuilder,
+};
+pub use mapper::{
+    all_mappers, FloodEchoMapper, GtdMapper, MapperError, MapperRun, RoutedDfsMapper,
+    TopologyMapper,
+};

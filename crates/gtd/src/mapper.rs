@@ -1,0 +1,237 @@
+//! The common probe-and-reconstruct interface.
+//!
+//! Three very different machines can map a directed network from a single
+//! collector: the paper's finite-state GTD protocol, the unbounded-message
+//! flood-echo (baseline B1) and the unbounded-memory source-routed DFS
+//! (baseline B2). [`TopologyMapper`] runs all of them through one
+//! interface — pick a network and a root, get back the discovered wires
+//! and the synchronous-round cost — so experiment E7-style comparisons
+//! are apples-to-apples by construction (in the spirit of the common
+//! evaluation harnesses of the topology-identification literature).
+//!
+//! ```
+//! use gtd::{generators, NodeId, TopologyMapper};
+//!
+//! let topo = generators::ring(8);
+//! for mapper in gtd::all_mappers() {
+//!     let out = mapper.map_network(&topo, NodeId(3)).expect("maps");
+//!     assert!(out.verify_against(&topo));
+//!     assert!(out.rounds > 0);
+//! }
+//! ```
+
+use gtd_baselines::{flood_echo, source_routed_dfs};
+use gtd_core::{GtdError, GtdSession, VerifyError};
+use gtd_netsim::{Edge, EngineMode, NodeId, Topology};
+
+/// Why a mapper failed to produce a comparable edge set.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MapperError {
+    /// The underlying GTD run failed (budget, precondition, decode).
+    Gtd(GtdError),
+    /// The reconstructed map could not be resolved against ground truth
+    /// (protocol bug — Theorem 4.1 promises this never happens).
+    Unresolvable(VerifyError),
+}
+
+impl std::fmt::Display for MapperError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapperError::Gtd(e) => write!(f, "gtd run failed: {e}"),
+            MapperError::Unresolvable(e) => write!(f, "map does not resolve: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MapperError {}
+
+impl From<GtdError> for MapperError {
+    fn from(e: GtdError) -> Self {
+        MapperError::Gtd(e)
+    }
+}
+
+/// What every mapper returns: the discovered wires in ground-truth
+/// labels plus the cost of discovering them.
+#[derive(Clone, Debug)]
+pub struct MapperRun {
+    /// Synchronous rounds (global clock ticks) until the collector had
+    /// the complete map.
+    pub rounds: u64,
+    /// Messages sent, when the mapper counts them (`None` for GTD, which
+    /// ships one constant-size character per wire per tick by design).
+    pub messages: Option<u64>,
+    /// Every discovered wire, sorted, in ground-truth node labels.
+    pub edges: Vec<Edge>,
+}
+
+impl MapperRun {
+    /// Did the mapper discover exactly the network's wires?
+    pub fn verify_against(&self, topo: &Topology) -> bool {
+        self.edges == topo.sorted_edges()
+    }
+}
+
+/// A machine that maps an unknown directed network from one collector
+/// processor. Implementations must return edges in **ground-truth
+/// labels**, sorted, so outcomes are directly comparable.
+pub trait TopologyMapper {
+    /// Short display name (table rows, bench ids).
+    fn name(&self) -> &'static str;
+
+    /// Map `topo` from `root`.
+    fn map_network(&self, topo: &Topology, root: NodeId) -> Result<MapperRun, MapperError>;
+}
+
+/// The paper's finite-state protocol behind the common interface.
+///
+/// Runs a [`GtdSession`] (transcript capture off — the mapper interface
+/// only needs the map and the cost) and resolves the canonical-path names
+/// back to ground-truth labels.
+#[derive(Clone, Copy, Debug)]
+pub struct GtdMapper {
+    /// Engine strategy for the run.
+    pub mode: EngineMode,
+    /// Optional tick budget (defaults to the generous protocol bound).
+    pub tick_budget: Option<u64>,
+}
+
+impl Default for GtdMapper {
+    fn default() -> Self {
+        GtdMapper {
+            mode: EngineMode::Sparse,
+            tick_budget: None,
+        }
+    }
+}
+
+impl TopologyMapper for GtdMapper {
+    fn name(&self) -> &'static str {
+        "gtd"
+    }
+
+    fn map_network(&self, topo: &Topology, root: NodeId) -> Result<MapperRun, MapperError> {
+        let mut session = GtdSession::on(topo)
+            .root(root)
+            .mode(self.mode)
+            .capture_transcript(false);
+        if let Some(budget) = self.tick_budget {
+            session = session.tick_budget(budget);
+        }
+        let outcome = session.run()?;
+        let edges = outcome
+            .map
+            .resolve_edges(topo, root)
+            .map_err(MapperError::Unresolvable)?;
+        Ok(MapperRun {
+            rounds: outcome.ticks,
+            messages: None,
+            edges,
+        })
+    }
+}
+
+/// Baseline B1: unbounded-message flood-echo (`gtd_baselines::flood_echo`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FloodEchoMapper;
+
+impl TopologyMapper for FloodEchoMapper {
+    fn name(&self) -> &'static str {
+        "flood-echo"
+    }
+
+    fn map_network(&self, topo: &Topology, root: NodeId) -> Result<MapperRun, MapperError> {
+        let out = flood_echo(topo, root);
+        Ok(MapperRun {
+            rounds: out.rounds,
+            messages: Some(out.messages),
+            edges: out.edges,
+        })
+    }
+}
+
+/// Baseline B2: unbounded-memory source-routed DFS
+/// (`gtd_baselines::source_routed_dfs`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoutedDfsMapper;
+
+impl TopologyMapper for RoutedDfsMapper {
+    fn name(&self) -> &'static str {
+        "routed-dfs"
+    }
+
+    fn map_network(&self, topo: &Topology, root: NodeId) -> Result<MapperRun, MapperError> {
+        let out = source_routed_dfs(topo, root);
+        Ok(MapperRun {
+            rounds: out.rounds,
+            messages: Some(out.messages),
+            edges: out.edges,
+        })
+    }
+}
+
+/// Every mapper, in descending cost order: GTD (finite-state), routed
+/// DFS (unbounded memory), flood-echo (unbounded messages).
+pub fn all_mappers() -> Vec<Box<dyn TopologyMapper>> {
+    vec![
+        Box::new(GtdMapper::default()),
+        Box::new(RoutedDfsMapper),
+        Box::new(FloodEchoMapper),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtd_netsim::generators;
+
+    #[test]
+    fn every_mapper_agrees_with_ground_truth_from_any_root() {
+        let topo = generators::random_sc(18, 3, 5);
+        for mapper in all_mappers() {
+            for root in [0u32, 7, 17] {
+                let out = mapper.map_network(&topo, NodeId(root)).unwrap();
+                assert!(
+                    out.verify_against(&topo),
+                    "{} from root {root} disagrees",
+                    mapper.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gtd_mapper_budget_surfaces_as_mapper_error() {
+        let topo = generators::ring(10);
+        let mapper = GtdMapper {
+            tick_budget: Some(5),
+            ..GtdMapper::default()
+        };
+        match mapper.map_network(&topo, NodeId(0)) {
+            Err(MapperError::Gtd(GtdError::BudgetExhausted { budget: 5, .. })) => {}
+            other => panic!("expected budget error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cost_ordering_holds_through_the_trait() {
+        let topo = generators::random_sc(30, 3, 9);
+        let rounds: Vec<u64> = all_mappers()
+            .iter()
+            .map(|m| m.map_network(&topo, NodeId(0)).unwrap().rounds)
+            .collect();
+        // gtd > routed-dfs > flood-echo
+        assert!(
+            rounds[0] > rounds[1],
+            "gtd {} vs dfs {}",
+            rounds[0],
+            rounds[1]
+        );
+        assert!(
+            rounds[1] > rounds[2],
+            "dfs {} vs flood {}",
+            rounds[1],
+            rounds[2]
+        );
+    }
+}

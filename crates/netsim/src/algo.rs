@@ -96,10 +96,7 @@ pub fn tarjan_scc(topo: &Topology) -> Vec<u32> {
         on_stack[start as usize] = true;
 
         while let Some(&mut (v, ref mut cursor)) = call.last_mut() {
-            let succs: Vec<u32> = topo
-                .out_edges(NodeId(v))
-                .map(|(_, ep)| ep.node.0)
-                .collect();
+            let succs: Vec<u32> = topo.out_edges(NodeId(v)).map(|(_, ep)| ep.node.0).collect();
             if *cursor < succs.len() {
                 let w = succs[*cursor];
                 *cursor += 1;
@@ -144,7 +141,10 @@ pub fn diameter(topo: &Topology) -> u32 {
     for u in topo.node_ids() {
         let dist = bfs_dist(topo, u);
         for &x in &dist {
-            assert!(x != UNREACHABLE, "diameter of a non-strongly-connected network");
+            assert!(
+                x != UNREACHABLE,
+                "diameter of a non-strongly-connected network"
+            );
             d = d.max(x);
         }
     }
@@ -291,7 +291,16 @@ mod tests {
     fn tarjan_on_dag_of_cycles() {
         // 0<->1 -> 2<->3 -> 4<->5 : three components in a chain.
         let mut b = TopologyBuilder::new(6, 3);
-        for &(u, v) in &[(0, 1), (1, 0), (2, 3), (3, 2), (4, 5), (5, 4), (1, 2), (3, 4)] {
+        for &(u, v) in &[
+            (0, 1),
+            (1, 0),
+            (2, 3),
+            (3, 2),
+            (4, 5),
+            (5, 4),
+            (1, 2),
+            (3, 4),
+        ] {
             b.connect_auto(NodeId(u), NodeId(v)).unwrap();
         }
         // give 0 an in-edge from 1 (already), 4 in from 3 (already): builder ok
@@ -330,7 +339,7 @@ mod tests {
         b.connect(NodeId(0), Port(1), NodeId(2), Port(0)).unwrap();
         b.connect(NodeId(2), Port(0), NodeId(3), Port(0)).unwrap(); // in-port 0 via node 2
         b.connect(NodeId(1), Port(0), NodeId(3), Port(1)).unwrap(); // in-port 1 via node 1
-        // close the graph: 3 -> 0
+                                                                    // close the graph: 3 -> 0
         b.connect(NodeId(3), Port(0), NodeId(0), Port(0)).unwrap();
         // give 1 and 2 in..: 1 has in from 0 ok; 2 in from 0 ok; all good
         let t = b.build().unwrap();

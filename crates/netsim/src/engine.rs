@@ -20,14 +20,15 @@
 //!   be re-stepped or that received a non-blank signal. Protocol activity is
 //!   usually localized, so this is the workhorse for large runs. Correctness
 //!   relies on the *quiescence contract* documented on [`Automaton`].
-//! * [`EngineMode::Parallel`] — dense stepping fanned out over a rayon
-//!   thread pool. The synchronous model is embarrassingly data-parallel
+//! * [`EngineMode::Parallel`] — dense stepping fanned out over scoped OS
+//!   threads. The synchronous model is embarrassingly data-parallel
 //!   within a tick; this mode wins when floods keep most of the network
-//!   active at once.
+//!   active at once. Networks below [`PAR_MIN_NODES`] fall back to the
+//!   sequential dense path (observationally identical by construction),
+//!   since per-tick thread dispatch would dwarf the work.
 
 use crate::ids::{NodeId, Port};
 use crate::topology::Topology;
-use rayon::prelude::*;
 
 /// Static facts a processor knows about itself at power-on: which of its
 /// ports are wired (in-/out-port awareness, §1.2.1) and whether it is the
@@ -104,11 +105,22 @@ pub enum EngineMode {
     Dense,
     /// Step only woken nodes (event-driven), sequentially.
     Sparse,
-    /// Step every node every tick on the rayon pool.
+    /// Step every node every tick, fanned out over scoped threads.
     Parallel,
 }
 
 const NO_ROUTE: u32 = u32::MAX;
+
+/// Below this node count [`EngineMode::Parallel`] runs the sequential
+/// dense path: spawning threads every tick costs more than the tick.
+pub const PAR_MIN_NODES: usize = 512;
+
+/// Worker count for the parallel mode: all available cores, but at least
+/// ~256 nodes of work per worker.
+fn par_workers(n: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    cores.clamp(1, n.div_ceil(256).max(1))
+}
 
 /// The lockstep simulator. Generic over the automaton type so the same
 /// engine runs the GTD protocol, unit-test probes, and ablation automata.
@@ -279,8 +291,10 @@ impl<A: Automaton> Engine<A> {
     }
 
     fn tick_dense(&mut self, events: &mut Vec<(NodeId, A::Event)>, parallel: bool) {
+        let n = self.nodes.len();
         let delta = self.delta;
         let tick = self.tick;
+        let parallel = parallel && n >= PAR_MIN_NODES;
         // Phase 1: step everyone against the in_buf snapshot.
         let in_buf = &self.in_buf;
         let step_one = |idx: usize,
@@ -303,15 +317,46 @@ impl<A: Automaton> Engine<A> {
             *want = restep;
         };
         if parallel {
-            self.nodes
-                .par_iter_mut()
-                .zip(self.out_buf.par_chunks_mut(delta))
-                .zip(self.event_bufs.par_iter_mut())
-                .zip(self.want_step.par_iter_mut())
-                .enumerate()
-                .for_each(|(idx, (((node, out_chunk), evs), want))| {
-                    step_one(idx, node, out_chunk, evs, want);
-                });
+            // Fan contiguous node ranges out over scoped threads: each
+            // worker owns disjoint slices of every per-node table, while
+            // all share the immutable in_buf snapshot.
+            let per = n.div_ceil(par_workers(n));
+            std::thread::scope(|scope| {
+                let mut nodes = self.nodes.as_mut_slice();
+                let mut outs = self.out_buf.as_mut_slice();
+                let mut evs = self.event_bufs.as_mut_slice();
+                let mut wants = self.want_step.as_mut_slice();
+                let mut base = 0usize;
+                let step_one = &step_one;
+                while !nodes.is_empty() {
+                    let take = per.min(nodes.len());
+                    let (node_c, node_rest) = nodes.split_at_mut(take);
+                    let (out_c, out_rest) = outs.split_at_mut(take * delta);
+                    let (ev_c, ev_rest) = evs.split_at_mut(take);
+                    let (want_c, want_rest) = wants.split_at_mut(take);
+                    scope.spawn(move || {
+                        for (j, ((node, evbuf), want)) in node_c
+                            .iter_mut()
+                            .zip(ev_c.iter_mut())
+                            .zip(want_c.iter_mut())
+                            .enumerate()
+                        {
+                            step_one(
+                                base + j,
+                                node,
+                                &mut out_c[j * delta..(j + 1) * delta],
+                                evbuf,
+                                want,
+                            );
+                        }
+                    });
+                    nodes = node_rest;
+                    outs = out_rest;
+                    evs = ev_rest;
+                    wants = want_rest;
+                    base += take;
+                }
+            });
         } else {
             for (idx, ((node, out_chunk), (evs, want))) in self
                 .nodes
@@ -341,18 +386,33 @@ impl<A: Automaton> Engine<A> {
             }
         };
         if parallel {
-            self.in_buf
-                .par_chunks_mut(delta)
-                .zip(self.has_input.par_iter_mut())
-                .enumerate()
-                .for_each(|(n, (chunk, has))| {
-                    *has = false;
-                    for (i, dst) in chunk.iter_mut().enumerate() {
-                        gather_one(n * delta + i, dst, has);
-                    }
-                });
+            let per = n.div_ceil(par_workers(n));
+            std::thread::scope(|scope| {
+                let mut ins = self.in_buf.as_mut_slice();
+                let mut has = self.has_input.as_mut_slice();
+                let mut base = 0usize;
+                let gather_one = &gather_one;
+                while !ins.is_empty() {
+                    let take = (per * delta).min(ins.len());
+                    let (in_c, in_rest) = ins.split_at_mut(take);
+                    let (has_c, has_rest) = has.split_at_mut(take / delta);
+                    scope.spawn(move || {
+                        for (k, (chunk, h)) in
+                            in_c.chunks_mut(delta).zip(has_c.iter_mut()).enumerate()
+                        {
+                            *h = false;
+                            for (i, dst) in chunk.iter_mut().enumerate() {
+                                gather_one((base + k) * delta + i, dst, h);
+                            }
+                        }
+                    });
+                    ins = in_rest;
+                    has = has_rest;
+                    base += take / delta;
+                }
+            });
         } else {
-            for (n, (chunk, has)) in self
+            for (nid, (chunk, has)) in self
                 .in_buf
                 .chunks_mut(delta)
                 .zip(self.has_input.iter_mut())
@@ -360,7 +420,7 @@ impl<A: Automaton> Engine<A> {
             {
                 *has = false;
                 for (i, dst) in chunk.iter_mut().enumerate() {
-                    gather_one(n * delta + i, dst, has);
+                    gather_one(nid * delta + i, dst, has);
                 }
             }
         }
@@ -456,10 +516,8 @@ mod tests {
         started: bool,
     }
 
-    #[derive(Clone, PartialEq, Debug)]
-    #[derive(Default)]
+    #[derive(Clone, PartialEq, Debug, Default)]
     struct U32Sig(u32);
-    
 
     impl Automaton for Hopper {
         type Sig = U32Sig;

@@ -12,9 +12,8 @@
 
 use crate::algo::is_strongly_connected;
 use crate::ids::NodeId;
+use crate::rng::DetRng;
 use crate::topology::{Topology, TopologyBuilder};
-use rand::prelude::*;
-use rand::rngs::StdRng;
 
 /// Directed ring `0 → 1 → … → n-1 → 0`. N = n, D = n − 1, δ = 2.
 ///
@@ -39,8 +38,10 @@ pub fn line_bidi(n: usize) -> Topology {
     assert!(n >= 2);
     let mut b = TopologyBuilder::new(n, 2);
     for u in 0..n - 1 {
-        b.connect_auto(NodeId(u as u32), NodeId(u as u32 + 1)).expect("line wiring");
-        b.connect_auto(NodeId(u as u32 + 1), NodeId(u as u32)).expect("line wiring");
+        b.connect_auto(NodeId(u as u32), NodeId(u as u32 + 1))
+            .expect("line wiring");
+        b.connect_auto(NodeId(u as u32 + 1), NodeId(u as u32))
+            .expect("line wiring");
     }
     b.build().expect("line is a valid network")
 }
@@ -53,9 +54,11 @@ pub fn torus(w: usize, h: usize) -> Topology {
     let mut b = TopologyBuilder::new(w * h, 2);
     for y in 0..h {
         for x in 0..w {
-            b.connect_auto(id(x, y), id((x + 1) % w, y)).expect("torus right");
+            b.connect_auto(id(x, y), id((x + 1) % w, y))
+                .expect("torus right");
             if h >= 2 {
-                b.connect_auto(id(x, y), id(x, (y + 1) % h)).expect("torus down");
+                b.connect_auto(id(x, y), id(x, (y + 1) % h))
+                    .expect("torus down");
             }
         }
     }
@@ -76,7 +79,8 @@ pub fn debruijn(k: usize, m: usize) -> Topology {
         for a in 0..k {
             let v = (u * k + a) % n;
             if v != u {
-                b.connect_auto(NodeId(u as u32), NodeId(v as u32)).expect("debruijn wiring");
+                b.connect_auto(NodeId(u as u32), NodeId(v as u32))
+                    .expect("debruijn wiring");
             }
         }
     }
@@ -93,14 +97,15 @@ pub fn debruijn(k: usize, m: usize) -> Topology {
 /// expected out-degree close to δ.
 pub fn random_sc(n: usize, delta: u8, seed: u64) -> Topology {
     assert!(n >= 2 && delta >= 2);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x6774645f72616e64); // "gtd_rand"
+    let mut rng = DetRng::seed_from_u64(seed ^ 0x6774645f72616e64); // "gtd_rand"
     let mut order: Vec<u32> = (0..n as u32).collect();
-    order.shuffle(&mut rng);
+    rng.shuffle(&mut order);
     let mut b = TopologyBuilder::new(n, delta);
     for w in 0..n {
         let u = order[w];
         let v = order[(w + 1) % n];
-        b.connect_auto(NodeId(u), NodeId(v)).expect("hamiltonian cycle wiring");
+        b.connect_auto(NodeId(u), NodeId(v))
+            .expect("hamiltonian cycle wiring");
     }
     let target_extra = n * (delta as usize - 1);
     let mut added = 0usize;
@@ -144,7 +149,8 @@ pub fn bidi_grid_faulty(w: usize, h: usize, p: f64, seed: u64) -> Topology {
         }
     }
     for round in 0..64u64 {
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(round.wrapping_mul(0x9e3779b97f4a7c15)));
+        let mut rng =
+            DetRng::seed_from_u64(seed.wrapping_add(round.wrapping_mul(0x9e3779b97f4a7c15)));
         let mut b = TopologyBuilder::new(w * h, 4);
         for &(u, v) in &pairs {
             if !rng.random_bool(p) {
@@ -177,7 +183,11 @@ pub fn bidi_grid_faulty(w: usize, h: usize, p: f64, seed: u64) -> Topology {
 /// the Ω(N log N) bound (Theorem 5.1).
 pub fn tree_loop(h: u32, leaf_perm: &[usize]) -> Topology {
     let leaves = 1usize << h;
-    assert_eq!(leaf_perm.len(), leaves, "leaf_perm must order all 2^h leaves");
+    assert_eq!(
+        leaf_perm.len(),
+        leaves,
+        "leaf_perm must order all 2^h leaves"
+    );
     {
         let mut seen = vec![false; leaves];
         for &l in leaf_perm {
@@ -192,8 +202,10 @@ pub fn tree_loop(h: u32, leaf_perm: &[usize]) -> Topology {
     let mut b = TopologyBuilder::new(n, 3);
     for i in 0..(1usize << h) - 1 {
         for c in [2 * i + 1, 2 * i + 2] {
-            b.connect_auto(NodeId(i as u32), NodeId(c as u32)).expect("tree edge down");
-            b.connect_auto(NodeId(c as u32), NodeId(i as u32)).expect("tree edge up");
+            b.connect_auto(NodeId(i as u32), NodeId(c as u32))
+                .expect("tree edge down");
+            b.connect_auto(NodeId(c as u32), NodeId(i as u32))
+                .expect("tree edge up");
         }
     }
     let first_leaf = (1usize << h) - 1;
@@ -203,7 +215,8 @@ pub fn tree_loop(h: u32, leaf_perm: &[usize]) -> Topology {
         if leaves == 1 {
             break; // single leaf: no loop needed (h = 0 is rejected above anyway)
         }
-        b.connect_auto(NodeId(u as u32), NodeId(v as u32)).expect("leaf loop edge");
+        b.connect_auto(NodeId(u as u32), NodeId(v as u32))
+            .expect("leaf loop edge");
     }
     b.build().expect("tree_loop is a valid network")
 }
@@ -212,8 +225,8 @@ pub fn tree_loop(h: u32, leaf_perm: &[usize]) -> Topology {
 pub fn tree_loop_random(h: u32, seed: u64) -> Topology {
     let leaves = 1usize << h;
     let mut perm: Vec<usize> = (0..leaves).collect();
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x74726565); // "tree"
-    perm.shuffle(&mut rng);
+    let mut rng = DetRng::seed_from_u64(seed ^ 0x74726565); // "tree"
+    rng.shuffle(&mut perm);
     tree_loop(h, &perm)
 }
 
@@ -271,7 +284,8 @@ pub fn kautz(k: usize, m: usize) -> Topology {
             next.push(a);
             let v = encode(&next);
             debug_assert_ne!(u, v, "kautz graphs are self-loop-free");
-            b.connect_auto(NodeId(u as u32), NodeId(v as u32)).expect("kautz wiring");
+            b.connect_auto(NodeId(u as u32), NodeId(v as u32))
+                .expect("kautz wiring");
         }
     }
     b.build().expect("kautz is a valid network")
@@ -281,15 +295,20 @@ pub fn kautz(k: usize, m: usize) -> Topology {
 /// dimension. δ = d, D = d = log₂N. The classic HPC interconnect, included
 /// as a "this is what your cluster fabric looks like" workload.
 pub fn hypercube_bidi(dims: u32) -> Topology {
-    assert!((1..=7).contains(&dims), "delta = dims must stay a small constant");
+    assert!(
+        (1..=7).contains(&dims),
+        "delta = dims must stay a small constant"
+    );
     let n = 1usize << dims;
     let mut b = TopologyBuilder::new(n, dims as u8);
     for u in 0..n {
         for bit in 0..dims {
             let v = u ^ (1 << bit);
             if u < v {
-                b.connect_auto(NodeId(u as u32), NodeId(v as u32)).expect("cube wiring");
-                b.connect_auto(NodeId(v as u32), NodeId(u as u32)).expect("cube wiring");
+                b.connect_auto(NodeId(u as u32), NodeId(v as u32))
+                    .expect("cube wiring");
+                b.connect_auto(NodeId(v as u32), NodeId(u as u32))
+                    .expect("cube wiring");
             }
         }
     }
@@ -299,12 +318,16 @@ pub fn hypercube_bidi(dims: u32) -> Topology {
 /// Small complete bidirectional network (every ordered pair wired).
 /// Only valid for n ≤ δ_max; used in tests for dense adversarial cases.
 pub fn complete_bidi(n: usize) -> Topology {
-    assert!((2..=9).contains(&n), "complete networks only make sense tiny (delta = n-1)");
+    assert!(
+        (2..=9).contains(&n),
+        "complete networks only make sense tiny (delta = n-1)"
+    );
     let mut b = TopologyBuilder::new(n, (n - 1) as u8);
     for u in 0..n {
         for v in 0..n {
             if u != v {
-                b.connect_auto(NodeId(u as u32), NodeId(v as u32)).expect("complete wiring");
+                b.connect_auto(NodeId(u as u32), NodeId(v as u32))
+                    .expect("complete wiring");
             }
         }
     }
@@ -362,7 +385,11 @@ mod tests {
         let t = debruijn(2, 4); // 16 nodes
         assert_eq!(t.num_nodes(), 16);
         assert!(is_strongly_connected(&t));
-        assert!(diameter(&t) <= 5, "D should be ~m = 4, got {}", diameter(&t));
+        assert!(
+            diameter(&t) <= 5,
+            "D should be ~m = 4, got {}",
+            diameter(&t)
+        );
         // self-loops at 0 and k^m - 1 dropped:
         assert_eq!(t.out_degree(NodeId(0)), 1);
         assert_eq!(t.out_degree(NodeId(15)), 1);

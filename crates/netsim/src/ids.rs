@@ -5,13 +5,11 @@
 //! computer, never inside protocol logic. Ports are numbered `0..δ`
 //! (the paper numbers them from 1; we are 0-based throughout).
 
-use serde::{Deserialize, Serialize};
-
 /// Index of a processor in a [`crate::Topology`].
 ///
 /// `u32` keeps hot per-node tables small (see the type-size guidance in the
 /// Rust performance book); networks beyond 2³² processors are out of scope.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -33,7 +31,7 @@ impl std::fmt::Display for NodeId {
 /// The same `Port` value can denote an in-port or an out-port depending on
 /// context; the two namespaces are independent (a processor has up to δ
 /// in-ports *and* up to δ out-ports).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Port(pub u8);
 
 impl Port {
@@ -54,7 +52,7 @@ impl std::fmt::Display for Port {
 ///
 /// Stored in the topology's adjacency tables: the entry for an out-port
 /// holds the *remote* endpoint `(dst node, dst in-port)` and vice versa.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Endpoint {
     /// The processor on this end of the wire.
     pub node: NodeId,

@@ -20,16 +20,36 @@
 //!    which, on every global clock tick, each automaton reads one
 //!    constant-size character per in-port, performs a state change, and
 //!    writes one character per out-port. Three execution strategies are
-//!    provided (dense, sparse/event-driven, and rayon-parallel) which are
+//!    provided (dense, sparse/event-driven, and thread-parallel) which are
 //!    observationally identical; equivalence is enforced by tests.
 //!
 //! Nothing in this crate knows about snakes or the GTD protocol; it is the
 //! "hardware" on which `gtd-snake` and `gtd-core` run.
+//!
+//! ```
+//! use gtd_netsim::{algo, generators, NodeId, Port, TopologyBuilder};
+//!
+//! // Wire a network by hand…
+//! let mut b = TopologyBuilder::new(3, 2);
+//! b.connect(NodeId(0), Port(0), NodeId(1), Port(0)).unwrap();
+//! b.connect(NodeId(1), Port(0), NodeId(2), Port(0)).unwrap();
+//! b.connect(NodeId(2), Port(0), NodeId(0), Port(0)).unwrap();
+//! let triangle = b.build().unwrap();
+//! assert!(algo::is_strongly_connected(&triangle));
+//!
+//! // …or generate one, and query the ground truth the protocol is
+//! // verified against.
+//! let topo = generators::random_sc(24, 3, 7);
+//! assert!(algo::is_strongly_connected(&topo));
+//! let paths = algo::canonical_path(&topo, NodeId(0), NodeId(5)).unwrap();
+//! assert_eq!(paths.len() as u32, algo::bfs_dist(&topo, NodeId(0))[5]);
+//! ```
 
 pub mod algo;
 pub mod engine;
 pub mod generators;
 pub mod ids;
+pub mod rng;
 pub mod topology;
 
 pub use engine::{Automaton, Engine, EngineMode, NodeMeta, StepCtx};

@@ -9,10 +9,9 @@
 //! them — see DESIGN.md §5).
 
 use crate::ids::{Endpoint, NodeId, Port};
-use serde::{Deserialize, Serialize};
 
 /// A single wire: out-port `src_port` of `src` feeds in-port `dst_port` of `dst`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Edge {
     /// Sending processor.
     pub src: NodeId,
@@ -32,7 +31,11 @@ pub enum TopologyError {
     /// A port number is ≥ δ.
     PortOutOfRange { node: NodeId, port: Port, delta: u8 },
     /// The out-port (or in-port) is already wired.
-    PortBusy { node: NodeId, port: Port, is_out: bool },
+    PortBusy {
+        node: NodeId,
+        port: Port,
+        is_out: bool,
+    },
     /// Self-loops are rejected (DESIGN.md §5).
     SelfLoop(NodeId),
     /// All ports on this side of the node are already wired.
@@ -66,7 +69,7 @@ impl std::fmt::Display for TopologyError {
 impl std::error::Error for TopologyError {}
 
 /// Per-node wiring table.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 struct NodeWiring {
     /// `outs[o]` = remote `(node, in-port)` fed by our out-port `o`.
     outs: Vec<Option<Endpoint>>,
@@ -80,7 +83,7 @@ struct NodeWiring {
 /// [`crate::generators`]. Validation guarantees: at least two processors,
 /// every processor has ≥ 1 connected in-port and ≥ 1 connected out-port
 /// (required by the model, §1.1), no self-loops, and all port numbers < δ.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Topology {
     delta: u8,
     nodes: Vec<NodeWiring>,
@@ -115,23 +118,39 @@ impl Topology {
     /// The remote endpoint fed by `node`'s out-port `port`, if wired.
     #[inline]
     pub fn out_endpoint(&self, node: NodeId, port: Port) -> Option<Endpoint> {
-        self.nodes[node.idx()].outs.get(port.idx()).copied().flatten()
+        self.nodes[node.idx()]
+            .outs
+            .get(port.idx())
+            .copied()
+            .flatten()
     }
 
     /// The remote endpoint feeding `node`'s in-port `port`, if wired.
     #[inline]
     pub fn in_endpoint(&self, node: NodeId, port: Port) -> Option<Endpoint> {
-        self.nodes[node.idx()].ins.get(port.idx()).copied().flatten()
+        self.nodes[node.idx()]
+            .ins
+            .get(port.idx())
+            .copied()
+            .flatten()
     }
 
     /// Out-port connectivity mask of a node (out-port awareness, §1.2.1).
     pub fn out_connected(&self, node: NodeId) -> Vec<bool> {
-        self.nodes[node.idx()].outs.iter().map(Option::is_some).collect()
+        self.nodes[node.idx()]
+            .outs
+            .iter()
+            .map(Option::is_some)
+            .collect()
     }
 
     /// In-port connectivity mask of a node (in-port awareness, §1.2.1).
     pub fn in_connected(&self, node: NodeId) -> Vec<bool> {
-        self.nodes[node.idx()].ins.iter().map(Option::is_some).collect()
+        self.nodes[node.idx()]
+            .ins
+            .iter()
+            .map(Option::is_some)
+            .collect()
     }
 
     /// Connected out-degree of a node.
@@ -169,7 +188,12 @@ impl Topology {
         let mut out = Vec::with_capacity(self.num_edges());
         for src in self.node_ids() {
             for (src_port, ep) in self.out_edges(src) {
-                out.push(Edge { src, src_port, dst: ep.node, dst_port: ep.port });
+                out.push(Edge {
+                    src,
+                    src_port,
+                    dst: ep.node,
+                    dst_port: ep.port,
+                });
             }
         }
         out
@@ -308,16 +332,32 @@ impl TopologyBuilder {
             return Err(TopologyError::SelfLoop(src));
         }
         if src_port.idx() >= self.delta as usize {
-            return Err(TopologyError::PortOutOfRange { node: src, port: src_port, delta: self.delta });
+            return Err(TopologyError::PortOutOfRange {
+                node: src,
+                port: src_port,
+                delta: self.delta,
+            });
         }
         if dst_port.idx() >= self.delta as usize {
-            return Err(TopologyError::PortOutOfRange { node: dst, port: dst_port, delta: self.delta });
+            return Err(TopologyError::PortOutOfRange {
+                node: dst,
+                port: dst_port,
+                delta: self.delta,
+            });
         }
         if self.nodes[src.idx()].outs[src_port.idx()].is_some() {
-            return Err(TopologyError::PortBusy { node: src, port: src_port, is_out: true });
+            return Err(TopologyError::PortBusy {
+                node: src,
+                port: src_port,
+                is_out: true,
+            });
         }
         if self.nodes[dst.idx()].ins[dst_port.idx()].is_some() {
-            return Err(TopologyError::PortBusy { node: dst, port: dst_port, is_out: false });
+            return Err(TopologyError::PortBusy {
+                node: dst,
+                port: dst_port,
+                is_out: false,
+            });
         }
         self.nodes[src.idx()].outs[src_port.idx()] = Some(Endpoint::new(dst, dst_port));
         self.nodes[dst.idx()].ins[dst_port.idx()] = Some(Endpoint::new(src, src_port));
@@ -326,7 +366,11 @@ impl TopologyBuilder {
 
     /// Wire `src` to `dst` using the lowest free out-port on `src` and the
     /// lowest free in-port on `dst`. Returns the chosen `(out, in)` ports.
-    pub fn connect_auto(&mut self, src: NodeId, dst: NodeId) -> Result<(Port, Port), TopologyError> {
+    pub fn connect_auto(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Result<(Port, Port), TopologyError> {
         self.check_node(src)?;
         self.check_node(dst)?;
         if src == dst {
@@ -336,12 +380,18 @@ impl TopologyBuilder {
             .outs
             .iter()
             .position(Option::is_none)
-            .ok_or(TopologyError::NodeFull { node: src, is_out: true })?;
+            .ok_or(TopologyError::NodeFull {
+                node: src,
+                is_out: true,
+            })?;
         let i = self.nodes[dst.idx()]
             .ins
             .iter()
             .position(Option::is_none)
-            .ok_or(TopologyError::NodeFull { node: dst, is_out: false })?;
+            .ok_or(TopologyError::NodeFull {
+                node: dst,
+                is_out: false,
+            })?;
         let (o, i) = (Port(o as u8), Port(i as u8));
         self.connect(src, o, dst, i)?;
         Ok((o, i))
@@ -367,7 +417,10 @@ impl TopologyBuilder {
 
     /// Finish and validate.
     pub fn build(self) -> Result<Topology, TopologyError> {
-        let t = Topology { delta: self.delta, nodes: self.nodes };
+        let t = Topology {
+            delta: self.delta,
+            nodes: self.nodes,
+        };
         t.validate()?;
         Ok(t)
     }
@@ -418,11 +471,19 @@ mod tests {
         b.connect(NodeId(0), Port(0), NodeId(1), Port(0)).unwrap();
         assert_eq!(
             b.connect(NodeId(0), Port(0), NodeId(2), Port(0)),
-            Err(TopologyError::PortBusy { node: NodeId(0), port: Port(0), is_out: true })
+            Err(TopologyError::PortBusy {
+                node: NodeId(0),
+                port: Port(0),
+                is_out: true
+            })
         );
         assert_eq!(
             b.connect(NodeId(2), Port(0), NodeId(1), Port(0)),
-            Err(TopologyError::PortBusy { node: NodeId(1), port: Port(0), is_out: false })
+            Err(TopologyError::PortBusy {
+                node: NodeId(1),
+                port: Port(0),
+                is_out: false
+            })
         );
     }
 
@@ -457,13 +518,25 @@ mod tests {
     #[test]
     fn connect_auto_picks_lowest_free_ports() {
         let mut b = TopologyBuilder::new(3, 3);
-        assert_eq!(b.connect_auto(NodeId(0), NodeId(1)).unwrap(), (Port(0), Port(0)));
-        assert_eq!(b.connect_auto(NodeId(0), NodeId(1)).unwrap(), (Port(1), Port(1)));
-        assert_eq!(b.connect_auto(NodeId(2), NodeId(1)).unwrap(), (Port(0), Port(2)));
+        assert_eq!(
+            b.connect_auto(NodeId(0), NodeId(1)).unwrap(),
+            (Port(0), Port(0))
+        );
+        assert_eq!(
+            b.connect_auto(NodeId(0), NodeId(1)).unwrap(),
+            (Port(1), Port(1))
+        );
+        assert_eq!(
+            b.connect_auto(NodeId(2), NodeId(1)).unwrap(),
+            (Port(0), Port(2))
+        );
         // n1 is now full on the in-side.
         assert_eq!(
             b.connect_auto(NodeId(2), NodeId(1)),
-            Err(TopologyError::NodeFull { node: NodeId(1), is_out: false })
+            Err(TopologyError::NodeFull {
+                node: NodeId(1),
+                is_out: false
+            })
         );
     }
 
@@ -493,16 +566,24 @@ mod tests {
     fn walk_out_ports_follows_wires() {
         let t = two_cycle();
         assert_eq!(t.walk_out_ports(NodeId(0), &[Port(0)]), Some(NodeId(1)));
-        assert_eq!(t.walk_out_ports(NodeId(0), &[Port(0), Port(0)]), Some(NodeId(0)));
+        assert_eq!(
+            t.walk_out_ports(NodeId(0), &[Port(0), Port(0)]),
+            Some(NodeId(0))
+        );
         assert_eq!(t.walk_out_ports(NodeId(0), &[Port(1)]), None);
         assert_eq!(t.walk_out_ports(NodeId(0), &[]), Some(NodeId(0)));
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn clone_roundtrip_validates() {
+        // Rebuilding from the edge list reproduces an identical, valid
+        // topology (the structural analogue of a serialization roundtrip).
         let t = two_cycle();
-        let s = serde_json::to_string(&t).unwrap();
-        let t2: Topology = serde_json::from_str(&s).unwrap();
+        let mut b = TopologyBuilder::new(t.num_nodes(), t.delta());
+        for e in t.edges() {
+            b.connect(e.src, e.src_port, e.dst, e.dst_port).unwrap();
+        }
+        let t2 = b.build().unwrap();
         assert_eq!(t, t2);
         t2.validate().unwrap();
     }

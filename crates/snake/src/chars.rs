@@ -9,7 +9,6 @@
 //! several snakes simultaneously without confusion (§2.3.1).
 
 use gtd_netsim::Port;
-use serde::{Deserialize, Serialize};
 
 /// The six snake kinds used across the RCA (§4.2) and our BCA
 /// reconstruction (DESIGN.md §5).
@@ -18,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// snakes are generated elsewhere and trigger an action when they reach the
 /// root. "Backwards" (Bg/Bd) snakes belong to the BCA, where the initiator
 /// is also the terminator.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum SnakeKind {
     /// In-growing: searches for the root (RCA step 1).
     Ig,
@@ -87,7 +86,7 @@ impl std::fmt::Display for SnakeKind {
 /// and has not yet crossed its first wire. The first receiver replaces the
 /// ∗ with the in-port of arrival ([`Hop::filled`]); after that the hop is
 /// immutable no matter how far the character is relayed.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Hop {
     /// Out-port of the processor that generated the character.
     pub out_port: Port,
@@ -99,26 +98,35 @@ impl Hop {
     /// A freshly generated `(i, ∗)` hop.
     #[inline]
     pub fn star(out_port: Port) -> Self {
-        Hop { out_port, in_port: None }
+        Hop {
+            out_port,
+            in_port: None,
+        }
     }
 
     /// A complete `(i, j)` hop.
     #[inline]
     pub fn new(out_port: Port, in_port: Port) -> Self {
-        Hop { out_port, in_port: Some(in_port) }
+        Hop {
+            out_port,
+            in_port: Some(in_port),
+        }
     }
 
     /// Fill the ∗ with the in-port of first arrival; complete hops are
     /// returned unchanged (relays never rewrite them).
     #[inline]
     pub fn filled(self, arrival: Port) -> Self {
-        Hop { out_port: self.out_port, in_port: self.in_port.or(Some(arrival)) }
+        Hop {
+            out_port: self.out_port,
+            in_port: self.in_port.or(Some(arrival)),
+        }
     }
 }
 
 /// One snake character (kind is carried by the [`crate::Signal`] slot, so
 /// the character itself only stores role and hop).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum SnakeChar {
     /// A head character `XH(i, j)`.
     Head(Hop),
@@ -193,7 +201,13 @@ pub fn enumerate_alphabet(delta: u8) -> Vec<SnakeChar> {
     let mut out = Vec::with_capacity(alphabet_size(delta));
     for role_head in [true, false] {
         for i in 0..delta {
-            let mk = |hop| if role_head { SnakeChar::Head(hop) } else { SnakeChar::Body(hop) };
+            let mk = |hop| {
+                if role_head {
+                    SnakeChar::Head(hop)
+                } else {
+                    SnakeChar::Body(hop)
+                }
+            };
             out.push(mk(Hop::star(Port(i))));
             for j in 0..delta {
                 out.push(mk(Hop::new(Port(i), Port(j))));

@@ -216,7 +216,10 @@ mod tests {
         p.feed(Port(0), SnakeChar::Tail, 12);
         assert!(p.is_done());
         assert!(!p.is_endpoint());
-        assert_eq!(p.due(12).unwrap().c, SnakeChar::Head(Hop::new(Port(1), Port(1))));
+        assert_eq!(
+            p.due(12).unwrap().c,
+            SnakeChar::Head(Hop::new(Port(1), Port(1)))
+        );
         assert_eq!(p.due(13).unwrap().c, body(2, 2));
         assert_eq!(p.due(14).unwrap().c, SnakeChar::Tail);
         assert!(!p.has_pending());

@@ -59,7 +59,13 @@ impl GrowRelay {
     /// Fresh, quiescent relay for one snake kind.
     pub fn new(kind: SnakeKind) -> Self {
         assert!(kind.is_growing(), "GrowRelay only handles growing kinds");
-        GrowRelay { kind, visited: false, parent: None, initiator: false, q: DwellQueue::new() }
+        GrowRelay {
+            kind,
+            visited: false,
+            parent: None,
+            initiator: false,
+            q: DwellQueue::new(),
+        }
     }
 
     /// The snake kind this relay handles.
@@ -206,15 +212,20 @@ mod tests {
         // Caller feeds ports in ascending order; the port-0 stream is
         // adopted, the port-1 stream ignored.
         let mut r = GrowRelay::new(SnakeKind::Ig);
-        assert!(r.accept(Port(0), SnakeChar::Head(Hop::star(Port(5)))).is_some());
-        assert!(r.accept(Port(1), SnakeChar::Head(Hop::star(Port(6)))).is_none());
+        assert!(r
+            .accept(Port(0), SnakeChar::Head(Hop::star(Port(5))))
+            .is_some());
+        assert!(r
+            .accept(Port(1), SnakeChar::Head(Hop::star(Port(6))))
+            .is_none());
         assert_eq!(r.parent(), Some(Port(0)));
     }
 
     #[test]
     fn only_parent_stream_accepted_afterwards() {
         let mut r = GrowRelay::new(SnakeKind::Og);
-        r.accept(Port(2), SnakeChar::Head(Hop::star(Port(0)))).unwrap();
+        r.accept(Port(2), SnakeChar::Head(Hop::star(Port(0))))
+            .unwrap();
         assert!(r.accept(Port(0), body(1, 1)).is_none());
         assert!(r.accept(Port(2), body(1, 1)).is_some());
     }
@@ -226,7 +237,9 @@ mod tests {
         assert!(r.is_initiator());
         assert!(r.parent().is_none());
         // A snake of our own kind looping back must be ignored.
-        assert!(r.accept(Port(0), SnakeChar::Head(Hop::star(Port(0)))).is_none());
+        assert!(r
+            .accept(Port(0), SnakeChar::Head(Hop::star(Port(0))))
+            .is_none());
     }
 
     #[test]
@@ -244,7 +257,8 @@ mod tests {
     fn relay_dwells_speed_one() {
         let mut r = GrowRelay::new(SnakeKind::Ig);
         // adopt via the stream's head, then relay a body character
-        r.accept(Port(0), SnakeChar::Head(Hop::star(Port(1)))).unwrap();
+        r.accept(Port(0), SnakeChar::Head(Hop::star(Port(1))))
+            .unwrap();
         let c = r.accept(Port(0), body(1, 0)).unwrap();
         r.relay(c, 100);
         assert_eq!(r.due(101), None);
@@ -254,7 +268,8 @@ mod tests {
     #[test]
     fn tail_triggers_extend_then_tail() {
         let mut r = GrowRelay::new(SnakeKind::Ig);
-        r.accept(Port(0), SnakeChar::Head(Hop::star(Port(1)))).unwrap();
+        r.accept(Port(0), SnakeChar::Head(Hop::star(Port(1))))
+            .unwrap();
         let c = r.accept(Port(0), SnakeChar::Tail).unwrap();
         r.relay(c, 50);
         assert_eq!(r.due(52), Some(GrowEmit::Extend));
@@ -266,24 +281,36 @@ mod tests {
     fn stream_spacing_preserved_through_relay() {
         // chars arriving 1 tick apart leave 1 tick apart
         let mut r = GrowRelay::new(SnakeKind::Ig);
-        let h = r.accept(Port(0), SnakeChar::Head(Hop::star(Port(0)))).unwrap();
+        let h = r
+            .accept(Port(0), SnakeChar::Head(Hop::star(Port(0))))
+            .unwrap();
         r.relay(h, 10);
         let b = r.accept(Port(0), body(0, 0)).unwrap();
         r.relay(b, 11);
-        assert!(matches!(r.due(12), Some(GrowEmit::Relay(SnakeChar::Head(_)))));
-        assert!(matches!(r.due(13), Some(GrowEmit::Relay(SnakeChar::Body(_)))));
+        assert!(matches!(
+            r.due(12),
+            Some(GrowEmit::Relay(SnakeChar::Head(_)))
+        ));
+        assert!(matches!(
+            r.due(13),
+            Some(GrowEmit::Relay(SnakeChar::Body(_)))
+        ));
     }
 
     #[test]
     fn erase_restores_pristine() {
         let mut r = GrowRelay::new(SnakeKind::Og);
-        let c = r.accept(Port(1), SnakeChar::Head(Hop::star(Port(0)))).unwrap();
+        let c = r
+            .accept(Port(1), SnakeChar::Head(Hop::star(Port(0))))
+            .unwrap();
         r.relay(c, 5);
         assert!(!r.is_pristine());
         r.erase();
         assert!(r.is_pristine());
         // and the relay can be re-visited afresh (head-first, as always)
-        assert!(r.accept(Port(3), SnakeChar::Head(Hop::star(Port(0)))).is_some());
+        assert!(r
+            .accept(Port(3), SnakeChar::Head(Hop::star(Port(0))))
+            .is_some());
         assert_eq!(r.parent(), Some(Port(3)));
     }
 
@@ -297,7 +324,9 @@ mod tests {
         assert!(r.accept(Port(2), SnakeChar::Tail).is_none());
         assert!(!r.is_marked());
         // a head still adopts normally afterwards
-        assert!(r.accept(Port(2), SnakeChar::Head(Hop::star(Port(0)))).is_some());
+        assert!(r
+            .accept(Port(2), SnakeChar::Head(Hop::star(Port(0))))
+            .is_some());
         assert!(r.is_marked());
     }
 

@@ -106,18 +106,21 @@ impl LoopMarks {
                 };
                 (arrival == p).then_some(Route { succ: s, pair })
             }
-            (Some((p1, s1)), None) => {
-                (arrival == p1).then_some(Route { succ: s1, pair: MarkPair::First })
-            }
-            (None, Some((p2, s2))) => {
-                (arrival == p2).then_some(Route { succ: s2, pair: MarkPair::Second })
-            }
+            (Some((p1, s1)), None) => (arrival == p1).then_some(Route {
+                succ: s1,
+                pair: MarkPair::First,
+            }),
+            (None, Some((p2, s2))) => (arrival == p2).then_some(Route {
+                succ: s2,
+                pair: MarkPair::Second,
+            }),
             (None, None) => {
                 // Root pattern: predecessor #1 paired with successor #2.
                 match (self.pred1, self.succ2, self.succ1, self.pred2) {
-                    (Some(p1), Some(s2), None, None) if arrival == p1 => {
-                        Some(Route { succ: s2, pair: MarkPair::First })
-                    }
+                    (Some(p1), Some(s2), None, None) if arrival == p1 => Some(Route {
+                        succ: s2,
+                        pair: MarkPair::First,
+                    }),
                     _ => None,
                 }
             }
@@ -136,8 +139,10 @@ impl LoopMarks {
     /// pattern erases both its ports.
     pub fn unmark(&mut self, arrival: Port) -> Option<Route> {
         let route = self.route(arrival)?;
-        let root_pattern =
-            self.succ1.is_none() && self.pred2.is_none() && self.pred1.is_some() && self.succ2.is_some();
+        let root_pattern = self.succ1.is_none()
+            && self.pred2.is_none()
+            && self.pred1.is_some()
+            && self.succ2.is_some();
         if root_pattern {
             self.pred1 = None;
             self.succ2 = None;

@@ -7,10 +7,9 @@
 
 use crate::chars::Hop;
 use gtd_netsim::{NodeId, Port, Topology};
-use serde::{Deserialize, Serialize};
 
 /// A path through the network as port pairs, relative to some start node.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct PortPath {
     hops: Vec<(Port, Port)>,
 }
@@ -33,7 +32,9 @@ impl PortPath {
 
     /// Build from explicit `(out, in)` pairs.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (Port, Port)>) -> Self {
-        PortPath { hops: pairs.into_iter().collect() }
+        PortPath {
+            hops: pairs.into_iter().collect(),
+        }
     }
 
     /// Append one hop.

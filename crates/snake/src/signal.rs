@@ -11,20 +11,19 @@
 
 use crate::chars::{SnakeChar, SnakeKind};
 use gtd_netsim::Port;
-use serde::{Deserialize, Serialize};
 
 /// Constant-size message a BCA delivers backwards along an edge.
 ///
 /// In the GTD protocol the only backwards cargo is the DFS token itself;
 /// the enum leaves room for other protocols built on the same BCA.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum BcaMsg {
     /// "Here is the DFS token back" (§3: backtrack or bounce).
     DfsReturn,
 }
 
 /// A token travelling around a marked loop (speed-1).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum LoopToken {
     /// RCA payload: the DFS moved forward through out-port `out_port` of
     /// the previous holder into in-port `in_port` of the sender (§3).
@@ -39,7 +38,7 @@ pub enum LoopToken {
 /// The DFS token moving *forward* along a wire (§3). It "remembers …
 /// through which out-port it has been most recently passed"; the receiving
 /// processor supplies the in-port itself.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct DfsToken {
     /// The out-port the sender pushed the token through.
     pub sender_out_port: Port,
@@ -47,7 +46,7 @@ pub struct DfsToken {
 
 /// Everything that can cross one wire in one tick: at most one character
 /// per snake kind, plus the token channels.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct Signal {
     /// One optional character per snake kind, indexed by [`SnakeKind::idx`].
     pub snakes: [Option<SnakeChar>; 6],
@@ -150,7 +149,10 @@ mod tests {
         assert!(!s.is_blank());
         assert_eq!(s.occupancy(), 4);
         assert_eq!(s.snake(SnakeKind::Ig), Some(SnakeChar::Tail));
-        assert_eq!(s.snake(SnakeKind::Og), Some(SnakeChar::Head(Hop::star(Port(0)))));
+        assert_eq!(
+            s.snake(SnakeKind::Og),
+            Some(SnakeChar::Head(Hop::star(Port(0))))
+        );
         assert_eq!(s.snake(SnakeKind::Id), None);
     }
 
@@ -166,8 +168,12 @@ mod tests {
     #[should_panic(expected = "dfs channel")]
     fn dfs_collision_panics() {
         let mut s = Signal::blank();
-        s.put_dfs(DfsToken { sender_out_port: Port(0) });
-        s.put_dfs(DfsToken { sender_out_port: Port(1) });
+        s.put_dfs(DfsToken {
+            sender_out_port: Port(0),
+        });
+        s.put_dfs(DfsToken {
+            sender_out_port: Port(1),
+        });
     }
 
     #[test]
@@ -182,15 +188,23 @@ mod tests {
     }
 
     #[test]
-    fn loop_token_variants_roundtrip_serde() {
-        for t in [
-            LoopToken::Forward { out_port: Port(3), in_port: Port(1) },
+    fn loop_token_variants_distinct() {
+        let variants = [
+            LoopToken::Forward {
+                out_port: Port(3),
+                in_port: Port(1),
+            },
+            LoopToken::Forward {
+                out_port: Port(1),
+                in_port: Port(3),
+            },
             LoopToken::Back,
             LoopToken::Bca(BcaMsg::DfsReturn),
-        ] {
-            let s = serde_json::to_string(&t).unwrap();
-            let u: LoopToken = serde_json::from_str(&s).unwrap();
-            assert_eq!(t, u);
+        ];
+        for (i, a) in variants.iter().enumerate() {
+            for (j, b) in variants.iter().enumerate() {
+                assert_eq!(a == b, i == j);
+            }
         }
     }
 }

@@ -40,7 +40,9 @@ pub struct DwellQueue<T> {
 
 impl<T> Default for DwellQueue<T> {
     fn default() -> Self {
-        DwellQueue { items: VecDeque::new() }
+        DwellQueue {
+            items: VecDeque::new(),
+        }
     }
 }
 

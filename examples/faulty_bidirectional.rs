@@ -3,7 +3,7 @@
 //! shutdown failures at individual processors").
 //!
 //! ```text
-//! cargo run --release -p gtd-core --example faulty_bidirectional
+//! cargo run --release -p gtd --example faulty_bidirectional
 //! ```
 //!
 //! A healthy data-centre-style grid is fully bidirectional; after
@@ -13,8 +13,7 @@
 //! the same grid at increasing fault rates, with the surviving edge count
 //! and mapping cost.
 
-use gtd_core::run_gtd;
-use gtd_netsim::{algo, generators, EngineMode, NodeId};
+use gtd::{algo, generators, GtdSession, NodeId};
 
 fn main() {
     let (w, h) = (5usize, 4usize);
@@ -27,7 +26,7 @@ fn main() {
     for p in [0.0, 0.1, 0.2, 0.3, 0.4] {
         let topo = generators::bidi_grid_faulty(w, h, p, 42);
         let d = algo::diameter(&topo);
-        let run = run_gtd(&topo, EngineMode::Sparse).expect("terminates");
+        let run = GtdSession::on(&topo).run().expect("terminates");
         let exact = run.map.verify_against(&topo, NodeId(0)).is_ok();
         println!(
             "{:>6.2} {:>7} {:>7} {:>5} {:>9} {:>9} {:>11}",

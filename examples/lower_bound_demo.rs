@@ -1,7 +1,7 @@
 //! The Ω(N log N) lower bound, end to end (paper §5).
 //!
 //! ```text
-//! cargo run --release -p gtd-core --example lower_bound_demo
+//! cargo run --release -p gtd --example lower_bound_demo
 //! ```
 //!
 //! Walks through the three steps of Theorem 5.1 with real numbers:
@@ -12,12 +12,11 @@
 //! the bound by roughly a diameter factor, matching the paper's
 //! "asymptotically time-optimal for many large networks".
 
-use gtd_baselines::{
+use gtd::baselines::{
     count_distinct_small, family_size_log2, min_ticks_lower_bound, signal_alphabet_log2,
     tree_loop_params,
 };
-use gtd_core::run_gtd;
-use gtd_netsim::{generators, EngineMode, NodeId};
+use gtd::{generators, GtdSession, NodeId};
 
 fn main() {
     println!("step 1 — Lemma 5.1: how many distinct topologies does the family hold?\n");
@@ -34,7 +33,11 @@ fn main() {
     println!("\n  beyond tiny h, the bound log2 G(N) >= log2((L-1)!) - (L-1):");
     for h in [6u32, 10, 14] {
         let p = tree_loop_params(h);
-        println!("  h={h:>2}: N={:>6}, log2 G(N) >= {:>9.0} bits", p.n, family_size_log2(h));
+        println!(
+            "  h={h:>2}: N={:>6}, log2 G(N) >= {:>9.0} bits",
+            p.n,
+            family_size_log2(h)
+        );
     }
 
     println!("\nstep 2 — Lemma 5.2: the root reads at most δ characters per tick,");
@@ -44,7 +47,10 @@ fn main() {
     );
 
     println!("\nstep 3 — Theorem 5.1: pigeonhole |I|^(δT) >= G(N):\n");
-    println!("  {:>3} {:>7} {:>12} {:>14}", "h", "N", "min ticks", "bits needed");
+    println!(
+        "  {:>3} {:>7} {:>12} {:>14}",
+        "h", "N", "min ticks", "bits needed"
+    );
     for h in [6u32, 8, 10, 12, 14] {
         let p = tree_loop_params(h);
         println!(
@@ -58,10 +64,13 @@ fn main() {
     println!("\n  ratio (min ticks)/(N) grows with N -> the bound is superlinear: Ω(N log N).");
 
     println!("\nmeasured — GTD on actual family members:\n");
-    println!("  {:>3} {:>6} {:>10} {:>12} {:>10}", "h", "N", "GTD ticks", "bound", "ratio");
+    println!(
+        "  {:>3} {:>6} {:>10} {:>12} {:>10}",
+        "h", "N", "GTD ticks", "bound", "ratio"
+    );
     for h in [2u32, 3, 4, 5] {
         let topo = generators::tree_loop_random(h, 1);
-        let run = run_gtd(&topo, EngineMode::Sparse).expect("terminates");
+        let run = GtdSession::on(&topo).run().expect("terminates");
         run.map.verify_against(&topo, NodeId(0)).expect("exact");
         let bound = min_ticks_lower_bound(h).max(1.0);
         println!(

@@ -1,16 +1,16 @@
 //! Quickstart: map an unknown directed network from a single root.
 //!
 //! ```text
-//! cargo run --release -p gtd-core --example quickstart
+//! cargo run --release -p gtd --example quickstart
 //! ```
 //!
 //! Builds a random strongly-connected bounded-degree digraph, runs
 //! Goldstein's Global Topology Determination protocol on a network of
-//! identical finite-state automata, and verifies that the root's master
-//! computer reconstructed the port-level topology exactly.
+//! identical finite-state automata through the [`GtdSession`] builder,
+//! and verifies that the root's master computer reconstructed the
+//! port-level topology exactly.
 
-use gtd_core::run_gtd;
-use gtd_netsim::{algo, generators, EngineMode, NodeId};
+use gtd::{algo, generators, GtdSession, NodeId};
 
 fn main() {
     // An "unknown" network: 40 processors, in/out-degree ≤ 3.
@@ -23,8 +23,9 @@ fn main() {
         algo::diameter(&topo)
     );
 
-    // Run the protocol. Node 0 is the root; nobody else knows anything.
-    let run = run_gtd(&topo, EngineMode::Sparse).expect("protocol terminates");
+    // Run the protocol. Node 0 hosts the master computer; nobody else
+    // knows anything. (Any root works: `.root(NodeId(k))`.)
+    let run = GtdSession::on(&topo).run().expect("protocol terminates");
 
     println!("\nGTD finished in {} global clock ticks", run.ticks);
     println!(
@@ -32,6 +33,10 @@ fn main() {
         run.stats.forwards,
         run.stats.backs,
         run.stats.local_forwards + run.stats.local_backs
+    );
+    println!(
+        "phases: search {}t, echo {}t, mark {}t, report+cleanup {}t",
+        run.phases.search, run.phases.echo, run.phases.mark, run.phases.report_cleanup
     );
     println!(
         "map: {} processors, {} wires discovered",
@@ -50,7 +55,10 @@ fn main() {
         .verify_against(&topo, NodeId(0))
         .expect("reconstructed map is exact");
     println!("\nverification: the reconstructed map matches the network EXACTLY");
-    assert!(run.clean_at_end, "Lemma 4.2: the network is left undisturbed");
+    assert!(
+        run.clean_at_end,
+        "Lemma 4.2: the network is left undisturbed"
+    );
     println!("cleanup: every processor back to factory snake-state (Lemma 4.2)");
 
     // The map is a real Topology a downstream user could route over.

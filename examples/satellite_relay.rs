@@ -2,7 +2,7 @@
 //! "GPS satellites, encrypted one-way radio military networks").
 //!
 //! ```text
-//! cargo run --release -p gtd-core --example satellite_relay
+//! cargo run --release -p gtd --example satellite_relay
 //! ```
 //!
 //! The scenario: three orbital "shells" of relay satellites. Within a
@@ -12,20 +12,21 @@
 //! are *not* symmetric: the uplink and downlink gateways differ. Ground
 //! control is attached to one satellite (the root) and needs the full
 //! connectivity picture using only the satellites' tiny, identical
-//! communication processors.
+//! communication processors. The cost comparison against the idealized
+//! mappers runs through the common [`TopologyMapper`] interface.
 
-use gtd_core::run_gtd;
-use gtd_netsim::{algo, EngineMode, NodeId, TopologyBuilder};
+use gtd::{algo, GtdSession, NodeId, TopologyBuilder};
 
 /// Build the constellation: `shells` rings of `per_shell` satellites.
-fn constellation(shells: usize, per_shell: usize) -> gtd_netsim::Topology {
+fn constellation(shells: usize, per_shell: usize) -> gtd::Topology {
     let n = shells * per_shell;
     let id = |s: usize, k: usize| NodeId((s * per_shell + k) as u32);
     let mut b = TopologyBuilder::new(n, 4);
     for s in 0..shells {
         // one-way ring within the shell
         for k in 0..per_shell {
-            b.connect_auto(id(s, k), id(s, (k + 1) % per_shell)).expect("ring link");
+            b.connect_auto(id(s, k), id(s, (k + 1) % per_shell))
+                .expect("ring link");
         }
     }
     for s in 0..shells.saturating_sub(1) {
@@ -33,14 +34,18 @@ fn constellation(shells: usize, per_shell: usize) -> gtd_netsim::Topology {
         // s+1; downlink from satellite per_shell/2 of shell s+1 back to a
         // *different* satellite of shell s.
         b.connect_auto(id(s, 0), id(s + 1, 0)).expect("uplink");
-        b.connect_auto(id(s + 1, per_shell / 2), id(s, per_shell / 3 + 1)).expect("downlink");
+        b.connect_auto(id(s + 1, per_shell / 2), id(s, per_shell / 3 + 1))
+            .expect("downlink");
     }
     b.build().expect("constellation is a valid network")
 }
 
 fn main() {
     let topo = constellation(3, 8);
-    assert!(algo::is_strongly_connected(&topo), "mission requires strong connectivity");
+    assert!(
+        algo::is_strongly_connected(&topo),
+        "mission requires strong connectivity"
+    );
     println!(
         "constellation: {} satellites, {} one-way links, D = {}",
         topo.num_nodes(),
@@ -48,7 +53,7 @@ fn main() {
         algo::diameter(&topo)
     );
 
-    let run = run_gtd(&topo, EngineMode::Sparse).expect("protocol terminates");
+    let run = GtdSession::on(&topo).run().expect("protocol terminates");
     run.map.verify_against(&topo, NodeId(0)).expect("exact map");
     println!(
         "ground control mapped all {} links in {} ticks ({} RCAs, {} BCAs)",
@@ -59,18 +64,26 @@ fn main() {
     );
 
     // Contrast with what the same constellation costs on the idealized
-    // baselines (unbounded processor memory / message size):
-    let b1 = gtd_baselines::flood_echo(&topo, NodeId(0));
-    let b2 = gtd_baselines::source_routed_dfs(&topo, NodeId(0));
-    println!("\nfor comparison, with unbounded-memory processors:");
-    println!(
-        "  flood-echo     : {:>6} rounds, but ships {} edge records",
-        b1.rounds, b1.records_shipped
-    );
-    println!("  source-routed  : {:>6} rounds", b2.rounds);
-    println!(
-        "  GTD (this run) : {:>6} ticks — the price of finite-state hardware: {:.0}x",
-        run.ticks,
-        run.ticks as f64 / b2.rounds as f64
-    );
+    // baselines (unbounded processor memory / message size), all driven
+    // through the one mapper interface:
+    println!("\nevery mapper through TopologyMapper::map_network:");
+    for mapper in gtd::all_mappers() {
+        let out = mapper
+            .map_network(&topo, NodeId(0))
+            .expect("mapper succeeds");
+        assert!(out.verify_against(&topo));
+        match out.messages {
+            Some(msgs) => println!(
+                "  {:<12}: {:>6} rounds, {:>8} messages",
+                mapper.name(),
+                out.rounds,
+                msgs
+            ),
+            None => println!(
+                "  {:<12}: {:>6} rounds (one constant-size char per wire per tick)",
+                mapper.name(),
+                out.rounds
+            ),
+        }
+    }
 }

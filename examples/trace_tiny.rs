@@ -1,20 +1,23 @@
 //! Tick-level trace of the protocol on a tiny network — watch the snakes.
 //!
 //! ```text
-//! cargo run --release -p gtd-core --example trace_tiny
+//! cargo run --release -p gtd --example trace_tiny
 //! ```
 //!
 //! Runs GTD on a 3-ring and prints every transcript event with its tick,
 //! plus a per-tick census of characters dwelling in each processor, so the
 //! IG flood → OG conversion → ID/OD marking → KILL → loop token → UNMARK
 //! choreography of §4.2.1 is visible with the naked eye.
+//!
+//! The engine is driven manually (rather than through `GtdSession`)
+//! because the census inspects every processor's in-flight characters
+//! between ticks — state the transcript alone does not carry.
 
-use gtd_core::events::TranscriptEvent;
-use gtd_core::runner::build_gtd_engine;
-use gtd_netsim::{generators, EngineMode};
+use gtd::protocol::build_gtd_engine;
+use gtd::{EngineMode, TranscriptEvent};
 
 fn main() {
-    let topo = generators::ring(3);
+    let topo = gtd::generators::ring(3);
     println!("network: directed 3-ring n0 -> n1 -> n2 -> n0 (n0 is the root)\n");
     let mut engine = build_gtd_engine(&topo, EngineMode::Dense);
     let mut events = Vec::new();
@@ -29,7 +32,11 @@ fn main() {
             .iter()
             .map(|n| {
                 let c = n.chars_in_flight();
-                if c == 0 { '.' } else { char::from_digit(c as u32 % 10, 10).unwrap() }
+                if c == 0 {
+                    '.'
+                } else {
+                    char::from_digit(c as u32 % 10, 10).unwrap()
+                }
             })
             .collect();
         if census != last_census && census.chars().any(|c| c != '.') {
@@ -40,30 +47,56 @@ fn main() {
             match ev {
                 TranscriptEvent::Start => println!("t={t:>4}  ROOT: protocol initiated"),
                 TranscriptEvent::IgHop(h) => {
-                    println!("t={t:>4}  ROOT reads IG hop (out p{}, in p{:?}) — path A->root", h.out_port.0, h.in_port.map(|p| p.0))
+                    println!(
+                        "t={t:>4}  ROOT reads IG hop (out p{}, in p{:?}) — path A->root",
+                        h.out_port.0,
+                        h.in_port.map(|p| p.0)
+                    )
                 }
-                TranscriptEvent::IgTail => println!("t={t:>4}  ROOT: IG tail — A->root path complete"),
+                TranscriptEvent::IgTail => {
+                    println!("t={t:>4}  ROOT: IG tail — A->root path complete")
+                }
                 TranscriptEvent::IdHop(h) => {
-                    println!("t={t:>4}  ROOT reads ID hop (out p{}, in p{:?}) — path root->A", h.out_port.0, h.in_port.map(|p| p.0))
+                    println!(
+                        "t={t:>4}  ROOT reads ID hop (out p{}, in p{:?}) — path root->A",
+                        h.out_port.0,
+                        h.in_port.map(|p| p.0)
+                    )
                 }
-                TranscriptEvent::IdTail => println!("t={t:>4}  ROOT: ID tail — root->A path complete"),
+                TranscriptEvent::IdTail => {
+                    println!("t={t:>4}  ROOT: ID tail — root->A path complete")
+                }
                 TranscriptEvent::LoopForward { out_port, in_port } => {
-                    println!("t={t:>4}  ROOT sees FORWARD({},{}) loop token", out_port.0, in_port.0)
+                    println!(
+                        "t={t:>4}  ROOT sees FORWARD({},{}) loop token",
+                        out_port.0, in_port.0
+                    )
                 }
                 TranscriptEvent::LoopBack => println!("t={t:>4}  ROOT sees BACK loop token"),
                 TranscriptEvent::LocalForward { out_port, in_port } => {
-                    println!("t={t:>4}  ROOT: DFS token re-entered locally ({},{})", out_port.0, in_port.0)
+                    println!(
+                        "t={t:>4}  ROOT: DFS token re-entered locally ({},{})",
+                        out_port.0, in_port.0
+                    )
                 }
-                TranscriptEvent::LocalBack => println!("t={t:>4}  ROOT: DFS token returned via BCA"),
+                TranscriptEvent::LocalBack => {
+                    println!("t={t:>4}  ROOT: DFS token returned via BCA")
+                }
                 TranscriptEvent::Terminated => {
                     println!("t={t:>4}  ROOT: terminal state — map complete");
                 }
                 other => println!("t={t:>4}  {nid}: {other:?}"),
             }
         }
-        if events.iter().any(|&(_, ev)| ev == TranscriptEvent::Terminated) {
+        if events
+            .iter()
+            .any(|&(_, ev)| ev == TranscriptEvent::Terminated)
+        {
             break;
         }
     }
-    println!("\nfinal: network pristine = {}", engine.nodes().iter().all(|n| n.snake_state_pristine()));
+    println!(
+        "\nfinal: network pristine = {}",
+        engine.nodes().iter().all(|n| n.snake_state_pristine())
+    );
 }

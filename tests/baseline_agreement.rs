@@ -1,42 +1,59 @@
-//! The three mappers — GTD (finite-state), B2 (unbounded-memory DFS) and
-//! B1 (unbounded-message flood) — must discover literally the same wires,
-//! and their costs must order the way DESIGN.md §2 predicts.
+//! The three mappers — GTD (finite-state), routed DFS (unbounded memory)
+//! and flood-echo (unbounded messages) — all run through the common
+//! [`TopologyMapper`] trait, must discover literally the same wires, and
+//! their costs must order the way DESIGN.md §2 predicts.
 
-use gtd_baselines::{flood_echo, source_routed_dfs};
-use gtd_core::run_gtd;
-use gtd_netsim::{algo, generators, EngineMode, NodeId};
+use gtd::{
+    algo, all_mappers, generators, FloodEchoMapper, GtdMapper, NodeId, RoutedDfsMapper,
+    TopologyMapper,
+};
 
 #[test]
 fn all_three_mappers_agree_on_the_edge_set() {
     for seed in 0..10 {
         let topo = generators::random_sc(30, 3, seed);
         let truth = topo.sorted_edges();
+        for mapper in all_mappers() {
+            let run = mapper
+                .map_network(&topo, NodeId(0))
+                .expect("mapper succeeds");
+            assert_eq!(run.edges, truth, "{} seed {seed}", mapper.name());
+            assert!(run.verify_against(&topo));
+        }
+    }
+}
 
-        let run = run_gtd(&topo, EngineMode::Sparse).unwrap();
-        run.map.verify_against(&topo, NodeId(0)).unwrap();
-
-        let b2 = source_routed_dfs(&topo, NodeId(0));
-        assert_eq!(b2.edges, truth, "B2 seed {seed}");
-
-        let b1 = flood_echo(&topo, NodeId(0));
-        assert_eq!(b1.edges, truth, "B1 seed {seed}");
+#[test]
+fn all_three_mappers_agree_from_non_default_roots() {
+    let topo = generators::random_sc(24, 3, 3);
+    let truth = topo.sorted_edges();
+    for root in [5u32, 13, 23] {
+        for mapper in all_mappers() {
+            let run = mapper
+                .map_network(&topo, NodeId(root))
+                .expect("mapper succeeds");
+            assert_eq!(run.edges, truth, "{} root {root}", mapper.name());
+        }
     }
 }
 
 #[test]
 fn cost_ordering_matches_design_predictions() {
+    let gtd_mapper = GtdMapper::default();
+    let dfs_mapper = RoutedDfsMapper;
+    let flood_mapper = FloodEchoMapper;
     for seed in 0..5 {
         let topo = generators::random_sc(40, 3, seed);
         let d = algo::diameter(&topo) as u64;
         let e = topo.num_edges() as u64;
 
-        let gtd = run_gtd(&topo, EngineMode::Sparse).unwrap().ticks;
-        let b2 = source_routed_dfs(&topo, NodeId(0)).rounds;
-        let b1 = flood_echo(&topo, NodeId(0)).rounds;
+        let gtd = gtd_mapper.map_network(&topo, NodeId(0)).unwrap().rounds;
+        let b2 = dfs_mapper.map_network(&topo, NodeId(0)).unwrap().rounds;
+        let b1 = flood_mapper.map_network(&topo, NodeId(0)).unwrap().rounds;
 
-        // B1 = O(D): by far the fastest.
+        // flood-echo = O(D): by far the fastest.
         assert!(b1 <= d + 2, "B1 {b1} > D+2");
-        // B2 = Θ(E·avg-d): between the two.
+        // routed DFS = Θ(E·avg-d): between the two.
         assert!(b2 >= e, "B2 {b2} < E {e}");
         assert!(b2 <= e * (d + 1), "B2 {b2} > E(D+1)");
         // GTD pays the finite-state tax on top of B2's walk.
@@ -49,15 +66,21 @@ fn cost_ordering_matches_design_predictions() {
 
 #[test]
 fn flood_hides_enormous_bandwidth() {
-    // The "unbounded message size" assumption is what B1 buys speed with;
-    // make the hidden cost visible and strictly larger than GTD's, which
-    // ships one constant-size character per wire per tick.
+    // The "unbounded message size" assumption is what flood-echo buys
+    // speed with; make the hidden cost visible through the trait's message
+    // counter — GTD ships one constant-size character per wire per tick
+    // and reports no message count at all.
     let topo = generators::random_sc(40, 3, 1);
-    let b1 = flood_echo(&topo, NodeId(0));
-    let per_round_records = b1.records_shipped / b1.rounds.max(1);
+    let flood = FloodEchoMapper.map_network(&topo, NodeId(0)).unwrap();
+    let per_round_msgs = flood.messages.expect("flood counts messages") / flood.rounds.max(1);
     assert!(
-        per_round_records as usize > topo.num_edges(),
-        "flooding ships whole edge-sets per wire per round"
+        per_round_msgs as usize >= topo.num_edges(),
+        "flooding transmits on every wire every round"
+    );
+    let gtd = GtdMapper::default().map_network(&topo, NodeId(0)).unwrap();
+    assert_eq!(
+        gtd.messages, None,
+        "finite-state GTD has no message-count concept"
     );
 }
 
@@ -70,18 +93,26 @@ fn baselines_handle_structured_families() {
         generators::tree_loop_random(3, 5),
         generators::line_bidi(9),
     ] {
-        assert!(source_routed_dfs(&topo, NodeId(0)).verify_against(&topo));
-        assert!(flood_echo(&topo, NodeId(0)).verify_against(&topo));
+        for mapper in all_mappers() {
+            assert!(
+                mapper
+                    .map_network(&topo, NodeId(0))
+                    .unwrap()
+                    .verify_against(&topo),
+                "{} failed",
+                mapper.name()
+            );
+        }
     }
 }
 
 #[test]
-fn gtd_and_b2_walk_the_same_number_of_edges() {
+fn gtd_and_routed_dfs_walk_the_same_number_of_edges() {
     // Both perform the identical DFS edge walk; their forward-move counts
     // must both equal E exactly.
     let topo = generators::random_sc(25, 4, 2);
-    let run = run_gtd(&topo, EngineMode::Sparse).unwrap();
-    let b2 = source_routed_dfs(&topo, NodeId(0));
+    let run = gtd::GtdSession::on(&topo).run().unwrap();
+    let b2 = gtd::baselines::source_routed_dfs(&topo, NodeId(0));
     assert_eq!(run.stats.edges_reported() as u64, b2.forward_moves);
     assert_eq!(b2.forward_moves as usize, topo.num_edges());
 }

@@ -7,7 +7,7 @@
 //! from factory state (DFS bookkeeping aside — the paper never erases it).
 
 use gtd_core::runner::{build_gtd_engine, run_single_bca, run_single_rca};
-use gtd_core::{ProtocolNode, StartBehavior, TranscriptEvent};
+use gtd_core::{GtdSession, ProtocolNode, StartBehavior, TranscriptEvent};
 use gtd_netsim::{generators, Engine, EngineMode, NodeId, Port};
 
 /// Tick the engine to termination, checking the quiet⇒pristine invariant
@@ -31,7 +31,10 @@ fn run_checked(topo: &gtd_netsim::Topology) -> u64 {
                 );
             }
         }
-        if events.iter().any(|&(_, ev)| ev == TranscriptEvent::Terminated) {
+        if events
+            .iter()
+            .any(|&(_, ev)| ev == TranscriptEvent::Terminated)
+        {
             break;
         }
     }
@@ -41,7 +44,11 @@ fn run_checked(topo: &gtd_netsim::Topology) -> u64 {
     assert!(engine.is_quiet());
     assert_eq!(engine.signals_in_flight(), 0);
     for n in engine.nodes() {
-        assert!(n.snake_state_pristine(), "post-termination residue: {}", n.residue_description());
+        assert!(
+            n.snake_state_pristine(),
+            "post-termination residue: {}",
+            n.residue_description()
+        );
     }
     t
 }
@@ -99,21 +106,38 @@ fn finite_state_bound_holds() {
         for _ in 0..5_000_000u64 {
             events.clear();
             engine.tick(&mut events);
-            if events.iter().any(|&(_, ev)| ev == TranscriptEvent::Terminated) {
+            if events
+                .iter()
+                .any(|&(_, ev)| ev == TranscriptEvent::Terminated)
+            {
                 break;
             }
         }
-        let m = engine.nodes().iter().map(|x| x.stat_max_chars).max().unwrap();
+        let m = engine
+            .nodes()
+            .iter()
+            .map(|x| x.stat_max_chars)
+            .max()
+            .unwrap();
         if slot == 0 {
             max_small = m;
         } else {
             max_large = m;
         }
     }
-    assert!(max_small <= 8, "character high-water {max_small} > constant bound");
-    assert!(max_large <= 8, "character high-water {max_large} > constant bound");
+    assert!(
+        max_small <= 8,
+        "character high-water {max_small} > constant bound"
+    );
+    assert!(
+        max_large <= 8,
+        "character high-water {max_large} > constant bound"
+    );
     // and crucially: not growing with N
-    assert!(max_large <= max_small + 2, "char bound grows with N: {max_small} -> {max_large}");
+    assert!(
+        max_large <= max_small + 2,
+        "char bound grows with N: {max_small} -> {max_large}"
+    );
 }
 
 #[test]
@@ -126,7 +150,10 @@ fn kill_floods_are_bounded_per_protocol() {
     for _ in 0..5_000_000u64 {
         events.clear();
         engine.tick(&mut events);
-        if events.iter().any(|&(_, ev)| ev == TranscriptEvent::Terminated) {
+        if events
+            .iter()
+            .any(|&(_, ev)| ev == TranscriptEvent::Terminated)
+        {
             break;
         }
     }
@@ -166,7 +193,10 @@ fn remap_rounds_are_also_pristine_throughout() {
     // new round's first RCA and must not confuse the census: RESET touches
     // only DFS bookkeeping, never snake state).
     let topo = generators::random_sc(16, 3, 21);
-    let runs = gtd_core::run_gtd_repeated(&topo, EngineMode::Dense, 2).unwrap();
+    let runs = GtdSession::on(&topo)
+        .mode(EngineMode::Dense)
+        .run_repeated(2)
+        .unwrap();
     for r in &runs {
         assert!(r.clean_at_end);
         r.map.verify_against(&topo, NodeId(0)).unwrap();

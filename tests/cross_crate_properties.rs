@@ -3,15 +3,13 @@
 //! in the repository — every property is a paper claim.
 
 use gtd_core::events::TranscriptEvent;
-use gtd_core::{run_gtd, run_single_rca, ProtocolNode, StartBehavior};
+use gtd_core::{run_single_rca, GtdSession, ProtocolNode, StartBehavior};
 use gtd_netsim::{algo, generators, Engine, EngineMode, NodeId};
 use gtd_snake::PortPath;
 use proptest::prelude::*;
 
 fn arb_topology() -> impl Strategy<Value = gtd_netsim::Topology> {
-    (4usize..28, 2u8..5, 0u64..1_000_000).prop_map(|(n, d, seed)| {
-        generators::random_sc(n, d, seed)
-    })
+    (4usize..28, 2u8..5, 0u64..1_000_000).prop_map(|(n, d, seed)| generators::random_sc(n, d, seed))
 }
 
 proptest! {
@@ -20,7 +18,7 @@ proptest! {
     /// Theorem 4.1: the reconstructed map equals the network, always.
     #[test]
     fn gtd_maps_any_random_network(topo in arb_topology()) {
-        let run = run_gtd(&topo, EngineMode::Sparse).expect("terminates");
+        let run = GtdSession::on(&topo).run().expect("terminates");
         run.map.verify_against(&topo, NodeId(0)).expect("exact");
         prop_assert!(run.clean_at_end);
         prop_assert_eq!(run.stats.edges_reported(), topo.num_edges());
@@ -69,8 +67,8 @@ proptest! {
     /// The three engine strategies are observationally identical.
     #[test]
     fn engine_modes_agree(topo in arb_topology()) {
-        let dense = run_gtd(&topo, EngineMode::Dense).expect("dense terminates");
-        let sparse = run_gtd(&topo, EngineMode::Sparse).expect("sparse terminates");
+        let dense = GtdSession::on(&topo).mode(EngineMode::Dense).run().expect("dense terminates");
+        let sparse = GtdSession::on(&topo).mode(EngineMode::Sparse).run().expect("sparse terminates");
         prop_assert_eq!(&dense.events, &sparse.events);
         prop_assert_eq!(dense.ticks, sparse.ticks);
     }
@@ -78,7 +76,7 @@ proptest! {
     /// The map materializes into a valid Topology with identical shape.
     #[test]
     fn map_materializes(topo in arb_topology()) {
-        let run = run_gtd(&topo, EngineMode::Sparse).expect("terminates");
+        let run = GtdSession::on(&topo).run().expect("terminates");
         let rebuilt = run.map.to_topology().expect("valid topology");
         prop_assert_eq!(rebuilt.num_nodes(), topo.num_nodes());
         prop_assert_eq!(rebuilt.num_edges(), topo.num_edges());

@@ -1,12 +1,18 @@
 //! End-to-end Global Topology Determination runs across graph families,
-//! seeds, roots and engine modes — Theorem 4.1 at integration scope.
+//! seeds, roots and engine modes — Theorem 4.1 at integration scope,
+//! driven through the unified [`GtdSession`] API.
 
-use gtd_core::{run_gtd, TranscriptEvent};
-use gtd_netsim::{algo, generators, EngineMode, NodeId, Topology, TopologyBuilder};
+use gtd::{generators, EngineMode, GtdSession, MasterComputer, NodeId, Topology, TopologyBuilder};
+use gtd_core::{RunOutcome, TranscriptEvent};
 
-fn assert_exact(topo: &Topology, mode: EngineMode) -> gtd_core::GtdRun {
-    let run = run_gtd(topo, mode).expect("protocol terminates");
-    run.map.verify_against(topo, NodeId(0)).expect("map is exact");
+fn assert_exact(topo: &Topology, mode: EngineMode) -> RunOutcome {
+    let run = GtdSession::on(topo)
+        .mode(mode)
+        .run()
+        .expect("protocol terminates");
+    run.map
+        .verify_against(topo, NodeId(0))
+        .expect("map is exact");
     assert!(run.clean_at_end, "Lemma 4.2 violated");
     assert!(run.all_visited, "DFS must visit every processor");
     run
@@ -56,7 +62,11 @@ fn transcript_counts_match_edge_counts() {
         let e = topo.num_edges();
         let run = assert_exact(&topo, EngineMode::Sparse);
         assert_eq!(run.stats.edges_reported(), e, "one FORWARD per edge");
-        assert_eq!(run.stats.backs + run.stats.local_backs, e, "one BCA return per edge");
+        assert_eq!(
+            run.stats.backs + run.stats.local_backs,
+            e,
+            "one BCA return per edge"
+        );
         assert_eq!(run.stats.bcas(), e);
     }
 }
@@ -64,11 +74,25 @@ fn transcript_counts_match_edge_counts() {
 #[test]
 fn all_modes_produce_identical_transcripts() {
     let topo = generators::random_sc(20, 3, 11);
-    let dense = run_gtd(&topo, EngineMode::Dense).unwrap();
-    let sparse = run_gtd(&topo, EngineMode::Sparse).unwrap();
-    let parallel = run_gtd(&topo, EngineMode::Parallel).unwrap();
-    assert_eq!(dense.events, sparse.events, "dense vs sparse transcripts differ");
-    assert_eq!(dense.events, parallel.events, "dense vs parallel transcripts differ");
+    let dense = GtdSession::on(&topo).mode(EngineMode::Dense).run().unwrap();
+    let sparse = GtdSession::on(&topo)
+        .mode(EngineMode::Sparse)
+        .run()
+        .unwrap();
+    let parallel = GtdSession::on(&topo)
+        .mode(EngineMode::Parallel)
+        .run()
+        .unwrap();
+    // tick-stamped equality: the modes agree on *when* every transcript
+    // symbol is emitted, not just on the symbol order
+    assert_eq!(
+        dense.events, sparse.events,
+        "dense vs sparse transcripts differ"
+    );
+    assert_eq!(
+        dense.events, parallel.events,
+        "dense vs parallel transcripts differ"
+    );
     assert_eq!(dense.ticks, sparse.ticks);
     assert_eq!(dense.ticks, parallel.ticks);
 }
@@ -76,39 +100,26 @@ fn all_modes_produce_identical_transcripts() {
 #[test]
 fn repeated_runs_are_deterministic() {
     let topo = generators::random_sc(25, 3, 5);
-    let a = run_gtd(&topo, EngineMode::Sparse).unwrap();
-    let b = run_gtd(&topo, EngineMode::Sparse).unwrap();
+    let a = GtdSession::on(&topo).run().unwrap();
+    let b = GtdSession::on(&topo).run().unwrap();
     assert_eq!(a.events, b.events);
     assert_eq!(a.ticks, b.ticks);
 }
 
-/// Relabel `topo` so that `new_root` becomes node 0 (the engine's root).
-fn relabel_root(topo: &Topology, new_root: NodeId) -> Topology {
-    let n = topo.num_nodes();
-    let map = |v: NodeId| -> NodeId {
-        if v == new_root {
-            NodeId(0)
-        } else if v == NodeId(0) {
-            new_root
-        } else {
-            v
-        }
-    };
-    let mut b = TopologyBuilder::new(n, topo.delta());
-    for e in topo.edges() {
-        b.connect(map(e.src), e.src_port, map(e.dst), e.dst_port).unwrap();
-    }
-    b.build().unwrap()
-}
-
 #[test]
 fn every_root_maps_the_same_network() {
+    // The session configures the root directly — no relabelling tricks.
     let topo = generators::random_sc(14, 3, 9);
     for root in topo.node_ids() {
-        let relabeled = relabel_root(&topo, root);
-        let run = run_gtd(&relabeled, EngineMode::Sparse)
+        let run = GtdSession::on(&topo)
+            .root(root)
+            .run()
             .unwrap_or_else(|e| panic!("root {root}: {e}"));
-        run.map.verify_against(&relabeled, NodeId(0)).expect("exact from every root");
+        run.map
+            .verify_against(&topo, root)
+            .expect("exact from every root");
+        assert_eq!(run.root, root);
+        assert!(run.clean_at_end);
     }
 }
 
@@ -116,7 +127,16 @@ fn every_root_maps_the_same_network() {
 fn parallel_edges_and_two_cycles_mapped() {
     // Adversarial small case: double edges both directions plus a 2-cycle.
     let mut b = TopologyBuilder::new(3, 4);
-    for (u, v) in [(0u32, 1u32), (0, 1), (1, 0), (1, 0), (1, 2), (2, 0), (0, 2), (2, 1)] {
+    for (u, v) in [
+        (0u32, 1u32),
+        (0, 1),
+        (1, 0),
+        (1, 0),
+        (1, 2),
+        (2, 0),
+        (0, 2),
+        (2, 1),
+    ] {
         b.connect_auto(NodeId(u), NodeId(v)).unwrap();
     }
     let topo = b.build().unwrap();
@@ -131,7 +151,7 @@ fn ticks_scale_linearly_in_e_times_d() {
     for n in [12usize, 24, 36] {
         let topo = generators::ring(n);
         let run = assert_exact(&topo, EngineMode::Sparse);
-        let ed = (topo.num_edges() * algo::diameter(&topo) as usize) as f64;
+        let ed = (topo.num_edges() * gtd::algo::diameter(&topo) as usize) as f64;
         ratios.push(run.ticks as f64 / ed);
     }
     let (lo, hi) = (
@@ -146,9 +166,9 @@ fn transcript_replays_through_independent_master() {
     // The events captured in the run can be replayed into a fresh master
     // computer and produce the identical map (transcript completeness).
     let topo = generators::random_sc(18, 3, 4);
-    let run = run_gtd(&topo, EngineMode::Sparse).unwrap();
-    let mut master = gtd_core::MasterComputer::new();
-    for &ev in &run.events {
+    let run = GtdSession::on(&topo).run().unwrap();
+    let mut master = MasterComputer::new();
+    for ev in run.event_stream() {
         master.feed(ev).expect("replay decodes");
     }
     let map = master.into_map().expect("replay terminates");
@@ -158,20 +178,23 @@ fn transcript_replays_through_independent_master() {
 #[test]
 fn terminated_event_is_last_and_unique() {
     let topo = generators::random_sc(16, 3, 8);
-    let run = run_gtd(&topo, EngineMode::Sparse).unwrap();
+    let run = GtdSession::on(&topo).run().unwrap();
     let terms = run
-        .events
-        .iter()
-        .filter(|&&e| e == TranscriptEvent::Terminated)
+        .event_stream()
+        .filter(|&e| e == TranscriptEvent::Terminated)
         .count();
     assert_eq!(terms, 1);
-    assert_eq!(*run.events.last().unwrap(), TranscriptEvent::Terminated);
-    assert_eq!(*run.events.first().unwrap(), TranscriptEvent::Start);
+    assert_eq!(run.events.last().unwrap().1, TranscriptEvent::Terminated);
+    assert_eq!(run.events.first().unwrap().1, TranscriptEvent::Start);
 }
 
 #[test]
 fn kautz_and_hypercube_families_map_exactly() {
-    for topo in [generators::kautz(2, 2), generators::kautz(2, 3), generators::hypercube_bidi(3)] {
+    for topo in [
+        generators::kautz(2, 2),
+        generators::kautz(2, 3),
+        generators::hypercube_bidi(3),
+    ] {
         assert_exact(&topo, EngineMode::Sparse);
     }
 }

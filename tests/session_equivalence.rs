@@ -1,0 +1,155 @@
+//! Engine-mode equivalence through the [`GtdSession`] builder: the three
+//! execution strategies must produce identical tick-stamped transcripts,
+//! identical maps and identical tick counts on every workload family —
+//! including from non-default roots — and a tick budget must turn a
+//! too-long run into a structured error instead of a hang.
+
+use gtd::{
+    generators, EngineMode, GtdError, GtdSession, NodeId, PreconditionViolation, Topology,
+    TopologyBuilder,
+};
+
+const MODES: [EngineMode; 3] = [EngineMode::Dense, EngineMode::Sparse, EngineMode::Parallel];
+
+/// The five families of the equivalence matrix, each with a non-zero root.
+fn families() -> Vec<(&'static str, Topology, NodeId)> {
+    vec![
+        ("ring", generators::ring(9), NodeId(4)),
+        ("torus", generators::torus(3, 3), NodeId(5)),
+        ("debruijn", generators::debruijn(2, 3), NodeId(3)),
+        (
+            "tree_loop_random",
+            generators::tree_loop_random(2, 7),
+            NodeId(6),
+        ),
+        ("random_sc", generators::random_sc(20, 3, 3), NodeId(17)),
+    ]
+}
+
+#[test]
+fn modes_agree_on_every_family_with_non_zero_roots() {
+    for (name, topo, root) in families() {
+        let runs: Vec<_> = MODES
+            .iter()
+            .map(|&mode| {
+                GtdSession::on(&topo)
+                    .root(root)
+                    .mode(mode)
+                    .run()
+                    .unwrap_or_else(|e| panic!("{name} ({mode:?}, root {root}): {e}"))
+            })
+            .collect();
+        for (run, &mode) in runs.iter().zip(&MODES) {
+            run.map
+                .verify_against(&topo, root)
+                .unwrap_or_else(|e| panic!("{name} ({mode:?}): inexact map: {e}"));
+            assert!(run.clean_at_end, "{name} ({mode:?}): Lemma 4.2 violated");
+        }
+        let dense = &runs[0];
+        for (run, &mode) in runs.iter().zip(&MODES).skip(1) {
+            assert_eq!(run.map, dense.map, "{name} ({mode:?}): maps differ");
+            assert_eq!(
+                run.ticks, dense.ticks,
+                "{name} ({mode:?}): tick counts differ"
+            );
+            assert_eq!(
+                run.events, dense.events,
+                "{name} ({mode:?}): tick-stamped transcripts differ"
+            );
+            assert_eq!(run.stats, dense.stats, "{name} ({mode:?}): stats differ");
+        }
+    }
+}
+
+#[test]
+fn modes_agree_on_repeated_rounds() {
+    let topo = generators::random_sc(16, 3, 8);
+    let root = NodeId(7);
+    let per_mode: Vec<_> = MODES
+        .iter()
+        .map(|&mode| {
+            GtdSession::on(&topo)
+                .root(root)
+                .mode(mode)
+                .run_repeated(2)
+                .unwrap()
+        })
+        .collect();
+    for rounds in &per_mode[1..] {
+        assert_eq!(rounds[0].events, per_mode[0][0].events);
+        assert_eq!(rounds[1].events, per_mode[0][1].events);
+        assert_eq!(rounds[1].ticks, per_mode[0][1].ticks);
+    }
+}
+
+#[test]
+fn tick_budget_exhaustion_errors_instead_of_hanging() {
+    let topo = generators::random_sc(20, 3, 1);
+    for mode in MODES {
+        match GtdSession::on(&topo).mode(mode).tick_budget(40).run() {
+            Err(GtdError::BudgetExhausted { budget: 40, ticks }) => {
+                assert!(ticks >= 40, "budget error must report the spent ticks")
+            }
+            other => panic!("({mode:?}) expected BudgetExhausted, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn budget_exhaustion_applies_per_round() {
+    // A budget sized off one measured round: the repeated run either fits
+    // every round under it or fails fast with the budget error — never a
+    // hang.
+    let topo = generators::ring(8);
+    let single = GtdSession::on(&topo).run().unwrap();
+    let budget = single.ticks + 1;
+    match GtdSession::on(&topo).tick_budget(budget).run_repeated(200) {
+        // each round is budgeted separately, so either every round fits…
+        Ok(runs) => assert_eq!(runs.len(), 200),
+        // …or the first too-slow round reports the exhaustion
+        Err(GtdError::BudgetExhausted { budget: b, .. }) => assert_eq!(b, budget),
+        Err(other) => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn generous_budget_changes_nothing() {
+    let topo = generators::ring(6);
+    let capped = GtdSession::on(&topo).tick_budget(u64::MAX).run().unwrap();
+    let free = GtdSession::on(&topo).run().unwrap();
+    assert_eq!(capped.events, free.events);
+    assert_eq!(capped.ticks, free.ticks);
+}
+
+#[test]
+fn disconnected_networks_fail_fast_not_slow() {
+    // Without the up-front check this network would burn the entire
+    // default budget before erroring; the precondition variant is
+    // distinguishable from budget exhaustion.
+    let mut b = TopologyBuilder::new(6, 3);
+    for (u, v) in [(0u32, 1u32), (1, 0), (2, 3), (3, 2), (4, 5), (5, 4)] {
+        b.connect_auto(NodeId(u), NodeId(v)).unwrap();
+    }
+    b.connect_auto(NodeId(1), NodeId(2)).unwrap(); // one-way bridges
+    b.connect_auto(NodeId(3), NodeId(4)).unwrap();
+    let topo = b.build().unwrap();
+    for mode in MODES {
+        assert_eq!(
+            GtdSession::on(&topo).mode(mode).run().unwrap_err(),
+            GtdError::Precondition(PreconditionViolation::NotStronglyConnected),
+            "({mode:?})"
+        );
+    }
+}
+
+#[test]
+fn out_of_range_root_is_a_precondition_error() {
+    let topo = generators::ring(4);
+    assert_eq!(
+        GtdSession::on(&topo).root(NodeId(4)).run().unwrap_err(),
+        GtdError::Precondition(PreconditionViolation::RootOutOfRange {
+            root: NodeId(4),
+            nodes: 4
+        })
+    );
+}

@@ -1,0 +1,222 @@
+//! Vendored, API-compatible subset of [criterion](https://crates.io/crates/criterion).
+//!
+//! This workspace builds offline; the real crate is not fetchable. The
+//! subset covers what the `gtd-bench` benches use: [`Criterion`],
+//! benchmark groups with [`BenchmarkGroup::sample_size`] /
+//! [`BenchmarkGroup::throughput`], [`BenchmarkId`], [`Bencher::iter`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is a plain wall-clock timer: a short warm-up, then
+//! `sample_size` timed samples of a batch sized to last ≥ 1 ms each;
+//! the best (minimum) per-iteration time is reported, one line per
+//! benchmark, with element throughput when configured.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level driver handed to every `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Run a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(name, &b, 20, None);
+        self
+    }
+}
+
+/// Per-iteration work-unit count used for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterized benchmark name inside a group.
+pub struct BenchmarkId {
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Identify a benchmark by its parameter only (`group/parameter`).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (the real crate enforces
+    /// ≥ 10; this subset just stores it).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Configure throughput reporting for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark over `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        let label = format!("{}/{}", self.name, id.parameter);
+        report(&label, &b, self.sample_size, self.throughput);
+        self
+    }
+
+    /// Close the group (printing is incremental; nothing is pending).
+    pub fn finish(self) {}
+}
+
+/// Collects one benchmark's timing; populated by [`Bencher::iter`].
+#[derive(Default)]
+pub struct Bencher {
+    /// Best observed per-iteration time.
+    best: Option<Duration>,
+    /// Samples requested at measurement time (set lazily by `report`).
+    planned_samples: usize,
+}
+
+impl Bencher {
+    /// Time the closure. Runs a warm-up, sizes a batch to last ≥ 1 ms,
+    /// then records the minimum per-iteration time over the samples.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let samples = if self.planned_samples == 0 {
+            10
+        } else {
+            self.planned_samples
+        };
+        // Warm-up + batch sizing: grow the batch until it lasts >= 1 ms.
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let mut best = Duration::MAX;
+        let deadline = Instant::now() + Duration::from_millis(300);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let per_iter = t0.elapsed() / batch as u32;
+            best = best.min(per_iter);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+        self.best = Some(best);
+    }
+}
+
+fn report(label: &str, b: &Bencher, _samples: usize, throughput: Option<Throughput>) {
+    match b.best {
+        Some(best) => {
+            let per_iter = best.as_secs_f64();
+            let tp = match throughput {
+                Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                    format!("  {:>12.2} Kelem/s", n as f64 / per_iter / 1e3)
+                }
+                Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                    format!("  {:>12.2} MiB/s", n as f64 / per_iter / (1024.0 * 1024.0))
+                }
+                _ => String::new(),
+            };
+            println!("bench {label:<48} {:>12.3} µs/iter{tp}", per_iter * 1e6);
+        }
+        None => println!("bench {label:<48} (no measurement)"),
+    }
+}
+
+/// Bundle benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    #[test]
+    fn group_api_flows() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(100));
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        g.finish();
+    }
+}
