@@ -22,13 +22,24 @@
 //! loop family and its topology count), Lemma 5.2 (the transcript-capacity
 //! bound), and Theorem 5.1's resulting minimum running time.
 
+//!
+//! The [`mapper`] module runs GTD *and* both baselines through the single
+//! [`TopologyMapper`] probe-and-reconstruct interface, addressable by
+//! stable name — the unit a campaign grid crosses with topologies, roots
+//! and engine modes.
+
 pub mod flood;
 pub mod lower_bound;
+pub mod mapper;
 pub mod routed_dfs;
 
 pub use flood::{flood_echo, FloodOutcome};
 pub use lower_bound::{
     canonical_map_key, count_distinct_small, family_size_log2, min_ticks_lower_bound,
     signal_alphabet_log2, transcript_capacity_log2, tree_loop_params, TreeLoopParams,
+};
+pub use mapper::{
+    all_mappers, mapper_by_name, mapper_names, FloodEchoMapper, GtdMapper, MapperConfig,
+    MapperError, MapperRun, RoutedDfsMapper, TopologyMapper,
 };
 pub use routed_dfs::{source_routed_dfs, RoutedDfsOutcome};

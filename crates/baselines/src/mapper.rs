@@ -9,19 +9,24 @@
 //! are apples-to-apples by construction (in the spirit of the common
 //! evaluation harnesses of the topology-identification literature).
 //!
+//! Mappers are addressable by stable name ([`mapper_by_name`]) so campaign
+//! grids and CLI flags can select them as data; [`all_mappers`] returns
+//! every implementation for exhaustive comparisons.
+//!
 //! ```
-//! use gtd::{generators, NodeId, TopologyMapper};
+//! use gtd_baselines::mapper::all_mappers;
+//! use gtd_netsim::{generators, NodeId};
 //!
 //! let topo = generators::ring(8);
-//! for mapper in gtd::all_mappers() {
+//! for mapper in all_mappers() {
 //!     let out = mapper.map_network(&topo, NodeId(3)).expect("maps");
 //!     assert!(out.verify_against(&topo));
 //!     assert!(out.rounds > 0);
 //! }
 //! ```
 
-use gtd_baselines::{flood_echo, source_routed_dfs};
-use gtd_core::{GtdError, GtdSession, VerifyError};
+use crate::{flood_echo, source_routed_dfs};
+use gtd_core::{GtdError, GtdSession, PhaseBreakdown, RunStats, VerifyError};
 use gtd_netsim::{Edge, EngineMode, NodeId, Topology};
 
 /// Why a mapper failed to produce a comparable edge set.
@@ -63,6 +68,13 @@ pub struct MapperRun {
     pub messages: Option<u64>,
     /// Every discovered wire, sorted, in ground-truth node labels.
     pub edges: Vec<Edge>,
+    /// Transcript-derived protocol counters (GTD only).
+    pub stats: Option<RunStats>,
+    /// Where the ticks went (GTD with
+    /// [`GtdMapper::capture_phases`] only).
+    pub phases: Option<PhaseBreakdown>,
+    /// Lemma 4.2 check: was the network left pristine (GTD only)?
+    pub clean: Option<bool>,
 }
 
 impl MapperRun {
@@ -76,7 +88,7 @@ impl MapperRun {
 /// processor. Implementations must return edges in **ground-truth
 /// labels**, sorted, so outcomes are directly comparable.
 pub trait TopologyMapper {
-    /// Short display name (table rows, bench ids).
+    /// Short display name (table rows, bench ids, campaign grids).
     fn name(&self) -> &'static str;
 
     /// Map `topo` from `root`.
@@ -85,15 +97,19 @@ pub trait TopologyMapper {
 
 /// The paper's finite-state protocol behind the common interface.
 ///
-/// Runs a [`GtdSession`] (transcript capture off — the mapper interface
-/// only needs the map and the cost) and resolves the canonical-path names
-/// back to ground-truth labels.
+/// Runs a [`GtdSession`] and resolves the canonical-path names back to
+/// ground-truth labels. Transcript capture is off by default (the mapper
+/// interface only needs the map and the cost); switch
+/// [`capture_phases`](GtdMapper::capture_phases) on to also get the
+/// per-phase tick breakdown in [`MapperRun::phases`].
 #[derive(Clone, Copy, Debug)]
 pub struct GtdMapper {
     /// Engine strategy for the run.
     pub mode: EngineMode,
     /// Optional tick budget (defaults to the generous protocol bound).
     pub tick_budget: Option<u64>,
+    /// Capture the transcript and fill [`MapperRun::phases`].
+    pub capture_phases: bool,
 }
 
 impl Default for GtdMapper {
@@ -101,6 +117,7 @@ impl Default for GtdMapper {
         GtdMapper {
             mode: EngineMode::Sparse,
             tick_budget: None,
+            capture_phases: false,
         }
     }
 }
@@ -114,7 +131,7 @@ impl TopologyMapper for GtdMapper {
         let mut session = GtdSession::on(topo)
             .root(root)
             .mode(self.mode)
-            .capture_transcript(false);
+            .capture_transcript(self.capture_phases);
         if let Some(budget) = self.tick_budget {
             session = session.tick_budget(budget);
         }
@@ -127,11 +144,14 @@ impl TopologyMapper for GtdMapper {
             rounds: outcome.ticks,
             messages: None,
             edges,
+            stats: Some(outcome.stats),
+            phases: self.capture_phases.then_some(outcome.phases),
+            clean: Some(outcome.clean_at_end),
         })
     }
 }
 
-/// Baseline B1: unbounded-message flood-echo (`gtd_baselines::flood_echo`).
+/// Baseline B1: unbounded-message flood-echo ([`crate::flood_echo`]).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct FloodEchoMapper;
 
@@ -146,12 +166,15 @@ impl TopologyMapper for FloodEchoMapper {
             rounds: out.rounds,
             messages: Some(out.messages),
             edges: out.edges,
+            stats: None,
+            phases: None,
+            clean: None,
         })
     }
 }
 
 /// Baseline B2: unbounded-memory source-routed DFS
-/// (`gtd_baselines::source_routed_dfs`).
+/// ([`crate::source_routed_dfs`]).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RoutedDfsMapper;
 
@@ -166,18 +189,66 @@ impl TopologyMapper for RoutedDfsMapper {
             rounds: out.rounds,
             messages: Some(out.messages),
             edges: out.edges,
+            stats: None,
+            phases: None,
+            clean: None,
         })
+    }
+}
+
+/// How [`mapper_by_name`] configures the mapper it builds. Baselines
+/// ignore every knob (they are analytic machines); GTD honours all three.
+#[derive(Clone, Copy, Debug)]
+pub struct MapperConfig {
+    /// Engine strategy for protocol runs.
+    pub mode: EngineMode,
+    /// Optional tick budget for protocol runs.
+    pub tick_budget: Option<u64>,
+    /// Capture the transcript for the phase breakdown.
+    pub capture_phases: bool,
+}
+
+impl Default for MapperConfig {
+    fn default() -> Self {
+        MapperConfig {
+            mode: EngineMode::Sparse,
+            tick_budget: None,
+            capture_phases: false,
+        }
+    }
+}
+
+/// The stable mapper names, in descending cost order (matches
+/// [`all_mappers`]).
+pub fn mapper_names() -> Vec<&'static str> {
+    vec!["gtd", "routed-dfs", "flood-echo"]
+}
+
+/// Build a mapper by its stable name (`"gtd"`, `"routed-dfs"`,
+/// `"flood-echo"`), configured by `cfg`. Returns `None` for unknown names.
+pub fn mapper_by_name(
+    name: &str,
+    cfg: &MapperConfig,
+) -> Option<Box<dyn TopologyMapper + Send + Sync>> {
+    match name {
+        "gtd" => Some(Box::new(GtdMapper {
+            mode: cfg.mode,
+            tick_budget: cfg.tick_budget,
+            capture_phases: cfg.capture_phases,
+        })),
+        "routed-dfs" => Some(Box::new(RoutedDfsMapper)),
+        "flood-echo" => Some(Box::new(FloodEchoMapper)),
+        _ => None,
     }
 }
 
 /// Every mapper, in descending cost order: GTD (finite-state), routed
 /// DFS (unbounded memory), flood-echo (unbounded messages).
-pub fn all_mappers() -> Vec<Box<dyn TopologyMapper>> {
-    vec![
-        Box::new(GtdMapper::default()),
-        Box::new(RoutedDfsMapper),
-        Box::new(FloodEchoMapper),
-    ]
+pub fn all_mappers() -> Vec<Box<dyn TopologyMapper + Send + Sync>> {
+    mapper_names()
+        .into_iter()
+        .map(|n| mapper_by_name(n, &MapperConfig::default()).expect("registry name"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -233,5 +304,33 @@ mod tests {
             rounds[1],
             rounds[2]
         );
+    }
+
+    #[test]
+    fn mapper_by_name_round_trips_the_registry() {
+        for name in mapper_names() {
+            let m = mapper_by_name(name, &MapperConfig::default()).unwrap();
+            assert_eq!(m.name(), name);
+        }
+        assert!(mapper_by_name("oracle", &MapperConfig::default()).is_none());
+    }
+
+    #[test]
+    fn gtd_mapper_captures_phases_and_cleanliness_on_demand() {
+        let topo = generators::ring(8);
+        let quiet = GtdMapper::default().map_network(&topo, NodeId(0)).unwrap();
+        assert!(quiet.phases.is_none());
+        assert_eq!(quiet.clean, Some(true));
+        assert!(quiet.stats.unwrap().rcas() > 0);
+
+        let chatty = GtdMapper {
+            capture_phases: true,
+            ..GtdMapper::default()
+        }
+        .map_network(&topo, NodeId(0))
+        .unwrap();
+        let phases = chatty.phases.unwrap();
+        assert!(phases.total() > 0);
+        assert_eq!(phases.rcas, chatty.stats.unwrap().rcas());
     }
 }

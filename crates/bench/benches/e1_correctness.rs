@@ -11,7 +11,7 @@ fn bench_e1(c: &mut Criterion) {
     let mut g = c.benchmark_group("e1_gtd_verified");
     g.sample_size(10);
     for w in core_families(1) {
-        g.bench_with_input(BenchmarkId::from_parameter(&w.name), &w.topo, |b, topo| {
+        g.bench_with_input(BenchmarkId::from_parameter(w.name()), &w.topo, |b, topo| {
             b.iter(|| {
                 let run = GtdSession::on(black_box(topo)).run().expect("terminates");
                 run.map.verify_against(topo, NodeId(0)).expect("exact");

@@ -3,7 +3,7 @@
 //! finite-stateness cost" comparison.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gtd::all_mappers;
+use gtd_baselines::all_mappers;
 use gtd_netsim::{generators, NodeId};
 use std::hint::black_box;
 

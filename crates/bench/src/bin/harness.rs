@@ -1,19 +1,208 @@
-//! The experiment harness: regenerates every row of EXPERIMENTS.md.
+//! The experiment harness — a subcommand CLI over the campaign layer.
 //!
-//! Usage: `cargo run --release -p gtd-bench --bin harness [-- e1 e2 …] [--scale K] [--json FILE]`
+//! ```text
+//! harness list                         # spec families, mappers, engine modes
+//! harness run [e1 … e8] [--scale K] [--json FILE]
+//! harness grid --spec S [--spec S …] [--mappers a,b] [--modes x,y]
+//!              [--roots 0,1] [--reps K] [--budget T] [--jobs K]
+//!              [--json FILE] [--csv FILE]
+//! ```
 //!
-//! With no arguments all experiments run at scale 1. Each experiment
-//! corresponds to one formal claim of the paper (the paper has no empirical
-//! tables/figures — see DESIGN.md §2 for the mapping). All protocol runs go
-//! through [`GtdSession`]; the mapper comparison (E7) runs every mapper
-//! through the [`TopologyMapper`] trait.
+//! `run` regenerates the E1–E8 experiment rows (each experiment
+//! corresponds to one formal claim of the paper — the paper has no
+//! empirical tables/figures; see DESIGN.md §2 for the mapping). E1 and E7
+//! are expressed as [`Campaign`] grids; the probe experiments (E3/E4) and
+//! the engine ablation drive their machinery directly. `grid` runs an
+//! arbitrary declared campaign. Bare experiment names (`harness e1 e7`)
+//! are accepted as a shorthand for `run`.
 
 use gtd_baselines::{family_size_log2, min_ticks_lower_bound, tree_loop_params};
-use gtd_bench::{core_families, json, json_line, Table, Workload};
+use gtd_bench::{core_family_specs, json, json_line, Campaign, RunRecord, Table, Workload};
 use gtd_core::{run_single_bca, run_single_rca, GtdSession, TranscriptEvent};
-use gtd_netsim::{algo, generators, EngineMode, NodeId, Port};
+use gtd_netsim::{algo, generators, spec, EngineMode, NodeId, Port, TopologySpec};
 use std::io::Write;
+use std::process::exit;
 use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(&args[1..]),
+        Some("grid") => cmd_grid(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") => usage(0),
+        // bare experiment ids / flags: legacy shorthand for `run`
+        _ => cmd_run(&args),
+    }
+}
+
+fn usage(code: i32) -> ! {
+    eprintln!(
+        "usage:\n  \
+         harness list\n  \
+         harness run [e1 .. e8] [--scale K] [--json FILE]\n  \
+         harness grid --spec SPEC [--spec SPEC ...] [--mappers a,b] [--modes x,y]\n               \
+         [--roots 0,1] [--reps K] [--budget T] [--jobs K] [--json FILE] [--csv FILE]\n\n\
+         `harness list` prints the spec grammar; e.g. --spec ring:64 --spec debruijn:2,5"
+    );
+    exit(code)
+}
+
+fn bail(msg: &str) -> ! {
+    eprintln!("harness: {msg}");
+    exit(2)
+}
+
+fn flag_value(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    it.next()
+        .unwrap_or_else(|| bail(&format!("{flag} needs a value")))
+}
+
+// ---------------------------------------------------------------------------
+// harness list
+// ---------------------------------------------------------------------------
+
+fn cmd_list(args: &[String]) {
+    if !args.is_empty() {
+        bail("`list` takes no arguments");
+    }
+    println!("topology spec families (family:arg,arg or family:key=value,...):\n");
+    let mut t = Table::new(&["family", "parameters", "example", "builds"]);
+    for fam in spec::REGISTRY {
+        let params: Vec<String> = fam
+            .params
+            .iter()
+            .map(|p| match p.default {
+                Some(d) => format!("{}={d}", p.name),
+                None => p.name.to_string(),
+            })
+            .collect();
+        t.row(vec![
+            fam.name.to_string(),
+            params.join(","),
+            fam.example.to_string(),
+            fam.summary.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!("\nmappers: {}", gtd_baselines::mapper_names().join(", "));
+    let modes: Vec<&str> = EngineMode::ALL.iter().map(|m| m.name()).collect();
+    println!("engine modes: {}", modes.join(", "));
+}
+
+// ---------------------------------------------------------------------------
+// harness grid
+// ---------------------------------------------------------------------------
+
+fn cmd_grid(args: &[String]) {
+    let mut campaign = Campaign::new();
+    let mut specs: Vec<TopologySpec> = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut csv_path: Option<String> = None;
+    let mut mappers_set = false;
+    let mut it = args.iter().cloned();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--spec" => {
+                let s = flag_value(&mut it, "--spec");
+                match s.parse() {
+                    Ok(spec) => specs.push(spec),
+                    Err(e) => bail(&format!("--spec {s:?}: {e}")),
+                }
+            }
+            "--mappers" => {
+                campaign = campaign.mappers(flag_value(&mut it, "--mappers").split(','));
+                mappers_set = true;
+            }
+            "--modes" => {
+                let modes: Result<Vec<EngineMode>, String> = flag_value(&mut it, "--modes")
+                    .split(',')
+                    .map(str::parse)
+                    .collect();
+                match modes {
+                    Ok(m) => campaign = campaign.modes(m),
+                    Err(e) => bail(&e),
+                }
+            }
+            "--roots" => {
+                let roots: Result<Vec<NodeId>, _> = flag_value(&mut it, "--roots")
+                    .split(',')
+                    .map(|r| r.trim().parse::<u32>().map(NodeId))
+                    .collect();
+                match roots {
+                    Ok(r) => campaign = campaign.roots(r),
+                    Err(_) => bail("--roots expects comma-separated node numbers"),
+                }
+            }
+            "--reps" => {
+                campaign = campaign.reps(parse_int(&flag_value(&mut it, "--reps"), "--reps"))
+            }
+            "--jobs" => {
+                campaign = campaign.jobs(parse_int(&flag_value(&mut it, "--jobs"), "--jobs"))
+            }
+            "--budget" => {
+                campaign = campaign
+                    .tick_budget(parse_int(&flag_value(&mut it, "--budget"), "--budget") as u64)
+            }
+            "--json" => json_path = Some(flag_value(&mut it, "--json")),
+            "--csv" => csv_path = Some(flag_value(&mut it, "--csv")),
+            other => bail(&format!("unknown grid flag {other:?} (see `harness help`)")),
+        }
+    }
+    campaign = campaign.specs(specs);
+    if !mappers_set {
+        campaign = campaign.mappers(gtd_baselines::mapper_names());
+    }
+
+    let t0 = Instant::now();
+    let report = match campaign.run() {
+        Ok(r) => r,
+        Err(e) => bail(&format!("{e}")),
+    };
+    let wall = t0.elapsed();
+
+    let mut t = Table::new(&[
+        "spec", "mapper", "mode", "runs", "errors", "min", "median", "max",
+    ]);
+    for g in report.aggregate() {
+        let fmt = |v: Option<u64>| v.map_or("-".into(), |x| x.to_string());
+        t.row(vec![
+            g.spec,
+            g.mapper,
+            g.mode.name().into(),
+            g.runs.to_string(),
+            g.errors.to_string(),
+            fmt(g.min_rounds),
+            fmt(g.median_rounds),
+            fmt(g.max_rounds),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "{} cells ({} errors) in {:.1} ms",
+        report.records.len(),
+        report.error_count(),
+        wall.as_secs_f64() * 1e3
+    );
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_jsonl()).unwrap_or_else(|e| bail(&format!("{path}: {e}")));
+        println!("wrote {path}");
+    }
+    if let Some(path) = csv_path {
+        std::fs::write(&path, report.to_csv()).unwrap_or_else(|e| bail(&format!("{path}: {e}")));
+        println!("wrote {path}");
+    }
+}
+
+fn parse_int(s: &str, flag: &str) -> usize {
+    s.parse()
+        .unwrap_or_else(|_| bail(&format!("{flag} expects an integer, got {s:?}")))
+}
+
+// ---------------------------------------------------------------------------
+// harness run (the E1–E8 experiments)
+// ---------------------------------------------------------------------------
 
 struct Out {
     json: Option<std::fs::File>,
@@ -33,17 +222,28 @@ impl Out {
     }
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+fn cmd_run(args: &[String]) {
     let mut scale = 1usize;
     let mut json_path: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
-    let mut it = args.into_iter();
+    let mut it = args.iter().cloned();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--scale" => scale = it.next().expect("--scale K").parse().expect("scale int"),
-            "--json" => json_path = Some(it.next().expect("--json FILE")),
-            other => wanted.push(other.to_lowercase()),
+            "--scale" => scale = parse_int(&flag_value(&mut it, "--scale"), "--scale"),
+            "--json" => json_path = Some(flag_value(&mut it, "--json")),
+            other if other.starts_with("--") => {
+                bail(&format!("unknown run flag {other:?} (see `harness help`)"))
+            }
+            other => {
+                let id = other.to_lowercase();
+                if !matches!(
+                    id.as_str(),
+                    "e1" | "e2" | "e3" | "e4" | "e5" | "e6" | "e7" | "e8"
+                ) {
+                    bail(&format!("unknown experiment {other:?} (e1 .. e8)"));
+                }
+                wanted.push(id);
+            }
         }
     }
     let run_all = wanted.is_empty();
@@ -78,39 +278,62 @@ fn main() {
     }
 }
 
-/// E1 (Theorem 4.1): exact port-level map on every family × seed.
+/// The E1/E7 workload axis: the core families plus four random digraphs.
+fn e1_specs(scale: usize) -> Vec<TopologySpec> {
+    let mut specs = core_family_specs(scale);
+    for seed in 0..4u64 {
+        specs.push(TopologySpec::RandomSc {
+            n: 48 * scale,
+            delta: 4,
+            seed,
+        });
+    }
+    specs
+}
+
+/// E1 (Theorem 4.1): exact port-level map on every family × seed,
+/// expressed as a one-mapper campaign over the workload axis.
 fn e1_correctness(out: &mut Out, scale: usize) {
     out.section("E1 — Theorem 4.1: the root maps the network exactly");
+    let specs = e1_specs(scale);
+    let report = Campaign::new()
+        .specs(specs.clone())
+        .mappers(["gtd"])
+        .jobs(0)
+        .run()
+        .expect("E1 grid is well-formed");
     let mut t = Table::new(&["workload", "N", "E", "D", "ticks", "map", "clean (L4.2)"]);
-    let mut workloads = core_families(scale);
-    for seed in 0..4u64 {
-        workloads.push(Workload::new(
-            format!("random_sc(n={}, d=4, seed={seed})", 48 * scale),
-            generators::random_sc(48 * scale, 4, seed),
-        ));
-    }
-    for w in &workloads {
-        let d = algo::diameter(&w.topo);
-        let run = GtdSession::on(&w.topo).run().expect("protocol terminates");
-        let ok = run.map.verify_against(&w.topo, NodeId(0)).is_ok();
+    // one cell per spec (single mapper/mode/root/rep), in spec order
+    assert_eq!(report.records.len(), specs.len());
+    for (spec, rec) in specs.iter().zip(&report.records) {
+        assert_eq!(rec.spec, spec.to_string());
+        let cell = rec
+            .result
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{}: protocol failed: {e}", rec.spec));
+        let d = algo::diameter(&spec.build());
         t.row(vec![
-            w.name.clone(),
-            w.topo.num_nodes().to_string(),
-            w.topo.num_edges().to_string(),
+            rec.spec.clone(),
+            rec.nodes.to_string(),
+            rec.edges.to_string(),
             d.to_string(),
-            run.ticks.to_string(),
-            if ok { "exact".into() } else { "WRONG".into() },
-            if run.clean_at_end {
-                "yes".into()
+            cell.rounds.to_string(),
+            if cell.verified {
+                "exact".into()
             } else {
-                "NO".into()
+                "WRONG".into()
+            },
+            match cell.clean {
+                Some(true) => "yes".into(),
+                _ => "NO".into(),
             },
         ]);
         out.json(json_line(
             "E1",
             json!({
-                "workload": w.name, "n": w.topo.num_nodes(), "e": w.topo.num_edges(),
-                "d": d, "ticks": run.ticks, "exact": ok, "clean": run.clean_at_end,
+                "workload": rec.spec, "n": rec.nodes, "e": rec.edges,
+                "d": d, "ticks": cell.rounds, "exact": cell.verified,
+                "clean": cell.clean,
             }),
         ));
     }
@@ -129,32 +352,28 @@ fn e2_scaling(out: &mut Out, scale: usize) {
         "ticks/(E*D)",
         "ticks/(N*D)",
     ]);
-    let mut rows: Vec<Workload> = Vec::new();
+    let mut specs: Vec<TopologySpec> = Vec::new();
     for k in 1..=3usize {
-        let n = 16 * k * scale;
-        rows.push(Workload::new(format!("ring(n={n})"), generators::ring(n)));
+        specs.push(TopologySpec::Ring { n: 16 * k * scale });
     }
     for k in 1..=3usize {
-        let n = 48 * k * scale;
-        rows.push(Workload::new(
-            format!("random_sc(n={n}, d=3)"),
-            generators::random_sc(n, 3, 5),
-        ));
+        specs.push(TopologySpec::RandomSc {
+            n: 48 * k * scale,
+            delta: 3,
+            seed: 5,
+        });
     }
     for m in 4..=6usize {
-        rows.push(Workload::new(
-            format!("debruijn(2,{m})"),
-            generators::debruijn(2, m),
-        ));
+        specs.push(TopologySpec::Debruijn { k: 2, m });
     }
-    for w in &rows {
+    for w in specs.into_iter().map(Workload::from_spec) {
         let d = algo::diameter(&w.topo) as f64;
         let e = w.topo.num_edges() as f64;
         let n = w.topo.num_nodes() as f64;
         let run = GtdSession::on(&w.topo).run().expect("terminates");
         run.map.verify_against(&w.topo, NodeId(0)).expect("exact");
         t.row(vec![
-            w.name.clone(),
+            w.name(),
             n.to_string(),
             e.to_string(),
             d.to_string(),
@@ -165,7 +384,7 @@ fn e2_scaling(out: &mut Out, scale: usize) {
         out.json(json_line(
             "E2",
             json!({
-                "workload": w.name, "n": n, "e": e, "d": d, "ticks": run.ticks,
+                "workload": w.name(), "n": n, "e": e, "d": d, "ticks": run.ticks,
             }),
         ));
     }
@@ -182,21 +401,22 @@ fn e2_scaling(out: &mut Out, scale: usize) {
         "mark %",
         "report+cleanup %",
     ]);
-    for (name, topo) in [
-        (
-            format!("ring(n={})", 24 * scale.min(4)),
-            generators::ring(24 * scale.min(4)),
-        ),
-        (
-            format!("random_sc(n={}, d=3)", 48 * scale),
-            generators::random_sc(48 * scale, 3, 5),
-        ),
-        ("debruijn(2,5)".to_string(), generators::debruijn(2, 5)),
+    for spec in [
+        TopologySpec::Ring {
+            n: 24 * scale.min(4),
+        },
+        TopologySpec::RandomSc {
+            n: 48 * scale,
+            delta: 3,
+            seed: 5,
+        },
+        TopologySpec::Debruijn { k: 2, m: 5 },
     ] {
-        let pb = GtdSession::on(&topo).run().expect("terminates").phases;
+        let w = Workload::from_spec(spec);
+        let pb = GtdSession::on(&w.topo).run().expect("terminates").phases;
         let tot = pb.total().max(1) as f64;
         t.row(vec![
-            name.clone(),
+            w.name(),
             pb.rcas.to_string(),
             format!("{:.0}", pb.search as f64 / tot * 100.0),
             format!("{:.0}", pb.echo as f64 / tot * 100.0),
@@ -206,7 +426,7 @@ fn e2_scaling(out: &mut Out, scale: usize) {
         out.json(json_line(
             "E2b",
             json!({
-                "workload": name, "rcas": pb.rcas, "search": pb.search,
+                "workload": w.name(), "rcas": pb.rcas, "search": pb.search,
                 "echo": pb.echo, "mark": pb.mark, "cleanup": pb.report_cleanup,
             }),
         ));
@@ -227,14 +447,14 @@ fn e3_rca(out: &mut Out, scale: usize) {
         let probe = run_single_rca(&topo, NodeId(n as u32 / 2), EngineMode::Sparse).unwrap();
         let l = (probe.dist_to_root + probe.dist_from_root) as f64;
         t.row(vec![
-            format!("ring(n={n}), A at n/2"),
+            format!("ring:{n}, A at n/2"),
             format!("{l}"),
             probe.ticks.to_string(),
             format!("{:.2}", probe.ticks as f64 / l),
         ]);
         out.json(json_line(
             "E3",
-            json!({"workload": format!("ring({n})"), "loop": l, "ticks": probe.ticks}),
+            json!({"workload": format!("ring:{n}"), "loop": l, "ticks": probe.ticks}),
         ));
     }
     for k in 1..=6usize {
@@ -244,14 +464,14 @@ fn e3_rca(out: &mut Out, scale: usize) {
         let probe = run_single_rca(&topo, a, EngineMode::Sparse).unwrap();
         let l = (probe.dist_to_root + probe.dist_from_root) as f64;
         t.row(vec![
-            format!("line_bidi(n={n}), A at end"),
+            format!("line-bidi:{n}, A at end"),
             format!("{l}"),
             probe.ticks.to_string(),
             format!("{:.2}", probe.ticks as f64 / l),
         ]);
         out.json(json_line(
             "E3",
-            json!({"workload": format!("line({n})"), "loop": l, "ticks": probe.ticks}),
+            json!({"workload": format!("line-bidi:{n}"), "loop": l, "ticks": probe.ticks}),
         ));
     }
     out.table(&t);
@@ -269,7 +489,7 @@ fn e4_bca(out: &mut Out, scale: usize) {
         // marked loop is the whole ring.
         let probe = run_single_bca(&topo, NodeId(1), Port(0), EngineMode::Sparse).unwrap();
         t.row(vec![
-            format!("ring(n={n}), B=n1"),
+            format!("ring:{n}, B=n1"),
             probe.loop_len.to_string(),
             probe.ticks_initiator.to_string(),
             probe.ticks_delivered.to_string(),
@@ -281,7 +501,7 @@ fn e4_bca(out: &mut Out, scale: usize) {
         out.json(json_line(
             "E4",
             json!({
-                "workload": format!("ring({n})"), "loop": probe.loop_len,
+                "workload": format!("ring:{n}"), "loop": probe.loop_len,
                 "initiator": probe.ticks_initiator, "delivered": probe.ticks_delivered,
             }),
         ));
@@ -301,7 +521,10 @@ fn e5_cleanup(out: &mut Out, scale: usize) {
         "max chars/node",
         "pristine at end",
     ]);
-    for w in core_families(scale) {
+    for w in core_family_specs(scale)
+        .into_iter()
+        .map(Workload::from_spec)
+    {
         let mut engine = gtd_core::build_gtd_engine(&w.topo, EngineMode::Sparse);
         let mut events = Vec::new();
         let mut terminated = false;
@@ -316,7 +539,7 @@ fn e5_cleanup(out: &mut Out, scale: usize) {
                 break;
             }
         }
-        assert!(terminated, "{} wedged", w.name);
+        assert!(terminated, "{} wedged", w.name());
         engine.tick(&mut events);
         let rcas: u64 = engine.nodes().iter().map(|n| n.stat_rcas_started).sum();
         let bcas: u64 = engine.nodes().iter().map(|n| n.stat_bcas_started).sum();
@@ -330,7 +553,7 @@ fn e5_cleanup(out: &mut Out, scale: usize) {
         let pristine = engine.nodes().iter().all(|n| n.snake_state_pristine())
             && engine.signals_in_flight() == 0;
         t.row(vec![
-            w.name.clone(),
+            w.name(),
             rcas.to_string(),
             bcas.to_string(),
             kills.to_string(),
@@ -340,7 +563,7 @@ fn e5_cleanup(out: &mut Out, scale: usize) {
         out.json(json_line(
             "E5",
             json!({
-                "workload": w.name, "rcas": rcas, "bcas": bcas, "kills": kills,
+                "workload": w.name(), "rcas": rcas, "bcas": bcas, "kills": kills,
                 "max_chars": maxc, "pristine": pristine,
             }),
         ));
@@ -366,7 +589,7 @@ fn e6_lower_bound(out: &mut Out, scale: usize) {
         let p = tree_loop_params(h);
         let run_protocol = h <= hmax;
         let (d, ticks) = if run_protocol {
-            let topo = generators::tree_loop_random(h, 3);
+            let topo = TopologySpec::TreeLoop { h, seed: 3 }.build();
             let d = algo::diameter(&topo);
             let run = GtdSession::on(&topo).run().expect("terminates");
             run.map.verify_against(&topo, NodeId(0)).expect("exact");
@@ -401,13 +624,20 @@ fn e6_lower_bound(out: &mut Out, scale: usize) {
     println!("within an O(D) factor of optimal — the paper's asymptotic-optimality claim.");
 }
 
-/// E7: every mapper through the common [`TopologyMapper`] interface.
+/// E7: every mapper through the common `TopologyMapper` interface,
+/// expressed as a full mappers × families campaign.
 fn e7_baselines(out: &mut Out, scale: usize) {
     out.section("E7 — what finite-stateness costs: all mappers through TopologyMapper");
-    let mappers = gtd::all_mappers();
+    let mappers = gtd_baselines::mapper_names();
+    let report = Campaign::new()
+        .specs(core_family_specs(scale))
+        .mappers(mappers.clone())
+        .jobs(0)
+        .run()
+        .expect("E7 grid is well-formed");
     // Ratio columns are derived from mapper names so reordering or
-    // extending all_mappers() cannot silently mislabel them.
-    let idx_of = |name: &str| mappers.iter().position(|m| m.name() == name);
+    // extending mapper_names() cannot silently mislabel them.
+    let idx_of = |name: &str| mappers.iter().position(|m| *m == name);
     let gtd_idx = idx_of("gtd");
     let ratio_pairs: Vec<(String, usize, usize)> = ["routed-dfs", "flood-echo"]
         .iter()
@@ -418,33 +648,44 @@ fn e7_baselines(out: &mut Out, scale: usize) {
         .collect();
     let mut headers: Vec<String> = vec!["workload".into(), "N".into()];
     for m in &mappers {
-        headers.push(format!("{} rounds", m.name()));
+        headers.push(format!("{m} rounds"));
     }
     for (label, _, _) in &ratio_pairs {
         headers.push(label.clone());
     }
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     let mut t = Table::new(&header_refs);
-    for w in core_families(scale) {
+    // Grid order is spec-major, mapper-minor: chunk per workload.
+    for per_spec in report.records.chunks(mappers.len()) {
+        // grid order is spec-major with default single mode/root/rep axes;
+        // guard the chunking against a future extra axis on this campaign:
+        // each window must hold one spec covering the mapper axis in order
+        assert!(
+            per_spec.len() == mappers.len()
+                && per_spec
+                    .iter()
+                    .zip(&mappers)
+                    .all(|(r, m)| r.spec == per_spec[0].spec && r.mapper == **m),
+            "E7 chunking assumes one record per (spec, mapper)"
+        );
         let mut rounds = Vec::new();
-        for m in &mappers {
-            let run = m.map_network(&w.topo, NodeId(0)).expect("mapper succeeds");
-            assert!(
-                run.verify_against(&w.topo),
-                "{} disagrees on {}",
-                m.name(),
-                w.name
-            );
+        for rec in per_spec {
+            let cell = rec
+                .result
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", rec.mapper, rec.spec));
+            assert!(cell.verified, "{} disagrees on {}", rec.mapper, rec.spec);
             out.json(json_line(
                 "E7",
                 json!({
-                    "workload": w.name, "n": w.topo.num_nodes(), "mapper": m.name(),
-                    "rounds": run.rounds, "messages": run.messages,
+                    "workload": rec.spec, "n": rec.nodes, "mapper": rec.mapper,
+                    "rounds": cell.rounds, "messages": cell.messages,
                 }),
             ));
-            rounds.push(run.rounds);
+            rounds.push(cell.rounds);
         }
-        let mut row = vec![w.name.clone(), w.topo.num_nodes().to_string()];
+        let first: &RunRecord = &per_spec[0];
+        let mut row = vec![first.spec.clone(), first.nodes.to_string()];
         row.extend(rounds.iter().map(|r| r.to_string()));
         for &(_, g, b) in &ratio_pairs {
             row.push(format!("{:.1}", rounds[g] as f64 / rounds[b] as f64));
@@ -462,19 +703,15 @@ fn e8_engine(out: &mut Out, scale: usize) {
     let mut t = Table::new(&["workload", "mode", "ticks", "wall ms", "Mnode-ticks/s"]);
     let n = 64 * scale;
     let topo = generators::random_sc(n, 3, 2);
-    for (name, mode) in [
-        ("dense", EngineMode::Dense),
-        ("sparse", EngineMode::Sparse),
-        ("parallel", EngineMode::Parallel),
-    ] {
+    for mode in EngineMode::ALL {
         let t0 = Instant::now();
         let run = GtdSession::on(&topo).mode(mode).run().expect("terminates");
         let wall = t0.elapsed();
         run.map.verify_against(&topo, NodeId(0)).expect("exact");
         let node_ticks = run.ticks as f64 * n as f64;
         t.row(vec![
-            format!("random_sc(n={n}, d=3)"),
-            name.into(),
+            format!("random-sc:n={n},delta=3,seed=2"),
+            mode.name().into(),
             run.ticks.to_string(),
             format!("{:.1}", wall.as_secs_f64() * 1e3),
             format!("{:.1}", node_ticks / wall.as_secs_f64() / 1e6),
@@ -482,7 +719,7 @@ fn e8_engine(out: &mut Out, scale: usize) {
         out.json(json_line(
             "E8",
             json!({
-                "workload": format!("random_sc({n})"), "mode": name,
+                "workload": format!("random-sc:{n}"), "mode": mode.name(),
                 "ticks": run.ticks, "wall_ms": wall.as_secs_f64() * 1e3,
             }),
         ));
@@ -498,11 +735,7 @@ fn e8_engine(out: &mut Out, scale: usize) {
     let mut t = Table::new(&["workload", "mode", "ticks", "wall ms", "Mnode-ticks/s"]);
     let n = 16384 * scale;
     let topo = generators::random_sc(n, 3, 9);
-    for (name, mode) in [
-        ("dense", EngineMode::Dense),
-        ("sparse", EngineMode::Sparse),
-        ("parallel", EngineMode::Parallel),
-    ] {
+    for mode in EngineMode::ALL {
         let mut engine = gtd_netsim::Engine::new(&topo, mode, |meta| {
             let start = if meta.id == NodeId(1) {
                 gtd_core::StartBehavior::SingleRca
@@ -520,8 +753,8 @@ fn e8_engine(out: &mut Out, scale: usize) {
         let wall = t0.elapsed();
         let node_ticks = steps as f64 * n as f64;
         t.row(vec![
-            format!("random_sc(n={n}) flood"),
-            name.into(),
+            format!("random-sc:{n} flood"),
+            mode.name().into(),
             steps.to_string(),
             format!("{:.1}", wall.as_secs_f64() * 1e3),
             format!("{:.1}", node_ticks / wall.as_secs_f64() / 1e6),
@@ -529,7 +762,7 @@ fn e8_engine(out: &mut Out, scale: usize) {
         out.json(json_line(
             "E8b",
             json!({
-                "workload": format!("flood({n})"), "mode": name,
+                "workload": format!("flood({n})"), "mode": mode.name(),
                 "wall_ms": wall.as_secs_f64() * 1e3,
             }),
         ));

@@ -1,0 +1,696 @@
+//! Declarative experiment grids.
+//!
+//! A [`Campaign`] is the paper-claim shape — "over family F at size N,
+//! mapper M costs R rounds" — as a first-class value: a grid of
+//! [`TopologySpec`]s × mapper names × [`EngineMode`]s × roots ×
+//! repetitions. [`Campaign::run`] executes every cell across a scoped
+//! worker-thread pool and returns a [`CampaignReport`] of structured
+//! [`RunRecord`]s.
+//!
+//! Three properties make campaigns fit for batch execution:
+//!
+//! * **Determinism** — records are returned in grid order and contain
+//!   only logical quantities (rounds, counters, phase ticks — never wall
+//!   time), so the JSONL/CSV exports are byte-identical regardless of
+//!   [`Campaign::jobs`].
+//! * **Fault tolerance** — a cell that fails (tick budget exhausted,
+//!   precondition violated) is captured as a [`CellError`] in its record;
+//!   the rest of the grid still completes.
+//! * **Aggregation** — [`CampaignReport::aggregate`] groups cells by
+//!   (spec, mapper, mode) and reports min/median/max rounds per group.
+//!
+//! ```
+//! use gtd_bench::Campaign;
+//!
+//! let report = Campaign::new()
+//!     .parse_specs(["ring:16", "debruijn:2,4"]).unwrap()
+//!     .mappers(["gtd", "flood-echo"])
+//!     .jobs(4)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(report.records.len(), 4);
+//! assert_eq!(report.error_count(), 0);
+//! for line in report.to_jsonl().lines() {
+//!     gtd_bench::json::JsonValue::parse(line).expect("rows are valid JSON");
+//! }
+//! ```
+
+use crate::json::JsonValue;
+use gtd_baselines::{mapper_by_name, MapperConfig, MapperError};
+use gtd_core::{GtdError, PhaseBreakdown};
+use gtd_netsim::{EngineMode, NodeId, ParseSpecError, Topology, TopologySpec};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A campaign could not be configured or started. Per-cell failures are
+/// *not* errors at this level — they land in [`RunRecord::result`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum CampaignError {
+    /// A grid axis that must be non-empty was empty.
+    EmptyAxis(&'static str),
+    /// A mapper name did not resolve
+    /// (see [`gtd_baselines::mapper_names`]).
+    UnknownMapper(String),
+    /// A spec failed to parse or validate.
+    Spec(ParseSpecError),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::EmptyAxis(axis) => write!(f, "campaign has no {axis}"),
+            CampaignError::UnknownMapper(name) => {
+                write!(
+                    f,
+                    "unknown mapper {name:?} (known: {})",
+                    gtd_baselines::mapper_names().join(", ")
+                )
+            }
+            CampaignError::Spec(e) => write!(f, "bad topology spec: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<ParseSpecError> for CampaignError {
+    fn from(e: ParseSpecError) -> Self {
+        CampaignError::Spec(e)
+    }
+}
+
+/// Builder for an experiment grid. Construct with [`Campaign::new`], add
+/// axes, then [`Campaign::run`].
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    specs: Vec<TopologySpec>,
+    mappers: Vec<String>,
+    modes: Vec<EngineMode>,
+    roots: Vec<NodeId>,
+    reps: usize,
+    jobs: usize,
+    tick_budget: Option<u64>,
+}
+
+impl Default for Campaign {
+    fn default() -> Self {
+        Campaign::new()
+    }
+}
+
+impl Campaign {
+    /// An empty grid with default axes: sparse engine, root `n0`, one
+    /// repetition, one worker. Specs and mappers must be added before
+    /// [`Campaign::run`].
+    pub fn new() -> Self {
+        Campaign {
+            specs: Vec::new(),
+            mappers: Vec::new(),
+            modes: vec![EngineMode::Sparse],
+            roots: vec![NodeId(0)],
+            reps: 1,
+            jobs: 1,
+            tick_budget: None,
+        }
+    }
+
+    /// Add one topology spec to the grid.
+    pub fn spec(mut self, spec: TopologySpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Add several topology specs.
+    pub fn specs(mut self, specs: impl IntoIterator<Item = TopologySpec>) -> Self {
+        self.specs.extend(specs);
+        self
+    }
+
+    /// Parse and add spec strings (`"ring:64"`, …). Fails fast on the
+    /// first malformed spec.
+    pub fn parse_specs<S: AsRef<str>>(
+        mut self,
+        specs: impl IntoIterator<Item = S>,
+    ) -> Result<Self, CampaignError> {
+        for s in specs {
+            self.specs.push(s.as_ref().parse()?);
+        }
+        Ok(self)
+    }
+
+    /// Replace the mapper axis with the given stable names (validated at
+    /// [`Campaign::run`]).
+    pub fn mappers<S: Into<String>>(mut self, names: impl IntoIterator<Item = S>) -> Self {
+        self.mappers = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Replace the engine-mode axis (default: sparse only).
+    pub fn modes(mut self, modes: impl IntoIterator<Item = EngineMode>) -> Self {
+        self.modes = modes.into_iter().collect();
+        self
+    }
+
+    /// Replace the root axis (default: `n0` only). Roots out of range for
+    /// a particular spec become per-cell precondition errors, not grid
+    /// failures.
+    pub fn roots(mut self, roots: impl IntoIterator<Item = NodeId>) -> Self {
+        self.roots = roots.into_iter().collect();
+        self
+    }
+
+    /// Repetitions per cell (default 1). Runs are deterministic, so
+    /// repetitions mainly stress re-execution and fill out aggregates.
+    pub fn reps(mut self, reps: usize) -> Self {
+        self.reps = reps.max(1);
+        self
+    }
+
+    /// Worker threads executing cells (default 1; `0` = one per available
+    /// CPU). Results are independent of this knob by construction.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Tick budget applied to every protocol cell. A cell that exhausts
+    /// it reports [`CellError`] with kind `budget-exhausted` while the
+    /// rest of the grid completes.
+    pub fn tick_budget(mut self, budget: u64) -> Self {
+        self.tick_budget = Some(budget);
+        self
+    }
+
+    /// Execute every cell of the grid and collect the report.
+    ///
+    /// Cells are distributed over [`Campaign::jobs`] scoped worker
+    /// threads; each record lands in its grid-order slot, so the report
+    /// (and its JSONL/CSV exports) is identical for any job count.
+    pub fn run(&self) -> Result<CampaignReport, CampaignError> {
+        if self.specs.is_empty() {
+            return Err(CampaignError::EmptyAxis("topology specs"));
+        }
+        if self.mappers.is_empty() {
+            return Err(CampaignError::EmptyAxis("mappers"));
+        }
+        if self.modes.is_empty() {
+            return Err(CampaignError::EmptyAxis("engine modes"));
+        }
+        if self.roots.is_empty() {
+            return Err(CampaignError::EmptyAxis("roots"));
+        }
+        for spec in &self.specs {
+            spec.validate()?;
+        }
+        for name in &self.mappers {
+            if mapper_by_name(name, &MapperConfig::default()).is_none() {
+                return Err(CampaignError::UnknownMapper(name.clone()));
+            }
+        }
+
+        // Build every topology once; cells share them read-only.
+        let topos: Vec<Topology> = self.specs.iter().map(TopologySpec::build).collect();
+
+        // Grid order: spec → mapper → mode → root → rep.
+        struct Cell {
+            spec_idx: usize,
+            mapper: usize,
+            mode: EngineMode,
+            root: NodeId,
+            rep: usize,
+        }
+        let mut cells = Vec::new();
+        for (spec_idx, _) in self.specs.iter().enumerate() {
+            for (mapper, _) in self.mappers.iter().enumerate() {
+                for &mode in &self.modes {
+                    for &root in &self.roots {
+                        for rep in 0..self.reps {
+                            cells.push(Cell {
+                                spec_idx,
+                                mapper,
+                                mode,
+                                root,
+                                rep,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        let workers = if self.jobs == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            self.jobs
+        }
+        .min(cells.len().max(1));
+
+        let run_cell = |cell: &Cell| -> RunRecord {
+            let spec = &self.specs[cell.spec_idx];
+            let topo = &topos[cell.spec_idx];
+            let cfg = MapperConfig {
+                mode: cell.mode,
+                tick_budget: self.tick_budget,
+                capture_phases: true,
+            };
+            let mapper = mapper_by_name(&self.mappers[cell.mapper], &cfg).expect("validated above");
+            let result = match mapper.map_network(topo, cell.root) {
+                Ok(run) => Ok(CellOutcome {
+                    rounds: run.rounds,
+                    messages: run.messages,
+                    verified: run.verify_against(topo),
+                    rcas: run.stats.map(|s| s.rcas()),
+                    bcas: run.stats.map(|s| s.bcas()),
+                    clean: run.clean,
+                    phases: run.phases,
+                }),
+                Err(e) => Err(CellError::from(e)),
+            };
+            RunRecord {
+                spec: spec.to_string(),
+                mapper: self.mappers[cell.mapper].clone(),
+                mode: cell.mode,
+                root: cell.root,
+                rep: cell.rep,
+                nodes: topo.num_nodes(),
+                edges: topo.num_edges(),
+                result,
+            }
+        };
+
+        let slots: Mutex<Vec<Option<RunRecord>>> =
+            Mutex::new((0..cells.len()).map(|_| None).collect());
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    let record = run_cell(&cells[i]);
+                    slots.lock().expect("no worker panicked")[i] = Some(record);
+                });
+            }
+        });
+
+        let records = slots
+            .into_inner()
+            .expect("workers joined")
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect();
+        Ok(CampaignReport { records })
+    }
+}
+
+/// A per-cell failure, captured instead of aborting the grid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellError {
+    /// Stable machine-readable kind: `budget-exhausted`, `precondition`,
+    /// `decode` or `unresolvable`.
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl From<MapperError> for CellError {
+    fn from(e: MapperError) -> Self {
+        let kind = match &e {
+            MapperError::Gtd(GtdError::BudgetExhausted { .. }) => "budget-exhausted",
+            MapperError::Gtd(GtdError::Precondition(_)) => "precondition",
+            MapperError::Gtd(GtdError::Decode(_)) => "decode",
+            MapperError::Unresolvable(_) => "unresolvable",
+        };
+        CellError {
+            kind,
+            message: e.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.kind, self.message)
+    }
+}
+
+/// What a successful cell measured. Only logical quantities — never wall
+/// time — so reports are reproducible byte-for-byte.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellOutcome {
+    /// Synchronous rounds until the collector had the map.
+    pub rounds: u64,
+    /// Messages, for mappers that count them.
+    pub messages: Option<u64>,
+    /// Did the discovered edge set match ground truth exactly?
+    pub verified: bool,
+    /// RCAs run (GTD only).
+    pub rcas: Option<usize>,
+    /// BCAs run (GTD only).
+    pub bcas: Option<usize>,
+    /// Lemma 4.2 cleanliness (GTD only).
+    pub clean: Option<bool>,
+    /// Phase breakdown of the run's ticks (GTD only).
+    pub phases: Option<PhaseBreakdown>,
+}
+
+/// One grid cell's identity and result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunRecord {
+    /// Canonical spec string (round-trips through
+    /// [`TopologySpec::from_str`](std::str::FromStr)).
+    pub spec: String,
+    /// Mapper name.
+    pub mapper: String,
+    /// Engine mode the cell ran under.
+    pub mode: EngineMode,
+    /// Root processor.
+    pub root: NodeId,
+    /// Repetition index (0-based).
+    pub rep: usize,
+    /// Processors in the built topology.
+    pub nodes: usize,
+    /// Wires in the built topology.
+    pub edges: usize,
+    /// Measurement or captured failure.
+    pub result: Result<CellOutcome, CellError>,
+}
+
+impl RunRecord {
+    /// Render as one flat JSON object (one JSONL row).
+    pub fn to_json(&self) -> JsonValue {
+        let mut row = crate::json!({
+            "spec": self.spec,
+            "mapper": self.mapper,
+            "mode": self.mode.name(),
+            "root": self.root.0,
+            "rep": self.rep,
+            "n": self.nodes,
+            "e": self.edges,
+            "ok": self.result.is_ok(),
+        });
+        let JsonValue::Obj(map) = &mut row else {
+            unreachable!("json! builds an object")
+        };
+        match &self.result {
+            Ok(out) => {
+                map.insert("rounds".into(), JsonValue::Num(out.rounds as f64));
+                map.insert(
+                    "messages".into(),
+                    out.messages
+                        .map_or(JsonValue::Null, |m| JsonValue::Num(m as f64)),
+                );
+                map.insert("verified".into(), JsonValue::Bool(out.verified));
+                if let Some(rcas) = out.rcas {
+                    map.insert("rcas".into(), JsonValue::Num(rcas as f64));
+                }
+                if let Some(bcas) = out.bcas {
+                    map.insert("bcas".into(), JsonValue::Num(bcas as f64));
+                }
+                if let Some(clean) = out.clean {
+                    map.insert("clean".into(), JsonValue::Bool(clean));
+                }
+                if let Some(p) = &out.phases {
+                    map.insert(
+                        "phases".into(),
+                        crate::json!({
+                            "search": p.search,
+                            "echo": p.echo,
+                            "mark": p.mark,
+                            "report_cleanup": p.report_cleanup,
+                        }),
+                    );
+                }
+            }
+            Err(err) => {
+                map.insert("error_kind".into(), JsonValue::Str(err.kind.into()));
+                map.insert("error".into(), JsonValue::Str(err.message.clone()));
+            }
+        }
+        row
+    }
+}
+
+/// Aggregated rounds over one (spec, mapper, mode) group.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GroupStat {
+    /// Canonical spec string.
+    pub spec: String,
+    /// Mapper name.
+    pub mapper: String,
+    /// Engine mode.
+    pub mode: EngineMode,
+    /// Cells in the group (roots × reps).
+    pub runs: usize,
+    /// Cells that failed.
+    pub errors: usize,
+    /// Minimum rounds over successful cells.
+    pub min_rounds: Option<u64>,
+    /// Median rounds over successful cells (lower middle for even
+    /// counts).
+    pub median_rounds: Option<u64>,
+    /// Maximum rounds over successful cells.
+    pub max_rounds: Option<u64>,
+}
+
+/// The outcome of [`Campaign::run`]: every cell's record, in grid order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignReport {
+    /// One record per grid cell, ordered spec → mapper → mode → root →
+    /// rep regardless of worker count.
+    pub records: Vec<RunRecord>,
+}
+
+impl CampaignReport {
+    /// Number of cells whose result is an error.
+    pub fn error_count(&self) -> usize {
+        self.records.iter().filter(|r| r.result.is_err()).count()
+    }
+
+    /// Group consecutive records by (spec, mapper, mode) — the grid order
+    /// keeps groups contiguous — and aggregate rounds.
+    pub fn aggregate(&self) -> Vec<GroupStat> {
+        let mut out: Vec<GroupStat> = Vec::new();
+        let mut samples: Vec<u64> = Vec::new();
+        let finish = |g: &mut GroupStat, samples: &mut Vec<u64>| {
+            samples.sort_unstable();
+            g.min_rounds = samples.first().copied();
+            g.max_rounds = samples.last().copied();
+            g.median_rounds = if samples.is_empty() {
+                None
+            } else {
+                Some(samples[(samples.len() - 1) / 2])
+            };
+            samples.clear();
+        };
+        for rec in &self.records {
+            let fresh = match out.last() {
+                Some(g) => g.spec != rec.spec || g.mapper != rec.mapper || g.mode != rec.mode,
+                None => true,
+            };
+            if fresh {
+                if let Some(g) = out.last_mut() {
+                    finish(g, &mut samples);
+                }
+                out.push(GroupStat {
+                    spec: rec.spec.clone(),
+                    mapper: rec.mapper.clone(),
+                    mode: rec.mode,
+                    runs: 0,
+                    errors: 0,
+                    min_rounds: None,
+                    median_rounds: None,
+                    max_rounds: None,
+                });
+            }
+            let g = out.last_mut().expect("pushed above");
+            g.runs += 1;
+            match &rec.result {
+                Ok(o) => samples.push(o.rounds),
+                Err(_) => g.errors += 1,
+            }
+        }
+        if let Some(g) = out.last_mut() {
+            finish(g, &mut samples);
+        }
+        out
+    }
+
+    /// Serialize all records as JSON lines (one object per cell, ending
+    /// with a trailing newline). Byte-identical for any
+    /// [`Campaign::jobs`] value.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for rec in &self.records {
+            out.push_str(&rec.to_json().render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serialize all records as CSV (header + one row per cell). Fields
+    /// containing commas or quotes are quoted per RFC 4180.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "spec,mapper,mode,root,rep,n,e,ok,rounds,messages,verified,clean,error_kind,error\n",
+        );
+        for rec in &self.records {
+            let (rounds, messages, verified, clean, kind, error) = match &rec.result {
+                Ok(o) => (
+                    o.rounds.to_string(),
+                    o.messages.map_or(String::new(), |m| m.to_string()),
+                    o.verified.to_string(),
+                    o.clean.map_or(String::new(), |c| c.to_string()),
+                    String::new(),
+                    String::new(),
+                ),
+                Err(e) => (
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    e.kind.to_string(),
+                    e.message.clone(),
+                ),
+            };
+            let fields = [
+                rec.spec.clone(),
+                rec.mapper.clone(),
+                rec.mode.name().to_string(),
+                rec.root.0.to_string(),
+                rec.rep.to_string(),
+                rec.nodes.to_string(),
+                rec.edges.to_string(),
+                rec.result.is_ok().to_string(),
+                rounds,
+                messages,
+                verified,
+                clean,
+                kind,
+                error,
+            ];
+            let row: Vec<String> = fields.iter().map(|f| csv_escape(f)).collect();
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn csv_escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_grid() -> Campaign {
+        Campaign::new()
+            .parse_specs(["ring:8", "debruijn:2,3"])
+            .unwrap()
+            .mappers(["gtd", "routed-dfs", "flood-echo"])
+            .modes([EngineMode::Dense, EngineMode::Sparse])
+    }
+
+    #[test]
+    fn grid_order_is_spec_mapper_mode_root_rep() {
+        let report = tiny_grid().run().unwrap();
+        assert_eq!(report.records.len(), 2 * 3 * 2);
+        assert_eq!(report.records[0].spec, "ring:8");
+        assert_eq!(report.records[0].mapper, "gtd");
+        assert_eq!(report.records[0].mode, EngineMode::Dense);
+        assert_eq!(report.records[1].mode, EngineMode::Sparse);
+        assert_eq!(report.records[2].mapper, "routed-dfs");
+        assert_eq!(report.records[6].spec, "debruijn:2,3");
+        assert!(report.records.iter().all(|r| r.result.is_ok()));
+    }
+
+    #[test]
+    fn empty_axes_and_unknown_mappers_fail_fast() {
+        assert_eq!(
+            Campaign::new().run().unwrap_err(),
+            CampaignError::EmptyAxis("topology specs")
+        );
+        assert_eq!(
+            Campaign::new()
+                .parse_specs(["ring:8"])
+                .unwrap()
+                .run()
+                .unwrap_err(),
+            CampaignError::EmptyAxis("mappers")
+        );
+        assert_eq!(
+            Campaign::new()
+                .parse_specs(["ring:8"])
+                .unwrap()
+                .mappers(["oracle"])
+                .run()
+                .unwrap_err(),
+            CampaignError::UnknownMapper("oracle".into())
+        );
+        assert!(matches!(
+            Campaign::new().parse_specs(["ring:one"]).unwrap_err(),
+            CampaignError::Spec(_)
+        ));
+    }
+
+    #[test]
+    fn out_of_range_root_is_a_cell_error_not_a_grid_failure() {
+        let report = Campaign::new()
+            .parse_specs(["ring:4", "ring:16"])
+            .unwrap()
+            .mappers(["gtd"])
+            .roots([NodeId(9)])
+            .run()
+            .unwrap();
+        assert_eq!(report.records.len(), 2);
+        // n9 exists in ring:16 but not in ring:4
+        let err = report.records[0].result.as_ref().unwrap_err();
+        assert_eq!(err.kind, "precondition");
+        assert!(report.records[1].result.is_ok());
+        assert_eq!(report.error_count(), 1);
+    }
+
+    #[test]
+    fn aggregate_groups_by_spec_mapper_mode() {
+        let report = Campaign::new()
+            .parse_specs(["ring:8"])
+            .unwrap()
+            .mappers(["gtd"])
+            .roots([NodeId(0), NodeId(3), NodeId(5)])
+            .run()
+            .unwrap();
+        let agg = report.aggregate();
+        assert_eq!(agg.len(), 1);
+        assert_eq!(agg[0].runs, 3);
+        assert_eq!(agg[0].errors, 0);
+        let (min, med, max) = (
+            agg[0].min_rounds.unwrap(),
+            agg[0].median_rounds.unwrap(),
+            agg[0].max_rounds.unwrap(),
+        );
+        assert!(min <= med && med <= max);
+    }
+
+    #[test]
+    fn csv_quotes_fields_with_commas() {
+        let report = Campaign::new()
+            .parse_specs(["debruijn:2,3"])
+            .unwrap()
+            .mappers(["flood-echo"])
+            .run()
+            .unwrap();
+        let csv = report.to_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("spec,mapper,"));
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("\"debruijn:2,3\",flood-echo,"), "{row}");
+    }
+}

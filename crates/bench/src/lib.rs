@@ -1,83 +1,93 @@
 //! # gtd-bench
 //!
-//! Shared machinery for the experiment harness (`harness` binary) and the
-//! criterion benches: the workload families of DESIGN.md §8, a plain-text
-//! table writer, and JSON row dumps so EXPERIMENTS.md numbers stay
-//! regenerable.
+//! The experiment layer: declarative, spec-backed workloads
+//! ([`Workload`], [`core_family_specs`]), the [`Campaign`] grid runner
+//! (topology specs × mappers × engine modes × roots × repetitions over a
+//! worker pool), a plain-text table writer, and JSON row dumps so
+//! experiment numbers stay regenerable.
 //!
-//! Every experiment drives the protocol through the unified
-//! [`GtdSession`](gtd_core::GtdSession) API; the mapper comparisons (E7)
-//! go through [`gtd::TopologyMapper`].
+//! Protocol runs go through the unified
+//! [`GtdSession`](gtd_core::GtdSession) API; mapper comparisons go
+//! through [`gtd_baselines::TopologyMapper`]; grids go through
+//! [`Campaign`].
 
+pub mod campaign;
 pub mod json;
 
-use gtd_core::{GtdSession, TranscriptEvent};
-use gtd_netsim::{generators, EngineMode, Topology};
+use gtd_netsim::{Topology, TopologySpec};
 
+pub use campaign::{
+    Campaign, CampaignError, CampaignReport, CellError, CellOutcome, GroupStat, RunRecord,
+};
 pub use gtd_core::{phase_breakdown, PhaseBreakdown};
 
 use crate::json::JsonValue;
 
-/// A named workload instance.
+/// A named workload instance: a [`TopologySpec`] plus the topology it
+/// built. The display name *is* the canonical spec string, so names and
+/// parameters can never drift apart.
 pub struct Workload {
-    /// Family + parameters, e.g. `random_sc(n=256, δ=3, seed=1)`.
-    pub name: String,
-    /// The network.
+    /// The declarative description.
+    pub spec: TopologySpec,
+    /// The network it builds.
     pub topo: Topology,
 }
 
 impl Workload {
-    /// Construct with a formatted name.
-    pub fn new(name: impl Into<String>, topo: Topology) -> Self {
-        Workload {
-            name: name.into(),
-            topo,
-        }
+    /// Build the workload a spec describes.
+    pub fn from_spec(spec: TopologySpec) -> Self {
+        let topo = spec.build();
+        Workload { spec, topo }
+    }
+
+    /// Parse a spec string and build it.
+    pub fn parse(s: &str) -> Result<Self, gtd_netsim::ParseSpecError> {
+        s.parse().map(Workload::from_spec)
+    }
+
+    /// Canonical display name (the spec string).
+    pub fn name(&self) -> String {
+        self.spec.to_string()
     }
 }
 
-/// The structured families used across experiments (kept small enough that
-/// every experiment finishes on a laptop; the harness accepts a scale knob).
-pub fn core_families(scale: usize) -> Vec<Workload> {
+/// The structured families used across experiments, as specs (kept small
+/// enough that every experiment finishes on a laptop; the harness accepts
+/// a scale knob).
+pub fn core_family_specs(scale: usize) -> Vec<TopologySpec> {
     let s = scale.max(1);
     vec![
-        Workload::new(format!("ring(n={})", 16 * s), generators::ring(16 * s)),
-        Workload::new(
-            format!("line_bidi(n={})", 16 * s),
-            generators::line_bidi(16 * s),
-        ),
-        Workload::new(
-            format!("torus({}x{})", 4 * s, 4),
-            generators::torus(4 * s, 4),
-        ),
-        Workload::new(
-            format!("debruijn(2,{})", 4 + s.ilog2() as usize),
-            generators::debruijn(2, 4 + s.ilog2() as usize),
-        ),
-        Workload::new(
-            format!("tree_loop(h={})", 3 + s.ilog2()),
-            generators::tree_loop_random(3 + s.ilog2(), 7),
-        ),
-        Workload::new(
-            format!("random_sc(n={}, d=3, seed=1)", 32 * s),
-            generators::random_sc(32 * s, 3, 1),
-        ),
-        Workload::new(
-            format!("grid_faulty({}x{}, p=0.2)", 4 * s, 4),
-            generators::bidi_grid_faulty(4 * s, 4, 0.2, 11),
-        ),
+        TopologySpec::Ring { n: 16 * s },
+        TopologySpec::LineBidi { n: 16 * s },
+        TopologySpec::Torus { w: 4 * s, h: 4 },
+        TopologySpec::Debruijn {
+            k: 2,
+            m: 4 + s.ilog2() as usize,
+        },
+        TopologySpec::TreeLoop {
+            h: 3 + s.ilog2(),
+            seed: 7,
+        },
+        TopologySpec::RandomSc {
+            n: 32 * s,
+            delta: 3,
+            seed: 1,
+        },
+        TopologySpec::BidiGridFaulty {
+            w: 4 * s,
+            h: 4,
+            p: 0.2,
+            seed: 11,
+        },
     ]
 }
 
-/// Run GTD collecting tick-stamped root events — a thin compatibility
-/// wrapper over the session's transcript capture. New code should read
-/// `RunOutcome::events` (and `RunOutcome::phases`) directly.
-pub fn run_gtd_timestamped(topo: &Topology, mode: EngineMode) -> Vec<(u64, TranscriptEvent)> {
-    GtdSession::on(topo)
-        .mode(mode)
-        .run()
-        .expect("protocol terminates")
-        .events
+/// [`core_family_specs`], built.
+pub fn core_families(scale: usize) -> Vec<Workload> {
+    core_family_specs(scale)
+        .into_iter()
+        .map(Workload::from_spec)
+        .collect()
 }
 
 /// Simple fixed-width table printer (markdown-flavoured).
@@ -143,6 +153,8 @@ pub fn json_line(experiment: &str, data: JsonValue) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gtd_core::GtdSession;
+    use gtd_netsim::generators;
 
     #[test]
     fn families_are_valid_networks() {
@@ -151,7 +163,7 @@ mod tests {
             assert!(
                 gtd_netsim::algo::is_strongly_connected(&w.topo),
                 "{}",
-                w.name
+                w.name()
             );
         }
     }
@@ -161,6 +173,15 @@ mod tests {
         let small: usize = core_families(1).iter().map(|w| w.topo.num_nodes()).sum();
         let big: usize = core_families(4).iter().map(|w| w.topo.num_nodes()).sum();
         assert!(big > small);
+    }
+
+    #[test]
+    fn family_names_round_trip_as_specs() {
+        for w in core_families(2) {
+            let reparsed: TopologySpec = w.name().parse().unwrap();
+            assert_eq!(reparsed, w.spec, "{} must round-trip", w.name());
+            assert_eq!(reparsed.build(), w.topo);
+        }
     }
 
     #[test]
@@ -177,10 +198,10 @@ mod tests {
     #[test]
     fn phase_breakdown_accounts_for_most_ticks() {
         let topo = generators::ring(8);
-        let trace = run_gtd_timestamped(&topo, EngineMode::Sparse);
-        let pb = phase_breakdown(&trace);
+        let run = GtdSession::on(&topo).run().expect("protocol terminates");
+        let pb = phase_breakdown(&run.events);
         assert_eq!(pb.rcas, 14, "2E minus the root-local moves on an 8-ring");
-        let total_run = trace.last().unwrap().0;
+        let total_run = run.events.last().unwrap().0;
         assert!(pb.total() <= total_run);
         assert!(
             pb.total() * 10 >= total_run * 8,

@@ -1,0 +1,115 @@
+//! Campaign integration suite: determinism across worker counts, per-cell
+//! fault capture, and export round-trips through the JSON parser.
+
+use gtd_bench::json::JsonValue;
+use gtd_bench::Campaign;
+use gtd_netsim::{EngineMode, NodeId};
+
+fn reference_grid() -> Campaign {
+    Campaign::new()
+        .parse_specs(["ring:16", "debruijn:2,4", "random-sc:n=24,delta=3,seed=3"])
+        .unwrap()
+        .mappers(["gtd", "routed-dfs", "flood-echo"])
+        .modes([EngineMode::Dense, EngineMode::Sparse, EngineMode::Parallel])
+        .roots([NodeId(0), NodeId(5)])
+        .reps(2)
+}
+
+#[test]
+fn jsonl_is_byte_identical_for_any_job_count() {
+    let serial = reference_grid().jobs(1).run().unwrap().to_jsonl();
+    let parallel = reference_grid().jobs(8).run().unwrap().to_jsonl();
+    assert_eq!(serial, parallel, "jobs must not affect results");
+    assert_eq!(serial.lines().count(), 3 * 3 * 3 * 2 * 2);
+
+    let auto = reference_grid().jobs(0).run().unwrap().to_csv();
+    assert_eq!(auto, reference_grid().jobs(3).run().unwrap().to_csv());
+}
+
+#[test]
+fn every_jsonl_row_parses_with_the_bench_json_parser() {
+    let report = reference_grid().jobs(4).run().unwrap();
+    let jsonl = report.to_jsonl();
+    assert!(!jsonl.is_empty());
+    for line in jsonl.lines() {
+        let row = JsonValue::parse(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        assert!(row.get("spec").is_some());
+        assert!(row.get("mapper").is_some());
+        assert_eq!(row.get("ok"), Some(&JsonValue::Bool(true)));
+        assert!(row.get("rounds").is_some());
+    }
+}
+
+#[test]
+fn budget_exhausted_cell_is_captured_while_the_rest_completes() {
+    // ring:4 finishes well under 3000 ticks; ring:32 needs far more.
+    let report = Campaign::new()
+        .parse_specs(["ring:4", "ring:32"])
+        .unwrap()
+        .mappers(["gtd", "flood-echo"])
+        .tick_budget(3_000)
+        .jobs(2)
+        .run()
+        .unwrap();
+    assert_eq!(report.records.len(), 4);
+    assert_eq!(report.error_count(), 1);
+
+    let small_gtd = &report.records[0];
+    assert_eq!(
+        (small_gtd.spec.as_str(), small_gtd.mapper.as_str()),
+        ("ring:4", "gtd")
+    );
+    assert!(small_gtd.result.is_ok(), "small run fits the budget");
+
+    let big_gtd = report
+        .records
+        .iter()
+        .find(|r| r.spec == "ring:32" && r.mapper == "gtd")
+        .unwrap();
+    let err = big_gtd.result.as_ref().unwrap_err();
+    assert_eq!(err.kind, "budget-exhausted");
+    assert!(err.message.contains("3000"), "{}", err.message);
+
+    // the budget only binds the protocol cells; baselines are unaffected
+    assert!(report
+        .records
+        .iter()
+        .filter(|r| r.mapper == "flood-echo")
+        .all(|r| r.result.is_ok()));
+
+    // failed cells render as ok=false rows that still parse
+    let jsonl = report.to_jsonl();
+    let err_line = jsonl
+        .lines()
+        .find(|l| l.contains("error_kind"))
+        .expect("error row present");
+    let row = JsonValue::parse(err_line).unwrap();
+    assert_eq!(row.get("ok"), Some(&JsonValue::Bool(false)));
+    assert_eq!(
+        row.get("error_kind"),
+        Some(&JsonValue::Str("budget-exhausted".into()))
+    );
+}
+
+#[test]
+fn repetitions_of_a_deterministic_grid_agree() {
+    let report = Campaign::new()
+        .parse_specs(["tree-loop:h=3,seed=7"])
+        .unwrap()
+        .mappers(["gtd"])
+        .reps(3)
+        .jobs(3)
+        .run()
+        .unwrap();
+    assert_eq!(report.records.len(), 3);
+    let rounds: Vec<u64> = report
+        .records
+        .iter()
+        .map(|r| r.result.as_ref().unwrap().rounds)
+        .collect();
+    assert!(rounds.windows(2).all(|w| w[0] == w[1]), "{rounds:?}");
+    let agg = report.aggregate();
+    assert_eq!(agg.len(), 1);
+    assert_eq!(agg[0].runs, 3);
+    assert_eq!(agg[0].min_rounds, agg[0].max_rounds);
+}

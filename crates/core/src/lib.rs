@@ -47,11 +47,7 @@ pub use events::{RcaReport, TranscriptEvent};
 pub use master::{DecodeError, MapEdge, MasterComputer, NetworkMap, VerifyError};
 pub use node::{ProtocolNode, StartBehavior};
 pub use phases::{phase_breakdown, PhaseBreakdown};
-#[allow(deprecated)]
-pub use runner::{
-    build_gtd_engine, run_gtd, run_gtd_repeated, run_single_bca, run_single_rca, BcaProbe, GtdRun,
-    RcaProbe,
-};
+pub use runner::{build_gtd_engine, run_single_bca, run_single_rca, BcaProbe, RcaProbe};
 pub use session::{
     default_tick_budget, GtdError, GtdSession, PreconditionViolation, RunOutcome, RunStats,
 };

@@ -1,48 +1,15 @@
-//! Legacy free-function runners and the standalone RCA/BCA probes.
+//! The standalone RCA/BCA probes and the raw engine constructor.
 //!
-//! The full-protocol entry points now live on [`GtdSession`]
-//! (`crate::session`); [`run_gtd`] and [`run_gtd_repeated`] remain as
-//! thin deprecated shims for one release. The single-probe runners
-//! ([`run_single_rca`], [`run_single_bca`]) are still the canonical way
-//! to measure one auxiliary protocol in isolation (experiments E3/E4).
+//! The full-protocol entry points live on
+//! [`GtdSession`](crate::session::GtdSession). The single-probe runners
+//! ([`run_single_rca`],
+//! [`run_single_bca`]) are the canonical way to measure one auxiliary
+//! protocol in isolation (experiments E3/E4).
 
 use crate::events::TranscriptEvent;
-use crate::master::NetworkMap;
 use crate::node::{ProtocolNode, StartBehavior};
-use crate::session::{default_tick_budget, GtdError, GtdSession, RunOutcome, RunStats};
+use crate::session::{default_tick_budget, GtdError};
 use gtd_netsim::{algo, Engine, EngineMode, NodeId, Port, Topology};
-
-/// The outcome of a full GTD run, in the pre-[`GtdSession`] shape
-/// (transcript without tick stamps, no phase breakdown).
-#[derive(Clone, Debug)]
-pub struct GtdRun {
-    /// The reconstructed port-level map.
-    pub map: NetworkMap,
-    /// Global clock ticks from initiation to the root's terminal state.
-    pub ticks: u64,
-    /// Transcript-derived counters.
-    pub stats: RunStats,
-    /// The full transcript (for replay, tracing, tests).
-    pub events: Vec<TranscriptEvent>,
-    /// True if after termination every processor's snake/token state was
-    /// back to factory state (Lemma 4.2) and no signal was in flight.
-    pub clean_at_end: bool,
-    /// True if the DFS visited every processor.
-    pub all_visited: bool,
-}
-
-impl From<RunOutcome> for GtdRun {
-    fn from(o: RunOutcome) -> Self {
-        GtdRun {
-            map: o.map,
-            ticks: o.ticks,
-            stats: o.stats,
-            events: o.events.into_iter().map(|(_, e)| e).collect(),
-            clean_at_end: o.clean_at_end,
-            all_visited: o.all_visited,
-        }
-    }
-}
 
 /// Build a GTD engine over `topo` with the root at node 0 — exposed so
 /// tests and experiments can drive ticks manually (mid-run invariant
@@ -56,31 +23,6 @@ pub fn build_gtd_engine(topo: &Topology, mode: EngineMode) -> Engine<ProtocolNod
         };
         ProtocolNode::new(&meta, start)
     })
-}
-
-/// Run the Global Topology Determination protocol on `topo` with the root
-/// at node 0. Returns the reconstructed map and run metrics.
-#[deprecated(since = "0.2.0", note = "use `GtdSession::on(topo).mode(mode).run()`")]
-pub fn run_gtd(topo: &Topology, mode: EngineMode) -> Result<GtdRun, GtdError> {
-    GtdSession::on(topo).mode(mode).run().map(GtdRun::from)
-}
-
-/// Run the GTD protocol `rounds` times on the same live network.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `GtdSession::on(topo).mode(mode).run_repeated(rounds)`"
-)]
-pub fn run_gtd_repeated(
-    topo: &Topology,
-    mode: EngineMode,
-    rounds: usize,
-) -> Result<Vec<GtdRun>, GtdError> {
-    Ok(GtdSession::on(topo)
-        .mode(mode)
-        .run_repeated(rounds)?
-        .into_iter()
-        .map(GtdRun::from)
-        .collect())
 }
 
 /// Measurements from a standalone RCA (experiment E3, Lemma 4.3).
@@ -212,33 +154,6 @@ pub fn run_single_bca(
 mod tests {
     use super::*;
     use gtd_netsim::generators;
-
-    #[test]
-    fn gtd_on_two_cycle() {
-        let topo = generators::ring(2);
-        let run = GtdSession::on(&topo).mode(EngineMode::Dense).run().unwrap();
-        run.map.verify_against(&topo, NodeId(0)).unwrap();
-        assert_eq!(run.map.num_nodes(), 2);
-        assert_eq!(run.map.num_edges(), 2);
-        assert_eq!(run.stats.edges_reported(), 2);
-        assert!(run.clean_at_end, "Lemma 4.2 violated");
-        assert!(run.all_visited);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_agree_with_the_session() {
-        let topo = generators::ring(5);
-        let legacy = run_gtd(&topo, EngineMode::Sparse).unwrap();
-        let session = GtdSession::on(&topo).run().unwrap();
-        assert_eq!(legacy.map, session.map);
-        assert_eq!(legacy.ticks, session.ticks);
-        assert_eq!(legacy.stats, session.stats);
-        assert_eq!(legacy.events, session.event_stream().collect::<Vec<_>>());
-        let repeated = run_gtd_repeated(&topo, EngineMode::Sparse, 2).unwrap();
-        assert_eq!(repeated.len(), 2);
-        assert_eq!(repeated[0].map, legacy.map);
-    }
 
     #[test]
     fn single_rca_on_ring_is_clean_and_linear() {

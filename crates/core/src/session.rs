@@ -441,6 +441,19 @@ mod tests {
     }
 
     #[test]
+    fn two_cycle_maps_exactly() {
+        // the smallest legal network: one bidirectional pair (§1.1)
+        let topo = generators::ring(2);
+        let run = GtdSession::on(&topo).mode(EngineMode::Dense).run().unwrap();
+        run.map.verify_against(&topo, NodeId(0)).unwrap();
+        assert_eq!(run.map.num_nodes(), 2);
+        assert_eq!(run.map.num_edges(), 2);
+        assert_eq!(run.stats.edges_reported(), 2);
+        assert!(run.clean_at_end, "Lemma 4.2 violated");
+        assert!(run.all_visited);
+    }
+
+    #[test]
     fn non_default_root_maps_exactly() {
         let topo = generators::random_sc(18, 3, 4);
         for root in [1u32, 9, 17] {

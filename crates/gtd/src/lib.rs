@@ -5,19 +5,25 @@
 //!
 //! * [`netsim`] — the lockstep simulator: port-labelled directed
 //!   multigraphs ([`Topology`]), graph ground truth ([`algo`]), workload
-//!   [`generators`], and the three-strategy synchronous engine;
+//!   [`generators`] and their declarative [`TopologySpec`] layer, and the
+//!   three-strategy synchronous engine;
 //! * [`snake`] — the finite-state snake/token data structures (paper §2);
 //! * [`protocol`] — the GTD protocol itself: [`GtdSession`] builder,
 //!   [`RunOutcome`], the protocol automaton and the master computer;
-//! * [`baselines`] — unbounded-memory comparison mappers and the §5
-//!   lower-bound machinery;
-//! * [`mapper`] — the [`TopologyMapper`] trait that runs GTD, flood-echo
-//!   and source-routed DFS through one probe-and-reconstruct interface.
+//! * [`baselines`] — unbounded-memory comparison mappers, the §5
+//!   lower-bound machinery, and the [`TopologyMapper`] trait that runs
+//!   GTD, flood-echo and source-routed DFS through one
+//!   probe-and-reconstruct interface;
+//! * [`bench`] — the experiment layer: spec-backed workloads and the
+//!   [`Campaign`] grid runner (specs × mappers × engine modes × roots ×
+//!   repetitions, executed across a worker pool with deterministic,
+//!   order-independent results).
 //!
 //! ```
-//! use gtd::{generators, GtdSession, NodeId, TopologyMapper};
+//! use gtd::{Campaign, GtdSession, NodeId, TopologyMapper, TopologySpec};
 //!
-//! let topo = generators::random_sc(20, 3, 1);
+//! let spec: TopologySpec = "random-sc:n=20,delta=3,seed=1".parse().unwrap();
+//! let topo = spec.build();
 //!
 //! // Run the protocol through the session builder…
 //! let run = GtdSession::on(&topo).root(NodeId(2)).run().expect("terminates");
@@ -28,24 +34,38 @@
 //!     let out = mapper.map_network(&topo, NodeId(0)).expect("mapper succeeds");
 //!     assert!(out.verify_against(&topo), "{} disagrees", mapper.name());
 //! }
+//!
+//! // …or declare a whole experiment grid and let the campaign run it:
+//! let report = Campaign::new()
+//!     .spec(spec)
+//!     .mappers(["gtd", "flood-echo"])
+//!     .jobs(2)
+//!     .run()
+//!     .expect("grid is well-formed");
+//! assert_eq!(report.records.len(), 2);
+//! assert_eq!(report.error_count(), 0);
 //! ```
 
-pub mod mapper;
-
 pub use gtd_baselines as baselines;
+pub use gtd_bench as bench;
 pub use gtd_core as protocol;
 pub use gtd_netsim as netsim;
 pub use gtd_snake as snake;
 
+pub use gtd_baselines::{
+    all_mappers, mapper_by_name, mapper_names, FloodEchoMapper, GtdMapper, MapperConfig,
+    MapperError, MapperRun, RoutedDfsMapper, TopologyMapper,
+};
+pub use gtd_bench::{
+    core_families, Campaign, CampaignError, CampaignReport, CellError, CellOutcome, GroupStat,
+    RunRecord, Workload,
+};
 pub use gtd_core::{
     default_tick_budget, phase_breakdown, DecodeError, GtdError, GtdSession, MasterComputer,
     NetworkMap, PhaseBreakdown, PreconditionViolation, ProtocolNode, RunOutcome, RunStats,
     StartBehavior, TranscriptEvent, VerifyError,
 };
 pub use gtd_netsim::{
-    algo, generators, Edge, Engine, EngineMode, NodeId, Port, Topology, TopologyBuilder,
-};
-pub use mapper::{
-    all_mappers, FloodEchoMapper, GtdMapper, MapperError, MapperRun, RoutedDfsMapper,
-    TopologyMapper,
+    algo, generators, spec, Edge, Engine, EngineMode, NodeId, ParseSpecError, Port, Topology,
+    TopologyBuilder, TopologySpec,
 };

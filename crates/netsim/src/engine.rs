@@ -109,6 +109,37 @@ pub enum EngineMode {
     Parallel,
 }
 
+impl EngineMode {
+    /// Every mode, in canonical order (CLI listings, campaign grids).
+    pub const ALL: [EngineMode; 3] = [EngineMode::Dense, EngineMode::Sparse, EngineMode::Parallel];
+
+    /// Stable lowercase name (round-trips through [`FromStr`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineMode::Dense => "dense",
+            EngineMode::Sparse => "sparse",
+            EngineMode::Parallel => "parallel",
+        }
+    }
+}
+
+impl std::fmt::Display for EngineMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for EngineMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        EngineMode::ALL
+            .into_iter()
+            .find(|m| m.name() == s.trim())
+            .ok_or_else(|| format!("unknown engine mode {s:?} (known: dense, sparse, parallel)"))
+    }
+}
+
 const NO_ROUTE: u32 = u32::MAX;
 
 /// Below this node count [`EngineMode::Parallel`] runs the sequential

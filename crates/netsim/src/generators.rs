@@ -9,6 +9,12 @@
 //!
 //! All generators are deterministic: identical arguments (including seeds)
 //! produce identical port-level topologies.
+//!
+//! These functions are the *backends* of the declarative
+//! [`TopologySpec`](crate::spec::TopologySpec) layer: every family here has
+//! a spec variant (`"ring:64"`, `"debruijn:2,5"`, …) whose `build()`
+//! dispatches to the corresponding generator, so workloads can be written
+//! as data and still produce port-for-port identical networks.
 
 use crate::algo::is_strongly_connected;
 use crate::ids::NodeId;

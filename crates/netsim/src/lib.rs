@@ -11,6 +11,10 @@
 //!    numbered *out-port* of one processor to a numbered *in-port* of
 //!    another, exactly matching the paper's network model (§1.1). Port
 //!    counts are uniformly bounded by a network constant δ ≥ 2.
+//!    Workload families come either as imperative [`generators`] calls or
+//!    as declarative, parse/render round-trippable [`TopologySpec`] values
+//!    (`"ring:64"`, `"random-sc:n=512,delta=3,seed=7"`, …) backed by the
+//!    same generators — see [`spec`] for the grammar and the registry.
 //! 2. **Graph algorithms** ([`algo`]) — strong-connectivity, BFS layers,
 //!    exact diameters, and the *canonical* breadth-first trees that the
 //!    paper's growing snakes carve (first arrival wins, ties broken by the
@@ -50,8 +54,10 @@ pub mod engine;
 pub mod generators;
 pub mod ids;
 pub mod rng;
+pub mod spec;
 pub mod topology;
 
 pub use engine::{Automaton, Engine, EngineMode, NodeMeta, StepCtx};
 pub use ids::{Endpoint, NodeId, Port};
+pub use spec::{FamilySpec, ParamSpec, ParseSpecError, TopologySpec};
 pub use topology::{Edge, Topology, TopologyBuilder, TopologyError};

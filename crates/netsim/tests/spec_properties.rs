@@ -1,0 +1,105 @@
+//! Property tests for the declarative spec layer: every spec the
+//! registry can describe round-trips through `Display`/`FromStr`, and
+//! spec-built topologies are port-for-port identical to the
+//! corresponding `generators::*` call.
+
+use gtd_netsim::{generators, spec, TopologySpec};
+use proptest::prelude::*;
+
+/// A random valid spec drawn from every registry family, with parameters
+/// kept small enough that `build()` stays cheap.
+fn arb_spec() -> impl Strategy<Value = TopologySpec> {
+    (
+        0usize..10,  // family selector
+        2usize..24,  // n-ish parameter
+        1usize..4,   // small structural parameter
+        0u64..1_000, // seed
+        0u64..900,   // p numerator (p = x / 1000 stays in [0, 0.9))
+    )
+        .prop_map(|(family, n, small, seed, pmil)| match family {
+            0 => TopologySpec::Ring { n },
+            1 => TopologySpec::LineBidi { n },
+            2 => TopologySpec::Torus { w: n, h: small },
+            3 => TopologySpec::Debruijn { k: 2, m: small + 1 },
+            4 => TopologySpec::Kautz { k: 2, m: small },
+            5 => TopologySpec::Hypercube {
+                dims: small as u32 + 1,
+            },
+            6 => TopologySpec::Complete { n: small + 2 },
+            7 => TopologySpec::RandomSc {
+                n,
+                delta: small as u8 + 2,
+                seed,
+            },
+            8 => TopologySpec::BidiGridFaulty {
+                w: small + 1,
+                h: small + 1,
+                p: pmil as f64 / 1000.0,
+                seed,
+            },
+            _ => TopologySpec::TreeLoop {
+                h: small as u32,
+                seed,
+            },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_spec_round_trips_through_display_and_fromstr(s in arb_spec()) {
+        prop_assert_eq!(s.validate(), Ok(()));
+        let rendered = s.to_string();
+        let back: TopologySpec = rendered.parse()
+            .unwrap_or_else(|e| panic!("{rendered:?} must re-parse: {e}"));
+        prop_assert_eq!(back, s.clone());
+        // the family prefix is a registry name
+        prop_assert!(spec::family(s.family_name()).is_some());
+        prop_assert!(rendered.starts_with(s.family_name()));
+    }
+
+    #[test]
+    fn spec_build_is_identical_to_the_generator_call(s in arb_spec()) {
+        let expected = match s {
+            TopologySpec::Ring { n } => generators::ring(n),
+            TopologySpec::LineBidi { n } => generators::line_bidi(n),
+            TopologySpec::Torus { w, h } => generators::torus(w, h),
+            TopologySpec::Debruijn { k, m } => generators::debruijn(k, m),
+            TopologySpec::Kautz { k, m } => generators::kautz(k, m),
+            TopologySpec::Hypercube { dims } => generators::hypercube_bidi(dims),
+            TopologySpec::Complete { n } => generators::complete_bidi(n),
+            TopologySpec::RandomSc { n, delta, seed } => generators::random_sc(n, delta, seed),
+            TopologySpec::BidiGridFaulty { w, h, p, seed } => {
+                generators::bidi_grid_faulty(w, h, p, seed)
+            }
+            TopologySpec::TreeLoop { h, seed } => generators::tree_loop_random(h, seed),
+        };
+        prop_assert_eq!(s.build(), expected);
+    }
+
+    #[test]
+    fn parse_is_case_and_shape_strict(s in arb_spec()) {
+        // a parsed-then-rendered-then-parsed spec is a fixed point
+        let once: TopologySpec = s.to_string().parse().unwrap();
+        let twice: TopologySpec = once.to_string().parse().unwrap();
+        prop_assert_eq!(once, twice);
+    }
+}
+
+#[test]
+fn registry_examples_cover_every_family_exactly_once() {
+    let examples = spec::registry_examples();
+    assert_eq!(examples.len(), spec::REGISTRY.len());
+    for (example, fam) in examples.iter().zip(spec::REGISTRY) {
+        assert_eq!(example.family_name(), fam.name);
+        // examples build real networks
+        let topo = example.build();
+        assert!(topo.num_nodes() >= 2);
+        assert!(
+            gtd_netsim::algo::is_strongly_connected(&topo),
+            "{}",
+            fam.name
+        );
+    }
+}
