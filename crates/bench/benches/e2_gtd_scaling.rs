@@ -2,36 +2,49 @@
 //! random family (D = O(log N)) and on the ring (D = N − 1). The reported
 //! criterion throughput is per simulated edge·diameter unit, so flat
 //! numbers across sizes confirm the O(E·D) shape in wall-clock terms too.
+//!
+//! Workloads are named by their canonical spec strings, so bench ids line
+//! up with campaign rows (`harness grid --spec ...`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gtd_bench::Workload;
 use gtd_core::GtdSession;
-use gtd_netsim::{algo, generators};
+use gtd_netsim::{algo, TopologySpec};
 use std::hint::black_box;
 
-fn bench_e2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e2_scaling_random");
+fn bench_specs(c: &mut Criterion, group: &str, specs: Vec<TopologySpec>) {
+    let mut g = c.benchmark_group(group);
     g.sample_size(10);
-    for n in [32usize, 64, 96] {
-        let topo = generators::random_sc(n, 3, 5);
-        let ed = topo.num_edges() as u64 * algo::diameter(&topo) as u64;
+    for w in specs.into_iter().map(Workload::from_spec) {
+        let ed = w.topo.num_edges() as u64 * algo::diameter(&w.topo) as u64;
         g.throughput(Throughput::Elements(ed));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &topo, |b, topo| {
+        g.bench_with_input(BenchmarkId::from_parameter(w.name()), &w.topo, |b, topo| {
             b.iter(|| black_box(GtdSession::on(black_box(topo)).run().unwrap().ticks))
         });
     }
     g.finish();
+}
 
-    let mut g = c.benchmark_group("e2_scaling_ring");
-    g.sample_size(10);
-    for n in [16usize, 32, 48] {
-        let topo = generators::ring(n);
-        let ed = (n * (n - 1)) as u64;
-        g.throughput(Throughput::Elements(ed));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &topo, |b, topo| {
-            b.iter(|| black_box(GtdSession::on(black_box(topo)).run().unwrap().ticks))
-        });
-    }
-    g.finish();
+fn bench_e2(c: &mut Criterion) {
+    bench_specs(
+        c,
+        "e2_scaling_random",
+        (1..=3usize)
+            .map(|k| TopologySpec::RandomSc {
+                n: 32 * k,
+                delta: 3,
+                seed: 5,
+            })
+            .collect(),
+    );
+    bench_specs(
+        c,
+        "e2_scaling_ring",
+        [16usize, 32, 48]
+            .into_iter()
+            .map(|n| TopologySpec::Ring { n })
+            .collect(),
+    );
 }
 
 criterion_group!(benches, bench_e2);

@@ -1,18 +1,22 @@
 //! E3 — Lemma 4.3: a single Root Communication Algorithm probe, swept over
 //! the marked-loop length (ring distance). Throughput is per loop hop, so
 //! flat wall-clock numbers mirror the linear-tick result of the harness.
+//!
+//! Bench ids are the rings' canonical spec strings (`ring:16`, …), so
+//! they line up with campaign rows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gtd_bench::Workload;
 use gtd_core::run_single_rca;
-use gtd_netsim::{generators, EngineMode, NodeId};
+use gtd_netsim::{EngineMode, NodeId, TopologySpec};
 use std::hint::black_box;
 
 fn bench_e3(c: &mut Criterion) {
     let mut g = c.benchmark_group("e3_rca_ring");
     for n in [8usize, 16, 32, 48] {
-        let topo = generators::ring(n);
+        let w = Workload::from_spec(TopologySpec::Ring { n });
         g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &topo, |b, topo| {
+        g.bench_with_input(BenchmarkId::from_parameter(w.name()), &w.topo, |b, topo| {
             b.iter(|| {
                 let probe =
                     run_single_rca(black_box(topo), NodeId(n as u32 / 2), EngineMode::Sparse)

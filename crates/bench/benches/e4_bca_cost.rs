@@ -1,17 +1,21 @@
 //! E4 — the Backwards Communication Algorithm probe, swept over the
 //! backwards-loop length (one message crossing one edge backwards).
+//!
+//! Bench ids are the rings' canonical spec strings (`ring:16`, …), so
+//! they line up with campaign rows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gtd_bench::Workload;
 use gtd_core::run_single_bca;
-use gtd_netsim::{generators, EngineMode, NodeId, Port};
+use gtd_netsim::{EngineMode, NodeId, Port, TopologySpec};
 use std::hint::black_box;
 
 fn bench_e4(c: &mut Criterion) {
     let mut g = c.benchmark_group("e4_bca_ring");
     for n in [8usize, 16, 32, 48] {
-        let topo = generators::ring(n);
+        let w = Workload::from_spec(TopologySpec::Ring { n });
         g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &topo, |b, topo| {
+        g.bench_with_input(BenchmarkId::from_parameter(w.name()), &w.topo, |b, topo| {
             b.iter(|| {
                 let probe = run_single_bca(black_box(topo), NodeId(1), Port(0), EngineMode::Sparse)
                     .unwrap();

@@ -4,8 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gtd_baselines::{count_distinct_small, family_size_log2, min_ticks_lower_bound};
+use gtd_bench::Workload;
 use gtd_core::GtdSession;
-use gtd_netsim::generators;
+use gtd_netsim::TopologySpec;
 use std::hint::black_box;
 
 fn bench_e6(c: &mut Criterion) {
@@ -26,8 +27,9 @@ fn bench_e6(c: &mut Criterion) {
     let mut g = c.benchmark_group("e6_gtd_on_tree_loop");
     g.sample_size(10);
     for h in [3u32, 4] {
-        let topo = generators::tree_loop_random(h, 3);
-        g.bench_with_input(BenchmarkId::from_parameter(h), &topo, |b, topo| {
+        // bench ids are the canonical spec strings (`tree-loop:h=3,seed=3`)
+        let w = Workload::from_spec(TopologySpec::TreeLoop { h, seed: 3 });
+        g.bench_with_input(BenchmarkId::from_parameter(w.name()), &w.topo, |b, topo| {
             b.iter(|| black_box(GtdSession::on(black_box(topo)).run().unwrap().ticks))
         });
     }

@@ -1,20 +1,28 @@
 //! E7 — every mapper through the common [`TopologyMapper`] interface on
 //! the same workload: the wall-clock side of the "what does
 //! finite-stateness cost" comparison.
+//!
+//! The group id carries the workload's canonical spec string, so bench
+//! rows line up with `harness grid --spec random-sc:n=48,delta=3,seed=1`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gtd_baselines::all_mappers;
-use gtd_netsim::{generators, NodeId};
+use gtd_bench::Workload;
+use gtd_netsim::{NodeId, TopologySpec};
 use std::hint::black_box;
 
 fn bench_e7(c: &mut Criterion) {
-    let topo = generators::random_sc(48, 3, 1);
-    let mut g = c.benchmark_group("e7_mappers_random48");
+    let w = Workload::from_spec(TopologySpec::RandomSc {
+        n: 48,
+        delta: 3,
+        seed: 1,
+    });
+    let mut g = c.benchmark_group(&format!("e7_mappers/{}", w.name()));
     g.sample_size(10);
     for mapper in all_mappers() {
         g.bench_with_input(
             BenchmarkId::from_parameter(mapper.name()),
-            &topo,
+            &w.topo,
             |b, topo| {
                 b.iter(|| {
                     let run = mapper

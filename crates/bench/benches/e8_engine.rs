@@ -4,8 +4,9 @@
 //! matter what, sparse = O(active), parallel = dense fanned out on rayon.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gtd_bench::Workload;
 use gtd_core::{ProtocolNode, StartBehavior};
-use gtd_netsim::{generators, Engine, EngineMode, NodeId};
+use gtd_netsim::{Engine, EngineMode, NodeId, TopologySpec};
 use std::hint::black_box;
 
 fn engine_with_flood(
@@ -32,29 +33,35 @@ fn engine_with_flood(
 }
 
 fn bench_modes(c: &mut Criterion, label: &str, n: usize, flood: bool) {
-    let topo = generators::random_sc(n, 3, 9);
-    let mut g = c.benchmark_group(label);
+    // group ids carry the workload's canonical spec string so rows line
+    // up with campaign cells (mode names match EngineMode::name()).
+    let w = Workload::from_spec(TopologySpec::RandomSc {
+        n,
+        delta: 3,
+        seed: 9,
+    });
+    let mut g = c.benchmark_group(&format!("{label}/{}", w.name()));
     g.throughput(Throughput::Elements(n as u64));
-    for (name, mode) in [
-        ("dense", EngineMode::Dense),
-        ("sparse", EngineMode::Sparse),
-        ("parallel", EngineMode::Parallel),
-    ] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
-            let mut engine = engine_with_flood(&topo, mode, flood);
-            let mut events = Vec::new();
-            b.iter(|| {
-                engine.tick(&mut events);
-                black_box(engine.tick_count())
-            });
-        });
+    for mode in EngineMode::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(mode.name()),
+            &mode,
+            |b, &mode| {
+                let mut engine = engine_with_flood(&w.topo, mode, flood);
+                let mut events = Vec::new();
+                b.iter(|| {
+                    engine.tick(&mut events);
+                    black_box(engine.tick_count())
+                });
+            },
+        );
     }
     g.finish();
 }
 
 fn bench_e8(c: &mut Criterion) {
-    bench_modes(c, "e8_idle_n4096", 4096, false);
-    bench_modes(c, "e8_flood_n4096", 4096, true);
+    bench_modes(c, "e8_idle", 4096, false);
+    bench_modes(c, "e8_flood", 4096, true);
 }
 
 criterion_group!(benches, bench_e8);

@@ -17,9 +17,12 @@
 //! are accepted as a shorthand for `run`.
 
 use gtd_baselines::{family_size_log2, min_ticks_lower_bound, tree_loop_params};
+use gtd_bench::json::JsonValue;
 use gtd_bench::{core_family_specs, json, json_line, Campaign, RunRecord, Table, Workload};
 use gtd_core::{run_single_bca, run_single_rca, GtdSession, TranscriptEvent};
-use gtd_netsim::{algo, generators, spec, EngineMode, NodeId, Port, TopologySpec};
+use gtd_netsim::{
+    algo, generators, mutation, spec, DynamicSpec, EngineMode, NodeId, Port, TopologySpec,
+};
 use std::io::Write;
 use std::process::exit;
 use std::time::Instant;
@@ -30,6 +33,7 @@ fn main() {
         Some("list") => cmd_list(&args[1..]),
         Some("grid") => cmd_grid(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
         Some("help") | Some("--help") | Some("-h") => usage(0),
         // bare experiment ids / flags: legacy shorthand for `run`
         _ => cmd_run(&args),
@@ -42,8 +46,10 @@ fn usage(code: i32) -> ! {
          harness list\n  \
          harness run [e1 .. e8] [--scale K] [--json FILE]\n  \
          harness grid --spec SPEC [--spec SPEC ...] [--mappers a,b] [--modes x,y]\n               \
-         [--roots 0,1] [--reps K] [--budget T] [--jobs K] [--json FILE] [--csv FILE]\n\n\
-         `harness list` prints the spec grammar; e.g. --spec ring:64 --spec debruijn:2,5"
+         [--roots 0,1] [--reps K] [--budget T] [--jobs K] [--json FILE] [--csv FILE]\n  \
+         harness compare OLD.jsonl NEW.jsonl [--threshold PCT]\n\n\
+         `harness list` prints the spec grammar; e.g. --spec ring:64 --spec debruijn:2,5\n\
+         dynamic specs append mutation suffixes: --spec ring:64+drop-edge=3@t500"
     );
     exit(code)
 }
@@ -86,6 +92,18 @@ fn cmd_list(args: &[String]) {
     }
     print!("{}", t.render());
 
+    println!("\nmutation suffixes (append +kind=selector@tTICK to any spec):\n");
+    let mut t = Table::new(&["kind", "example", "effect"]);
+    for m in mutation::MUTATION_REGISTRY {
+        t.row(vec![
+            m.name.to_string(),
+            m.example.to_string(),
+            m.summary.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("e.g. ring:64+drop-edge=3@t500  (kinds without a valid candidate fall back to swap)");
+
     println!("\nmappers: {}", gtd_baselines::mapper_names().join(", "));
     let modes: Vec<&str> = EngineMode::ALL.iter().map(|m| m.name()).collect();
     println!("engine modes: {}", modes.join(", "));
@@ -97,7 +115,7 @@ fn cmd_list(args: &[String]) {
 
 fn cmd_grid(args: &[String]) {
     let mut campaign = Campaign::new();
-    let mut specs: Vec<TopologySpec> = Vec::new();
+    let mut specs: Vec<DynamicSpec> = Vec::new();
     let mut json_path: Option<String> = None;
     let mut csv_path: Option<String> = None;
     let mut mappers_set = false;
@@ -163,7 +181,15 @@ fn cmd_grid(args: &[String]) {
     let wall = t0.elapsed();
 
     let mut t = Table::new(&[
-        "spec", "mapper", "mode", "runs", "errors", "min", "median", "max",
+        "spec",
+        "mapper",
+        "mode",
+        "runs",
+        "errors",
+        "min",
+        "median",
+        "max",
+        "remap med",
     ]);
     for g in report.aggregate() {
         let fmt = |v: Option<u64>| v.map_or("-".into(), |x| x.to_string());
@@ -176,6 +202,7 @@ fn cmd_grid(args: &[String]) {
             fmt(g.min_rounds),
             fmt(g.median_rounds),
             fmt(g.max_rounds),
+            fmt(g.median_remap),
         ]);
     }
     print!("{}", t.render());
@@ -198,6 +225,218 @@ fn cmd_grid(args: &[String]) {
 fn parse_int(s: &str, flag: &str) -> usize {
     s.parse()
         .unwrap_or_else(|_| bail(&format!("{flag} expects an integer, got {s:?}")))
+}
+
+// ---------------------------------------------------------------------------
+// harness compare
+// ---------------------------------------------------------------------------
+
+/// One side's samples for a (spec, mapper, mode) group.
+#[derive(Default)]
+struct GroupSamples {
+    rounds: Vec<u64>,
+    remap: Vec<u64>,
+    errors: usize,
+}
+
+fn num_field(row: &JsonValue, key: &str) -> Option<u64> {
+    match row.get(key) {
+        Some(&JsonValue::Num(n)) => Some(n as u64),
+        _ => None,
+    }
+}
+
+fn str_field(row: &JsonValue, key: &str) -> Option<String> {
+    match row.get(key) {
+        Some(JsonValue::Str(s)) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+/// Load a `harness grid --json` export into per-(spec, mapper, mode)
+/// samples. Rows of other shapes (e.g. `harness run --json` experiment
+/// rows) are skipped, so mixed files degrade gracefully.
+fn load_grid_jsonl(
+    path: &str,
+) -> std::collections::BTreeMap<(String, String, String), GroupSamples> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| bail(&format!("{path}: {e}")));
+    let mut groups: std::collections::BTreeMap<(String, String, String), GroupSamples> =
+        std::collections::BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row = JsonValue::parse(line)
+            .unwrap_or_else(|e| bail(&format!("{path}:{}: not JSON: {e}", lineno + 1)));
+        let (Some(spec), Some(mapper), Some(mode)) = (
+            str_field(&row, "spec"),
+            str_field(&row, "mapper"),
+            str_field(&row, "mode"),
+        ) else {
+            continue; // not a grid row
+        };
+        let g = groups.entry((spec, mapper, mode)).or_default();
+        if row.get("ok") == Some(&JsonValue::Bool(true)) {
+            if let Some(r) = num_field(&row, "rounds") {
+                g.rounds.push(r);
+            }
+            if let Some(JsonValue::Arr(ls)) = row.get("remap_latencies") {
+                for l in ls {
+                    if let JsonValue::Num(n) = l {
+                        g.remap.push(*n as u64);
+                    }
+                }
+            }
+        } else {
+            g.errors += 1;
+        }
+    }
+    groups
+}
+
+/// `harness compare old.jsonl new.jsonl`: per-(spec, mapper, mode)
+/// round/remap-latency deltas with regression flagging. Purely a report
+/// over the byte-stable grid exports — exit code 1 when any group
+/// regressed beyond the threshold.
+fn cmd_compare(args: &[String]) {
+    let mut paths: Vec<String> = Vec::new();
+    let mut threshold = 0.0f64;
+    let mut it = args.iter().cloned();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                let v = flag_value(&mut it, "--threshold");
+                threshold = v.parse().unwrap_or_else(|_| {
+                    bail(&format!("--threshold expects a percentage, got {v:?}"))
+                });
+            }
+            other if other.starts_with("--") => bail(&format!(
+                "unknown compare flag {other:?} (see `harness help`)"
+            )),
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        bail("compare takes exactly two JSONL files (see `harness help`)");
+    };
+    let mut old = load_grid_jsonl(old_path);
+    let mut new = load_grid_jsonl(new_path);
+    if old.is_empty() {
+        bail(&format!("{old_path}: no grid rows found"));
+    }
+    if new.is_empty() {
+        bail(&format!("{new_path}: no grid rows found"));
+    }
+
+    let keys: Vec<(String, String, String)> = old
+        .keys()
+        .chain(new.keys())
+        .cloned()
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let mut t = Table::new(&[
+        "spec",
+        "mapper",
+        "mode",
+        "old",
+        "new",
+        "delta",
+        "delta %",
+        "remap old",
+        "remap new",
+        "flag",
+    ]);
+    let fmt = |v: Option<u64>| v.map_or("-".to_string(), |x| x.to_string());
+    let mut regressions = 0usize;
+    let mut missing = 0usize;
+    for key in keys {
+        let (o, n) = (old.remove(&key), new.remove(&key));
+        let (spec, mapper, mode) = key;
+        let row = |t: &mut Table, o_med, n_med, o_remap, n_remap, flag: String| {
+            let (delta, pct) = match (o_med, n_med) {
+                (Some(a), Some(b)) => (
+                    format!("{:+}", b as i64 - a as i64),
+                    if a > 0 {
+                        format!("{:+.1}", (b as f64 - a as f64) / a as f64 * 100.0)
+                    } else {
+                        "-".into()
+                    },
+                ),
+                _ => ("-".into(), "-".into()),
+            };
+            t.row(vec![
+                spec.clone(),
+                mapper.clone(),
+                mode.clone(),
+                fmt(o_med),
+                fmt(n_med),
+                delta,
+                pct,
+                fmt(o_remap),
+                fmt(n_remap),
+                flag,
+            ]);
+        };
+        match (o, n) {
+            (Some(mut o), Some(mut n)) => {
+                let (o_med, n_med) = (
+                    gtd_bench::campaign::lower_median(&mut o.rounds),
+                    gtd_bench::campaign::lower_median(&mut n.rounds),
+                );
+                let (o_remap, n_remap) = (
+                    gtd_bench::campaign::lower_median(&mut o.remap),
+                    gtd_bench::campaign::lower_median(&mut n.remap),
+                );
+                let worse = |a: Option<u64>, b: Option<u64>| match (a, b) {
+                    (Some(a), Some(b)) => (b as f64) > (a as f64) * (1.0 + threshold / 100.0),
+                    _ => false,
+                };
+                let regressed =
+                    worse(o_med, n_med) || worse(o_remap, n_remap) || n.errors > o.errors;
+                if regressed {
+                    regressions += 1;
+                }
+                row(
+                    &mut t,
+                    o_med,
+                    n_med,
+                    o_remap,
+                    n_remap,
+                    if regressed {
+                        "REGRESSED".into()
+                    } else {
+                        String::new()
+                    },
+                );
+            }
+            (Some(mut o), None) => {
+                missing += 1;
+                let (o_med, o_remap) = (
+                    gtd_bench::campaign::lower_median(&mut o.rounds),
+                    gtd_bench::campaign::lower_median(&mut o.remap),
+                );
+                row(&mut t, o_med, None, o_remap, None, "only in old".into());
+            }
+            (None, Some(mut n)) => {
+                missing += 1;
+                let (n_med, n_remap) = (
+                    gtd_bench::campaign::lower_median(&mut n.rounds),
+                    gtd_bench::campaign::lower_median(&mut n.remap),
+                );
+                row(&mut t, None, n_med, None, n_remap, "only in new".into());
+            }
+            (None, None) => unreachable!("key came from one of the maps"),
+        }
+    }
+    print!("{}", t.render());
+    println!(
+        "{regressions} regression(s), {missing} group(s) present on one side only \
+         (threshold {threshold}%)"
+    );
+    if regressions > 0 {
+        exit(1);
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -38,7 +38,7 @@
 use crate::json::JsonValue;
 use gtd_baselines::{mapper_by_name, MapperConfig, MapperError};
 use gtd_core::{GtdError, PhaseBreakdown};
-use gtd_netsim::{EngineMode, NodeId, ParseSpecError, Topology, TopologySpec};
+use gtd_netsim::{DynamicSpec, EngineMode, NodeId, ParseSpecError, Topology};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -83,7 +83,7 @@ impl From<ParseSpecError> for CampaignError {
 /// axes, then [`Campaign::run`].
 #[derive(Clone, Debug)]
 pub struct Campaign {
-    specs: Vec<TopologySpec>,
+    specs: Vec<DynamicSpec>,
     mappers: Vec<String>,
     modes: Vec<EngineMode>,
     roots: Vec<NodeId>,
@@ -114,26 +114,29 @@ impl Campaign {
         }
     }
 
-    /// Add one topology spec to the grid.
-    pub fn spec(mut self, spec: TopologySpec) -> Self {
-        self.specs.push(spec);
+    /// Add one topology spec to the grid — static
+    /// ([`TopologySpec`](gtd_netsim::TopologySpec)) or dynamic
+    /// ([`DynamicSpec`], with a mutation schedule).
+    pub fn spec(mut self, spec: impl Into<DynamicSpec>) -> Self {
+        self.specs.push(spec.into());
         self
     }
 
-    /// Add several topology specs.
-    pub fn specs(mut self, specs: impl IntoIterator<Item = TopologySpec>) -> Self {
-        self.specs.extend(specs);
+    /// Add several topology specs (static or dynamic).
+    pub fn specs<S: Into<DynamicSpec>>(mut self, specs: impl IntoIterator<Item = S>) -> Self {
+        self.specs.extend(specs.into_iter().map(Into::into));
         self
     }
 
-    /// Parse and add spec strings (`"ring:64"`, …). Fails fast on the
-    /// first malformed spec.
+    /// Parse and add spec strings (`"ring:64"`,
+    /// `"ring:64+drop-edge=3@t500"`, …). Fails fast on the first
+    /// malformed spec.
     pub fn parse_specs<S: AsRef<str>>(
         mut self,
         specs: impl IntoIterator<Item = S>,
     ) -> Result<Self, CampaignError> {
         for s in specs {
-            self.specs.push(s.as_ref().parse()?);
+            self.specs.push(s.as_ref().parse::<DynamicSpec>()?);
         }
         Ok(self)
     }
@@ -208,8 +211,8 @@ impl Campaign {
             }
         }
 
-        // Build every topology once; cells share them read-only.
-        let topos: Vec<Topology> = self.specs.iter().map(TopologySpec::build).collect();
+        // Build every base topology once; cells share them read-only.
+        let topos: Vec<Topology> = self.specs.iter().map(DynamicSpec::build).collect();
 
         // Grid order: spec → mapper → mode → root → rep.
         struct Cell {
@@ -254,17 +257,38 @@ impl Campaign {
                 capture_phases: true,
             };
             let mapper = mapper_by_name(&self.mappers[cell.mapper], &cfg).expect("validated above");
-            let result = match mapper.map_network(topo, cell.root) {
-                Ok(run) => Ok(CellOutcome {
-                    rounds: run.rounds,
-                    messages: run.messages,
-                    verified: run.verify_against(topo),
-                    rcas: run.stats.map(|s| s.rcas()),
-                    bcas: run.stats.map(|s| s.bcas()),
-                    clean: run.clean,
-                    phases: run.phases,
-                }),
-                Err(e) => Err(CellError::from(e)),
+            let result = if spec.is_static() {
+                match mapper.map_network(topo, cell.root) {
+                    Ok(run) => Ok(CellOutcome {
+                        rounds: run.rounds,
+                        messages: run.messages,
+                        verified: run.verify_against(topo),
+                        rcas: run.stats.map(|s| s.rcas()),
+                        bcas: run.stats.map(|s| s.bcas()),
+                        clean: run.clean,
+                        phases: run.phases,
+                        remap: None,
+                    }),
+                    Err(e) => Err(CellError::from(e)),
+                }
+            } else {
+                match mapper.map_dynamic(topo, &spec.schedule, cell.root) {
+                    Ok(run) => Ok(CellOutcome {
+                        rounds: run.total_rounds,
+                        messages: None,
+                        verified: run.verified,
+                        rcas: None,
+                        bcas: None,
+                        clean: None,
+                        phases: None,
+                        remap: Some(RemapSummary {
+                            epochs: run.epochs,
+                            initial_rounds: run.initial_rounds,
+                            latencies: run.remap_latencies,
+                        }),
+                    }),
+                    Err(e) => Err(CellError::from(e)),
+                }
             };
             RunRecord {
                 spec: spec.to_string(),
@@ -320,6 +344,7 @@ impl From<MapperError> for CellError {
             MapperError::Gtd(GtdError::BudgetExhausted { .. }) => "budget-exhausted",
             MapperError::Gtd(GtdError::Precondition(_)) => "precondition",
             MapperError::Gtd(GtdError::Decode(_)) => "decode",
+            MapperError::Gtd(GtdError::RemapDiverged { .. }) => "remap-diverged",
             MapperError::Unresolvable(_) => "unresolvable",
         };
         CellError {
@@ -335,31 +360,69 @@ impl std::fmt::Display for CellError {
     }
 }
 
+/// Lower median (the `(len-1)/2`-th order statistic) — the single
+/// definition every aggregate, summary and report in this crate uses.
+/// Sorts `samples` in place; `None` when empty.
+pub fn lower_median(samples: &mut [u64]) -> Option<u64> {
+    samples.sort_unstable();
+    if samples.is_empty() {
+        None
+    } else {
+        Some(samples[(samples.len() - 1) / 2])
+    }
+}
+
+/// Dynamic-cell extras: what the remapping timeline of a mutated spec
+/// measured.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RemapSummary {
+    /// Mapping epochs executed over the timeline.
+    pub epochs: usize,
+    /// Rounds until the first correct map (see
+    /// [`DynamicRun::initial_rounds`](gtd_baselines::DynamicRun)).
+    pub initial_rounds: u64,
+    /// Remap latency per scheduled mutation, in schedule order.
+    pub latencies: Vec<Option<u64>>,
+}
+
+impl RemapSummary {
+    /// Median remap latency over the mutations that were remapped (lower
+    /// middle for even counts).
+    pub fn median_latency(&self) -> Option<u64> {
+        let mut ls: Vec<u64> = self.latencies.iter().flatten().copied().collect();
+        lower_median(&mut ls)
+    }
+}
+
 /// What a successful cell measured. Only logical quantities — never wall
 /// time — so reports are reproducible byte-for-byte.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CellOutcome {
-    /// Synchronous rounds until the collector had the map.
+    /// Synchronous rounds until the collector had the map (for dynamic
+    /// cells: total rounds over the whole remapping timeline).
     pub rounds: u64,
     /// Messages, for mappers that count them.
     pub messages: Option<u64>,
-    /// Did the discovered edge set match ground truth exactly?
+    /// Did the discovered edge set match ground truth exactly (for
+    /// dynamic cells: did the final map match the final topology)?
     pub verified: bool,
-    /// RCAs run (GTD only).
+    /// RCAs run (static GTD cells only).
     pub rcas: Option<usize>,
-    /// BCAs run (GTD only).
+    /// BCAs run (static GTD cells only).
     pub bcas: Option<usize>,
-    /// Lemma 4.2 cleanliness (GTD only).
+    /// Lemma 4.2 cleanliness (static GTD cells only).
     pub clean: Option<bool>,
-    /// Phase breakdown of the run's ticks (GTD only).
+    /// Phase breakdown of the run's ticks (static GTD cells only).
     pub phases: Option<PhaseBreakdown>,
+    /// Remapping timeline results (dynamic cells only).
+    pub remap: Option<RemapSummary>,
 }
 
 /// One grid cell's identity and result.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RunRecord {
-    /// Canonical spec string (round-trips through
-    /// [`TopologySpec::from_str`](std::str::FromStr)).
+    /// Canonical spec string, mutation suffixes included (round-trips
+    /// through [`DynamicSpec`]'s `FromStr`).
     pub spec: String,
     /// Mapper name.
     pub mapper: String,
@@ -422,6 +485,22 @@ impl RunRecord {
                         }),
                     );
                 }
+                if let Some(r) = &out.remap {
+                    map.insert("epochs".into(), JsonValue::Num(r.epochs as f64));
+                    map.insert(
+                        "initial_rounds".into(),
+                        JsonValue::Num(r.initial_rounds as f64),
+                    );
+                    map.insert(
+                        "remap_latencies".into(),
+                        JsonValue::Arr(
+                            r.latencies
+                                .iter()
+                                .map(|l| l.map_or(JsonValue::Null, |v| JsonValue::Num(v as f64)))
+                                .collect(),
+                        ),
+                    );
+                }
             }
             Err(err) => {
                 map.insert("error_kind".into(), JsonValue::Str(err.kind.into()));
@@ -452,6 +531,12 @@ pub struct GroupStat {
     pub median_rounds: Option<u64>,
     /// Maximum rounds over successful cells.
     pub max_rounds: Option<u64>,
+    /// Minimum remap latency over the group's dynamic cells.
+    pub min_remap: Option<u64>,
+    /// Median remap latency over the group's dynamic cells.
+    pub median_remap: Option<u64>,
+    /// Maximum remap latency over the group's dynamic cells.
+    pub max_remap: Option<u64>,
 }
 
 /// The outcome of [`Campaign::run`]: every cell's record, in grid order.
@@ -473,16 +558,16 @@ impl CampaignReport {
     pub fn aggregate(&self) -> Vec<GroupStat> {
         let mut out: Vec<GroupStat> = Vec::new();
         let mut samples: Vec<u64> = Vec::new();
-        let finish = |g: &mut GroupStat, samples: &mut Vec<u64>| {
-            samples.sort_unstable();
+        let mut remap_samples: Vec<u64> = Vec::new();
+        let finish = |g: &mut GroupStat, samples: &mut Vec<u64>, remap: &mut Vec<u64>| {
+            g.median_rounds = lower_median(samples);
             g.min_rounds = samples.first().copied();
             g.max_rounds = samples.last().copied();
-            g.median_rounds = if samples.is_empty() {
-                None
-            } else {
-                Some(samples[(samples.len() - 1) / 2])
-            };
             samples.clear();
+            g.median_remap = lower_median(remap);
+            g.min_remap = remap.first().copied();
+            g.max_remap = remap.last().copied();
+            remap.clear();
         };
         for rec in &self.records {
             let fresh = match out.last() {
@@ -491,7 +576,7 @@ impl CampaignReport {
             };
             if fresh {
                 if let Some(g) = out.last_mut() {
-                    finish(g, &mut samples);
+                    finish(g, &mut samples, &mut remap_samples);
                 }
                 out.push(GroupStat {
                     spec: rec.spec.clone(),
@@ -502,17 +587,25 @@ impl CampaignReport {
                     min_rounds: None,
                     median_rounds: None,
                     max_rounds: None,
+                    min_remap: None,
+                    median_remap: None,
+                    max_remap: None,
                 });
             }
             let g = out.last_mut().expect("pushed above");
             g.runs += 1;
             match &rec.result {
-                Ok(o) => samples.push(o.rounds),
+                Ok(o) => {
+                    samples.push(o.rounds);
+                    if let Some(r) = &o.remap {
+                        remap_samples.extend(r.latencies.iter().flatten());
+                    }
+                }
                 Err(_) => g.errors += 1,
             }
         }
         if let Some(g) = out.last_mut() {
-            finish(g, &mut samples);
+            finish(g, &mut samples, &mut remap_samples);
         }
         out
     }
@@ -533,27 +626,37 @@ impl CampaignReport {
     /// containing commas or quotes are quoted per RFC 4180.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "spec,mapper,mode,root,rep,n,e,ok,rounds,messages,verified,clean,error_kind,error\n",
+            "spec,mapper,mode,root,rep,n,e,ok,rounds,messages,verified,clean,epochs,remap_median,error_kind,error\n",
         );
         for rec in &self.records {
-            let (rounds, messages, verified, clean, kind, error) = match &rec.result {
-                Ok(o) => (
-                    o.rounds.to_string(),
-                    o.messages.map_or(String::new(), |m| m.to_string()),
-                    o.verified.to_string(),
-                    o.clean.map_or(String::new(), |c| c.to_string()),
-                    String::new(),
-                    String::new(),
-                ),
-                Err(e) => (
-                    String::new(),
-                    String::new(),
-                    String::new(),
-                    String::new(),
-                    e.kind.to_string(),
-                    e.message.clone(),
-                ),
-            };
+            let (rounds, messages, verified, clean, epochs, remap_median, kind, error) =
+                match &rec.result {
+                    Ok(o) => (
+                        o.rounds.to_string(),
+                        o.messages.map_or(String::new(), |m| m.to_string()),
+                        o.verified.to_string(),
+                        o.clean.map_or(String::new(), |c| c.to_string()),
+                        o.remap
+                            .as_ref()
+                            .map_or(String::new(), |r| r.epochs.to_string()),
+                        o.remap
+                            .as_ref()
+                            .and_then(RemapSummary::median_latency)
+                            .map_or(String::new(), |l| l.to_string()),
+                        String::new(),
+                        String::new(),
+                    ),
+                    Err(e) => (
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                        e.kind.to_string(),
+                        e.message.clone(),
+                    ),
+                };
             let fields = [
                 rec.spec.clone(),
                 rec.mapper.clone(),
@@ -567,6 +670,8 @@ impl CampaignReport {
                 messages,
                 verified,
                 clean,
+                epochs,
+                remap_median,
                 kind,
                 error,
             ];

@@ -17,7 +17,8 @@ pub mod json;
 use gtd_netsim::{Topology, TopologySpec};
 
 pub use campaign::{
-    Campaign, CampaignError, CampaignReport, CellError, CellOutcome, GroupStat, RunRecord,
+    Campaign, CampaignError, CampaignReport, CellError, CellOutcome, GroupStat, RemapSummary,
+    RunRecord,
 };
 pub use gtd_core::{phase_breakdown, PhaseBreakdown};
 

@@ -92,6 +92,84 @@ fn budget_exhausted_cell_is_captured_while_the_rest_completes() {
 }
 
 #[test]
+fn dynamic_grid_jsonl_is_byte_identical_for_any_job_count() {
+    let grid = || {
+        Campaign::new()
+            .parse_specs([
+                "ring:16+drop-edge=1@t100",
+                "random-sc:n=20,delta=3,seed=3+rewire=2@t50+add-edge=1@t4000",
+            ])
+            .unwrap()
+            .mappers(["gtd", "routed-dfs", "flood-echo"])
+            .modes([EngineMode::Dense, EngineMode::Sparse])
+            .reps(2)
+    };
+    let serial = grid().jobs(1).run().unwrap().to_jsonl();
+    let parallel = grid().jobs(8).run().unwrap().to_jsonl();
+    assert_eq!(serial, parallel, "jobs must not affect dynamic results");
+    assert_eq!(serial.lines().count(), 2 * 3 * 2 * 2);
+
+    // every dynamic row carries a populated remap story
+    for line in serial.lines() {
+        let row = JsonValue::parse(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        assert_eq!(row.get("ok"), Some(&JsonValue::Bool(true)), "{line}");
+        assert_eq!(row.get("verified"), Some(&JsonValue::Bool(true)), "{line}");
+        assert!(row.get("epochs").is_some(), "{line}");
+        assert!(row.get("initial_rounds").is_some(), "{line}");
+        let Some(JsonValue::Arr(latencies)) = row.get("remap_latencies") else {
+            panic!("remap_latencies missing: {line}");
+        };
+        let spec = match row.get("spec") {
+            Some(JsonValue::Str(s)) => s.clone(),
+            other => panic!("bad spec field {other:?}"),
+        };
+        assert_eq!(
+            latencies.len(),
+            spec.matches('+').count(),
+            "one latency per mutation: {line}"
+        );
+        assert!(
+            latencies.iter().all(|l| matches!(l, JsonValue::Num(_))),
+            "latency populated for every mutation: {line}"
+        );
+    }
+
+    // the spec strings round-trip through the dynamic grammar
+    use gtd_netsim::DynamicSpec;
+    for line in serial.lines() {
+        let row = JsonValue::parse(line).unwrap();
+        if let Some(JsonValue::Str(s)) = row.get("spec") {
+            let spec: DynamicSpec = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert_eq!(&spec.to_string(), s, "canonical rendering");
+        }
+    }
+
+    // CSV gains the remap columns
+    let csv = grid().jobs(0).run().unwrap().to_csv();
+    let header = csv.lines().next().unwrap();
+    assert!(header.contains("epochs,remap_median"), "{header}");
+    assert_eq!(csv, grid().jobs(3).run().unwrap().to_csv());
+}
+
+#[test]
+fn aggregate_carries_remap_latency_columns() {
+    let report = Campaign::new()
+        .parse_specs(["ring:12+swap=1@t40", "ring:12"])
+        .unwrap()
+        .mappers(["gtd"])
+        .run()
+        .unwrap();
+    let agg = report.aggregate();
+    assert_eq!(agg.len(), 2);
+    let dynamic = agg.iter().find(|g| g.spec.contains('+')).unwrap();
+    assert!(dynamic.median_remap.is_some());
+    assert!(dynamic.min_remap <= dynamic.median_remap);
+    assert!(dynamic.median_remap <= dynamic.max_remap);
+    let fixed = agg.iter().find(|g| !g.spec.contains('+')).unwrap();
+    assert_eq!(fixed.median_remap, None);
+}
+
+#[test]
 fn repetitions_of_a_deterministic_grid_agree() {
     let report = Campaign::new()
         .parse_specs(["tree-loop:h=3,seed=7"])

@@ -49,5 +49,6 @@ pub use node::{ProtocolNode, StartBehavior};
 pub use phases::{phase_breakdown, PhaseBreakdown};
 pub use runner::{build_gtd_engine, run_single_bca, run_single_rca, BcaProbe, RcaProbe};
 pub use session::{
-    default_tick_budget, GtdError, GtdSession, PreconditionViolation, RunOutcome, RunStats,
+    default_tick_budget, EpochOutcome, EpochStatus, GtdError, GtdSession, MutationOutcome,
+    PreconditionViolation, RemapOutcome, RunOutcome, RunStats,
 };

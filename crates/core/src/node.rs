@@ -382,17 +382,23 @@ impl ProtocolNode {
     // ------------------------------------------------------------------
 
     fn start_rca(&mut self, report: RcaReport, after: AfterRca, now: u64) {
-        debug_assert_eq!(self.rca, RcaState::Idle, "RCAs are serialized");
-        debug_assert!(self.ig.is_pristine() && self.og.is_pristine());
-        debug_assert!(self.marks.is_pristine());
+        // In an undisturbed run RCAs are strictly serialized and start on a
+        // pristine relay; after a live topology mutation a straggler DFS
+        // token can ask for an RCA while one is in flight — drop the
+        // request (the session's remap driver recovers the stalled run).
+        if self.rca != RcaState::Idle || self.ig.is_marked() {
+            return;
+        }
         self.ig.start(now);
         self.stat_rcas_started += 1;
         self.rca = RcaState::AwaitOg { report, after };
     }
 
     fn start_bca(&mut self, via: Port, now: u64) {
-        debug_assert_eq!(self.bca, BcaState::Idle, "BCAs are serialized");
-        debug_assert!(self.bg.is_pristine());
+        // Serialized like RCAs; see start_rca for the mutation caveat.
+        if self.bca != BcaState::Idle || self.bg.is_marked() {
+            return;
+        }
         self.bg.start(now);
         self.stat_bcas_started += 1;
         self.bca = BcaState::AwaitBgHead { via };
@@ -419,10 +425,11 @@ impl ProtocolNode {
             RcaReport::Forward { out_port, in_port } => LoopToken::Forward { out_port, in_port },
             RcaReport::Back => LoopToken::Back,
         };
-        let succ = self
-            .marks
-            .succ(MarkPair::First)
-            .expect("loop marked before step 4");
+        // The loop is always marked before step 4 in an undisturbed run; a
+        // mutation can erase the marks under us — stall instead of panic.
+        let Some(succ) = self.marks.succ(MarkPair::First) else {
+            return;
+        };
         ctx.outputs[succ.idx()].put_loop(tok);
         self.rca = RcaState::AwaitLoopReturn { after };
     }
@@ -453,10 +460,11 @@ impl ProtocolNode {
             self.dfs.done = true;
             ctx.events.push(TranscriptEvent::Terminated);
         } else {
-            let parent = self
-                .dfs
-                .parent
-                .expect("finished non-root processor has a parent");
+            // A finished non-root processor always has a parent in an
+            // undisturbed run; a mutation-era RESET can clear it.
+            let Some(parent) = self.dfs.parent else {
+                return;
+            };
             self.start_bca(parent, now);
         }
     }
@@ -495,6 +503,11 @@ impl ProtocolNode {
         if self.is_root {
             match self.root_rca {
                 RootRca::Open => {
+                    if self.og.is_marked() {
+                        // Leftover OG state from a mutation-disturbed RCA:
+                        // the root cannot become the OG origin again yet.
+                        return;
+                    }
                     if let Some(c) = self.ig.accept(p, c) {
                         // First IG head of this RCA: adopt, transcribe, and
                         // begin converting to the OG snake (step 2). The OG
@@ -548,11 +561,21 @@ impl ProtocolNode {
         }
         match self.rca {
             RcaState::AwaitOg { report, after } => {
+                if self.dying_id.is_active()
+                    || self.marks.pred(MarkPair::First).is_some()
+                    || self.marks.succ(MarkPair::First).is_some()
+                {
+                    // Mutation-era residue occupies the #1 pair; adopting
+                    // another stream would corrupt it.
+                    return;
+                }
                 if let Some(c) = self.og.accept(p, c) {
                     // First surviving OG head: eat it as if it were an ID
                     // head (step 3) — its hop is our own first hop towards
                     // the root.
-                    let hop = c.hop().expect("adoption starts on a head");
+                    let Some(hop) = c.hop() else {
+                        return; // headless straggler stream
+                    };
                     self.marks.set_pred(MarkPair::First, p);
                     self.marks.set_succ(MarkPair::First, hop.out_port);
                     self.dying_id.begin(p, hop.out_port);
@@ -591,6 +614,12 @@ impl ProtocolNode {
             BcaState::AwaitBgHead { via } if p == via => {
                 let c = c.filled(p);
                 if let SnakeChar::Head(hop) = c {
+                    if self.dying_bd.is_active()
+                        || self.marks.pred(MarkPair::First).is_some()
+                        || self.marks.succ(MarkPair::First).is_some()
+                    {
+                        return; // mutation-era residue on the #1 pair
+                    }
                     // The first BG head returning through the designated
                     // in-port encodes the canonical loop B→…→A→B. Eat the
                     // head, mark our ports, start converting to BD.
@@ -600,7 +629,9 @@ impl ProtocolNode {
                     self.bca = BcaState::Converting { via };
                 }
             }
-            BcaState::Converting { via } if p == via => {
+            BcaState::Converting { via }
+                if p == via && !self.dying_bd.is_done() && self.dying_bd.pred() == Some(via) =>
+            {
                 let c = c.filled(p);
                 let is_tail = c.is_tail();
                 self.dying_bd.feed(via, c, now);
@@ -627,6 +658,12 @@ impl ProtocolNode {
                 RootRca::AwaitId => {
                     let c = c.filled(p);
                     if let SnakeChar::Head(hop) = c {
+                        if self.dying_od.is_active()
+                            || self.marks.pred(MarkPair::First).is_some()
+                            || self.marks.succ(MarkPair::Second).is_some()
+                        {
+                            return; // mutation-era residue
+                        }
                         // Convert ID→OD: predecessor #1, successor #2
                         // (§2.3.3 — the root's exceptional port pairing).
                         ctx.events.push(TranscriptEvent::IdHop(hop));
@@ -636,7 +673,9 @@ impl ProtocolNode {
                         self.root_rca = RootRca::ConvertingId;
                     }
                 }
-                RootRca::ConvertingId => {
+                RootRca::ConvertingId
+                    if !self.dying_od.is_done() && self.dying_od.pred() == Some(p) =>
+                {
                     let c = c.filled(p);
                     match c {
                         SnakeChar::Body(hop) => ctx.events.push(TranscriptEvent::IdHop(hop)),
@@ -655,14 +694,19 @@ impl ProtocolNode {
         // Ordinary passage on the A→root half (pair #1).
         let c = c.filled(p);
         match c {
-            SnakeChar::Head(hop) if !self.dying_id.is_active() => {
+            SnakeChar::Head(hop)
+                if !self.dying_id.is_active()
+                    && self.marks.pred(MarkPair::First).is_none()
+                    && self.marks.succ(MarkPair::First).is_none() =>
+            {
                 self.marks.set_pred(MarkPair::First, p);
                 self.marks.set_succ(MarkPair::First, hop.out_port);
                 self.dying_id.begin(p, hop.out_port);
             }
-            _ => {
+            _ if !self.dying_id.is_done() && self.dying_id.pred() == Some(p) => {
                 self.dying_id.feed(p, c, now);
             }
+            _ => {} // off-path character (only possible after a mutation)
         }
     }
 
@@ -674,23 +718,30 @@ impl ProtocolNode {
         if let RcaState::AwaitOdTail { report, after } = self.rca {
             if self.marks.pred(MarkPair::First) == Some(p) {
                 // "[Processor A] will only receive the tail character ODT"
-                // (step 3) — the loop is fully marked; begin step 4.
-                debug_assert!(c.is_tail(), "A receives only the OD tail");
-                self.rca_step4(report, after, ctx);
+                // (step 3) — the loop is fully marked; begin step 4. A
+                // non-tail here is mutation-era junk and is dropped.
+                if c.is_tail() {
+                    self.rca_step4(report, after, ctx);
+                }
                 return;
             }
         }
         // Ordinary passage on the root→A half (pair #2).
         let c = c.filled(p);
         match c {
-            SnakeChar::Head(hop) if !self.dying_od.is_active() => {
+            SnakeChar::Head(hop)
+                if !self.dying_od.is_active()
+                    && self.marks.pred(MarkPair::Second).is_none()
+                    && self.marks.succ(MarkPair::Second).is_none() =>
+            {
                 self.marks.set_pred(MarkPair::Second, p);
                 self.marks.set_succ(MarkPair::Second, hop.out_port);
                 self.dying_od.begin(p, hop.out_port);
             }
-            _ => {
+            _ if !self.dying_od.is_done() && self.dying_od.pred() == Some(p) => {
                 self.dying_od.feed(p, c, now);
             }
+            _ => {} // off-path character (only possible after a mutation)
         }
     }
 
@@ -700,9 +751,14 @@ impl ProtocolNode {
                 // The physical BD tail has circled the loop: every
                 // processor on it (including the endpoint) is marked.
                 // Release the payload loop token (the KILL flood already
-                // flew at BG-tail consumption).
-                debug_assert!(c.is_tail(), "B receives only the BD tail");
-                let succ = self.marks.succ(MarkPair::First).expect("BCA loop marked");
+                // flew at BG-tail consumption). Anything other than the
+                // tail — or erased marks — is mutation-era junk.
+                if !c.is_tail() {
+                    return;
+                }
+                let Some(succ) = self.marks.succ(MarkPair::First) else {
+                    return;
+                };
                 ctx.outputs[succ.idx()].put_loop(LoopToken::Bca(BcaMsg::DfsReturn));
                 self.bca = BcaState::AwaitLoopReturn;
                 return;
@@ -711,14 +767,19 @@ impl ProtocolNode {
         // Ordinary BD passage (pair #1; BCA loops are simple cycles).
         let c = c.filled(p);
         match c {
-            SnakeChar::Head(hop) if !self.dying_bd.is_active() => {
+            SnakeChar::Head(hop)
+                if !self.dying_bd.is_active()
+                    && self.marks.pred(MarkPair::First).is_none()
+                    && self.marks.succ(MarkPair::First).is_none() =>
+            {
                 self.marks.set_pred(MarkPair::First, p);
                 self.marks.set_succ(MarkPair::First, hop.out_port);
                 self.dying_bd.begin(p, hop.out_port);
             }
-            _ => {
+            _ if !self.dying_bd.is_done() && self.dying_bd.pred() == Some(p) => {
                 self.dying_bd.feed(p, c, now);
             }
+            _ => {} // off-path character (only possible after a mutation)
         }
     }
 
@@ -726,7 +787,9 @@ impl ProtocolNode {
         // Absorption by the RCA initiator (step 4 → step 5).
         if let RcaState::AwaitLoopReturn { after } = self.rca {
             if self.marks.pred(MarkPair::First) == Some(p) {
-                let succ = self.marks.succ(MarkPair::First).expect("marked loop");
+                let Some(succ) = self.marks.succ(MarkPair::First) else {
+                    return; // marks half-erased by a mutation
+                };
                 ctx.outputs[succ.idx()].unmark = true;
                 self.rca = RcaState::AwaitUnmarkReturn { after };
                 return;
@@ -735,7 +798,9 @@ impl ProtocolNode {
         // Absorption by the BCA initiator: release the UNMARK (absorbed at
         // the target) and finish — B already knows delivery succeeded.
         if self.bca == BcaState::AwaitLoopReturn && self.marks.pred(MarkPair::First) == Some(p) {
-            let succ = self.marks.succ(MarkPair::First).expect("marked loop");
+            let Some(succ) = self.marks.succ(MarkPair::First) else {
+                return; // marks half-erased by a mutation
+            };
             ctx.outputs[succ.idx()].unmark = true;
             self.marks.clear();
             self.dying_bd.reset();
@@ -745,11 +810,16 @@ impl ProtocolNode {
             }
             return;
         }
-        // Ordinary loop-token forwarding.
+        // Ordinary loop-token forwarding. In an undisturbed run a loop
+        // token never arrives off-loop or while another token dwells here;
+        // after a live mutation both can happen — drop the token (the
+        // stalled run is recovered by the session's remap driver).
         let Some(route) = self.marks.route(p) else {
-            debug_assert!(false, "loop token arrived off-loop");
             return;
         };
+        if self.pending_loop.is_some() {
+            return;
+        }
         if self.is_root {
             match tok {
                 LoopToken::Forward { out_port, in_port } => {
@@ -767,10 +837,6 @@ impl ProtocolNode {
                 self.pending_bca = Some(msg);
             }
         }
-        debug_assert!(
-            self.pending_loop.is_none(),
-            "one loop token at a time per processor"
-        );
         self.pending_loop = Some((now + SPEED1_DWELL, tok, route.succ));
         self.marks.advance(route);
     }
@@ -792,10 +858,11 @@ impl ProtocolNode {
         if self.dying_bd.is_endpoint() && self.dying_bd.pred() == Some(p) {
             self.marks.clear();
             self.dying_bd.reset();
-            let msg = self
-                .pending_bca
-                .take()
-                .expect("BCA endpoint holds the payload");
+            // The endpoint always holds the payload in an undisturbed run;
+            // a mutation can deliver the UNMARK without it.
+            let Some(msg) = self.pending_bca.take() else {
+                return;
+            };
             self.on_bca_payload(msg, now, ctx);
             return;
         }
@@ -818,9 +885,8 @@ impl ProtocolNode {
                 self.dying_id.reset();
                 self.root_rca = RootRca::Open;
             }
-        } else {
-            debug_assert!(false, "UNMARK arrived off-loop");
         }
+        // An off-loop UNMARK (impossible without a mutation) is dropped.
     }
 
     fn on_dfs_forward(&mut self, o: Port, i: Port, now: u64, ctx: &mut Ctx) {
@@ -1044,6 +1110,23 @@ impl Automaton for ProtocolNode {
         self.stat_max_chars = self.stat_max_chars.max(self.chars_in_flight());
         if self.has_pending() {
             ctx.request_restep();
+        }
+    }
+
+    fn on_rewire(&mut self, meta: &NodeMeta) {
+        // Port awareness (§1.2.1) tracks the physical wiring: recompute
+        // the connected out-port list. Snake and DFS state are left alone
+        // — the session-level remap driver decides whether the disturbed
+        // run needs a RESET flood or a full power-cycle.
+        self.out_ports = meta
+            .out_connected
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c)
+            .map(|(o, _)| Port(o as u8))
+            .collect();
+        if self.dfs.cursor > self.out_ports.len() {
+            self.dfs.cursor = self.out_ports.len();
         }
     }
 }

@@ -37,7 +37,9 @@ use crate::events::TranscriptEvent;
 use crate::master::{DecodeError, MasterComputer, NetworkMap};
 use crate::node::{ProtocolNode, StartBehavior};
 use crate::phases::{phase_breakdown, PhaseBreakdown};
-use gtd_netsim::{algo, Engine, EngineMode, NodeId, Topology};
+use gtd_netsim::{
+    algo, Engine, EngineMode, MutationKind, MutationSchedule, NodeId, ScheduledMutation, Topology,
+};
 
 /// A model precondition the session detected before simulating a single
 /// tick (paper §1.1 assumes them; the protocol would simply never
@@ -96,6 +98,14 @@ pub enum GtdError {
     Precondition(PreconditionViolation),
     /// The root's transcript could not be replayed.
     Decode(DecodeError),
+    /// A dynamic run kept producing stale or wedged mapping epochs
+    /// without converging on a correct map — the defensive cap of
+    /// [`GtdSession::run_dynamic`] (it cannot fire for valid mutations,
+    /// which always leave a mappable, strongly-connected network).
+    RemapDiverged {
+        /// Mapping epochs executed before giving up.
+        epochs: usize,
+    },
 }
 
 impl std::fmt::Display for GtdError {
@@ -106,6 +116,12 @@ impl std::fmt::Display for GtdError {
             }
             GtdError::Precondition(p) => write!(f, "precondition violated: {p}"),
             GtdError::Decode(e) => write!(f, "transcript decode error: {e}"),
+            GtdError::RemapDiverged { epochs } => {
+                write!(
+                    f,
+                    "dynamic run did not converge after {epochs} mapping epochs"
+                )
+            }
         }
     }
 }
@@ -197,6 +213,106 @@ pub fn default_tick_budget(topo: &Topology) -> u64 {
     let n = topo.num_nodes() as u64;
     let e = topo.num_edges() as u64;
     1_000 + (e + 2) * (n + 8) * 60
+}
+
+/// How one mapping epoch of a dynamic run ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EpochStatus {
+    /// The root terminated and its map matches the live topology.
+    Verified,
+    /// The root terminated but the map is wrong for the live topology
+    /// (or the transcript failed to decode) — a mutation outdated it.
+    Stale,
+    /// The epoch could never terminate with a map: it ran out of tick
+    /// budget, the network went quiet without terminating, or the
+    /// transcript stopped decoding mid-run (protocol state lost to a
+    /// mutation).
+    Wedged,
+}
+
+/// One mapping epoch of a dynamic run: a full protocol execution from
+/// initiation (or re-initiation) to termination, wedge or budget
+/// exhaustion, stamped in global timeline ticks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpochOutcome {
+    /// Global tick at which the epoch's mapping run began.
+    pub start_tick: u64,
+    /// Global tick of termination (or of the wedge decision).
+    pub end_tick: u64,
+    /// How the epoch ended.
+    pub status: EpochStatus,
+    /// The decoded map, when the transcript decoded (stale maps are kept
+    /// — they are what the master *believed* before re-mapping).
+    pub map: Option<NetworkMap>,
+    /// The epoch's tick-stamped transcript (global ticks). Empty when
+    /// [`GtdSession::capture_transcript`] was turned off.
+    pub events: Vec<(u64, TranscriptEvent)>,
+}
+
+impl EpochOutcome {
+    /// Ticks this epoch's mapping run took.
+    pub fn ticks(&self) -> u64 {
+        self.end_tick - self.start_tick
+    }
+}
+
+/// What happened to one scheduled mutation over the timeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MutationOutcome {
+    /// The mutation as scheduled.
+    pub scheduled: ScheduledMutation,
+    /// Global tick at which it was actually applied (the first
+    /// between-ticks opportunity at or after the scheduled tick).
+    pub applied_at: Option<u64>,
+    /// The kind actually applied —
+    /// [`MutationKind::SwapLabels`] when the scheduled kind had no valid
+    /// candidate and the fallback fired.
+    pub applied_as: Option<MutationKind>,
+    /// **Remap latency**: global ticks from the mutation's application to
+    /// the end of the next verified mapping epoch — how long the master's
+    /// picture of the network stayed wrong.
+    pub remap_latency: Option<u64>,
+}
+
+/// The unified outcome of a schedule-aware dynamic run
+/// ([`GtdSession::run_dynamic`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RemapOutcome {
+    /// The processor that hosted the master computer.
+    pub root: NodeId,
+    /// Every mapping epoch, in timeline order. The first epoch maps the
+    /// pristine network; later ones are remaps.
+    pub epochs: Vec<EpochOutcome>,
+    /// Per-mutation application and remap-latency records, in schedule
+    /// order.
+    pub mutations: Vec<MutationOutcome>,
+    /// Global ticks simulated over the whole timeline (mapping epochs,
+    /// settling and idle gaps included).
+    pub total_ticks: u64,
+    /// The topology at the end of the timeline.
+    pub final_topology: Topology,
+}
+
+impl RemapOutcome {
+    /// Did the timeline end with a map matching the final topology?
+    /// (Always true when `run_dynamic` returns `Ok` — kept as data so
+    /// reports can assert it.)
+    pub fn final_verified(&self) -> bool {
+        matches!(
+            self.epochs.last(),
+            Some(e) if e.status == EpochStatus::Verified
+        )
+    }
+
+    /// Ticks of the initial (pristine-network) mapping epoch.
+    pub fn initial_ticks(&self) -> u64 {
+        self.epochs.first().map_or(0, EpochOutcome::ticks)
+    }
+
+    /// Remap latencies in schedule order.
+    pub fn remap_latencies(&self) -> Vec<Option<u64>> {
+        self.mutations.iter().map(|m| m.remap_latency).collect()
+    }
 }
 
 /// Observer callback: `(tick, event)` for every root transcript symbol.
@@ -299,8 +415,14 @@ impl<'a> GtdSession<'a> {
     }
 
     fn build_engine(&self) -> Engine<ProtocolNode> {
+        self.build_engine_on(self.topo)
+    }
+
+    /// Build a fresh engine on `topo` (the session's base topology, or a
+    /// mutated successor during a dynamic run's power-cycle).
+    fn build_engine_on(&self, topo: &Topology) -> Engine<ProtocolNode> {
         let start = self.start;
-        Engine::with_root(self.topo, self.mode, self.root, &mut |meta| {
+        Engine::with_root(topo, self.mode, self.root, &mut |meta| {
             let behaviour = if meta.is_root {
                 start
             } else {
@@ -412,6 +534,220 @@ impl<'a> GtdSession<'a> {
             );
         }
         Ok(outcomes)
+    }
+
+    /// Run the protocol over a *changing* network — the paper's §1
+    /// motivating scenario as one timeline.
+    ///
+    /// The schedule's mutations are applied to the live engine atomically
+    /// between ticks ([`Engine::apply_topology`]): in-flight characters on
+    /// removed wires vanish, affected processors' port awareness updates,
+    /// and whatever protocol run is in progress continues on the changed
+    /// network. Each mapping epoch then ends one of three ways:
+    ///
+    /// * **verified** — the root terminated and the decoded map matches
+    ///   the live topology;
+    /// * **stale** — it terminated but the map is outdated (or the
+    ///   transcript no longer decodes): the master re-maps, via the RESET
+    ///   flood when the network settled cleanly, via a full power-cycle
+    ///   (fresh automata, same clock) when protocol state was lost;
+    /// * **wedged** — the run lost its DFS token to a mutation (network
+    ///   quiet without termination) or exhausted the epoch tick budget:
+    ///   the master power-cycles and re-maps.
+    ///
+    /// The timeline ends when every scheduled mutation has been applied
+    /// and re-mapped: each mutation's **remap latency** — global ticks
+    /// from its application to the next verified map — is the headline
+    /// metric of the returned [`RemapOutcome`]. Mutations whose kind has
+    /// no valid candidate (dropping a wire from a directed ring) degrade
+    /// to a label swap so a network event still happens; the outcome
+    /// records the kind actually applied.
+    ///
+    /// Deterministic across [`EngineMode`]s: all three produce identical
+    /// epochs, transcripts and latencies.
+    pub fn run_dynamic(mut self, schedule: &MutationSchedule) -> Result<RemapOutcome, GtdError> {
+        self.check_preconditions()?;
+        let root = self.root;
+        let capture = self.capture;
+        let mut topo = self.topo.clone();
+        let mut engine = self.build_engine_on(&topo);
+        // Global timeline tick = `base` + the current engine's own count
+        // (a power-cycle swaps the engine but not the clock).
+        let mut base: u64 = 0;
+        let mut epochs: Vec<EpochOutcome> = Vec::new();
+        let mut muts: Vec<MutationOutcome> = schedule
+            .iter()
+            .map(|&sm| MutationOutcome {
+                scheduled: sm,
+                applied_at: None,
+                applied_as: None,
+                remap_latency: None,
+            })
+            .collect();
+        let mut fired = 0usize;
+        let mut scratch = Vec::new();
+        // Apply every mutation whose tick has arrived (between ticks).
+        // Single-sourced: called at the timeline loop top and before each
+        // epoch tick, so mutation bookkeeping cannot desynchronize.
+        fn fire_due(
+            muts: &mut [MutationOutcome],
+            fired: &mut usize,
+            topo: &mut Topology,
+            engine: &mut Engine<ProtocolNode>,
+            base: u64,
+        ) {
+            while *fired < muts.len() && muts[*fired].scheduled.tick <= base + engine.tick_count() {
+                let (next, applied_as) = topo.apply_or_fallback(&muts[*fired].scheduled.mutation);
+                *topo = next;
+                engine.apply_topology(topo);
+                muts[*fired].applied_at = Some(base + engine.tick_count());
+                muts[*fired].applied_as = Some(applied_as);
+                *fired += 1;
+            }
+        }
+        // Each mutation can spoil at most the epoch it lands in plus the
+        // remap that follows; anything past this cap is a protocol bug.
+        let max_epochs = 2 * muts.len() + 3;
+        let mut first = true;
+        loop {
+            fire_due(&mut muts, &mut fired, &mut topo, &mut engine, base);
+            if !first {
+                let last_verified = matches!(
+                    epochs.last(),
+                    Some(e) if e.status == EpochStatus::Verified
+                );
+                let all_remapped = muts.iter().all(|m| m.remap_latency.is_some());
+                if last_verified && fired == muts.len() && all_remapped {
+                    break;
+                }
+                if last_verified && fired < muts.len() && engine.is_quiet() {
+                    // Nothing to re-map yet: idle the quiet network to the
+                    // next mutation tick (O(1) — quiet networks stay quiet).
+                    let next_tick = muts[fired].scheduled.tick;
+                    engine.skip_quiet_ticks(next_tick - (base + engine.tick_count()));
+                    continue;
+                }
+                // (A verified epoch can leave mutation-era junk circulating
+                // past the settle cap; the non-quiet case falls through so
+                // the pristine check below power-cycles before idling.)
+                if epochs.len() >= max_epochs {
+                    return Err(GtdError::RemapDiverged {
+                        epochs: epochs.len(),
+                    });
+                }
+                // Begin a remap: the gentle RESET flood when the network
+                // settled cleanly, a power-cycle otherwise.
+                let can_restart = engine.node(root).terminated()
+                    && engine.signals_in_flight() == 0
+                    && engine.nodes().iter().all(|n| n.snake_state_pristine());
+                if can_restart {
+                    engine.node_mut(root).master_restart();
+                } else {
+                    base += engine.tick_count();
+                    engine = self.build_engine_on(&topo);
+                }
+            }
+            first = false;
+
+            // ---- one mapping epoch ----
+            let epoch_start = base + engine.tick_count();
+            let budget = self
+                .tick_budget
+                .unwrap_or_else(|| default_tick_budget(&topo));
+            let mut master = MasterComputer::new();
+            let mut master_dead = false;
+            let mut events: Vec<(u64, TranscriptEvent)> = Vec::new();
+            let (status, end_tick, map) = loop {
+                fire_due(&mut muts, &mut fired, &mut topo, &mut engine, base);
+                let now = base + engine.tick_count();
+                if now - epoch_start >= budget {
+                    break (EpochStatus::Wedged, now, None);
+                }
+                if engine.is_quiet() && !engine.node(root).terminated() {
+                    // The DFS token died with a mutated wire: a quiet
+                    // network can never terminate on its own.
+                    break (EpochStatus::Wedged, now, None);
+                }
+                scratch.clear();
+                engine.tick(&mut scratch);
+                let t = base + engine.tick_count();
+                let mut terminated = false;
+                for (nid, ev) in scratch.drain(..) {
+                    if nid != root {
+                        // Mutation-era stray (e.g. a BCA probe event from a
+                        // disturbed endpoint) — not part of the transcript.
+                        continue;
+                    }
+                    if capture {
+                        events.push((t, ev));
+                    }
+                    if let Some(obs) = self.observer.as_mut() {
+                        obs(t, ev);
+                    }
+                    if ev == TranscriptEvent::Terminated {
+                        terminated = true;
+                    }
+                    if !master_dead && master.feed(ev).is_err() {
+                        master_dead = true;
+                    }
+                }
+                if terminated {
+                    // Drain to quiescence (bounded: a mutation-disturbed
+                    // network may circulate junk forever — that forces a
+                    // power-cycle before the next epoch anyway).
+                    let mut settle = 0;
+                    while !engine.is_quiet() && settle < 1_000 {
+                        scratch.clear();
+                        engine.tick(&mut scratch);
+                        settle += 1;
+                    }
+                    if master_dead {
+                        break (EpochStatus::Stale, t, None);
+                    }
+                    match std::mem::take(&mut master).into_map() {
+                        Ok(m) => {
+                            let status = if m.verify_against(&topo, root).is_ok() {
+                                EpochStatus::Verified
+                            } else {
+                                EpochStatus::Stale
+                            };
+                            break (status, t, Some(m));
+                        }
+                        Err(_) => break (EpochStatus::Stale, t, None),
+                    }
+                }
+                if master_dead {
+                    // The transcript stopped decoding mid-run: the epoch
+                    // can never yield a map — cut it short. The root never
+                    // terminated, so this is a wedge (lost protocol
+                    // state), not a stale termination.
+                    break (EpochStatus::Wedged, t, None);
+                }
+            };
+            if status == EpochStatus::Verified {
+                for m in muts.iter_mut() {
+                    if m.remap_latency.is_none() {
+                        if let Some(at) = m.applied_at {
+                            m.remap_latency = Some(end_tick.saturating_sub(at));
+                        }
+                    }
+                }
+            }
+            epochs.push(EpochOutcome {
+                start_tick: epoch_start,
+                end_tick,
+                status,
+                map,
+                events,
+            });
+        }
+        Ok(RemapOutcome {
+            root,
+            epochs,
+            mutations: muts,
+            total_ticks: base + engine.tick_count(),
+            final_topology: topo,
+        })
     }
 }
 
@@ -565,5 +901,131 @@ mod tests {
             assert!(o.clean_at_end);
             o.map.verify_against(&topo, NodeId(0)).unwrap();
         }
+    }
+
+    #[test]
+    fn dynamic_run_with_empty_schedule_matches_a_static_run() {
+        use gtd_netsim::MutationSchedule;
+        let topo = generators::random_sc(14, 3, 6);
+        let plain = GtdSession::on(&topo).run().unwrap();
+        let dynamic = GtdSession::on(&topo)
+            .run_dynamic(&MutationSchedule::new())
+            .unwrap();
+        assert_eq!(dynamic.epochs.len(), 1);
+        assert_eq!(dynamic.epochs[0].status, EpochStatus::Verified);
+        assert_eq!(dynamic.epochs[0].map.as_ref(), Some(&plain.map));
+        assert_eq!(dynamic.initial_ticks(), plain.ticks);
+        assert_eq!(dynamic.epochs[0].events, plain.events);
+        assert!(dynamic.mutations.is_empty());
+        assert_eq!(dynamic.final_topology, topo);
+        assert!(dynamic.final_verified());
+    }
+
+    #[test]
+    fn mid_run_mutation_is_detected_and_remapped() {
+        use gtd_netsim::{MutationKind, MutationSchedule, TopologyMutation};
+        let topo = generators::random_sc(16, 3, 3);
+        // t=40 lands well inside the first mapping run
+        let schedule = MutationSchedule::new().with(
+            40,
+            TopologyMutation {
+                kind: MutationKind::RewirePort,
+                selector: 2,
+            },
+        );
+        let out = GtdSession::on(&topo).run_dynamic(&schedule).unwrap();
+        assert!(out.final_verified());
+        assert_eq!(out.mutations.len(), 1);
+        let m = &out.mutations[0];
+        assert_eq!(m.applied_at, Some(40));
+        assert_eq!(m.applied_as, Some(MutationKind::RewirePort));
+        let latency = m.remap_latency.expect("remap latency populated");
+        assert!(latency > 0);
+        // the final epoch's map matches the mutated network, not the base
+        let final_map = out.epochs.last().unwrap().map.as_ref().unwrap();
+        final_map
+            .verify_against(&out.final_topology, NodeId(0))
+            .unwrap();
+        assert_ne!(out.final_topology, topo);
+        assert!(final_map.verify_against(&topo, NodeId(0)).is_err());
+    }
+
+    #[test]
+    fn post_termination_mutation_uses_the_reset_flood_remap() {
+        use gtd_netsim::{MutationKind, MutationSchedule, TopologyMutation};
+        let topo = generators::random_sc(12, 3, 9);
+        let first = GtdSession::on(&topo).run().unwrap();
+        // schedule far past the first run: the network idles, then remaps
+        let tick = first.ticks + 5_000;
+        let schedule = MutationSchedule::new().with(
+            tick,
+            TopologyMutation {
+                kind: MutationKind::AddEdge,
+                selector: 7,
+            },
+        );
+        let out = GtdSession::on(&topo).run_dynamic(&schedule).unwrap();
+        assert_eq!(out.epochs.len(), 2, "one clean map, one clean remap");
+        assert_eq!(out.epochs[0].status, EpochStatus::Verified);
+        assert_eq!(out.epochs[1].status, EpochStatus::Verified);
+        assert_eq!(out.mutations[0].applied_at, Some(tick));
+        // the remap began at the mutation, so latency = remap epoch ticks
+        assert_eq!(
+            out.mutations[0].remap_latency,
+            Some(out.epochs[1].end_tick - tick)
+        );
+        assert!(out.total_ticks >= tick);
+    }
+
+    #[test]
+    fn inapplicable_mutations_fall_back_to_a_label_swap() {
+        use gtd_netsim::{MutationKind, MutationSchedule, TopologyMutation};
+        // a directed ring cannot lose a wire: every edge is a bridge
+        let topo = generators::ring(8);
+        let schedule = MutationSchedule::new().with(
+            30,
+            TopologyMutation {
+                kind: MutationKind::DropEdge,
+                selector: 3,
+            },
+        );
+        let out = GtdSession::on(&topo).run_dynamic(&schedule).unwrap();
+        assert!(out.final_verified());
+        assert_eq!(out.mutations[0].applied_as, Some(MutationKind::SwapLabels));
+        assert!(out.mutations[0].remap_latency.is_some());
+        assert_eq!(out.final_topology.num_edges(), topo.num_edges());
+    }
+
+    #[test]
+    fn dynamic_runs_are_identical_across_engine_modes() {
+        use gtd_netsim::{MutationKind, MutationSchedule, TopologyMutation};
+        let topo = generators::random_sc(16, 3, 11);
+        let schedule = MutationSchedule::new()
+            .with(
+                60,
+                TopologyMutation {
+                    kind: MutationKind::DropEdge,
+                    selector: 1,
+                },
+            )
+            .with(
+                200,
+                TopologyMutation {
+                    kind: MutationKind::AddEdge,
+                    selector: 4,
+                },
+            );
+        let runs: Vec<RemapOutcome> = [EngineMode::Dense, EngineMode::Sparse, EngineMode::Parallel]
+            .into_iter()
+            .map(|mode| {
+                GtdSession::on(&topo)
+                    .mode(mode)
+                    .run_dynamic(&schedule)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1], "dense vs sparse");
+        assert_eq!(runs[0], runs[2], "dense vs parallel");
+        assert!(runs[0].final_verified());
     }
 }

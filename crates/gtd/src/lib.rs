@@ -53,19 +53,20 @@ pub use gtd_netsim as netsim;
 pub use gtd_snake as snake;
 
 pub use gtd_baselines::{
-    all_mappers, mapper_by_name, mapper_names, FloodEchoMapper, GtdMapper, MapperConfig,
-    MapperError, MapperRun, RoutedDfsMapper, TopologyMapper,
+    all_mappers, mapper_by_name, mapper_names, DynamicRun, FloodEchoMapper, GtdMapper,
+    MapperConfig, MapperError, MapperRun, RoutedDfsMapper, TopologyMapper,
 };
 pub use gtd_bench::{
     core_families, Campaign, CampaignError, CampaignReport, CellError, CellOutcome, GroupStat,
-    RunRecord, Workload,
+    RemapSummary, RunRecord, Workload,
 };
 pub use gtd_core::{
-    default_tick_budget, phase_breakdown, DecodeError, GtdError, GtdSession, MasterComputer,
-    NetworkMap, PhaseBreakdown, PreconditionViolation, ProtocolNode, RunOutcome, RunStats,
-    StartBehavior, TranscriptEvent, VerifyError,
+    default_tick_budget, phase_breakdown, DecodeError, EpochOutcome, EpochStatus, GtdError,
+    GtdSession, MasterComputer, MutationOutcome, NetworkMap, PhaseBreakdown, PreconditionViolation,
+    ProtocolNode, RemapOutcome, RunOutcome, RunStats, StartBehavior, TranscriptEvent, VerifyError,
 };
 pub use gtd_netsim::{
-    algo, generators, spec, Edge, Engine, EngineMode, NodeId, ParseSpecError, Port, Topology,
-    TopologyBuilder, TopologySpec,
+    algo, generators, mutation, spec, DynamicSpec, Edge, Engine, EngineMode, MutationError,
+    MutationKind, MutationSchedule, NodeId, ParseSpecError, Port, ScheduledMutation, Topology,
+    TopologyBuilder, TopologyMutation, TopologySpec,
 };

@@ -96,6 +96,15 @@ pub trait Automaton: Send {
 
     /// One global clock pulse: read inputs, change state, write outputs.
     fn step(&mut self, ctx: &mut StepCtx<'_, Self::Sig, Self::Event>);
+
+    /// The network was rewired around this processor
+    /// ([`Engine::apply_topology`]): `meta` carries the new port
+    /// connectivity masks (§1.2.1 port awareness tracks the physical
+    /// wiring). Called between ticks, only on processors whose masks
+    /// changed; the default ignores the event.
+    fn on_rewire(&mut self, meta: &NodeMeta) {
+        let _ = meta;
+    }
 }
 
 /// Execution strategy. See module docs.
@@ -158,6 +167,7 @@ fn par_workers(n: usize) -> usize {
 pub struct Engine<A: Automaton> {
     mode: EngineMode,
     delta: usize,
+    root: NodeId,
     tick: u64,
     nodes: Vec<A>,
     /// `in_buf[n*δ + i]` — signal visible on in-port `i` of node `n` this tick.
@@ -219,6 +229,7 @@ impl<A: Automaton> Engine<A> {
         Engine {
             mode,
             delta,
+            root,
             tick: 0,
             nodes,
             in_buf: vec![A::Sig::default(); n * delta],
@@ -267,6 +278,80 @@ impl<A: Automaton> Engine<A> {
         &mut self.nodes[n.idx()]
     }
 
+    /// Atomically rewire the running network to `new_topo` between ticks
+    /// — the live half of a topology mutation (paper §1: "the topology …
+    /// might change").
+    ///
+    /// * Route tables are rebuilt from the new wiring.
+    /// * In-flight signals are invalidated on every wire that was removed
+    ///   or re-sourced: a character already delivered for the coming tick
+    ///   survives only if the identical wire (same out-slot → same
+    ///   in-slot) still exists.
+    /// * Every automaton whose port connectivity changed receives
+    ///   [`Automaton::on_rewire`] with its new [`NodeMeta`] and is
+    ///   scheduled for a step, so all three engine modes observe the
+    ///   mutation on the same tick and stay observationally identical.
+    ///
+    /// The processor count and δ are fixed at construction; `new_topo`
+    /// must preserve both (mutations do).
+    pub fn apply_topology(&mut self, new_topo: &Topology) {
+        let n = self.nodes.len();
+        let delta = self.delta;
+        assert_eq!(new_topo.num_nodes(), n, "mutations preserve the node count");
+        assert_eq!(
+            new_topo.delta() as usize,
+            delta,
+            "mutations preserve the port bound"
+        );
+        let mut route_in = vec![NO_ROUTE; n * delta];
+        let mut route_out = vec![NO_ROUTE; n * delta];
+        for u in new_topo.node_ids() {
+            for (o, ep) in new_topo.out_edges(u) {
+                let out_slot = u.idx() * delta + o.idx();
+                let in_slot = ep.node.idx() * delta + ep.port.idx();
+                route_out[out_slot] = in_slot as u32;
+                route_in[in_slot] = out_slot as u32;
+            }
+        }
+        // Invalidate in-flight characters whose wire is gone or re-sourced.
+        let blank = A::Sig::default();
+        for ((dst, &new_route), &old_route) in self
+            .in_buf
+            .iter_mut()
+            .zip(route_in.iter())
+            .zip(self.route_in.iter())
+        {
+            if new_route != old_route && *dst != blank {
+                *dst = A::Sig::default();
+            }
+        }
+        for (has, chunk) in self.has_input.iter_mut().zip(self.in_buf.chunks(delta)) {
+            *has = chunk.iter().any(|s| *s != blank);
+        }
+        // Notify processors whose port awareness changed and schedule them
+        // so sparse mode steps them exactly when dense mode would react.
+        for node in 0..n {
+            let changed = (0..delta).any(|p| {
+                let slot = node * delta + p;
+                (self.route_out[slot] == NO_ROUTE) != (route_out[slot] == NO_ROUTE)
+                    || (self.route_in[slot] == NO_ROUTE) != (route_in[slot] == NO_ROUTE)
+            });
+            if changed {
+                let id = NodeId(node as u32);
+                self.nodes[node].on_rewire(&NodeMeta {
+                    id,
+                    is_root: id == self.root,
+                    in_connected: new_topo.in_connected(id),
+                    out_connected: new_topo.out_connected(id),
+                    delta: new_topo.delta(),
+                });
+                self.want_step[node] = true;
+            }
+        }
+        self.route_in = route_in;
+        self.route_out = route_out;
+    }
+
     /// True when nothing is pending: no node wants a re-step and no
     /// non-blank signal is in flight. A quiet network stays quiet forever.
     pub fn is_quiet(&self) -> bool {
@@ -278,6 +363,16 @@ impl<A: Automaton> Engine<A> {
     pub fn signals_in_flight(&self) -> usize {
         let blank = A::Sig::default();
         self.in_buf.iter().filter(|s| **s != blank).count()
+    }
+
+    /// Fast-forward a quiet network by `ticks` clock pulses. A quiet
+    /// network stays quiet (the quiescence contract makes every step a
+    /// no-op), so only the clock advances — this lets dynamic timelines
+    /// idle to a far-future mutation tick in O(1). Panics if the network
+    /// is not quiet.
+    pub fn skip_quiet_ticks(&mut self, ticks: u64) {
+        assert!(self.is_quiet(), "can only skip ticks on a quiet network");
+        self.tick += ticks;
     }
 
     /// Advance one global clock tick. Events emitted by nodes are appended
@@ -677,5 +772,64 @@ mod tests {
         let mut events = Vec::new();
         eng.tick(&mut events); // root emitted 1 onto the wire
         assert_eq!(eng.signals_in_flight(), 1);
+    }
+
+    /// ring(4) with the wire 0→1 moved from in-port 0 to in-port 1 of n1:
+    /// same nodes and δ, one wire re-routed.
+    fn ring4_rerouted() -> crate::Topology {
+        use crate::ids::Port;
+        let mut b = crate::TopologyBuilder::new(4, 2);
+        b.connect(NodeId(0), Port(0), NodeId(1), Port(1)).unwrap();
+        b.connect(NodeId(1), Port(0), NodeId(2), Port(0)).unwrap();
+        b.connect(NodeId(2), Port(0), NodeId(3), Port(0)).unwrap();
+        b.connect(NodeId(3), Port(0), NodeId(0), Port(0)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn apply_topology_invalidates_in_flight_signals_on_removed_wires() {
+        let mut eng = hopper_engine(EngineMode::Dense, 0);
+        let mut events = Vec::new();
+        eng.tick(&mut events); // value 1 is in flight on wire 0→1 (in-port 0)
+        assert_eq!(eng.signals_in_flight(), 1);
+        eng.apply_topology(&ring4_rerouted());
+        // the old wire is gone; its in-flight character with it
+        assert_eq!(eng.signals_in_flight(), 0);
+        let events = run_to_quiet(&mut eng);
+        assert!(events.is_empty(), "the lost character never arrives");
+    }
+
+    #[test]
+    fn apply_topology_keeps_signals_on_surviving_wires() {
+        let mut eng = hopper_engine(EngineMode::Sparse, 0);
+        let mut events = Vec::new();
+        eng.tick(&mut events);
+        assert_eq!(eng.signals_in_flight(), 1);
+        // re-applying the identical wiring disturbs nothing
+        eng.apply_topology(&generators::ring(4));
+        assert_eq!(eng.signals_in_flight(), 1);
+        let events = run_to_quiet(&mut eng);
+        assert_eq!(events.len(), 5, "the full hop chain still completes");
+    }
+
+    #[test]
+    fn all_modes_agree_across_a_rewire_boundary() {
+        let runs: Vec<Vec<(NodeId, u32)>> =
+            [EngineMode::Dense, EngineMode::Sparse, EngineMode::Parallel]
+                .into_iter()
+                .map(|mode| {
+                    let mut eng = hopper_engine(mode, 2);
+                    let mut events = Vec::new();
+                    for _ in 0..3 {
+                        eng.tick(&mut events);
+                    }
+                    eng.apply_topology(&ring4_rerouted());
+                    let mut tail = run_to_quiet(&mut eng);
+                    events.append(&mut tail);
+                    events
+                })
+                .collect();
+        assert_eq!(runs[0], runs[1], "dense vs sparse across rewire");
+        assert_eq!(runs[0], runs[2], "dense vs parallel across rewire");
     }
 }

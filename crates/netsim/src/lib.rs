@@ -53,11 +53,16 @@ pub mod algo;
 pub mod engine;
 pub mod generators;
 pub mod ids;
+pub mod mutation;
 pub mod rng;
 pub mod spec;
 pub mod topology;
 
 pub use engine::{Automaton, Engine, EngineMode, NodeMeta, StepCtx};
 pub use ids::{Endpoint, NodeId, Port};
-pub use spec::{FamilySpec, ParamSpec, ParseSpecError, TopologySpec};
+pub use mutation::{
+    MutationError, MutationKind, MutationSchedule, MutationSpec, MutationSuffixError,
+    ScheduledMutation, TopologyMutation, MUTATION_REGISTRY,
+};
+pub use spec::{DynamicSpec, FamilySpec, ParamSpec, ParseSpecError, TopologySpec};
 pub use topology::{Edge, Topology, TopologyBuilder, TopologyError};

@@ -1,0 +1,712 @@
+//! Topology mutations — the paper's §1 motivating scenario made
+//! declarative.
+//!
+//! "The topology or size of the network might change", forcing the master
+//! to re-determine the map. This module turns such changes into data: a
+//! [`TopologyMutation`] names one structural edit (drop a wire, add a
+//! wire, rewire a wire's head, swap two processors' labels), a
+//! [`ScheduledMutation`] stamps it with the global clock tick at which it
+//! happens, and a [`MutationSchedule`] is the full timeline of a dynamic
+//! scenario.
+//!
+//! Mutations are **validity-preserving**: [`Topology::apply`] never
+//! produces a network that violates the model (δ port bound, ≥ 1
+//! connected in-/out-port per processor, no self-loops) or breaks strong
+//! connectivity — the protocol's standing precondition. Each mutation
+//! carries a `selector`: a deterministic scan starts at the selector and
+//! settles on the first candidate edit whose result is valid, so the same
+//! `(topology, mutation)` pair always yields the identical new topology
+//! and campaign grids stay byte-reproducible. When *no* candidate of the
+//! requested kind exists (a directed ring cannot lose a wire — every edge
+//! is a bridge), [`Topology::apply`] reports
+//! [`MutationError::NoCandidate`] and
+//! [`Topology::apply_or_fallback`] degrades to the always-applicable
+//! [`MutationKind::SwapLabels`] so a scheduled network event still
+//! happens and remap latency stays measurable.
+//!
+//! ```
+//! use gtd_netsim::{generators, MutationKind, TopologyMutation};
+//!
+//! let topo = generators::random_sc(24, 3, 7);
+//! let mutated = topo
+//!     .apply(&TopologyMutation { kind: MutationKind::DropEdge, selector: 3 })
+//!     .expect("a random-sc graph has droppable wires");
+//! assert_eq!(mutated.num_edges(), topo.num_edges() - 1);
+//! assert!(gtd_netsim::algo::is_strongly_connected(&mutated));
+//! ```
+
+use crate::algo;
+use crate::ids::{NodeId, Port};
+use crate::topology::{Edge, Topology, TopologyBuilder};
+use std::fmt;
+use std::str::FromStr;
+
+/// The four structural edits a network can undergo.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MutationKind {
+    /// `drop-edge` — remove one wire.
+    DropEdge,
+    /// `add-edge` — wire a free out-port to a free in-port.
+    AddEdge,
+    /// `rewire` — exchange the heads of two wires (degree-preserving, so
+    /// it applies even to port-saturated networks).
+    RewirePort,
+    /// `swap` — exchange two processors' positions in the wiring (as if
+    /// their cable bundles were swapped). Always applicable.
+    SwapLabels,
+}
+
+impl MutationKind {
+    /// Every kind, in canonical (registry) order.
+    pub const ALL: [MutationKind; 4] = [
+        MutationKind::DropEdge,
+        MutationKind::AddEdge,
+        MutationKind::RewirePort,
+        MutationKind::SwapLabels,
+    ];
+
+    /// Stable suffix-grammar name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MutationKind::DropEdge => "drop-edge",
+            MutationKind::AddEdge => "add-edge",
+            MutationKind::RewirePort => "rewire",
+            MutationKind::SwapLabels => "swap",
+        }
+    }
+
+    /// Look a kind up by its grammar name.
+    pub fn by_name(name: &str) -> Option<MutationKind> {
+        MutationKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl fmt::Display for MutationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Registry entry describing one mutation kind (mirrors
+/// [`FamilySpec`](crate::spec::FamilySpec) for the suffix grammar).
+#[derive(Clone, Copy, Debug)]
+pub struct MutationSpec {
+    /// Suffix-grammar name (matches [`MutationKind::name`]).
+    pub name: &'static str,
+    /// A canonical suffix example.
+    pub example: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+}
+
+/// Every mutation kind, in display order — the enumerable source of truth
+/// for `harness list`, docs and property tests.
+pub const MUTATION_REGISTRY: &[MutationSpec] = &[
+    MutationSpec {
+        name: "drop-edge",
+        example: "drop-edge=3@t500",
+        summary: "remove one wire (validity-preserving scan from the selector)",
+    },
+    MutationSpec {
+        name: "add-edge",
+        example: "add-edge=1@t200",
+        summary: "wire a free out-port to a free in-port",
+    },
+    MutationSpec {
+        name: "rewire",
+        example: "rewire=2@t200",
+        summary: "exchange the heads of two wires (degree-preserving)",
+    },
+    MutationSpec {
+        name: "swap",
+        example: "swap=5@t900",
+        summary: "swap two processors' cable bundles (always applicable)",
+    },
+];
+
+/// One structural edit, selected deterministically.
+///
+/// The `selector` is not an exact edge index but the *start* of a
+/// deterministic candidate scan: the mutation applies to the first
+/// candidate (cyclically from the selector) whose result is a valid,
+/// strongly-connected network. This keeps mutations total over their
+/// candidate space and independent of how the topology was produced.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TopologyMutation {
+    /// What kind of edit.
+    pub kind: MutationKind,
+    /// Deterministic candidate selector.
+    pub selector: u64,
+}
+
+impl fmt::Display for TopologyMutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.kind, self.selector)
+    }
+}
+
+/// A mutation stamped with the global clock tick at which it happens.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ScheduledMutation {
+    /// Global tick at which the edit takes effect (between ticks).
+    pub tick: u64,
+    /// The edit.
+    pub mutation: TopologyMutation,
+}
+
+impl fmt::Display for ScheduledMutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@t{}", self.mutation, self.tick)
+    }
+}
+
+/// Why a mutation suffix (`kind=selector@tTICK`) failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MutationSuffixError {
+    /// The suffix was empty.
+    Empty,
+    /// No `@t…` tick stamp.
+    MissingTick,
+    /// The tick after `@t` is not an unsigned integer (or the `t` marker
+    /// is missing).
+    BadTick {
+        /// The offending tick text (after `@`).
+        value: String,
+    },
+    /// The kind before `=` is not in the [`MUTATION_REGISTRY`].
+    UnknownKind {
+        /// The name that was given.
+        kind: String,
+    },
+    /// A known kind with no `=selector`.
+    MissingSelector,
+    /// The selector after `=` is not an unsigned integer.
+    BadSelector {
+        /// The offending selector text.
+        value: String,
+    },
+}
+
+impl fmt::Display for MutationSuffixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MutationSuffixError::Empty => write!(f, "empty mutation suffix"),
+            MutationSuffixError::MissingTick => {
+                write!(f, "missing @t tick stamp (expected kind=selector@tTICK)")
+            }
+            MutationSuffixError::BadTick { value } => {
+                write!(f, "tick {value:?} is not t<unsigned integer>")
+            }
+            MutationSuffixError::UnknownKind { kind } => {
+                let known: Vec<&str> = MUTATION_REGISTRY.iter().map(|m| m.name).collect();
+                write!(
+                    f,
+                    "unknown mutation kind {kind:?} (known: {})",
+                    known.join(", ")
+                )
+            }
+            MutationSuffixError::MissingSelector => {
+                write!(f, "missing =selector (expected kind=selector@tTICK)")
+            }
+            MutationSuffixError::BadSelector { value } => {
+                write!(f, "selector {value:?} is not an unsigned integer")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MutationSuffixError {}
+
+impl ScheduledMutation {
+    /// Parse one `kind=selector@tTICK` suffix. On failure the scheduled
+    /// tick is reported alongside the reason whenever it parsed — spec
+    /// errors must name the offending suffix *and* tick.
+    pub fn parse_suffix(s: &str) -> Result<Self, (Option<u64>, MutationSuffixError)> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err((None, MutationSuffixError::Empty));
+        }
+        let (head, tick_text) = s
+            .split_once('@')
+            .ok_or((None, MutationSuffixError::MissingTick))?;
+        let tick_text = tick_text.trim();
+        let tick: u64 = tick_text
+            .strip_prefix('t')
+            .and_then(|t| t.trim().parse().ok())
+            .ok_or_else(|| {
+                (
+                    None,
+                    MutationSuffixError::BadTick {
+                        value: tick_text.to_string(),
+                    },
+                )
+            })?;
+        let head = head.trim();
+        let (kind_text, selector_text) = match head.split_once('=') {
+            Some((k, v)) => (k.trim(), Some(v.trim())),
+            None => (head, None),
+        };
+        let kind = MutationKind::by_name(kind_text).ok_or_else(|| {
+            (
+                Some(tick),
+                MutationSuffixError::UnknownKind {
+                    kind: kind_text.to_string(),
+                },
+            )
+        })?;
+        let selector_text =
+            selector_text.ok_or((Some(tick), MutationSuffixError::MissingSelector))?;
+        let selector: u64 = selector_text.parse().map_err(|_| {
+            (
+                Some(tick),
+                MutationSuffixError::BadSelector {
+                    value: selector_text.to_string(),
+                },
+            )
+        })?;
+        Ok(ScheduledMutation {
+            tick,
+            mutation: TopologyMutation { kind, selector },
+        })
+    }
+}
+
+impl FromStr for ScheduledMutation {
+    type Err = MutationSuffixError;
+
+    fn from_str(s: &str) -> Result<Self, MutationSuffixError> {
+        ScheduledMutation::parse_suffix(s).map_err(|(_, reason)| reason)
+    }
+}
+
+/// A tick-ordered timeline of mutations (the dynamic half of a
+/// [`DynamicSpec`](crate::spec::DynamicSpec)).
+///
+/// Insertion keeps the schedule sorted by tick (stable, so same-tick
+/// mutations keep their insertion order), which makes the rendered suffix
+/// string canonical.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MutationSchedule {
+    items: Vec<ScheduledMutation>,
+}
+
+impl MutationSchedule {
+    /// An empty (static) schedule.
+    pub fn new() -> Self {
+        MutationSchedule::default()
+    }
+
+    /// Add a mutation at `tick`, keeping the timeline sorted.
+    pub fn push(&mut self, tick: u64, mutation: TopologyMutation) {
+        self.items.push(ScheduledMutation { tick, mutation });
+        self.items.sort_by_key(|s| s.tick);
+    }
+
+    /// Builder-style [`MutationSchedule::push`].
+    pub fn with(mut self, tick: u64, mutation: TopologyMutation) -> Self {
+        self.push(tick, mutation);
+        self
+    }
+
+    /// Number of scheduled mutations.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Is the schedule empty (a static scenario)?
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The timeline in tick order.
+    pub fn items(&self) -> &[ScheduledMutation] {
+        &self.items
+    }
+
+    /// Iterate the timeline in tick order.
+    pub fn iter(&self) -> impl Iterator<Item = &ScheduledMutation> {
+        self.items.iter()
+    }
+
+    /// The topology after the whole timeline has been applied to `base`,
+    /// with the swap fallback for inapplicable mutations (the same
+    /// semantics every dynamic driver uses).
+    pub fn final_topology(&self, base: &Topology) -> Topology {
+        let mut topo = base.clone();
+        for sm in &self.items {
+            topo = topo.apply_or_fallback(&sm.mutation).0;
+        }
+        topo
+    }
+}
+
+impl FromIterator<ScheduledMutation> for MutationSchedule {
+    fn from_iter<I: IntoIterator<Item = ScheduledMutation>>(iter: I) -> Self {
+        let mut s = MutationSchedule::new();
+        for sm in iter {
+            s.push(sm.tick, sm.mutation);
+        }
+        s
+    }
+}
+
+/// Why a mutation could not be applied to a particular topology.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MutationError {
+    /// No candidate edit of this kind yields a valid, strongly-connected
+    /// network (e.g. dropping a wire from a directed ring).
+    NoCandidate {
+        /// The kind that had no candidate.
+        kind: MutationKind,
+    },
+}
+
+impl fmt::Display for MutationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MutationError::NoCandidate { kind } => write!(
+                f,
+                "no {kind} candidate keeps the network valid and strongly connected"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MutationError {}
+
+/// Rebuild a topology from an edge list; `None` if the wiring is invalid
+/// or the result is not strongly connected.
+fn rebuild(n: usize, delta: u8, edges: &[Edge]) -> Option<Topology> {
+    let mut b = TopologyBuilder::new(n, delta);
+    for e in edges {
+        b.connect(e.src, e.src_port, e.dst, e.dst_port).ok()?;
+    }
+    let t = b.build().ok()?;
+    algo::is_strongly_connected(&t).then_some(t)
+}
+
+fn free_out_port(topo: &Topology, node: NodeId) -> Option<Port> {
+    topo.out_connected(node)
+        .iter()
+        .position(|&c| !c)
+        .map(|o| Port(o as u8))
+}
+
+fn free_in_port(topo: &Topology, node: NodeId) -> Option<Port> {
+    topo.in_connected(node)
+        .iter()
+        .position(|&c| !c)
+        .map(|i| Port(i as u8))
+}
+
+impl Topology {
+    /// Apply one mutation, returning the new topology. The candidate scan
+    /// starts at the mutation's selector and settles on the first edit
+    /// whose result satisfies the model (δ bound, ≥ 1 in-/out-port per
+    /// processor, no self-loops) *and* stays strongly connected —
+    /// deterministic for a given `(topology, mutation)` pair.
+    pub fn apply(&self, m: &TopologyMutation) -> Result<Topology, MutationError> {
+        let n = self.num_nodes();
+        let delta = self.delta();
+        let no_candidate = MutationError::NoCandidate { kind: m.kind };
+        match m.kind {
+            MutationKind::DropEdge => {
+                let edges = self.sorted_edges();
+                let e = edges.len();
+                for k in 0..e {
+                    let skip = ((m.selector % e as u64) as usize + k) % e;
+                    let rest: Vec<Edge> = edges
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| i != skip)
+                        .map(|(_, &e)| e)
+                        .collect();
+                    if let Some(t) = rebuild(n, delta, &rest) {
+                        return Ok(t);
+                    }
+                }
+                Err(no_candidate)
+            }
+            MutationKind::AddEdge => {
+                let total = n * n;
+                let start = (m.selector % total as u64) as usize;
+                for k in 0..total {
+                    let idx = (start + k) % total;
+                    let (u, v) = (NodeId((idx / n) as u32), NodeId((idx % n) as u32));
+                    if u == v {
+                        continue;
+                    }
+                    let (Some(o), Some(i)) = (free_out_port(self, u), free_in_port(self, v)) else {
+                        continue;
+                    };
+                    let mut edges = self.sorted_edges();
+                    edges.push(Edge {
+                        src: u,
+                        src_port: o,
+                        dst: v,
+                        dst_port: i,
+                    });
+                    if let Some(t) = rebuild(n, delta, &edges) {
+                        return Ok(t);
+                    }
+                }
+                Err(no_candidate)
+            }
+            MutationKind::RewirePort => {
+                // Exchange the heads of two wires: e1 = u1→v1, e2 = u2→v2
+                // become u1→v2 and u2→v1 (same in-ports). Degrees are
+                // preserved, so this works even on port-saturated networks
+                // (e.g. `random-sc` at its δ target) where no in-port is
+                // free for a one-sided re-route.
+                let edges = self.sorted_edges();
+                let e = edges.len();
+                for k1 in 0..e {
+                    let i1 = ((m.selector % e as u64) as usize + k1) % e;
+                    let e1 = edges[i1];
+                    for k2 in 1..e {
+                        let i2 = (i1 + k2) % e;
+                        let e2 = edges[i2];
+                        if e1.src == e2.dst || e2.src == e1.dst {
+                            continue; // the exchange would create a self-loop
+                        }
+                        let mut new_edges = edges.clone();
+                        new_edges[i1] = Edge {
+                            src: e1.src,
+                            src_port: e1.src_port,
+                            dst: e2.dst,
+                            dst_port: e2.dst_port,
+                        };
+                        new_edges[i2] = Edge {
+                            src: e2.src,
+                            src_port: e2.src_port,
+                            dst: e1.dst,
+                            dst_port: e1.dst_port,
+                        };
+                        if let Some(t) = rebuild(n, delta, &new_edges) {
+                            return Ok(t);
+                        }
+                    }
+                }
+                Err(no_candidate)
+            }
+            MutationKind::SwapLabels => {
+                let a = (m.selector % n as u64) as usize;
+                let b = (a + 1 + ((m.selector / n as u64) % (n as u64 - 1)) as usize) % n;
+                let relabel = |x: NodeId| -> NodeId {
+                    if x.idx() == a {
+                        NodeId(b as u32)
+                    } else if x.idx() == b {
+                        NodeId(a as u32)
+                    } else {
+                        x
+                    }
+                };
+                let edges: Vec<Edge> = self
+                    .sorted_edges()
+                    .into_iter()
+                    .map(|e| Edge {
+                        src: relabel(e.src),
+                        src_port: e.src_port,
+                        dst: relabel(e.dst),
+                        dst_port: e.dst_port,
+                    })
+                    .collect();
+                // A relabelling is an isomorphism: always valid.
+                rebuild(n, delta, &edges).ok_or(no_candidate)
+            }
+        }
+    }
+
+    /// Apply `m`, degrading to [`MutationKind::SwapLabels`] (with the
+    /// same selector) when no candidate of the requested kind exists, so
+    /// a scheduled network event always happens. Returns the new topology
+    /// and the kind that was actually applied.
+    pub fn apply_or_fallback(&self, m: &TopologyMutation) -> (Topology, MutationKind) {
+        match self.apply(m) {
+            Ok(t) => (t, m.kind),
+            Err(MutationError::NoCandidate { .. }) => {
+                let swap = TopologyMutation {
+                    kind: MutationKind::SwapLabels,
+                    selector: m.selector,
+                };
+                let t = self
+                    .apply(&swap)
+                    .expect("label swap applies to any valid network");
+                (t, MutationKind::SwapLabels)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn mutation(kind: MutationKind, selector: u64) -> TopologyMutation {
+        TopologyMutation { kind, selector }
+    }
+
+    #[test]
+    fn drop_edge_keeps_validity_and_connectivity() {
+        let topo = generators::random_sc(24, 3, 7);
+        for sel in 0..8u64 {
+            let t = topo.apply(&mutation(MutationKind::DropEdge, sel)).unwrap();
+            assert_eq!(t.num_edges(), topo.num_edges() - 1);
+            t.validate().unwrap();
+            assert!(algo::is_strongly_connected(&t));
+        }
+    }
+
+    #[test]
+    fn drop_edge_on_a_ring_has_no_candidate() {
+        // every wire of a directed ring is a bridge
+        let topo = generators::ring(8);
+        assert_eq!(
+            topo.apply(&mutation(MutationKind::DropEdge, 3)),
+            Err(MutationError::NoCandidate {
+                kind: MutationKind::DropEdge
+            })
+        );
+        // ...but the fallback still produces a changed, valid network
+        let (t, applied) = topo.apply_or_fallback(&mutation(MutationKind::DropEdge, 3));
+        assert_eq!(applied, MutationKind::SwapLabels);
+        assert_ne!(t, topo);
+        t.validate().unwrap();
+        assert!(algo::is_strongly_connected(&t));
+    }
+
+    #[test]
+    fn add_edge_adds_exactly_one_wire() {
+        let topo = generators::ring(8); // delta 2, one port used per side
+        for sel in [0u64, 5, 63] {
+            let t = topo.apply(&mutation(MutationKind::AddEdge, sel)).unwrap();
+            assert_eq!(t.num_edges(), topo.num_edges() + 1);
+            t.validate().unwrap();
+            assert!(algo::is_strongly_connected(&t));
+        }
+    }
+
+    #[test]
+    fn add_edge_on_a_saturated_network_has_no_candidate() {
+        // complete_bidi uses every port of every node
+        let topo = generators::complete_bidi(4);
+        assert_eq!(
+            topo.apply(&mutation(MutationKind::AddEdge, 1)),
+            Err(MutationError::NoCandidate {
+                kind: MutationKind::AddEdge
+            })
+        );
+    }
+
+    #[test]
+    fn rewire_preserves_edge_count_and_connectivity() {
+        let topo = generators::random_sc(20, 3, 9);
+        for sel in 0..6u64 {
+            let t = topo
+                .apply(&mutation(MutationKind::RewirePort, sel))
+                .unwrap();
+            assert_eq!(t.num_edges(), topo.num_edges());
+            assert_ne!(t, topo, "rewire must move a wire");
+            t.validate().unwrap();
+            assert!(algo::is_strongly_connected(&t));
+        }
+    }
+
+    #[test]
+    fn swap_is_an_isomorphic_relabelling() {
+        let topo = generators::random_sc(16, 3, 2);
+        let t = topo
+            .apply(&mutation(MutationKind::SwapLabels, 12345))
+            .unwrap();
+        assert_eq!(t.num_edges(), topo.num_edges());
+        assert_eq!(t.num_nodes(), topo.num_nodes());
+        t.validate().unwrap();
+        assert!(algo::is_strongly_connected(&t));
+        // applying the same swap twice undoes it
+        let back = t.apply(&mutation(MutationKind::SwapLabels, 12345)).unwrap();
+        assert_eq!(back, topo);
+    }
+
+    #[test]
+    fn mutations_are_deterministic() {
+        let topo = generators::random_sc(18, 3, 4);
+        for kind in MutationKind::ALL {
+            let a = topo.apply_or_fallback(&mutation(kind, 7)).0;
+            let b = topo.apply_or_fallback(&mutation(kind, 7)).0;
+            assert_eq!(a, b, "{kind}");
+        }
+    }
+
+    #[test]
+    fn schedule_sorts_by_tick_stably() {
+        let mut s = MutationSchedule::new();
+        s.push(900, mutation(MutationKind::RewirePort, 5));
+        s.push(200, mutation(MutationKind::RewirePort, 2));
+        s.push(900, mutation(MutationKind::DropEdge, 1));
+        let ticks: Vec<u64> = s.iter().map(|m| m.tick).collect();
+        assert_eq!(ticks, vec![200, 900, 900]);
+        // same-tick entries keep insertion order
+        assert_eq!(s.items()[1].mutation.kind, MutationKind::RewirePort);
+        assert_eq!(s.items()[2].mutation.kind, MutationKind::DropEdge);
+    }
+
+    #[test]
+    fn suffix_grammar_round_trips() {
+        for text in ["drop-edge=3@t500", "rewire=2@t200", "swap=0@t0"] {
+            let sm: ScheduledMutation = text.parse().unwrap();
+            assert_eq!(sm.to_string(), text);
+        }
+        let sm = ScheduledMutation::parse_suffix(" add-edge = 4 @ t 17 ").unwrap();
+        assert_eq!(sm.to_string(), "add-edge=4@t17");
+    }
+
+    #[test]
+    fn suffix_errors_are_structured_and_carry_the_tick() {
+        use MutationSuffixError::*;
+        let cases: [(&str, Option<u64>, MutationSuffixError); 6] = [
+            ("", None, Empty),
+            ("drop-edge=3", None, MissingTick),
+            (
+                "drop-edge=3@500",
+                None,
+                BadTick {
+                    value: "500".into(),
+                },
+            ),
+            (
+                "warp=1@t5",
+                Some(5),
+                UnknownKind {
+                    kind: "warp".into(),
+                },
+            ),
+            ("drop-edge@t5", Some(5), MissingSelector),
+            ("drop-edge=x@t5", Some(5), BadSelector { value: "x".into() }),
+        ];
+        for (text, tick, reason) in cases {
+            assert_eq!(
+                ScheduledMutation::parse_suffix(text),
+                Err((tick, reason.clone())),
+                "{text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn final_topology_folds_the_whole_timeline() {
+        let base = generators::random_sc(16, 3, 5);
+        let schedule = MutationSchedule::new()
+            .with(100, mutation(MutationKind::DropEdge, 1))
+            .with(300, mutation(MutationKind::AddEdge, 2));
+        let end = schedule.final_topology(&base);
+        let step1 = base
+            .apply_or_fallback(&mutation(MutationKind::DropEdge, 1))
+            .0;
+        let step2 = step1
+            .apply_or_fallback(&mutation(MutationKind::AddEdge, 2))
+            .0;
+        assert_eq!(end, step2);
+        end.validate().unwrap();
+    }
+}

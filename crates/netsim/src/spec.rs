@@ -22,6 +22,7 @@
 //! ```
 
 use crate::generators;
+use crate::mutation::{MutationSchedule, MutationSuffixError, ScheduledMutation};
 use crate::topology::Topology;
 use std::fmt;
 use std::str::FromStr;
@@ -303,6 +304,18 @@ pub enum ParseSpecError {
         /// Human-readable constraint, e.g. `"n must be >= 2"`.
         constraint: String,
     },
+    /// A mutation suffix (`+kind=selector@tTICK`) of a
+    /// [`DynamicSpec`] is malformed.
+    BadMutationSuffix {
+        /// The offending suffix text (without the leading `+`).
+        suffix: String,
+        /// 1-based position of the suffix in the spec string.
+        index: usize,
+        /// The scheduled tick, when it parsed.
+        tick: Option<u64>,
+        /// What is wrong with the suffix.
+        reason: MutationSuffixError,
+    },
 }
 
 impl fmt::Display for ParseSpecError {
@@ -347,6 +360,18 @@ impl fmt::Display for ParseSpecError {
             ),
             ParseSpecError::OutOfRange { family, constraint } => {
                 write!(f, "{family}: {constraint}")
+            }
+            ParseSpecError::BadMutationSuffix {
+                suffix,
+                index,
+                tick,
+                reason,
+            } => {
+                write!(f, "mutation suffix #{index} {suffix:?}")?;
+                if let Some(t) = tick {
+                    write!(f, " (at tick {t})")?;
+                }
+                write!(f, ": {reason}")
             }
         }
     }
@@ -611,6 +636,109 @@ impl FromStr for TopologySpec {
     }
 }
 
+/// A topology spec plus a mutation timeline: the full grammar
+/// `family:args+kind=selector@tTICK+…` (paper §1: "the topology … might
+/// change").
+///
+/// An empty schedule is a static scenario, so every plain
+/// [`TopologySpec`] string parses as a `DynamicSpec` too. The canonical
+/// rendering orders suffixes by tick and round-trips through
+/// `Display`/`FromStr`.
+///
+/// ```
+/// use gtd_netsim::{DynamicSpec, MutationKind};
+///
+/// let spec: DynamicSpec = "ring:64+drop-edge=3@t500".parse().unwrap();
+/// assert_eq!(spec.base.to_string(), "ring:64");
+/// assert_eq!(spec.schedule.len(), 1);
+/// assert_eq!(spec.schedule.items()[0].tick, 500);
+/// assert_eq!(spec.schedule.items()[0].mutation.kind, MutationKind::DropEdge);
+/// assert_eq!(spec.to_string(), "ring:64+drop-edge=3@t500");
+///
+/// let fixed: DynamicSpec = "ring:16".parse().unwrap();
+/// assert!(fixed.is_static());
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct DynamicSpec {
+    /// The initial topology.
+    pub base: TopologySpec,
+    /// Tick-stamped mutations applied over the run.
+    pub schedule: MutationSchedule,
+}
+
+impl DynamicSpec {
+    /// A static scenario over `base`.
+    pub fn fixed(base: TopologySpec) -> Self {
+        DynamicSpec {
+            base,
+            schedule: MutationSchedule::new(),
+        }
+    }
+
+    /// Does the scenario never mutate?
+    pub fn is_static(&self) -> bool {
+        self.schedule.is_empty()
+    }
+
+    /// Check the base family's parameter constraints (mutation validity
+    /// is decided against the live topology at apply time).
+    pub fn validate(&self) -> Result<(), ParseSpecError> {
+        self.base.validate()
+    }
+
+    /// Build the initial topology (tick 0, before any mutation).
+    pub fn build(&self) -> Topology {
+        self.base.build()
+    }
+
+    /// The topology after the whole schedule has been applied (swap
+    /// fallback for inapplicable mutations).
+    pub fn final_topology(&self) -> Topology {
+        self.schedule.final_topology(&self.base.build())
+    }
+}
+
+impl From<TopologySpec> for DynamicSpec {
+    fn from(base: TopologySpec) -> Self {
+        DynamicSpec::fixed(base)
+    }
+}
+
+impl fmt::Display for DynamicSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.base)?;
+        for sm in self.schedule.iter() {
+            write!(f, "+{sm}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for DynamicSpec {
+    type Err = ParseSpecError;
+
+    fn from_str(s: &str) -> Result<Self, ParseSpecError> {
+        let mut parts = s.split('+');
+        let base: TopologySpec = parts.next().unwrap_or("").parse()?;
+        let mut schedule = MutationSchedule::new();
+        for (i, suffix) in parts.enumerate() {
+            let suffix = suffix.trim();
+            match ScheduledMutation::parse_suffix(suffix) {
+                Ok(sm) => schedule.push(sm.tick, sm.mutation),
+                Err((tick, reason)) => {
+                    return Err(ParseSpecError::BadMutationSuffix {
+                        suffix: suffix.to_string(),
+                        index: i + 1,
+                        tick,
+                        reason,
+                    })
+                }
+            }
+        }
+        Ok(DynamicSpec { base, schedule })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -780,6 +908,103 @@ mod tests {
         assert_eq!(
             TopologySpec::TreeLoop { h: 3, seed: 11 }.build(),
             generators::tree_loop_random(3, 11)
+        );
+    }
+
+    #[test]
+    fn dynamic_specs_round_trip_and_sort_suffixes_by_tick() {
+        let spec: DynamicSpec = "random-sc:n=512,delta=3,seed=7+rewire=5@t900+rewire=2@t200"
+            .parse()
+            .unwrap();
+        assert_eq!(spec.schedule.len(), 2);
+        // canonical rendering orders by tick
+        assert_eq!(
+            spec.to_string(),
+            "random-sc:n=512,delta=3,seed=7+rewire=2@t200+rewire=5@t900"
+        );
+        let back: DynamicSpec = spec.to_string().parse().unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn static_specs_parse_as_dynamic_specs() {
+        let spec: DynamicSpec = "debruijn:2,5".parse().unwrap();
+        assert!(spec.is_static());
+        assert_eq!(spec.base, TopologySpec::Debruijn { k: 2, m: 5 });
+        assert_eq!(spec.to_string(), "debruijn:2,5");
+        assert_eq!(DynamicSpec::from(TopologySpec::Ring { n: 4 }), {
+            let s: DynamicSpec = "ring:4".parse().unwrap();
+            s
+        });
+    }
+
+    #[test]
+    fn malformed_mutation_suffixes_report_suffix_index_and_tick() {
+        use crate::mutation::MutationSuffixError as E;
+        let cases: [(&str, usize, Option<u64>, E); 6] = [
+            ("ring:8+", 1, None, E::Empty),
+            ("ring:8+drop-edge=3", 1, None, E::MissingTick),
+            (
+                "ring:8+drop-edge=3@500",
+                1,
+                None,
+                E::BadTick {
+                    value: "500".into(),
+                },
+            ),
+            (
+                "ring:8+swap=1@t2+warp=1@t5",
+                2,
+                Some(5),
+                E::UnknownKind {
+                    kind: "warp".into(),
+                },
+            ),
+            ("ring:8+drop-edge@t5", 1, Some(5), E::MissingSelector),
+            (
+                "ring:8+drop-edge=banana@t5",
+                1,
+                Some(5),
+                E::BadSelector {
+                    value: "banana".into(),
+                },
+            ),
+        ];
+        for (text, index, tick, reason) in cases {
+            let err = text.parse::<DynamicSpec>().unwrap_err();
+            let ParseSpecError::BadMutationSuffix {
+                index: got_index,
+                tick: got_tick,
+                reason: ref got_reason,
+                ref suffix,
+            } = err
+            else {
+                panic!("{text:?}: expected BadMutationSuffix, got {err:?}");
+            };
+            assert_eq!(got_index, index, "{text:?}");
+            assert_eq!(got_tick, tick, "{text:?}");
+            assert_eq!(*got_reason, reason, "{text:?}");
+            assert!(
+                text.ends_with(suffix.as_str()) || suffix.is_empty(),
+                "{text:?}"
+            );
+            // the human rendering names the suffix (and the tick if known)
+            let msg = err.to_string();
+            if !suffix.is_empty() {
+                assert!(msg.contains(suffix.as_str()), "{msg}");
+            }
+            if let Some(t) = tick {
+                assert!(msg.contains(&format!("tick {t}")), "{msg}");
+            }
+        }
+    }
+
+    #[test]
+    fn bad_base_spec_in_a_dynamic_string_reports_the_family_error() {
+        let err = "moebius:3+swap=1@t5".parse::<DynamicSpec>().unwrap_err();
+        assert!(
+            matches!(err, ParseSpecError::UnknownFamily { .. }),
+            "{err:?}"
         );
     }
 }

@@ -3,7 +3,10 @@
 //! spec-built topologies are port-for-port identical to the
 //! corresponding `generators::*` call.
 
-use gtd_netsim::{generators, spec, TopologySpec};
+use gtd_netsim::{
+    generators, spec, DynamicSpec, MutationKind, MutationSchedule, ScheduledMutation,
+    TopologyMutation, TopologySpec,
+};
 use proptest::prelude::*;
 
 /// A random valid spec drawn from every registry family, with parameters
@@ -42,6 +45,26 @@ fn arb_spec() -> impl Strategy<Value = TopologySpec> {
                 seed,
             },
         })
+}
+
+/// A random mutation schedule of 0..=3 tick-stamped mutations.
+fn arb_schedule() -> impl Strategy<Value = MutationSchedule> {
+    proptest::collection::vec((0u64..10_000, 0usize..4, 0u64..1_000), 0..4).prop_map(|items| {
+        items
+            .into_iter()
+            .map(|(tick, kind, selector)| ScheduledMutation {
+                tick,
+                mutation: TopologyMutation {
+                    kind: MutationKind::ALL[kind],
+                    selector,
+                },
+            })
+            .collect()
+    })
+}
+
+fn arb_dynamic_spec() -> impl Strategy<Value = DynamicSpec> {
+    (arb_spec(), arb_schedule()).prop_map(|(base, schedule)| DynamicSpec { base, schedule })
 }
 
 proptest! {
@@ -84,6 +107,51 @@ proptest! {
         let once: TopologySpec = s.to_string().parse().unwrap();
         let twice: TopologySpec = once.to_string().parse().unwrap();
         prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn every_mutated_spec_round_trips_through_display_and_fromstr(s in arb_dynamic_spec()) {
+        prop_assert_eq!(s.validate(), Ok(()));
+        let rendered = s.to_string();
+        let back: DynamicSpec = rendered.parse()
+            .unwrap_or_else(|e| panic!("{rendered:?} must re-parse: {e}"));
+        prop_assert_eq!(&back, &s);
+        // the rendering is canonical: suffixes sorted by tick, one '+' each
+        prop_assert_eq!(rendered.matches('+').count(), s.schedule.len());
+        let ticks: Vec<u64> = back.schedule.iter().map(|m| m.tick).collect();
+        let mut sorted = ticks.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(ticks, sorted);
+        // static specs stay static; mutated specs know they are dynamic
+        prop_assert_eq!(back.is_static(), s.schedule.is_empty());
+    }
+
+    #[test]
+    fn mutated_spec_base_parses_as_the_plain_spec(s in arb_dynamic_spec()) {
+        // stripping the suffixes recovers exactly the base spec
+        let base_text = s.base.to_string();
+        let rendered = s.to_string();
+        prop_assert!(rendered.starts_with(&base_text));
+        let plain: TopologySpec = base_text.parse().unwrap();
+        prop_assert_eq!(plain, s.base);
+    }
+
+    #[test]
+    fn applying_a_schedule_preserves_network_validity(
+        pair in (arb_spec(), arb_schedule())
+    ) {
+        // cap at two mutations to keep builds cheap
+        let (base_spec, schedule) = pair;
+        let s = DynamicSpec {
+            base: base_spec,
+            schedule: schedule.iter().take(2).copied().collect(),
+        };
+        let base = s.build();
+        let end = s.final_topology();
+        prop_assert!(end.validate().is_ok());
+        prop_assert!(gtd_netsim::algo::is_strongly_connected(&end));
+        prop_assert_eq!(end.num_nodes(), base.num_nodes());
+        prop_assert_eq!(end.delta(), base.delta());
     }
 }
 

@@ -1,0 +1,149 @@
+//! Dynamic-topology integration suite: the §1 "topology might change"
+//! scenario end-to-end through the facade.
+//!
+//! * the three engine modes must produce identical tick-stamped
+//!   transcripts, epochs and remap latencies across a mutation boundary;
+//! * every mapper follows the same dynamic path, so remap costs are
+//!   directly comparable;
+//! * mutated specs parse, round-trip, and drive campaigns.
+
+use gtd::{
+    generators, DynamicSpec, EngineMode, EpochStatus, GtdSession, MutationKind, MutationSchedule,
+    NodeId, RemapOutcome, TopologyMutation,
+};
+
+const MODES: [EngineMode; 3] = [EngineMode::Dense, EngineMode::Sparse, EngineMode::Parallel];
+
+fn mutation(kind: MutationKind, selector: u64) -> TopologyMutation {
+    TopologyMutation { kind, selector }
+}
+
+#[test]
+fn modes_produce_identical_transcripts_across_a_mutation_boundary() {
+    // Mid-run mutations on several families and roots: the timelines must
+    // be bit-identical in every mode, including the tick-stamped
+    // transcripts of every epoch.
+    let scenarios = [
+        (
+            generators::random_sc(18, 3, 5),
+            NodeId(7),
+            MutationSchedule::new().with(70, mutation(MutationKind::DropEdge, 2)),
+        ),
+        (
+            generators::torus(3, 3),
+            NodeId(4),
+            MutationSchedule::new()
+                .with(50, mutation(MutationKind::RewirePort, 1))
+                .with(400, mutation(MutationKind::AddEdge, 3)),
+        ),
+        (
+            generators::ring(10),
+            NodeId(0),
+            // falls back to a label swap (a ring cannot lose a wire)
+            MutationSchedule::new().with(120, mutation(MutationKind::DropEdge, 4)),
+        ),
+    ];
+    for (topo, root, schedule) in scenarios {
+        let runs: Vec<RemapOutcome> = MODES
+            .iter()
+            .map(|&mode| {
+                GtdSession::on(&topo)
+                    .root(root)
+                    .mode(mode)
+                    .run_dynamic(&schedule)
+                    .unwrap_or_else(|e| panic!("({mode:?}, root {root}): {e}"))
+            })
+            .collect();
+        let dense = &runs[0];
+        assert!(dense.final_verified());
+        for (run, &mode) in runs.iter().zip(&MODES).skip(1) {
+            assert_eq!(
+                run.epochs.len(),
+                dense.epochs.len(),
+                "({mode:?}): epoch counts differ"
+            );
+            for (e, de) in run.epochs.iter().zip(&dense.epochs) {
+                assert_eq!(e.status, de.status, "({mode:?}): epoch status differs");
+                assert_eq!(
+                    e.events, de.events,
+                    "({mode:?}): tick-stamped transcripts differ"
+                );
+                assert_eq!(e.map, de.map, "({mode:?}): maps differ");
+                assert_eq!(
+                    (e.start_tick, e.end_tick),
+                    (de.start_tick, de.end_tick),
+                    "({mode:?}): epoch boundaries differ"
+                );
+            }
+            assert_eq!(
+                run.mutations, dense.mutations,
+                "({mode:?}): mutation records"
+            );
+            assert_eq!(
+                run.total_ticks, dense.total_ticks,
+                "({mode:?}): total ticks"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_epoch_map_is_internally_consistent() {
+    let topo = generators::random_sc(20, 3, 13);
+    let schedule = MutationSchedule::new()
+        .with(100, mutation(MutationKind::RewirePort, 3))
+        .with(3_000, mutation(MutationKind::DropEdge, 1));
+    let out = GtdSession::on(&topo).run_dynamic(&schedule).unwrap();
+    assert!(out.final_verified());
+    // the last verified epoch decodes to exactly the final topology
+    let last = out.epochs.last().unwrap();
+    assert_eq!(last.status, EpochStatus::Verified);
+    last.map
+        .as_ref()
+        .unwrap()
+        .verify_against(&out.final_topology, NodeId(0))
+        .unwrap();
+    // every mutation was applied and remapped
+    for m in &out.mutations {
+        assert!(m.applied_at.is_some());
+        assert!(m.applied_as.is_some());
+        assert!(m.remap_latency.is_some());
+    }
+    // epochs tile the timeline in order
+    for w in out.epochs.windows(2) {
+        assert!(w[0].end_tick <= w[1].start_tick);
+    }
+}
+
+#[test]
+fn all_mappers_report_comparable_remap_latencies() {
+    let spec: DynamicSpec = "random-sc:n=24,delta=3,seed=7+rewire=2@t200"
+        .parse()
+        .unwrap();
+    let base = spec.build();
+    let mut latencies = Vec::new();
+    for mapper in gtd::all_mappers() {
+        let run = mapper
+            .map_dynamic(&base, &spec.schedule, NodeId(0))
+            .unwrap_or_else(|e| panic!("{}: {e}", mapper.name()));
+        assert!(run.verified, "{} final map wrong", mapper.name());
+        assert_eq!(run.remap_latencies.len(), 1, "{}", mapper.name());
+        latencies.push(run.remap_latencies[0].expect("latency populated"));
+    }
+    // descending cost order holds for remaps too: gtd > routed-dfs > flood-echo
+    assert!(
+        latencies[0] > latencies[1] && latencies[1] > latencies[2],
+        "{latencies:?}"
+    );
+}
+
+#[test]
+fn dynamic_spec_final_topology_matches_the_live_run() {
+    let spec: DynamicSpec = "random-sc:n=16,delta=3,seed=4+drop-edge=1@t50+add-edge=2@t900"
+        .parse()
+        .unwrap();
+    let out = GtdSession::on(&spec.build())
+        .run_dynamic(&spec.schedule)
+        .unwrap();
+    assert_eq!(out.final_topology, spec.final_topology());
+}
