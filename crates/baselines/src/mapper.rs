@@ -26,7 +26,9 @@
 //! ```
 
 use crate::{flood_echo, source_routed_dfs};
-use gtd_core::{EpochStatus, GtdError, GtdSession, PhaseBreakdown, RunStats, VerifyError};
+use gtd_core::{
+    EpochStatus, GtdError, GtdSession, PhaseBreakdown, RemapPolicy, RunStats, VerifyError,
+};
 use gtd_netsim::{Edge, EngineMode, MutationSchedule, NodeId, Topology};
 
 /// Why a mapper failed to produce a comparable edge set.
@@ -99,6 +101,9 @@ pub struct DynamicRun {
     pub remap_latencies: Vec<Option<u64>>,
     /// Mapping epochs executed over the timeline.
     pub epochs: usize,
+    /// Processors in the network at the end of each epoch, in timeline
+    /// order (membership mutations change N mid-run).
+    pub epoch_nodes: Vec<usize>,
     /// Total rounds spent mapping across the timeline. For GTD this is
     /// the live engine timeline (wasted work, resets and idle gaps
     /// included); for the analytic baselines it is the sum of the
@@ -147,21 +152,29 @@ pub trait TopologyMapper {
         let initial = self.map_network(base, root)?;
         let mut verified = initial.verify_against(base);
         let mut topo = base.clone();
+        let mut root = root;
         let mut total = initial.rounds;
         let mut epochs = 1usize;
+        let mut epoch_nodes = vec![base.num_nodes()];
         let mut latencies = Vec::with_capacity(schedule.len());
         for sm in schedule.iter() {
-            topo = topo.apply_or_fallback(&sm.mutation).0;
+            // Membership mutations change N and can shift the collector's
+            // id; track both, exactly as the live GTD timeline does.
+            let applied = topo.apply_or_fallback_rooted(&sm.mutation, root);
+            root = applied.membership.relabel(root);
+            topo = applied.topology;
             let remap = self.map_network(&topo, root)?;
             verified = remap.verify_against(&topo);
             total += remap.rounds;
             epochs += 1;
+            epoch_nodes.push(topo.num_nodes());
             latencies.push(Some(remap.rounds));
         }
         Ok(DynamicRun {
             initial_rounds: initial.rounds,
             remap_latencies: latencies,
             epochs,
+            epoch_nodes,
             total_rounds: total,
             verified,
         })
@@ -183,6 +196,10 @@ pub struct GtdMapper {
     pub tick_budget: Option<u64>,
     /// Capture the transcript and fill [`MapperRun::phases`].
     pub capture_phases: bool,
+    /// Remap trigger for dynamic timelines (lazy: let a disturbed epoch
+    /// run out; eager: power-cycle at the mutation). Static runs and the
+    /// analytic baselines ignore it — they re-map instantly either way.
+    pub policy: RemapPolicy,
 }
 
 impl Default for GtdMapper {
@@ -191,6 +208,7 @@ impl Default for GtdMapper {
             mode: EngineMode::Sparse,
             tick_budget: None,
             capture_phases: false,
+            policy: RemapPolicy::Lazy,
         }
     }
 }
@@ -237,6 +255,7 @@ impl TopologyMapper for GtdMapper {
         let mut session = GtdSession::on(base)
             .root(root)
             .mode(self.mode)
+            .policy(self.policy)
             .capture_transcript(false);
         if let Some(budget) = self.tick_budget {
             session = session.tick_budget(budget);
@@ -254,6 +273,7 @@ impl TopologyMapper for GtdMapper {
             initial_rounds,
             remap_latencies: out.remap_latencies(),
             epochs: out.epochs.len(),
+            epoch_nodes: out.epoch_nodes(),
             total_rounds: out.total_ticks,
             verified: out.final_verified(),
         })
@@ -315,6 +335,9 @@ pub struct MapperConfig {
     pub tick_budget: Option<u64>,
     /// Capture the transcript for the phase breakdown.
     pub capture_phases: bool,
+    /// Remap trigger for dynamic timelines (GTD only; the analytic
+    /// baselines re-map instantly under either policy).
+    pub policy: RemapPolicy,
 }
 
 impl Default for MapperConfig {
@@ -323,6 +346,7 @@ impl Default for MapperConfig {
             mode: EngineMode::Sparse,
             tick_budget: None,
             capture_phases: false,
+            policy: RemapPolicy::Lazy,
         }
     }
 }
@@ -344,6 +368,7 @@ pub fn mapper_by_name(
             mode: cfg.mode,
             tick_budget: cfg.tick_budget,
             capture_phases: cfg.capture_phases,
+            policy: cfg.policy,
         })),
         "routed-dfs" => Some(Box::new(RoutedDfsMapper)),
         "flood-echo" => Some(Box::new(FloodEchoMapper)),
@@ -449,6 +474,82 @@ mod tests {
             // (one epoch); the idealized baselines always re-map (two).
             assert!(run.epochs >= 1, "{}", mapper.name());
         }
+    }
+
+    #[test]
+    fn every_mapper_follows_the_membership_dynamic_path() {
+        use gtd_netsim::{MutationKind, MutationSchedule, TopologyMutation};
+        let topo = generators::random_sc(16, 3, 5);
+        let schedule = MutationSchedule::new()
+            .with(
+                50,
+                TopologyMutation {
+                    kind: MutationKind::NodeLeave,
+                    selector: 1,
+                },
+            )
+            .with(
+                5_000,
+                TopologyMutation {
+                    kind: MutationKind::NodeJoin,
+                    selector: 4,
+                },
+            );
+        for mapper in all_mappers() {
+            let run = mapper
+                .map_dynamic(&topo, &schedule, NodeId(3))
+                .unwrap_or_else(|e| panic!("{}: {e}", mapper.name()));
+            assert!(run.verified, "{} final map wrong", mapper.name());
+            assert_eq!(run.remap_latencies.len(), 2, "{}", mapper.name());
+            assert!(
+                run.remap_latencies.iter().all(Option::is_some),
+                "{}",
+                mapper.name()
+            );
+            // the final epoch ran on 16 nodes again (one leave, one join)
+            assert_eq!(
+                run.epoch_nodes.last().copied(),
+                Some(16),
+                "{}: {:?}",
+                mapper.name(),
+                run.epoch_nodes
+            );
+            assert!(
+                run.epoch_nodes.contains(&15),
+                "{}: {:?}",
+                mapper.name(),
+                run.epoch_nodes
+            );
+        }
+    }
+
+    #[test]
+    fn gtd_mapper_policies_agree_on_the_final_map_but_not_the_path() {
+        use gtd_netsim::{MutationKind, MutationSchedule, TopologyMutation};
+        let topo = generators::ring(16);
+        let schedule = MutationSchedule::new().with(
+            100,
+            TopologyMutation {
+                kind: MutationKind::NodeLeave,
+                selector: 5,
+            },
+        );
+        let lazy = GtdMapper::default()
+            .map_dynamic(&topo, &schedule, NodeId(0))
+            .unwrap();
+        let eager = GtdMapper {
+            policy: RemapPolicy::Eager,
+            ..GtdMapper::default()
+        }
+        .map_dynamic(&topo, &schedule, NodeId(0))
+        .unwrap();
+        assert!(lazy.verified && eager.verified);
+        assert!(
+            eager.remap_latencies[0].unwrap() <= lazy.remap_latencies[0].unwrap(),
+            "eager {:?} vs lazy {:?}",
+            eager.remap_latencies,
+            lazy.remap_latencies
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@
 use gtd_baselines::{family_size_log2, min_ticks_lower_bound, tree_loop_params};
 use gtd_bench::json::JsonValue;
 use gtd_bench::{core_family_specs, json, json_line, Campaign, RunRecord, Table, Workload};
-use gtd_core::{run_single_bca, run_single_rca, GtdSession, TranscriptEvent};
+use gtd_core::{run_single_bca, run_single_rca, GtdSession, RemapPolicy, TranscriptEvent};
 use gtd_netsim::{
     algo, generators, mutation, spec, DynamicSpec, EngineMode, NodeId, Port, TopologySpec,
 };
@@ -46,10 +46,11 @@ fn usage(code: i32) -> ! {
          harness list\n  \
          harness run [e1 .. e8] [--scale K] [--json FILE]\n  \
          harness grid --spec SPEC [--spec SPEC ...] [--mappers a,b] [--modes x,y]\n               \
-         [--roots 0,1] [--reps K] [--budget T] [--jobs K] [--json FILE] [--csv FILE]\n  \
+         [--policies lazy,eager] [--roots 0,1] [--reps K] [--budget T] [--jobs K]\n               \
+         [--json FILE] [--csv FILE]\n  \
          harness compare OLD.jsonl NEW.jsonl [--threshold PCT]\n\n\
          `harness list` prints the spec grammar; e.g. --spec ring:64 --spec debruijn:2,5\n\
-         dynamic specs append mutation suffixes: --spec ring:64+drop-edge=3@t500"
+         dynamic specs append mutation suffixes: --spec ring:64+node-leave=3@t500"
     );
     exit(code)
 }
@@ -102,11 +103,14 @@ fn cmd_list(args: &[String]) {
         ]);
     }
     print!("{}", t.render());
-    println!("e.g. ring:64+drop-edge=3@t500  (kinds without a valid candidate fall back to swap)");
+    println!("e.g. ring:64+node-leave=3@t500  (kinds without a valid candidate fall back to swap;");
+    println!("node-join/node-leave change N — the collector's host never leaves)");
 
     println!("\nmappers: {}", gtd_baselines::mapper_names().join(", "));
     let modes: Vec<&str> = EngineMode::ALL.iter().map(|m| m.name()).collect();
     println!("engine modes: {}", modes.join(", "));
+    let policies: Vec<&str> = RemapPolicy::ALL.iter().map(|p| p.name()).collect();
+    println!("remap policies: {}", policies.join(", "));
 }
 
 // ---------------------------------------------------------------------------
@@ -140,6 +144,16 @@ fn cmd_grid(args: &[String]) {
                     .collect();
                 match modes {
                     Ok(m) => campaign = campaign.modes(m),
+                    Err(e) => bail(&e),
+                }
+            }
+            "--policies" => {
+                let policies: Result<Vec<RemapPolicy>, String> = flag_value(&mut it, "--policies")
+                    .split(',')
+                    .map(str::parse)
+                    .collect();
+                match policies {
+                    Ok(p) => campaign = campaign.policies(p),
                     Err(e) => bail(&e),
                 }
             }
@@ -184,6 +198,7 @@ fn cmd_grid(args: &[String]) {
         "spec",
         "mapper",
         "mode",
+        "policy",
         "runs",
         "errors",
         "min",
@@ -197,6 +212,7 @@ fn cmd_grid(args: &[String]) {
             g.spec,
             g.mapper,
             g.mode.name().into(),
+            g.policy.name().into(),
             g.runs.to_string(),
             g.errors.to_string(),
             fmt(g.min_rounds),
@@ -253,14 +269,16 @@ fn str_field(row: &JsonValue, key: &str) -> Option<String> {
     }
 }
 
-/// Load a `harness grid --json` export into per-(spec, mapper, mode)
-/// samples. Rows of other shapes (e.g. `harness run --json` experiment
-/// rows) are skipped, so mixed files degrade gracefully.
-fn load_grid_jsonl(
-    path: &str,
-) -> std::collections::BTreeMap<(String, String, String), GroupSamples> {
+/// One compare group's identity: (spec, mapper, mode, policy).
+type GroupKey = (String, String, String, String);
+
+/// Load a `harness grid --json` export into per-(spec, mapper, mode,
+/// policy) samples. Rows of other shapes (e.g. `harness run --json`
+/// experiment rows) are skipped, so mixed files degrade gracefully; rows
+/// predating the policy axis default to `lazy` (its historical value).
+fn load_grid_jsonl(path: &str) -> std::collections::BTreeMap<GroupKey, GroupSamples> {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| bail(&format!("{path}: {e}")));
-    let mut groups: std::collections::BTreeMap<(String, String, String), GroupSamples> =
+    let mut groups: std::collections::BTreeMap<GroupKey, GroupSamples> =
         std::collections::BTreeMap::new();
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
@@ -275,7 +293,8 @@ fn load_grid_jsonl(
         ) else {
             continue; // not a grid row
         };
-        let g = groups.entry((spec, mapper, mode)).or_default();
+        let policy = str_field(&row, "policy").unwrap_or_else(|| "lazy".into());
+        let g = groups.entry((spec, mapper, mode, policy)).or_default();
         if row.get("ok") == Some(&JsonValue::Bool(true)) {
             if let Some(r) = num_field(&row, "rounds") {
                 g.rounds.push(r);
@@ -328,7 +347,7 @@ fn cmd_compare(args: &[String]) {
         bail(&format!("{new_path}: no grid rows found"));
     }
 
-    let keys: Vec<(String, String, String)> = old
+    let keys: Vec<GroupKey> = old
         .keys()
         .chain(new.keys())
         .cloned()
@@ -339,6 +358,7 @@ fn cmd_compare(args: &[String]) {
         "spec",
         "mapper",
         "mode",
+        "policy",
         "old",
         "new",
         "delta",
@@ -352,7 +372,7 @@ fn cmd_compare(args: &[String]) {
     let mut missing = 0usize;
     for key in keys {
         let (o, n) = (old.remove(&key), new.remove(&key));
-        let (spec, mapper, mode) = key;
+        let (spec, mapper, mode, policy) = key;
         let row = |t: &mut Table, o_med, n_med, o_remap, n_remap, flag: String| {
             let (delta, pct) = match (o_med, n_med) {
                 (Some(a), Some(b)) => (
@@ -369,6 +389,7 @@ fn cmd_compare(args: &[String]) {
                 spec.clone(),
                 mapper.clone(),
                 mode.clone(),
+                policy.clone(),
                 fmt(o_med),
                 fmt(n_med),
                 delta,

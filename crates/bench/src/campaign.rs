@@ -2,10 +2,10 @@
 //!
 //! A [`Campaign`] is the paper-claim shape — "over family F at size N,
 //! mapper M costs R rounds" — as a first-class value: a grid of
-//! [`TopologySpec`]s × mapper names × [`EngineMode`]s × roots ×
-//! repetitions. [`Campaign::run`] executes every cell across a scoped
-//! worker-thread pool and returns a [`CampaignReport`] of structured
-//! [`RunRecord`]s.
+//! [`TopologySpec`]s × mapper names × [`EngineMode`]s × [`RemapPolicy`]s
+//! × roots × repetitions. [`Campaign::run`] executes every cell across a
+//! scoped worker-thread pool and returns a [`CampaignReport`] of
+//! structured [`RunRecord`]s.
 //!
 //! Three properties make campaigns fit for batch execution:
 //!
@@ -17,7 +17,8 @@
 //!   precondition violated) is captured as a [`CellError`] in its record;
 //!   the rest of the grid still completes.
 //! * **Aggregation** — [`CampaignReport::aggregate`] groups cells by
-//!   (spec, mapper, mode) and reports min/median/max rounds per group.
+//!   (spec, mapper, mode, policy) and reports min/median/max rounds per
+//!   group.
 //!
 //! ```
 //! use gtd_bench::Campaign;
@@ -37,7 +38,7 @@
 
 use crate::json::JsonValue;
 use gtd_baselines::{mapper_by_name, MapperConfig, MapperError};
-use gtd_core::{GtdError, PhaseBreakdown};
+use gtd_core::{GtdError, PhaseBreakdown, RemapPolicy};
 use gtd_netsim::{DynamicSpec, EngineMode, NodeId, ParseSpecError, Topology};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -86,6 +87,7 @@ pub struct Campaign {
     specs: Vec<DynamicSpec>,
     mappers: Vec<String>,
     modes: Vec<EngineMode>,
+    policies: Vec<RemapPolicy>,
     roots: Vec<NodeId>,
     reps: usize,
     jobs: usize,
@@ -107,6 +109,7 @@ impl Campaign {
             specs: Vec::new(),
             mappers: Vec::new(),
             modes: vec![EngineMode::Sparse],
+            policies: vec![RemapPolicy::Lazy],
             roots: vec![NodeId(0)],
             reps: 1,
             jobs: 1,
@@ -151,6 +154,15 @@ impl Campaign {
     /// Replace the engine-mode axis (default: sparse only).
     pub fn modes(mut self, modes: impl IntoIterator<Item = EngineMode>) -> Self {
         self.modes = modes.into_iter().collect();
+        self
+    }
+
+    /// Replace the remap-policy axis (default: lazy only). The policy
+    /// only changes GTD's dynamic timelines; static cells and the
+    /// analytic baselines run identically under either value, so widening
+    /// this axis is mainly useful on dynamic GTD grids.
+    pub fn policies(mut self, policies: impl IntoIterator<Item = RemapPolicy>) -> Self {
+        self.policies = policies.into_iter().collect();
         self
     }
 
@@ -199,6 +211,9 @@ impl Campaign {
         if self.modes.is_empty() {
             return Err(CampaignError::EmptyAxis("engine modes"));
         }
+        if self.policies.is_empty() {
+            return Err(CampaignError::EmptyAxis("remap policies"));
+        }
         if self.roots.is_empty() {
             return Err(CampaignError::EmptyAxis("roots"));
         }
@@ -214,11 +229,12 @@ impl Campaign {
         // Build every base topology once; cells share them read-only.
         let topos: Vec<Topology> = self.specs.iter().map(DynamicSpec::build).collect();
 
-        // Grid order: spec → mapper → mode → root → rep.
+        // Grid order: spec → mapper → mode → policy → root → rep.
         struct Cell {
             spec_idx: usize,
             mapper: usize,
             mode: EngineMode,
+            policy: RemapPolicy,
             root: NodeId,
             rep: usize,
         }
@@ -226,15 +242,18 @@ impl Campaign {
         for (spec_idx, _) in self.specs.iter().enumerate() {
             for (mapper, _) in self.mappers.iter().enumerate() {
                 for &mode in &self.modes {
-                    for &root in &self.roots {
-                        for rep in 0..self.reps {
-                            cells.push(Cell {
-                                spec_idx,
-                                mapper,
-                                mode,
-                                root,
-                                rep,
-                            });
+                    for &policy in &self.policies {
+                        for &root in &self.roots {
+                            for rep in 0..self.reps {
+                                cells.push(Cell {
+                                    spec_idx,
+                                    mapper,
+                                    mode,
+                                    policy,
+                                    root,
+                                    rep,
+                                });
+                            }
                         }
                     }
                 }
@@ -255,6 +274,7 @@ impl Campaign {
                 mode: cell.mode,
                 tick_budget: self.tick_budget,
                 capture_phases: true,
+                policy: cell.policy,
             };
             let mapper = mapper_by_name(&self.mappers[cell.mapper], &cfg).expect("validated above");
             let result = if spec.is_static() {
@@ -285,6 +305,7 @@ impl Campaign {
                             epochs: run.epochs,
                             initial_rounds: run.initial_rounds,
                             latencies: run.remap_latencies,
+                            epoch_nodes: run.epoch_nodes,
                         }),
                     }),
                     Err(e) => Err(CellError::from(e)),
@@ -294,6 +315,7 @@ impl Campaign {
                 spec: spec.to_string(),
                 mapper: self.mappers[cell.mapper].clone(),
                 mode: cell.mode,
+                policy: cell.policy,
                 root: cell.root,
                 rep: cell.rep,
                 nodes: topo.num_nodes(),
@@ -383,6 +405,9 @@ pub struct RemapSummary {
     pub initial_rounds: u64,
     /// Remap latency per scheduled mutation, in schedule order.
     pub latencies: Vec<Option<u64>>,
+    /// Processors at the end of each epoch, in timeline order
+    /// (membership mutations change N mid-run).
+    pub epoch_nodes: Vec<usize>,
 }
 
 impl RemapSummary {
@@ -428,6 +453,9 @@ pub struct RunRecord {
     pub mapper: String,
     /// Engine mode the cell ran under.
     pub mode: EngineMode,
+    /// Remap policy the cell ran under (meaningful for dynamic GTD
+    /// cells; recorded for every cell so the axis is always visible).
+    pub policy: RemapPolicy,
     /// Root processor.
     pub root: NodeId,
     /// Repetition index (0-based).
@@ -447,6 +475,7 @@ impl RunRecord {
             "spec": self.spec,
             "mapper": self.mapper,
             "mode": self.mode.name(),
+            "policy": self.policy.name(),
             "root": self.root.0,
             "rep": self.rep,
             "n": self.nodes,
@@ -500,6 +529,15 @@ impl RunRecord {
                                 .collect(),
                         ),
                     );
+                    map.insert(
+                        "epoch_n".into(),
+                        JsonValue::Arr(
+                            r.epoch_nodes
+                                .iter()
+                                .map(|&n| JsonValue::Num(n as f64))
+                                .collect(),
+                        ),
+                    );
                 }
             }
             Err(err) => {
@@ -511,7 +549,7 @@ impl RunRecord {
     }
 }
 
-/// Aggregated rounds over one (spec, mapper, mode) group.
+/// Aggregated rounds over one (spec, mapper, mode, policy) group.
 #[derive(Clone, Debug, PartialEq)]
 pub struct GroupStat {
     /// Canonical spec string.
@@ -520,6 +558,8 @@ pub struct GroupStat {
     pub mapper: String,
     /// Engine mode.
     pub mode: EngineMode,
+    /// Remap policy.
+    pub policy: RemapPolicy,
     /// Cells in the group (roots × reps).
     pub runs: usize,
     /// Cells that failed.
@@ -553,8 +593,8 @@ impl CampaignReport {
         self.records.iter().filter(|r| r.result.is_err()).count()
     }
 
-    /// Group consecutive records by (spec, mapper, mode) — the grid order
-    /// keeps groups contiguous — and aggregate rounds.
+    /// Group consecutive records by (spec, mapper, mode, policy) — the
+    /// grid order keeps groups contiguous — and aggregate rounds.
     pub fn aggregate(&self) -> Vec<GroupStat> {
         let mut out: Vec<GroupStat> = Vec::new();
         let mut samples: Vec<u64> = Vec::new();
@@ -571,7 +611,12 @@ impl CampaignReport {
         };
         for rec in &self.records {
             let fresh = match out.last() {
-                Some(g) => g.spec != rec.spec || g.mapper != rec.mapper || g.mode != rec.mode,
+                Some(g) => {
+                    g.spec != rec.spec
+                        || g.mapper != rec.mapper
+                        || g.mode != rec.mode
+                        || g.policy != rec.policy
+                }
                 None => true,
             };
             if fresh {
@@ -582,6 +627,7 @@ impl CampaignReport {
                     spec: rec.spec.clone(),
                     mapper: rec.mapper.clone(),
                     mode: rec.mode,
+                    policy: rec.policy,
                     runs: 0,
                     errors: 0,
                     min_rounds: None,
@@ -626,10 +672,10 @@ impl CampaignReport {
     /// containing commas or quotes are quoted per RFC 4180.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "spec,mapper,mode,root,rep,n,e,ok,rounds,messages,verified,clean,epochs,remap_median,error_kind,error\n",
+            "spec,mapper,mode,policy,root,rep,n,e,ok,rounds,messages,verified,clean,epochs,epoch_n,remap_median,error_kind,error\n",
         );
         for rec in &self.records {
-            let (rounds, messages, verified, clean, epochs, remap_median, kind, error) =
+            let (rounds, messages, verified, clean, epochs, epoch_n, remap_median, kind, error) =
                 match &rec.result {
                     Ok(o) => (
                         o.rounds.to_string(),
@@ -639,6 +685,15 @@ impl CampaignReport {
                         o.remap
                             .as_ref()
                             .map_or(String::new(), |r| r.epochs.to_string()),
+                        // per-epoch processor counts, ';'-joined (one CSV
+                        // field, no quoting needed)
+                        o.remap.as_ref().map_or(String::new(), |r| {
+                            r.epoch_nodes
+                                .iter()
+                                .map(usize::to_string)
+                                .collect::<Vec<_>>()
+                                .join(";")
+                        }),
                         o.remap
                             .as_ref()
                             .and_then(RemapSummary::median_latency)
@@ -653,6 +708,7 @@ impl CampaignReport {
                         String::new(),
                         String::new(),
                         String::new(),
+                        String::new(),
                         e.kind.to_string(),
                         e.message.clone(),
                     ),
@@ -661,6 +717,7 @@ impl CampaignReport {
                 rec.spec.clone(),
                 rec.mapper.clone(),
                 rec.mode.name().to_string(),
+                rec.policy.name().to_string(),
                 rec.root.0.to_string(),
                 rec.rep.to_string(),
                 rec.nodes.to_string(),
@@ -671,6 +728,7 @@ impl CampaignReport {
                 verified,
                 clean,
                 epochs,
+                epoch_n,
                 remap_median,
                 kind,
                 error,

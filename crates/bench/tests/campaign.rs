@@ -3,6 +3,7 @@
 
 use gtd_bench::json::JsonValue;
 use gtd_bench::Campaign;
+use gtd_core::RemapPolicy;
 use gtd_netsim::{EngineMode, NodeId};
 
 fn reference_grid() -> Campaign {
@@ -144,11 +145,87 @@ fn dynamic_grid_jsonl_is_byte_identical_for_any_job_count() {
         }
     }
 
-    // CSV gains the remap columns
+    // CSV gains the remap columns (policy and per-epoch n included)
     let csv = grid().jobs(0).run().unwrap().to_csv();
     let header = csv.lines().next().unwrap();
-    assert!(header.contains("epochs,remap_median"), "{header}");
+    assert!(header.contains("mode,policy,root"), "{header}");
+    assert!(header.contains("epochs,epoch_n,remap_median"), "{header}");
     assert_eq!(csv, grid().jobs(3).run().unwrap().to_csv());
+}
+
+/// The membership reference grid: N-changing specs × mappers × both
+/// remap policies. Shared by the jobs-independence and golden-file tests
+/// (and regenerable with the equivalent `harness grid` invocation — see
+/// `golden/README.md`).
+fn membership_grid() -> Campaign {
+    Campaign::new()
+        .parse_specs([
+            "ring:12+node-join=2@t60",
+            "ring:12+node-leave=1@t60",
+            "random-sc:n=16,delta=3,seed=5+burst=3@t80",
+        ])
+        .unwrap()
+        .mappers(["gtd", "flood-echo"])
+        .policies([RemapPolicy::Lazy, RemapPolicy::Eager])
+}
+
+#[test]
+fn membership_grid_jsonl_is_byte_identical_for_any_job_count() {
+    let serial = membership_grid().jobs(1).run().unwrap().to_jsonl();
+    let parallel = membership_grid().jobs(8).run().unwrap().to_jsonl();
+    assert_eq!(serial, parallel, "jobs must not affect membership grids");
+    assert_eq!(serial.lines().count(), 3 * 2 * 2);
+
+    for line in serial.lines() {
+        let row = JsonValue::parse(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        assert_eq!(row.get("ok"), Some(&JsonValue::Bool(true)), "{line}");
+        assert_eq!(row.get("verified"), Some(&JsonValue::Bool(true)), "{line}");
+        // the policy axis is recorded on every row
+        let Some(JsonValue::Str(policy)) = row.get("policy") else {
+            panic!("policy missing: {line}");
+        };
+        assert!(policy == "lazy" || policy == "eager", "{line}");
+        // dynamic rows carry per-epoch node counts, one per epoch
+        let Some(JsonValue::Arr(epoch_n)) = row.get("epoch_n") else {
+            panic!("epoch_n missing: {line}");
+        };
+        let Some(&JsonValue::Num(epochs)) = row.get("epochs") else {
+            panic!("epochs missing: {line}");
+        };
+        assert_eq!(epoch_n.len(), epochs as usize, "{line}");
+        // membership specs end on the mutated node count
+        let spec = match row.get("spec") {
+            Some(JsonValue::Str(s)) => s.clone(),
+            other => panic!("bad spec field {other:?}"),
+        };
+        let expect_last = if spec.contains("node-join") {
+            13.0
+        } else if spec.contains("node-leave") {
+            11.0
+        } else {
+            16.0
+        };
+        assert_eq!(epoch_n.last(), Some(&JsonValue::Num(expect_last)), "{line}");
+    }
+}
+
+#[test]
+fn membership_grid_exports_match_the_golden_files() {
+    // Golden-file pin on the JSONL/CSV schemas: any drift in field
+    // names, ordering, or the deterministic values themselves fails
+    // here. Regenerate via the command in golden/README.md after an
+    // intentional schema change.
+    let report = membership_grid().jobs(2).run().unwrap();
+    assert_eq!(
+        report.to_jsonl(),
+        include_str!("golden/membership_grid.jsonl"),
+        "JSONL export drifted from the golden file"
+    );
+    assert_eq!(
+        report.to_csv(),
+        include_str!("golden/membership_grid.csv"),
+        "CSV export drifted from the golden file"
+    );
 }
 
 #[test]

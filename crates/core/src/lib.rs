@@ -50,5 +50,5 @@ pub use phases::{phase_breakdown, PhaseBreakdown};
 pub use runner::{build_gtd_engine, run_single_bca, run_single_rca, BcaProbe, RcaProbe};
 pub use session::{
     default_tick_budget, EpochOutcome, EpochStatus, GtdError, GtdSession, MutationOutcome,
-    PreconditionViolation, RemapOutcome, RunOutcome, RunStats,
+    PreconditionViolation, RemapOutcome, RemapPolicy, RunOutcome, RunStats,
 };

@@ -920,14 +920,22 @@ impl ProtocolNode {
     // ------------------------------------------------------------------
 
     fn flush_due(&mut self, now: u64, outputs: &mut [Signal]) {
+        // At most one emission per snake kind per tick. In an undisturbed
+        // run deadlines within one relay are spaced ≥ 1 tick apart (one
+        // character per wire per tick) and the processor steps on every
+        // tick it holds pending characters, so this drains exactly as the
+        // unbounded loop would. After a live mutation a straggler stream
+        // can land a second character whose deadline collides with a
+        // queued one (e.g. a re-routed head arriving behind a tail);
+        // serializing the emissions preserves the one-character-per-kind
+        // wire invariant instead of tripping its collision guard.
         for kind in [SnakeKind::Ig, SnakeKind::Og, SnakeKind::Bg] {
-            loop {
-                let relay = match kind {
-                    SnakeKind::Ig => &mut self.ig,
-                    SnakeKind::Og => &mut self.og,
-                    _ => &mut self.bg,
-                };
-                let Some(e) = relay.due(now) else { break };
+            let relay = match kind {
+                SnakeKind::Ig => &mut self.ig,
+                SnakeKind::Og => &mut self.og,
+                _ => &mut self.bg,
+            };
+            if let Some(e) = relay.due(now) {
                 match e {
                     GrowEmit::Heads => {
                         for &o in &self.out_ports {
@@ -944,8 +952,10 @@ impl ProtocolNode {
                 }
             }
         }
+        // Dying lanes route each character to one specific port, but the
+        // same collision argument applies per lane: one emission per tick.
         for lane in [&mut self.dying_id, &mut self.dying_od, &mut self.dying_bd] {
-            while let Some(e) = lane.due(now) {
+            if let Some(e) = lane.due(now) {
                 outputs[e.port.idx()].put_snake(lane.out_kind(), e.c);
             }
         }
@@ -1128,5 +1138,15 @@ impl Automaton for ProtocolNode {
         if self.dfs.cursor > self.out_ports.len() {
             self.dfs.cursor = self.out_ports.len();
         }
+    }
+
+    fn on_join(&mut self, meta: &NodeMeta) {
+        // A processor spliced into a running network powers on exactly
+        // like one present at t0: factory-fresh state, port awareness from
+        // its power-on meta. Refreshing the out-port list keeps the hook
+        // honest even if a caller constructs the automaton from stale
+        // meta.
+        debug_assert!(!meta.is_root, "the master's host cannot join mid-run");
+        self.on_rewire(meta);
     }
 }

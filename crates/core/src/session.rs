@@ -38,7 +38,8 @@ use crate::master::{DecodeError, MasterComputer, NetworkMap};
 use crate::node::{ProtocolNode, StartBehavior};
 use crate::phases::{phase_breakdown, PhaseBreakdown};
 use gtd_netsim::{
-    algo, Engine, EngineMode, MutationKind, MutationSchedule, NodeId, ScheduledMutation, Topology,
+    algo, Engine, EngineMode, MembershipChange, MutationKind, MutationSchedule, NodeId,
+    ScheduledMutation, Topology,
 };
 
 /// A model precondition the session detected before simulating a single
@@ -215,6 +216,53 @@ pub fn default_tick_budget(topo: &Topology) -> u64 {
     1_000 + (e + 2) * (n + 8) * 60
 }
 
+/// When a dynamic run re-maps after a mid-epoch mutation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RemapPolicy {
+    /// Let a disturbed epoch run to termination (or wedge) before
+    /// re-mapping — no monitoring needed, but a mutation's remap latency
+    /// includes the disturbed epoch's wasted tail.
+    #[default]
+    Lazy,
+    /// Power-cycle the instant monitoring sees a mutation land mid-epoch:
+    /// the disturbed epoch is cut short ([`EpochStatus::Preempted`]) and
+    /// the remap latency is bounded by one fresh mapping run.
+    Eager,
+}
+
+impl RemapPolicy {
+    /// Every policy, in canonical order (CLI listings, campaign grids).
+    pub const ALL: [RemapPolicy; 2] = [RemapPolicy::Lazy, RemapPolicy::Eager];
+
+    /// Stable lowercase name (round-trips through [`std::str::FromStr`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            RemapPolicy::Lazy => "lazy",
+            RemapPolicy::Eager => "eager",
+        }
+    }
+}
+
+impl std::fmt::Display for RemapPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for RemapPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        RemapPolicy::ALL
+            .into_iter()
+            .find(|p| p.name() == s.trim())
+            .ok_or_else(|| {
+                let known: Vec<&str> = RemapPolicy::ALL.iter().map(|p| p.name()).collect();
+                format!("unknown remap policy {s:?} (known: {})", known.join(", "))
+            })
+    }
+}
+
 /// How one mapping epoch of a dynamic run ended.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum EpochStatus {
@@ -228,6 +276,9 @@ pub enum EpochStatus {
     /// transcript stopped decoding mid-run (protocol state lost to a
     /// mutation).
     Wedged,
+    /// [`RemapPolicy::Eager`] cut the epoch short the moment a mutation
+    /// landed mid-run; the master power-cycles and re-maps immediately.
+    Preempted,
 }
 
 /// One mapping epoch of a dynamic run: a full protocol execution from
@@ -241,6 +292,9 @@ pub struct EpochOutcome {
     pub end_tick: u64,
     /// How the epoch ended.
     pub status: EpochStatus,
+    /// Processors in the network when the epoch ended (membership
+    /// mutations change N mid-timeline).
+    pub nodes: usize,
     /// The decoded map, when the transcript decoded (stale maps are kept
     /// — they are what the master *believed* before re-mapping).
     pub map: Option<NetworkMap>,
@@ -278,8 +332,12 @@ pub struct MutationOutcome {
 /// ([`GtdSession::run_dynamic`]).
 #[derive(Clone, Debug, PartialEq)]
 pub struct RemapOutcome {
-    /// The processor that hosted the master computer.
+    /// The processor that hosted the master computer, as configured (its
+    /// id *in the base topology* — see [`RemapOutcome::final_root`]).
     pub root: NodeId,
+    /// The master's host in the *final* topology: `node-leave` mutations
+    /// below the root shift its id down (the root itself never leaves).
+    pub final_root: NodeId,
     /// Every mapping epoch, in timeline order. The first epoch maps the
     /// pristine network; later ones are remaps.
     pub epochs: Vec<EpochOutcome>,
@@ -313,6 +371,12 @@ impl RemapOutcome {
     pub fn remap_latencies(&self) -> Vec<Option<u64>> {
         self.mutations.iter().map(|m| m.remap_latency).collect()
     }
+
+    /// Per-epoch processor counts, in timeline order (membership
+    /// mutations change N; static timelines repeat the base count).
+    pub fn epoch_nodes(&self) -> Vec<usize> {
+        self.epochs.iter().map(|e| e.nodes).collect()
+    }
 }
 
 /// Observer callback: `(tick, event)` for every root transcript symbol.
@@ -327,12 +391,14 @@ pub struct GtdSession<'a> {
     tick_budget: Option<u64>,
     start: StartBehavior,
     capture: bool,
+    policy: RemapPolicy,
     observer: Option<Observer<'a>>,
 }
 
 impl<'a> GtdSession<'a> {
     /// Start configuring a run on `topo`. Defaults: root `n0`, sparse
-    /// engine, [`default_tick_budget`], transcript captured, no observer.
+    /// engine, [`default_tick_budget`], transcript captured, lazy remap
+    /// policy, no observer.
     pub fn on(topo: &'a Topology) -> Self {
         GtdSession {
             topo,
@@ -341,6 +407,7 @@ impl<'a> GtdSession<'a> {
             tick_budget: None,
             start: StartBehavior::GtdRoot,
             capture: true,
+            policy: RemapPolicy::Lazy,
             observer: None,
         }
     }
@@ -390,6 +457,16 @@ impl<'a> GtdSession<'a> {
         self
     }
 
+    /// When a [`Self::run_dynamic`] timeline re-maps after a mid-epoch
+    /// mutation (ignored by the static entry points). The default,
+    /// [`RemapPolicy::Lazy`], lets a disturbed epoch run out;
+    /// [`RemapPolicy::Eager`] power-cycles at the mutation so the remap
+    /// latency is bounded by one fresh mapping run.
+    pub fn policy(mut self, policy: RemapPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
     /// Stream every `(tick, event)` pair to `f` as the root emits it —
     /// independent of [`Self::capture_transcript`], so huge runs can be
     /// traced without buffering.
@@ -415,14 +492,16 @@ impl<'a> GtdSession<'a> {
     }
 
     fn build_engine(&self) -> Engine<ProtocolNode> {
-        self.build_engine_on(self.topo)
+        self.build_engine_on(self.topo, self.root)
     }
 
-    /// Build a fresh engine on `topo` (the session's base topology, or a
-    /// mutated successor during a dynamic run's power-cycle).
-    fn build_engine_on(&self, topo: &Topology) -> Engine<ProtocolNode> {
+    /// Build a fresh engine on `topo` with the master on `root` (the
+    /// session's base topology and root, or a mutated successor during a
+    /// dynamic run's power-cycle — membership mutations can have shifted
+    /// the root's id by then).
+    fn build_engine_on(&self, topo: &Topology, root: NodeId) -> Engine<ProtocolNode> {
         let start = self.start;
-        Engine::with_root(topo, self.mode, self.root, &mut |meta| {
+        Engine::with_root(topo, self.mode, root, &mut |meta| {
             let behaviour = if meta.is_root {
                 start
             } else {
@@ -563,14 +642,29 @@ impl<'a> GtdSession<'a> {
     /// to a label swap so a network event still happens; the outcome
     /// records the kind actually applied.
     ///
+    /// Membership mutations change N mid-timeline: a `node-join` splices
+    /// a fresh, passive automaton into the live engine (it powers on at
+    /// the next tick), a `node-leave` removes one — never the root — and
+    /// shifts higher ids down (the session tracks the root's id; see
+    /// [`RemapOutcome::final_root`]). An epoch whose membership changed
+    /// always re-maps via a full power-cycle: the RESET-flood shortcut
+    /// assumes the automaton set that ran the last map still exists.
+    ///
+    /// [`Self::policy`] picks the remap trigger: lazy (default) lets a
+    /// disturbed epoch run out; eager preempts it at the mutation
+    /// ([`EpochStatus::Preempted`]), bounding remap latency by one fresh
+    /// run.
+    ///
     /// Deterministic across [`EngineMode`]s: all three produce identical
     /// epochs, transcripts and latencies.
     pub fn run_dynamic(mut self, schedule: &MutationSchedule) -> Result<RemapOutcome, GtdError> {
         self.check_preconditions()?;
-        let root = self.root;
         let capture = self.capture;
+        let policy = self.policy;
+        // The master's host: `node-leave` below the root shifts its id.
+        let mut root = self.root;
         let mut topo = self.topo.clone();
-        let mut engine = self.build_engine_on(&topo);
+        let mut engine = self.build_engine_on(&topo, root);
         // Global timeline tick = `base` + the current engine's own count
         // (a power-cycle swaps the engine but not the clock).
         let mut base: u64 = 0;
@@ -585,6 +679,10 @@ impl<'a> GtdSession<'a> {
             })
             .collect();
         let mut fired = 0usize;
+        // Did membership change since this engine's automata were built?
+        // If so, the next remap must power-cycle (lost members invalidate
+        // the RESET-flood shortcut).
+        let mut membership_dirty = false;
         let mut scratch = Vec::new();
         // Apply every mutation whose tick has arrived (between ticks).
         // Single-sourced: called at the timeline loop top and before each
@@ -595,13 +693,22 @@ impl<'a> GtdSession<'a> {
             topo: &mut Topology,
             engine: &mut Engine<ProtocolNode>,
             base: u64,
+            root: &mut NodeId,
+            membership_dirty: &mut bool,
         ) {
             while *fired < muts.len() && muts[*fired].scheduled.tick <= base + engine.tick_count() {
-                let (next, applied_as) = topo.apply_or_fallback(&muts[*fired].scheduled.mutation);
-                *topo = next;
-                engine.apply_topology(topo);
+                let applied =
+                    topo.apply_or_fallback_rooted(&muts[*fired].scheduled.mutation, *root);
+                *topo = applied.topology;
+                engine.apply_topology_with(topo, applied.membership, &mut |meta| {
+                    ProtocolNode::new(&meta, StartBehavior::Passive)
+                });
+                *root = applied.membership.relabel(*root);
+                if applied.membership != MembershipChange::None {
+                    *membership_dirty = true;
+                }
                 muts[*fired].applied_at = Some(base + engine.tick_count());
-                muts[*fired].applied_as = Some(applied_as);
+                muts[*fired].applied_as = Some(applied.kind);
                 *fired += 1;
             }
         }
@@ -610,7 +717,15 @@ impl<'a> GtdSession<'a> {
         let max_epochs = 2 * muts.len() + 3;
         let mut first = true;
         loop {
-            fire_due(&mut muts, &mut fired, &mut topo, &mut engine, base);
+            fire_due(
+                &mut muts,
+                &mut fired,
+                &mut topo,
+                &mut engine,
+                base,
+                &mut root,
+                &mut membership_dirty,
+            );
             if !first {
                 let last_verified = matches!(
                     epochs.last(),
@@ -636,21 +751,25 @@ impl<'a> GtdSession<'a> {
                     });
                 }
                 // Begin a remap: the gentle RESET flood when the network
-                // settled cleanly, a power-cycle otherwise.
-                let can_restart = engine.node(root).terminated()
+                // settled cleanly and its membership is intact, a
+                // power-cycle otherwise.
+                let can_restart = !membership_dirty
+                    && engine.node(root).terminated()
                     && engine.signals_in_flight() == 0
                     && engine.nodes().iter().all(|n| n.snake_state_pristine());
                 if can_restart {
                     engine.node_mut(root).master_restart();
                 } else {
                     base += engine.tick_count();
-                    engine = self.build_engine_on(&topo);
+                    engine = self.build_engine_on(&topo, root);
+                    membership_dirty = false;
                 }
             }
             first = false;
 
             // ---- one mapping epoch ----
             let epoch_start = base + engine.tick_count();
+            let epoch_fired = fired;
             let budget = self
                 .tick_budget
                 .unwrap_or_else(|| default_tick_budget(&topo));
@@ -658,8 +777,21 @@ impl<'a> GtdSession<'a> {
             let mut master_dead = false;
             let mut events: Vec<(u64, TranscriptEvent)> = Vec::new();
             let (status, end_tick, map) = loop {
-                fire_due(&mut muts, &mut fired, &mut topo, &mut engine, base);
+                fire_due(
+                    &mut muts,
+                    &mut fired,
+                    &mut topo,
+                    &mut engine,
+                    base,
+                    &mut root,
+                    &mut membership_dirty,
+                );
                 let now = base + engine.tick_count();
+                if policy == RemapPolicy::Eager && fired > epoch_fired {
+                    // Monitoring saw a mutation land mid-epoch: cut the
+                    // epoch short and re-map from scratch right away.
+                    break (EpochStatus::Preempted, now, None);
+                }
                 if now - epoch_start >= budget {
                     break (EpochStatus::Wedged, now, None);
                 }
@@ -737,12 +869,14 @@ impl<'a> GtdSession<'a> {
                 start_tick: epoch_start,
                 end_tick,
                 status,
+                nodes: topo.num_nodes(),
                 map,
                 events,
             });
         }
         Ok(RemapOutcome {
-            root,
+            root: self.root,
+            final_root: root,
             epochs,
             mutations: muts,
             total_ticks: base + engine.tick_count(),
@@ -994,6 +1128,134 @@ mod tests {
         assert_eq!(out.mutations[0].applied_as, Some(MutationKind::SwapLabels));
         assert!(out.mutations[0].remap_latency.is_some());
         assert_eq!(out.final_topology.num_edges(), topo.num_edges());
+    }
+
+    #[test]
+    fn node_join_grows_the_network_and_is_remapped() {
+        use gtd_netsim::{MutationKind, MutationSchedule, TopologyMutation};
+        let topo = generators::random_sc(14, 3, 8);
+        let schedule = MutationSchedule::new().with(
+            50,
+            TopologyMutation {
+                kind: MutationKind::NodeJoin,
+                selector: 2,
+            },
+        );
+        let out = GtdSession::on(&topo).run_dynamic(&schedule).unwrap();
+        assert!(out.final_verified());
+        assert_eq!(out.final_topology.num_nodes(), 15);
+        assert_eq!(out.final_root, NodeId(0));
+        let nodes = out.epoch_nodes();
+        assert_eq!(*nodes.last().unwrap(), 15);
+        out.epochs
+            .last()
+            .unwrap()
+            .map
+            .as_ref()
+            .unwrap()
+            .verify_against(&out.final_topology, NodeId(0))
+            .unwrap();
+    }
+
+    #[test]
+    fn node_leave_shrinks_the_network_and_tracks_the_root() {
+        use gtd_netsim::{MutationKind, MutationSchedule, TopologyMutation};
+        let topo = generators::random_sc(14, 3, 8);
+        let schedule = MutationSchedule::new().with(
+            60,
+            TopologyMutation {
+                kind: MutationKind::NodeLeave,
+                selector: 0,
+            },
+        );
+        // a high root exercises the id shift when a lower node leaves
+        let out = GtdSession::on(&topo)
+            .root(NodeId(13))
+            .run_dynamic(&schedule)
+            .unwrap();
+        assert!(out.final_verified());
+        assert_eq!(out.final_topology.num_nodes(), 13);
+        assert_eq!(out.root, NodeId(13));
+        let m = &out.mutations[0];
+        assert_eq!(m.applied_as, Some(MutationKind::NodeLeave));
+        assert!(m.remap_latency.is_some());
+        // the departed node's id was below the root, so the root shifted
+        assert_eq!(out.final_root, NodeId(12));
+        out.epochs
+            .last()
+            .unwrap()
+            .map
+            .as_ref()
+            .unwrap()
+            .verify_against(&out.final_topology, out.final_root)
+            .unwrap();
+    }
+
+    #[test]
+    fn membership_changes_force_a_power_cycle_remap() {
+        use gtd_netsim::{MutationKind, MutationSchedule, TopologyMutation};
+        let topo = generators::random_sc(12, 3, 9);
+        let first = GtdSession::on(&topo).run().unwrap();
+        // schedule far past the first run: post-termination, where a
+        // wire-level mutation would take the RESET-flood shortcut
+        let tick = first.ticks + 5_000;
+        let schedule = MutationSchedule::new().with(
+            tick,
+            TopologyMutation {
+                kind: MutationKind::NodeJoin,
+                selector: 1,
+            },
+        );
+        let out = GtdSession::on(&topo).run_dynamic(&schedule).unwrap();
+        assert_eq!(out.epochs.len(), 2);
+        assert_eq!(out.epochs[1].status, EpochStatus::Verified);
+        assert_eq!(out.epochs[1].nodes, 13);
+        // a power-cycled remap re-emits Start from a fresh automaton set;
+        // its transcript begins at the epoch's own start tick
+        assert!(out.epochs[1].events.first().unwrap().0 >= tick);
+        assert!(out.final_verified());
+    }
+
+    #[test]
+    fn eager_policy_preempts_a_disturbed_epoch() {
+        use gtd_netsim::{MutationKind, MutationSchedule, TopologyMutation};
+        let topo = generators::ring(16);
+        let schedule = MutationSchedule::new().with(
+            100,
+            TopologyMutation {
+                kind: MutationKind::NodeLeave,
+                selector: 3,
+            },
+        );
+        let eager = GtdSession::on(&topo)
+            .policy(RemapPolicy::Eager)
+            .run_dynamic(&schedule)
+            .unwrap();
+        assert!(eager.final_verified());
+        assert_eq!(eager.epochs[0].status, EpochStatus::Preempted);
+        assert!(eager.epochs[0].map.is_none());
+        let lazy = GtdSession::on(&topo)
+            .policy(RemapPolicy::Lazy)
+            .run_dynamic(&schedule)
+            .unwrap();
+        assert!(lazy.final_verified());
+        assert_ne!(lazy.epochs[0].status, EpochStatus::Preempted);
+        // eager bounds the remap latency by one fresh run; lazy pays the
+        // disturbed epoch's tail on top
+        let (e, l) = (
+            eager.mutations[0].remap_latency.unwrap(),
+            lazy.mutations[0].remap_latency.unwrap(),
+        );
+        assert!(e <= l, "eager {e} vs lazy {l}");
+    }
+
+    #[test]
+    fn remap_policy_names_round_trip() {
+        for p in RemapPolicy::ALL {
+            assert_eq!(p.name().parse::<RemapPolicy>().unwrap(), p);
+        }
+        assert!("eventually".parse::<RemapPolicy>().is_err());
+        assert_eq!(RemapPolicy::default(), RemapPolicy::Lazy);
     }
 
     #[test]

@@ -63,10 +63,11 @@ pub use gtd_bench::{
 pub use gtd_core::{
     default_tick_budget, phase_breakdown, DecodeError, EpochOutcome, EpochStatus, GtdError,
     GtdSession, MasterComputer, MutationOutcome, NetworkMap, PhaseBreakdown, PreconditionViolation,
-    ProtocolNode, RemapOutcome, RunOutcome, RunStats, StartBehavior, TranscriptEvent, VerifyError,
+    ProtocolNode, RemapOutcome, RemapPolicy, RunOutcome, RunStats, StartBehavior, TranscriptEvent,
+    VerifyError,
 };
 pub use gtd_netsim::{
-    algo, generators, mutation, spec, DynamicSpec, Edge, Engine, EngineMode, MutationError,
-    MutationKind, MutationSchedule, NodeId, ParseSpecError, Port, ScheduledMutation, Topology,
-    TopologyBuilder, TopologyMutation, TopologySpec,
+    algo, generators, mutation, spec, AppliedMutation, DynamicSpec, Edge, Engine, EngineMode,
+    MembershipChange, MutationError, MutationKind, MutationSchedule, NodeId, ParseSpecError, Port,
+    ScheduledMutation, Topology, TopologyBuilder, TopologyMutation, TopologySpec,
 };

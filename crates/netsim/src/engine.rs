@@ -28,6 +28,7 @@
 //!   since per-tick thread dispatch would dwarf the work.
 
 use crate::ids::{NodeId, Port};
+use crate::mutation::MembershipChange;
 use crate::topology::Topology;
 
 /// Static facts a processor knows about itself at power-on: which of its
@@ -103,6 +104,17 @@ pub trait Automaton: Send {
     /// wiring). Called between ticks, only on processors whose masks
     /// changed; the default ignores the event.
     fn on_rewire(&mut self, meta: &NodeMeta) {
+        let _ = meta;
+    }
+
+    /// This processor was spliced into a *running* network
+    /// ([`Engine::apply_topology_with`] with a
+    /// [`MembershipChange::Joined`]): called once on the freshly built
+    /// automaton, between ticks, before its first step. `meta` is the
+    /// same power-on view the factory received; the newcomer is also
+    /// scheduled for a step, so it powers on at the next tick in every
+    /// engine mode. The default ignores the event.
+    fn on_join(&mut self, meta: &NodeMeta) {
         let _ = meta;
     }
 }
@@ -292,19 +304,74 @@ impl<A: Automaton> Engine<A> {
     ///   scheduled for a step, so all three engine modes observe the
     ///   mutation on the same tick and stay observationally identical.
     ///
-    /// The processor count and δ are fixed at construction; `new_topo`
-    /// must preserve both (mutations do).
+    /// The processor count must be preserved (δ always is); for membership
+    /// changes use [`Engine::apply_topology_with`].
     pub fn apply_topology(&mut self, new_topo: &Topology) {
-        let n = self.nodes.len();
+        assert_eq!(
+            new_topo.num_nodes(),
+            self.nodes.len(),
+            "apply_topology preserves the node count (use apply_topology_with)"
+        );
+        self.apply_topology_with(new_topo, MembershipChange::None, &mut |_| {
+            unreachable!("no processor joins without a membership change")
+        });
+    }
+
+    /// [`Engine::apply_topology`] generalized to membership changes: the
+    /// running network is atomically rewired to `new_topo` between ticks
+    /// while a processor joins or leaves.
+    ///
+    /// * [`MembershipChange::Joined`] — `factory` builds the newcomer's
+    ///   automaton from its power-on [`NodeMeta`]; it then receives
+    ///   [`Automaton::on_join`] and is scheduled, so it powers on at the
+    ///   next tick identically in all three engine modes.
+    /// * [`MembershipChange::Left`] — the departed automaton is removed
+    ///   (its in-flight signals and pending inputs with it) and every
+    ///   higher processor id shifts down by one, mirroring
+    ///   [`MembershipChange::relabel`]. The engine's root must survive
+    ///   (session drivers guarantee it: the collector's host never
+    ///   leaves); its id is re-tracked automatically.
+    ///
+    /// In-flight characters survive exactly on wires that connect the same
+    /// *physical* processors through the same ports on both sides of the
+    /// change; everything else is invalidated, as for a plain rewire.
+    pub fn apply_topology_with(
+        &mut self,
+        new_topo: &Topology,
+        change: MembershipChange,
+        factory: &mut dyn FnMut(NodeMeta) -> A,
+    ) {
+        let old_n = self.nodes.len();
         let delta = self.delta;
-        assert_eq!(new_topo.num_nodes(), n, "mutations preserve the node count");
         assert_eq!(
             new_topo.delta() as usize,
             delta,
             "mutations preserve the port bound"
         );
-        let mut route_in = vec![NO_ROUTE; n * delta];
-        let mut route_out = vec![NO_ROUTE; n * delta];
+        let new_n = new_topo.num_nodes();
+        // new-id → old-id of the same physical processor (None: newcomer).
+        let inv: Vec<Option<usize>> = match change {
+            MembershipChange::None => {
+                assert_eq!(new_n, old_n, "membership change says the count is fixed");
+                (0..old_n).map(Some).collect()
+            }
+            MembershipChange::Joined { node } => {
+                assert_eq!(new_n, old_n + 1, "a join grows the network by one");
+                assert_eq!(node.idx(), old_n, "the newcomer takes the highest id");
+                (0..new_n).map(|i| (i < old_n).then_some(i)).collect()
+            }
+            MembershipChange::Left { node } => {
+                assert_eq!(new_n, old_n - 1, "a leave shrinks the network by one");
+                let x = node.idx();
+                assert!(x < old_n, "departed processor must exist");
+                assert_ne!(x, self.root.idx(), "the root cannot leave");
+                (0..new_n)
+                    .map(|i| Some(if i < x { i } else { i + 1 }))
+                    .collect()
+            }
+        };
+        let mut route_in = vec![NO_ROUTE; new_n * delta];
+        let mut route_out = vec![NO_ROUTE; new_n * delta];
         for u in new_topo.node_ids() {
             for (o, ep) in new_topo.out_edges(u) {
                 let out_slot = u.idx() * delta + o.idx();
@@ -313,43 +380,90 @@ impl<A: Automaton> Engine<A> {
                 route_in[in_slot] = out_slot as u32;
             }
         }
-        // Invalidate in-flight characters whose wire is gone or re-sourced.
+        // Carry in-flight characters across wires that connect the same
+        // physical processors through the same ports; every removed or
+        // re-sourced wire loses its character.
         let blank = A::Sig::default();
-        for ((dst, &new_route), &old_route) in self
-            .in_buf
-            .iter_mut()
-            .zip(route_in.iter())
-            .zip(self.route_in.iter())
-        {
-            if new_route != old_route && *dst != blank {
-                *dst = A::Sig::default();
+        let mut in_buf = vec![A::Sig::default(); new_n * delta];
+        for (slot, dst) in in_buf.iter_mut().enumerate() {
+            let r = route_in[slot];
+            if r == NO_ROUTE {
+                continue;
+            }
+            let (Some(old_dst), Some(old_src)) = (inv[slot / delta], inv[r as usize / delta])
+            else {
+                continue; // a wire touching the newcomer carries nothing yet
+            };
+            let old_in_slot = old_dst * delta + slot % delta;
+            let old_out_slot = (old_src * delta + r as usize % delta) as u32;
+            if self.route_in[old_in_slot] == old_out_slot && self.in_buf[old_in_slot] != blank {
+                *dst = std::mem::take(&mut self.in_buf[old_in_slot]);
             }
         }
-        for (has, chunk) in self.has_input.iter_mut().zip(self.in_buf.chunks(delta)) {
+        // Splice the automaton tables into the new indexing.
+        match change {
+            MembershipChange::None => {}
+            MembershipChange::Joined { node } => {
+                let meta = NodeMeta {
+                    id: node,
+                    is_root: false,
+                    in_connected: new_topo.in_connected(node),
+                    out_connected: new_topo.out_connected(node),
+                    delta: new_topo.delta(),
+                };
+                let mut automaton = factory(meta.clone());
+                automaton.on_join(&meta);
+                self.nodes.push(automaton);
+                self.event_bufs.push(Vec::new());
+            }
+            MembershipChange::Left { node } => {
+                let x = node.idx();
+                self.nodes.remove(x);
+                self.event_bufs.remove(x);
+                if self.root.idx() > x {
+                    self.root = NodeId(self.root.0 - 1);
+                }
+            }
+        }
+        let mut want_step = vec![false; new_n];
+        for (new_id, want) in want_step.iter_mut().enumerate() {
+            match inv[new_id] {
+                Some(old_id) => *want = self.want_step[old_id],
+                None => *want = true, // the newcomer's power-on step
+            }
+        }
+        let mut has_input = vec![false; new_n];
+        for (has, chunk) in has_input.iter_mut().zip(in_buf.chunks(delta)) {
             *has = chunk.iter().any(|s| *s != blank);
         }
-        // Notify processors whose port awareness changed and schedule them
-        // so sparse mode steps them exactly when dense mode would react.
-        for node in 0..n {
+        // Notify surviving processors whose port awareness changed and
+        // schedule them so sparse mode steps them exactly when dense would.
+        for (new_id, &old) in inv.iter().enumerate() {
+            let Some(old_id) = old else { continue };
             let changed = (0..delta).any(|p| {
-                let slot = node * delta + p;
-                (self.route_out[slot] == NO_ROUTE) != (route_out[slot] == NO_ROUTE)
-                    || (self.route_in[slot] == NO_ROUTE) != (route_in[slot] == NO_ROUTE)
+                let (old_slot, new_slot) = (old_id * delta + p, new_id * delta + p);
+                (self.route_out[old_slot] == NO_ROUTE) != (route_out[new_slot] == NO_ROUTE)
+                    || (self.route_in[old_slot] == NO_ROUTE) != (route_in[new_slot] == NO_ROUTE)
             });
             if changed {
-                let id = NodeId(node as u32);
-                self.nodes[node].on_rewire(&NodeMeta {
+                let id = NodeId(new_id as u32);
+                self.nodes[new_id].on_rewire(&NodeMeta {
                     id,
                     is_root: id == self.root,
                     in_connected: new_topo.in_connected(id),
                     out_connected: new_topo.out_connected(id),
                     delta: new_topo.delta(),
                 });
-                self.want_step[node] = true;
+                want_step[new_id] = true;
             }
         }
         self.route_in = route_in;
         self.route_out = route_out;
+        self.in_buf = in_buf;
+        self.out_buf = vec![A::Sig::default(); new_n * delta];
+        self.want_step = want_step;
+        self.has_input = has_input;
+        self.stepped.clear();
     }
 
     /// True when nothing is pending: no node wants a re-step and no
@@ -810,6 +924,87 @@ mod tests {
         assert_eq!(eng.signals_in_flight(), 1);
         let events = run_to_quiet(&mut eng);
         assert_eq!(events.len(), 5, "the full hop chain still completes");
+    }
+
+    fn hopper_factory(meta: NodeMeta) -> Hopper {
+        Hopper {
+            meta_is_root: meta.is_root,
+            out_ports: meta
+                .out_connected
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c)
+                .map(|(i, _)| i)
+                .collect(),
+            pending: None,
+            dwell: 0,
+            seen: Vec::new(),
+            started: false,
+        }
+    }
+
+    #[test]
+    fn apply_topology_with_splices_a_joining_automaton_in() {
+        use crate::mutation::{MutationKind, TopologyMutation};
+        let base = generators::ring(4);
+        let (joined, change) = base
+            .apply_rooted(
+                &TopologyMutation {
+                    kind: MutationKind::NodeJoin,
+                    // splice the quiet wire 1→2 (the wire 0→1 carries the
+                    // in-flight value and re-splicing it would drop it)
+                    selector: 1,
+                },
+                NodeId(0),
+            )
+            .unwrap();
+        let runs: Vec<Vec<(NodeId, u32)>> = [EngineMode::Dense, EngineMode::Sparse]
+            .into_iter()
+            .map(|mode| {
+                let mut eng = hopper_engine(mode, 0);
+                let mut events = Vec::new();
+                eng.tick(&mut events);
+                eng.apply_topology_with(&joined, change, &mut hopper_factory);
+                assert_eq!(eng.num_nodes(), 5);
+                let mut tail = run_to_quiet(&mut eng);
+                events.append(&mut tail);
+                events
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1], "dense vs sparse across a join");
+        // the newcomer (n4) took part in the hop chain
+        assert!(
+            runs[0].iter().any(|&(n, _)| n == NodeId(4)),
+            "{:?}",
+            runs[0]
+        );
+    }
+
+    #[test]
+    fn apply_topology_with_removes_a_leaving_automaton_and_its_signals() {
+        use crate::mutation::{MembershipChange, MutationKind, TopologyMutation};
+        let base = generators::ring(4);
+        let applied = base.apply_or_fallback_rooted(
+            &TopologyMutation {
+                kind: MutationKind::NodeLeave,
+                selector: 1,
+            },
+            NodeId(0),
+        );
+        assert_eq!(
+            applied.membership,
+            MembershipChange::Left { node: NodeId(1) }
+        );
+        let mut eng = hopper_engine(EngineMode::Sparse, 0);
+        let mut events = Vec::new();
+        eng.tick(&mut events); // value 1 in flight on the wire 0→1
+        assert_eq!(eng.signals_in_flight(), 1);
+        eng.apply_topology_with(&applied.topology, applied.membership, &mut hopper_factory);
+        assert_eq!(eng.num_nodes(), 3);
+        // the in-flight character died with its wire into the departed node
+        assert_eq!(eng.signals_in_flight(), 0);
+        let events = run_to_quiet(&mut eng);
+        assert!(events.is_empty(), "the lost character never arrives");
     }
 
     #[test]

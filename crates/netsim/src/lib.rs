@@ -61,8 +61,8 @@ pub mod topology;
 pub use engine::{Automaton, Engine, EngineMode, NodeMeta, StepCtx};
 pub use ids::{Endpoint, NodeId, Port};
 pub use mutation::{
-    MutationError, MutationKind, MutationSchedule, MutationSpec, MutationSuffixError,
-    ScheduledMutation, TopologyMutation, MUTATION_REGISTRY,
+    AppliedMutation, MembershipChange, MutationError, MutationKind, MutationSchedule, MutationSpec,
+    MutationSuffixError, ScheduledMutation, TopologyMutation, MUTATION_REGISTRY,
 };
 pub use spec::{DynamicSpec, FamilySpec, ParamSpec, ParseSpecError, TopologySpec};
 pub use topology::{Edge, Topology, TopologyBuilder, TopologyError};

@@ -4,10 +4,11 @@
 //! "The topology or size of the network might change", forcing the master
 //! to re-determine the map. This module turns such changes into data: a
 //! [`TopologyMutation`] names one structural edit (drop a wire, add a
-//! wire, rewire a wire's head, swap two processors' labels), a
-//! [`ScheduledMutation`] stamps it with the global clock tick at which it
-//! happens, and a [`MutationSchedule`] is the full timeline of a dynamic
-//! scenario.
+//! wire, rewire a wire's head, swap two processors' labels, splice a
+//! fresh processor in, remove a processor, or burst a processor's
+//! out-wires), a [`ScheduledMutation`] stamps it with the global clock
+//! tick at which it happens, and a [`MutationSchedule`] is the full
+//! timeline of a dynamic scenario.
 //!
 //! Mutations are **validity-preserving**: [`Topology::apply`] never
 //! produces a network that violates the model (δ port bound, ≥ 1
@@ -24,6 +25,21 @@
 //! [`MutationKind::SwapLabels`] so a scheduled network event still
 //! happens and remap latency stays measurable.
 //!
+//! The membership kinds ([`MutationKind::NodeJoin`],
+//! [`MutationKind::NodeLeave`]) change N itself: a join appends processor
+//! `n` and splices it into an existing wire (`u→v` becomes `u→n→v`), a
+//! leave removes a processor, shifts higher ids down by one, and
+//! deterministically re-stitches the departed processor's in- and
+//! out-wires pairwise so the network stays strongly connected within the
+//! δ bound. The collector's host is never removed, so leaves take the
+//! root-aware entry points ([`Topology::apply_rooted`],
+//! [`Topology::apply_or_fallback_rooted`]); the root-free methods protect
+//! processor 0 by convention. Each application reports a
+//! [`MembershipChange`] so engines and collectors can track how node ids
+//! (the root's included) relabel across the edit. When a leave has no
+//! valid candidate (N ≤ 2, or every removal disconnects the network), the
+//! swap fallback fires as for any other kind.
+//!
 //! ```
 //! use gtd_netsim::{generators, MutationKind, TopologyMutation};
 //!
@@ -36,12 +52,12 @@
 //! ```
 
 use crate::algo;
-use crate::ids::{NodeId, Port};
+use crate::ids::{Endpoint, NodeId, Port};
 use crate::topology::{Edge, Topology, TopologyBuilder};
 use std::fmt;
 use std::str::FromStr;
 
-/// The four structural edits a network can undergo.
+/// The seven structural edits a network can undergo.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum MutationKind {
     /// `drop-edge` — remove one wire.
@@ -54,15 +70,31 @@ pub enum MutationKind {
     /// `swap` — exchange two processors' positions in the wiring (as if
     /// their cable bundles were swapped). Always applicable.
     SwapLabels,
+    /// `node-join` — splice a fresh processor into an existing wire
+    /// (`u→v` becomes `u→new→v`). N grows by one; always applicable.
+    NodeJoin,
+    /// `node-leave` — remove a processor and re-stitch its wires pairwise
+    /// (predecessors to successors) so the network stays strongly
+    /// connected. N shrinks by one; higher node ids shift down.
+    NodeLeave,
+    /// `burst` — a correlated failure of one processor's out-wires: drop
+    /// every out-wire of the selected processor that validity allows
+    /// (always keeping its last one), or exchange their heads when none
+    /// can be dropped — one scheduled event, the paper's §1.2.2 region
+    /// fault in miniature.
+    Burst,
 }
 
 impl MutationKind {
     /// Every kind, in canonical (registry) order.
-    pub const ALL: [MutationKind; 4] = [
+    pub const ALL: [MutationKind; 7] = [
         MutationKind::DropEdge,
         MutationKind::AddEdge,
         MutationKind::RewirePort,
         MutationKind::SwapLabels,
+        MutationKind::NodeJoin,
+        MutationKind::NodeLeave,
+        MutationKind::Burst,
     ];
 
     /// Stable suffix-grammar name.
@@ -72,12 +104,20 @@ impl MutationKind {
             MutationKind::AddEdge => "add-edge",
             MutationKind::RewirePort => "rewire",
             MutationKind::SwapLabels => "swap",
+            MutationKind::NodeJoin => "node-join",
+            MutationKind::NodeLeave => "node-leave",
+            MutationKind::Burst => "burst",
         }
     }
 
     /// Look a kind up by its grammar name.
     pub fn by_name(name: &str) -> Option<MutationKind> {
         MutationKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// Can this kind change the processor count?
+    pub fn changes_membership(self) -> bool {
+        matches!(self, MutationKind::NodeJoin | MutationKind::NodeLeave)
     }
 }
 
@@ -121,6 +161,21 @@ pub const MUTATION_REGISTRY: &[MutationSpec] = &[
         name: "swap",
         example: "swap=5@t900",
         summary: "swap two processors' cable bundles (always applicable)",
+    },
+    MutationSpec {
+        name: "node-join",
+        example: "node-join=2@t300",
+        summary: "splice a fresh processor into an existing wire (N grows by one)",
+    },
+    MutationSpec {
+        name: "node-leave",
+        example: "node-leave=3@t500",
+        summary: "remove a processor, re-stitching its wires (N shrinks by one)",
+    },
+    MutationSpec {
+        name: "burst",
+        example: "burst=5@t800",
+        summary: "correlated failure of one processor's out-wires (drop or head-exchange)",
     },
 ];
 
@@ -187,6 +242,32 @@ pub enum MutationSuffixError {
     },
 }
 
+/// Levenshtein edit distance, for the [`MutationSuffixError::UnknownKind`]
+/// nearest-name suggestion.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
+/// The registry kind nearest (by edit distance) to `kind`, ties broken by
+/// registry order — the deterministic "did you mean" suggestion.
+pub fn nearest_kind(kind: &str) -> &'static str {
+    MUTATION_REGISTRY
+        .iter()
+        .map(|m| m.name)
+        .min_by_key(|name| edit_distance(kind, name))
+        .expect("registry is non-empty")
+}
+
 impl fmt::Display for MutationSuffixError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -201,8 +282,9 @@ impl fmt::Display for MutationSuffixError {
                 let known: Vec<&str> = MUTATION_REGISTRY.iter().map(|m| m.name).collect();
                 write!(
                     f,
-                    "unknown mutation kind {kind:?} (known: {})",
-                    known.join(", ")
+                    "unknown mutation kind {kind:?} (known: {}; did you mean {:?}?)",
+                    known.join(", "),
+                    nearest_kind(kind)
                 )
             }
             MutationSuffixError::MissingSelector => {
@@ -330,11 +412,23 @@ impl MutationSchedule {
 
     /// The topology after the whole timeline has been applied to `base`,
     /// with the swap fallback for inapplicable mutations (the same
-    /// semantics every dynamic driver uses).
+    /// semantics every dynamic driver uses). The collector is assumed to
+    /// sit on processor 0 (see [`MutationSchedule::final_topology_rooted`]
+    /// for other roots — `node-leave` never removes the root).
     pub fn final_topology(&self, base: &Topology) -> Topology {
+        self.final_topology_rooted(base, NodeId(0))
+    }
+
+    /// [`MutationSchedule::final_topology`] for a collector on `root`.
+    /// The root id is tracked across membership changes (a leave below
+    /// the root shifts it down by one).
+    pub fn final_topology_rooted(&self, base: &Topology, root: NodeId) -> Topology {
         let mut topo = base.clone();
+        let mut root = root;
         for sm in &self.items {
-            topo = topo.apply_or_fallback(&sm.mutation).0;
+            let applied = topo.apply_or_fallback_rooted(&sm.mutation, root);
+            root = applied.membership.relabel(root);
+            topo = applied.topology;
         }
         topo
     }
@@ -348,6 +442,58 @@ impl FromIterator<ScheduledMutation> for MutationSchedule {
         }
         s
     }
+}
+
+/// How one applied mutation changed the processor set.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MembershipChange {
+    /// The processor set is unchanged (the wire-level kinds).
+    #[default]
+    None,
+    /// A fresh processor joined; it holds the highest id of the new
+    /// topology (ids of existing processors are unchanged).
+    Joined {
+        /// The new processor's id in the *new* topology.
+        node: NodeId,
+    },
+    /// A processor left. Ids above it shift down by one; `node` is its id
+    /// in the *old* topology.
+    Left {
+        /// The departed processor's id in the *old* topology.
+        node: NodeId,
+    },
+}
+
+impl MembershipChange {
+    /// Map a surviving processor's old id to its id in the new topology.
+    /// `id` must not be the departed processor (leaves never remove the
+    /// root, so tracked roots are always survivors).
+    pub fn relabel(self, id: NodeId) -> NodeId {
+        match self {
+            MembershipChange::Left { node } => {
+                debug_assert_ne!(id, node, "the departed processor has no new id");
+                if id.0 > node.0 {
+                    NodeId(id.0 - 1)
+                } else {
+                    id
+                }
+            }
+            _ => id,
+        }
+    }
+}
+
+/// The result of [`Topology::apply_or_fallback_rooted`]: the new
+/// topology, the kind actually applied (the swap fallback may differ from
+/// the scheduled kind), and how the processor set changed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AppliedMutation {
+    /// The mutated topology.
+    pub topology: Topology,
+    /// The kind actually applied.
+    pub kind: MutationKind,
+    /// Membership effect ([`MembershipChange::None`] for wire-level kinds).
+    pub membership: MembershipChange,
 }
 
 /// Why a mutation could not be applied to a particular topology.
@@ -399,13 +545,131 @@ fn free_in_port(topo: &Topology, node: NodeId) -> Option<Port> {
         .map(|i| Port(i as u8))
 }
 
+/// Remove processor `x`, shift higher ids down, and re-stitch its wires:
+/// the `i`-th feeder pairs with the `i`-th target cyclically, so every
+/// feeder keeps an out-wire and every target an in-wire where ports
+/// allow. Freed ports are reused first; extra stitches take the lowest
+/// free ports. `None` when any stitch is impossible (port exhaustion,
+/// forced self-loop leaving a node wireless) or the result is not
+/// strongly connected.
+fn try_leave(topo: &Topology, x: NodeId) -> Option<Topology> {
+    let n = topo.num_nodes();
+    if n < 3 {
+        return None; // the model requires at least two processors
+    }
+    let change = MembershipChange::Left { node: x };
+    let relabel = |id: NodeId| change.relabel(id);
+    let mut b = TopologyBuilder::new(n - 1, topo.delta());
+    for e in topo.sorted_edges() {
+        if e.src == x || e.dst == x {
+            continue;
+        }
+        b.connect(relabel(e.src), e.src_port, relabel(e.dst), e.dst_port)
+            .ok()?;
+    }
+    // (feeder, its freed out-port) and (target, its freed in-port), in
+    // x's port order — deterministic.
+    let preds: Vec<(NodeId, Port)> = topo.in_edges(x).map(|(_, ep)| (ep.node, ep.port)).collect();
+    let succs: Vec<(NodeId, Port)> = topo
+        .out_edges(x)
+        .map(|(_, ep)| (ep.node, ep.port))
+        .collect();
+    let (p, q) = (preds.len(), succs.len());
+    for i in 0..p.max(q) {
+        let (u, uo) = preds[i % p];
+        let (v, vi) = succs[i % q];
+        if u == v {
+            continue; // a stitch here would be a self-loop
+        }
+        if i < p && i < q {
+            b.connect(relabel(u), uo, relabel(v), vi).ok()?;
+        } else {
+            b.connect_auto(relabel(u), relabel(v)).ok()?;
+        }
+    }
+    let t = b.build().ok()?;
+    algo::is_strongly_connected(&t).then_some(t)
+}
+
+/// Correlated failure of `x`'s out-wires: greedily drop each out-wire
+/// whose removal keeps the network valid and strongly connected (always
+/// keeping x's last one); when nothing is droppable, exchange the heads
+/// of x's out-wires cyclically (degree-preserving). `None` when neither
+/// variant produces a changed, valid network.
+fn try_burst(topo: &Topology, x: NodeId) -> Option<Topology> {
+    let n = topo.num_nodes();
+    let delta = topo.delta();
+    let ports: Vec<Port> = topo.out_edges(x).map(|(o, _)| o).collect();
+    let mut cur = topo.clone();
+    let mut dropped = 0usize;
+    for &o in &ports {
+        if cur.out_degree(x) <= 1 {
+            break;
+        }
+        let rest: Vec<Edge> = cur
+            .sorted_edges()
+            .into_iter()
+            .filter(|e| !(e.src == x && e.src_port == o))
+            .collect();
+        if let Some(t) = rebuild(n, delta, &rest) {
+            cur = t;
+            dropped += 1;
+        }
+    }
+    if dropped > 0 {
+        return Some(cur);
+    }
+    if ports.len() >= 2 {
+        let heads: Vec<Endpoint> = ports
+            .iter()
+            .map(|&o| topo.out_endpoint(x, o).expect("out-port is wired"))
+            .collect();
+        let mut edges: Vec<Edge> = topo
+            .sorted_edges()
+            .into_iter()
+            .filter(|e| e.src != x)
+            .collect();
+        for (i, &o) in ports.iter().enumerate() {
+            let h = heads[(i + 1) % heads.len()];
+            edges.push(Edge {
+                src: x,
+                src_port: o,
+                dst: h.node,
+                dst_port: h.port,
+            });
+        }
+        if let Some(t) = rebuild(n, delta, &edges) {
+            if t != *topo {
+                return Some(t);
+            }
+        }
+    }
+    None
+}
+
 impl Topology {
     /// Apply one mutation, returning the new topology. The candidate scan
     /// starts at the mutation's selector and settles on the first edit
     /// whose result satisfies the model (δ bound, ≥ 1 in-/out-port per
     /// processor, no self-loops) *and* stays strongly connected —
     /// deterministic for a given `(topology, mutation)` pair.
+    ///
+    /// Root-agnostic convenience over [`Topology::apply_rooted`]:
+    /// `node-leave` protects processor 0 (the conventional collector) and
+    /// the membership report is dropped.
     pub fn apply(&self, m: &TopologyMutation) -> Result<Topology, MutationError> {
+        self.apply_rooted(m, NodeId(0)).map(|(t, _)| t)
+    }
+
+    /// [`Topology::apply`] for a collector on `root`: `node-leave` skips
+    /// the root in its candidate scan (the master computer's host cannot
+    /// leave the network it is mapping) and every application reports how
+    /// the processor set changed.
+    pub fn apply_rooted(
+        &self,
+        m: &TopologyMutation,
+        root: NodeId,
+    ) -> Result<(Topology, MembershipChange), MutationError> {
         let n = self.num_nodes();
         let delta = self.delta();
         let no_candidate = MutationError::NoCandidate { kind: m.kind };
@@ -422,7 +686,7 @@ impl Topology {
                         .map(|(_, &e)| e)
                         .collect();
                     if let Some(t) = rebuild(n, delta, &rest) {
-                        return Ok(t);
+                        return Ok((t, MembershipChange::None));
                     }
                 }
                 Err(no_candidate)
@@ -447,7 +711,7 @@ impl Topology {
                         dst_port: i,
                     });
                     if let Some(t) = rebuild(n, delta, &edges) {
-                        return Ok(t);
+                        return Ok((t, MembershipChange::None));
                     }
                 }
                 Err(no_candidate)
@@ -483,7 +747,7 @@ impl Topology {
                             dst_port: e1.dst_port,
                         };
                         if let Some(t) = rebuild(n, delta, &new_edges) {
-                            return Ok(t);
+                            return Ok((t, MembershipChange::None));
                         }
                     }
                 }
@@ -512,7 +776,61 @@ impl Topology {
                     })
                     .collect();
                 // A relabelling is an isomorphism: always valid.
-                rebuild(n, delta, &edges).ok_or(no_candidate)
+                rebuild(n, delta, &edges)
+                    .map(|t| (t, MembershipChange::None))
+                    .ok_or(no_candidate)
+            }
+            MutationKind::NodeJoin => {
+                // Splice processor `n` into an existing wire: u→v becomes
+                // u→n→v. Degrees at u and v are untouched and every old
+                // path through the wire reroutes through the newcomer, so
+                // the first candidate is always valid — the scan exists
+                // only for uniformity with the other kinds.
+                let edges = self.sorted_edges();
+                let e = edges.len();
+                let new = NodeId(n as u32);
+                for k in 0..e {
+                    let idx = ((m.selector % e as u64) as usize + k) % e;
+                    let spliced = edges[idx];
+                    let mut new_edges = edges.clone();
+                    new_edges[idx] = Edge {
+                        src: spliced.src,
+                        src_port: spliced.src_port,
+                        dst: new,
+                        dst_port: Port(0),
+                    };
+                    new_edges.push(Edge {
+                        src: new,
+                        src_port: Port(0),
+                        dst: spliced.dst,
+                        dst_port: spliced.dst_port,
+                    });
+                    if let Some(t) = rebuild(n + 1, delta, &new_edges) {
+                        return Ok((t, MembershipChange::Joined { node: new }));
+                    }
+                }
+                Err(no_candidate)
+            }
+            MutationKind::NodeLeave => {
+                for k in 0..n {
+                    let x = NodeId((((m.selector % n as u64) as usize + k) % n) as u32);
+                    if x == root {
+                        continue; // the collector's host never leaves
+                    }
+                    if let Some(t) = try_leave(self, x) {
+                        return Ok((t, MembershipChange::Left { node: x }));
+                    }
+                }
+                Err(no_candidate)
+            }
+            MutationKind::Burst => {
+                for k in 0..n {
+                    let x = NodeId((((m.selector % n as u64) as usize + k) % n) as u32);
+                    if let Some(t) = try_burst(self, x) {
+                        return Ok((t, MembershipChange::None));
+                    }
+                }
+                Err(no_candidate)
             }
         }
     }
@@ -520,19 +838,38 @@ impl Topology {
     /// Apply `m`, degrading to [`MutationKind::SwapLabels`] (with the
     /// same selector) when no candidate of the requested kind exists, so
     /// a scheduled network event always happens. Returns the new topology
-    /// and the kind that was actually applied.
+    /// and the kind that was actually applied. Root-agnostic convenience
+    /// over [`Topology::apply_or_fallback_rooted`] (collector on
+    /// processor 0).
     pub fn apply_or_fallback(&self, m: &TopologyMutation) -> (Topology, MutationKind) {
-        match self.apply(m) {
-            Ok(t) => (t, m.kind),
+        let applied = self.apply_or_fallback_rooted(m, NodeId(0));
+        (applied.topology, applied.kind)
+    }
+
+    /// [`Topology::apply_or_fallback`] for a collector on `root`,
+    /// reporting the full [`AppliedMutation`] (including the membership
+    /// change a join or leave performed). The swap fallback never changes
+    /// membership.
+    pub fn apply_or_fallback_rooted(&self, m: &TopologyMutation, root: NodeId) -> AppliedMutation {
+        match self.apply_rooted(m, root) {
+            Ok((topology, membership)) => AppliedMutation {
+                topology,
+                kind: m.kind,
+                membership,
+            },
             Err(MutationError::NoCandidate { .. }) => {
                 let swap = TopologyMutation {
                     kind: MutationKind::SwapLabels,
                     selector: m.selector,
                 };
-                let t = self
-                    .apply(&swap)
+                let (topology, membership) = self
+                    .apply_rooted(&swap, root)
                     .expect("label swap applies to any valid network");
-                (t, MutationKind::SwapLabels)
+                AppliedMutation {
+                    topology,
+                    kind: MutationKind::SwapLabels,
+                    membership,
+                }
             }
         }
     }
@@ -691,6 +1028,205 @@ mod tests {
                 "{text:?}"
             );
         }
+    }
+
+    #[test]
+    fn node_join_splices_a_fresh_processor_into_a_wire() {
+        let topo = generators::ring(8);
+        for sel in [0u64, 3, 17] {
+            let (t, change) = topo
+                .apply_rooted(&mutation(MutationKind::NodeJoin, sel), NodeId(0))
+                .unwrap();
+            assert_eq!(change, MembershipChange::Joined { node: NodeId(8) });
+            assert_eq!(t.num_nodes(), 9);
+            assert_eq!(t.num_edges(), topo.num_edges() + 1);
+            assert_eq!(t.in_degree(NodeId(8)), 1);
+            assert_eq!(t.out_degree(NodeId(8)), 1);
+            t.validate().unwrap();
+            assert!(algo::is_strongly_connected(&t));
+        }
+    }
+
+    #[test]
+    fn node_leave_removes_and_restitches() {
+        let topo = generators::random_sc(16, 3, 7);
+        for sel in 0..6u64 {
+            let (t, change) = topo
+                .apply_rooted(&mutation(MutationKind::NodeLeave, sel), NodeId(0))
+                .unwrap();
+            let MembershipChange::Left { node } = change else {
+                panic!("leave must report the departed processor");
+            };
+            assert_ne!(node, NodeId(0), "the root never leaves");
+            assert_eq!(t.num_nodes(), 15);
+            t.validate().unwrap();
+            assert!(algo::is_strongly_connected(&t));
+        }
+    }
+
+    #[test]
+    fn node_leave_turns_a_ring_into_a_smaller_ring() {
+        let topo = generators::ring(8);
+        let (t, change) = topo
+            .apply_rooted(&mutation(MutationKind::NodeLeave, 3), NodeId(0))
+            .unwrap();
+        assert_eq!(change, MembershipChange::Left { node: NodeId(3) });
+        assert_eq!(t.num_nodes(), 7);
+        assert_eq!(t.num_edges(), 7, "pred stitched straight to succ");
+        t.validate().unwrap();
+        assert!(algo::is_strongly_connected(&t));
+    }
+
+    #[test]
+    fn node_leave_respects_the_root_protection_for_any_root() {
+        let topo = generators::random_sc(12, 3, 4);
+        for root in [0u32, 5, 11] {
+            let applied =
+                topo.apply_or_fallback_rooted(&mutation(MutationKind::NodeLeave, 5), NodeId(root));
+            let MembershipChange::Left { node } = applied.membership else {
+                panic!("random-sc networks always have a leavable processor");
+            };
+            assert_ne!(node, NodeId(root));
+            let new_root = applied.membership.relabel(NodeId(root));
+            assert!(new_root.idx() < applied.topology.num_nodes());
+        }
+    }
+
+    #[test]
+    fn node_leave_on_a_two_cycle_has_no_candidate() {
+        let topo = generators::ring(2);
+        assert_eq!(
+            topo.apply(&mutation(MutationKind::NodeLeave, 1)),
+            Err(MutationError::NoCandidate {
+                kind: MutationKind::NodeLeave
+            })
+        );
+        let (t, applied) = topo.apply_or_fallback(&mutation(MutationKind::NodeLeave, 1));
+        assert_eq!(applied, MutationKind::SwapLabels);
+        assert_eq!(t.num_nodes(), 2);
+    }
+
+    #[test]
+    fn burst_drops_a_processors_out_wires_where_validity_allows() {
+        let topo = generators::complete_bidi(5);
+        let t = topo.apply(&mutation(MutationKind::Burst, 2)).unwrap();
+        assert!(t.num_edges() < topo.num_edges(), "some out-wires dropped");
+        assert_eq!(t.num_nodes(), topo.num_nodes());
+        for id in t.node_ids() {
+            assert!(t.out_degree(id) >= 1);
+            assert!(t.in_degree(id) >= 1);
+        }
+        t.validate().unwrap();
+        assert!(algo::is_strongly_connected(&t));
+    }
+
+    #[test]
+    fn burst_on_a_ring_falls_back_to_a_swap() {
+        // every ring processor has a single, bridge out-wire: nothing to
+        // drop and nothing to head-exchange
+        let topo = generators::ring(6);
+        assert_eq!(
+            topo.apply(&mutation(MutationKind::Burst, 0)),
+            Err(MutationError::NoCandidate {
+                kind: MutationKind::Burst
+            })
+        );
+        let applied = topo.apply_or_fallback_rooted(&mutation(MutationKind::Burst, 0), NodeId(0));
+        assert_eq!(applied.kind, MutationKind::SwapLabels);
+        assert_eq!(applied.membership, MembershipChange::None);
+    }
+
+    #[test]
+    fn membership_relabel_shifts_ids_above_the_departed() {
+        let left = MembershipChange::Left { node: NodeId(3) };
+        assert_eq!(left.relabel(NodeId(2)), NodeId(2));
+        assert_eq!(left.relabel(NodeId(5)), NodeId(4));
+        assert_eq!(
+            MembershipChange::Joined { node: NodeId(9) }.relabel(NodeId(5)),
+            NodeId(5)
+        );
+        assert_eq!(MembershipChange::None.relabel(NodeId(5)), NodeId(5));
+    }
+
+    #[test]
+    fn unknown_kind_suggests_the_nearest_registry_name() {
+        for (typo, expect) in [
+            ("node-leav", "node-leave"),
+            ("node_join", "node-join"),
+            ("brust", "burst"),
+            ("dropedge", "drop-edge"),
+        ] {
+            assert_eq!(nearest_kind(typo), expect, "{typo}");
+            let msg = MutationSuffixError::UnknownKind { kind: typo.into() }.to_string();
+            assert!(msg.contains(&format!("did you mean {expect:?}?")), "{msg}");
+            // the known-kind list stays in registry order
+            let order: Vec<usize> = MUTATION_REGISTRY
+                .iter()
+                .map(|m| {
+                    msg.find(m.name)
+                        .unwrap_or_else(|| panic!("{} in {msg}", m.name))
+                })
+                .collect();
+            assert!(order.windows(2).all(|w| w[0] < w[1]), "{msg}");
+        }
+    }
+
+    #[test]
+    fn malformed_membership_suffixes_are_structured() {
+        use MutationSuffixError::*;
+        let cases: [(&str, Option<u64>, MutationSuffixError); 5] = [
+            ("node-leave@t5", Some(5), MissingSelector),
+            ("node-join=x@t5", Some(5), BadSelector { value: "x".into() }),
+            ("burst=1", None, MissingTick),
+            (
+                "burst=1@900",
+                None,
+                BadTick {
+                    value: "900".into(),
+                },
+            ),
+            (
+                "node_leave=1@t5",
+                Some(5),
+                UnknownKind {
+                    kind: "node_leave".into(),
+                },
+            ),
+        ];
+        for (text, tick, reason) in cases {
+            assert_eq!(
+                ScheduledMutation::parse_suffix(text),
+                Err((tick, reason.clone())),
+                "{text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn membership_suffixes_round_trip() {
+        for text in ["node-join=2@t300", "node-leave=3@t500", "burst=5@t800"] {
+            let sm: ScheduledMutation = text.parse().unwrap();
+            assert_eq!(sm.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn final_topology_rooted_tracks_the_root_across_leaves() {
+        let base = generators::random_sc(14, 3, 9);
+        let schedule = MutationSchedule::new()
+            .with(100, mutation(MutationKind::NodeLeave, 2))
+            .with(300, mutation(MutationKind::NodeJoin, 1));
+        for root in [0u32, 7, 13] {
+            let end = schedule.final_topology_rooted(&base, NodeId(root));
+            assert_eq!(end.num_nodes(), 14, "one leave, one join");
+            end.validate().unwrap();
+            assert!(algo::is_strongly_connected(&end));
+        }
+        // the root-free fold matches the root-0 fold
+        assert_eq!(
+            schedule.final_topology(&base),
+            schedule.final_topology_rooted(&base, NodeId(0))
+        );
     }
 
     #[test]

@@ -692,9 +692,17 @@ impl DynamicSpec {
     }
 
     /// The topology after the whole schedule has been applied (swap
-    /// fallback for inapplicable mutations).
+    /// fallback for inapplicable mutations; collector on processor 0 —
+    /// `node-leave` suffixes never remove it).
     pub fn final_topology(&self) -> Topology {
         self.schedule.final_topology(&self.base.build())
+    }
+
+    /// [`DynamicSpec::final_topology`] for a collector on `root` (the
+    /// root id is tracked across membership changes).
+    pub fn final_topology_rooted(&self, root: crate::NodeId) -> Topology {
+        self.schedule
+            .final_topology_rooted(&self.base.build(), root)
     }
 }
 

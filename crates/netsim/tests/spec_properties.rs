@@ -4,8 +4,8 @@
 //! corresponding `generators::*` call.
 
 use gtd_netsim::{
-    generators, spec, DynamicSpec, MutationKind, MutationSchedule, ScheduledMutation,
-    TopologyMutation, TopologySpec,
+    generators, spec, DynamicSpec, MembershipChange, MutationKind, MutationSchedule, NodeId,
+    ScheduledMutation, TopologyMutation, TopologySpec,
 };
 use proptest::prelude::*;
 
@@ -47,9 +47,14 @@ fn arb_spec() -> impl Strategy<Value = TopologySpec> {
         })
 }
 
-/// A random mutation schedule of 0..=3 tick-stamped mutations.
+/// A random mutation schedule of 0..=3 tick-stamped mutations drawn from
+/// all seven kinds (membership changes included).
 fn arb_schedule() -> impl Strategy<Value = MutationSchedule> {
-    proptest::collection::vec((0u64..10_000, 0usize..4, 0u64..1_000), 0..4).prop_map(|items| {
+    proptest::collection::vec(
+        (0u64..10_000, 0usize..MutationKind::ALL.len(), 0u64..1_000),
+        0..4,
+    )
+    .prop_map(|items| {
         items
             .into_iter()
             .map(|(tick, kind, selector)| ScheduledMutation {
@@ -137,21 +142,63 @@ proptest! {
     }
 
     #[test]
-    fn applying_a_schedule_preserves_network_validity(
+    fn applying_a_schedule_preserves_validity_after_every_step(
         pair in (arb_spec(), arb_schedule())
     ) {
-        // cap at two mutations to keep builds cheap
+        // Arbitrary mixes of all seven kinds (membership changes
+        // included) must keep the network valid, strongly connected and
+        // degree-bounded after *every* applied step — not just at the
+        // end — and the per-step fold must agree with the one-shot
+        // `final_topology`. Capped at two mutations to keep builds cheap.
         let (base_spec, schedule) = pair;
         let s = DynamicSpec {
             base: base_spec,
             schedule: schedule.iter().take(2).copied().collect(),
         };
         let base = s.build();
-        let end = s.final_topology();
-        prop_assert!(end.validate().is_ok());
-        prop_assert!(gtd_netsim::algo::is_strongly_connected(&end));
-        prop_assert_eq!(end.num_nodes(), base.num_nodes());
-        prop_assert_eq!(end.delta(), base.delta());
+        let delta = base.delta() as usize;
+        let mut topo = base.clone();
+        let mut root = NodeId(0);
+        for sm in s.schedule.iter() {
+            let before_n = topo.num_nodes();
+            let applied = topo.apply_or_fallback_rooted(&sm.mutation, root);
+            let expected_n = match applied.membership {
+                MembershipChange::None => before_n,
+                MembershipChange::Joined { .. } => before_n + 1,
+                MembershipChange::Left { .. } => before_n - 1,
+            };
+            root = applied.membership.relabel(root);
+            topo = applied.topology;
+            prop_assert_eq!(topo.num_nodes(), expected_n);
+            prop_assert!(topo.validate().is_ok());
+            prop_assert!(gtd_netsim::algo::is_strongly_connected(&topo));
+            prop_assert_eq!(topo.delta(), base.delta());
+            prop_assert!(root.idx() < topo.num_nodes(), "root survives every step");
+            for id in topo.node_ids() {
+                let (outd, ind) = (topo.out_degree(id), topo.in_degree(id));
+                prop_assert!((1..=delta).contains(&outd), "{id}: out-degree {outd}");
+                prop_assert!((1..=delta).contains(&ind), "{id}: in-degree {ind}");
+            }
+        }
+        prop_assert_eq!(s.final_topology(), topo);
+    }
+
+    #[test]
+    fn membership_suffixes_survive_parse_render_parse(
+        triple in (0usize..3, 0u64..50, 0u64..5_000)
+    ) {
+        // the new suffixes in particular: parse → render → parse is a
+        // fixed point for every membership kind on several bases
+        let (fam_idx, sel, tick) = triple;
+        let base = ["ring:9", "random-sc:n=12,delta=3,seed=2", "torus:3,3"][fam_idx];
+        for kind in ["node-join", "node-leave", "burst"] {
+            let text = format!("{base}+{kind}={sel}@t{tick}");
+            let spec: DynamicSpec = text.parse()
+                .unwrap_or_else(|e| panic!("{text}: {e}"));
+            prop_assert_eq!(&spec.to_string(), &text);
+            let again: DynamicSpec = spec.to_string().parse().unwrap();
+            prop_assert_eq!(again, spec);
+        }
     }
 }
 

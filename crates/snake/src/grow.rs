@@ -126,13 +126,28 @@ impl GrowRelay {
     /// Standard relay behaviour for an accepted character: schedule it for
     /// broadcast after the speed-1 dwell; tails trigger the extend-then-tail
     /// sequence.
+    ///
+    /// Lossy at capacity: a clean run keeps the queue a few characters
+    /// deep, but a live topology mutation can orphan a growing stream
+    /// into a cycle where it circulates — and grows — forever. The finite
+    /// buffer drops such characters instead of growing without bound (see
+    /// [`DwellQueue::push_bounded`]); the dropped stream is mutation-era
+    /// junk by construction, and the session-level remap driver recovers
+    /// the disturbed run.
     pub fn relay(&mut self, c: SnakeChar, now: u64) {
         match c {
             SnakeChar::Tail => {
-                self.q.push(now + SPEED1_DWELL, GrowEmit::Extend);
-                self.q.push(now + SPEED1_DWELL + 1, GrowEmit::Tail);
+                // all-or-nothing: an extension without its tail (or vice
+                // versa) would corrupt even streams we could still carry
+                if self.q.len() + 2 <= DwellQueue::<GrowEmit>::HARD_CAP {
+                    self.q.push(now + SPEED1_DWELL, GrowEmit::Extend);
+                    self.q.push(now + SPEED1_DWELL + 1, GrowEmit::Tail);
+                }
             }
-            other => self.q.push(now + SPEED1_DWELL, GrowEmit::Relay(other)),
+            other => {
+                self.q
+                    .push_bounded(now + SPEED1_DWELL, GrowEmit::Relay(other));
+            }
         }
     }
 

@@ -73,6 +73,28 @@ impl<T> DwellQueue<T> {
         );
     }
 
+    /// Capacity-bounded [`DwellQueue::push`]: when the buffer is full,
+    /// drop `item` and return `false` instead of panicking.
+    ///
+    /// A clean protocol run never holds more than a handful of characters
+    /// per construct (see [`DwellQueue::HARD_CAP`]), so in undisturbed
+    /// executions this behaves exactly like `push`. After a live topology
+    /// mutation, though, an orphaned *growing* snake can circulate a
+    /// cycle forever — and growing snakes grow, one extension character
+    /// per tail pass, so the circulating junk stream's occupancy rises
+    /// without bound. A physical processor's buffer is finite; dropping
+    /// characters from a stream that only exists because the network
+    /// changed under it loses nothing (the session-level remap driver
+    /// recovers the disturbed epoch), while keeping the automaton honest
+    /// about its constant size.
+    pub fn push_bounded(&mut self, deadline: u64, item: T) -> bool {
+        if self.items.len() >= Self::HARD_CAP {
+            return false;
+        }
+        self.push(deadline, item);
+        true
+    }
+
     /// Pop the next item whose deadline is ≤ `now`, if any.
     pub fn pop_due(&mut self, now: u64) -> Option<T> {
         match self.items.front() {

@@ -1,0 +1,76 @@
+//! Dynamic membership: a processor joins the running network, a region
+//! fault bursts another's out-wires, and a third leaves — one timeline.
+//!
+//! ```text
+//! cargo run --release -p gtd --example membership_churn
+//! ```
+//!
+//! The suffix grammar covers mutations that change N itself:
+//! `node-join` splices a fresh processor into an existing wire mid-run,
+//! `node-leave` removes one (re-stitching its wires so the network stays
+//! strongly connected; the collector's host never leaves), and `burst`
+//! drops a whole processor's out-wires at once — the paper's §1.2.2
+//! region fault as a single scheduled event. The example also contrasts
+//! the two remap policies: lazy lets a disturbed epoch run out, eager
+//! power-cycles the moment monitoring sees the mutation.
+
+use gtd::{DynamicSpec, GtdSession, RemapPolicy};
+
+fn main() {
+    let spec: DynamicSpec = "random-sc:n=24,delta=3,seed=7+node-join=2@t200+burst=5@t5000"
+        .parse()
+        .expect("valid dynamic spec");
+    println!("scenario: {spec}\n");
+
+    let base = spec.build();
+    for policy in RemapPolicy::ALL {
+        let out = GtdSession::on(&base)
+            .policy(policy)
+            .run_dynamic(&spec.schedule)
+            .expect("timeline converges");
+
+        println!("policy {policy}:");
+        for (i, e) in out.epochs.iter().enumerate() {
+            println!(
+                "  epoch {i}: t{}..t{} ({} ticks, N = {}) — {:?}",
+                e.start_tick,
+                e.end_tick,
+                e.ticks(),
+                e.nodes,
+                e.status,
+            );
+        }
+        for m in &out.mutations {
+            println!(
+                "  {} -> applied as {} at t{}, remap latency {} ticks",
+                m.scheduled,
+                m.applied_as.expect("applied").name(),
+                m.applied_at.expect("applied"),
+                m.remap_latency.expect("remapped"),
+            );
+        }
+        println!(
+            "  final: N = {} (root {}), map verified = {}\n",
+            out.final_topology.num_nodes(),
+            out.final_root,
+            out.final_verified(),
+        );
+    }
+
+    // A leave below the collector shifts its id — the session tracks it.
+    let spec: DynamicSpec = "ring:16+node-leave=3@t120".parse().expect("valid spec");
+    let base = spec.build();
+    let out = GtdSession::on(&base)
+        .root(gtd::NodeId(9))
+        .run_dynamic(&spec.schedule)
+        .expect("timeline converges");
+    println!(
+        "{spec} with the master on n9: a lower-id processor left, the master is {} now,",
+        out.final_root,
+    );
+    println!(
+        "and the {}-node ring re-mapped in {} ticks.",
+        out.final_topology.num_nodes(),
+        out.mutations[0].remap_latency.expect("remapped"),
+    );
+}

@@ -1,0 +1,245 @@
+//! Dynamic-membership integration suite: mutations that change N
+//! (node join/leave) and correlated failure bursts, end-to-end through
+//! the facade.
+//!
+//! * the three engine modes must produce identical timelines — epochs,
+//!   tick-stamped transcripts, per-epoch node counts, remap latencies —
+//!   across join and leave boundaries;
+//! * the verified final map must match `DynamicSpec::final_topology` for
+//!   every mutation kind on several topology families;
+//! * the eager remap policy must bound remap latency at or below the
+//!   lazy policy's on a disturbed ring;
+//! * the ISSUE's acceptance campaign (membership grid × mappers ×
+//!   policies) must complete with a verified map and a remap latency in
+//!   every cell.
+
+use gtd::{
+    generators, mutation::MUTATION_REGISTRY, Campaign, DynamicSpec, EngineMode, EpochStatus,
+    GtdSession, MutationKind, MutationSchedule, NodeId, RemapOutcome, RemapPolicy,
+    TopologyMutation,
+};
+
+const MODES: [EngineMode; 3] = [EngineMode::Dense, EngineMode::Sparse, EngineMode::Parallel];
+
+fn mutation(kind: MutationKind, selector: u64) -> TopologyMutation {
+    TopologyMutation { kind, selector }
+}
+
+#[test]
+fn modes_produce_identical_timelines_across_join_and_leave_boundaries() {
+    // Mid-run membership changes on several families and roots: the
+    // timelines must be bit-identical in every mode, including the
+    // tick-stamped transcripts and per-epoch node counts.
+    let scenarios = [
+        (
+            generators::random_sc(18, 3, 5),
+            NodeId(2),
+            MutationSchedule::new().with(60, mutation(MutationKind::NodeJoin, 3)),
+        ),
+        (
+            generators::random_sc(20, 3, 9),
+            NodeId(7),
+            MutationSchedule::new().with(80, mutation(MutationKind::NodeLeave, 2)),
+        ),
+        (
+            generators::torus(4, 3),
+            NodeId(0),
+            // a full churn story: join, then a correlated burst, then a
+            // leave once the dust settles
+            MutationSchedule::new()
+                .with(50, mutation(MutationKind::NodeJoin, 1))
+                .with(2_500, mutation(MutationKind::Burst, 2))
+                .with(9_000, mutation(MutationKind::NodeLeave, 4)),
+        ),
+    ];
+    for (topo, root, schedule) in scenarios {
+        let runs: Vec<RemapOutcome> = MODES
+            .iter()
+            .map(|&mode| {
+                GtdSession::on(&topo)
+                    .root(root)
+                    .mode(mode)
+                    .run_dynamic(&schedule)
+                    .unwrap_or_else(|e| panic!("({mode:?}, root {root}): {e}"))
+            })
+            .collect();
+        let dense = &runs[0];
+        assert!(dense.final_verified());
+        for (run, &mode) in runs.iter().zip(&MODES).skip(1) {
+            assert_eq!(
+                run.epochs.len(),
+                dense.epochs.len(),
+                "({mode:?}): epoch counts differ"
+            );
+            for (e, de) in run.epochs.iter().zip(&dense.epochs) {
+                assert_eq!(e.status, de.status, "({mode:?}): epoch status differs");
+                assert_eq!(e.nodes, de.nodes, "({mode:?}): epoch node counts differ");
+                assert_eq!(
+                    e.events, de.events,
+                    "({mode:?}): tick-stamped transcripts differ"
+                );
+                assert_eq!(e.map, de.map, "({mode:?}): maps differ");
+                assert_eq!(
+                    (e.start_tick, e.end_tick),
+                    (de.start_tick, de.end_tick),
+                    "({mode:?}): epoch boundaries differ"
+                );
+            }
+            assert_eq!(
+                run.mutations, dense.mutations,
+                "({mode:?}): mutation records"
+            );
+            assert_eq!(run.final_root, dense.final_root, "({mode:?}): final root");
+            assert_eq!(
+                run.total_ticks, dense.total_ticks,
+                "({mode:?}): total ticks"
+            );
+        }
+    }
+}
+
+#[test]
+fn final_map_matches_dynamic_spec_final_topology_for_every_kind() {
+    // Every mutation kind × three topology families: the live timeline's
+    // verified end state must equal the spec-level fold (swap fallback
+    // included), and the last epoch's map must decode to exactly it.
+    let families = ["ring:12", "random-sc:n=16,delta=3,seed=4", "torus:4,3"];
+    for family in families {
+        for m in MUTATION_REGISTRY {
+            let text = format!("{family}+{}=3@t50", m.name);
+            let spec: DynamicSpec = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
+            let out = GtdSession::on(&spec.build())
+                .run_dynamic(&spec.schedule)
+                .unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert!(out.final_verified(), "{text}");
+            assert_eq!(out.final_topology, spec.final_topology(), "{text}");
+            out.epochs
+                .last()
+                .unwrap()
+                .map
+                .as_ref()
+                .unwrap()
+                .verify_against(&out.final_topology, out.final_root)
+                .unwrap_or_else(|e| panic!("{text}: {e:?}"));
+            // per-epoch node counts end at the final topology's N
+            assert_eq!(
+                out.epoch_nodes().last().copied(),
+                Some(out.final_topology.num_nodes()),
+                "{text}"
+            );
+        }
+    }
+}
+
+#[test]
+fn membership_timeline_tracks_node_counts_per_epoch() {
+    let spec: DynamicSpec = "random-sc:n=14,delta=3,seed=8+node-leave=1@t40+node-join=2@t9000"
+        .parse()
+        .unwrap();
+    let out = GtdSession::on(&spec.build())
+        .run_dynamic(&spec.schedule)
+        .unwrap();
+    assert!(out.final_verified());
+    let nodes = out.epoch_nodes();
+    assert!(nodes.contains(&13), "leave epoch recorded: {nodes:?}");
+    assert_eq!(
+        nodes.last().copied(),
+        Some(14),
+        "join restored N: {nodes:?}"
+    );
+    // both membership mutations were applied as scheduled and remapped
+    for m in &out.mutations {
+        assert!(m.applied_at.is_some());
+        assert!(m.remap_latency.is_some());
+        assert!(m.applied_as.unwrap().changes_membership());
+    }
+}
+
+#[test]
+fn eager_remap_latency_is_bounded_by_lazy_on_a_disturbed_ring() {
+    let spec: DynamicSpec = "ring:24+node-leave=3@t200".parse().unwrap();
+    let base = spec.build();
+    let run = |policy: RemapPolicy| {
+        GtdSession::on(&base)
+            .policy(policy)
+            .run_dynamic(&spec.schedule)
+            .unwrap()
+    };
+    let lazy = run(RemapPolicy::Lazy);
+    let eager = run(RemapPolicy::Eager);
+    assert!(lazy.final_verified() && eager.final_verified());
+    // eager preempts the disturbed first epoch at the mutation
+    assert_eq!(eager.epochs[0].status, EpochStatus::Preempted);
+    assert_ne!(lazy.epochs[0].status, EpochStatus::Preempted);
+    let (e, l) = (
+        eager.mutations[0].remap_latency.unwrap(),
+        lazy.mutations[0].remap_latency.unwrap(),
+    );
+    assert!(e <= l, "eager {e} must not exceed lazy {l}");
+    // both end on the 23-node ring with a verified map
+    for out in [&lazy, &eager] {
+        assert_eq!(out.final_topology.num_nodes(), 23);
+        assert_eq!(out.epoch_nodes().last().copied(), Some(23));
+    }
+}
+
+#[test]
+fn acceptance_membership_campaign_reports_latency_in_every_cell() {
+    // The ISSUE's acceptance grid: membership specs × {gtd, flood-echo}
+    // × {lazy, eager}, every cell verified with a remap latency, and
+    // eager ≤ lazy median remap latency on the ring workload.
+    let report = Campaign::new()
+        .parse_specs([
+            "ring:64+node-leave=3@t500",
+            "random-sc:n=128,delta=3,seed=7+burst=9@t600",
+        ])
+        .unwrap()
+        .mappers(["gtd", "flood-echo"])
+        .policies([RemapPolicy::Lazy, RemapPolicy::Eager])
+        .jobs(0)
+        .run()
+        .unwrap();
+    assert_eq!(report.records.len(), 2 * 2 * 2);
+    assert_eq!(report.error_count(), 0);
+    for rec in &report.records {
+        let out = rec.result.as_ref().unwrap();
+        assert!(
+            out.verified,
+            "{} × {} × {}: post-mutation map not verified",
+            rec.spec, rec.mapper, rec.policy
+        );
+        let remap = out.remap.as_ref().expect("dynamic cell");
+        assert_eq!(remap.latencies.len(), 1, "{}", rec.spec);
+        assert!(
+            remap.latencies[0].is_some(),
+            "{} × {} × {}: remap latency missing",
+            rec.spec,
+            rec.mapper,
+            rec.policy
+        );
+        // the ring workload lost a member; the random-sc burst kept N
+        let expect_n = if rec.spec.starts_with("ring:64") {
+            63
+        } else {
+            128
+        };
+        assert_eq!(
+            remap.epoch_nodes.last().copied(),
+            Some(expect_n),
+            "{}",
+            rec.spec
+        );
+    }
+    let ring_median = |policy: RemapPolicy| {
+        report
+            .aggregate()
+            .into_iter()
+            .find(|g| g.spec.starts_with("ring:64") && g.mapper == "gtd" && g.policy == policy)
+            .and_then(|g| g.median_remap)
+            .expect("ring gtd group has a remap median")
+    };
+    assert!(
+        ring_median(RemapPolicy::Eager) <= ring_median(RemapPolicy::Lazy),
+        "eager must not exceed lazy median remap latency on the ring"
+    );
+}
