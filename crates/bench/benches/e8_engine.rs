@@ -1,12 +1,14 @@
 //! E8 — engine-strategy ablation: stepping cost of the three execution
-//! modes on (a) an idle network, (b) a flood-saturated network. This is
-//! the hpc-parallel heart of the simulator: dense = O(N) per tick no
-//! matter what, sparse = O(active), parallel = dense fanned out on rayon.
+//! modes on (a) an idle network, (b) a flood-saturated network, (c) a
+//! quiet-heavy mid-protocol network (`ring:1024`), the regime the
+//! event-driven frontier exists for. This is the hpc-parallel heart of
+//! the simulator: dense = O(N) per tick no matter what, sparse =
+//! O(active frontier), parallel = dense fanned out over scoped threads.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gtd_bench::Workload;
-use gtd_core::{ProtocolNode, StartBehavior};
-use gtd_netsim::{Engine, EngineMode, NodeId, TopologySpec};
+use gtd_core::{build_gtd_engine, ProtocolNode, StartBehavior};
+use gtd_netsim::{generators, Engine, EngineMode, NodeId, TopologySpec};
 use std::hint::black_box;
 
 fn engine_with_flood(
@@ -59,9 +61,41 @@ fn bench_modes(c: &mut Criterion, label: &str, n: usize, flood: bool) {
     g.finish();
 }
 
+/// Quiet-heavy regime: a full GTD run on a big ring keeps a handful of
+/// snakes crawling while a thousand processors idle — the workload the
+/// active-frontier scheduler targets (ISSUE 5 acceptance: ≥5× dense →
+/// sparse in release mode). Warmed past the power-on tick so the bench
+/// window sits mid-protocol.
+fn bench_quiet(c: &mut Criterion, n: usize) {
+    let topo = generators::ring(n);
+    let mut g = c.benchmark_group(&format!("e8_quiet/ring:{n}"));
+    g.throughput(Throughput::Elements(n as u64));
+    for mode in EngineMode::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(mode.name()),
+            &mode,
+            |b, &mode| {
+                let mut engine = build_gtd_engine(&topo, mode);
+                let mut events = Vec::new();
+                for _ in 0..100 {
+                    engine.tick(&mut events); // mid-protocol warm-up
+                }
+                events.clear();
+                b.iter(|| {
+                    engine.tick(&mut events);
+                    events.clear();
+                    black_box(engine.tick_count())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
 fn bench_e8(c: &mut Criterion) {
     bench_modes(c, "e8_idle", 4096, false);
     bench_modes(c, "e8_flood", 4096, true);
+    bench_quiet(c, 1024);
 }
 
 criterion_group!(benches, bench_e8);

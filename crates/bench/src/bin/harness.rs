@@ -5,7 +5,9 @@
 //! harness run [e1 … e8] [--scale K] [--json FILE]
 //! harness grid --spec S [--spec S …] [--mappers a,b] [--modes x,y]
 //!              [--roots 0,1] [--reps K] [--budget T] [--jobs K]
-//!              [--json FILE] [--csv FILE]
+//!              [--resume-from OLD.jsonl] [--json FILE] [--csv FILE]
+//! harness bench [--reps K] [--window T] [--json FILE]
+//! harness compare OLD.jsonl NEW.jsonl [--threshold PCT]
 //! ```
 //!
 //! `run` regenerates the E1–E8 experiment rows (each experiment
@@ -13,11 +15,14 @@
 //! empirical tables/figures; see DESIGN.md §2 for the mapping). E1 and E7
 //! are expressed as [`Campaign`] grids; the probe experiments (E3/E4) and
 //! the engine ablation drive their machinery directly. `grid` runs an
-//! arbitrary declared campaign. Bare experiment names (`harness e1 e7`)
-//! are accepted as a shorthand for `run`.
+//! arbitrary declared campaign; `--resume-from` seeds the incremental
+//! cell cache from a previous export so only new cells execute. `bench`
+//! writes engine perf records (median ticks/sec per spec × mode) that
+//! `compare` can gate against a committed baseline. Bare experiment
+//! names (`harness e1 e7`) are accepted as a shorthand for `run`.
 
 use gtd_baselines::{family_size_log2, min_ticks_lower_bound, tree_loop_params};
-use gtd_bench::json::JsonValue;
+use gtd_bench::json::{str_field, JsonValue};
 use gtd_bench::{core_family_specs, json, json_line, Campaign, RunRecord, Table, Workload};
 use gtd_core::{run_single_bca, run_single_rca, GtdSession, RemapPolicy, TranscriptEvent};
 use gtd_netsim::{
@@ -33,6 +38,7 @@ fn main() {
         Some("list") => cmd_list(&args[1..]),
         Some("grid") => cmd_grid(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("help") | Some("--help") | Some("-h") => usage(0),
         // bare experiment ids / flags: legacy shorthand for `run`
@@ -47,10 +53,14 @@ fn usage(code: i32) -> ! {
          harness run [e1 .. e8] [--scale K] [--json FILE]\n  \
          harness grid --spec SPEC [--spec SPEC ...] [--mappers a,b] [--modes x,y]\n               \
          [--policies lazy,eager] [--roots 0,1] [--reps K] [--budget T] [--jobs K]\n               \
-         [--json FILE] [--csv FILE]\n  \
+         [--resume-from OLD.jsonl] [--json FILE] [--csv FILE]\n  \
+         harness bench [--reps K] [--window T] [--json FILE]\n  \
          harness compare OLD.jsonl NEW.jsonl [--threshold PCT]\n\n\
          `harness list` prints the spec grammar; e.g. --spec ring:64 --spec debruijn:2,5\n\
-         dynamic specs append mutation suffixes: --spec ring:64+node-leave=3@t500"
+         dynamic specs append mutation suffixes: --spec ring:64+node-leave=3@t500\n\
+         `grid --resume-from` skips cells already recorded in a previous JSONL export\n\
+         `bench` measures engine throughput (median ticks/sec per spec x mode) and\n\
+         writes machine-readable perf records (default BENCH_engine.json)"
     );
     exit(code)
 }
@@ -122,6 +132,7 @@ fn cmd_grid(args: &[String]) {
     let mut specs: Vec<DynamicSpec> = Vec::new();
     let mut json_path: Option<String> = None;
     let mut csv_path: Option<String> = None;
+    let mut resume_path: Option<String> = None;
     let mut mappers_set = false;
     let mut it = args.iter().cloned();
     while let Some(a) = it.next() {
@@ -179,12 +190,19 @@ fn cmd_grid(args: &[String]) {
             }
             "--json" => json_path = Some(flag_value(&mut it, "--json")),
             "--csv" => csv_path = Some(flag_value(&mut it, "--csv")),
+            "--resume-from" => resume_path = Some(flag_value(&mut it, "--resume-from")),
             other => bail(&format!("unknown grid flag {other:?} (see `harness help`)")),
         }
     }
     campaign = campaign.specs(specs);
     if !mappers_set {
         campaign = campaign.mappers(gtd_baselines::mapper_names());
+    }
+    if let Some(path) = resume_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| bail(&format!("{path}: {e}")));
+        campaign = campaign
+            .resume_from_jsonl(&text)
+            .unwrap_or_else(|e| bail(&format!("{path}: {e}")));
     }
 
     let t0 = Instant::now();
@@ -223,9 +241,10 @@ fn cmd_grid(args: &[String]) {
     }
     print!("{}", t.render());
     println!(
-        "{} cells ({} errors) in {:.1} ms",
+        "{} cells ({} errors, {} cached) in {:.1} ms",
         report.records.len(),
         report.error_count(),
+        report.cached,
         wall.as_secs_f64() * 1e3
     );
     if let Some(path) = json_path {
@@ -255,27 +274,18 @@ struct GroupSamples {
     errors: usize,
 }
 
-fn num_field(row: &JsonValue, key: &str) -> Option<u64> {
-    match row.get(key) {
-        Some(&JsonValue::Num(n)) => Some(n as u64),
-        _ => None,
-    }
-}
-
-fn str_field(row: &JsonValue, key: &str) -> Option<String> {
-    match row.get(key) {
-        Some(JsonValue::Str(s)) => Some(s.clone()),
-        _ => None,
-    }
-}
-
 /// One compare group's identity: (spec, mapper, mode, policy).
 type GroupKey = (String, String, String, String);
 
-/// Load a `harness grid --json` export into per-(spec, mapper, mode,
-/// policy) samples. Rows of other shapes (e.g. `harness run --json`
-/// experiment rows) are skipped, so mixed files degrade gracefully; rows
-/// predating the policy axis default to `lazy` (its historical value).
+/// Load a `harness grid --json` / `harness bench --json` export into
+/// per-(spec, mapper, mode, policy) samples, via the same record parser
+/// the incremental cache uses ([`RunRecord::from_json`]). Rows of other
+/// shapes (e.g. `harness run --json` experiment rows) are skipped, so
+/// mixed files degrade gracefully; rows predating the policy axis
+/// default to `lazy` (its historical value). A row that names a grid
+/// group but fails full record parsing (an error kind or field this
+/// build does not know) still counts as an error in its group — a
+/// foreign failed cell must never vanish from a regression comparison.
 fn load_grid_jsonl(path: &str) -> std::collections::BTreeMap<GroupKey, GroupSamples> {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| bail(&format!("{path}: {e}")));
     let mut groups: std::collections::BTreeMap<GroupKey, GroupSamples> =
@@ -286,28 +296,41 @@ fn load_grid_jsonl(path: &str) -> std::collections::BTreeMap<GroupKey, GroupSamp
         }
         let row = JsonValue::parse(line)
             .unwrap_or_else(|e| bail(&format!("{path}:{}: not JSON: {e}", lineno + 1)));
-        let (Some(spec), Some(mapper), Some(mode)) = (
-            str_field(&row, "spec"),
-            str_field(&row, "mapper"),
-            str_field(&row, "mode"),
-        ) else {
-            continue; // not a grid row
+        let key = |row: &JsonValue| -> Option<GroupKey> {
+            Some((
+                str_field(row, "spec")?,
+                str_field(row, "mapper")?,
+                str_field(row, "mode")?,
+                str_field(row, "policy").unwrap_or_else(|| "lazy".into()),
+            ))
         };
-        let policy = str_field(&row, "policy").unwrap_or_else(|| "lazy".into());
-        let g = groups.entry((spec, mapper, mode, policy)).or_default();
-        if row.get("ok") == Some(&JsonValue::Bool(true)) {
-            if let Some(r) = num_field(&row, "rounds") {
-                g.rounds.push(r);
-            }
-            if let Some(JsonValue::Arr(ls)) = row.get("remap_latencies") {
-                for l in ls {
-                    if let JsonValue::Num(n) = l {
-                        g.remap.push(*n as u64);
+        match RunRecord::from_json(&row) {
+            Some(rec) => {
+                let g = groups
+                    .entry((
+                        rec.spec,
+                        rec.mapper,
+                        rec.mode.name().to_string(),
+                        rec.policy.name().to_string(),
+                    ))
+                    .or_default();
+                match rec.result {
+                    Ok(cell) => {
+                        g.rounds.push(cell.rounds);
+                        if let Some(r) = &cell.remap {
+                            g.remap.extend(r.latencies.iter().flatten());
+                        }
                     }
+                    Err(_) => g.errors += 1,
                 }
             }
-        } else {
-            g.errors += 1;
+            None => {
+                if let Some(k) = key(&row) {
+                    // a grid row this build cannot fully parse: keep its
+                    // failure visible instead of dropping the cell
+                    groups.entry(k).or_default().errors += 1;
+                }
+            }
         }
     }
     groups
@@ -458,6 +481,227 @@ fn cmd_compare(args: &[String]) {
     if regressions > 0 {
         exit(1);
     }
+}
+
+// ---------------------------------------------------------------------------
+// harness bench (engine throughput records)
+// ---------------------------------------------------------------------------
+
+/// One perf measurement: deterministic tick count plus median wall time.
+struct BenchMeasure {
+    ticks: u64,
+    median_secs: f64,
+}
+
+/// Run `f` `reps` times and keep the median wall time. `f` times its own
+/// measured section (returning `(ticks, seconds)`), so engine
+/// construction and warm-up ticks stay outside the recorded window.
+fn measure(reps: usize, mut f: impl FnMut() -> (u64, f64)) -> BenchMeasure {
+    let mut ticks = 0;
+    let mut walls: Vec<f64> = Vec::with_capacity(reps);
+    for _ in 0..reps.max(1) {
+        let (t, secs) = f();
+        ticks = t;
+        walls.push(secs);
+    }
+    walls.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
+    BenchMeasure {
+        ticks,
+        median_secs: walls[(walls.len() - 1) / 2],
+    }
+}
+
+/// Time one closure, returning its result and elapsed seconds.
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// `harness bench`: the e2/e8 engine workloads as machine-readable perf
+/// records — median ticks/sec per spec × mode — written as grid-shaped
+/// JSONL rows (default `BENCH_engine.json`) so `harness compare` can gate
+/// the deterministic tick counts against a committed baseline while the
+/// wall-time fields track the perf trajectory.
+///
+/// Four regimes:
+/// * full protocol runs (`ring:64`) — session-driven, lull-skipping;
+/// * a quiet-heavy stepping window (`ring:1024` mid-GTD) — the regime the
+///   event-driven frontier exists for: dense pays O(N) per tick, the
+///   frontier O(active);
+/// * a flood-saturated window (`random-sc:4096` during an IG flood) — the
+///   regime the thread-parallel mode exists for;
+/// * a dynamic timeline with a far-future mutation — exercising the O(1)
+///   idle fast-forward.
+fn cmd_bench(args: &[String]) {
+    let mut json_path = String::from("BENCH_engine.json");
+    let mut reps = 3usize;
+    let mut window = 50_000u64;
+    let mut it = args.iter().cloned();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json_path = flag_value(&mut it, "--json"),
+            "--reps" => reps = parse_int(&flag_value(&mut it, "--reps"), "--reps").max(1),
+            "--window" => window = parse_int(&flag_value(&mut it, "--window"), "--window") as u64,
+            other => bail(&format!(
+                "unknown bench flag {other:?} (see `harness help`)"
+            )),
+        }
+    }
+
+    let mut t = Table::new(&[
+        "workload", "driver", "mode", "ticks", "wall ms", "Mticks/s", "vs dense",
+    ]);
+    let mut rows: Vec<String> = Vec::new();
+    let mut bench_workload =
+        |spec: &str, driver: &str, run_one: &mut dyn FnMut(EngineMode) -> (u64, f64)| {
+            let topo: DynamicSpec = spec
+                .parse()
+                .unwrap_or_else(|e| bail(&format!("{spec}: {e}")));
+            let built = topo.build();
+            let mut dense_tps = 0.0f64;
+            for mode in EngineMode::ALL {
+                let m = measure(reps, || run_one(mode));
+                let tps = m.ticks as f64 / m.median_secs;
+                if mode == EngineMode::Dense {
+                    dense_tps = tps;
+                }
+                let speedup = tps / dense_tps;
+                t.row(vec![
+                    spec.to_string(),
+                    driver.to_string(),
+                    mode.name().into(),
+                    m.ticks.to_string(),
+                    format!("{:.2}", m.median_secs * 1e3),
+                    format!("{:.2}", tps / 1e6),
+                    format!("{speedup:.1}x"),
+                ]);
+                // Grid-shaped so `harness compare` groups and gates the
+                // deterministic `rounds`; the "bench" marker keeps
+                // `grid --resume-from` from ever mistaking a perf row
+                // for a campaign cell ("verified" is schema filler the
+                // parser requires — the closures assert correctness
+                // themselves where a map exists).
+                let row = json!({
+                    "bench": "engine",
+                    "spec": spec,
+                    "mapper": driver,
+                    "mode": mode.name(),
+                    "policy": "lazy",
+                    "root": 0u32,
+                    "rep": 0usize,
+                    "n": built.num_nodes(),
+                    "e": built.num_edges(),
+                    "ok": true,
+                    "rounds": m.ticks,
+                    "verified": true,
+                    "wall_ms": m.median_secs * 1e3,
+                    "ticks_per_sec": tps,
+                    "speedup_vs_dense": speedup,
+                });
+                rows.push(row.render());
+            }
+        };
+
+    // Full protocol runs: lull-skipping session on a small quiet-heavy
+    // ring. The timed window is the session run itself (engine build
+    // included — it is part of what a mapping costs); the map is
+    // verified outside it.
+    {
+        let topo = TopologySpec::Ring { n: 64 }.build();
+        bench_workload("ring:64", "gtd", &mut |mode| {
+            let (run, secs) = timed(|| {
+                GtdSession::on(&topo)
+                    .mode(mode)
+                    .capture_transcript(false)
+                    .run()
+                    .expect("terminates")
+            });
+            run.map.verify_against(&topo, NodeId(0)).expect("exact map");
+            (run.ticks, secs)
+        });
+    }
+    // Quiet-heavy stepping window: raw per-tick engine cost mid-GTD on a
+    // big ring — snakes crawl a few wires per tick while 1000+ processors
+    // idle. Dense pays O(N) per tick; the frontier pays O(active).
+    // Construction stays outside the timed window.
+    {
+        let topo = TopologySpec::Ring { n: 1024 }.build();
+        bench_workload("ring:1024", "engine", &mut |mode| {
+            let mut engine = gtd_core::build_gtd_engine(&topo, mode);
+            let mut events = Vec::new();
+            let ((), secs) = timed(|| {
+                for _ in 0..window {
+                    engine.tick(&mut events);
+                }
+            });
+            events.clear();
+            (window, secs)
+        });
+    }
+    // Flood-saturated window: every node active every tick (e8b's
+    // regime). Construction and the 20 saturation ticks stay outside
+    // the timed window, which spans ticks 20..60.
+    {
+        let spec = TopologySpec::RandomSc {
+            n: 4096,
+            delta: 3,
+            seed: 9,
+        };
+        let topo = spec.build();
+        bench_workload(&spec.to_string(), "engine", &mut |mode| {
+            let mut engine = gtd_netsim::Engine::new(&topo, mode, |meta| {
+                let start = if meta.id == NodeId(1) {
+                    gtd_core::StartBehavior::SingleRca
+                } else {
+                    gtd_core::StartBehavior::Passive
+                };
+                gtd_core::ProtocolNode::new(&meta, start)
+            });
+            let mut events = Vec::new();
+            for _ in 0..20 {
+                engine.tick(&mut events); // let the IG flood saturate
+            }
+            // Measure inside the saturated phase only: by ~tick 70 the
+            // KILL flood has erased the growing snakes and the network
+            // quiesces, which would measure idling, not flooding.
+            let steps = 40u64;
+            let ((), secs) = timed(|| {
+                for _ in 0..steps {
+                    engine.tick(&mut events);
+                }
+            });
+            events.clear();
+            (steps, secs)
+        });
+    }
+    // Dynamic timeline with a far-future mutation: the engine idles to
+    // tick 250k in O(1) via the frontier's lull fast-forward. The timed
+    // window is the whole timeline; correctness asserted outside it.
+    {
+        let spec: DynamicSpec = "ring:64+add-edge=1@t250000"
+            .parse()
+            .expect("literal spec parses");
+        let topo = spec.build();
+        bench_workload(&spec.to_string(), "gtd", &mut |mode| {
+            let (out, secs) = timed(|| {
+                GtdSession::on(&topo)
+                    .mode(mode)
+                    .capture_transcript(false)
+                    .run_dynamic(&spec.schedule)
+                    .expect("timeline completes")
+            });
+            assert!(out.final_verified(), "final map must verify");
+            (out.total_ticks, secs)
+        });
+    }
+
+    print!("{}", t.render());
+    println!("ticks are deterministic (compare-gateable); wall times are this machine's.");
+    let mut file = rows.join("\n");
+    file.push('\n');
+    std::fs::write(&json_path, file).unwrap_or_else(|e| bail(&format!("{json_path}: {e}")));
+    println!("wrote {json_path} ({reps} rep(s), window {window})");
 }
 
 // ---------------------------------------------------------------------------

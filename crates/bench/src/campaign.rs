@@ -7,7 +7,7 @@
 //! scoped worker-thread pool and returns a [`CampaignReport`] of
 //! structured [`RunRecord`]s.
 //!
-//! Three properties make campaigns fit for batch execution:
+//! Four properties make campaigns fit for batch execution:
 //!
 //! * **Determinism** — records are returned in grid order and contain
 //!   only logical quantities (rounds, counters, phase ticks — never wall
@@ -19,6 +19,11 @@
 //! * **Aggregation** — [`CampaignReport::aggregate`] groups cells by
 //!   (spec, mapper, mode, policy) and reports min/median/max rounds per
 //!   group.
+//! * **Incrementality** — every cell is a pure function of its
+//!   (spec, mapper, mode, policy, root, rep) key, so
+//!   [`Campaign::resume_from`] can seed completed cells from a previous
+//!   export ([`parse_jsonl`]) and execute only the rest, byte-identically
+//!   to a fresh run.
 //!
 //! ```
 //! use gtd_bench::Campaign;
@@ -36,10 +41,11 @@
 //! }
 //! ```
 
-use crate::json::JsonValue;
+use crate::json::{bool_field, num_field, str_field, JsonValue};
 use gtd_baselines::{mapper_by_name, MapperConfig, MapperError};
 use gtd_core::{GtdError, PhaseBreakdown, RemapPolicy};
 use gtd_netsim::{DynamicSpec, EngineMode, NodeId, ParseSpecError, Topology};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -92,6 +98,7 @@ pub struct Campaign {
     reps: usize,
     jobs: usize,
     tick_budget: Option<u64>,
+    cache: Vec<RunRecord>,
 }
 
 impl Default for Campaign {
@@ -114,6 +121,7 @@ impl Campaign {
             reps: 1,
             jobs: 1,
             tick_budget: None,
+            cache: Vec::new(),
         }
     }
 
@@ -196,6 +204,31 @@ impl Campaign {
         self
     }
 
+    /// Seed the incremental cell cache with previously computed records:
+    /// a grid cell whose identity — (spec, mapper, mode, policy, root,
+    /// rep, tick budget), all the inputs a cell's result is a pure
+    /// function of — matches a seeded record is **not executed**; the
+    /// record lands in its grid slot verbatim. Reusing a record is
+    /// therefore exact, and re-running a completed grid against its own
+    /// export executes zero live cells while producing byte-identical
+    /// JSONL/CSV output. Records that match no cell of this grid
+    /// (including records produced under a different tick budget) are
+    /// ignored.
+    pub fn resume_from(mut self, records: impl IntoIterator<Item = RunRecord>) -> Self {
+        self.cache.extend(records);
+        self
+    }
+
+    /// [`Campaign::resume_from`] over a `harness grid --json` /
+    /// [`CampaignReport::to_jsonl`] export ([`parse_jsonl`]). Lines that
+    /// are not grid records (e.g. `harness run` experiment rows, or
+    /// `harness bench` perf rows — grid-shaped for `compare`, but not
+    /// campaign cells) are skipped; lines that are not JSON at all are
+    /// an error.
+    pub fn resume_from_jsonl(self, text: &str) -> Result<Self, String> {
+        Ok(self.resume_from(parse_jsonl(text)?))
+    }
+
     /// Execute every cell of the grid and collect the report.
     ///
     /// Cells are distributed over [`Campaign::jobs`] scoped worker
@@ -260,12 +293,42 @@ impl Campaign {
             }
         }
 
+        // Incremental cache: pre-fill grid slots whose (spec, mapper,
+        // mode, policy, root, rep, budget) key was seeded via
+        // [`Campaign::resume_from`]; only the remaining cells run live.
+        let mut cache: HashMap<CacheKey, RunRecord> = self
+            .cache
+            .iter()
+            .map(|r| (r.cache_key(), r.clone()))
+            .collect();
+        let slots: Vec<Option<RunRecord>> = cells
+            .iter()
+            .map(|c| {
+                cache.remove(&(
+                    self.specs[c.spec_idx].to_string(),
+                    self.mappers[c.mapper].clone(),
+                    c.mode.name(),
+                    c.policy.name(),
+                    c.root.0,
+                    c.rep,
+                    self.tick_budget,
+                ))
+            })
+            .collect();
+        let cached = slots.iter().filter(|s| s.is_some()).count();
+        let pending: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_none())
+            .map(|(i, _)| i)
+            .collect();
+
         let workers = if self.jobs == 0 {
             std::thread::available_parallelism().map_or(1, |p| p.get())
         } else {
             self.jobs
         }
-        .min(cells.len().max(1));
+        .min(pending.len().max(1));
 
         let run_cell = |cell: &Cell| -> RunRecord {
             let spec = &self.specs[cell.spec_idx];
@@ -320,22 +383,23 @@ impl Campaign {
                 rep: cell.rep,
                 nodes: topo.num_nodes(),
                 edges: topo.num_edges(),
+                budget: self.tick_budget,
                 result,
             }
         };
 
-        let slots: Mutex<Vec<Option<RunRecord>>> =
-            Mutex::new((0..cells.len()).map(|_| None).collect());
+        let slots: Mutex<Vec<Option<RunRecord>>> = Mutex::new(slots);
         let next = AtomicUsize::new(0);
         std::thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= cells.len() {
+                    if i >= pending.len() {
                         break;
                     }
-                    let record = run_cell(&cells[i]);
-                    slots.lock().expect("no worker panicked")[i] = Some(record);
+                    let slot = pending[i];
+                    let record = run_cell(&cells[slot]);
+                    slots.lock().expect("no worker panicked")[slot] = Some(record);
                 });
             }
         });
@@ -346,7 +410,7 @@ impl Campaign {
             .into_iter()
             .map(|r| r.expect("every slot filled"))
             .collect();
-        Ok(CampaignReport { records })
+        Ok(CampaignReport { records, cached })
     }
 }
 
@@ -360,6 +424,26 @@ pub struct CellError {
     pub message: String,
 }
 
+impl CellError {
+    /// Every kind a cell failure can carry — the single source of truth
+    /// shared by the producer ([`From<MapperError>`], which must map into
+    /// this set) and the export parser ([`RunRecord::from_json`], which
+    /// accepts exactly this set). Extend here first when adding a kind.
+    pub const KINDS: [&'static str; 5] = [
+        "budget-exhausted",
+        "precondition",
+        "decode",
+        "remap-diverged",
+        "unresolvable",
+    ];
+
+    /// Resolve a serialized kind back to its static string, `None` for
+    /// kinds this build does not know.
+    pub fn kind_from_str(s: &str) -> Option<&'static str> {
+        Self::KINDS.into_iter().find(|k| *k == s)
+    }
+}
+
 impl From<MapperError> for CellError {
     fn from(e: MapperError) -> Self {
         let kind = match &e {
@@ -369,6 +453,10 @@ impl From<MapperError> for CellError {
             MapperError::Gtd(GtdError::RemapDiverged { .. }) => "remap-diverged",
             MapperError::Unresolvable(_) => "unresolvable",
         };
+        debug_assert!(
+            CellError::kind_from_str(kind).is_some(),
+            "{kind} missing from CellError::KINDS — exports would not parse back"
+        );
         CellError {
             kind,
             message: e.to_string(),
@@ -464,11 +552,151 @@ pub struct RunRecord {
     pub nodes: usize,
     /// Wires in the built topology.
     pub edges: usize,
+    /// The campaign tick budget the cell ran under (`None` = the
+    /// default, spec-derived budget). Part of the cell's identity: the
+    /// same cell can succeed under one budget and exhaust another.
+    pub budget: Option<u64>,
     /// Measurement or captured failure.
     pub result: Result<CellOutcome, CellError>,
 }
 
+/// A grid cell's identity — every input a cell's result is a pure
+/// function of: (spec, mapper, mode name, policy name, root, rep, tick
+/// budget).
+pub type CacheKey = (
+    String,
+    String,
+    &'static str,
+    &'static str,
+    u32,
+    usize,
+    Option<u64>,
+);
+
+/// Parse a JSONL export ([`CampaignReport::to_jsonl`] / `harness grid
+/// --json`) back into records. The inverse of [`RunRecord::to_json`] up
+/// to fields the export does not carry (phase RCA counts), so re-rendering
+/// a parsed record reproduces its row byte-for-byte — the property the
+/// incremental cache ([`Campaign::resume_from`]) relies on. Rows that are
+/// not grid records are skipped — `harness run` experiment rows, and
+/// `harness bench` perf rows (grid-shaped for `harness compare`, but
+/// marked with a `"bench"` member precisely so they can never satisfy a
+/// campaign cell). Lines that fail to parse as JSON are an error naming
+/// the line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<RunRecord>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row = JsonValue::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if row.get("bench").is_some() {
+            continue;
+        }
+        if let Some(rec) = RunRecord::from_json(&row) {
+            out.push(rec);
+        }
+    }
+    Ok(out)
+}
+
 impl RunRecord {
+    /// This cell's deterministic identity (see [`Campaign::resume_from`]).
+    pub fn cache_key(&self) -> CacheKey {
+        (
+            self.spec.clone(),
+            self.mapper.clone(),
+            self.mode.name(),
+            self.policy.name(),
+            self.root.0,
+            self.rep,
+            self.budget,
+        )
+    }
+
+    /// Parse one JSONL row back into a record — `None` when the object is
+    /// not a grid record. Rows predating the policy axis default to
+    /// `lazy` (its historical value). Inverse of [`RunRecord::to_json`];
+    /// see [`parse_jsonl`].
+    pub fn from_json(row: &JsonValue) -> Option<RunRecord> {
+        let spec = str_field(row, "spec")?;
+        let mapper = str_field(row, "mapper")?;
+        let mode: EngineMode = str_field(row, "mode")?.parse().ok()?;
+        let policy: RemapPolicy = match row.get("policy") {
+            Some(JsonValue::Str(s)) => s.parse().ok()?,
+            None => RemapPolicy::Lazy,
+            _ => return None,
+        };
+        let root = NodeId(num_field(row, "root")? as u32);
+        let rep = num_field(row, "rep")? as usize;
+        let nodes = num_field(row, "n")? as usize;
+        let edges = num_field(row, "e")? as usize;
+        let result = if bool_field(row, "ok")? {
+            let remap = match row.get("remap_latencies") {
+                Some(JsonValue::Arr(ls)) => Some(RemapSummary {
+                    epochs: num_field(row, "epochs")? as usize,
+                    initial_rounds: num_field(row, "initial_rounds")?,
+                    latencies: ls
+                        .iter()
+                        .map(|l| match l {
+                            JsonValue::Num(n) => Some(*n as u64),
+                            _ => None,
+                        })
+                        .collect(),
+                    epoch_nodes: match row.get("epoch_n") {
+                        Some(JsonValue::Arr(ns)) => ns
+                            .iter()
+                            .map(|n| match n {
+                                JsonValue::Num(n) => *n as usize,
+                                _ => 0,
+                            })
+                            .collect(),
+                        _ => Vec::new(),
+                    },
+                }),
+                _ => None,
+            };
+            // The export carries the four phase tick counters but not the
+            // breakdown's RCA count, which is left zero — to_json never
+            // renders it, so round-trips stay byte-identical.
+            let phases = row.get("phases").map(|p| PhaseBreakdown {
+                search: num_field(p, "search").unwrap_or(0),
+                echo: num_field(p, "echo").unwrap_or(0),
+                mark: num_field(p, "mark").unwrap_or(0),
+                report_cleanup: num_field(p, "report_cleanup").unwrap_or(0),
+                rcas: 0,
+            });
+            Ok(CellOutcome {
+                rounds: num_field(row, "rounds")?,
+                messages: num_field(row, "messages"),
+                verified: bool_field(row, "verified")?,
+                rcas: num_field(row, "rcas").map(|r| r as usize),
+                bcas: num_field(row, "bcas").map(|b| b as usize),
+                clean: bool_field(row, "clean"),
+                phases,
+                remap,
+            })
+        } else {
+            let kind = CellError::kind_from_str(&str_field(row, "error_kind")?)?;
+            Err(CellError {
+                kind,
+                message: str_field(row, "error")?,
+            })
+        };
+        Some(RunRecord {
+            spec,
+            mapper,
+            mode,
+            policy,
+            root,
+            rep,
+            nodes,
+            edges,
+            budget: num_field(row, "budget"),
+            result,
+        })
+    }
+
     /// Render as one flat JSON object (one JSONL row).
     pub fn to_json(&self) -> JsonValue {
         let mut row = crate::json!({
@@ -485,6 +713,9 @@ impl RunRecord {
         let JsonValue::Obj(map) = &mut row else {
             unreachable!("json! builds an object")
         };
+        if let Some(budget) = self.budget {
+            map.insert("budget".into(), JsonValue::Num(budget as f64));
+        }
         match &self.result {
             Ok(out) => {
                 map.insert("rounds".into(), JsonValue::Num(out.rounds as f64));
@@ -585,6 +816,9 @@ pub struct CampaignReport {
     /// One record per grid cell, ordered spec → mapper → mode → root →
     /// rep regardless of worker count.
     pub records: Vec<RunRecord>,
+    /// How many of those records were satisfied from the incremental
+    /// cache ([`Campaign::resume_from`]) instead of executing live.
+    pub cached: usize,
 }
 
 impl CampaignReport {

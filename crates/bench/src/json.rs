@@ -85,6 +85,30 @@ impl ToJson for JsonValue {
     }
 }
 
+/// Helper: the string member `key` of an object row, if present.
+pub fn str_field(row: &JsonValue, key: &str) -> Option<String> {
+    match row.get(key) {
+        Some(JsonValue::Str(s)) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+/// Helper: the numeric member `key` of an object row as `u64`, if present.
+pub fn num_field(row: &JsonValue, key: &str) -> Option<u64> {
+    match row.get(key) {
+        Some(&JsonValue::Num(n)) => Some(n as u64),
+        _ => None,
+    }
+}
+
+/// Helper: the boolean member `key` of an object row, if present.
+pub fn bool_field(row: &JsonValue, key: &str) -> Option<bool> {
+    match row.get(key) {
+        Some(&JsonValue::Bool(b)) => Some(b),
+        _ => None,
+    }
+}
+
 fn escape(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {

@@ -247,6 +247,161 @@ fn aggregate_carries_remap_latency_columns() {
 }
 
 #[test]
+fn resume_from_own_export_executes_zero_live_cells_byte_identically() {
+    // ISSUE 5 acceptance: re-running a completed grid with --resume-from
+    // its own JSONL executes zero live cells and produces byte-identical
+    // output. Includes dynamic + membership cells and both policies.
+    let grid = || {
+        Campaign::new()
+            .parse_specs(["ring:12", "ring:12+node-join=2@t60", "debruijn:2,3"])
+            .unwrap()
+            .mappers(["gtd", "flood-echo"])
+            .modes([EngineMode::Dense, EngineMode::Sparse])
+            .policies([RemapPolicy::Lazy, RemapPolicy::Eager])
+            .jobs(2)
+    };
+    let first = grid().run().unwrap();
+    assert_eq!(first.cached, 0);
+    let jsonl = first.to_jsonl();
+    let resumed = grid().resume_from_jsonl(&jsonl).unwrap().run().unwrap();
+    assert_eq!(resumed.cached, resumed.records.len(), "zero live cells");
+    assert_eq!(resumed.to_jsonl(), jsonl, "JSONL byte-identical");
+    assert_eq!(resumed.to_csv(), first.to_csv(), "CSV byte-identical");
+    assert_eq!(resumed.aggregate(), first.aggregate());
+}
+
+#[test]
+fn resume_covers_only_matching_cells_and_runs_the_rest_live() {
+    let base = Campaign::new()
+        .parse_specs(["ring:8"])
+        .unwrap()
+        .mappers(["gtd"])
+        .run()
+        .unwrap();
+    // widen the grid: the cached cell is reused, the new cells run live
+    let wide = Campaign::new()
+        .parse_specs(["ring:8", "ring:16"])
+        .unwrap()
+        .mappers(["gtd", "flood-echo"])
+        .resume_from(base.records.clone())
+        .run()
+        .unwrap();
+    assert_eq!(wide.records.len(), 4);
+    assert_eq!(wide.cached, 1);
+    assert_eq!(wide.records[0], base.records[0], "cached slot verbatim");
+    // a fresh run of the wide grid agrees cell-for-cell with the mix
+    let fresh = Campaign::new()
+        .parse_specs(["ring:8", "ring:16"])
+        .unwrap()
+        .mappers(["gtd", "flood-echo"])
+        .run()
+        .unwrap();
+    assert_eq!(wide.to_jsonl(), fresh.to_jsonl());
+    // records keyed on another axis value are ignored, not misapplied
+    let other_mode = Campaign::new()
+        .parse_specs(["ring:8"])
+        .unwrap()
+        .mappers(["gtd"])
+        .modes([EngineMode::Dense])
+        .resume_from(base.records.clone()) // sparse-mode records
+        .run()
+        .unwrap();
+    assert_eq!(other_mode.cached, 0);
+}
+
+#[test]
+fn cached_error_cells_are_reused_without_re_running() {
+    let grid = || {
+        Campaign::new()
+            .parse_specs(["ring:32"])
+            .unwrap()
+            .mappers(["gtd"])
+            .tick_budget(3_000)
+    };
+    let first = grid().run().unwrap();
+    assert_eq!(first.error_count(), 1);
+    let resumed = grid()
+        .resume_from_jsonl(&first.to_jsonl())
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(resumed.cached, 1);
+    assert_eq!(resumed.to_jsonl(), first.to_jsonl());
+}
+
+#[test]
+fn cache_never_crosses_tick_budgets_or_accepts_bench_rows() {
+    // A cell's result depends on the tick budget, so the budget is part
+    // of the cache key: records computed under one budget must not
+    // satisfy a grid running under another.
+    let tight = Campaign::new()
+        .parse_specs(["ring:32"])
+        .unwrap()
+        .mappers(["gtd"])
+        .tick_budget(3_000)
+        .run()
+        .unwrap();
+    assert_eq!(tight.error_count(), 1, "3k ticks is not enough for ring:32");
+    let unbudgeted = Campaign::new()
+        .parse_specs(["ring:32"])
+        .unwrap()
+        .mappers(["gtd"])
+        .resume_from_jsonl(&tight.to_jsonl())
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(unbudgeted.cached, 0, "different budget must re-run");
+    assert_eq!(unbudgeted.error_count(), 0, "default budget succeeds");
+    // `harness bench` perf rows are grid-shaped (for compare) but carry
+    // a "bench" marker; resume must never let one satisfy a real cell.
+    let bench_row = r#"{"bench":"engine","e":64,"mapper":"gtd","mode":"sparse","n":64,"ok":true,"policy":"lazy","rep":0,"root":0,"rounds":1,"spec":"ring:64","verified":true,"wall_ms":1.0}"#;
+    let poisoned = Campaign::new()
+        .parse_specs(["ring:64"])
+        .unwrap()
+        .mappers(["gtd"])
+        .resume_from_jsonl(bench_row)
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(poisoned.cached, 0, "bench rows are not campaign cells");
+    let rounds = poisoned.records[0].result.as_ref().unwrap().rounds;
+    assert!(rounds > 1, "the cell ran live, not from the perf row");
+}
+
+#[test]
+fn every_record_round_trips_through_from_json_byte_identically() {
+    use gtd_bench::campaign::parse_jsonl;
+    use gtd_bench::RunRecord;
+    // success, dynamic, membership and error cells all round-trip
+    let mut records = membership_grid().jobs(2).run().unwrap().records;
+    records.extend(
+        Campaign::new()
+            .parse_specs(["ring:32", "ring:8"])
+            .unwrap()
+            .mappers(["gtd"])
+            .tick_budget(3_000)
+            .run()
+            .unwrap()
+            .records,
+    );
+    for rec in &records {
+        let row = rec.to_json();
+        let back = RunRecord::from_json(&row).expect("grid row parses back");
+        assert_eq!(back.to_json().render(), row.render(), "{}", rec.spec);
+        assert_eq!(back.cache_key(), rec.cache_key());
+    }
+    // parse_jsonl skips non-grid rows instead of failing
+    let mut text = String::from("{\"experiment\":\"E1\",\"data\":{\"n\":4}}\n");
+    text.push_str(&records[0].to_json().render());
+    text.push('\n');
+    let parsed = parse_jsonl(&text).unwrap();
+    assert_eq!(parsed.len(), 1);
+    assert_eq!(parsed[0].cache_key(), records[0].cache_key());
+    // non-JSON lines are an error naming the line
+    assert!(parse_jsonl("not json\n").unwrap_err().contains("line 1"));
+}
+
+#[test]
 fn repetitions_of_a_deterministic_grid_agree() {
     let report = Campaign::new()
         .parse_specs(["tree-loop:h=3,seed=7"])

@@ -976,6 +976,24 @@ impl ProtocolNode {
             || self.dying_bd.has_pending()
             || self.pending_loop.is_some()
     }
+
+    /// Earliest tick at which any dwelling character emerges — the wake
+    /// deadline this processor hands the engine's frontier. `None` when
+    /// nothing is dwelling (the processor is purely input-driven).
+    fn next_emission_deadline(&self) -> Option<u64> {
+        [
+            self.ig.next_deadline(),
+            self.og.next_deadline(),
+            self.bg.next_deadline(),
+            self.dying_id.next_deadline(),
+            self.dying_od.next_deadline(),
+            self.dying_bd.next_deadline(),
+            self.pending_loop.map(|(deadline, _, _)| deadline),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+    }
 }
 
 impl Automaton for ProtocolNode {
@@ -1116,10 +1134,15 @@ impl Automaton for ProtocolNode {
         // Phase 7: scheduled emissions whose dwell expired this tick.
         self.flush_due(now, ctx.outputs);
 
-        // Phase 8: stay awake while anything is dwelling here.
+        // Phase 8: sleep until the earliest scheduled emission. The engine
+        // frontier skips this processor entirely until that deadline (or
+        // until a character arrives) — the speed-1 dwells that dominate a
+        // protocol run cost no steps at all. `flush_due` drains at most
+        // one emission per lane per tick, so a drained lane whose next
+        // item is already due simply re-arms for the coming tick.
         self.stat_max_chars = self.stat_max_chars.max(self.chars_in_flight());
-        if self.has_pending() {
-            ctx.request_restep();
+        if let Some(deadline) = self.next_emission_deadline() {
+            ctx.request_restep_at(deadline);
         }
     }
 

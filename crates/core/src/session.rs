@@ -541,6 +541,11 @@ impl<'a> GtdSession<'a> {
             let start_tick = engine.tick_count();
             let mut end_tick = None;
             while end_tick.is_none() {
+                // Fast-forward deadline-driven lulls (speed-1 dwells leave
+                // whole ticks with nothing to step), capped at the budget
+                // boundary so exhaustion fires at exactly the tick a
+                // one-by-one loop would report.
+                engine.skip_lull(start_tick.saturating_add(budget));
                 let spent = engine.tick_count() - start_tick;
                 if spent >= budget {
                     return Err(GtdError::BudgetExhausted {
@@ -799,6 +804,17 @@ impl<'a> GtdSession<'a> {
                     // The DFS token died with a mutated wire: a quiet
                     // network can never terminate on its own.
                     break (EpochStatus::Wedged, now, None);
+                }
+                // Fast-forward deadline-driven lulls, capped at the next
+                // scheduled mutation and the epoch budget boundary; after
+                // a jump, loop back so due mutations fire (and eager
+                // preemption triggers) before the next tick executes.
+                let cap = muts
+                    .get(fired)
+                    .map_or(u64::MAX, |m| m.scheduled.tick)
+                    .min(epoch_start.saturating_add(budget));
+                if engine.skip_lull(cap.saturating_sub(base)) > 0 {
+                    continue;
                 }
                 scratch.clear();
                 engine.tick(&mut scratch);

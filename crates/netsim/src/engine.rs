@@ -16,20 +16,32 @@
 //!
 //! * [`EngineMode::Dense`] — step every automaton every tick. The obvious
 //!   reference implementation.
-//! * [`EngineMode::Sparse`] — event-driven: only step automata that asked to
-//!   be re-stepped or that received a non-blank signal. Protocol activity is
-//!   usually localized, so this is the workhorse for large runs. Correctness
-//!   relies on the *quiescence contract* documented on [`Automaton`].
+//! * [`EngineMode::Sparse`] — event-driven: step only the **active
+//!   frontier** — automata with a pending input or a due wake deadline.
+//!   The frontier is intrusive: it is updated at signal-write time (the
+//!   scatter marks the receiving node) and via a timer heap fed by
+//!   [`StepCtx::request_restep_at`], so a quiet tick costs O(active)
+//!   rather than O(N). Protocol activity is usually localized, so this is
+//!   the workhorse for large runs. Correctness relies on the *deadline
+//!   contract* documented on [`Automaton`].
 //! * [`EngineMode::Parallel`] — dense stepping fanned out over scoped OS
 //!   threads. The synchronous model is embarrassingly data-parallel
 //!   within a tick; this mode wins when floods keep most of the network
 //!   active at once. Networks below [`PAR_MIN_NODES`] fall back to the
 //!   sequential dense path (observationally identical by construction),
 //!   since per-tick thread dispatch would dwarf the work.
+//!
+//! All three modes maintain the same frontier bookkeeping (`wake_at`
+//! deadlines, pending-input flags, armed counters), so [`Engine::is_quiet`]
+//! is O(1) and [`Engine::skip_lull`] fast-forwards deadline-driven lulls
+//! identically regardless of mode — which is what keeps the modes
+//! bit-identical even on timelines that skip ticks.
 
 use crate::ids::{NodeId, Port};
 use crate::mutation::MembershipChange;
 use crate::topology::Topology;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Static facts a processor knows about itself at power-on: which of its
 /// ports are wired (in-/out-port awareness, §1.2.1) and whether it is the
@@ -62,15 +74,31 @@ pub struct StepCtx<'a, S, E> {
     /// Transcript events (only the root uses this in the GTD protocol, but
     /// the engine supports any node emitting).
     pub events: &'a mut Vec<E>,
-    restep: &'a mut bool,
+    wake: &'a mut u64,
 }
 
 impl<S, E> StepCtx<'_, S, E> {
-    /// Ask to be stepped on the next tick even if no input arrives (used for
-    /// internal timers such as speed-1 dwell counters).
+    /// Ask to be stepped on the next tick even if no input arrives.
+    /// Equivalent to [`StepCtx::request_restep_at`]`(tick + 1)`.
     #[inline]
     pub fn request_restep(&mut self) {
-        *self.restep = true;
+        let at = self.tick + 1;
+        if *self.wake > at {
+            *self.wake = at;
+        }
+    }
+
+    /// Ask to be stepped at tick `at` (clamped to the coming tick) even if
+    /// no input arrives — the deadline form used by speed timers: a node
+    /// holding a character that emerges at tick `d` sleeps until `d`
+    /// instead of burning a no-op step on every intervening tick. Multiple
+    /// requests within one step keep the earliest deadline.
+    #[inline]
+    pub fn request_restep_at(&mut self, at: u64) {
+        let at = at.max(self.tick + 1);
+        if *self.wake > at {
+            *self.wake = at;
+        }
     }
 
     /// Convenience: the input on in-port `p`.
@@ -82,16 +110,22 @@ impl<S, E> StepCtx<'_, S, E> {
 
 /// A synchronous finite-state processor.
 ///
-/// **Quiescence contract** (required by [`EngineMode::Sparse`]): if an
-/// automaton did not call [`StepCtx::request_restep`] on its previous step
-/// (or has never been stepped) and all its inputs are blank, then stepping
-/// it must not change its state and must emit only blank outputs. The
-/// engine exploits this by skipping such steps entirely; the dense/sparse
-/// equivalence tests in this crate and downstream enforce the contract.
+/// **Deadline contract** (required by [`EngineMode::Sparse`] and by
+/// [`Engine::skip_lull`]): if all of an automaton's inputs are blank and
+/// its most recent step requested no wake ([`StepCtx::request_restep_at`])
+/// — or requested one that has not yet arrived — then stepping it must
+/// not change its observable state and must emit only blank outputs,
+/// except that it may re-request a wake no earlier than the original.
+/// The dense modes step every automaton every tick and rely on those
+/// extra steps being no-ops; the sparse mode skips them entirely; both
+/// must agree, and the dense/sparse equivalence tests in this crate and
+/// downstream enforce it.
 pub trait Automaton: Send {
     /// The wire alphabet — one constant-size character per wire per tick.
-    /// `Default` is the blank character b of the paper.
-    type Sig: Clone + Default + PartialEq + Send + Sync;
+    /// `Default` is the blank character b of the paper. `Copy` keeps the
+    /// routing phase a plain word move: the engine never clones or
+    /// allocates a signal on the hot path.
+    type Sig: Copy + Default + PartialEq + Send + Sync;
     /// Transcript event type (what the root pipes to its master computer).
     type Event: Send;
 
@@ -124,7 +158,7 @@ pub trait Automaton: Send {
 pub enum EngineMode {
     /// Step every node every tick, sequentially.
     Dense,
-    /// Step only woken nodes (event-driven), sequentially.
+    /// Step only the active frontier (event-driven), sequentially.
     Sparse,
     /// Step every node every tick, fanned out over scoped threads.
     Parallel,
@@ -163,6 +197,14 @@ impl std::str::FromStr for EngineMode {
 
 const NO_ROUTE: u32 = u32::MAX;
 
+/// Sentinel "no wake requested" deadline.
+const NO_WAKE: u64 = u64::MAX;
+
+/// Timing-wheel horizon: wakes within this many ticks of the clock are
+/// indexed by a per-tick slot vector instead of the heap. Every dwell the
+/// protocol uses (speed-1 = 3 ticks/hop) fits comfortably.
+const WHEEL: usize = 8;
+
 /// Below this node count [`EngineMode::Parallel`] runs the sequential
 /// dense path: spawning threads every tick costs more than the tick.
 pub const PAR_MIN_NODES: usize = 512;
@@ -176,6 +218,11 @@ fn par_workers(n: usize) -> usize {
 
 /// The lockstep simulator. Generic over the automaton type so the same
 /// engine runs the GTD protocol, unit-test probes, and ablation automata.
+///
+/// Steady-state ticks are allocation-free in the sequential modes: all
+/// per-tick scratch (`event_bufs`, the step list, the frontier worklist,
+/// the timer heap) is reused across ticks, and topology mutations reuse
+/// the route-table rebuild buffers (`apply_scratch`).
 pub struct Engine<A: Automaton> {
     mode: EngineMode,
     delta: usize,
@@ -190,14 +237,75 @@ pub struct Engine<A: Automaton> {
     route_in: Vec<u32>,
     /// For each out-slot, the in-slot it feeds (sparse scatter).
     route_out: Vec<u32>,
-    /// Nodes that asked to be re-stepped.
-    want_step: Vec<bool>,
-    /// Nodes that received a non-blank input for the coming tick.
+    /// `wake_at[n]` — earliest tick node `n` asked to be stepped at
+    /// ([`NO_WAKE`] = no request). The authoritative deadline store; the
+    /// timer heap is only an index over it.
+    wake_at: Vec<u64>,
+    /// Nodes with a non-blank signal delivered for the coming tick.
     has_input: Vec<bool>,
+    /// Count of `true` entries in `has_input` (O(1) quiet checks).
+    pending_inputs: usize,
+    /// Count of non-[`NO_WAKE`] entries in `wake_at`.
+    armed: usize,
+    /// Near-deadline timing wheel (sparse mode): `wheel[t % WHEEL]` holds
+    /// nodes whose wake was scheduled for tick `t` within the next
+    /// [`WHEEL`] ticks — every speed-timer dwell of the protocol fits, so
+    /// the common re-arm is a plain `Vec` push instead of a heap
+    /// operation. Entries are lazily validated against `wake_at` when
+    /// their slot drains, so stale entries (nodes re-armed or cleared
+    /// since) cost one comparison.
+    wheel: [Vec<u32>; WHEEL],
+    /// Lazy-deletion min-heap of `(wake tick, node)` — the sparse mode's
+    /// timer index for wakes beyond the wheel horizon. Entries whose node
+    /// has since been re-armed or cleared are dropped when they surface.
+    /// Between the wheel and the heap, whenever `wake_at[n] != NO_WAKE`
+    /// there is an entry covering exactly that tick.
+    timers: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Nodes whose `has_input` flag flipped on during the last scatter —
+    /// the input half of the coming tick's frontier (sparse mode).
+    frontier: Vec<u32>,
     /// Per-node event buffers (kept separate for parallel stepping).
     event_bufs: Vec<Vec<A::Event>>,
-    /// Scratch: which nodes were stepped this tick (sparse bookkeeping).
+    /// Scratch: the step list of the current tick (sorted node ids).
     stepped: Vec<u32>,
+    /// Route-table and invalidation rebuild buffers for
+    /// [`Engine::apply_topology_with`], reused across mutations so
+    /// mutation-dense schedules don't reallocate per event.
+    apply_scratch: ApplyScratch<A::Sig>,
+}
+
+/// Reusable buffers for the atomic rewire path.
+struct ApplyScratch<S> {
+    route_in: Vec<u32>,
+    route_out: Vec<u32>,
+    in_buf: Vec<S>,
+    wake_at: Vec<u64>,
+    inv: Vec<Option<usize>>,
+}
+
+impl<S> Default for ApplyScratch<S> {
+    fn default() -> Self {
+        ApplyScratch {
+            route_in: Vec::new(),
+            route_out: Vec::new(),
+            in_buf: Vec::new(),
+            wake_at: Vec::new(),
+            inv: Vec::new(),
+        }
+    }
+}
+
+/// Fill `route_in`/`route_out` (pre-sized to `n*δ`, all [`NO_ROUTE`])
+/// from the wiring of `topo`.
+fn fill_routes(topo: &Topology, delta: usize, route_in: &mut [u32], route_out: &mut [u32]) {
+    for u in topo.node_ids() {
+        for (o, ep) in topo.out_edges(u) {
+            let out_slot = u.idx() * delta + o.idx();
+            let in_slot = ep.node.idx() * delta + ep.port.idx();
+            route_out[out_slot] = in_slot as u32;
+            route_in[in_slot] = out_slot as u32;
+        }
+    }
 }
 
 impl<A: Automaton> Engine<A> {
@@ -230,14 +338,7 @@ impl<A: Automaton> Engine<A> {
         }
         let mut route_in = vec![NO_ROUTE; n * delta];
         let mut route_out = vec![NO_ROUTE; n * delta];
-        for u in topo.node_ids() {
-            for (o, ep) in topo.out_edges(u) {
-                let out_slot = u.idx() * delta + o.idx();
-                let in_slot = ep.node.idx() * delta + ep.port.idx();
-                route_out[out_slot] = in_slot as u32;
-                route_in[in_slot] = out_slot as u32;
-            }
-        }
+        fill_routes(topo, delta, &mut route_in, &mut route_out);
         Engine {
             mode,
             delta,
@@ -249,11 +350,27 @@ impl<A: Automaton> Engine<A> {
             route_in,
             route_out,
             // Every node must be stepped at least once so initiators (the
-            // root) can start protocols without external input.
-            want_step: vec![true; n],
+            // root) can start protocols without external input: arm every
+            // wake for tick 0.
+            wake_at: vec![0; n],
             has_input: vec![false; n],
+            pending_inputs: 0,
+            armed: n,
+            // tick 0's wheel slot holds every node (the power-on step);
+            // the dense modes step everyone unconditionally and never
+            // drain the wheel, so only sparse indexes it.
+            wheel: std::array::from_fn(|i| {
+                if i == 0 && mode == EngineMode::Sparse {
+                    (0..n as u32).collect()
+                } else {
+                    Vec::new()
+                }
+            }),
+            timers: BinaryHeap::new(),
+            frontier: Vec::new(),
             event_bufs: (0..n).map(|_| Vec::new()).collect(),
-            stepped: Vec::new(),
+            stepped: Vec::with_capacity(n),
+            apply_scratch: ApplyScratch::default(),
         }
     }
 
@@ -281,12 +398,43 @@ impl<A: Automaton> Engine<A> {
         &self.nodes
     }
 
+    /// Index node `n`'s wake at tick `wake` into the sparse timer
+    /// structures: near wakes go to the wheel slot that drains at exactly
+    /// that tick, far ones to the overflow heap. Caller has already
+    /// stored `wake` in `wake_at` (which is what validates entries when
+    /// they surface). The dense modes step every node anyway and consult
+    /// `wake_at` directly, so indexing there would only accumulate
+    /// entries nothing ever drains.
+    #[inline]
+    fn schedule_wake(&mut self, n: u32, wake: u64) {
+        if self.mode != EngineMode::Sparse {
+            return;
+        }
+        if wake.saturating_sub(self.tick) < WHEEL as u64 {
+            self.wheel[(wake % WHEEL as u64) as usize].push(n);
+        } else {
+            self.timers.push(Reverse((wake, n)));
+        }
+    }
+
+    /// Arm node `n`'s wake for tick `at` (keeping any earlier deadline).
+    fn arm(&mut self, n: usize, at: u64) {
+        if self.wake_at[n] <= at {
+            return;
+        }
+        if self.wake_at[n] == NO_WAKE {
+            self.armed += 1;
+        }
+        self.wake_at[n] = at;
+        self.schedule_wake(n as u32, at);
+    }
+
     /// Mutable access to one automaton — the "outside source" of the paper
     /// nudging a processor (e.g. the master computer restarting the root
     /// for a re-map). The node is also scheduled for a step so the nudge
     /// takes effect even in sparse mode.
     pub fn node_mut(&mut self, n: NodeId) -> &mut A {
-        self.want_step[n.idx()] = true;
+        self.arm(n.idx(), self.tick);
         &mut self.nodes[n.idx()]
     }
 
@@ -294,7 +442,8 @@ impl<A: Automaton> Engine<A> {
     /// — the live half of a topology mutation (paper §1: "the topology …
     /// might change").
     ///
-    /// * Route tables are rebuilt from the new wiring.
+    /// * Route tables are rebuilt from the new wiring (into buffers reused
+    ///   across mutations — no per-event allocation once warmed).
     /// * In-flight signals are invalidated on every wire that was removed
     ///   or re-sourced: a character already delivered for the coming tick
     ///   survives only if the identical wire (same out-slot → same
@@ -349,42 +498,42 @@ impl<A: Automaton> Engine<A> {
             "mutations preserve the port bound"
         );
         let new_n = new_topo.num_nodes();
+        let mut scratch = std::mem::take(&mut self.apply_scratch);
         // new-id → old-id of the same physical processor (None: newcomer).
-        let inv: Vec<Option<usize>> = match change {
+        let inv = &mut scratch.inv;
+        inv.clear();
+        match change {
             MembershipChange::None => {
                 assert_eq!(new_n, old_n, "membership change says the count is fixed");
-                (0..old_n).map(Some).collect()
+                inv.extend((0..old_n).map(Some));
             }
             MembershipChange::Joined { node } => {
                 assert_eq!(new_n, old_n + 1, "a join grows the network by one");
                 assert_eq!(node.idx(), old_n, "the newcomer takes the highest id");
-                (0..new_n).map(|i| (i < old_n).then_some(i)).collect()
+                inv.extend((0..new_n).map(|i| (i < old_n).then_some(i)));
             }
             MembershipChange::Left { node } => {
                 assert_eq!(new_n, old_n - 1, "a leave shrinks the network by one");
                 let x = node.idx();
                 assert!(x < old_n, "departed processor must exist");
                 assert_ne!(x, self.root.idx(), "the root cannot leave");
-                (0..new_n)
-                    .map(|i| Some(if i < x { i } else { i + 1 }))
-                    .collect()
-            }
-        };
-        let mut route_in = vec![NO_ROUTE; new_n * delta];
-        let mut route_out = vec![NO_ROUTE; new_n * delta];
-        for u in new_topo.node_ids() {
-            for (o, ep) in new_topo.out_edges(u) {
-                let out_slot = u.idx() * delta + o.idx();
-                let in_slot = ep.node.idx() * delta + ep.port.idx();
-                route_out[out_slot] = in_slot as u32;
-                route_in[in_slot] = out_slot as u32;
+                inv.extend((0..new_n).map(|i| Some(if i < x { i } else { i + 1 })));
             }
         }
+        let route_in = &mut scratch.route_in;
+        let route_out = &mut scratch.route_out;
+        route_in.clear();
+        route_in.resize(new_n * delta, NO_ROUTE);
+        route_out.clear();
+        route_out.resize(new_n * delta, NO_ROUTE);
+        fill_routes(new_topo, delta, route_in, route_out);
         // Carry in-flight characters across wires that connect the same
         // physical processors through the same ports; every removed or
         // re-sourced wire loses its character.
         let blank = A::Sig::default();
-        let mut in_buf = vec![A::Sig::default(); new_n * delta];
+        let in_buf = &mut scratch.in_buf;
+        in_buf.clear();
+        in_buf.resize(new_n * delta, A::Sig::default());
         for (slot, dst) in in_buf.iter_mut().enumerate() {
             let r = route_in[slot];
             if r == NO_ROUTE {
@@ -397,7 +546,7 @@ impl<A: Automaton> Engine<A> {
             let old_in_slot = old_dst * delta + slot % delta;
             let old_out_slot = (old_src * delta + r as usize % delta) as u32;
             if self.route_in[old_in_slot] == old_out_slot && self.in_buf[old_in_slot] != blank {
-                *dst = std::mem::take(&mut self.in_buf[old_in_slot]);
+                *dst = self.in_buf[old_in_slot];
             }
         }
         // Splice the automaton tables into the new indexing.
@@ -425,17 +574,14 @@ impl<A: Automaton> Engine<A> {
                 }
             }
         }
-        let mut want_step = vec![false; new_n];
-        for (new_id, want) in want_step.iter_mut().enumerate() {
-            match inv[new_id] {
-                Some(old_id) => *want = self.want_step[old_id],
-                None => *want = true, // the newcomer's power-on step
-            }
-        }
-        let mut has_input = vec![false; new_n];
-        for (has, chunk) in has_input.iter_mut().zip(in_buf.chunks(delta)) {
-            *has = chunk.iter().any(|s| *s != blank);
-        }
+        // Carry wake deadlines across the relabeling; the newcomer's
+        // power-on step is armed for the coming tick.
+        let wake_at = &mut scratch.wake_at;
+        wake_at.clear();
+        wake_at.extend(inv.iter().map(|old| match old {
+            Some(old_id) => self.wake_at[*old_id],
+            None => self.tick,
+        }));
         // Notify surviving processors whose port awareness changed and
         // schedule them so sparse mode steps them exactly when dense would.
         for (new_id, &old) in inv.iter().enumerate() {
@@ -454,22 +600,52 @@ impl<A: Automaton> Engine<A> {
                     out_connected: new_topo.out_connected(id),
                     delta: new_topo.delta(),
                 });
-                want_step[new_id] = true;
+                wake_at[new_id] = wake_at[new_id].min(self.tick);
             }
         }
-        self.route_in = route_in;
-        self.route_out = route_out;
-        self.in_buf = in_buf;
-        self.out_buf = vec![A::Sig::default(); new_n * delta];
-        self.want_step = want_step;
-        self.has_input = has_input;
+        // Swap the rebuilt tables in; the displaced buffers become the
+        // next mutation's scratch.
+        std::mem::swap(&mut self.route_in, route_in);
+        std::mem::swap(&mut self.route_out, route_out);
+        std::mem::swap(&mut self.in_buf, in_buf);
+        std::mem::swap(&mut self.wake_at, wake_at);
+        self.apply_scratch = scratch;
+        self.out_buf.clear();
+        self.out_buf.resize(new_n * delta, A::Sig::default());
+        // Rebuild the frontier bookkeeping for the new indexing.
+        self.has_input.clear();
+        self.has_input.resize(new_n, false);
+        self.frontier.clear();
+        self.pending_inputs = 0;
+        for (n, chunk) in self.in_buf.chunks(delta).enumerate() {
+            if chunk.iter().any(|s| *s != blank) {
+                self.has_input[n] = true;
+                self.pending_inputs += 1;
+                self.frontier.push(n as u32);
+            }
+        }
+        self.timers.clear();
+        for slot in &mut self.wheel {
+            slot.clear();
+        }
+        self.armed = 0;
+        for n in 0..new_n {
+            let w = self.wake_at[n];
+            if w != NO_WAKE {
+                self.armed += 1;
+                self.schedule_wake(n as u32, w);
+            }
+        }
         self.stepped.clear();
     }
 
-    /// True when nothing is pending: no node wants a re-step and no
-    /// non-blank signal is in flight. A quiet network stays quiet forever.
+    /// True when nothing is pending: no node has an armed wake deadline
+    /// and no non-blank signal is in flight. O(1) — the frontier counters
+    /// make the scan of the old implementation unnecessary. A quiet
+    /// network stays quiet forever.
+    #[inline]
     pub fn is_quiet(&self) -> bool {
-        !self.want_step.iter().any(|&w| w) && !self.has_input.iter().any(|&h| h)
+        self.pending_inputs == 0 && self.armed == 0
     }
 
     /// Census of non-blank signals currently in flight (delivered for the
@@ -480,13 +656,76 @@ impl<A: Automaton> Engine<A> {
     }
 
     /// Fast-forward a quiet network by `ticks` clock pulses. A quiet
-    /// network stays quiet (the quiescence contract makes every step a
+    /// network stays quiet (the deadline contract makes every step a
     /// no-op), so only the clock advances — this lets dynamic timelines
     /// idle to a far-future mutation tick in O(1). Panics if the network
     /// is not quiet.
     pub fn skip_quiet_ticks(&mut self, ticks: u64) {
         assert!(self.is_quiet(), "can only skip ticks on a quiet network");
         self.tick += ticks;
+    }
+
+    /// The earliest armed wake deadline, if any. Drops stale timer-heap
+    /// entries as they surface (amortized O(1) in sparse mode; a linear
+    /// scan in the dense modes, which pay O(N) per tick anyway).
+    fn next_wake(&mut self) -> Option<u64> {
+        match self.mode {
+            EngineMode::Sparse => {
+                // Earliest genuine wake on the wheel: scan the coming
+                // WHEEL slots in tick order; the first slot holding a
+                // validated entry is exact (an earlier genuine wake would
+                // have a validated entry in an earlier slot or the heap).
+                let mut best = None;
+                for d in 0..WHEEL as u64 {
+                    let t_cand = self.tick + d;
+                    let slot = (t_cand % WHEEL as u64) as usize;
+                    if self.wheel[slot]
+                        .iter()
+                        .any(|&n| self.wake_at[n as usize] <= t_cand)
+                    {
+                        best = Some(t_cand);
+                        break;
+                    }
+                }
+                // Earliest genuine far wake: drop stale heap tops.
+                while let Some(&Reverse((at, n))) = self.timers.peek() {
+                    if self.wake_at[n as usize] == at {
+                        best = Some(best.map_or(at, |b: u64| b.min(at)));
+                        break;
+                    }
+                    self.timers.pop();
+                }
+                best
+            }
+            _ => self.wake_at.iter().copied().filter(|&w| w != NO_WAKE).min(),
+        }
+    }
+
+    /// Fast-forward a **lull**: if the coming tick would step nothing (no
+    /// signal in flight, no wake deadline due), jump the clock straight to
+    /// the earliest armed deadline — or to `limit`, whichever is smaller —
+    /// in O(1). Generalizes [`Engine::skip_quiet_ticks`]: a fully quiet
+    /// network skips to `limit`; a network merely waiting out speed-timer
+    /// dwells skips to the next deadline. Skipped ticks are pure no-ops by
+    /// the deadline contract, and the decision depends only on
+    /// mode-uniform frontier state, so timelines that skip stay
+    /// bit-identical across all three engine modes. Returns the number of
+    /// ticks skipped (0 when the coming tick has work or `limit` is not
+    /// ahead of the clock).
+    pub fn skip_lull(&mut self, limit: u64) -> u64 {
+        if self.pending_inputs > 0 || limit <= self.tick {
+            return 0;
+        }
+        let target = match self.next_wake() {
+            Some(w) => w.min(limit),
+            None => limit,
+        };
+        if target <= self.tick {
+            return 0;
+        }
+        let skipped = target - self.tick;
+        self.tick = target;
+        skipped
     }
 
     /// Advance one global clock tick. Events emitted by nodes are appended
@@ -535,26 +774,27 @@ impl<A: Automaton> Engine<A> {
         let delta = self.delta;
         let tick = self.tick;
         let parallel = parallel && n >= PAR_MIN_NODES;
-        // Phase 1: step everyone against the in_buf snapshot.
+        // Phase 1: step everyone against the in_buf snapshot. Each node's
+        // wake slot is reset and re-requested within its step (the
+        // deadline contract keeps re-requests idempotent).
         let in_buf = &self.in_buf;
         let step_one = |idx: usize,
                         node: &mut A,
                         out_chunk: &mut [A::Sig],
                         evs: &mut Vec<A::Event>,
-                        want: &mut bool| {
+                        wake: &mut u64| {
             for s in out_chunk.iter_mut() {
                 *s = A::Sig::default();
             }
-            let mut restep = false;
+            *wake = NO_WAKE;
             let mut ctx = StepCtx {
                 tick,
                 inputs: &in_buf[idx * delta..(idx + 1) * delta],
                 outputs: out_chunk,
                 events: evs,
-                restep: &mut restep,
+                wake,
             };
             node.step(&mut ctx);
-            *want = restep;
         };
         if parallel {
             // Fan contiguous node ranges out over scoped threads: each
@@ -565,7 +805,7 @@ impl<A: Automaton> Engine<A> {
                 let mut nodes = self.nodes.as_mut_slice();
                 let mut outs = self.out_buf.as_mut_slice();
                 let mut evs = self.event_bufs.as_mut_slice();
-                let mut wants = self.want_step.as_mut_slice();
+                let mut wakes = self.wake_at.as_mut_slice();
                 let mut base = 0usize;
                 let step_one = &step_one;
                 while !nodes.is_empty() {
@@ -573,12 +813,12 @@ impl<A: Automaton> Engine<A> {
                     let (node_c, node_rest) = nodes.split_at_mut(take);
                     let (out_c, out_rest) = outs.split_at_mut(take * delta);
                     let (ev_c, ev_rest) = evs.split_at_mut(take);
-                    let (want_c, want_rest) = wants.split_at_mut(take);
+                    let (wake_c, wake_rest) = wakes.split_at_mut(take);
                     scope.spawn(move || {
-                        for (j, ((node, evbuf), want)) in node_c
+                        for (j, ((node, evbuf), wake)) in node_c
                             .iter_mut()
                             .zip(ev_c.iter_mut())
-                            .zip(want_c.iter_mut())
+                            .zip(wake_c.iter_mut())
                             .enumerate()
                         {
                             step_one(
@@ -586,29 +826,31 @@ impl<A: Automaton> Engine<A> {
                                 node,
                                 &mut out_c[j * delta..(j + 1) * delta],
                                 evbuf,
-                                want,
+                                wake,
                             );
                         }
                     });
                     nodes = node_rest;
                     outs = out_rest;
                     evs = ev_rest;
-                    wants = want_rest;
+                    wakes = wake_rest;
                     base += take;
                 }
             });
         } else {
-            for (idx, ((node, out_chunk), (evs, want))) in self
+            for (idx, ((node, out_chunk), (evs, wake))) in self
                 .nodes
                 .iter_mut()
                 .zip(self.out_buf.chunks_mut(delta))
-                .zip(self.event_bufs.iter_mut().zip(self.want_step.iter_mut()))
+                .zip(self.event_bufs.iter_mut().zip(self.wake_at.iter_mut()))
                 .enumerate()
             {
-                step_one(idx, node, out_chunk, evs, want);
+                step_one(idx, node, out_chunk, evs, wake);
             }
         }
-        // Phase 2: gather — route every wired out-slot to its in-slot.
+        // Phase 2: gather — route every wired out-slot to its in-slot by
+        // plain copy (the `Copy` bound keeps this a word move, never a
+        // clone or an allocation).
         let out_buf = &self.out_buf;
         let route_in = &self.route_in;
         let blank = A::Sig::default();
@@ -619,7 +861,7 @@ impl<A: Automaton> Engine<A> {
                     *dst = A::Sig::default();
                 }
             } else {
-                *dst = out_buf[r as usize].clone();
+                *dst = out_buf[r as usize];
                 if *dst != blank {
                     *has = true;
                 }
@@ -664,7 +906,13 @@ impl<A: Automaton> Engine<A> {
                 }
             }
         }
-        // Phase 3: drain events in node order.
+        // Phase 3: refresh the frontier counters wholesale — the dense
+        // modes already pay O(N) per tick, and skipping the timer heap
+        // here keeps their inner loops identical to the pre-frontier
+        // engine (next_wake falls back to a scan in these modes).
+        self.pending_inputs = self.has_input.iter().filter(|&&h| h).count();
+        self.armed = self.wake_at.iter().filter(|&&w| w != NO_WAKE).count();
+        // Phase 4: drain events in node order.
         for (n, buf) in self.event_bufs.iter_mut().enumerate() {
             if !buf.is_empty() {
                 events.extend(buf.drain(..).map(|e| (NodeId(n as u32), e)));
@@ -676,27 +924,67 @@ impl<A: Automaton> Engine<A> {
         let delta = self.delta;
         let tick = self.tick;
         let blank = A::Sig::default();
-        // Phase 1: collect the step list.
+        // Phase 1: the step list is the active frontier — nodes with a
+        // pending input (marked at signal-write time by the previous
+        // tick's scatter) plus nodes whose wake deadline is due (surfaced
+        // by the timer heap; stale entries are dropped). O(active), never
+        // a scan over all N nodes.
         self.stepped.clear();
-        for n in 0..self.nodes.len() {
-            if self.want_step[n] || self.has_input[n] {
-                self.stepped.push(n as u32);
+        self.stepped.append(&mut self.frontier);
+        // Drain this tick's wheel slot (near wakes land in the slot that
+        // drains at exactly their tick; entries re-armed since are stale
+        // and fail validation), then any due far wakes off the heap.
+        let slot = (tick % WHEEL as u64) as usize;
+        let mut due = std::mem::take(&mut self.wheel[slot]);
+        for n in due.drain(..) {
+            if self.wake_at[n as usize] <= tick {
+                self.stepped.push(n);
             }
         }
-        // Phase 2: step them. out_buf is all-blank between ticks (invariant),
-        // so stepped nodes write into clean slices.
+        self.wheel[slot] = due;
+        while let Some(&Reverse((at, n))) = self.timers.peek() {
+            if at > tick {
+                break;
+            }
+            self.timers.pop();
+            if self.wake_at[n as usize] <= tick {
+                self.stepped.push(n);
+            }
+        }
+        // Events must drain in ascending node order for cross-mode
+        // determinism; dedup removes input+wake double entries.
+        self.stepped.sort_unstable();
+        self.stepped.dedup();
+        // Phase 2: step the frontier. out_buf is all-blank between ticks
+        // (invariant), so stepped nodes write into clean slices.
         for &n in &self.stepped {
             let n = n as usize;
-            let mut restep = false;
+            let old_wake = self.wake_at[n];
+            let mut wake = NO_WAKE;
             let mut ctx = StepCtx {
                 tick,
                 inputs: &self.in_buf[n * delta..(n + 1) * delta],
                 outputs: &mut self.out_buf[n * delta..(n + 1) * delta],
                 events: &mut self.event_bufs[n],
-                restep: &mut restep,
+                wake: &mut wake,
             };
             self.nodes[n].step(&mut ctx);
-            self.want_step[n] = restep;
+            if wake != old_wake {
+                match (old_wake == NO_WAKE, wake == NO_WAKE) {
+                    (true, false) => self.armed += 1,
+                    (false, true) => self.armed -= 1,
+                    _ => {}
+                }
+                self.wake_at[n] = wake;
+                if wake != NO_WAKE {
+                    // inline schedule_wake: `self` is field-borrowed here
+                    if wake - tick < WHEEL as u64 {
+                        self.wheel[(wake % WHEEL as u64) as usize].push(n as u32);
+                    } else {
+                        self.timers.push(Reverse((wake, n as u32)));
+                    }
+                }
+            }
         }
         // Phase 3: clear consumed inputs.
         for &n in &self.stepped {
@@ -708,23 +996,32 @@ impl<A: Automaton> Engine<A> {
                     }
                 }
                 self.has_input[n] = false;
+                self.pending_inputs -= 1;
             }
         }
-        // Phase 4: scatter the outputs of stepped nodes, restoring the
-        // all-blank out_buf invariant as we go.
+        // Phase 4: scatter the outputs of stepped nodes by move, restoring
+        // the all-blank out_buf invariant as we go. This is where the
+        // frontier is intrusive: delivering a character marks the
+        // receiving node for the coming tick, so no later scan is needed.
         for &n in &self.stepped {
             let n = n as usize;
             for o in 0..delta {
                 let out_slot = n * delta + o;
-                if self.out_buf[out_slot] == blank {
+                let sig = self.out_buf[out_slot];
+                if sig == blank {
                     continue;
                 }
-                let sig = std::mem::take(&mut self.out_buf[out_slot]);
+                self.out_buf[out_slot] = A::Sig::default();
                 let r = self.route_out[out_slot];
                 if r != NO_ROUTE {
                     let in_slot = r as usize;
                     self.in_buf[in_slot] = sig;
-                    self.has_input[in_slot / delta] = true;
+                    let dst = in_slot / delta;
+                    if !self.has_input[dst] {
+                        self.has_input[dst] = true;
+                        self.pending_inputs += 1;
+                        self.frontier.push(dst as u32);
+                    }
                 }
             }
         }
@@ -745,7 +1042,8 @@ mod tests {
 
     /// Test automaton: forwards any received u32+1 on all out-ports after a
     /// fixed dwell; the root injects value 1 at tick 0. Exercises wake-up,
-    /// dwell timers, and the quiescence contract.
+    /// dwell timers, and the deadline contract (the dwell is expressed as
+    /// an absolute wake deadline, not a per-step countdown).
     #[derive(Clone)]
     struct Hopper {
         meta_is_root: bool,
@@ -756,7 +1054,7 @@ mod tests {
         started: bool,
     }
 
-    #[derive(Clone, PartialEq, Debug, Default)]
+    #[derive(Clone, Copy, PartialEq, Debug, Default)]
     struct U32Sig(u32);
 
     impl Automaton for Hopper {
@@ -784,7 +1082,7 @@ mod tests {
                     }
                     self.pending = None;
                 } else {
-                    ctx.request_restep();
+                    ctx.request_restep_at(at);
                 }
             }
         }
@@ -888,6 +1186,59 @@ mod tests {
         assert_eq!(eng.signals_in_flight(), 1);
     }
 
+    #[test]
+    fn skip_lull_jumps_to_the_next_deadline_in_every_mode() {
+        // dwell 5: after each hop the holder sleeps 5 ticks — a pure lull.
+        for mode in EngineMode::ALL {
+            let mut eng = hopper_engine(mode, 5);
+            let mut events = Vec::new();
+            eng.tick(&mut events); // tick 0: root emits 1
+            eng.tick(&mut events); // tick 1: n1 receives, arms wake at 6
+            assert!(!eng.is_quiet());
+            // the coming ticks 2..=5 step nothing: one O(1) jump covers them
+            let skipped = eng.skip_lull(u64::MAX);
+            assert_eq!(skipped, 4, "{mode:?}");
+            assert_eq!(eng.tick_count(), 6);
+            // a cap inside the lull is honored exactly
+            let mut capped = hopper_engine(mode, 5);
+            let mut capped_events = Vec::new();
+            capped.tick(&mut capped_events);
+            capped.tick(&mut capped_events);
+            assert_eq!(capped.skip_lull(4), 2, "{mode:?}");
+            assert_eq!(capped.tick_count(), 4);
+            // skipping never changes what happens, only how fast we get
+            // there: the full hop chain still completes identically
+            let mut tail = run_to_quiet(&mut eng);
+            events.append(&mut tail);
+            let vals: Vec<(u32, u32)> = events.iter().map(|&(n, v)| (n.0, v)).collect();
+            assert_eq!(
+                vals,
+                vec![(1, 1), (2, 2), (3, 3), (0, 4), (1, 5)],
+                "{mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn skip_lull_on_a_quiet_network_skips_to_the_limit() {
+        let mut eng = hopper_engine(EngineMode::Sparse, 0);
+        run_to_quiet(&mut eng);
+        let t = eng.tick_count();
+        assert_eq!(eng.skip_lull(t + 1_000_000), 1_000_000);
+        assert_eq!(eng.tick_count(), t + 1_000_000);
+        assert!(eng.is_quiet());
+        // a limit at or behind the clock is a no-op
+        assert_eq!(eng.skip_lull(t), 0);
+    }
+
+    #[test]
+    fn skip_lull_does_nothing_while_signals_are_in_flight() {
+        let mut eng = hopper_engine(EngineMode::Sparse, 3);
+        let mut events = Vec::new();
+        eng.tick(&mut events); // value 1 is in flight: the coming tick has work
+        assert_eq!(eng.skip_lull(u64::MAX), 0);
+    }
+
     /// ring(4) with the wire 0→1 moved from in-port 0 to in-port 1 of n1:
     /// same nodes and δ, one wire re-routed.
     fn ring4_rerouted() -> crate::Topology {
@@ -924,6 +1275,27 @@ mod tests {
         assert_eq!(eng.signals_in_flight(), 1);
         let events = run_to_quiet(&mut eng);
         assert_eq!(events.len(), 5, "the full hop chain still completes");
+    }
+
+    #[test]
+    fn repeated_rewires_preserve_wake_deadlines_and_reuse_scratch() {
+        // A node mid-dwell keeps its wake across a rewire that does not
+        // touch its ports, in both stepping disciplines.
+        for mode in [EngineMode::Dense, EngineMode::Sparse] {
+            let mut eng = hopper_engine(mode, 4);
+            let mut events = Vec::new();
+            eng.tick(&mut events); // root emits 1
+            eng.tick(&mut events); // n1 adopts it, arms wake at 1 + 4
+            for _ in 0..10 {
+                // rewiring back and forth exercises the reused scratch path
+                eng.apply_topology(&ring4_rerouted());
+                eng.apply_topology(&generators::ring(4));
+            }
+            let mut tail = run_to_quiet(&mut eng);
+            events.append(&mut tail);
+            let vals: Vec<u32> = events.iter().map(|&(_, v)| v).collect();
+            assert_eq!(vals, vec![1, 2, 3, 4, 5], "{mode:?}");
+        }
     }
 
     fn hopper_factory(meta: NodeMeta) -> Hopper {

@@ -126,7 +126,7 @@ struct Scrambler {
     started: bool,
 }
 
-#[derive(Clone, PartialEq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
 struct Word(u64);
 
 impl Automaton for Scrambler {

@@ -1,0 +1,101 @@
+//! Event-driven frontier equivalence: the sparse engine's active-frontier
+//! scheduler (wake deadlines + timing wheel + input worklist) and the
+//! lull fast-forward must be invisible — every engine mode produces
+//! bit-identical timelines on every topology family under every mutation
+//! kind. This is the acceptance suite for the frontier rewrite: a single
+//! missed wake, a stale timer surfacing as a step, or a lull skipped past
+//! a mutation boundary shows up as a diverging transcript here.
+
+use gtd::{
+    DynamicSpec, EngineMode, GtdSession, MutationKind, MutationSchedule, RemapOutcome,
+    TopologyMutation, TopologySpec,
+};
+
+/// One small instance per registered spec family (all 10).
+fn ten_family_specs() -> Vec<TopologySpec> {
+    [
+        "ring:9",
+        "line-bidi:8",
+        "torus:3,3",
+        "debruijn:2,3",
+        "kautz:2,3",
+        "hypercube:3",
+        "complete:5",
+        "random-sc:n=12,delta=3,seed=3",
+        "bidi-grid-faulty:w=4,h=3,p=0.2,seed=2",
+        "tree-loop:h=2,seed=1",
+    ]
+    .iter()
+    .map(|s| s.parse().expect("literal spec parses"))
+    .collect()
+}
+
+fn run(topo: &gtd::Topology, mode: EngineMode, schedule: &MutationSchedule) -> RemapOutcome {
+    GtdSession::on(topo)
+        .mode(mode)
+        .run_dynamic(schedule)
+        .expect("timeline completes")
+}
+
+/// The full grid: 10 families × 7 mutation kinds × 3 engine modes, each
+/// mutation landing mid-first-epoch. Dense is the reference; sparse
+/// (frontier) and parallel must reproduce its epochs, tick-stamped
+/// transcripts, mutation outcomes and remap latencies exactly.
+#[test]
+fn all_families_and_mutation_kinds_are_bit_identical_across_modes() {
+    let specs = ten_family_specs();
+    assert_eq!(specs.len(), 10, "one instance per registered family");
+    assert_eq!(MutationKind::ALL.len(), 7);
+    for spec in &specs {
+        let topo = spec.build();
+        for kind in MutationKind::ALL {
+            let schedule = MutationSchedule::new().with(35, TopologyMutation { kind, selector: 1 });
+            let dense = run(&topo, EngineMode::Dense, &schedule);
+            let sparse = run(&topo, EngineMode::Sparse, &schedule);
+            let parallel = run(&topo, EngineMode::Parallel, &schedule);
+            assert_eq!(dense, sparse, "{spec} + {kind:?}: dense vs sparse");
+            assert_eq!(dense, parallel, "{spec} + {kind:?}: dense vs parallel");
+            assert!(dense.final_verified(), "{spec} + {kind:?}");
+        }
+    }
+}
+
+/// A far-future mutation tick forces the session through the frontier's
+/// O(1) idle fast-forward in every mode: the timelines must still agree
+/// tick-for-tick (the skipped span is observationally empty), and the
+/// clock must really have advanced past the mutation.
+#[test]
+fn lull_fast_forward_to_a_far_mutation_is_identical_across_modes() {
+    let spec: DynamicSpec = "ring:8+rewire=2@t200000".parse().unwrap();
+    let topo = spec.build();
+    let dense = run(&topo, EngineMode::Dense, &spec.schedule);
+    let sparse = run(&topo, EngineMode::Sparse, &spec.schedule);
+    let parallel = run(&topo, EngineMode::Parallel, &spec.schedule);
+    assert_eq!(dense, sparse);
+    assert_eq!(dense, parallel);
+    assert_eq!(dense.mutations[0].applied_at, Some(200_000));
+    assert!(dense.total_ticks >= 200_000);
+    assert!(dense.final_verified());
+}
+
+/// Static sessions take the lull fast-forward through every speed-1
+/// dwell; the reported tick counts and transcripts must match the dense
+/// reference exactly (this is the path the ring:1024 perf claim rides).
+#[test]
+fn static_runs_agree_after_lull_skipping() {
+    for spec in ten_family_specs() {
+        let topo = spec.build();
+        let dense = GtdSession::on(&topo)
+            .mode(EngineMode::Dense)
+            .run()
+            .expect("terminates");
+        let sparse = GtdSession::on(&topo)
+            .mode(EngineMode::Sparse)
+            .run()
+            .expect("terminates");
+        assert_eq!(dense.ticks, sparse.ticks, "{spec}");
+        assert_eq!(dense.events, sparse.events, "{spec}");
+        assert_eq!(dense.map, sparse.map, "{spec}");
+        assert_eq!(dense.stats, sparse.stats, "{spec}");
+    }
+}
