@@ -47,7 +47,8 @@ use gtd_core::{GtdError, PhaseBreakdown, RemapPolicy};
 use gtd_netsim::{DynamicSpec, EngineMode, NodeId, ParseSpecError, Topology};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Mutex};
+use std::time::Duration;
 
 /// A campaign could not be configured or started. Per-cell failures are
 /// *not* errors at this level — they land in [`RunRecord::result`].
@@ -86,6 +87,146 @@ impl From<ParseSpecError> for CampaignError {
     }
 }
 
+/// One grid cell's inputs — everything a cell's result is a pure
+/// function of, as a standalone value. [`Campaign::run`] executes these
+/// on its in-process worker pool; the campaign service
+/// (`gtd-serve`) ships them to worker *processes* and executes them with
+/// the exact same code path, which is what keeps service output
+/// byte-identical to in-process output.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellSpec {
+    /// Topology spec (static or dynamic).
+    pub spec: DynamicSpec,
+    /// Mapper name (see [`gtd_baselines::mapper_names`]).
+    pub mapper: String,
+    /// Engine mode.
+    pub mode: EngineMode,
+    /// Remap policy.
+    pub policy: RemapPolicy,
+    /// Root processor.
+    pub root: NodeId,
+    /// Repetition index (0-based).
+    pub rep: usize,
+    /// Tick budget (`None` = the spec-derived default).
+    pub budget: Option<u64>,
+}
+
+impl CellSpec {
+    /// Execute this cell against its own freshly built base topology.
+    pub fn execute_built(&self) -> RunRecord {
+        self.execute(&self.spec.build())
+    }
+
+    /// Execute this cell against a pre-built base topology (callers that
+    /// share one spec across many cells build it once). An unknown mapper
+    /// name is captured as a `precondition` [`CellError`], mirroring how
+    /// out-of-range roots are handled — a cell failure, never a panic.
+    pub fn execute(&self, topo: &Topology) -> RunRecord {
+        let cfg = MapperConfig {
+            mode: self.mode,
+            tick_budget: self.budget,
+            capture_phases: true,
+            policy: self.policy,
+        };
+        let result = match mapper_by_name(&self.mapper, &cfg) {
+            None => Err(CellError {
+                kind: "precondition",
+                message: format!(
+                    "unknown mapper {:?} (known: {})",
+                    self.mapper,
+                    gtd_baselines::mapper_names().join(", ")
+                ),
+            }),
+            Some(mapper) if self.spec.is_static() => match mapper.map_network(topo, self.root) {
+                Ok(run) => Ok(CellOutcome {
+                    rounds: run.rounds,
+                    messages: run.messages,
+                    verified: run.verify_against(topo),
+                    rcas: run.stats.map(|s| s.rcas()),
+                    bcas: run.stats.map(|s| s.bcas()),
+                    clean: run.clean,
+                    phases: run.phases,
+                    remap: None,
+                }),
+                Err(e) => Err(CellError::from(e)),
+            },
+            Some(mapper) => match mapper.map_dynamic(topo, &self.spec.schedule, self.root) {
+                Ok(run) => Ok(CellOutcome {
+                    rounds: run.total_rounds,
+                    messages: None,
+                    verified: run.verified,
+                    rcas: None,
+                    bcas: None,
+                    clean: None,
+                    phases: None,
+                    remap: Some(RemapSummary {
+                        epochs: run.epochs,
+                        initial_rounds: run.initial_rounds,
+                        latencies: run.remap_latencies,
+                        epoch_nodes: run.epoch_nodes,
+                    }),
+                }),
+                Err(e) => Err(CellError::from(e)),
+            },
+        };
+        RunRecord {
+            spec: self.spec.to_string(),
+            mapper: self.mapper.clone(),
+            mode: self.mode,
+            policy: self.policy,
+            root: self.root,
+            rep: self.rep,
+            nodes: topo.num_nodes(),
+            edges: topo.num_edges(),
+            budget: self.budget,
+            result,
+        }
+    }
+
+    /// [`CellSpec::execute`] bounded by a wall-clock timeout. The cell
+    /// runs on a freshly spawned thread; if it has not finished within
+    /// `timeout` the record is a `cell-timeout` [`CellError`] and the
+    /// runaway thread is detached (it cannot be cancelled, but it can no
+    /// longer stall the grid). `timeout = None` executes inline.
+    ///
+    /// A timed-out record is a function of the host's wall clock, not of
+    /// the cell's inputs, so it is never admitted to the incremental
+    /// cache (see [`Campaign::resume_from`]).
+    pub fn execute_with_timeout(&self, topo: &Topology, timeout: Option<Duration>) -> RunRecord {
+        let Some(limit) = timeout else {
+            return self.execute(topo);
+        };
+        let (tx, rx) = mpsc::channel();
+        let cell = self.clone();
+        let owned = topo.clone();
+        std::thread::spawn(move || {
+            // the receiver may have given up: a send error is fine
+            let _ = tx.send(cell.execute(&owned));
+        });
+        match rx.recv_timeout(limit) {
+            Ok(record) => record,
+            Err(_) => RunRecord {
+                spec: self.spec.to_string(),
+                mapper: self.mapper.clone(),
+                mode: self.mode,
+                policy: self.policy,
+                root: self.root,
+                rep: self.rep,
+                nodes: topo.num_nodes(),
+                edges: topo.num_edges(),
+                budget: self.budget,
+                result: Err(CellError {
+                    kind: "cell-timeout",
+                    message: format!(
+                        "cell exceeded the {} ms wall-clock timeout",
+                        limit.as_millis()
+                    ),
+                }),
+            },
+        }
+    }
+}
+
 /// Builder for an experiment grid. Construct with [`Campaign::new`], add
 /// axes, then [`Campaign::run`].
 #[derive(Clone, Debug)]
@@ -98,6 +239,7 @@ pub struct Campaign {
     reps: usize,
     jobs: usize,
     tick_budget: Option<u64>,
+    cell_timeout: Option<Duration>,
     cache: Vec<RunRecord>,
 }
 
@@ -121,6 +263,7 @@ impl Campaign {
             reps: 1,
             jobs: 1,
             tick_budget: None,
+            cell_timeout: None,
             cache: Vec::new(),
         }
     }
@@ -204,6 +347,19 @@ impl Campaign {
         self
     }
 
+    /// Wall-clock timeout per cell. A cell that exceeds it reports
+    /// [`CellError`] with kind `cell-timeout` while the rest of the grid
+    /// completes, so a wedged cell can never stall a grid. Timed-out
+    /// cells run on detached threads (they cannot be cancelled, only
+    /// abandoned), and their records are wall-clock-dependent, so they
+    /// are never admitted to the incremental cache and the timeout is
+    /// *not* part of a cell's [`CacheKey`] — a record that completed is
+    /// the same record under any timeout.
+    pub fn cell_timeout(mut self, timeout: Duration) -> Self {
+        self.cell_timeout = Some(timeout);
+        self
+    }
+
     /// Seed the incremental cell cache with previously computed records:
     /// a grid cell whose identity — (spec, mapper, mode, policy, root,
     /// rep, tick budget), all the inputs a cell's result is a pure
@@ -229,12 +385,11 @@ impl Campaign {
         Ok(self.resume_from(parse_jsonl(text)?))
     }
 
-    /// Execute every cell of the grid and collect the report.
-    ///
-    /// Cells are distributed over [`Campaign::jobs`] scoped worker
-    /// threads; each record lands in its grid-order slot, so the report
-    /// (and its JSONL/CSV exports) is identical for any job count.
-    pub fn run(&self) -> Result<CampaignReport, CampaignError> {
+    /// Validate the grid's axes and expand its cells in grid order (spec
+    /// → mapper → mode → policy → root → rep) — the shared prologue of
+    /// [`Campaign::run`] and the campaign service coordinator, which
+    /// ships the same cells to worker processes instead of threads.
+    pub fn plan(&self) -> Result<Vec<CellSpec>, CampaignError> {
         if self.specs.is_empty() {
             return Err(CampaignError::EmptyAxis("topology specs"));
         }
@@ -258,33 +413,21 @@ impl Campaign {
                 return Err(CampaignError::UnknownMapper(name.clone()));
             }
         }
-
-        // Build every base topology once; cells share them read-only.
-        let topos: Vec<Topology> = self.specs.iter().map(DynamicSpec::build).collect();
-
-        // Grid order: spec → mapper → mode → policy → root → rep.
-        struct Cell {
-            spec_idx: usize,
-            mapper: usize,
-            mode: EngineMode,
-            policy: RemapPolicy,
-            root: NodeId,
-            rep: usize,
-        }
         let mut cells = Vec::new();
-        for (spec_idx, _) in self.specs.iter().enumerate() {
-            for (mapper, _) in self.mappers.iter().enumerate() {
+        for spec in &self.specs {
+            for mapper in &self.mappers {
                 for &mode in &self.modes {
                     for &policy in &self.policies {
                         for &root in &self.roots {
-                            for rep in 0..self.reps {
-                                cells.push(Cell {
-                                    spec_idx,
-                                    mapper,
+                            for rep in 0..self.reps.max(1) {
+                                cells.push(CellSpec {
+                                    spec: spec.clone(),
+                                    mapper: mapper.clone(),
                                     mode,
                                     policy,
                                     root,
                                     rep,
+                                    budget: self.tick_budget,
                                 });
                             }
                         }
@@ -292,29 +435,43 @@ impl Campaign {
                 }
             }
         }
+        Ok(cells)
+    }
+
+    /// Grid cells per spec — the stride between consecutive specs in the
+    /// grid order [`Campaign::plan`] produces.
+    pub fn cells_per_spec(&self) -> usize {
+        self.mappers.len()
+            * self.modes.len()
+            * self.policies.len()
+            * self.roots.len()
+            * self.reps.max(1)
+    }
+
+    /// Execute every cell of the grid and collect the report.
+    ///
+    /// Cells are distributed over [`Campaign::jobs`] scoped worker
+    /// threads; each record lands in its grid-order slot, so the report
+    /// (and its JSONL/CSV exports) is identical for any job count.
+    pub fn run(&self) -> Result<CampaignReport, CampaignError> {
+        let cells = self.plan()?;
+
+        // Build every base topology once; cells share them read-only.
+        let topos: Vec<Topology> = self.specs.iter().map(DynamicSpec::build).collect();
+        let spec_of = |cell_idx: usize| cell_idx / self.cells_per_spec();
 
         // Incremental cache: pre-fill grid slots whose (spec, mapper,
         // mode, policy, root, rep, budget) key was seeded via
         // [`Campaign::resume_from`]; only the remaining cells run live.
+        // Wall-clock-dependent records (`cell-timeout`, `worker-lost`)
+        // are not pure functions of the key and are never reused.
         let mut cache: HashMap<CacheKey, RunRecord> = self
             .cache
             .iter()
+            .filter(|r| r.is_cacheable())
             .map(|r| (r.cache_key(), r.clone()))
             .collect();
-        let slots: Vec<Option<RunRecord>> = cells
-            .iter()
-            .map(|c| {
-                cache.remove(&(
-                    self.specs[c.spec_idx].to_string(),
-                    self.mappers[c.mapper].clone(),
-                    c.mode.name(),
-                    c.policy.name(),
-                    c.root.0,
-                    c.rep,
-                    self.tick_budget,
-                ))
-            })
-            .collect();
+        let slots: Vec<Option<RunRecord>> = cells.iter().map(|c| cache.remove(&c.key())).collect();
         let cached = slots.iter().filter(|s| s.is_some()).count();
         let pending: Vec<usize> = slots
             .iter()
@@ -330,62 +487,8 @@ impl Campaign {
         }
         .min(pending.len().max(1));
 
-        let run_cell = |cell: &Cell| -> RunRecord {
-            let spec = &self.specs[cell.spec_idx];
-            let topo = &topos[cell.spec_idx];
-            let cfg = MapperConfig {
-                mode: cell.mode,
-                tick_budget: self.tick_budget,
-                capture_phases: true,
-                policy: cell.policy,
-            };
-            let mapper = mapper_by_name(&self.mappers[cell.mapper], &cfg).expect("validated above");
-            let result = if spec.is_static() {
-                match mapper.map_network(topo, cell.root) {
-                    Ok(run) => Ok(CellOutcome {
-                        rounds: run.rounds,
-                        messages: run.messages,
-                        verified: run.verify_against(topo),
-                        rcas: run.stats.map(|s| s.rcas()),
-                        bcas: run.stats.map(|s| s.bcas()),
-                        clean: run.clean,
-                        phases: run.phases,
-                        remap: None,
-                    }),
-                    Err(e) => Err(CellError::from(e)),
-                }
-            } else {
-                match mapper.map_dynamic(topo, &spec.schedule, cell.root) {
-                    Ok(run) => Ok(CellOutcome {
-                        rounds: run.total_rounds,
-                        messages: None,
-                        verified: run.verified,
-                        rcas: None,
-                        bcas: None,
-                        clean: None,
-                        phases: None,
-                        remap: Some(RemapSummary {
-                            epochs: run.epochs,
-                            initial_rounds: run.initial_rounds,
-                            latencies: run.remap_latencies,
-                            epoch_nodes: run.epoch_nodes,
-                        }),
-                    }),
-                    Err(e) => Err(CellError::from(e)),
-                }
-            };
-            RunRecord {
-                spec: spec.to_string(),
-                mapper: self.mappers[cell.mapper].clone(),
-                mode: cell.mode,
-                policy: cell.policy,
-                root: cell.root,
-                rep: cell.rep,
-                nodes: topo.num_nodes(),
-                edges: topo.num_edges(),
-                budget: self.tick_budget,
-                result,
-            }
+        let run_cell = |idx: usize| -> RunRecord {
+            cells[idx].execute_with_timeout(&topos[spec_of(idx)], self.cell_timeout)
         };
 
         let slots: Mutex<Vec<Option<RunRecord>>> = Mutex::new(slots);
@@ -398,7 +501,7 @@ impl Campaign {
                         break;
                     }
                     let slot = pending[i];
-                    let record = run_cell(&cells[slot]);
+                    let record = run_cell(slot);
                     slots.lock().expect("no worker panicked")[slot] = Some(record);
                 });
             }
@@ -429,13 +532,29 @@ impl CellError {
     /// shared by the producer ([`From<MapperError>`], which must map into
     /// this set) and the export parser ([`RunRecord::from_json`], which
     /// accepts exactly this set). Extend here first when adding a kind.
-    pub const KINDS: [&'static str; 5] = [
+    ///
+    /// The first five are *logical* failures — pure functions of the
+    /// cell's inputs, reproducible and therefore cacheable. The last two
+    /// are *operational*: `cell-timeout` (the cell exceeded a wall-clock
+    /// limit; [`Campaign::cell_timeout`] or a service worker's bound) and
+    /// `worker-lost` (the campaign service gave up on a cell after its
+    /// retry budget). Operational records are never admitted to the
+    /// incremental cache (see [`RunRecord::is_cacheable`]).
+    pub const KINDS: [&'static str; 7] = [
         "budget-exhausted",
         "precondition",
         "decode",
         "remap-diverged",
         "unresolvable",
+        "cell-timeout",
+        "worker-lost",
     ];
+
+    /// Is this kind a pure function of the cell's inputs (reproducible on
+    /// any host), as opposed to an operational artifact of one execution?
+    pub fn kind_is_deterministic(kind: &str) -> bool {
+        !matches!(kind, "cell-timeout" | "worker-lost")
+    }
 
     /// Resolve a serialized kind back to its static string, `None` for
     /// kinds this build does not know.
@@ -600,6 +719,22 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<RunRecord>, String> {
     Ok(out)
 }
 
+impl CellSpec {
+    /// This cell's deterministic identity — matches
+    /// [`RunRecord::cache_key`] of the record executing it produces.
+    pub fn key(&self) -> CacheKey {
+        (
+            self.spec.to_string(),
+            self.mapper.clone(),
+            self.mode.name(),
+            self.policy.name(),
+            self.root.0,
+            self.rep,
+            self.budget,
+        )
+    }
+}
+
 impl RunRecord {
     /// This cell's deterministic identity (see [`Campaign::resume_from`]).
     pub fn cache_key(&self) -> CacheKey {
@@ -612,6 +747,18 @@ impl RunRecord {
             self.rep,
             self.budget,
         )
+    }
+
+    /// May this record be reused for a cell with the same
+    /// [`RunRecord::cache_key`]? True for successful cells and logical
+    /// failures; false for operational failures (`cell-timeout`,
+    /// `worker-lost`), which depend on the wall clock and the worker
+    /// fleet rather than on the cell's inputs.
+    pub fn is_cacheable(&self) -> bool {
+        match &self.result {
+            Ok(_) => true,
+            Err(e) => CellError::kind_is_deterministic(e.kind),
+        }
     }
 
     /// Parse one JSONL row back into a record — `None` when the object is

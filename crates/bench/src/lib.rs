@@ -17,8 +17,8 @@ pub mod json;
 use gtd_netsim::{Topology, TopologySpec};
 
 pub use campaign::{
-    Campaign, CampaignError, CampaignReport, CellError, CellOutcome, GroupStat, RemapSummary,
-    RunRecord,
+    parse_jsonl, CacheKey, Campaign, CampaignError, CampaignReport, CellError, CellOutcome,
+    CellSpec, GroupStat, RemapSummary, RunRecord,
 };
 pub use gtd_core::{phase_breakdown, PhaseBreakdown};
 

@@ -423,3 +423,67 @@ fn repetitions_of_a_deterministic_grid_agree() {
     assert_eq!(agg[0].runs, 3);
     assert_eq!(agg[0].min_rounds, agg[0].max_rounds);
 }
+
+#[test]
+fn cell_timeout_lands_as_a_structured_error_and_the_grid_completes() {
+    use std::time::Duration;
+    let report = Campaign::new()
+        .parse_specs(["ring:128"])
+        .unwrap()
+        .mappers(["gtd"])
+        .cell_timeout(Duration::from_millis(1))
+        .run()
+        .unwrap();
+    assert_eq!(report.records.len(), 1);
+    let err = report.records[0]
+        .result
+        .as_ref()
+        .expect_err("a 1ms budget cannot map ring:128");
+    assert_eq!(err.kind, "cell-timeout");
+    assert!(err.message.contains("1 ms"), "{}", err.message);
+    // the record exports and parses back like any other failure
+    let parsed = gtd_bench::parse_jsonl(&report.to_jsonl()).unwrap();
+    assert_eq!(parsed.len(), 1);
+    assert_eq!(parsed[0], report.records[0]);
+}
+
+#[test]
+fn timed_out_records_are_never_reused_from_the_cache() {
+    use std::time::Duration;
+    let grid = || {
+        Campaign::new()
+            .parse_specs(["ring:64"])
+            .unwrap()
+            .mappers(["gtd"])
+    };
+    let timed_out = grid().cell_timeout(Duration::from_millis(1)).run().unwrap();
+    assert_eq!(timed_out.error_count(), 1);
+    assert!(!timed_out.records[0].is_cacheable());
+    // resuming from the timed-out export must re-execute the cell (an
+    // operational failure says nothing about the cell's true result) —
+    // and without the timeout it now succeeds
+    let resumed = grid()
+        .resume_from_jsonl(&timed_out.to_jsonl())
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(
+        resumed.cached, 0,
+        "cell-timeout records must not satisfy cells"
+    );
+    assert!(resumed.records[0].result.is_ok());
+    // whereas a logical failure (budget exhaustion) is reused as before
+    let exhausted = grid().tick_budget(10).run().unwrap();
+    assert_eq!(
+        exhausted.records[0].result.as_ref().unwrap_err().kind,
+        "budget-exhausted"
+    );
+    assert!(exhausted.records[0].is_cacheable());
+    let resumed = grid()
+        .tick_budget(10)
+        .resume_from_jsonl(&exhausted.to_jsonl())
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(resumed.cached, 1);
+}

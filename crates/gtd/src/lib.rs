@@ -17,7 +17,12 @@
 //! * [`bench`] — the experiment layer: spec-backed workloads and the
 //!   [`Campaign`] grid runner (specs × mappers × engine modes × roots ×
 //!   repetitions, executed across a worker pool with deterministic,
-//!   order-independent results).
+//!   order-independent results);
+//! * [`serve`] — the crash-tolerant campaign service: a coordinator that
+//!   shards grid cells across worker processes over a line-delimited
+//!   JSON protocol, with per-cell leases, heartbeats, bounded re-issue
+//!   and a persistent cell cache (`harness serve` / `harness work` /
+//!   `harness grid --via`).
 //!
 //! ```
 //! use gtd::{Campaign, GtdSession, NodeId, TopologyMapper, TopologySpec};
@@ -50,6 +55,7 @@ pub use gtd_baselines as baselines;
 pub use gtd_bench as bench;
 pub use gtd_core as protocol;
 pub use gtd_netsim as netsim;
+pub use gtd_serve as serve;
 pub use gtd_snake as snake;
 
 pub use gtd_baselines::{

@@ -5,7 +5,11 @@
 //! harness run [e1 … e8] [--scale K] [--json FILE]
 //! harness grid --spec S [--spec S …] [--mappers a,b] [--modes x,y]
 //!              [--roots 0,1] [--reps K] [--budget T] [--jobs K]
+//!              [--cell-timeout MS] [--via ADDR]
 //!              [--resume-from OLD.jsonl] [--json FILE] [--csv FILE]
+//! harness serve --listen ADDR [--workers N] [--cache FILE]
+//!               [--resume-from OLD.jsonl] [--lease-ms MS] [--max-attempts K]
+//! harness work --connect ADDR
 //! harness bench [--reps K] [--window T] [--json FILE]
 //! harness compare OLD.jsonl NEW.jsonl [--threshold PCT]
 //! ```
@@ -16,10 +20,14 @@
 //! are expressed as [`Campaign`] grids; the probe experiments (E3/E4) and
 //! the engine ablation drive their machinery directly. `grid` runs an
 //! arbitrary declared campaign; `--resume-from` seeds the incremental
-//! cell cache from a previous export so only new cells execute. `bench`
-//! writes engine perf records (median ticks/sec per spec × mode) that
-//! `compare` can gate against a committed baseline. Bare experiment
-//! names (`harness e1 e7`) are accepted as a shorthand for `run`.
+//! cell cache from a previous export so only new cells execute, and
+//! `--via` submits the same grid to a `harness serve` coordinator instead
+//! of running in-process (same flags, byte-identical exports). `serve`
+//! runs the crash-tolerant campaign service and `work` a worker for it
+//! (see README §"Campaign service"). `bench` writes engine perf records
+//! (median ticks/sec per spec × mode) that `compare` can gate against a
+//! committed baseline. Bare experiment names (`harness e1 e7`) are
+//! accepted as a shorthand for `run`.
 
 use gtd_baselines::{family_size_log2, min_ticks_lower_bound, tree_loop_params};
 use gtd_bench::json::{str_field, JsonValue};
@@ -37,6 +45,8 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("list") => cmd_list(&args[1..]),
         Some("grid") => cmd_grid(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("work") => cmd_work(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
@@ -53,12 +63,18 @@ fn usage(code: i32) -> ! {
          harness run [e1 .. e8] [--scale K] [--json FILE]\n  \
          harness grid --spec SPEC [--spec SPEC ...] [--mappers a,b] [--modes x,y]\n               \
          [--policies lazy,eager] [--roots 0,1] [--reps K] [--budget T] [--jobs K]\n               \
+         [--cell-timeout MS] [--via ADDR]\n               \
          [--resume-from OLD.jsonl] [--json FILE] [--csv FILE]\n  \
+         harness serve --listen ADDR [--workers N] [--cache FILE]\n               \
+         [--resume-from OLD.jsonl] [--lease-ms MS] [--max-attempts K]\n  \
+         harness work --connect ADDR\n  \
          harness bench [--reps K] [--window T] [--json FILE]\n  \
          harness compare OLD.jsonl NEW.jsonl [--threshold PCT]\n\n\
          `harness list` prints the spec grammar; e.g. --spec ring:64 --spec debruijn:2,5\n\
          dynamic specs append mutation suffixes: --spec ring:64+node-leave=3@t500\n\
          `grid --resume-from` skips cells already recorded in a previous JSONL export\n\
+         `grid --via` submits the grid to a `harness serve` coordinator (same flags,\n\
+         byte-identical exports); `serve --workers N` spawns its own worker fleet\n\
          `bench` measures engine throughput (median ticks/sec per spec x mode) and\n\
          writes machine-readable perf records (default BENCH_engine.json)"
     );
@@ -121,6 +137,10 @@ fn cmd_list(args: &[String]) {
     println!("engine modes: {}", modes.join(", "));
     let policies: Vec<&str> = RemapPolicy::ALL.iter().map(|p| p.name()).collect();
     println!("remap policies: {}", policies.join(", "));
+    println!(
+        "\ncampaign service: `harness serve` runs a coordinator, `harness work` a worker,\n\
+         and `harness grid --via ADDR` submits a grid to it (byte-identical exports)."
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -128,12 +148,19 @@ fn cmd_list(args: &[String]) {
 // ---------------------------------------------------------------------------
 
 fn cmd_grid(args: &[String]) {
-    let mut campaign = Campaign::new();
     let mut specs: Vec<DynamicSpec> = Vec::new();
+    let mut mappers: Option<Vec<String>> = None;
+    let mut modes: Option<Vec<EngineMode>> = None;
+    let mut policies: Option<Vec<RemapPolicy>> = None;
+    let mut roots: Option<Vec<u32>> = None;
+    let mut reps: Option<usize> = None;
+    let mut jobs: Option<usize> = None;
+    let mut budget: Option<u64> = None;
+    let mut cell_timeout_ms: Option<u64> = None;
+    let mut via: Option<String> = None;
     let mut json_path: Option<String> = None;
     let mut csv_path: Option<String> = None;
     let mut resume_path: Option<String> = None;
-    let mut mappers_set = false;
     let mut it = args.iter().cloned();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -145,70 +172,143 @@ fn cmd_grid(args: &[String]) {
                 }
             }
             "--mappers" => {
-                campaign = campaign.mappers(flag_value(&mut it, "--mappers").split(','));
-                mappers_set = true;
+                mappers = Some(
+                    flag_value(&mut it, "--mappers")
+                        .split(',')
+                        .map(String::from)
+                        .collect(),
+                );
             }
             "--modes" => {
-                let modes: Result<Vec<EngineMode>, String> = flag_value(&mut it, "--modes")
+                match flag_value(&mut it, "--modes")
                     .split(',')
                     .map(str::parse)
-                    .collect();
-                match modes {
-                    Ok(m) => campaign = campaign.modes(m),
+                    .collect::<Result<Vec<EngineMode>, String>>()
+                {
+                    Ok(m) => modes = Some(m),
                     Err(e) => bail(&e),
                 }
             }
             "--policies" => {
-                let policies: Result<Vec<RemapPolicy>, String> = flag_value(&mut it, "--policies")
+                match flag_value(&mut it, "--policies")
                     .split(',')
                     .map(str::parse)
-                    .collect();
-                match policies {
-                    Ok(p) => campaign = campaign.policies(p),
+                    .collect::<Result<Vec<RemapPolicy>, String>>()
+                {
+                    Ok(p) => policies = Some(p),
                     Err(e) => bail(&e),
                 }
             }
             "--roots" => {
-                let roots: Result<Vec<NodeId>, _> = flag_value(&mut it, "--roots")
+                match flag_value(&mut it, "--roots")
                     .split(',')
-                    .map(|r| r.trim().parse::<u32>().map(NodeId))
-                    .collect();
-                match roots {
-                    Ok(r) => campaign = campaign.roots(r),
+                    .map(|r| r.trim().parse::<u32>())
+                    .collect::<Result<Vec<u32>, _>>()
+                {
+                    Ok(r) => roots = Some(r),
                     Err(_) => bail("--roots expects comma-separated node numbers"),
                 }
             }
-            "--reps" => {
-                campaign = campaign.reps(parse_int(&flag_value(&mut it, "--reps"), "--reps"))
-            }
-            "--jobs" => {
-                campaign = campaign.jobs(parse_int(&flag_value(&mut it, "--jobs"), "--jobs"))
-            }
+            "--reps" => reps = Some(parse_int(&flag_value(&mut it, "--reps"), "--reps")),
+            "--jobs" => jobs = Some(parse_int(&flag_value(&mut it, "--jobs"), "--jobs")),
             "--budget" => {
-                campaign = campaign
-                    .tick_budget(parse_int(&flag_value(&mut it, "--budget"), "--budget") as u64)
+                budget = Some(parse_int(&flag_value(&mut it, "--budget"), "--budget") as u64)
             }
+            "--cell-timeout" => {
+                cell_timeout_ms =
+                    Some(parse_int(&flag_value(&mut it, "--cell-timeout"), "--cell-timeout") as u64)
+            }
+            "--via" => via = Some(flag_value(&mut it, "--via")),
             "--json" => json_path = Some(flag_value(&mut it, "--json")),
             "--csv" => csv_path = Some(flag_value(&mut it, "--csv")),
             "--resume-from" => resume_path = Some(flag_value(&mut it, "--resume-from")),
             other => bail(&format!("unknown grid flag {other:?} (see `harness help`)")),
         }
     }
-    campaign = campaign.specs(specs);
-    if !mappers_set {
-        campaign = campaign.mappers(gtd_baselines::mapper_names());
-    }
-    if let Some(path) = resume_path {
-        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| bail(&format!("{path}: {e}")));
-        campaign = campaign
-            .resume_from_jsonl(&text)
-            .unwrap_or_else(|e| bail(&format!("{path}: {e}")));
-    }
+    let mappers = mappers.unwrap_or_else(|| {
+        gtd_baselines::mapper_names()
+            .into_iter()
+            .map(String::from)
+            .collect()
+    });
 
     let t0 = Instant::now();
-    let report = match campaign.run() {
-        Ok(r) => r,
-        Err(e) => bail(&format!("{e}")),
+    let (report, service) = match via {
+        Some(addr) => {
+            // The service holds the cell cache; these knobs are local-run
+            // concerns and silently ignoring them would mislead.
+            if jobs.is_some() {
+                bail("--jobs applies to in-process grids; the service shards across its workers");
+            }
+            if resume_path.is_some() {
+                bail(
+                    "--resume-from applies to in-process grids; use `harness serve --resume-from`",
+                );
+            }
+            let mut req = gtd_serve::GridRequest::new(
+                specs.iter().map(|s| s.to_string()),
+                mappers.iter().cloned(),
+            );
+            if let Some(m) = modes {
+                req.modes = m;
+            }
+            if let Some(p) = policies {
+                req.policies = p;
+            }
+            if let Some(r) = roots {
+                req.roots = r;
+            }
+            if let Some(r) = reps {
+                req.reps = r;
+            }
+            req.budget = budget;
+            req.cell_timeout_ms = cell_timeout_ms;
+            match gtd_serve::run_grid(&addr, &req, std::time::Duration::from_secs(10)) {
+                Ok(served) => (
+                    gtd_bench::CampaignReport {
+                        records: served.report.records,
+                        cached: served.cached,
+                    },
+                    Some((addr, served.retries, served.worker_cells)),
+                ),
+                Err(e) => bail(&format!("{e}")),
+            }
+        }
+        None => {
+            let mut campaign = Campaign::new().specs(specs).mappers(mappers);
+            if let Some(m) = modes {
+                campaign = campaign.modes(m);
+            }
+            if let Some(p) = policies {
+                campaign = campaign.policies(p);
+            }
+            if let Some(r) = roots {
+                campaign = campaign.roots(r.into_iter().map(NodeId));
+            }
+            if let Some(r) = reps {
+                campaign = campaign.reps(r);
+            }
+            if let Some(j) = jobs {
+                campaign = campaign.jobs(j);
+            }
+            if let Some(b) = budget {
+                campaign = campaign.tick_budget(b);
+            }
+            if let Some(ms) = cell_timeout_ms {
+                campaign = campaign.cell_timeout(std::time::Duration::from_millis(ms));
+            }
+            if let Some(path) = resume_path {
+                let text = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| bail(&format!("{path}: {e}")));
+                campaign = campaign
+                    .resume_from_jsonl(&text)
+                    .unwrap_or_else(|e| bail(&format!("{path}: {e}")));
+            }
+            match campaign.run() {
+                Ok(r) => (r, None),
+                Err(e) => bail(&format!("{e}")),
+            }
+        }
     };
     let wall = t0.elapsed();
 
@@ -247,6 +347,17 @@ fn cmd_grid(args: &[String]) {
         report.cached,
         wall.as_secs_f64() * 1e3
     );
+    if let Some((addr, retries, worker_cells)) = service {
+        let shards: Vec<String> = worker_cells
+            .iter()
+            .map(|(w, c)| format!("w{w}:{c}"))
+            .collect();
+        println!(
+            "via {addr}: {} worker(s) [{}], {retries} lease retrie(s)",
+            worker_cells.len(),
+            shards.join(" ")
+        );
+    }
     if let Some(path) = json_path {
         std::fs::write(&path, report.to_jsonl()).unwrap_or_else(|e| bail(&format!("{path}: {e}")));
         println!("wrote {path}");
@@ -260,6 +371,88 @@ fn cmd_grid(args: &[String]) {
 fn parse_int(s: &str, flag: &str) -> usize {
     s.parse()
         .unwrap_or_else(|_| bail(&format!("{flag} expects an integer, got {s:?}")))
+}
+
+// ---------------------------------------------------------------------------
+// harness serve / harness work (the campaign service)
+// ---------------------------------------------------------------------------
+
+/// `harness serve`: run the crash-tolerant campaign coordinator. Blocks
+/// until killed; `--workers N` spawns N `harness work` child processes
+/// against the bound address (they die with the coordinator since their
+/// connection drops).
+fn cmd_serve(args: &[String]) {
+    let mut opts = gtd_serve::ServeOptions::default();
+    let mut workers = 0usize;
+    let mut it = args.iter().cloned();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--listen" => opts.listen = flag_value(&mut it, "--listen"),
+            "--workers" => workers = parse_int(&flag_value(&mut it, "--workers"), "--workers"),
+            "--cache" => opts.cache_path = Some(flag_value(&mut it, "--cache").into()),
+            "--resume-from" => {
+                let path = flag_value(&mut it, "--resume-from");
+                let text = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| bail(&format!("{path}: {e}")));
+                let records =
+                    gtd_bench::parse_jsonl(&text).unwrap_or_else(|e| bail(&format!("{path}: {e}")));
+                opts.seed.extend(records);
+            }
+            "--lease-ms" => {
+                opts.lease_override = Some(std::time::Duration::from_millis(parse_int(
+                    &flag_value(&mut it, "--lease-ms"),
+                    "--lease-ms",
+                )
+                    as u64))
+            }
+            "--max-attempts" => {
+                opts.max_attempts =
+                    parse_int(&flag_value(&mut it, "--max-attempts"), "--max-attempts") as u32;
+                if opts.max_attempts == 0 {
+                    bail("--max-attempts must be at least 1");
+                }
+            }
+            other => bail(&format!(
+                "unknown serve flag {other:?} (see `harness help`)"
+            )),
+        }
+    }
+    let handle = match gtd_serve::serve(opts) {
+        Ok(h) => h,
+        Err(e) => bail(&format!("serve: {e}")),
+    };
+    println!("serving on {}", handle.addr);
+    let exe = std::env::current_exe().unwrap_or_else(|e| bail(&format!("current_exe: {e}")));
+    for _ in 0..workers {
+        // Workers live as long as the service itself: `handle.wait()`
+        // below never returns, so there is no point at which to reap
+        // them — they exit on their own when the coordinator dies and
+        // the connection drops.
+        #[allow(clippy::zombie_processes)]
+        std::process::Command::new(&exe)
+            .args(["work", "--connect", &handle.addr.to_string()])
+            .spawn()
+            .unwrap_or_else(|e| bail(&format!("spawn worker: {e}")));
+    }
+    handle.wait();
+}
+
+/// `harness work`: run one worker against a coordinator until it goes
+/// away or sends `shutdown`.
+fn cmd_work(args: &[String]) {
+    let mut connect: Option<String> = None;
+    let mut it = args.iter().cloned();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--connect" => connect = Some(flag_value(&mut it, "--connect")),
+            other => bail(&format!("unknown work flag {other:?} (see `harness help`)")),
+        }
+    }
+    let addr = connect.unwrap_or_else(|| bail("work needs --connect ADDR"));
+    match gtd_serve::run_worker(&addr) {
+        Ok(cells) => println!("worker done: {cells} cell(s) executed"),
+        Err(e) => bail(&format!("work: {e}")),
+    }
 }
 
 // ---------------------------------------------------------------------------

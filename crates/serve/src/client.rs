@@ -1,0 +1,144 @@
+//! The campaign-service client: submit a grid request to a coordinator
+//! and collect the streamed rows back into a
+//! [`CampaignReport`](gtd_bench::CampaignReport) — the same type the
+//! in-process runner produces, which is what lets `harness grid --via`
+//! reuse every export path unchanged.
+
+use crate::protocol::{read_message, write_message, GridRequest, Message};
+use gtd_bench::{CampaignReport, RunRecord};
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Why a grid submission failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Connection-level failure (refused, reset, timed out connecting).
+    Io(std::io::Error),
+    /// The coordinator rejected the request or answered out of protocol.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "campaign service unreachable: {e}"),
+            ServeError::Protocol(e) => write!(f, "campaign service error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// A grid executed by the service, with the delivery metadata the
+/// envelope carries beside each row.
+#[derive(Debug)]
+pub struct ServedGrid {
+    /// The grid's records in deterministic grid order — identical, byte
+    /// for byte once exported, to an in-process run of the same request.
+    pub report: CampaignReport,
+    /// Cells the service answered from its cache (no worker ran them).
+    pub cached: usize,
+    /// Rows that captured a failure.
+    pub errors: usize,
+    /// Lease re-issues the service performed (crashed, stalled, or
+    /// otherwise lost workers).
+    pub retries: u64,
+    /// Live cells per worker id — the shard balance of this grid.
+    pub worker_cells: BTreeMap<u64, u64>,
+}
+
+/// Connect to `addr`, retrying until `timeout` — a freshly spawned
+/// coordinator may still be binding when its first client arrives.
+pub fn connect_with_retry(addr: &str, timeout: Duration) -> std::io::Result<TcpStream> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) if Instant::now() >= deadline => return Err(e),
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+/// Submit `req` to the coordinator at `addr` and block until the grid
+/// completes, collecting the streamed rows in grid order.
+pub fn run_grid(
+    addr: &str,
+    req: &GridRequest,
+    connect_timeout: Duration,
+) -> Result<ServedGrid, ServeError> {
+    let stream = connect_with_retry(addr, connect_timeout)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    write_message(&mut writer, &Message::Grid(req.clone()))?;
+
+    let mut records: Vec<RunRecord> = Vec::new();
+    let mut worker_cells: BTreeMap<u64, u64> = BTreeMap::new();
+    loop {
+        let msg = match read_message(&mut reader)? {
+            None => {
+                return Err(ServeError::Protocol(format!(
+                    "connection closed after {} row(s), before the grid completed",
+                    records.len()
+                )));
+            }
+            Some(Ok(msg)) => msg,
+            Some(Err(e)) => return Err(ServeError::Protocol(e.0)),
+        };
+        match msg {
+            Message::Row {
+                cell,
+                record,
+                worker_id,
+                ..
+            } => {
+                // Rows stream in grid order; a gap means the service and
+                // client disagree about the grid shape.
+                if cell != records.len() {
+                    return Err(ServeError::Protocol(format!(
+                        "row for cell {cell} arrived out of order (expected {})",
+                        records.len()
+                    )));
+                }
+                if let Some(w) = worker_id {
+                    *worker_cells.entry(w).or_insert(0) += 1;
+                }
+                records.push(*record);
+            }
+            Message::Done {
+                cells,
+                errors,
+                cached,
+                retries,
+            } => {
+                if cells != records.len() {
+                    return Err(ServeError::Protocol(format!(
+                        "grid done after {} of {cells} row(s)",
+                        records.len()
+                    )));
+                }
+                return Ok(ServedGrid {
+                    report: CampaignReport { records, cached },
+                    cached,
+                    errors,
+                    retries,
+                    worker_cells,
+                });
+            }
+            Message::Error { message } => return Err(ServeError::Protocol(message)),
+            other => {
+                return Err(ServeError::Protocol(format!(
+                    "unexpected message while awaiting rows: {other:?}"
+                )));
+            }
+        }
+    }
+}

@@ -1,0 +1,756 @@
+//! The campaign-service coordinator: a long-lived process that accepts
+//! grid requests, shards their cells across worker processes, streams
+//! completed rows back in deterministic grid order, and survives worker
+//! failure.
+//!
+//! # Architecture
+//!
+//! All decisions are made on one **brain thread** that owns every piece
+//! of mutable state (worker registry, cell cache, grid queue, leases).
+//! I/O threads — the listener, one reader per connection, a ticker —
+//! only translate the outside world into [`Event`]s on a channel, so the
+//! scheduling logic is single-threaded and free of lock ordering.
+//!
+//! # Fault model
+//!
+//! * Every issued cell is a **lease**: worker + deadline. The deadline
+//!   is derived from the cell's tick budget (a wedged worker cannot hold
+//!   a cell hostage for longer than the work could honestly take).
+//! * Workers **heartbeat** even mid-cell; a silent worker is declared
+//!   dead and its leases revoked. A worker whose connection drops (crash,
+//!   kill) is detected immediately via EOF.
+//! * A revoked lease is **re-issued** to a surviving worker, up to
+//!   [`ServeOptions::max_attempts`] total attempts; after that the cell
+//!   lands as a structured `worker-lost` [`CellError`](gtd_bench::CellError)
+//!   — a grid always terminates.
+//! * A worker that stalls past its lease is **quarantined** (no new
+//!   cells) until it answers or dies; a late/duplicate result for a
+//!   revoked or completed lease is ignored by lease id.
+//! * Completed cells enter the coordinator's **cache** (and, with
+//!   [`ServeOptions::cache_path`], an append-only JSONL journal reloaded
+//!   on restart), so a re-submitted grid — or a grid re-served after a
+//!   coordinator crash — completes with zero live cells, byte-identical.
+
+use crate::protocol::{
+    read_message, write_message, GridRequest, Message, ProtocolError, HEARTBEAT_MS,
+};
+use gtd_bench::{CacheKey, CellError, CellSpec, RunRecord};
+use gtd_core::default_tick_budget;
+use gtd_netsim::Topology;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::time::{Duration, Instant};
+
+/// Coordinator configuration (all knobs have service-grade defaults).
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port; the bound
+    /// address is on the returned [`ServerHandle`]).
+    pub listen: String,
+    /// Append-only JSONL journal of completed cells. Loaded on startup
+    /// when it exists — a restarted coordinator re-serves finished grids
+    /// from cache with zero live cells.
+    pub cache_path: Option<PathBuf>,
+    /// Records to pre-seed the cache with (e.g. a `--resume-from`
+    /// export). Non-cacheable records are ignored.
+    pub seed: Vec<RunRecord>,
+    /// Fixed lease duration overriding the tick-budget derivation —
+    /// mainly for tests that need fast expiry.
+    pub lease_override: Option<Duration>,
+    /// Total attempts per cell before it fails as `worker-lost` (first
+    /// issue + re-issues). At least 1.
+    pub max_attempts: u32,
+    /// How long a grid may sit with live cells and *no* connected
+    /// workers before those cells fail as `worker-lost`.
+    pub no_worker_grace: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            listen: "127.0.0.1:0".into(),
+            cache_path: None,
+            seed: Vec::new(),
+            lease_override: None,
+            max_attempts: 3,
+            no_worker_grace: Duration::from_secs(15),
+        }
+    }
+}
+
+/// A running coordinator.
+pub struct ServerHandle {
+    /// The address the service is listening on.
+    pub addr: SocketAddr,
+    brain: std::thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// Block on the brain thread (which never exits — the service runs
+    /// until the process dies).
+    pub fn wait(self) {
+        let _ = self.brain.join();
+    }
+}
+
+/// Start the coordinator: bind, spawn the listener/ticker/brain threads,
+/// return immediately with the bound address.
+pub fn serve(opts: ServeOptions) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&opts.listen)?;
+    let addr = listener.local_addr()?;
+    let (tx, rx) = mpsc::channel::<Event>();
+
+    // Listener: one greeter thread per connection. The greeter reads the
+    // first line to learn the peer's role, then keeps reading on the
+    // connection's behalf.
+    {
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { continue };
+                let tx = tx.clone();
+                std::thread::spawn(move || greet(stream, tx));
+            }
+        });
+    }
+
+    // Ticker: drives lease expiry and liveness checks.
+    {
+        let tx = tx.clone();
+        std::thread::spawn(move || loop {
+            std::thread::sleep(Duration::from_millis(200));
+            if tx.send(Event::Tick).is_err() {
+                break;
+            }
+        });
+    }
+
+    let mut brain = Brain::new(opts)?;
+    let brain = std::thread::spawn(move || {
+        while let Ok(event) = rx.recv() {
+            brain.handle(event);
+        }
+    });
+    Ok(ServerHandle { addr, brain })
+}
+
+/// What the I/O threads report to the brain.
+enum Event {
+    WorkerJoin { id: u64, writer: TcpStream },
+    WorkerMsg { id: u64, msg: Message },
+    WorkerBad { id: u64, err: ProtocolError },
+    WorkerGone { id: u64 },
+    Grid { req: GridRequest, writer: TcpStream },
+    Tick,
+}
+
+static NEXT_CONN: AtomicU64 = AtomicU64::new(1);
+
+/// Per-connection greeter: classify by first message, then pump events.
+fn greet(stream: TcpStream, tx: Sender<Event>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    match read_message(&mut reader) {
+        Ok(Some(Ok(Message::Hello))) => {
+            let id = NEXT_CONN.fetch_add(1, Ordering::Relaxed);
+            let Ok(write_half) = writer.try_clone() else {
+                return;
+            };
+            if tx
+                .send(Event::WorkerJoin {
+                    id,
+                    writer: write_half,
+                })
+                .is_err()
+            {
+                return;
+            }
+            loop {
+                match read_message(&mut reader) {
+                    Ok(Some(Ok(msg))) => {
+                        if tx.send(Event::WorkerMsg { id, msg }).is_err() {
+                            return;
+                        }
+                    }
+                    Ok(Some(Err(err))) => {
+                        if tx.send(Event::WorkerBad { id, err }).is_err() {
+                            return;
+                        }
+                    }
+                    Ok(None) | Err(_) => {
+                        let _ = tx.send(Event::WorkerGone { id });
+                        return;
+                    }
+                }
+            }
+        }
+        Ok(Some(Ok(Message::Grid(req)))) => {
+            if tx.send(Event::Grid { req, writer }).is_err() {
+                return;
+            }
+            // The protocol has no further client → coordinator messages:
+            // answer anything else with a structured error, stop at EOF.
+            loop {
+                match read_message(&mut reader) {
+                    Ok(Some(Ok(_))) | Ok(Some(Err(_))) => {
+                        let msg = Message::Error {
+                            message: "unexpected message after grid request".into(),
+                        };
+                        let Ok(mut w) = reader.get_ref().try_clone() else {
+                            return;
+                        };
+                        if write_message(&mut w, &msg).is_err() {
+                            return;
+                        }
+                    }
+                    Ok(None) | Err(_) => return,
+                }
+            }
+        }
+        Ok(Some(Ok(_))) => {
+            let _ = write_message(
+                &mut writer,
+                &Message::Error {
+                    message: "first message must be \"hello\" (worker) or \"grid\" (client)".into(),
+                },
+            );
+        }
+        Ok(Some(Err(ProtocolError(e)))) => {
+            let _ = write_message(&mut writer, &Message::Error { message: e });
+        }
+        Ok(None) | Err(_) => {}
+    }
+}
+
+/// A connected worker, as the brain sees it.
+struct Worker {
+    writer: TcpStream,
+    last_seen: Instant,
+    /// Has an outstanding assignment. Stays `true` after a lease is
+    /// revoked (quarantine): a stalled worker gets no new cells until it
+    /// answers *something* or dies.
+    busy: bool,
+    cells_done: u64,
+}
+
+/// One grid slot's lifecycle.
+enum Slot {
+    Pending,
+    Leased {
+        task: u64,
+        worker: u64,
+        deadline: Instant,
+    },
+    Done {
+        record: Box<RunRecord>,
+        worker_id: Option<u64>,
+        wall_ms: Option<f64>,
+    },
+}
+
+/// An accepted grid request being executed.
+struct GridRun {
+    client: Option<TcpStream>,
+    cells: Vec<CellSpec>,
+    /// Base topology per spec string (shared by the spec's cells).
+    topos: HashMap<String, Topology>,
+    cell_timeout_ms: Option<u64>,
+    slots: Vec<Slot>,
+    attempts: Vec<u32>,
+    queue: VecDeque<usize>,
+    next_emit: usize,
+    cached: usize,
+    retries: u64,
+}
+
+struct Brain {
+    opts: ServeOptions,
+    cache: HashMap<CacheKey, RunRecord>,
+    journal: Option<std::fs::File>,
+    workers: BTreeMap<u64, Worker>,
+    active: Option<GridRun>,
+    backlog: VecDeque<(GridRequest, TcpStream)>,
+    /// Live lease ids of the active grid → slot index. A result whose id
+    /// is not here is late or duplicated and is ignored.
+    outstanding: HashMap<u64, usize>,
+    next_task: u64,
+    no_workers_since: Option<Instant>,
+}
+
+impl Brain {
+    fn new(opts: ServeOptions) -> std::io::Result<Brain> {
+        let mut cache: HashMap<CacheKey, RunRecord> = HashMap::new();
+        let mut admit = |records: Vec<RunRecord>| {
+            for r in records {
+                if r.is_cacheable() {
+                    cache.insert(r.cache_key(), r);
+                }
+            }
+        };
+        if let Some(path) = &opts.cache_path {
+            if let Ok(text) = std::fs::read_to_string(path) {
+                admit(
+                    gtd_bench::parse_jsonl(&text)
+                        .map_err(|e| std::io::Error::other(format!("{}: {e}", path.display())))?,
+                );
+            }
+        }
+        admit(opts.seed.clone());
+        let journal = match &opts.cache_path {
+            Some(path) => Some(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            ),
+            None => None,
+        };
+        Ok(Brain {
+            opts,
+            cache,
+            journal,
+            workers: BTreeMap::new(),
+            active: None,
+            backlog: VecDeque::new(),
+            outstanding: HashMap::new(),
+            next_task: 1,
+            no_workers_since: None,
+        })
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::WorkerJoin { id, mut writer } => {
+                let ok = write_message(
+                    &mut writer,
+                    &Message::Welcome {
+                        worker_id: id,
+                        heartbeat_ms: HEARTBEAT_MS,
+                    },
+                )
+                .is_ok();
+                if ok {
+                    self.workers.insert(
+                        id,
+                        Worker {
+                            writer,
+                            last_seen: Instant::now(),
+                            busy: false,
+                            cells_done: 0,
+                        },
+                    );
+                }
+            }
+            Event::WorkerGone { id } => self.drop_worker(id),
+            Event::WorkerBad { id, err } => {
+                // Malformed worker line: answer with a structured error,
+                // keep the worker (its lease is still honored).
+                if let Some(w) = self.workers.get_mut(&id) {
+                    w.last_seen = Instant::now();
+                    let _ = write_message(&mut w.writer, &Message::Error { message: err.0 });
+                }
+            }
+            Event::WorkerMsg { id, msg } => {
+                if let Some(w) = self.workers.get_mut(&id) {
+                    w.last_seen = Instant::now();
+                }
+                match msg {
+                    Message::Heartbeat => {}
+                    Message::Result {
+                        cell,
+                        wall_ms,
+                        record,
+                    } => self.accept_result(id, cell, wall_ms, *record),
+                    // Anything else from a worker is unexpected: answer
+                    // with an error, keep serving.
+                    _ => {
+                        if let Some(w) = self.workers.get_mut(&id) {
+                            let _ = write_message(
+                                &mut w.writer,
+                                &Message::Error {
+                                    message: "unexpected message from worker".into(),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            Event::Grid { req, writer } => {
+                self.backlog.push_back((req, writer));
+            }
+            Event::Tick => self.tick(),
+        }
+        self.advance();
+    }
+
+    /// Declare a worker dead: revoke its leases and forget it.
+    fn drop_worker(&mut self, id: u64) {
+        if self.workers.remove(&id).is_none() {
+            return;
+        }
+        let Some(grid) = &mut self.active else { return };
+        let lost: Vec<usize> = grid
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                Slot::Leased { worker, .. } if *worker == id => Some(i),
+                _ => None,
+            })
+            .collect();
+        for slot in lost {
+            self.revoke(slot, "its worker died");
+        }
+    }
+
+    /// Take a lease back from its worker: re-queue the cell or, past the
+    /// attempt budget, fail it as `worker-lost`.
+    fn revoke(&mut self, slot: usize, why: &str) {
+        let Some(grid) = &mut self.active else { return };
+        let Slot::Leased { task, .. } = grid.slots[slot] else {
+            return;
+        };
+        self.outstanding.remove(&task);
+        grid.retries += 1;
+        if grid.attempts[slot] >= self.opts.max_attempts {
+            let record = lost_record(
+                &grid.cells[slot],
+                &grid.topos,
+                grid.attempts[slot],
+                &format!("last lease revoked because {why}"),
+            );
+            grid.slots[slot] = Slot::Done {
+                record: Box::new(record),
+                worker_id: None,
+                wall_ms: None,
+            };
+        } else {
+            grid.slots[slot] = Slot::Pending;
+            // Re-issue ahead of virgin cells: the client is likely
+            // blocked on this row (rows stream in grid order).
+            grid.queue.push_front(slot);
+        }
+    }
+
+    fn accept_result(&mut self, worker_id: u64, task: u64, wall_ms: f64, record: RunRecord) {
+        if let Some(w) = self.workers.get_mut(&worker_id) {
+            // Any answer lifts the quarantine: the worker is responsive.
+            w.busy = false;
+            w.cells_done += 1;
+        }
+        let Some(slot) = self.outstanding.remove(&task) else {
+            // Late result for a revoked lease, or a duplicate completion:
+            // the lease id no longer exists. Ignore — results are
+            // deterministic, so the accepted copy is identical anyway.
+            return;
+        };
+        let Some(grid) = &mut self.active else { return };
+        if record.is_cacheable() {
+            self.cache.insert(record.cache_key(), record.clone());
+            if let Some(journal) = &mut self.journal {
+                let _ = writeln!(
+                    journal,
+                    "{}",
+                    service_row(&record, Some(worker_id), Some(wall_ms)).render()
+                );
+                let _ = journal.flush();
+            }
+        }
+        grid.slots[slot] = Slot::Done {
+            record: Box::new(record),
+            worker_id: Some(worker_id),
+            wall_ms: Some(wall_ms),
+        };
+    }
+
+    fn tick(&mut self) {
+        let now = Instant::now();
+        // Heartbeat liveness: a worker silent for many intervals is dead
+        // even if its socket never closed (half-open network, SIGSTOP).
+        let silent: Vec<u64> = self
+            .workers
+            .iter()
+            .filter(|(_, w)| {
+                now.duration_since(w.last_seen) > Duration::from_millis(HEARTBEAT_MS * 10)
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in silent {
+            self.drop_worker(id);
+        }
+        // Lease expiry: revoke cells whose deadline passed. The holding
+        // worker stays quarantined until it answers or dies.
+        let expired: Vec<usize> = match &self.active {
+            Some(grid) => grid
+                .slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| match s {
+                    Slot::Leased { deadline, .. } if *deadline < now => Some(i),
+                    _ => None,
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        for slot in expired {
+            self.revoke(slot, "its lease expired");
+        }
+        // No-worker failsafe: live cells with nobody to run them fail
+        // after a grace period instead of hanging the grid forever.
+        let starving = self
+            .active
+            .as_ref()
+            .is_some_and(|g| !g.queue.is_empty() || !self.outstanding.is_empty());
+        if starving && self.workers.is_empty() {
+            let since = *self.no_workers_since.get_or_insert(now);
+            if now.duration_since(since) > self.opts.no_worker_grace {
+                if let Some(grid) = &mut self.active {
+                    while let Some(slot) = grid.queue.pop_front() {
+                        let record = lost_record(
+                            &grid.cells[slot],
+                            &grid.topos,
+                            grid.attempts[slot],
+                            "no workers are connected",
+                        );
+                        grid.slots[slot] = Slot::Done {
+                            record: Box::new(record),
+                            worker_id: None,
+                            wall_ms: None,
+                        };
+                    }
+                }
+            }
+        } else {
+            self.no_workers_since = None;
+        }
+    }
+
+    /// Make progress: start a grid if idle, assign pending cells to idle
+    /// workers, stream completed rows in grid order, finish the grid.
+    fn advance(&mut self) {
+        if self.active.is_none() {
+            if let Some((req, writer)) = self.backlog.pop_front() {
+                self.start_grid(req, writer);
+            }
+        }
+        self.pump();
+        self.emit();
+        if self
+            .active
+            .as_ref()
+            .is_some_and(|g| g.next_emit == g.slots.len())
+        {
+            self.finish_grid();
+            // A queued request can start (and complete, if fully cached)
+            // right away.
+            if self.active.is_none() && !self.backlog.is_empty() {
+                self.advance();
+            }
+        }
+    }
+
+    fn start_grid(&mut self, req: GridRequest, mut writer: TcpStream) {
+        let cells = match req.to_campaign().and_then(|c| c.plan()) {
+            Ok(cells) => cells,
+            Err(e) => {
+                let _ = write_message(
+                    &mut writer,
+                    &Message::Error {
+                        message: format!("bad grid request: {e}"),
+                    },
+                );
+                return;
+            }
+        };
+        let mut topos: HashMap<String, Topology> = HashMap::new();
+        for cell in &cells {
+            topos
+                .entry(cell.spec.to_string())
+                .or_insert_with(|| cell.spec.build());
+        }
+        let mut grid = GridRun {
+            client: Some(writer),
+            slots: Vec::with_capacity(cells.len()),
+            attempts: vec![0; cells.len()],
+            queue: VecDeque::new(),
+            next_emit: 0,
+            cached: 0,
+            retries: 0,
+            cell_timeout_ms: req.cell_timeout_ms,
+            topos,
+            cells,
+        };
+        for (i, cell) in grid.cells.iter().enumerate() {
+            match self.cache.get(&cell.key()) {
+                Some(record) => {
+                    grid.cached += 1;
+                    grid.slots.push(Slot::Done {
+                        record: Box::new(record.clone()),
+                        worker_id: None,
+                        wall_ms: None,
+                    });
+                }
+                None => {
+                    grid.slots.push(Slot::Pending);
+                    grid.queue.push_back(i);
+                }
+            }
+        }
+        self.active = Some(grid);
+    }
+
+    /// Assign queued cells to idle live workers.
+    fn pump(&mut self) {
+        let Some(grid) = &mut self.active else { return };
+        let mut died: Vec<u64> = Vec::new();
+        'assign: while let Some(&slot) = grid.queue.front() {
+            let Some((&wid, worker)) = self
+                .workers
+                .iter_mut()
+                .find(|(id, w)| !w.busy && !died.contains(id))
+            else {
+                break 'assign;
+            };
+            let cell = &grid.cells[slot];
+            let topo = &grid.topos[&cell.spec.to_string()];
+            let task = self.next_task;
+            let msg = Message::Cell {
+                cell: task,
+                spec: cell.clone(),
+                cell_timeout_ms: grid.cell_timeout_ms,
+            };
+            if write_message(&mut worker.writer, &msg).is_err() {
+                died.push(wid);
+                continue 'assign;
+            }
+            self.next_task += 1;
+            grid.queue.pop_front();
+            grid.attempts[slot] += 1;
+            let lease = self
+                .opts
+                .lease_override
+                .unwrap_or_else(|| lease_for(cell, topo));
+            grid.slots[slot] = Slot::Leased {
+                task,
+                worker: wid,
+                deadline: Instant::now() + lease,
+            };
+            worker.busy = true;
+            self.outstanding.insert(task, slot);
+        }
+        for id in died {
+            self.drop_worker(id);
+        }
+    }
+
+    /// Stream the completed prefix of the grid to the client, in grid
+    /// order. A client that went away stops receiving rows but the grid
+    /// still completes (and caches).
+    fn emit(&mut self) {
+        let Some(grid) = &mut self.active else { return };
+        while let Some(Slot::Done {
+            record,
+            worker_id,
+            wall_ms,
+        }) = grid.slots.get(grid.next_emit)
+        {
+            if let Some(client) = &mut grid.client {
+                let msg = Message::Row {
+                    cell: grid.next_emit,
+                    record: record.clone(),
+                    worker_id: *worker_id,
+                    wall_ms: *wall_ms,
+                };
+                if write_message(client, &msg).is_err() {
+                    grid.client = None;
+                }
+            }
+            grid.next_emit += 1;
+        }
+    }
+
+    fn finish_grid(&mut self) {
+        let Some(mut grid) = self.active.take() else {
+            return;
+        };
+        let errors = grid
+            .slots
+            .iter()
+            .filter(|s| matches!(s, Slot::Done { record, .. } if record.result.is_err()))
+            .count();
+        if let Some(client) = &mut grid.client {
+            let _ = write_message(
+                client,
+                &Message::Done {
+                    cells: grid.slots.len(),
+                    errors,
+                    cached: grid.cached,
+                    retries: grid.retries,
+                },
+            );
+        }
+    }
+}
+
+/// Lease duration for a cell: proportional to the work the cell may
+/// honestly do (its tick budget × the number of mapping epochs), assuming
+/// a conservative 100k engine-ticks/sec floor, clamped to [2s, 120s].
+fn lease_for(cell: &CellSpec, topo: &Topology) -> Duration {
+    let budget = cell.budget.unwrap_or_else(|| default_tick_budget(topo));
+    let epochs = 1 + cell.spec.schedule.items().len() as u64;
+    Duration::from_millis((budget.saturating_mul(epochs) / 100).clamp(2_000, 120_000))
+}
+
+/// The structured record for a cell the service gave up on.
+fn lost_record(
+    cell: &CellSpec,
+    topos: &HashMap<String, Topology>,
+    attempts: u32,
+    why: &str,
+) -> RunRecord {
+    let topo = &topos[&cell.spec.to_string()];
+    RunRecord {
+        spec: cell.spec.to_string(),
+        mapper: cell.mapper.clone(),
+        mode: cell.mode,
+        policy: cell.policy,
+        root: cell.root,
+        rep: cell.rep,
+        nodes: topo.num_nodes(),
+        edges: topo.num_edges(),
+        budget: cell.budget,
+        result: Err(CellError {
+            kind: "worker-lost",
+            message: format!("cell abandoned after {attempts} lease(s): {why}"),
+        }),
+    }
+}
+
+/// A journal/observability row: the record payload plus `worker_id` and
+/// `wall_ms`. [`RunRecord::from_json`] ignores the extra members, so the
+/// journal reloads through [`gtd_bench::parse_jsonl`] and the fields
+/// never affect [`RunRecord::cache_key`] or `harness compare`.
+fn service_row(
+    record: &RunRecord,
+    worker_id: Option<u64>,
+    wall_ms: Option<f64>,
+) -> gtd_bench::json::JsonValue {
+    use gtd_bench::json::JsonValue;
+    let mut row = record.to_json();
+    if let JsonValue::Obj(map) = &mut row {
+        if let Some(w) = worker_id {
+            map.insert("worker_id".into(), JsonValue::Num(w as f64));
+        }
+        if let Some(x) = wall_ms {
+            map.insert("wall_ms".into(), JsonValue::Num(x));
+        }
+    }
+    row
+}

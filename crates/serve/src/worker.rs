@@ -1,0 +1,121 @@
+//! The campaign-service worker: a loop that leases cells from a
+//! coordinator and executes them with the same code path as an
+//! in-process [`Campaign`](gtd_bench::Campaign) — which is what keeps
+//! service results byte-identical to local runs.
+
+use crate::protocol::{read_message, write_message, Message, ProtocolError};
+use gtd_bench::CellSpec;
+use gtd_netsim::Topology;
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Environment variable naming a spec substring the worker stalls on
+/// (sleeps forever *before* executing a matching cell, heartbeats still
+/// flowing). A test-only fault hook: it simulates a wedged worker so the
+/// coordinator's lease-expiry path can be exercised deterministically.
+pub const STALL_ENV: &str = "GTD_SERVE_STALL_SPEC";
+
+/// Run a worker against `addr` until the coordinator shuts it down or
+/// the connection drops. Returns the number of cells executed.
+pub fn run_worker(addr: &str) -> std::io::Result<u64> {
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let writer = Arc::new(Mutex::new(stream));
+    write_message(
+        &mut *writer.lock().expect("no holder panicked"),
+        &Message::Hello,
+    )?;
+
+    // Registration: the coordinator answers hello with welcome.
+    let heartbeat_ms = match read_message(&mut reader)? {
+        Some(Ok(Message::Welcome { heartbeat_ms, .. })) => heartbeat_ms,
+        Some(Ok(Message::Error { message })) => {
+            return Err(std::io::Error::other(format!(
+                "coordinator rejected: {message}"
+            )));
+        }
+        other => {
+            return Err(std::io::Error::other(format!(
+                "expected welcome, got {other:?}"
+            )));
+        }
+    };
+
+    // Heartbeats flow from their own thread even while a cell executes;
+    // the shared writer mutex keeps lines whole. The thread exits when
+    // its writes start failing (connection gone).
+    {
+        let writer = Arc::clone(&writer);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(Duration::from_millis(heartbeat_ms));
+            let mut w = writer.lock().expect("no holder panicked");
+            if write_message(&mut *w, &Message::Heartbeat).is_err() {
+                break;
+            }
+        });
+    }
+
+    let stall_pattern = std::env::var(STALL_ENV).ok().filter(|p| !p.is_empty());
+    // Base topologies are pure functions of the spec string: build each
+    // once and reuse it across this worker's cells.
+    let mut topos: HashMap<String, Topology> = HashMap::new();
+    let mut executed = 0u64;
+    loop {
+        let msg = match read_message(&mut reader)? {
+            None => return Ok(executed), // coordinator gone
+            Some(Ok(msg)) => msg,
+            Some(Err(ProtocolError(e))) => {
+                // Malformed coordinator line: report and keep serving.
+                let mut w = writer.lock().expect("no holder panicked");
+                write_message(&mut *w, &Message::Error { message: e })?;
+                continue;
+            }
+        };
+        match msg {
+            Message::Cell {
+                cell,
+                spec,
+                cell_timeout_ms,
+            } => {
+                if let Some(pat) = &stall_pattern {
+                    if spec.spec.to_string().contains(pat.as_str()) {
+                        // Wedge on purpose (test hook): never answer this
+                        // lease, keep heartbeating.
+                        loop {
+                            std::thread::sleep(Duration::from_secs(3600));
+                        }
+                    }
+                }
+                let (record, wall_ms) = execute(&mut topos, &spec, cell_timeout_ms);
+                executed += 1;
+                let mut w = writer.lock().expect("no holder panicked");
+                let result = Message::Result {
+                    cell,
+                    wall_ms,
+                    record: Box::new(record),
+                };
+                write_message(&mut *w, &result)?;
+            }
+            Message::Shutdown => return Ok(executed),
+            // Anything else from the coordinator is unexpected but
+            // harmless; ignore and keep the lease loop alive.
+            _ => {}
+        }
+    }
+}
+
+fn execute(
+    topos: &mut HashMap<String, Topology>,
+    spec: &CellSpec,
+    cell_timeout_ms: Option<u64>,
+) -> (gtd_bench::RunRecord, f64) {
+    let topo = topos
+        .entry(spec.spec.to_string())
+        .or_insert_with(|| spec.spec.build());
+    let t0 = Instant::now();
+    let record = spec.execute_with_timeout(topo, cell_timeout_ms.map(Duration::from_millis));
+    (record, t0.elapsed().as_secs_f64() * 1e3)
+}

@@ -1,0 +1,114 @@
+//! The fault drill of ISSUE 6: a coordinator with four worker
+//! *processes*, one killed mid-grid and one wedged on a specific spec
+//! (heartbeats still flowing, so only lease expiry can free its cell).
+//! The grid must still complete with JSONL byte-identical to an
+//! in-process `--jobs 1` run.
+
+use gtd_serve::{run_grid, serve, GridRequest, ServeOptions};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const CONNECT: Duration = Duration::from_secs(10);
+
+fn request() -> GridRequest {
+    let mut req = GridRequest::new(
+        ["ring:24", "ring:24+rewire=1@t200", "debruijn:2,4"],
+        ["gtd", "flood-echo", "routed-dfs"],
+    );
+    req.reps = 2;
+    req
+}
+
+fn spawn_worker(addr: &str, stall_spec: Option<&str>) -> Child {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_harness"));
+    cmd.args(["work", "--connect", addr])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    if let Some(spec) = stall_spec {
+        cmd.env(gtd_serve::worker::STALL_ENV, spec);
+    }
+    cmd.spawn().expect("spawn harness work")
+}
+
+#[test]
+fn grid_survives_a_killed_worker_and_a_wedged_worker() {
+    let expected = request()
+        .to_campaign()
+        .unwrap()
+        .jobs(1)
+        .run()
+        .unwrap()
+        .to_jsonl();
+
+    // Short leases so the wedged worker's cell frees quickly; enough
+    // attempts that transient revocations never exhaust a cell.
+    let handle = serve(ServeOptions {
+        lease_override: Some(Duration::from_secs(2)),
+        max_attempts: 10,
+        ..ServeOptions::default()
+    })
+    .unwrap();
+    let addr = handle.addr.to_string();
+
+    // Three healthy workers and one that wedges forever on the first
+    // cell it is handed — every spec contains ":" — while still
+    // heartbeating: only the lease timeout, not liveness detection, can
+    // recover its cell.
+    let mut victim = spawn_worker(&addr, None);
+    let mut workers = vec![
+        spawn_worker(&addr, None),
+        spawn_worker(&addr, None),
+        spawn_worker(&addr, Some(":")),
+    ];
+
+    // Kill one healthy worker mid-grid.
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(300));
+        victim.kill().expect("kill worker");
+        victim.wait().expect("reap worker");
+    });
+
+    let served = run_grid(&addr, &request(), CONNECT).expect("grid completes despite faults");
+    killer.join().unwrap();
+    for w in &mut workers {
+        w.kill().ok();
+        w.wait().ok();
+    }
+
+    assert_eq!(
+        served.report.to_jsonl(),
+        expected,
+        "faults must not change a single byte of the export"
+    );
+    assert_eq!(
+        served.errors, 0,
+        "every cell must be re-issued and complete"
+    );
+    assert!(
+        served.retries >= 1,
+        "the wedged worker's lease must have been revoked at least once"
+    );
+}
+
+#[test]
+fn a_grid_with_no_workers_fails_structurally_instead_of_hanging() {
+    let handle = serve(ServeOptions {
+        no_worker_grace: Duration::from_millis(500),
+        ..ServeOptions::default()
+    })
+    .unwrap();
+    let served = run_grid(
+        &handle.addr.to_string(),
+        &GridRequest::new(["ring:8"], ["gtd"]),
+        CONNECT,
+    )
+    .expect("the grid terminates even with zero workers");
+    assert_eq!(served.report.records.len(), 1);
+    let err = served.report.records[0]
+        .result
+        .as_ref()
+        .expect_err("no worker ever ran the cell");
+    assert_eq!(err.kind, "worker-lost");
+    assert!(!served.report.records[0].is_cacheable());
+    assert_eq!(served.errors, 1);
+}

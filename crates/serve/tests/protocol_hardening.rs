@@ -1,0 +1,174 @@
+//! Malformed-protocol hardening: garbage on the wire must come back as
+//! structured `error` messages — never a panic, never a wedged
+//! coordinator.
+
+use gtd_serve::{run_grid, serve, GridRequest, ServeOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+const CONNECT: Duration = Duration::from_secs(10);
+
+fn send_line(addr: std::net::SocketAddr, line: &str) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply).unwrap();
+    reply
+}
+
+#[test]
+fn malformed_first_lines_get_structured_errors() {
+    let handle = serve(ServeOptions::default()).unwrap();
+    let cases = [
+        // not JSON at all
+        "this is not json",
+        // truncated JSON (cut mid-object)
+        r#"{"type":"grid","specs":["ring:8"#,
+        // valid JSON, unknown message type
+        r#"{"type":"flurb"}"#,
+        // valid JSON, no type member
+        r#"{"specs":["ring:8"]}"#,
+        // a known type that is not a valid opening message
+        r#"{"type":"heartbeat"}"#,
+        // a grid missing its required axes
+        r#"{"type":"grid","specs":["ring:8"]}"#,
+    ];
+    for line in cases {
+        let reply = send_line(handle.addr, line);
+        assert!(
+            reply.contains("\"type\":\"error\""),
+            "{line:?} must be answered with an error message, got {reply:?}"
+        );
+    }
+    // after all that abuse, an honest client is still served
+    std::thread::spawn({
+        let addr = handle.addr;
+        move || {
+            let _ = gtd_serve::run_worker(&addr.to_string());
+        }
+    });
+    let served = run_grid(
+        &handle.addr.to_string(),
+        &GridRequest::new(["ring:8"], ["gtd"]),
+        CONNECT,
+    )
+    .unwrap();
+    assert_eq!(served.errors, 0);
+}
+
+#[test]
+fn duplicate_and_phantom_results_are_ignored() {
+    let handle = serve(ServeOptions::default()).unwrap();
+    // A hostile "worker": registers, then reports results for leases it
+    // never held — twice — plus a malformed line.
+    let mut stream = TcpStream::connect(handle.addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    stream.write_all(b"{\"type\":\"hello\"}\n").unwrap();
+    let mut welcome = String::new();
+    reader.read_line(&mut welcome).unwrap();
+    assert!(welcome.contains("\"type\":\"welcome\""), "{welcome:?}");
+
+    let phantom = concat!(
+        r#"{"type":"result","cell":424242,"wall_ms":1.0,"#,
+        r#""spec":"ring:8","mapper":"gtd","mode":"sparse","policy":"lazy","#,
+        r#""root":0,"rep":0,"n":8,"e":8,"ok":true,"rounds":10,"#,
+        r#""messages":null,"verified":true}"#,
+    );
+    stream
+        .write_all(format!("{phantom}\n{phantom}\n").as_bytes())
+        .unwrap();
+    // a malformed mid-session line is answered, not fatal
+    stream.write_all(b"{\"type\":\"result\"}\n").unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(reply.contains("\"type\":\"error\""), "{reply:?}");
+
+    // the coordinator is intact: a real worker + client still complete a
+    // grid, and the phantom record never leaked into the cache (the
+    // ring:8/gtd cell executes live and reports its true rounds, not 10)
+    std::thread::spawn({
+        let addr = handle.addr;
+        move || {
+            let _ = gtd_serve::run_worker(&addr.to_string());
+        }
+    });
+    let served = run_grid(
+        &handle.addr.to_string(),
+        &GridRequest::new(["ring:8"], ["gtd"]),
+        CONNECT,
+    )
+    .unwrap();
+    assert_eq!(served.errors, 0);
+    assert_eq!(
+        served.cached, 0,
+        "phantom results must never enter the cache"
+    );
+    let rounds = served.report.records[0].result.as_ref().unwrap().rounds;
+    assert_ne!(rounds, 10, "the cell's result must come from a real run");
+}
+
+#[test]
+fn a_client_sending_extra_messages_is_answered_not_crashed() {
+    let handle = serve(ServeOptions::default()).unwrap();
+    std::thread::spawn({
+        let addr = handle.addr;
+        move || {
+            let _ = gtd_serve::run_worker(&addr.to_string());
+        }
+    });
+    // submit a grid, then keep talking out of protocol on the same
+    // connection while rows stream back
+    let mut stream = TcpStream::connect(handle.addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    stream
+        .write_all(
+            concat!(
+                r#"{"type":"grid","specs":["ring:8"],"mappers":["gtd"],"#,
+                r#""modes":["sparse"],"policies":["lazy"],"roots":[0],"reps":1}"#,
+                "\n",
+                r#"{"type":"hello"}"#,
+                "\n",
+                "garbage\n",
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    // error replies (from the connection reader) and row/done (from the
+    // grid) are written by different threads, so their relative order is
+    // unspecified — read until all expected messages arrived
+    let mut errors = 0;
+    let mut rows = 0;
+    let mut done = false;
+    for _ in 0..16 {
+        if done && errors >= 2 {
+            break;
+        }
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap() == 0 {
+            break;
+        }
+        if line.contains("\"type\":\"error\"") {
+            errors += 1;
+        }
+        if line.contains("\"type\":\"row\"") {
+            rows += 1;
+        }
+        if line.contains("\"type\":\"done\"") {
+            done = true;
+        }
+    }
+    assert_eq!(errors, 2, "both stray lines answered with errors");
+    assert_eq!(rows, 1);
+    assert!(done, "the grid still completes for a noisy client");
+}

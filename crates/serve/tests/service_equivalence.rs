@@ -1,0 +1,135 @@
+//! The service's core contract: `grid --via` output is byte-identical to
+//! the in-process path for any worker count, and a re-submitted grid is
+//! served entirely from cache.
+
+use gtd_serve::{run_grid, serve, GridRequest, ServeOptions};
+use std::time::Duration;
+
+const CONNECT: Duration = Duration::from_secs(10);
+
+fn request() -> GridRequest {
+    let mut req = GridRequest::new(
+        ["ring:12", "ring:12+rewire=1@t100", "debruijn:2,3"],
+        ["gtd", "flood-echo"],
+    );
+    req.reps = 2;
+    req
+}
+
+fn in_process_jsonl(req: &GridRequest) -> String {
+    req.to_campaign().unwrap().jobs(1).run().unwrap().to_jsonl()
+}
+
+fn spawn_workers(addr: std::net::SocketAddr, n: usize) {
+    for _ in 0..n {
+        std::thread::spawn(move || {
+            let _ = gtd_serve::run_worker(&addr.to_string());
+        });
+    }
+}
+
+#[test]
+fn service_jsonl_is_byte_identical_for_any_worker_count() {
+    let expected = in_process_jsonl(&request());
+    for workers in [1usize, 2, 8] {
+        let handle = serve(ServeOptions::default()).unwrap();
+        spawn_workers(handle.addr, workers);
+        let served = run_grid(&handle.addr.to_string(), &request(), CONNECT)
+            .unwrap_or_else(|e| panic!("{workers} workers: {e}"));
+        assert_eq!(
+            served.report.to_jsonl(),
+            expected,
+            "{workers} workers must not change the bytes"
+        );
+        assert_eq!(served.errors, 0);
+        assert_eq!(served.cached, 0);
+        let sharded: u64 = served.worker_cells.values().sum();
+        assert_eq!(sharded as usize, served.report.records.len());
+    }
+}
+
+#[test]
+fn resubmitted_grid_is_served_from_cache_with_zero_live_cells() {
+    let handle = serve(ServeOptions::default()).unwrap();
+    spawn_workers(handle.addr, 2);
+    let addr = handle.addr.to_string();
+    let first = run_grid(&addr, &request(), CONNECT).unwrap();
+    assert_eq!(first.cached, 0);
+    let second = run_grid(&addr, &request(), CONNECT).unwrap();
+    assert_eq!(second.cached, second.report.records.len());
+    assert!(
+        second.worker_cells.is_empty(),
+        "no worker may execute a cached cell: {:?}",
+        second.worker_cells
+    );
+    assert_eq!(second.report.to_jsonl(), first.report.to_jsonl());
+    // a superset grid executes only the new cells
+    let mut bigger = request();
+    bigger.reps = 3;
+    let third = run_grid(&addr, &bigger, CONNECT).unwrap();
+    assert_eq!(third.cached, first.report.records.len());
+}
+
+#[test]
+fn cache_journal_restores_a_restarted_coordinator() {
+    let dir = std::env::temp_dir().join(format!("gtd-serve-journal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("cells.jsonl");
+    let addr1 = {
+        let handle = serve(ServeOptions {
+            cache_path: Some(journal.clone()),
+            ..ServeOptions::default()
+        })
+        .unwrap();
+        spawn_workers(handle.addr, 2);
+        handle.addr.to_string()
+    };
+    let first = run_grid(&addr1, &request(), CONNECT).unwrap();
+    assert_eq!(first.cached, 0);
+    // journal rows carry the delivery envelope and still reload as records
+    let text = std::fs::read_to_string(&journal).unwrap();
+    assert!(text.contains("\"worker_id\":"));
+    assert!(text.contains("\"wall_ms\":"));
+
+    // a second coordinator over the same journal — with NO workers at
+    // all — re-serves the finished grid entirely from cache
+    let handle = serve(ServeOptions {
+        cache_path: Some(journal),
+        ..ServeOptions::default()
+    })
+    .unwrap();
+    let served = run_grid(&handle.addr.to_string(), &request(), CONNECT).unwrap();
+    assert_eq!(served.cached, served.report.records.len());
+    assert_eq!(served.report.to_jsonl(), first.report.to_jsonl());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn seeded_records_pre_populate_the_cache() {
+    let seed = request().to_campaign().unwrap().run().unwrap().records;
+    let handle = serve(ServeOptions {
+        seed,
+        ..ServeOptions::default()
+    })
+    .unwrap();
+    // no workers: every cell must come from the seeded cache
+    let served = run_grid(&handle.addr.to_string(), &request(), CONNECT).unwrap();
+    assert_eq!(served.cached, served.report.records.len());
+    assert_eq!(served.report.to_jsonl(), in_process_jsonl(&request()));
+}
+
+#[test]
+fn bad_grid_requests_are_rejected_with_an_error() {
+    let handle = serve(ServeOptions::default()).unwrap();
+    spawn_workers(handle.addr, 1);
+    let mut req = request();
+    req.mappers = vec!["no-such-mapper".into()];
+    let err = run_grid(&handle.addr.to_string(), &req, CONNECT).unwrap_err();
+    assert!(
+        format!("{err}").contains("no-such-mapper"),
+        "error must name the bad mapper: {err}"
+    );
+    // the coordinator survives the rejection and serves the next client
+    let served = run_grid(&handle.addr.to_string(), &request(), CONNECT).unwrap();
+    assert_eq!(served.errors, 0);
+}
