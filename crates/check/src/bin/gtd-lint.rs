@@ -1,0 +1,86 @@
+//! `gtd-lint` — run the repo-specific lint rules over the workspace.
+//!
+//! Exit status 0 only when the tree is clean: zero unsuppressed
+//! violations *and* zero stale `lint.allow` entries. Failure output
+//! names `rule: file:line` so CI logs point straight at the finding.
+
+use gtd_check::lint;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut allow_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--allow" => allow_path = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!(
+                    "gtd-lint [--root DIR] [--allow FILE]\n\n\
+                     Repo-specific static analysis. Rules and rationale: \
+                     `gtd-check list`, or the README's Correctness tooling section."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("gtd-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
+    let allow_path = allow_path.unwrap_or_else(|| root.join("lint.allow"));
+    run(&root, &allow_path)
+}
+
+/// Default to the workspace this binary was built from.
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn run(root: &std::path::Path, allow_path: &std::path::Path) -> ExitCode {
+    let ws = match lint::Workspace::load(root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("gtd-lint: cannot load workspace at {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let allow_text = std::fs::read_to_string(allow_path).unwrap_or_default();
+    let allow = lint::parse_allowlist(&allow_text);
+    let outcome = lint::lint_with_allowlist(&ws, &allow);
+    for v in &outcome.violations {
+        println!("{v}");
+    }
+    for a in &outcome.stale {
+        println!(
+            "stale-allow: lint.allow:{}: `{} {}{}` matched nothing — remove it",
+            a.line,
+            a.rule,
+            a.file,
+            a.substring
+                .as_deref()
+                .map(|s| format!(" {s}"))
+                .unwrap_or_default()
+        );
+    }
+    println!(
+        "gtd-lint: {} file(s), {} rule(s), {} violation(s), {} suppressed, {} stale allow(s)",
+        outcome.files_scanned,
+        gtd_check::LINT_RULES.len(),
+        outcome.violations.len(),
+        outcome.suppressed,
+        outcome.stale.len()
+    );
+    if outcome.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,799 @@
+//! The coordinator's decision core as a pure, deterministic state
+//! machine.
+//!
+//! [`State::step`] *is* the scheduling brain of the campaign service:
+//! the worker registry, leases, quarantine, bounded re-issue, the
+//! no-worker failsafe, and grid-order streaming are all decided here,
+//! with I/O expressed as returned [`Effect`]s. Two drivers share it:
+//!
+//! * `gtd-serve`'s coordinator thread is a thin shell that translates
+//!   sockets and timers into [`Event`]s and performs the effects on
+//!   real streams and files;
+//! * the [model checker](crate::model) exhaustively explores the same
+//!   transitions under adversarial event interleavings.
+//!
+//! One implementation, two drivers — which is what makes the checker's
+//! verdict about the live service meaningful.
+//!
+//! # Purity rules
+//!
+//! Enforced by the `pure-brain-no-wallclock` lint rule: no wall clock
+//! (time is a millisecond counter fed in through [`Event::Tick`]), no
+//! threads, no sockets, and only deterministically ordered containers
+//! (`BTreeMap`/`VecDeque`, never `HashMap`) so state hashing and event
+//! replay are exact.
+//!
+//! # Known abstractions (shell ↔ brain)
+//!
+//! * Time has tick granularity (the shell ticks every 200 ms); real
+//!   lease and silence windows are ≥ 2 s, so the coarsening is safe.
+//! * The shell decides cache hits (`CellSeed::cached`) when a grid
+//!   *starts*, exactly like the pre-extraction coordinator.
+//! * A lease id is consumed even if the assignment write fails (the
+//!   shell reports the failure as a `WorkerGone`, which revokes and
+//!   re-queues the cell). The pre-extraction coordinator retried the
+//!   write without burning an attempt; the observable difference is one
+//!   extra unit of `attempts`/`retries` on a write race, never a lost
+//!   or reordered row.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// Scheduling knobs, in logical milliseconds. The shell fills these from
+/// `ServeOptions`; the model checker shrinks them to single-digit quanta
+/// so interesting interleavings appear at small depths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Options {
+    /// Total leases per cell before it fails as `worker-lost`.
+    pub max_attempts: u32,
+    /// A worker silent longer than this is declared dead.
+    pub silence_ms: u64,
+    /// How long live cells may starve with zero workers connected.
+    pub grace_ms: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            max_attempts: 3,
+            silence_ms: 5_000,
+            grace_ms: 15_000,
+        }
+    }
+}
+
+/// Mutation-testing switches: each one re-introduces a scheduling bug
+/// the coordinator is supposed to be immune to. The live service always
+/// runs with [`Faults::NONE`]; the model checker flips them one at a
+/// time to prove every invariant can actually fail (`teeth` — see the
+/// mutant matrix test).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Faults {
+    /// Skip the outstanding-lease gate: accept any result whose lease id
+    /// was *ever* issued, even after revocation (PR 6's phantom/duplicate
+    /// cache-poisoning hazard).
+    pub accept_unleased: bool,
+    /// Ignore `max_attempts` when revoking: re-queue forever.
+    pub uncapped_reissue: bool,
+    /// Drop a revoked cell on the floor instead of re-queueing it.
+    pub forget_revoked: bool,
+    /// Stream rows the moment they complete instead of in grid order.
+    pub emit_on_completion: bool,
+    /// Cache results even when the record is not cacheable (errors,
+    /// timeouts).
+    pub cache_uncacheable: bool,
+}
+
+impl Faults {
+    /// No faults: the production configuration.
+    pub const NONE: Faults = Faults {
+        accept_unleased: false,
+        uncapped_reissue: false,
+        forget_revoked: false,
+        emit_on_completion: false,
+        cache_uncacheable: false,
+    };
+}
+
+/// What the brain needs to know about one grid cell: whether the shell
+/// found it in cache at grid start, and its lease duration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CellSeed {
+    /// Cache hit at grid start: the slot is born `Done`.
+    pub cached: bool,
+    /// Lease duration when issued (tick-budget derivation or override).
+    pub lease_ms: u64,
+}
+
+/// Why a cell's lease was taken back or abandoned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LoseReason {
+    /// The holding worker died (EOF, heartbeat silence, or write error).
+    WorkerDied,
+    /// The lease deadline passed with no answer.
+    LeaseExpired,
+    /// The no-worker grace period ran out.
+    NoWorkers,
+}
+
+impl LoseReason {
+    /// The phrasing the service journal and `worker-lost` records use.
+    pub fn why(self) -> &'static str {
+        match self {
+            LoseReason::WorkerDied => "its worker died",
+            LoseReason::LeaseExpired => "its lease expired",
+            LoseReason::NoWorkers => "no workers are connected",
+        }
+    }
+}
+
+/// An input to the brain. The shell translates I/O into these; the model
+/// checker enumerates them adversarially.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Event {
+    /// A worker connection greeted successfully.
+    WorkerJoin { id: u64 },
+    /// The worker sent *something* (heartbeat, error chatter): liveness.
+    WorkerSeen { id: u64 },
+    /// EOF / connection error / write failure: the worker is gone.
+    WorkerGone { id: u64 },
+    /// A result message carrying lease id `task`.
+    Result {
+        worker: u64,
+        task: u64,
+        cacheable: bool,
+    },
+    /// A planned grid joins the queue (one seed per cell, grid order).
+    Submit { cells: Vec<CellSeed> },
+    /// The clock advanced. `now_ms` is monotone; stale ticks are no-ops.
+    Tick { now_ms: u64 },
+}
+
+/// An output of the brain: the I/O the shell must now perform. Grid ids
+/// are carried so the model checker can attribute effects across
+/// back-to-back grids.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Effect {
+    /// Send the welcome handshake to a freshly joined worker.
+    Welcome { worker: u64 },
+    /// Send cell `slot` of the active grid to `worker` as lease `task`.
+    Assign {
+        grid: u64,
+        worker: u64,
+        task: u64,
+        slot: usize,
+    },
+    /// A result for live lease `task` was accepted into `slot`.
+    Accept {
+        grid: u64,
+        worker: u64,
+        task: u64,
+        slot: usize,
+    },
+    /// Insert the accepted record into the cell cache (and journal).
+    CacheInsert { grid: u64, slot: usize },
+    /// A result arrived for a lease that is not outstanding (late,
+    /// duplicate, or phantom): ignore it.
+    DropResult { worker: u64, task: u64 },
+    /// Cell `slot` is abandoned as a `worker-lost` record.
+    Fail {
+        grid: u64,
+        slot: usize,
+        attempts: u32,
+        reason: LoseReason,
+    },
+    /// A queued grid became the active grid.
+    GridStart { grid: u64 },
+    /// Stream row `slot` to the grid's client.
+    Emit { grid: u64, slot: usize },
+    /// The active grid finished; send the done summary and retire it.
+    GridDone {
+        grid: u64,
+        cells: usize,
+        cached: usize,
+        retries: u64,
+    },
+}
+
+/// One grid slot's lifecycle, minus the record payload (the shell keeps
+/// records; the brain only schedules).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Slot {
+    Pending,
+    Leased {
+        task: u64,
+        worker: u64,
+        deadline_ms: u64,
+    },
+    Done,
+}
+
+/// A connected worker, as the brain sees it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct WorkerState {
+    /// Has an outstanding assignment. Stays `true` after a lease is
+    /// revoked (quarantine): a stalled worker gets no new cells until it
+    /// answers *something* or dies.
+    pub busy: bool,
+    pub last_seen_ms: u64,
+}
+
+/// The active grid's scheduling state.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Grid {
+    pub id: u64,
+    pub seeds: Vec<CellSeed>,
+    pub slots: Vec<Slot>,
+    /// Leases issued per slot (first issue + re-issues).
+    pub attempts: Vec<u32>,
+    /// Slots awaiting assignment. Revoked cells re-enter at the front:
+    /// the client is likely blocked on them (rows stream in grid order).
+    pub queue: VecDeque<usize>,
+    /// Which rows have streamed to the client.
+    pub emitted: Vec<bool>,
+    /// The next row to stream (grid order).
+    pub next_emit: usize,
+    /// Cells served from cache at grid start.
+    pub cached: usize,
+    /// Total lease revocations.
+    pub retries: u64,
+}
+
+/// The complete coordinator state. `Hash`/`Eq` are exact (every field is
+/// deterministic data), which is what lets the model checker prune
+/// revisited states.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct State {
+    pub opts: Options,
+    pub faults: Faults,
+    /// Logical clock; advances only via [`Event::Tick`].
+    pub now_ms: u64,
+    pub workers: BTreeMap<u64, WorkerState>,
+    pub grid: Option<Grid>,
+    pub backlog: VecDeque<Vec<CellSeed>>,
+    /// Live lease id → slot of the active grid. A result whose id is not
+    /// here is late or duplicated and is ignored.
+    pub outstanding: BTreeMap<u64, usize>,
+    /// Every lease ever issued → (grid, slot). Populated only under the
+    /// `accept_unleased` fault, where it models a coordinator that never
+    /// forgets a lease; empty (zero cost) in production.
+    pub issued: BTreeMap<u64, (u64, usize)>,
+    pub next_task: u64,
+    pub next_grid: u64,
+    pub no_workers_since_ms: Option<u64>,
+}
+
+impl State {
+    pub fn new(opts: Options, faults: Faults) -> State {
+        State {
+            opts,
+            faults,
+            now_ms: 0,
+            workers: BTreeMap::new(),
+            grid: None,
+            backlog: VecDeque::new(),
+            outstanding: BTreeMap::new(),
+            issued: BTreeMap::new(),
+            next_task: 1,
+            next_grid: 1,
+            no_workers_since_ms: None,
+        }
+    }
+
+    /// Apply one event and return the I/O it implies, in order. This is
+    /// the whole coordinator: every scheduling decision the service
+    /// makes goes through here.
+    pub fn step(&mut self, event: Event) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        match event {
+            Event::WorkerJoin { id } => {
+                self.workers.insert(
+                    id,
+                    WorkerState {
+                        busy: false,
+                        last_seen_ms: self.now_ms,
+                    },
+                );
+                fx.push(Effect::Welcome { worker: id });
+            }
+            Event::WorkerSeen { id } => {
+                if let Some(w) = self.workers.get_mut(&id) {
+                    w.last_seen_ms = self.now_ms;
+                }
+            }
+            Event::WorkerGone { id } => self.drop_worker(id, &mut fx),
+            Event::Result {
+                worker,
+                task,
+                cacheable,
+            } => self.result(worker, task, cacheable, &mut fx),
+            Event::Submit { cells } => self.backlog.push_back(cells),
+            Event::Tick { now_ms } => {
+                self.now_ms = self.now_ms.max(now_ms);
+                self.expire(&mut fx);
+            }
+        }
+        self.advance(&mut fx);
+        fx
+    }
+
+    /// Declare a worker dead: revoke its leases and forget it.
+    fn drop_worker(&mut self, id: u64, fx: &mut Vec<Effect>) {
+        if self.workers.remove(&id).is_none() {
+            return;
+        }
+        let lost: Vec<usize> = match &self.grid {
+            Some(grid) => grid
+                .slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| match s {
+                    Slot::Leased { worker, .. } if *worker == id => Some(i),
+                    _ => None,
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        for slot in lost {
+            self.revoke(slot, LoseReason::WorkerDied, fx);
+        }
+    }
+
+    /// Take a lease back from its worker: re-queue the cell or, past the
+    /// attempt budget, fail it as `worker-lost`.
+    fn revoke(&mut self, slot: usize, reason: LoseReason, fx: &mut Vec<Effect>) {
+        let Some(grid) = &mut self.grid else { return };
+        let Slot::Leased { task, .. } = grid.slots[slot] else {
+            return;
+        };
+        self.outstanding.remove(&task);
+        grid.retries += 1;
+        if grid.attempts[slot] >= self.opts.max_attempts && !self.faults.uncapped_reissue {
+            grid.slots[slot] = Slot::Done;
+            fx.push(Effect::Fail {
+                grid: grid.id,
+                slot,
+                attempts: grid.attempts[slot],
+                reason,
+            });
+        } else {
+            grid.slots[slot] = Slot::Pending;
+            if !self.faults.forget_revoked {
+                grid.queue.push_front(slot);
+            }
+        }
+    }
+
+    fn result(&mut self, worker: u64, task: u64, cacheable: bool, fx: &mut Vec<Effect>) {
+        if let Some(w) = self.workers.get_mut(&worker) {
+            w.last_seen_ms = self.now_ms;
+            // Any answer lifts the quarantine: the worker is responsive.
+            w.busy = false;
+        }
+        let slot = match self.outstanding.remove(&task) {
+            Some(slot) => slot,
+            None => {
+                // Late result for a revoked lease, a duplicate, or a
+                // phantom id: the lease no longer exists. Ignore — the
+                // fault toggle re-creates the coordinator that trusted
+                // any id it ever issued.
+                let replay = self.issued.get(&task).copied().filter(|&(g, _)| {
+                    self.faults.accept_unleased
+                        && self.grid.as_ref().is_some_and(|grid| grid.id == g)
+                });
+                match replay {
+                    Some((_, slot)) => slot,
+                    None => {
+                        fx.push(Effect::DropResult { worker, task });
+                        return;
+                    }
+                }
+            }
+        };
+        let Some(grid) = &mut self.grid else { return };
+        // Fault-free, `outstanding` only ever maps live leases to slots
+        // of the *current* grid, so this guard never fires. Under fault
+        // toggles a stale mapping can survive a grid boundary; dropping
+        // it keeps the modeled bug a cache-poisoning bug, not a crash.
+        let live = matches!(grid.slots.get(slot), Some(Slot::Leased { task: t, .. }) if *t == task);
+        if !live && slot >= grid.slots.len() {
+            fx.push(Effect::DropResult { worker, task });
+            return;
+        }
+        fx.push(Effect::Accept {
+            grid: grid.id,
+            worker,
+            task,
+            slot,
+        });
+        if cacheable || self.faults.cache_uncacheable {
+            fx.push(Effect::CacheInsert {
+                grid: grid.id,
+                slot,
+            });
+        }
+        grid.slots[slot] = Slot::Done;
+    }
+
+    /// Clock-driven duties: heartbeat liveness, lease expiry, and the
+    /// no-worker failsafe.
+    fn expire(&mut self, fx: &mut Vec<Effect>) {
+        let now = self.now_ms;
+        // A worker silent for too long is dead even if its socket never
+        // closed (half-open network, SIGSTOP).
+        let silent: Vec<u64> = self
+            .workers
+            .iter()
+            .filter(|(_, w)| now.saturating_sub(w.last_seen_ms) > self.opts.silence_ms)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in silent {
+            self.drop_worker(id, fx);
+        }
+        // Lease expiry: revoke cells whose deadline passed. The holding
+        // worker stays quarantined until it answers or dies.
+        let expired: Vec<usize> = match &self.grid {
+            Some(grid) => grid
+                .slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| match s {
+                    Slot::Leased { deadline_ms, .. } if *deadline_ms < now => Some(i),
+                    _ => None,
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        for slot in expired {
+            self.revoke(slot, LoseReason::LeaseExpired, fx);
+        }
+        // No-worker failsafe: live cells with nobody to run them fail
+        // after a grace period instead of hanging the grid forever.
+        let starving = self
+            .grid
+            .as_ref()
+            .is_some_and(|g| !g.queue.is_empty() || !self.outstanding.is_empty());
+        if starving && self.workers.is_empty() {
+            let since = *self.no_workers_since_ms.get_or_insert(now);
+            if now.saturating_sub(since) > self.opts.grace_ms {
+                if let Some(grid) = &mut self.grid {
+                    while let Some(slot) = grid.queue.pop_front() {
+                        grid.slots[slot] = Slot::Done;
+                        fx.push(Effect::Fail {
+                            grid: grid.id,
+                            slot,
+                            attempts: grid.attempts[slot],
+                            reason: LoseReason::NoWorkers,
+                        });
+                    }
+                }
+            }
+        } else {
+            self.no_workers_since_ms = None;
+        }
+    }
+
+    /// Make progress: start a grid if idle, assign pending cells to idle
+    /// workers, stream completed rows in grid order, finish the grid.
+    fn advance(&mut self, fx: &mut Vec<Effect>) {
+        loop {
+            if self.grid.is_none() {
+                let Some(seeds) = self.backlog.pop_front() else {
+                    return;
+                };
+                self.start_grid(seeds, fx);
+            }
+            self.pump(fx);
+            self.emit(fx);
+            let finished = self
+                .grid
+                .as_ref()
+                .is_some_and(|g| g.emitted.iter().all(|&e| e));
+            if !finished {
+                return;
+            }
+            if let Some(grid) = self.grid.take() {
+                fx.push(Effect::GridDone {
+                    grid: grid.id,
+                    cells: grid.slots.len(),
+                    cached: grid.cached,
+                    retries: grid.retries,
+                });
+            }
+            // A queued request can start (and complete, if fully cached)
+            // right away.
+        }
+    }
+
+    fn start_grid(&mut self, seeds: Vec<CellSeed>, fx: &mut Vec<Effect>) {
+        let id = self.next_grid;
+        self.next_grid += 1;
+        let n = seeds.len();
+        let mut grid = Grid {
+            id,
+            slots: Vec::with_capacity(n),
+            attempts: vec![0; n],
+            queue: VecDeque::new(),
+            emitted: vec![false; n],
+            next_emit: 0,
+            cached: 0,
+            retries: 0,
+            seeds,
+        };
+        for (i, seed) in grid.seeds.iter().enumerate() {
+            if seed.cached {
+                grid.cached += 1;
+                grid.slots.push(Slot::Done);
+            } else {
+                grid.slots.push(Slot::Pending);
+                grid.queue.push_back(i);
+            }
+        }
+        self.grid = Some(grid);
+        fx.push(Effect::GridStart { grid: id });
+    }
+
+    /// Assign queued cells to idle live workers, in worker-id order.
+    fn pump(&mut self, fx: &mut Vec<Effect>) {
+        let Some(grid) = &mut self.grid else { return };
+        while let Some(&slot) = grid.queue.front() {
+            let Some((&wid, worker)) = self.workers.iter_mut().find(|(_, w)| !w.busy) else {
+                return;
+            };
+            grid.queue.pop_front();
+            grid.attempts[slot] += 1;
+            let task = self.next_task;
+            self.next_task += 1;
+            grid.slots[slot] = Slot::Leased {
+                task,
+                worker: wid,
+                deadline_ms: self.now_ms.saturating_add(grid.seeds[slot].lease_ms),
+            };
+            worker.busy = true;
+            self.outstanding.insert(task, slot);
+            if self.faults.accept_unleased {
+                self.issued.insert(task, (grid.id, slot));
+            }
+            fx.push(Effect::Assign {
+                grid: grid.id,
+                worker: wid,
+                task,
+                slot,
+            });
+        }
+    }
+
+    /// Stream the completed prefix of the grid, in grid order.
+    fn emit(&mut self, fx: &mut Vec<Effect>) {
+        let Some(grid) = &mut self.grid else { return };
+        if self.faults.emit_on_completion {
+            // The fault: stream rows as they land, order be damned.
+            for slot in 0..grid.slots.len() {
+                if matches!(grid.slots[slot], Slot::Done) && !grid.emitted[slot] {
+                    grid.emitted[slot] = true;
+                    fx.push(Effect::Emit {
+                        grid: grid.id,
+                        slot,
+                    });
+                }
+            }
+            return;
+        }
+        while grid.next_emit < grid.slots.len() && matches!(grid.slots[grid.next_emit], Slot::Done)
+        {
+            grid.emitted[grid.next_emit] = true;
+            fx.push(Effect::Emit {
+                grid: grid.id,
+                slot: grid.next_emit,
+            });
+            grid.next_emit += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> Options {
+        Options {
+            max_attempts: 2,
+            silence_ms: 30,
+            grace_ms: 50,
+        }
+    }
+
+    fn seeds(n: usize) -> Vec<CellSeed> {
+        vec![
+            CellSeed {
+                cached: false,
+                lease_ms: 10,
+            };
+            n
+        ]
+    }
+
+    #[test]
+    fn happy_path_streams_in_order() {
+        let mut s = State::new(opts(), Faults::NONE);
+        s.step(Event::WorkerJoin { id: 1 });
+        let fx = s.step(Event::Submit { cells: seeds(2) });
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::GridStart { grid: 1 })));
+        let task = match fx
+            .iter()
+            .find(|e| matches!(e, Effect::Assign { .. }))
+            .expect("cell assigned")
+        {
+            Effect::Assign { task, .. } => *task,
+            _ => unreachable!(),
+        };
+        // Answer the first cell: its row must stream immediately.
+        let fx = s.step(Event::Result {
+            worker: 1,
+            task,
+            cacheable: true,
+        });
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Emit { grid: 1, slot: 0 })));
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::CacheInsert { grid: 1, slot: 0 })));
+        // Second cell answered: emit + done.
+        let fx = s.step(Event::Result {
+            worker: 1,
+            task: task + 1,
+            cacheable: true,
+        });
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Emit { grid: 1, slot: 1 })));
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            Effect::GridDone {
+                grid: 1,
+                cells: 2,
+                ..
+            }
+        )));
+        assert!(s.grid.is_none());
+        assert!(s.outstanding.is_empty());
+    }
+
+    #[test]
+    fn out_of_order_results_wait_for_the_prefix() {
+        let mut s = State::new(opts(), Faults::NONE);
+        s.step(Event::WorkerJoin { id: 1 });
+        s.step(Event::WorkerJoin { id: 2 });
+        s.step(Event::Submit { cells: seeds(2) });
+        // Worker 2 (slot 1, task 2) answers first: no emission yet.
+        let fx = s.step(Event::Result {
+            worker: 2,
+            task: 2,
+            cacheable: true,
+        });
+        assert!(!fx.iter().any(|e| matches!(e, Effect::Emit { .. })));
+        // Slot 0 lands: both rows stream, in order.
+        let fx = s.step(Event::Result {
+            worker: 1,
+            task: 1,
+            cacheable: true,
+        });
+        let emits: Vec<usize> = fx
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Emit { slot, .. } => Some(*slot),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(emits, vec![0, 1]);
+    }
+
+    #[test]
+    fn expired_lease_requeues_then_fails_at_cap() {
+        let mut s = State::new(opts(), Faults::NONE);
+        s.step(Event::WorkerJoin { id: 1 });
+        s.step(Event::Submit { cells: seeds(1) });
+        // First lease expires; the cell re-queues but worker 1 is
+        // quarantined (busy), so it waits for worker 2.
+        let fx = s.step(Event::Tick { now_ms: 11 });
+        assert!(!fx.iter().any(|e| matches!(e, Effect::Assign { .. })));
+        s.step(Event::WorkerJoin { id: 2 });
+        assert_eq!(s.grid.as_ref().map(|g| g.attempts[0]), Some(2));
+        // Second lease expires too: attempt cap reached, cell fails.
+        let fx = s.step(Event::Tick { now_ms: 23 });
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            Effect::Fail {
+                slot: 0,
+                attempts: 2,
+                reason: LoseReason::LeaseExpired,
+                ..
+            }
+        )));
+        assert!(fx.iter().any(|e| matches!(e, Effect::GridDone { .. })));
+    }
+
+    #[test]
+    fn late_result_is_dropped_by_lease_id() {
+        let mut s = State::new(opts(), Faults::NONE);
+        s.step(Event::WorkerJoin { id: 1 });
+        s.step(Event::Submit { cells: seeds(1) });
+        s.step(Event::Tick { now_ms: 11 }); // revoke lease 1
+        let fx = s.step(Event::Result {
+            worker: 1,
+            task: 1,
+            cacheable: true,
+        });
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::DropResult { task: 1, .. })));
+        assert!(!fx.iter().any(|e| matches!(e, Effect::CacheInsert { .. })));
+        // ... but the answer lifted the quarantine: the re-queued cell
+        // goes straight back to worker 1 as a new lease.
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Assign { task: 2, .. })));
+    }
+
+    #[test]
+    fn no_worker_grace_fails_the_queue() {
+        let mut s = State::new(opts(), Faults::NONE);
+        s.step(Event::Submit { cells: seeds(2) });
+        s.step(Event::Tick { now_ms: 1 }); // arms the failsafe
+        let fx = s.step(Event::Tick { now_ms: 52 });
+        let fails = fx
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    Effect::Fail {
+                        reason: LoseReason::NoWorkers,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(fails, 2);
+        assert!(fx.iter().any(|e| matches!(e, Effect::GridDone { .. })));
+    }
+
+    #[test]
+    fn cached_seeds_complete_without_workers() {
+        let mut s = State::new(opts(), Faults::NONE);
+        let cells = vec![
+            CellSeed {
+                cached: true,
+                lease_ms: 10,
+            };
+            3
+        ];
+        let fx = s.step(Event::Submit { cells });
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            Effect::GridDone {
+                cells: 3,
+                cached: 3,
+                retries: 0,
+                ..
+            }
+        )));
+        // A second grid queued behind it starts in the same step.
+        let fx = s.step(Event::Submit {
+            cells: vec![
+                CellSeed {
+                    cached: true,
+                    lease_ms: 10,
+                };
+                1
+            ],
+        });
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::GridStart { grid: 2 })));
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::GridDone { grid: 2, .. })));
+    }
+}

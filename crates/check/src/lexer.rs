@@ -1,0 +1,326 @@
+//! A deliberately small Rust source scrubber for token-level lints.
+//!
+//! [`scrub`] returns a same-length copy of the source with comment
+//! bodies and string/char literal contents blanked (delimiters kept), so
+//! byte offsets and line numbers survive and a token search cannot be
+//! fooled by `// .unwrap() is banned here` or `"format!"` in a message.
+//! [`fn_body`] and [`test_regions`] then carve out the byte ranges rules
+//! scope themselves to, by brace matching over the scrubbed text.
+//!
+//! This is not a parser — macros, `cfg_attr`, and exotic raw-identifier
+//! tricks can evade it. That is fine: the lint is a tripwire for honest
+//! drift, not a security boundary, and the rules it backs are also
+//! covered by clippy policy and runtime asserts.
+
+use std::ops::Range;
+
+/// Blank comments and literal contents, preserving length and newlines.
+pub fn scrub(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    blank(&mut out, i);
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1;
+                blank(&mut out, i);
+                blank(&mut out, i + 1);
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        blank(&mut out, i + 1);
+                        i += 1;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        blank(&mut out, i + 1);
+                        i += 1;
+                    }
+                    blank(&mut out, i.min(bytes.len() - 1));
+                    i += 1;
+                }
+            }
+            b'r' | b'b' if raw_string_hashes(bytes, i).is_some() => {
+                // r"..", r#".."#, br".." — blank through the matching
+                // closing quote + hashes.
+                let (start, hashes) = raw_string_hashes(bytes, i).unwrap_or((i, 0));
+                i = start + 1; // past the opening quote
+                loop {
+                    if i >= bytes.len() {
+                        break;
+                    }
+                    if bytes[i] == b'"' && closes_raw(bytes, i, hashes) {
+                        i += 1 + hashes;
+                        break;
+                    }
+                    blank(&mut out, i);
+                    i += 1;
+                }
+            }
+            b'"' => {
+                i += 1;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    if bytes[i] == b'\\' {
+                        blank(&mut out, i);
+                        i += 1;
+                    }
+                    if i < bytes.len() {
+                        blank(&mut out, i);
+                    }
+                    i += 1;
+                }
+                i += 1;
+            }
+            b'\'' => {
+                // Char literal or lifetime. A lifetime has no closing
+                // quote within a couple of characters.
+                if bytes.get(i + 1) == Some(&b'\\') {
+                    i += 2;
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        blank(&mut out, i);
+                        i += 1;
+                    }
+                    i += 1;
+                } else if bytes.get(i + 2) == Some(&b'\'') {
+                    blank(&mut out, i + 1);
+                    i += 3;
+                } else {
+                    i += 1; // lifetime: leave as-is
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    // Blanking replaced bytes with spaces; the vec is valid ASCII where
+    // modified and untouched UTF-8 elsewhere.
+    String::from_utf8(out).unwrap_or_default()
+}
+
+fn blank(out: &mut [u8], i: usize) {
+    if out[i] != b'\n' {
+        out[i] = b' ';
+    }
+}
+
+/// If `i` starts a raw (byte) string, return (index of the opening
+/// quote, number of hashes).
+fn raw_string_hashes(bytes: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (bytes.get(j) == Some(&b'"')).then_some((j, hashes))
+}
+
+fn closes_raw(bytes: &[u8], quote: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| bytes.get(quote + k) == Some(&b'#'))
+}
+
+/// 1-based line number of a byte offset.
+pub fn line_of(src: &str, offset: usize) -> usize {
+    src.as_bytes()[..offset.min(src.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
+/// The body range `{ ... }` of the first function named `name` in
+/// scrubbed source. `None` when the function is missing (rules treat
+/// that as a violation: a renamed hot path silently un-scopes the lint).
+pub fn fn_body(scrubbed: &str, name: &str) -> Option<Range<usize>> {
+    let bytes = scrubbed.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = scrubbed[from..].find("fn ") {
+        let at = from + pos;
+        from = at + 3;
+        // `fn` must be a word of its own (not `crate_fn `).
+        if at > 0 && is_ident(bytes[at - 1]) {
+            continue;
+        }
+        let mut j = at + 3;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        let start = j;
+        while j < bytes.len() && is_ident(bytes[j]) {
+            j += 1;
+        }
+        if &scrubbed[start..j] != name {
+            continue;
+        }
+        // Find the body's opening brace; a `;` first means a declaration.
+        let mut k = j;
+        while k < bytes.len() && bytes[k] != b'{' && bytes[k] != b';' {
+            k += 1;
+        }
+        if k >= bytes.len() || bytes[k] == b';' {
+            continue;
+        }
+        if let Some(close) = match_brace(bytes, k) {
+            return Some(k..close + 1);
+        }
+    }
+    None
+}
+
+/// Byte ranges of `#[cfg(test)] mod … { … }` blocks: rules about
+/// production code skip these.
+pub fn test_regions(scrubbed: &str) -> Vec<Range<usize>> {
+    let bytes = scrubbed.as_bytes();
+    let mut regions = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = scrubbed[from..].find("#[cfg(test)]") {
+        let at = from + pos;
+        from = at + 12;
+        // Skip whitespace and further attributes, then require `mod`.
+        let mut j = from;
+        loop {
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'#') {
+                while j < bytes.len() && bytes[j] != b']' {
+                    j += 1;
+                }
+                j += 1;
+                continue;
+            }
+            break;
+        }
+        if !scrubbed[j..].starts_with("mod") {
+            continue;
+        }
+        let mut k = j;
+        while k < bytes.len() && bytes[k] != b'{' && bytes[k] != b';' {
+            k += 1;
+        }
+        if k >= bytes.len() || bytes[k] == b';' {
+            continue;
+        }
+        if let Some(close) = match_brace(bytes, k) {
+            regions.push(at..close + 1);
+            from = close + 1;
+        }
+    }
+    regions
+}
+
+/// Count the top-level (depth-0 comma) variants of `enum name { … }`.
+pub fn enum_variants(scrubbed: &str, name: &str) -> Option<usize> {
+    let probe = format!("enum {name}");
+    let at = scrubbed.find(&probe)?;
+    let bytes = scrubbed.as_bytes();
+    let mut k = at + probe.len();
+    if k < bytes.len() && is_ident(bytes[k]) {
+        return None; // matched a longer name
+    }
+    while k < bytes.len() && bytes[k] != b'{' {
+        k += 1;
+    }
+    let close = match_brace(bytes, k)?;
+    let body = &scrubbed[k + 1..close];
+    let mut depth = 0usize;
+    let mut count = 0usize;
+    let mut seen_token = false;
+    for b in body.bytes() {
+        match b {
+            b'{' | b'(' | b'[' | b'<' => depth += 1,
+            b'}' | b')' | b']' | b'>' => depth = depth.saturating_sub(1),
+            b',' if depth == 0 => {
+                if seen_token {
+                    count += 1;
+                }
+                seen_token = false;
+            }
+            b if !b.is_ascii_whitespace() => seen_token = true,
+            _ => {}
+        }
+    }
+    if seen_token {
+        count += 1; // no trailing comma
+    }
+    Some(count)
+}
+
+fn match_brace(bytes: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrub_blanks_comments_and_strings() {
+        let src = "let a = \"x.unwrap()\"; // .clone() here\nlet b = 1;";
+        let s = scrub(src);
+        assert_eq!(s.len(), src.len());
+        assert!(!s.contains(".unwrap()"));
+        assert!(!s.contains(".clone()"));
+        assert!(s.contains("let b = 1;"));
+    }
+
+    #[test]
+    fn scrub_handles_raw_strings_chars_and_lifetimes() {
+        let src = "let r = r#\"Vec::new()\"#; let c = '\\n'; fn f<'a>(x: &'a str) {}";
+        let s = scrub(src);
+        assert!(!s.contains("Vec::new"));
+        assert!(s.contains("fn f<'a>(x: &'a str) {}"));
+    }
+
+    #[test]
+    fn fn_body_requires_exact_name() {
+        let src = "fn tick_count() { a(); } fn tick() { b(); }";
+        let body = fn_body(src, "tick").expect("found");
+        assert!(src[body].contains("b()"));
+        assert!(fn_body(src, "missing").is_none());
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mods() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\n";
+        let regions = test_regions(src);
+        assert_eq!(regions.len(), 1);
+        let at = src.find(".unwrap").expect("present");
+        assert!(regions[0].contains(&at));
+    }
+
+    #[test]
+    fn enum_variants_counts_payload_variants() {
+        let src = "pub enum Kind { A, B { n: u32, m: u32 }, C(usize), D }";
+        assert_eq!(enum_variants(src, "Kind"), Some(4));
+    }
+}

@@ -1,0 +1,606 @@
+//! Exhaustive, bounded model checking of the coordinator brain.
+//!
+//! [`sweep`] explores every interleaving of an adversarial event
+//! alphabet — worker joins, crashes, heartbeats, correct / duplicate /
+//! phantom results, lease expiry, heartbeat silence, the no-worker
+//! grace, and a second grid submission — over the *real* scheduling
+//! code ([`brain::State::step`]), to a configurable depth, pruning
+//! states already visited (DFS + state hashing). After every transition
+//! it checks the invariant battery below; at every frontier state it
+//! additionally runs a *drain*: crash all workers, let the failsafe
+//! clock run, and require the grid to terminate.
+//!
+//! The checker has teeth: each invariant is paired with at least one
+//! [`Faults`] toggle that re-introduces a historical bug, and the
+//! mutant-matrix test asserts every toggle is caught (and the fault-free
+//! brain is not). Liveness is checked under the fairness assumption
+//! that a wedged worker eventually dies or answers — which is exactly
+//! what the drain injects.
+
+use crate::brain::{CellSeed, Effect, Event, Faults, Options, State};
+use std::collections::{BTreeMap, HashSet};
+use std::hash::{DefaultHasher, Hash, Hasher};
+
+/// A machine-checked coordinator invariant. The registry feeds
+/// `harness list` and the README table; the checks live in
+/// [`Monitor::observe`] and [`drain`].
+pub struct InvariantSpec {
+    pub name: &'static str,
+    pub summary: &'static str,
+}
+
+/// The invariant battery, in check order.
+pub const INVARIANTS: &[InvariantSpec] = &[
+    InvariantSpec {
+        name: "grid-terminates",
+        summary: "every submitted grid reaches done once wedged workers die, \
+                  and finishes with zero outstanding leases",
+    },
+    InvariantSpec {
+        name: "cache-discipline",
+        summary: "a cell enters the cache at most once, and only from a \
+                  cacheable accepted result",
+    },
+    InvariantSpec {
+        name: "lease-cap",
+        summary: "no cell is ever issued more than max_attempts leases",
+    },
+    InvariantSpec {
+        name: "revoked-no-poison",
+        summary: "a result for a revoked, completed, or never-issued lease is \
+                  dropped — it cannot reach a slot or the cache",
+    },
+    InvariantSpec {
+        name: "ordered-streaming",
+        summary: "rows stream to the client in exact grid order, each exactly \
+                  once, all before the done summary",
+    },
+];
+
+/// Checker configuration. Times are logical quanta, deliberately tiny so
+/// expiry/silence/grace interleavings appear within the depth bound.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Worker id universe (ids `1..=workers` may join, crash, rejoin).
+    pub workers: u64,
+    /// Cells in the primary grid.
+    pub cells: usize,
+    /// Leading cells of the primary grid marked as cache hits.
+    pub cached: usize,
+    /// Lease duration per cell.
+    pub lease_ms: u64,
+    pub max_attempts: u32,
+    pub silence_ms: u64,
+    pub grace_ms: u64,
+    /// Maximum events along any single interleaving.
+    pub depth: usize,
+    /// Transition budget: exploration stops (reported as `truncated`)
+    /// once this many `step` calls have been made.
+    pub max_transitions: u64,
+    /// Allow a second one-cell grid to be submitted mid-flight.
+    pub second_grid: bool,
+    pub faults: Faults,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            workers: 2,
+            cells: 3,
+            cached: 1,
+            lease_ms: 10,
+            silence_ms: 25,
+            grace_ms: 40,
+            max_attempts: 2,
+            depth: 12,
+            max_transitions: 200_000,
+            second_grid: true,
+            faults: Faults::NONE,
+        }
+    }
+}
+
+impl Config {
+    fn options(&self) -> Options {
+        Options {
+            max_attempts: self.max_attempts,
+            silence_ms: self.silence_ms,
+            grace_ms: self.grace_ms,
+        }
+    }
+
+    fn primary_seeds(&self) -> Vec<CellSeed> {
+        (0..self.cells)
+            .map(|i| CellSeed {
+                cached: i < self.cached,
+                lease_ms: self.lease_ms,
+            })
+            .collect()
+    }
+}
+
+/// A failed invariant, with the event trace that reached it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    pub invariant: &'static str,
+    pub detail: String,
+    /// The events from the initial state to the violation, rendered.
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "invariant violated: {}", self.invariant)?;
+        writeln!(f, "  {}", self.detail)?;
+        writeln!(f, "  trace ({} events):", self.trace.len())?;
+        for (i, ev) in self.trace.iter().enumerate() {
+            writeln!(f, "    {i:>3}. {ev}")?;
+        }
+        Ok(())
+    }
+}
+
+/// What a sweep did and found.
+#[derive(Debug)]
+pub struct Report {
+    /// Distinct states reached (after hashing/pruning).
+    pub distinct_states: u64,
+    /// `step` calls made — each extends a distinct event interleaving.
+    pub transitions: u64,
+    /// Drain procedures executed at frontier states.
+    pub drains: u64,
+    /// The transition budget ran out before the tree was exhausted.
+    pub truncated: bool,
+    /// The first invariant violation found, if any (exploration stops).
+    pub violation: Option<Violation>,
+}
+
+impl Report {
+    pub fn ok(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// The observer riding along with the state: everything the invariants
+/// need to remember about effects already performed. Hashed together
+/// with the state so pruning never merges observationally different
+/// histories.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+struct Monitor {
+    /// (grid, slot) → cache insertions seen.
+    inserts: BTreeMap<(u64, usize), u32>,
+    /// grid → next row the client must receive.
+    next_emit: BTreeMap<u64, usize>,
+    /// grid → cell count, recorded at GridStart, cleared at a clean
+    /// GridDone. Anything left is a grid that never finished.
+    open_grids: BTreeMap<u64, usize>,
+}
+
+impl Monitor {
+    /// Check one transition's effects. `pre_live_lease` says whether a
+    /// `Result` event's task id was outstanding before the step.
+    fn observe(
+        &mut self,
+        after: &State,
+        event: &Event,
+        fx: &[Effect],
+        pre_live_lease: bool,
+    ) -> Result<(), (&'static str, String)> {
+        if let Event::Result { task, .. } = event {
+            if !pre_live_lease
+                && fx
+                    .iter()
+                    .any(|e| matches!(e, Effect::Accept { .. } | Effect::CacheInsert { .. }))
+            {
+                return Err((
+                    "revoked-no-poison",
+                    format!("result for non-outstanding lease {task} was accepted"),
+                ));
+            }
+        }
+        for effect in fx {
+            match *effect {
+                Effect::GridStart { grid } => {
+                    let cells = after
+                        .grid
+                        .as_ref()
+                        .filter(|g| g.id == grid)
+                        .map(|g| g.slots.len());
+                    // GridStart for a grid that finished within the same
+                    // step: the paired GridDone is in the same batch and
+                    // will close it; record from the effect stream.
+                    let cells = cells.unwrap_or_else(|| {
+                        fx.iter()
+                            .filter_map(|e| match e {
+                                Effect::GridDone { grid: g, cells, .. } if *g == grid => {
+                                    Some(*cells)
+                                }
+                                _ => None,
+                            })
+                            .next()
+                            .unwrap_or(0)
+                    });
+                    self.open_grids.insert(grid, cells);
+                }
+                Effect::CacheInsert { grid, slot } => {
+                    let seen = self.inserts.entry((grid, slot)).or_insert(0);
+                    *seen += 1;
+                    if *seen > 1 {
+                        return Err((
+                            "cache-discipline",
+                            format!("grid {grid} slot {slot} cached {seen} times"),
+                        ));
+                    }
+                    if !matches!(
+                        event,
+                        Event::Result {
+                            cacheable: true,
+                            ..
+                        }
+                    ) {
+                        return Err((
+                            "cache-discipline",
+                            format!(
+                                "grid {grid} slot {slot} cached from a non-cacheable result \
+                                 (event {event:?})"
+                            ),
+                        ));
+                    }
+                }
+                Effect::Emit { grid, slot } => {
+                    let expected = self.next_emit.entry(grid).or_insert(0);
+                    if slot != *expected {
+                        return Err((
+                            "ordered-streaming",
+                            format!("grid {grid} emitted slot {slot}, client expected {expected}"),
+                        ));
+                    }
+                    *expected += 1;
+                }
+                Effect::GridDone { grid, cells, .. } => {
+                    let emitted = self.next_emit.get(&grid).copied().unwrap_or(0);
+                    if emitted != cells {
+                        return Err((
+                            "ordered-streaming",
+                            format!("grid {grid} done after {emitted}/{cells} rows"),
+                        ));
+                    }
+                    if !after.outstanding.is_empty() && after.grid.is_none() {
+                        return Err((
+                            "grid-terminates",
+                            format!(
+                                "grid {grid} finished with {} outstanding lease(s)",
+                                after.outstanding.len()
+                            ),
+                        ));
+                    }
+                    self.open_grids.remove(&grid);
+                }
+                _ => {}
+            }
+        }
+        if let Some(grid) = &after.grid {
+            if let Some(slot) = grid
+                .attempts
+                .iter()
+                .position(|&a| a > after.opts.max_attempts)
+            {
+                return Err((
+                    "lease-cap",
+                    format!(
+                        "slot {slot} reached {} leases (cap {})",
+                        grid.attempts[slot], after.opts.max_attempts
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+struct Explorer {
+    cfg: Config,
+    visited: HashSet<u64>,
+    transitions: u64,
+    drains: u64,
+    truncated: bool,
+    trace: Vec<String>,
+    violation: Option<Violation>,
+}
+
+fn fingerprint(state: &State, monitor: &Monitor) -> u64 {
+    // DefaultHasher is keyed with constants: fingerprints are stable
+    // within and across runs. A 64-bit digest over ~1e6 states leaves
+    // collision odds around 1e-7 — acceptable for a pruning set.
+    let mut h = DefaultHasher::new();
+    state.hash(&mut h);
+    monitor.hash(&mut h);
+    h.finish()
+}
+
+fn describe(event: &Event) -> String {
+    match event {
+        Event::WorkerJoin { id } => format!("worker {id} joins"),
+        Event::WorkerSeen { id } => format!("worker {id} heartbeats"),
+        Event::WorkerGone { id } => format!("worker {id} crashes (EOF)"),
+        Event::Result {
+            worker,
+            task,
+            cacheable,
+        } => format!(
+            "worker {worker} answers lease {task} ({})",
+            if *cacheable { "ok" } else { "uncacheable" }
+        ),
+        Event::Submit { cells } => format!("client submits a {}-cell grid", cells.len()),
+        Event::Tick { now_ms } => format!("clock reaches {now_ms} ms"),
+    }
+}
+
+impl Explorer {
+    /// One checked transition: step a cloned state, run the monitor,
+    /// record a violation (with trace) if any.
+    fn check_step(
+        &mut self,
+        state: &mut State,
+        monitor: &mut Monitor,
+        event: Event,
+    ) -> Result<(), ()> {
+        let pre_live_lease = match &event {
+            Event::Result { task, .. } => state.outstanding.contains_key(task),
+            _ => false,
+        };
+        let fx = state.step(event.clone());
+        self.transitions += 1;
+        if let Err((invariant, detail)) = monitor.observe(state, &event, &fx, pre_live_lease) {
+            let mut trace = self.trace.clone();
+            trace.push(describe(&event));
+            self.violation = Some(Violation {
+                invariant,
+                detail,
+                trace,
+            });
+            return Err(());
+        }
+        Ok(())
+    }
+
+    /// Fairness-closure at a frontier state: every wedged worker
+    /// eventually dies, after which the failsafe clock must finish every
+    /// grid that was ever submitted. This is the liveness check — a
+    /// coordinator that can strand a cell (or a whole grid) fails here.
+    fn drain(&mut self, state: &State, monitor: &Monitor) {
+        self.drains += 1;
+        let mut state = state.clone();
+        let mut monitor = monitor.clone();
+        let ids: Vec<u64> = state.workers.keys().copied().collect();
+        for id in ids {
+            self.trace.push("drain".into());
+            let r = self.check_step(&mut state, &mut monitor, Event::WorkerGone { id });
+            self.trace.pop();
+            if r.is_err() {
+                return;
+            }
+        }
+        // Two ticks per grid arm + fire the no-worker grace; backlogged
+        // grids start as each one fails out, so allow a few rounds.
+        let mut rounds = 0usize;
+        while state.grid.is_some() || !state.backlog.is_empty() {
+            rounds += 1;
+            if rounds > 4 * (2 + state.backlog.len() + self.cfg.cells) {
+                self.violation = Some(Violation {
+                    invariant: "grid-terminates",
+                    detail: format!(
+                        "grid stuck after all workers died and the grace period ran out \
+                         ({} slot(s) unreachable)",
+                        state
+                            .grid
+                            .as_ref()
+                            .map(|g| {
+                                g.slots
+                                    .iter()
+                                    .filter(|s| !matches!(s, crate::brain::Slot::Done))
+                                    .count()
+                            })
+                            .unwrap_or(0)
+                    ),
+                    trace: {
+                        let mut t = self.trace.clone();
+                        t.push("drain: all workers die, grace elapses".into());
+                        t
+                    },
+                });
+                return;
+            }
+            let now = state.now_ms + self.cfg.grace_ms + 1;
+            self.trace.push("drain".into());
+            let r = self.check_step(&mut state, &mut monitor, Event::Tick { now_ms: now });
+            self.trace.pop();
+            if r.is_err() {
+                return;
+            }
+        }
+        if !monitor.open_grids.is_empty() {
+            self.violation = Some(Violation {
+                invariant: "grid-terminates",
+                detail: format!("{} grid(s) never reached done", monitor.open_grids.len()),
+                trace: self.trace.clone(),
+            });
+        }
+    }
+
+    /// The adversary: every event that could plausibly arrive now.
+    fn enabled_events(&self, state: &State) -> Vec<Event> {
+        let cfg = &self.cfg;
+        let mut events = Vec::new();
+        for id in 1..=cfg.workers {
+            if !state.workers.contains_key(&id) {
+                events.push(Event::WorkerJoin { id });
+            }
+        }
+        for &id in state.workers.keys() {
+            events.push(Event::WorkerSeen { id });
+            events.push(Event::WorkerGone { id });
+        }
+        // Correct results for live leases, both cacheable and not.
+        for (&task, &slot) in &state.outstanding {
+            if let Some(grid) = &state.grid {
+                if let crate::brain::Slot::Leased { worker, .. } = grid.slots[slot] {
+                    events.push(Event::Result {
+                        worker,
+                        task,
+                        cacheable: true,
+                    });
+                    events.push(Event::Result {
+                        worker,
+                        task,
+                        cacheable: false,
+                    });
+                }
+            }
+        }
+        // Duplicates / late answers: replay the two most recent retired
+        // lease ids. Phantom: an id never issued.
+        let from = state.workers.keys().next().copied().unwrap_or(7);
+        let mut replayed = 0;
+        for task in (1..state.next_task).rev() {
+            if state.outstanding.contains_key(&task) {
+                continue;
+            }
+            events.push(Event::Result {
+                worker: from,
+                task,
+                cacheable: true,
+            });
+            replayed += 1;
+            if replayed == 2 {
+                break;
+            }
+        }
+        events.push(Event::Result {
+            worker: from,
+            task: state.next_task + 999,
+            cacheable: true,
+        });
+        // Clock jumps that cross each threshold.
+        for dt in [cfg.lease_ms + 1, cfg.silence_ms + 1, cfg.grace_ms + 1] {
+            events.push(Event::Tick {
+                now_ms: state.now_ms + dt,
+            });
+        }
+        // A second grid submitted mid-flight.
+        if cfg.second_grid && state.next_grid + state.backlog.len() as u64 <= 2 {
+            events.push(Event::Submit {
+                cells: vec![CellSeed {
+                    cached: false,
+                    lease_ms: cfg.lease_ms,
+                }],
+            });
+        }
+        events
+    }
+
+    fn explore(&mut self, state: &State, monitor: &Monitor, depth: usize) {
+        if self.violation.is_some() {
+            return;
+        }
+        if self.transitions >= self.cfg.max_transitions {
+            self.truncated = true;
+            return;
+        }
+        if depth >= self.cfg.depth {
+            self.drain(state, monitor);
+            return;
+        }
+        for event in self.enabled_events(state) {
+            if self.violation.is_some() || self.transitions >= self.cfg.max_transitions {
+                return;
+            }
+            let mut next = state.clone();
+            let mut next_monitor = monitor.clone();
+            if self
+                .check_step(&mut next, &mut next_monitor, event.clone())
+                .is_err()
+            {
+                return;
+            }
+            if self.visited.insert(fingerprint(&next, &next_monitor)) {
+                self.trace.push(describe(&event));
+                self.explore(&next, &next_monitor, depth + 1);
+                self.trace.pop();
+            }
+        }
+    }
+}
+
+/// Run a bounded-exhaustive sweep and report what it found.
+pub fn sweep(cfg: Config) -> Report {
+    let mut explorer = Explorer {
+        cfg,
+        visited: HashSet::new(),
+        transitions: 0,
+        drains: 0,
+        truncated: false,
+        trace: Vec::new(),
+        violation: None,
+    };
+    let mut state = State::new(cfg.options(), cfg.faults);
+    let mut monitor = Monitor::default();
+    if explorer
+        .check_step(
+            &mut state,
+            &mut monitor,
+            Event::Submit {
+                cells: cfg.primary_seeds(),
+            },
+        )
+        .is_ok()
+    {
+        explorer.visited.insert(fingerprint(&state, &monitor));
+        explorer.trace.push(describe(&Event::Submit {
+            cells: cfg.primary_seeds(),
+        }));
+        explorer.explore(&state, &monitor, 0);
+        explorer.trace.pop();
+    }
+    Report {
+        distinct_states: explorer.visited.len() as u64,
+        transitions: explorer.transitions,
+        drains: explorer.drains,
+        truncated: explorer.truncated,
+        violation: explorer.violation,
+    }
+}
+
+/// One mutant: its name, the fault toggle that arms it, and the
+/// invariant expected to catch it.
+pub type MutantArm = (&'static str, fn(&mut Faults), &'static str);
+
+/// The fault → invariant pairing the mutant-matrix test asserts. Every
+/// invariant name in [`INVARIANTS`] appears at least once on the right.
+pub const MUTANT_MATRIX: &[MutantArm] = &[
+    (
+        "accept-unleased",
+        |f| f.accept_unleased = true,
+        "revoked-no-poison",
+    ),
+    (
+        "uncapped-reissue",
+        |f| f.uncapped_reissue = true,
+        "lease-cap",
+    ),
+    (
+        "forget-revoked",
+        |f| f.forget_revoked = true,
+        "grid-terminates",
+    ),
+    (
+        "emit-on-completion",
+        |f| f.emit_on_completion = true,
+        "ordered-streaming",
+    ),
+    (
+        "cache-uncacheable",
+        |f| f.cache_uncacheable = true,
+        "cache-discipline",
+    ),
+];

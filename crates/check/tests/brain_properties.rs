@@ -1,0 +1,258 @@
+//! Randomized property tests over the pure coordinator brain: seeded
+//! [`DetRng`](gtd_netsim::rng::DetRng) event storms — joins, deaths,
+//! duplicate and phantom results, clock jumps, overlapping grids — with
+//! the safety invariants checked after every single step. No sockets,
+//! no threads, no wall clock: a failure prints the seed that reproduces
+//! it exactly.
+
+use gtd_check::brain::{CellSeed, Effect, Event, Faults, Options, Slot, State};
+use gtd_netsim::rng::DetRng;
+use std::collections::BTreeMap;
+
+const OPTS: Options = Options {
+    max_attempts: 3,
+    silence_ms: 25,
+    grace_ms: 40,
+};
+
+/// Book-keeping mirrored from the observed effect stream (never from the
+/// brain's internals), so the checks catch lies in the effects themselves.
+#[derive(Default)]
+struct Observed {
+    /// CacheInsert count per (grid, slot).
+    inserts: BTreeMap<(u64, usize), u32>,
+    /// Next slot each grid is allowed to Emit.
+    next_emit: BTreeMap<u64, usize>,
+    /// Cells per grid still expected to finish.
+    open: BTreeMap<u64, usize>,
+    done: usize,
+}
+
+impl Observed {
+    fn check(&mut self, state: &State, effects: &[Effect], seed: u64, step: usize) {
+        let ctx = |extra: &dyn std::fmt::Display| format!("seed {seed}, step {step}: {extra}");
+        for e in effects {
+            match *e {
+                Effect::GridStart { grid } => {
+                    let cells = state.grid.as_ref().map_or(0, |g| g.slots.len());
+                    self.open.insert(grid, cells);
+                    self.next_emit.insert(grid, 0);
+                }
+                Effect::CacheInsert { grid, slot } => {
+                    let n = self.inserts.entry((grid, slot)).or_insert(0);
+                    *n += 1;
+                    assert_eq!(*n, 1, "{}", ctx(&format_args!("slot {slot} cached twice")));
+                }
+                Effect::Emit { grid, slot } => {
+                    let expect = self.next_emit.entry(grid).or_insert(0);
+                    assert_eq!(
+                        slot,
+                        *expect,
+                        "{}",
+                        ctx(&format_args!("grid {grid} emitted out of order"))
+                    );
+                    *expect += 1;
+                }
+                Effect::GridDone { grid, cells, .. } => {
+                    assert_eq!(
+                        self.next_emit.get(&grid).copied().unwrap_or(0),
+                        cells,
+                        "{}",
+                        ctx(&format_args!("grid {grid} done before its rows streamed"))
+                    );
+                    self.open.remove(&grid);
+                    self.done += 1;
+                }
+                _ => {}
+            }
+        }
+        // Lease-cap: no slot is ever attempted past the configured bound.
+        if let Some(g) = &state.grid {
+            for (slot, &a) in g.attempts.iter().enumerate() {
+                assert!(
+                    a <= state.opts.max_attempts,
+                    "{}",
+                    ctx(&format_args!(
+                        "slot {slot} attempted {a} times (cap {})",
+                        state.opts.max_attempts
+                    ))
+                );
+            }
+            // Every outstanding lease points at a currently-leased slot.
+            for (&task, &slot) in &state.outstanding {
+                assert!(
+                    matches!(g.slots.get(slot), Some(Slot::Leased { task: t, .. }) if *t == task),
+                    "{}",
+                    ctx(&format_args!(
+                        "lease {task} maps to a non-leased slot {slot}"
+                    ))
+                );
+            }
+        } else {
+            assert!(
+                state.outstanding.is_empty(),
+                "{}",
+                ctx(&"leases outstanding with no active grid")
+            );
+        }
+    }
+}
+
+fn seeds(rng: &mut DetRng, cells: usize) -> Vec<CellSeed> {
+    (0..cells)
+        .map(|_| CellSeed {
+            cached: rng.random_bool(0.25),
+            lease_ms: 5 + u64::from(rng.random_range(0..20)),
+        })
+        .collect()
+}
+
+/// One random step: mostly plausible traffic, spiced with duplicates,
+/// phantoms, and results from workers that never joined.
+fn random_event(rng: &mut DetRng, state: &State, now_ms: &mut u64) -> Event {
+    match rng.random_range(0..100) {
+        0..15 => Event::WorkerJoin {
+            id: u64::from(rng.random_range(1..6)),
+        },
+        15..25 => Event::WorkerSeen {
+            id: u64::from(rng.random_range(1..6)),
+        },
+        25..35 => Event::WorkerGone {
+            id: u64::from(rng.random_range(1..6)),
+        },
+        35..65 => {
+            // A result: usually for a live lease, sometimes stale/phantom.
+            let task = match state.outstanding.keys().next() {
+                Some(&t) if rng.random_bool(0.8) => t,
+                _ => u64::from(rng.random_range(0..50)),
+            };
+            let worker = match state.outstanding.get(&task) {
+                Some(_) if rng.random_bool(0.9) => {
+                    // The worker that actually holds a lease is busy.
+                    state
+                        .workers
+                        .iter()
+                        .find(|(_, w)| w.busy)
+                        .map_or(99, |(&id, _)| id)
+                }
+                _ => u64::from(rng.random_range(1..8)),
+            };
+            Event::Result {
+                worker,
+                task,
+                cacheable: rng.random_bool(0.7),
+            }
+        }
+        65..80 => {
+            *now_ms += u64::from(rng.random_range(1..30));
+            Event::Tick { now_ms: *now_ms }
+        }
+        _ => {
+            let cells = 1 + rng.random_range(0..3) as usize;
+            Event::Submit {
+                cells: seeds(rng, cells),
+            }
+        }
+    }
+}
+
+#[test]
+fn random_storms_preserve_every_safety_invariant() {
+    for seed in 0..200 {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut state = State::new(OPTS, Faults::NONE);
+        let mut obs = Observed::default();
+        let mut now_ms = 0u64;
+        for step in 0..400 {
+            let event = random_event(&mut rng, &state, &mut now_ms);
+            let effects = state.step(event);
+            obs.check(&state, &effects, seed, step);
+        }
+        // Drain: every worker dies, the clock runs past every deadline
+        // and the no-worker grace. All submitted grids must terminate.
+        let ids: Vec<u64> = state.workers.keys().copied().collect();
+        for (step, id) in ids.into_iter().enumerate() {
+            let effects = state.step(Event::WorkerGone { id });
+            obs.check(&state, &effects, seed, 1000 + step);
+        }
+        // Each backlogged grid needs its own no-worker grace window to
+        // fail over, so tick until the brain goes idle (bounded).
+        let mut round = 0;
+        while state.grid.is_some() || !state.backlog.is_empty() {
+            now_ms += OPTS.grace_ms + OPTS.silence_ms + 100;
+            let effects = state.step(Event::Tick { now_ms });
+            obs.check(&state, &effects, seed, 2000 + round);
+            round += 1;
+            assert!(round < 1000, "seed {seed}: drain did not converge");
+        }
+        assert!(
+            state.grid.is_none() && state.backlog.is_empty(),
+            "seed {seed}: grids survived the drain"
+        );
+        assert!(
+            obs.open.is_empty(),
+            "seed {seed}: grids started but never reported done: {:?}",
+            obs.open
+        );
+    }
+}
+
+#[test]
+fn storms_against_a_faulty_brain_still_terminate() {
+    // Liveness only: with the safety faults armed the invariants are
+    // expected to break (the model checker proves they do), but the
+    // brain must never wedge or panic. `forget_revoked` is excluded
+    // because losing a revoked cell from the queue genuinely kills
+    // termination — that is the grid-terminates violation itself.
+    let faults = Faults {
+        accept_unleased: true,
+        uncapped_reissue: true,
+        forget_revoked: false,
+        emit_on_completion: true,
+        cache_uncacheable: true,
+    };
+    for seed in 0..50 {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut state = State::new(OPTS, faults);
+        let mut now_ms = 0u64;
+        for _ in 0..400 {
+            let event = random_event(&mut rng, &state, &mut now_ms);
+            state.step(event);
+        }
+        let ids: Vec<u64> = state.workers.keys().copied().collect();
+        for id in ids {
+            state.step(Event::WorkerGone { id });
+        }
+        let mut round = 0;
+        while state.grid.is_some() || !state.backlog.is_empty() {
+            now_ms += OPTS.grace_ms + OPTS.silence_ms + 100;
+            state.step(Event::Tick { now_ms });
+            round += 1;
+            assert!(round < 1000, "seed {seed}: drain did not converge");
+        }
+        assert!(
+            state.grid.is_none() && state.backlog.is_empty(),
+            "seed {seed}: a faulty brain wedged instead of failing cells"
+        );
+    }
+}
+
+#[test]
+fn identical_seeds_replay_identically() {
+    // The checker's whole premise: the brain is a pure function of its
+    // event sequence. Same seed, same storm, same effect stream.
+    let run = |seed: u64| -> Vec<String> {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut state = State::new(OPTS, Faults::NONE);
+        let mut now_ms = 0;
+        let mut log = Vec::new();
+        for _ in 0..300 {
+            let event = random_event(&mut rng, &state, &mut now_ms);
+            log.extend(state.step(event).into_iter().map(|e| format!("{e:?}")));
+        }
+        log
+    };
+    for seed in [0, 7, 42] {
+        assert_eq!(run(seed), run(seed), "seed {seed} diverged");
+    }
+}

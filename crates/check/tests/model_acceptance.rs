@@ -1,0 +1,89 @@
+//! The model checker's acceptance battery: the real brain survives an
+//! exhaustive bounded sweep, and every invariant has teeth — each one
+//! catches at least one deliberately broken coordinator (mutant).
+
+use gtd_check::brain::Faults;
+use gtd_check::model::{self, Config, INVARIANTS, MUTANT_MATRIX};
+
+/// Debug-profile-sized sweep: still exhaustive over a meaningful space.
+fn test_config() -> Config {
+    Config {
+        depth: 10,
+        max_transitions: 120_000,
+        ..Config::default()
+    }
+}
+
+#[test]
+fn real_coordinator_has_no_violations() {
+    let report = model::sweep(test_config());
+    assert!(
+        report.violation.is_none(),
+        "the fault-free brain violated an invariant:\n{}",
+        report
+            .violation
+            .as_ref()
+            .map(|v| v.to_string())
+            .unwrap_or_default()
+    );
+    // Coverage floor: the sweep must be a real exploration, not a stub.
+    assert!(
+        report.transitions >= 10_000,
+        "sweep too small to mean anything: {} transitions",
+        report.transitions
+    );
+}
+
+#[test]
+fn every_mutant_is_caught_by_its_invariant() {
+    for (mutant, arm, expected) in MUTANT_MATRIX {
+        let mut cfg = test_config();
+        arm(&mut cfg.faults);
+        // A single re-issue must already overflow the cap for the
+        // uncapped mutant to be reachable at small depth.
+        if *mutant == "uncapped-reissue" {
+            cfg.max_attempts = 1;
+        }
+        let report = model::sweep(cfg);
+        let violation = report.violation.unwrap_or_else(|| {
+            panic!(
+                "mutant `{mutant}` survived {} transitions — invariant \
+                 `{expected}` has no teeth",
+                report.transitions
+            )
+        });
+        assert_eq!(
+            violation.invariant, *expected,
+            "mutant `{mutant}` was caught, but by `{}` instead of `{expected}`:\n{violation}",
+            violation.invariant
+        );
+        assert!(
+            !violation.trace.is_empty(),
+            "mutant `{mutant}`: violation carries no trace"
+        );
+    }
+}
+
+#[test]
+fn matrix_covers_every_invariant() {
+    for inv in INVARIANTS {
+        assert!(
+            MUTANT_MATRIX
+                .iter()
+                .any(|(_, _, caught)| caught == &inv.name),
+            "invariant `{}` has no mutant proving it can fail",
+            inv.name
+        );
+    }
+    // And the faults the matrix arms are actually distinct.
+    let mut seen = std::collections::BTreeSet::new();
+    for (mutant, arm, _) in MUTANT_MATRIX {
+        let mut faults = Faults::NONE;
+        arm(&mut faults);
+        assert_ne!(faults, Faults::NONE, "mutant `{mutant}` arms nothing");
+        assert!(
+            seen.insert(format!("{faults:?}")),
+            "duplicate mutant `{mutant}`"
+        );
+    }
+}

@@ -117,6 +117,9 @@ pub fn tarjan_scc(topo: &Topology) -> Vec<u32> {
                 }
                 if low[v as usize] == index[v as usize] {
                     loop {
+                        // Tarjan guarantees v is still on the stack when
+                        // its SCC closes, so the pop cannot miss.
+                        #[allow(clippy::expect_used)]
                         let w = stack.pop().expect("tarjan stack underflow");
                         on_stack[w as usize] = false;
                         comp[w as usize] = next_comp;
@@ -231,6 +234,7 @@ pub fn canonical_path(topo: &Topology, src: NodeId, dst: NodeId) -> Option<Vec<(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // asserts may panic freely
 mod tests {
     use super::*;
     use crate::generators;

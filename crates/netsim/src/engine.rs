@@ -1036,6 +1036,7 @@ impl<A: Automaton> Engine<A> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // asserts may panic freely
 mod tests {
     use super::*;
     use crate::generators;

@@ -48,6 +48,11 @@
 //! let paths = algo::canonical_path(&topo, NodeId(0), NodeId(5)).unwrap();
 //! assert_eq!(paths.len() as u32, algo::bfs_dist(&topo, NodeId(0))[5]);
 //! ```
+//!
+//! The simulator is library substrate for long fault-injection runs, so
+//! the crate warns on `unwrap`/`expect`: every keep is a structural
+//! invariant with a local `#[allow]` naming why it cannot fire.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod algo;
 pub mod engine;

@@ -261,6 +261,8 @@ fn edit_distance(a: &str, b: &str) -> usize {
 /// The registry kind nearest (by edit distance) to `kind`, ties broken by
 /// registry order — the deterministic "did you mean" suggestion.
 pub fn nearest_kind(kind: &str) -> &'static str {
+    // min_by_key on a non-empty const registry always yields a value.
+    #[allow(clippy::expect_used)]
     MUTATION_REGISTRY
         .iter()
         .map(|m| m.name)
@@ -620,6 +622,8 @@ fn try_burst(topo: &Topology, x: NodeId) -> Option<Topology> {
         return Some(cur);
     }
     if ports.len() >= 2 {
+        // `ports` was filtered to wired out-ports a few lines up.
+        #[allow(clippy::expect_used)]
         let heads: Vec<Endpoint> = ports
             .iter()
             .map(|&o| topo.out_endpoint(x, o).expect("out-port is wired"))
@@ -862,6 +866,9 @@ impl Topology {
                     kind: MutationKind::SwapLabels,
                     selector: m.selector,
                 };
+                // SwapLabels has no candidate preconditions, so the
+                // fallback application cannot itself fail.
+                #[allow(clippy::expect_used)]
                 let (topology, membership) = self
                     .apply_rooted(&swap, root)
                     .expect("label swap applies to any valid network");
@@ -876,6 +883,7 @@ impl Topology {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // asserts may panic freely
 mod tests {
     use super::*;
     use crate::generators;

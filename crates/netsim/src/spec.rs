@@ -559,6 +559,8 @@ impl Args {
     }
 
     fn get<T: FromStr>(&self, idx: usize, expected: &'static str) -> Result<T, ParseSpecError> {
+        // Args::parse fills every slot (value or default) before get runs.
+        #[allow(clippy::expect_used)]
         let text = self.values[idx].as_deref().expect("resolved above");
         text.parse().map_err(|_| ParseSpecError::BadValue {
             family: self.family.name,
@@ -748,6 +750,7 @@ impl FromStr for DynamicSpec {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // asserts may panic freely
 mod tests {
     use super::*;
 

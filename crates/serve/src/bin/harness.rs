@@ -132,6 +132,20 @@ fn cmd_list(args: &[String]) {
     println!("e.g. ring:64+node-leave=3@t500  (kinds without a valid candidate fall back to swap;");
     println!("node-join/node-leave change N — the collector's host never leaves)");
 
+    println!("\nchecks (gtd-lint rules; run `cargo run -p gtd-check --bin gtd-lint`):\n");
+    let mut t = Table::new(&["rule", "enforces"]);
+    for rule in gtd_check::LINT_RULES {
+        t.row(vec![rule.name.to_string(), rule.summary.to_string()]);
+    }
+    print!("{}", t.render());
+
+    println!("\ncoordinator invariants (model-checked; `cargo run -p gtd-check -- model`):\n");
+    let mut t = Table::new(&["invariant", "guarantees"]);
+    for inv in gtd_check::INVARIANTS {
+        t.row(vec![inv.name.to_string(), inv.summary.to_string()]);
+    }
+    print!("{}", t.render());
+
     println!("\nmappers: {}", gtd_baselines::mapper_names().join(", "));
     let modes: Vec<&str> = EngineMode::ALL.iter().map(|m| m.name()).collect();
     println!("engine modes: {}", modes.join(", "));

@@ -5,11 +5,22 @@
 //!
 //! # Architecture
 //!
-//! All decisions are made on one **brain thread** that owns every piece
-//! of mutable state (worker registry, cell cache, grid queue, leases).
-//! I/O threads — the listener, one reader per connection, a ticker —
-//! only translate the outside world into [`Event`]s on a channel, so the
-//! scheduling logic is single-threaded and free of lock ordering.
+//! All decisions are made by the **pure coordinator brain**
+//! ([`gtd_check::brain`]): a `step(&mut State, Event) -> Vec<Effect>`
+//! state machine with no clocks, threads, or sockets. This module is
+//! the imperative shell around it — one **brain thread** translates the
+//! outside world (listener, per-connection readers, a 200 ms ticker)
+//! into brain [`events`](gtd_check::brain::Event) and performs the
+//! returned [`effects`](gtd_check::brain::Effect) on real TCP streams,
+//! the record store, and the JSONL journal.
+//!
+//! The split is what makes the service *checkable*: `gtd-check model`
+//! exhaustively explores the very same transition function under
+//! adversarial interleavings (crashes, stalls, duplicates, phantoms,
+//! expiry races) and proves the invariant battery — every grid
+//! terminates, no double-caching, bounded re-issue, no cache poisoning
+//! from revoked leases, monotone grid-order streaming. See the README's
+//! "Correctness tooling" section.
 //!
 //! # Fault model
 //!
@@ -35,9 +46,10 @@ use crate::protocol::{
     read_message, write_message, GridRequest, Message, ProtocolError, HEARTBEAT_MS,
 };
 use gtd_bench::{CacheKey, CellError, CellSpec, RunRecord};
+use gtd_check::brain::{self, CellSeed, Effect, LoseReason};
 use gtd_core::default_tick_budget;
 use gtd_netsim::Topology;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -129,10 +141,10 @@ pub fn serve(opts: ServeOptions) -> std::io::Result<ServerHandle> {
         });
     }
 
-    let mut brain = Brain::new(opts)?;
+    let mut shell = Shell::new(opts)?;
     let brain = std::thread::spawn(move || {
         while let Ok(event) = rx.recv() {
-            brain.handle(event);
+            shell.handle(event);
         }
     });
     Ok(ServerHandle { addr, brain })
@@ -229,63 +241,41 @@ fn greet(stream: TcpStream, tx: Sender<Event>) {
     }
 }
 
-/// A connected worker, as the brain sees it.
-struct Worker {
-    writer: TcpStream,
-    last_seen: Instant,
-    /// Has an outstanding assignment. Stays `true` after a lease is
-    /// revoked (quarantine): a stalled worker gets no new cells until it
-    /// answers *something* or dies.
-    busy: bool,
-    cells_done: u64,
+/// A completed row the shell is holding for its slot: the record plus
+/// the observability fields the journal and Row messages carry.
+struct RowOut {
+    record: Box<RunRecord>,
+    worker_id: Option<u64>,
+    wall_ms: Option<f64>,
 }
 
-/// One grid slot's lifecycle.
-enum Slot {
-    Pending,
-    Leased {
-        task: u64,
-        worker: u64,
-        deadline: Instant,
-    },
-    Done {
-        record: Box<RunRecord>,
-        worker_id: Option<u64>,
-        wall_ms: Option<f64>,
-    },
-}
-
-/// An accepted grid request being executed.
-struct GridRun {
+/// The shell's half of the active grid: everything the brain's slot
+/// indices refer to (cells, topologies, the client socket, records).
+struct GridShell {
     client: Option<TcpStream>,
     cells: Vec<CellSpec>,
     /// Base topology per spec string (shared by the spec's cells).
     topos: HashMap<String, Topology>,
     cell_timeout_ms: Option<u64>,
-    slots: Vec<Slot>,
-    attempts: Vec<u32>,
-    queue: VecDeque<usize>,
-    next_emit: usize,
-    cached: usize,
-    retries: u64,
+    records: Vec<Option<RowOut>>,
 }
 
-struct Brain {
+/// The imperative shell: owns sockets, cache, and journal; delegates
+/// every scheduling decision to the pure brain.
+struct Shell {
     opts: ServeOptions,
+    state: brain::State,
+    /// Origin of the brain's logical clock.
+    epoch: Instant,
     cache: HashMap<CacheKey, RunRecord>,
     journal: Option<std::fs::File>,
-    workers: BTreeMap<u64, Worker>,
-    active: Option<GridRun>,
+    writers: HashMap<u64, TcpStream>,
+    active: Option<GridShell>,
     backlog: VecDeque<(GridRequest, TcpStream)>,
-    /// Live lease ids of the active grid → slot index. A result whose id
-    /// is not here is late or duplicated and is ignored.
-    outstanding: HashMap<u64, usize>,
-    next_task: u64,
-    no_workers_since: Option<Instant>,
 }
 
-impl Brain {
-    fn new(opts: ServeOptions) -> std::io::Result<Brain> {
+impl Shell {
+    fn new(opts: ServeOptions) -> std::io::Result<Shell> {
         let mut cache: HashMap<CacheKey, RunRecord> = HashMap::new();
         let mut admit = |records: Vec<RunRecord>| {
             for r in records {
@@ -312,251 +302,261 @@ impl Brain {
             ),
             None => None,
         };
-        Ok(Brain {
+        let state = brain::State::new(
+            brain::Options {
+                max_attempts: opts.max_attempts,
+                silence_ms: HEARTBEAT_MS * 10,
+                grace_ms: opts.no_worker_grace.as_millis() as u64,
+            },
+            brain::Faults::NONE,
+        );
+        Ok(Shell {
             opts,
+            state,
+            epoch: Instant::now(),
             cache,
             journal,
-            workers: BTreeMap::new(),
+            writers: HashMap::new(),
             active: None,
             backlog: VecDeque::new(),
-            outstanding: HashMap::new(),
-            next_task: 1,
-            no_workers_since: None,
         })
     }
 
     fn handle(&mut self, event: Event) {
+        // Brain events discovered while performing effects (write
+        // failures become worker deaths) queue here and are applied
+        // before the next I/O event.
+        let mut pending: VecDeque<brain::Event> = VecDeque::new();
         match event {
-            Event::WorkerJoin { id, mut writer } => {
-                let ok = write_message(
-                    &mut writer,
-                    &Message::Welcome {
-                        worker_id: id,
-                        heartbeat_ms: HEARTBEAT_MS,
-                    },
-                )
-                .is_ok();
-                if ok {
-                    self.workers.insert(
-                        id,
-                        Worker {
-                            writer,
-                            last_seen: Instant::now(),
-                            busy: false,
-                            cells_done: 0,
-                        },
-                    );
-                }
+            Event::WorkerJoin { id, writer } => {
+                self.writers.insert(id, writer);
+                self.apply(brain::Event::WorkerJoin { id }, None, &mut pending);
             }
-            Event::WorkerGone { id } => self.drop_worker(id),
+            Event::WorkerGone { id } => {
+                self.writers.remove(&id);
+                self.apply(brain::Event::WorkerGone { id }, None, &mut pending);
+            }
             Event::WorkerBad { id, err } => {
                 // Malformed worker line: answer with a structured error,
                 // keep the worker (its lease is still honored).
-                if let Some(w) = self.workers.get_mut(&id) {
-                    w.last_seen = Instant::now();
-                    let _ = write_message(&mut w.writer, &Message::Error { message: err.0 });
+                if let Some(w) = self.writers.get_mut(&id) {
+                    let _ = write_message(w, &Message::Error { message: err.0 });
                 }
+                self.apply(brain::Event::WorkerSeen { id }, None, &mut pending);
             }
-            Event::WorkerMsg { id, msg } => {
-                if let Some(w) = self.workers.get_mut(&id) {
-                    w.last_seen = Instant::now();
+            Event::WorkerMsg { id, msg } => match msg {
+                Message::Heartbeat => {
+                    self.apply(brain::Event::WorkerSeen { id }, None, &mut pending);
                 }
-                match msg {
-                    Message::Heartbeat => {}
-                    Message::Result {
-                        cell,
-                        wall_ms,
-                        record,
-                    } => self.accept_result(id, cell, wall_ms, *record),
-                    // Anything else from a worker is unexpected: answer
-                    // with an error, keep serving.
-                    _ => {
-                        if let Some(w) = self.workers.get_mut(&id) {
+                Message::Result {
+                    cell,
+                    wall_ms,
+                    record,
+                } => {
+                    let cacheable = record.is_cacheable();
+                    self.apply(
+                        brain::Event::Result {
+                            worker: id,
+                            task: cell,
+                            cacheable,
+                        },
+                        Some(RowOut {
+                            record,
+                            worker_id: Some(id),
+                            wall_ms: Some(wall_ms),
+                        }),
+                        &mut pending,
+                    );
+                }
+                // Anything else from a worker is unexpected: answer
+                // with an error, keep serving.
+                _ => {
+                    if let Some(w) = self.writers.get_mut(&id) {
+                        let _ = write_message(
+                            w,
+                            &Message::Error {
+                                message: "unexpected message from worker".into(),
+                            },
+                        );
+                    }
+                    self.apply(brain::Event::WorkerSeen { id }, None, &mut pending);
+                }
+            },
+            Event::Grid { req, writer } => {
+                self.backlog.push_back((req, writer));
+            }
+            Event::Tick => {
+                let now_ms = self.epoch.elapsed().as_millis() as u64;
+                self.apply(brain::Event::Tick { now_ms }, None, &mut pending);
+            }
+        }
+        loop {
+            while let Some(ev) = pending.pop_front() {
+                if let brain::Event::WorkerGone { id } = &ev {
+                    self.writers.remove(id);
+                }
+                self.apply(ev, None, &mut pending);
+            }
+            // Start a queued grid once the brain is idle. A fully cached
+            // grid completes inside `apply`, so keep going until the
+            // brain is busy or the backlog is empty.
+            if self.state.grid.is_none() && !self.backlog.is_empty() {
+                self.start_next_grid(&mut pending);
+                continue;
+            }
+            break;
+        }
+    }
+
+    /// Step the brain and perform the returned effects. `payload`
+    /// carries the record of a `Result` event for the `Accept` effect.
+    fn apply(
+        &mut self,
+        event: brain::Event,
+        mut payload: Option<RowOut>,
+        pending: &mut VecDeque<brain::Event>,
+    ) {
+        for effect in self.state.step(event) {
+            match effect {
+                Effect::Welcome { worker } => {
+                    let ok = self.writers.get_mut(&worker).is_some_and(|w| {
+                        write_message(
+                            w,
+                            &Message::Welcome {
+                                worker_id: worker,
+                                heartbeat_ms: HEARTBEAT_MS,
+                            },
+                        )
+                        .is_ok()
+                    });
+                    if !ok {
+                        pending.push_back(brain::Event::WorkerGone { id: worker });
+                    }
+                }
+                Effect::Assign {
+                    worker, task, slot, ..
+                } => {
+                    let msg = self.active.as_ref().map(|grid| Message::Cell {
+                        cell: task,
+                        spec: grid.cells[slot].clone(),
+                        cell_timeout_ms: grid.cell_timeout_ms,
+                    });
+                    let ok = match (self.writers.get_mut(&worker), msg) {
+                        (Some(w), Some(msg)) => write_message(w, &msg).is_ok(),
+                        _ => false,
+                    };
+                    if !ok {
+                        pending.push_back(brain::Event::WorkerGone { id: worker });
+                    }
+                }
+                Effect::Accept { slot, .. } => {
+                    if let (Some(grid), Some(row)) = (&mut self.active, payload.take()) {
+                        grid.records[slot] = Some(row);
+                    }
+                }
+                Effect::CacheInsert { slot, .. } => self.cache_insert(slot),
+                Effect::DropResult { .. } => {
+                    // Late result for a revoked lease, or a duplicate:
+                    // ignored. Results are deterministic, so the
+                    // accepted copy is identical anyway.
+                }
+                Effect::Fail {
+                    slot,
+                    attempts,
+                    reason,
+                    ..
+                } => {
+                    if let Some(grid) = &mut self.active {
+                        let why = match reason {
+                            LoseReason::NoWorkers => reason.why().to_string(),
+                            _ => format!("last lease revoked because {}", reason.why()),
+                        };
+                        let record = lost_record(&grid.cells[slot], &grid.topos, attempts, &why);
+                        grid.records[slot] = Some(RowOut {
+                            record: Box::new(record),
+                            worker_id: None,
+                            wall_ms: None,
+                        });
+                    }
+                }
+                Effect::GridStart { .. } => {
+                    // Cached rows were pre-filled by start_next_grid.
+                }
+                Effect::Emit { slot, .. } => {
+                    if let Some(grid) = &mut self.active {
+                        // The model checker proves Emit only follows
+                        // Accept/Fail/cache pre-fill; the map below is
+                        // how the shell stays panic-free regardless.
+                        if let (Some(client), Some(row)) = (&mut grid.client, &grid.records[slot]) {
+                            let msg = Message::Row {
+                                cell: slot,
+                                record: row.record.clone(),
+                                worker_id: row.worker_id,
+                                wall_ms: row.wall_ms,
+                            };
+                            if write_message(client, &msg).is_err() {
+                                // A client that went away stops receiving
+                                // rows; the grid still completes (and
+                                // caches).
+                                grid.client = None;
+                            }
+                        }
+                    }
+                }
+                Effect::GridDone {
+                    cells,
+                    cached,
+                    retries,
+                    ..
+                } => {
+                    if let Some(mut grid) = self.active.take() {
+                        let errors = grid
+                            .records
+                            .iter()
+                            .filter(|r| r.as_ref().is_some_and(|row| row.record.result.is_err()))
+                            .count();
+                        if let Some(client) = &mut grid.client {
                             let _ = write_message(
-                                &mut w.writer,
-                                &Message::Error {
-                                    message: "unexpected message from worker".into(),
+                                client,
+                                &Message::Done {
+                                    cells,
+                                    errors,
+                                    cached,
+                                    retries,
                                 },
                             );
                         }
                     }
                 }
             }
-            Event::Grid { req, writer } => {
-                self.backlog.push_back((req, writer));
-            }
-            Event::Tick => self.tick(),
-        }
-        self.advance();
-    }
-
-    /// Declare a worker dead: revoke its leases and forget it.
-    fn drop_worker(&mut self, id: u64) {
-        if self.workers.remove(&id).is_none() {
-            return;
-        }
-        let Some(grid) = &mut self.active else { return };
-        let lost: Vec<usize> = grid
-            .slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| match s {
-                Slot::Leased { worker, .. } if *worker == id => Some(i),
-                _ => None,
-            })
-            .collect();
-        for slot in lost {
-            self.revoke(slot, "its worker died");
         }
     }
 
-    /// Take a lease back from its worker: re-queue the cell or, past the
-    /// attempt budget, fail it as `worker-lost`.
-    fn revoke(&mut self, slot: usize, why: &str) {
-        let Some(grid) = &mut self.active else { return };
-        let Slot::Leased { task, .. } = grid.slots[slot] else {
+    /// Journal + cache the accepted record held in `slot`.
+    fn cache_insert(&mut self, slot: usize) {
+        let Some(grid) = &self.active else { return };
+        let Some(row) = &grid.records[slot] else {
             return;
         };
-        self.outstanding.remove(&task);
-        grid.retries += 1;
-        if grid.attempts[slot] >= self.opts.max_attempts {
-            let record = lost_record(
-                &grid.cells[slot],
-                &grid.topos,
-                grid.attempts[slot],
-                &format!("last lease revoked because {why}"),
+        let record = row.record.as_ref();
+        self.cache.insert(record.cache_key(), record.clone());
+        if let Some(journal) = &mut self.journal {
+            let _ = writeln!(
+                journal,
+                "{}",
+                service_row(record, row.worker_id, row.wall_ms).render()
             );
-            grid.slots[slot] = Slot::Done {
-                record: Box::new(record),
-                worker_id: None,
-                wall_ms: None,
-            };
-        } else {
-            grid.slots[slot] = Slot::Pending;
-            // Re-issue ahead of virgin cells: the client is likely
-            // blocked on this row (rows stream in grid order).
-            grid.queue.push_front(slot);
+            let _ = journal.flush();
         }
     }
 
-    fn accept_result(&mut self, worker_id: u64, task: u64, wall_ms: f64, record: RunRecord) {
-        if let Some(w) = self.workers.get_mut(&worker_id) {
-            // Any answer lifts the quarantine: the worker is responsive.
-            w.busy = false;
-            w.cells_done += 1;
-        }
-        let Some(slot) = self.outstanding.remove(&task) else {
-            // Late result for a revoked lease, or a duplicate completion:
-            // the lease id no longer exists. Ignore — results are
-            // deterministic, so the accepted copy is identical anyway.
+    /// Pop one queued request, plan it, and submit it to the brain (the
+    /// brain is idle, so it starts immediately). Cache hits are decided
+    /// here, at grid start.
+    fn start_next_grid(&mut self, pending: &mut VecDeque<brain::Event>) {
+        let Some((req, mut writer)) = self.backlog.pop_front() else {
             return;
         };
-        let Some(grid) = &mut self.active else { return };
-        if record.is_cacheable() {
-            self.cache.insert(record.cache_key(), record.clone());
-            if let Some(journal) = &mut self.journal {
-                let _ = writeln!(
-                    journal,
-                    "{}",
-                    service_row(&record, Some(worker_id), Some(wall_ms)).render()
-                );
-                let _ = journal.flush();
-            }
-        }
-        grid.slots[slot] = Slot::Done {
-            record: Box::new(record),
-            worker_id: Some(worker_id),
-            wall_ms: Some(wall_ms),
-        };
-    }
-
-    fn tick(&mut self) {
-        let now = Instant::now();
-        // Heartbeat liveness: a worker silent for many intervals is dead
-        // even if its socket never closed (half-open network, SIGSTOP).
-        let silent: Vec<u64> = self
-            .workers
-            .iter()
-            .filter(|(_, w)| {
-                now.duration_since(w.last_seen) > Duration::from_millis(HEARTBEAT_MS * 10)
-            })
-            .map(|(&id, _)| id)
-            .collect();
-        for id in silent {
-            self.drop_worker(id);
-        }
-        // Lease expiry: revoke cells whose deadline passed. The holding
-        // worker stays quarantined until it answers or dies.
-        let expired: Vec<usize> = match &self.active {
-            Some(grid) => grid
-                .slots
-                .iter()
-                .enumerate()
-                .filter_map(|(i, s)| match s {
-                    Slot::Leased { deadline, .. } if *deadline < now => Some(i),
-                    _ => None,
-                })
-                .collect(),
-            None => Vec::new(),
-        };
-        for slot in expired {
-            self.revoke(slot, "its lease expired");
-        }
-        // No-worker failsafe: live cells with nobody to run them fail
-        // after a grace period instead of hanging the grid forever.
-        let starving = self
-            .active
-            .as_ref()
-            .is_some_and(|g| !g.queue.is_empty() || !self.outstanding.is_empty());
-        if starving && self.workers.is_empty() {
-            let since = *self.no_workers_since.get_or_insert(now);
-            if now.duration_since(since) > self.opts.no_worker_grace {
-                if let Some(grid) = &mut self.active {
-                    while let Some(slot) = grid.queue.pop_front() {
-                        let record = lost_record(
-                            &grid.cells[slot],
-                            &grid.topos,
-                            grid.attempts[slot],
-                            "no workers are connected",
-                        );
-                        grid.slots[slot] = Slot::Done {
-                            record: Box::new(record),
-                            worker_id: None,
-                            wall_ms: None,
-                        };
-                    }
-                }
-            }
-        } else {
-            self.no_workers_since = None;
-        }
-    }
-
-    /// Make progress: start a grid if idle, assign pending cells to idle
-    /// workers, stream completed rows in grid order, finish the grid.
-    fn advance(&mut self) {
-        if self.active.is_none() {
-            if let Some((req, writer)) = self.backlog.pop_front() {
-                self.start_grid(req, writer);
-            }
-        }
-        self.pump();
-        self.emit();
-        if self
-            .active
-            .as_ref()
-            .is_some_and(|g| g.next_emit == g.slots.len())
-        {
-            self.finish_grid();
-            // A queued request can start (and complete, if fully cached)
-            // right away.
-            if self.active.is_none() && !self.backlog.is_empty() {
-                self.advance();
-            }
-        }
-    }
-
-    fn start_grid(&mut self, req: GridRequest, mut writer: TcpStream) {
         let cells = match req.to_campaign().and_then(|c| c.plan()) {
             Ok(cells) => cells,
             Err(e) => {
@@ -575,127 +575,32 @@ impl Brain {
                 .entry(cell.spec.to_string())
                 .or_insert_with(|| cell.spec.build());
         }
-        let mut grid = GridRun {
+        let mut records: Vec<Option<RowOut>> = Vec::with_capacity(cells.len());
+        let mut seeds: Vec<CellSeed> = Vec::with_capacity(cells.len());
+        for cell in &cells {
+            let cached = self.cache.get(&cell.key());
+            records.push(cached.map(|record| RowOut {
+                record: Box::new(record.clone()),
+                worker_id: None,
+                wall_ms: None,
+            }));
+            let lease = match self.opts.lease_override {
+                Some(d) => d,
+                None => lease_for(cell, &topos[&cell.spec.to_string()]),
+            };
+            seeds.push(CellSeed {
+                cached: cached.is_some(),
+                lease_ms: lease.as_millis() as u64,
+            });
+        }
+        self.active = Some(GridShell {
             client: Some(writer),
-            slots: Vec::with_capacity(cells.len()),
-            attempts: vec![0; cells.len()],
-            queue: VecDeque::new(),
-            next_emit: 0,
-            cached: 0,
-            retries: 0,
-            cell_timeout_ms: req.cell_timeout_ms,
-            topos,
             cells,
-        };
-        for (i, cell) in grid.cells.iter().enumerate() {
-            match self.cache.get(&cell.key()) {
-                Some(record) => {
-                    grid.cached += 1;
-                    grid.slots.push(Slot::Done {
-                        record: Box::new(record.clone()),
-                        worker_id: None,
-                        wall_ms: None,
-                    });
-                }
-                None => {
-                    grid.slots.push(Slot::Pending);
-                    grid.queue.push_back(i);
-                }
-            }
-        }
-        self.active = Some(grid);
-    }
-
-    /// Assign queued cells to idle live workers.
-    fn pump(&mut self) {
-        let Some(grid) = &mut self.active else { return };
-        let mut died: Vec<u64> = Vec::new();
-        'assign: while let Some(&slot) = grid.queue.front() {
-            let Some((&wid, worker)) = self
-                .workers
-                .iter_mut()
-                .find(|(id, w)| !w.busy && !died.contains(id))
-            else {
-                break 'assign;
-            };
-            let cell = &grid.cells[slot];
-            let topo = &grid.topos[&cell.spec.to_string()];
-            let task = self.next_task;
-            let msg = Message::Cell {
-                cell: task,
-                spec: cell.clone(),
-                cell_timeout_ms: grid.cell_timeout_ms,
-            };
-            if write_message(&mut worker.writer, &msg).is_err() {
-                died.push(wid);
-                continue 'assign;
-            }
-            self.next_task += 1;
-            grid.queue.pop_front();
-            grid.attempts[slot] += 1;
-            let lease = self
-                .opts
-                .lease_override
-                .unwrap_or_else(|| lease_for(cell, topo));
-            grid.slots[slot] = Slot::Leased {
-                task,
-                worker: wid,
-                deadline: Instant::now() + lease,
-            };
-            worker.busy = true;
-            self.outstanding.insert(task, slot);
-        }
-        for id in died {
-            self.drop_worker(id);
-        }
-    }
-
-    /// Stream the completed prefix of the grid to the client, in grid
-    /// order. A client that went away stops receiving rows but the grid
-    /// still completes (and caches).
-    fn emit(&mut self) {
-        let Some(grid) = &mut self.active else { return };
-        while let Some(Slot::Done {
-            record,
-            worker_id,
-            wall_ms,
-        }) = grid.slots.get(grid.next_emit)
-        {
-            if let Some(client) = &mut grid.client {
-                let msg = Message::Row {
-                    cell: grid.next_emit,
-                    record: record.clone(),
-                    worker_id: *worker_id,
-                    wall_ms: *wall_ms,
-                };
-                if write_message(client, &msg).is_err() {
-                    grid.client = None;
-                }
-            }
-            grid.next_emit += 1;
-        }
-    }
-
-    fn finish_grid(&mut self) {
-        let Some(mut grid) = self.active.take() else {
-            return;
-        };
-        let errors = grid
-            .slots
-            .iter()
-            .filter(|s| matches!(s, Slot::Done { record, .. } if record.result.is_err()))
-            .count();
-        if let Some(client) = &mut grid.client {
-            let _ = write_message(
-                client,
-                &Message::Done {
-                    cells: grid.slots.len(),
-                    errors,
-                    cached: grid.cached,
-                    retries: grid.retries,
-                },
-            );
-        }
+            topos,
+            cell_timeout_ms: req.cell_timeout_ms,
+            records,
+        });
+        self.apply(brain::Event::Submit { cells: seeds }, None, pending);
     }
 }
 

@@ -325,14 +325,19 @@ impl Message {
     /// Encode as one JSON object (render + `\n` = one wire line).
     pub fn to_json(&self) -> JsonValue {
         use gtd_bench::json;
-        let with = |mut row: JsonValue, extra: Vec<(&str, JsonValue)>| {
-            let JsonValue::Obj(map) = &mut row else {
-                unreachable!("records render as objects")
+        let with = |row: JsonValue, extra: Vec<(&str, JsonValue)>| {
+            // Records render as objects today; if that ever changes, keep
+            // the envelope fields so the peer can still classify the line
+            // (it will answer the unreadable record with a structured
+            // error) instead of panicking mid-connection.
+            let mut map = match row {
+                JsonValue::Obj(map) => map,
+                _ => Default::default(),
             };
             for (k, v) in extra {
                 map.insert(k.into(), v);
             }
-            row
+            JsonValue::Obj(map)
         };
         match self {
             Message::Grid(req) => {
@@ -493,6 +498,7 @@ pub fn read_message(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // asserts may panic freely
 mod tests {
     use super::*;
 
@@ -596,6 +602,52 @@ mod tests {
             RunRecord::from_json(&parsed).unwrap().to_json().render(),
             record.to_json().render()
         );
+    }
+
+    /// Every decode path that can reject input does so with a
+    /// `ProtocolError` naming the problem — never a panic. One case per
+    /// missing/invalid field, with the substring the error must carry.
+    #[test]
+    fn each_malformed_field_names_itself() {
+        let cases: &[(&str, &str)] = &[
+            (r#"{"cell":1}"#, "no \"type\""),
+            (r#"{"type":"warp"}"#, "unknown message type"),
+            (r#"{"type":"grid"}"#, "\"modes\""),
+            (r#"{"type":"grid","modes":["sparse"]}"#, "\"policies\""),
+            (
+                r#"{"type":"grid","modes":["sparse"],"policies":["lazy"]}"#,
+                "\"specs\"",
+            ),
+            (r#"{"type":"grid","modes":["hyperspace"]}"#, "hyperspace"),
+            (
+                r#"{"type":"grid","modes":["sparse"],"policies":["lazy"],"specs":[3]}"#,
+                "array of strings",
+            ),
+            (r#"{"type":"row"}"#, "\"cell\""),
+            (r#"{"type":"row","cell":2}"#, "valid grid record"),
+            (r#"{"type":"done","cells":4}"#, "\"errors\""),
+            (r#"{"type":"welcome"}"#, "\"worker_id\""),
+            (r#"{"type":"welcome","worker_id":3}"#, "\"heartbeat_ms\""),
+            (r#"{"type":"cell","cell":1}"#, "\"spec\""),
+            (
+                r#"{"type":"cell","cell":1,"spec":"klein-bottle:9"}"#,
+                "bad spec",
+            ),
+            (r#"{"type":"result","cell":1}"#, "\"wall_ms\""),
+            (
+                r#"{"type":"result","cell":1,"wall_ms":2.0}"#,
+                "valid grid record",
+            ),
+        ];
+        for (line, needle) in cases {
+            let row = JsonValue::parse(line).expect("test lines are JSON");
+            let err = Message::from_json(&row).expect_err(line);
+            assert!(
+                err.0.contains(needle),
+                "{line}: error {:?} does not mention {needle:?}",
+                err.0
+            );
+        }
     }
 
     #[test]

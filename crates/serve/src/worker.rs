@@ -9,8 +9,18 @@ use gtd_netsim::Topology;
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::TcpStream;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+/// Take the writer lock even if another holder panicked mid-write: a
+/// poisoned line at worst garbles one message, which the coordinator
+/// already answers with a structured error. Panicking here instead
+/// would take down the whole worker over a recoverable hiccup.
+fn lock_writer(writer: &Mutex<TcpStream>) -> MutexGuard<'_, TcpStream> {
+    writer
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Environment variable naming a spec substring the worker stalls on
 /// (sleeps forever *before* executing a matching cell, heartbeats still
@@ -24,10 +34,7 @@ pub fn run_worker(addr: &str) -> std::io::Result<u64> {
     let stream = TcpStream::connect(addr)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let writer = Arc::new(Mutex::new(stream));
-    write_message(
-        &mut *writer.lock().expect("no holder panicked"),
-        &Message::Hello,
-    )?;
+    write_message(&mut *lock_writer(&writer), &Message::Hello)?;
 
     // Registration: the coordinator answers hello with welcome.
     let heartbeat_ms = match read_message(&mut reader)? {
@@ -51,7 +58,7 @@ pub fn run_worker(addr: &str) -> std::io::Result<u64> {
         let writer = Arc::clone(&writer);
         std::thread::spawn(move || loop {
             std::thread::sleep(Duration::from_millis(heartbeat_ms));
-            let mut w = writer.lock().expect("no holder panicked");
+            let mut w = lock_writer(&writer);
             if write_message(&mut *w, &Message::Heartbeat).is_err() {
                 break;
             }
@@ -69,7 +76,7 @@ pub fn run_worker(addr: &str) -> std::io::Result<u64> {
             Some(Ok(msg)) => msg,
             Some(Err(ProtocolError(e))) => {
                 // Malformed coordinator line: report and keep serving.
-                let mut w = writer.lock().expect("no holder panicked");
+                let mut w = lock_writer(&writer);
                 write_message(&mut *w, &Message::Error { message: e })?;
                 continue;
             }
@@ -91,7 +98,7 @@ pub fn run_worker(addr: &str) -> std::io::Result<u64> {
                 }
                 let (record, wall_ms) = execute(&mut topos, &spec, cell_timeout_ms);
                 executed += 1;
-                let mut w = writer.lock().expect("no holder panicked");
+                let mut w = lock_writer(&writer);
                 let result = Message::Result {
                     cell,
                     wall_ms,
