@@ -27,10 +27,19 @@ pub struct LintRule {
 pub const LINT_RULES: &[LintRule] = &[
     LintRule {
         name: "no-alloc-in-tick-path",
-        summary: "no allocating calls inside Engine::tick / tick_dense / tick_sparse \
-                  / Node::flush_due",
+        summary: "no allocating calls inside Engine::tick and its mode bodies \
+                  (tick_dense/tick_event/tick_saturated), the shard phases, the \
+                  worker-pool dispatch path, or Node::flush_due",
         rationale: "the per-tick path is the O(N*D) inner loop the paper's cost model \
                     measures; one stray format!/clone turns the profile to noise",
+    },
+    LintRule {
+        name: "no-lock-in-tick-path",
+        summary: "no Mutex/RwLock/Condvar/Barrier/mpsc in the worker-pool \
+                  coordination path or the parallel tick functions",
+        rationale: "the pool's per-tick handshake is a seqlock-style epoch counter by \
+                    design; a blocking primitive reintroduces the exact dispatch tax \
+                    the sharded engine exists to remove",
     },
     LintRule {
         name: "no-unwrap-in-wire-paths",
@@ -181,6 +190,7 @@ impl Workspace {
 pub fn lint(ws: &Workspace) -> Vec<Violation> {
     let mut out = Vec::new();
     no_alloc_in_tick_path(ws, &mut out);
+    no_lock_in_tick_path(ws, &mut out);
     no_unwrap_in_wire_paths(ws, &mut out);
     copy_sig_discipline(ws, &mut out);
     debug_assert_policy(ws, &mut out);
@@ -206,44 +216,121 @@ const ALLOC_TOKENS: &[&str] = &[
     ".collect()",
 ];
 
-fn no_alloc_in_tick_path(ws: &Workspace, out: &mut Vec<Violation>) {
-    const RULE: &str = "no-alloc-in-tick-path";
-    let scopes: &[(&str, &[&str])] = &[
-        (
-            "crates/netsim/src/engine.rs",
-            &["tick", "tick_dense", "tick_sparse"],
-        ),
-        ("crates/core/src/node.rs", &["flush_due"]),
-    ];
-    for &(rel, fns) in scopes {
-        let Some(file) = ws.file(rel) else {
+/// Scan each named fn body in `rel` for `tokens`; a scoped fn that no
+/// longer exists is itself a violation (a renamed or split hot path must
+/// not silently disarm the rule). A missing *file* is skipped so rule
+/// unit tests can build partial synthetic workspaces.
+fn scan_scoped_fns(
+    ws: &Workspace,
+    rel: &str,
+    fns: &[&str],
+    tokens: &[&str],
+    rule: &'static str,
+    message: &str,
+    out: &mut Vec<Violation>,
+) {
+    let Some(file) = ws.file(rel) else {
+        return;
+    };
+    for name in fns {
+        let Some(body) = lexer::fn_body(&file.scrubbed, name) else {
+            out.push(Violation {
+                rule,
+                file: rel.to_string(),
+                line: 1,
+                message: format!(
+                    "scoped function `{name}` not found — the hot path moved; \
+                     update the rule's scope"
+                ),
+                excerpt: String::new(),
+            });
             continue;
         };
-        for name in fns {
-            let Some(body) = lexer::fn_body(&file.scrubbed, name) else {
-                out.push(Violation {
-                    rule: RULE,
-                    file: rel.to_string(),
-                    line: 1,
-                    message: format!(
-                        "scoped function `{name}` not found — the hot path moved; \
-                         update the rule's scope"
-                    ),
-                    excerpt: String::new(),
-                });
-                continue;
-            };
-            scan_tokens(
-                file,
-                body.clone(),
-                &[],
-                ALLOC_TOKENS,
-                RULE,
-                &format!("allocation in the per-tick hot path (fn `{name}`)"),
-                out,
-            );
-        }
+        scan_tokens(
+            file,
+            body.clone(),
+            &[],
+            tokens,
+            rule,
+            &format!("{message} (fn `{name}`)"),
+            out,
+        );
     }
+}
+
+/// The per-tick hot path: `Engine::tick`, the three mode bodies, the
+/// shard phase functions the pool fans out, the frontier rebuild, and
+/// the pool's own dispatch/claim/worker loop.
+const TICK_PATH_SCOPES: &[(&str, &[&str])] = &[
+    (
+        "crates/netsim/src/engine.rs",
+        &[
+            "tick",
+            "tick_dense",
+            "tick_event",
+            "tick_saturated",
+            "shard_step",
+            "shard_scatter",
+            "shard_merge",
+            "shard_step_all",
+            "shard_gather",
+            "rebuild_frontier",
+            "run_phases",
+        ],
+    ),
+    (
+        "crates/netsim/src/pool.rs",
+        &["dispatch", "run_claims", "worker_loop"],
+    ),
+    ("crates/core/src/node.rs", &["flush_due"]),
+];
+
+fn no_alloc_in_tick_path(ws: &Workspace, out: &mut Vec<Violation>) {
+    const RULE: &str = "no-alloc-in-tick-path";
+    for &(rel, fns) in TICK_PATH_SCOPES {
+        scan_scoped_fns(
+            ws,
+            rel,
+            fns,
+            ALLOC_TOKENS,
+            RULE,
+            "allocation in the per-tick hot path",
+            out,
+        );
+    }
+}
+
+/// Blocking-synchronisation primitives (the pool is pure atomics).
+const LOCK_TOKENS: &[&str] = &["Mutex", "RwLock", "Condvar", "Barrier", "mpsc", ".lock()"];
+
+fn no_lock_in_tick_path(ws: &Workspace, out: &mut Vec<Violation>) {
+    const RULE: &str = "no-lock-in-tick-path";
+    const MESSAGE: &str = "blocking synchronisation on the per-tick coordination path \
+                           (the worker pool is a lock-free epoch handshake by design)";
+    // The whole pool module is coordination path; only its test mod is
+    // exempt.
+    if let Some(file) = ws.file("crates/netsim/src/pool.rs") {
+        let tests = lexer::test_regions(&file.scrubbed);
+        scan_tokens(
+            file,
+            0..file.raw.len(),
+            &tests,
+            LOCK_TOKENS,
+            RULE,
+            MESSAGE,
+            out,
+        );
+    }
+    // Plus the engine functions that drive pooled dispatch every tick.
+    scan_scoped_fns(
+        ws,
+        "crates/netsim/src/engine.rs",
+        &["tick", "tick_event", "tick_saturated", "run_phases"],
+        LOCK_TOKENS,
+        RULE,
+        MESSAGE,
+        out,
+    );
 }
 
 /// Tokens that can panic on malformed input.

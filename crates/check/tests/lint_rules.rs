@@ -28,18 +28,35 @@ fn full_readme() -> String {
     readme
 }
 
+/// An engine.rs snippet defining every scoped hot-path fn, with `tick`'s
+/// body swappable so tests can plant a violation in it.
+fn engine_with_tick(tick_body: &str) -> String {
+    format!(
+        r#"
+        impl Engine {{
+            pub fn new() -> Self {{ Engine {{ buf: Vec::new() }} }}
+            pub fn tick(&mut self) {{ {tick_body} }}
+            fn tick_dense(&mut self) {{}}
+            fn tick_event(&mut self) {{}}
+            fn tick_saturated(&mut self) {{}}
+            fn rebuild_frontier(&mut self) {{}}
+            fn run_phases(&mut self) {{}}
+        }}
+        unsafe fn shard_step(ctx: *const (), s: usize) {{}}
+        unsafe fn shard_scatter(ctx: *const (), s: usize) {{}}
+        unsafe fn shard_merge(ctx: *const (), s: usize) {{}}
+        unsafe fn shard_step_all(ctx: *const (), s: usize) {{}}
+        unsafe fn shard_gather(ctx: *const (), s: usize) {{}}
+    "#
+    )
+}
+
 #[test]
 fn alloc_in_tick_path_is_flagged() {
-    let engine = r#"
-        impl Engine {
-            pub fn tick(&mut self) { let v = vec![0u8; 4]; drop(v); }
-            fn tick_dense(&mut self) {}
-            fn tick_sparse(&mut self) {}
-        }
-    "#;
+    let engine = engine_with_tick("let v = vec![0u8; 4]; drop(v);");
     let hits = findings(
         "no-alloc-in-tick-path",
-        vec![("crates/netsim/src/engine.rs", engine)],
+        vec![("crates/netsim/src/engine.rs", &engine)],
         &full_readme(),
     );
     assert_eq!(hits.len(), 1, "{hits:?}");
@@ -49,17 +66,11 @@ fn alloc_in_tick_path_is_flagged() {
 
 #[test]
 fn alloc_outside_the_hot_path_is_fine() {
-    let engine = r#"
-        impl Engine {
-            pub fn new() -> Self { Engine { buf: Vec::new() } }
-            pub fn tick(&mut self) { self.buf.clear(); }
-            fn tick_dense(&mut self) {}
-            fn tick_sparse(&mut self) {}
-        }
-    "#;
+    // `Vec::new` in the constructor is out of scope; a clean tick passes.
+    let engine = engine_with_tick("self.buf.clear();");
     let hits = findings(
         "no-alloc-in-tick-path",
-        vec![("crates/netsim/src/engine.rs", engine)],
+        vec![("crates/netsim/src/engine.rs", &engine)],
         &full_readme(),
     );
     assert!(hits.is_empty(), "{hits:?}");
@@ -74,8 +85,55 @@ fn moved_hot_path_is_itself_a_violation() {
         vec![("crates/netsim/src/engine.rs", engine)],
         &full_readme(),
     );
-    assert_eq!(hits.len(), 3, "one per scoped fn: {hits:?}");
+    assert_eq!(hits.len(), 11, "one per scoped engine fn: {hits:?}");
     assert!(hits.iter().all(|v| v.message.contains("not found")));
+}
+
+#[test]
+fn lock_in_pool_coordination_is_flagged_but_tests_are_exempt() {
+    let pool = r#"
+        use std::sync::Mutex;
+        pub struct WorkerPool { guard: Mutex<()> }
+        #[cfg(test)]
+        mod tests {
+            use std::sync::Mutex;
+            #[test]
+            fn test_side_lock() { let m = Mutex::new(()); drop(m.lock()); }
+        }
+    "#;
+    let hits = findings(
+        "no-lock-in-tick-path",
+        vec![("crates/netsim/src/pool.rs", pool)],
+        &full_readme(),
+    );
+    assert_eq!(hits.len(), 2, "use + field; test mod exempt: {hits:?}");
+    assert!(hits.iter().all(|v| v.message.contains("Mutex")));
+}
+
+#[test]
+fn atomic_pool_coordination_is_clean() {
+    let pool = r#"
+        use std::sync::atomic::{AtomicU64, AtomicUsize};
+        pub struct PoolShared { seq: AtomicU64, next: AtomicUsize }
+    "#;
+    let hits = findings(
+        "no-lock-in-tick-path",
+        vec![("crates/netsim/src/pool.rs", pool)],
+        &full_readme(),
+    );
+    assert!(hits.is_empty(), "{hits:?}");
+}
+
+#[test]
+fn lock_in_the_engine_dispatch_path_is_flagged() {
+    let engine = engine_with_tick("self.guard.lock();");
+    let hits = findings(
+        "no-lock-in-tick-path",
+        vec![("crates/netsim/src/engine.rs", &engine)],
+        &full_readme(),
+    );
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(hits[0].message.contains(".lock()"), "{}", hits[0]);
 }
 
 #[test]
@@ -189,7 +247,7 @@ fn wallclock_in_the_brain_is_flagged() {
 fn every_registered_rule_has_a_firing_test() {
     // This file must grow with the registry: if a rule is added without a
     // violating-snippet test above, the count here goes stale on purpose.
-    assert_eq!(lint::LINT_RULES.len(), 6);
+    assert_eq!(lint::LINT_RULES.len(), 7);
 }
 
 #[test]

@@ -47,7 +47,9 @@ pub use events::{RcaReport, TranscriptEvent};
 pub use master::{DecodeError, MapEdge, MasterComputer, NetworkMap, VerifyError};
 pub use node::{ProtocolNode, StartBehavior};
 pub use phases::{phase_breakdown, PhaseBreakdown};
-pub use runner::{build_gtd_engine, run_single_bca, run_single_rca, BcaProbe, RcaProbe};
+pub use runner::{
+    build_gtd_engine, build_gtd_engine_sharded, run_single_bca, run_single_rca, BcaProbe, RcaProbe,
+};
 pub use session::{
     default_tick_budget, EpochOutcome, EpochStatus, GtdError, GtdSession, MutationOutcome,
     PreconditionViolation, RemapOutcome, RemapPolicy, RunOutcome, RunStats,

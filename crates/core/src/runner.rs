@@ -15,7 +15,17 @@ use gtd_netsim::{algo, Engine, EngineMode, NodeId, Port, Topology};
 /// tests and experiments can drive ticks manually (mid-run invariant
 /// checks, phase censuses).
 pub fn build_gtd_engine(topo: &Topology, mode: EngineMode) -> Engine<ProtocolNode> {
-    Engine::new(topo, mode, |meta| {
+    build_gtd_engine_sharded(topo, mode, None)
+}
+
+/// [`build_gtd_engine`] with an explicit parallel shard count (ignored
+/// outside [`EngineMode::Parallel`]; `None` auto-sizes).
+pub fn build_gtd_engine_sharded(
+    topo: &Topology,
+    mode: EngineMode,
+    par_shards: Option<usize>,
+) -> Engine<ProtocolNode> {
+    Engine::with_root_sharded(topo, mode, NodeId(0), par_shards, &mut |meta| {
         let start = if meta.is_root {
             StartBehavior::GtdRoot
         } else {

@@ -392,6 +392,7 @@ pub struct GtdSession<'a> {
     start: StartBehavior,
     capture: bool,
     policy: RemapPolicy,
+    par_shards: Option<usize>,
     observer: Option<Observer<'a>>,
 }
 
@@ -408,6 +409,7 @@ impl<'a> GtdSession<'a> {
             start: StartBehavior::GtdRoot,
             capture: true,
             policy: RemapPolicy::Lazy,
+            par_shards: None,
             observer: None,
         }
     }
@@ -423,6 +425,17 @@ impl<'a> GtdSession<'a> {
     /// Engine execution strategy (observationally identical across modes).
     pub fn mode(mut self, mode: EngineMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Force the parallel engine's shard count (only meaningful with
+    /// [`EngineMode::Parallel`]; other modes ignore it). `None` (the
+    /// default) lets the engine auto-size from the core count and
+    /// network size, honouring the `GTD_PAR_SHARDS` environment
+    /// override. Outcomes are bit-identical at every shard count; the
+    /// knob exists for benchmarking and for the equivalence sweeps.
+    pub fn par_shards(mut self, shards: usize) -> Self {
+        self.par_shards = Some(shards);
         self
     }
 
@@ -501,7 +514,7 @@ impl<'a> GtdSession<'a> {
     /// the root's id by then).
     fn build_engine_on(&self, topo: &Topology, root: NodeId) -> Engine<ProtocolNode> {
         let start = self.start;
-        Engine::with_root(topo, self.mode, root, &mut |meta| {
+        Engine::with_root_sharded(topo, self.mode, root, self.par_shards, &mut |meta| {
             let behaviour = if meta.is_root {
                 start
             } else {

@@ -19,26 +19,39 @@
 //! * [`EngineMode::Sparse`] — event-driven: step only the **active
 //!   frontier** — automata with a pending input or a due wake deadline.
 //!   The frontier is intrusive: it is updated at signal-write time (the
-//!   scatter marks the receiving node) and via a timer heap fed by
+//!   scatter marks the receiving node) and via a timer wheel/heap fed by
 //!   [`StepCtx::request_restep_at`], so a quiet tick costs O(active)
 //!   rather than O(N). Protocol activity is usually localized, so this is
 //!   the workhorse for large runs. Correctness relies on the *deadline
 //!   contract* documented on [`Automaton`].
-//! * [`EngineMode::Parallel`] — dense stepping fanned out over scoped OS
-//!   threads. The synchronous model is embarrassingly data-parallel
-//!   within a tick; this mode wins when floods keep most of the network
-//!   active at once. Networks below [`PAR_MIN_NODES`] fall back to the
-//!   sequential dense path (observationally identical by construction),
-//!   since per-tick thread dispatch would dwarf the work.
+//! * [`EngineMode::Parallel`] — the sharded event engine. The active
+//!   frontier is partitioned over contiguous node ranges, each shard
+//!   owning its own timing wheel, overflow heap, and input worklist;
+//!   shards are fanned over a persistent worker pool
+//!   ([`crate::pool::WorkerPool`]: pre-spawned at construction, parked
+//!   between ticks, shut down on drop) when the merged frontier is large
+//!   enough, and run inline otherwise — so Parallel never pays dispatch
+//!   overhead on quiet-heavy phases. When a flood saturates the network
+//!   (≥ half the nodes have pending input) the mode switches to a
+//!   *saturated tick*: a dense-scan step/gather over shard ranges that
+//!   skips worklist bookkeeping entirely (the frontier is lazily rebuilt
+//!   on the way back to event ticks). Shard count comes from
+//!   [`Engine::with_root_sharded`], the `GTD_PAR_SHARDS` environment
+//!   variable, or auto-sizing by core count.
 //!
 //! All three modes maintain the same frontier bookkeeping (`wake_at`
 //! deadlines, pending-input flags, armed counters), so [`Engine::is_quiet`]
 //! is O(1) and [`Engine::skip_lull`] fast-forwards deadline-driven lulls
 //! identically regardless of mode — which is what keeps the modes
-//! bit-identical even on timelines that skip ticks.
+//! bit-identical even on timelines that skip ticks. Transcripts are
+//! byte-identical across modes **and across any shard count**: shard
+//! ranges partition the node space in ascending order, each shard's step
+//! list is sorted, and every heuristic (pool engagement, saturation)
+//! only chooses between observationally-equivalent paths.
 
 use crate::ids::{NodeId, Port};
 use crate::mutation::MembershipChange;
+use crate::pool::{PhaseFn, WorkerPool};
 use crate::topology::Topology;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -116,8 +129,8 @@ impl<S, E> StepCtx<'_, S, E> {
 /// — or requested one that has not yet arrived — then stepping it must
 /// not change its observable state and must emit only blank outputs,
 /// except that it may re-request a wake no earlier than the original.
-/// The dense modes step every automaton every tick and rely on those
-/// extra steps being no-ops; the sparse mode skips them entirely; both
+/// The dense paths step every automaton every tick and rely on those
+/// extra steps being no-ops; the event paths skip them entirely; both
 /// must agree, and the dense/sparse equivalence tests in this crate and
 /// downstream enforce it.
 pub trait Automaton: Send {
@@ -160,7 +173,8 @@ pub enum EngineMode {
     Dense,
     /// Step only the active frontier (event-driven), sequentially.
     Sparse,
-    /// Step every node every tick, fanned out over scoped threads.
+    /// Sharded event-driven stepping over a persistent worker pool, with
+    /// a dense-scan fast path for saturated ticks.
     Parallel,
 }
 
@@ -205,24 +219,86 @@ const NO_WAKE: u64 = u64::MAX;
 /// protocol uses (speed-1 = 3 ticks/hop) fits comfortably.
 const WHEEL: usize = 8;
 
-/// Below this node count [`EngineMode::Parallel`] runs the sequential
-/// dense path: spawning threads every tick costs more than the tick.
-pub const PAR_MIN_NODES: usize = 512;
+/// Hard ceiling on the parallel shard count (and thus pool size).
+pub const MAX_SHARDS: usize = 64;
 
-/// Worker count for the parallel mode: all available cores, but at least
-/// ~256 nodes of work per worker.
-fn par_workers(n: usize) -> usize {
+/// Auto-sizing: one shard per ~this many nodes (capped by core count),
+/// so small networks never pay for idle shards.
+const NODES_PER_SHARD: usize = 256;
+
+/// With auto-sized shards, the worker pool engages only when the coming
+/// tick's active set (pending inputs + armed wakes) is at least this many
+/// nodes per shard; smaller frontiers run the same phases inline. This is
+/// the active-fraction heuristic that replaced the old fixed
+/// `PAR_MIN_NODES` cliff: Parallel falls back to sequential event
+/// scheduling on quiet-heavy phases instead of losing to Sparse there.
+const PAR_ACTIVE_PER_SHARD: usize = 32;
+
+/// One partition of the active frontier: a contiguous node range with its
+/// own scheduling structures, so a tick phase over shard `s` touches no
+/// other shard's state (cross-shard signal deliveries go through `lanes`).
+struct Shard {
+    /// First node id owned by this shard.
+    lo: usize,
+    /// One past the last node id owned by this shard.
+    hi: usize,
+    /// Near-deadline timing wheel: `wheel[t % WHEEL]` holds owned nodes
+    /// whose wake was scheduled for tick `t` within the next [`WHEEL`]
+    /// ticks. Entries are lazily validated against `wake_at` when their
+    /// slot drains.
+    wheel: [Vec<u32>; WHEEL],
+    /// Lazy-deletion min-heap of `(wake tick, node)` for owned nodes with
+    /// wakes beyond the wheel horizon. Between the wheel and the heap,
+    /// whenever `wake_at[n] != NO_WAKE` there is an entry covering
+    /// exactly that tick (unless the frontier is dirty).
+    timers: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Owned nodes whose `has_input` flag flipped on during the last
+    /// scatter/merge — the input half of the coming tick's frontier.
+    frontier: Vec<u32>,
+    /// The shard's step list of the current tick (sorted node ids).
+    stepped: Vec<u32>,
+    /// `lanes[d]` — nodes in shard `d` this shard delivered a signal to
+    /// during the scatter phase. Written only by this shard (its own
+    /// lane, no contention); drained by shard `d` in the merge phase,
+    /// which dedups via the owner's `has_input`.
+    lanes: Vec<Vec<u32>>,
+    /// Change to the engine-wide `pending_inputs` accumulated this tick
+    /// (absolute per-shard count after a saturated tick).
+    pending_delta: i64,
+    /// Change to the engine-wide `armed` counter accumulated this tick
+    /// (absolute per-shard count after a saturated tick).
+    armed_delta: i64,
+}
+
+/// Pick the parallel shard count: an explicit builder knob wins, then the
+/// `GTD_PAR_SHARDS` environment variable, then auto-sizing (core count,
+/// but at least [`NODES_PER_SHARD`] nodes per shard). Returns the count
+/// and whether it was forced (explicit counts always fan out, so tests
+/// and CI sweeps exercise the pool even when the heuristic would not).
+fn resolve_shards(n: usize, requested: Option<usize>) -> (usize, bool) {
+    if let Some(s) = requested {
+        return (s.clamp(1, MAX_SHARDS), true);
+    }
+    if let Ok(v) = std::env::var("GTD_PAR_SHARDS") {
+        if let Ok(s) = v.trim().parse::<usize>() {
+            if s >= 1 {
+                return (s.min(MAX_SHARDS), true);
+            }
+        }
+    }
     let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
-    cores.clamp(1, n.div_ceil(256).max(1))
+    let cap = n.div_ceil(NODES_PER_SHARD).max(1);
+    (cores.clamp(1, cap).min(MAX_SHARDS), false)
 }
 
 /// The lockstep simulator. Generic over the automaton type so the same
 /// engine runs the GTD protocol, unit-test probes, and ablation automata.
 ///
-/// Steady-state ticks are allocation-free in the sequential modes: all
-/// per-tick scratch (`event_bufs`, the step list, the frontier worklist,
-/// the timer heap) is reused across ticks, and topology mutations reuse
-/// the route-table rebuild buffers (`apply_scratch`).
+/// Steady-state ticks are allocation-free in every mode: all per-tick
+/// scratch (`event_bufs`, per-shard step lists, frontier worklists, timer
+/// structures, cross-shard lanes) is reused across ticks, the worker pool
+/// is pre-spawned and coordinated by atomics, and topology mutations
+/// reuse the route-table rebuild buffers (`apply_scratch`).
 pub struct Engine<A: Automaton> {
     mode: EngineMode,
     delta: usize,
@@ -233,13 +309,15 @@ pub struct Engine<A: Automaton> {
     in_buf: Vec<A::Sig>,
     /// `out_buf[n*δ + o]` — signal written on out-port `o` of node `n`.
     out_buf: Vec<A::Sig>,
-    /// For each in-slot, the out-slot feeding it (dense/parallel gather).
+    /// For each in-slot, the out-slot feeding it (dense/saturated gather).
     route_in: Vec<u32>,
-    /// For each out-slot, the in-slot it feeds (sparse scatter).
+    /// For each out-slot, the in-slot it feeds (event scatter). Bijective
+    /// on wired slots — which is what makes cross-shard in-slot writes
+    /// race-free.
     route_out: Vec<u32>,
     /// `wake_at[n]` — earliest tick node `n` asked to be stepped at
     /// ([`NO_WAKE`] = no request). The authoritative deadline store; the
-    /// timer heap is only an index over it.
+    /// shard timer structures are only an index over it.
     wake_at: Vec<u64>,
     /// Nodes with a non-blank signal delivered for the coming tick.
     has_input: Vec<bool>,
@@ -247,27 +325,23 @@ pub struct Engine<A: Automaton> {
     pending_inputs: usize,
     /// Count of non-[`NO_WAKE`] entries in `wake_at`.
     armed: usize,
-    /// Near-deadline timing wheel (sparse mode): `wheel[t % WHEEL]` holds
-    /// nodes whose wake was scheduled for tick `t` within the next
-    /// [`WHEEL`] ticks — every speed-timer dwell of the protocol fits, so
-    /// the common re-arm is a plain `Vec` push instead of a heap
-    /// operation. Entries are lazily validated against `wake_at` when
-    /// their slot drains, so stale entries (nodes re-armed or cleared
-    /// since) cost one comparison.
-    wheel: [Vec<u32>; WHEEL],
-    /// Lazy-deletion min-heap of `(wake tick, node)` — the sparse mode's
-    /// timer index for wakes beyond the wheel horizon. Entries whose node
-    /// has since been re-armed or cleared are dropped when they surface.
-    /// Between the wheel and the heap, whenever `wake_at[n] != NO_WAKE`
-    /// there is an entry covering exactly that tick.
-    timers: BinaryHeap<Reverse<(u64, u32)>>,
-    /// Nodes whose `has_input` flag flipped on during the last scatter —
-    /// the input half of the coming tick's frontier (sparse mode).
-    frontier: Vec<u32>,
+    /// Frontier partitions: empty for Dense, one shard for Sparse, the
+    /// resolved shard count for Parallel.
+    shards: Vec<Shard>,
+    /// Nodes per shard (`shard_of(n) = min(n / chunk, shards - 1)`).
+    chunk: usize,
+    /// Set by saturated ticks, which bypass the shard worklists: the
+    /// wheel/heap/frontier contents are stale and must be rebuilt
+    /// ([`Engine::rebuild_frontier`]) before the next event tick.
+    frontier_dirty: bool,
+    /// The shard count was requested explicitly (knob or env var): fan
+    /// event ticks over the pool unconditionally.
+    forced_fanout: bool,
+    /// Persistent tick-phase workers (Parallel with > 1 shard only);
+    /// spawned once here, parked between dispatches, joined on drop.
+    pool: Option<WorkerPool>,
     /// Per-node event buffers (kept separate for parallel stepping).
     event_bufs: Vec<Vec<A::Event>>,
-    /// Scratch: the step list of the current tick (sorted node ids).
-    stepped: Vec<u32>,
     /// Route-table and invalidation rebuild buffers for
     /// [`Engine::apply_topology_with`], reused across mutations so
     /// mutation-dense schedules don't reallocate per event.
@@ -308,6 +382,249 @@ fn fill_routes(topo: &Topology, delta: usize, route_in: &mut [u32], route_out: &
     }
 }
 
+/// Raw view of the engine tables a tick phase touches, type-erased behind
+/// a `*const ()` so the non-generic worker pool can call monomorphized
+/// phase functions. Rebuilt on every tick (it borrows nothing — the
+/// pointers are only valid while the owning `Engine` methods hold still),
+/// and published to workers per dispatch.
+///
+/// Safety argument for the phases below: shard ranges partition the node
+/// space, every per-node table is indexed by node id, and each phase
+/// writes only (a) state owned by its shard index, or (b) `in_buf` slots
+/// reached through `route_out`, which is bijective on wired slots so no
+/// two shards ever write the same slot. Phases are separated by pool
+/// barriers, so no read races a foreign write.
+struct ParCtx<A: Automaton> {
+    nodes: *mut A,
+    in_buf: *mut A::Sig,
+    out_buf: *mut A::Sig,
+    event_bufs: *mut Vec<A::Event>,
+    wake_at: *mut u64,
+    has_input: *mut bool,
+    shards: *mut Shard,
+    route_in: *const u32,
+    route_out: *const u32,
+    num_shards: usize,
+    chunk: usize,
+    delta: usize,
+    tick: u64,
+}
+
+/// Event phase A (per shard): drain the shard's due frontier — input
+/// worklist, this tick's wheel slot, due overflow timers — into a sorted
+/// step list, step each node against the `in_buf` snapshot, fold wake
+/// re-arms back into the shard's wheel/heap, and clear consumed inputs.
+unsafe fn shard_step<A: Automaton>(ctx: *const (), s: usize) {
+    let c = &*ctx.cast::<ParCtx<A>>();
+    let sh = &mut *c.shards.add(s);
+    let delta = c.delta;
+    let tick = c.tick;
+    let blank = A::Sig::default();
+    sh.stepped.clear();
+    sh.stepped.append(&mut sh.frontier);
+    let slot = (tick % WHEEL as u64) as usize;
+    let mut due = std::mem::take(&mut sh.wheel[slot]);
+    for n in due.drain(..) {
+        if *c.wake_at.add(n as usize) <= tick {
+            sh.stepped.push(n);
+        }
+    }
+    sh.wheel[slot] = due;
+    while let Some(&Reverse((at, n))) = sh.timers.peek() {
+        if at > tick {
+            break;
+        }
+        sh.timers.pop();
+        if *c.wake_at.add(n as usize) <= tick {
+            sh.stepped.push(n);
+        }
+    }
+    // Ascending within the shard; shard ranges ascend across shards, so
+    // the concatenated step list is globally sorted (event-drain
+    // determinism across any shard count). Dedup removes input+wake
+    // double entries.
+    sh.stepped.sort_unstable();
+    sh.stepped.dedup();
+    for &n in &sh.stepped {
+        let n = n as usize;
+        // Pre-blank the out chunk: saturated ticks leave out_buf dirty,
+        // so the historical all-blank-between-ticks invariant is gone.
+        let outs = std::slice::from_raw_parts_mut(c.out_buf.add(n * delta), delta);
+        for sig in outs.iter_mut() {
+            *sig = A::Sig::default();
+        }
+        let old_wake = *c.wake_at.add(n);
+        let mut wake = NO_WAKE;
+        let mut step_ctx = StepCtx {
+            tick,
+            inputs: std::slice::from_raw_parts(c.in_buf.add(n * delta), delta),
+            outputs: outs,
+            events: &mut *c.event_bufs.add(n),
+            wake: &mut wake,
+        };
+        (*c.nodes.add(n)).step(&mut step_ctx);
+        if wake != old_wake {
+            match (old_wake == NO_WAKE, wake == NO_WAKE) {
+                (true, false) => sh.armed_delta += 1,
+                (false, true) => sh.armed_delta -= 1,
+                _ => {}
+            }
+            *c.wake_at.add(n) = wake;
+            if wake != NO_WAKE {
+                if wake - tick < WHEEL as u64 {
+                    sh.wheel[(wake % WHEEL as u64) as usize].push(n as u32);
+                } else {
+                    sh.timers.push(Reverse((wake, n as u32)));
+                }
+            }
+        }
+        if *c.has_input.add(n) {
+            let ins = std::slice::from_raw_parts_mut(c.in_buf.add(n * delta), delta);
+            for sig in ins.iter_mut() {
+                if *sig != blank {
+                    *sig = A::Sig::default();
+                }
+            }
+            *c.has_input.add(n) = false;
+            sh.pending_delta -= 1;
+        }
+    }
+}
+
+/// Event phase B (per shard): scatter the outputs of the shard's stepped
+/// nodes by move. In-shard deliveries mark `has_input`/frontier directly;
+/// cross-shard deliveries write the in-slot (race-free: `route_out` is
+/// bijective on wired slots) and flag the destination on this shard's own
+/// lane — reading the foreign owner's `has_input` here would race, so
+/// dedup happens in the owner's merge phase.
+unsafe fn shard_scatter<A: Automaton>(ctx: *const (), s: usize) {
+    let c = &*ctx.cast::<ParCtx<A>>();
+    let sh = &mut *c.shards.add(s);
+    let delta = c.delta;
+    let blank = A::Sig::default();
+    for &n in &sh.stepped {
+        let n = n as usize;
+        for o in 0..delta {
+            let out_slot = n * delta + o;
+            let sig = *c.out_buf.add(out_slot);
+            if sig == blank {
+                continue;
+            }
+            *c.out_buf.add(out_slot) = A::Sig::default();
+            let r = *c.route_out.add(out_slot);
+            if r == NO_ROUTE {
+                continue;
+            }
+            let in_slot = r as usize;
+            *c.in_buf.add(in_slot) = sig;
+            let dst = in_slot / delta;
+            let d = (dst / c.chunk).min(c.num_shards - 1);
+            if d == s {
+                if !*c.has_input.add(dst) {
+                    *c.has_input.add(dst) = true;
+                    sh.frontier.push(dst as u32);
+                    sh.pending_delta += 1;
+                }
+            } else {
+                sh.lanes[d].push(dst as u32);
+            }
+        }
+    }
+}
+
+/// Event phase C (per shard): merge — drain every other shard's lane
+/// aimed at this shard, marking newly-delivered owned nodes into this
+/// shard's frontier. Lane entries may repeat (several senders, several
+/// ports); the owner's `has_input` check dedups.
+unsafe fn shard_merge<A: Automaton>(ctx: *const (), d: usize) {
+    let c = &*ctx.cast::<ParCtx<A>>();
+    for s in 0..c.num_shards {
+        if s == d {
+            continue;
+        }
+        let lane: *mut Vec<u32> = &mut (&mut (*c.shards.add(s)).lanes)[d];
+        for &dst in (*lane).iter() {
+            let dst = dst as usize;
+            if !*c.has_input.add(dst) {
+                *c.has_input.add(dst) = true;
+                let me = &mut *c.shards.add(d);
+                me.frontier.push(dst as u32);
+                me.pending_delta += 1;
+            }
+        }
+        (*lane).clear();
+    }
+}
+
+/// Saturated phase A (per shard): dense-scan step every node in the
+/// shard's range. When the network floods, stepping the stragglers (no-ops
+/// by the deadline contract) is cheaper than worklist bookkeeping — and
+/// the armed recount folds into the same pass, which is what lets a
+/// saturated Parallel tick beat both Sparse (no sort) and Dense (no
+/// separate recount scans). Leaves the shard worklists stale: the caller
+/// marks the frontier dirty.
+unsafe fn shard_step_all<A: Automaton>(ctx: *const (), s: usize) {
+    let c = &*ctx.cast::<ParCtx<A>>();
+    let sh = &mut *c.shards.add(s);
+    let delta = c.delta;
+    let tick = c.tick;
+    let mut armed = 0i64;
+    for n in sh.lo..sh.hi {
+        let outs = std::slice::from_raw_parts_mut(c.out_buf.add(n * delta), delta);
+        for sig in outs.iter_mut() {
+            *sig = A::Sig::default();
+        }
+        let mut wake = NO_WAKE;
+        let mut step_ctx = StepCtx {
+            tick,
+            inputs: std::slice::from_raw_parts(c.in_buf.add(n * delta), delta),
+            outputs: outs,
+            events: &mut *c.event_bufs.add(n),
+            wake: &mut wake,
+        };
+        (*c.nodes.add(n)).step(&mut step_ctx);
+        *c.wake_at.add(n) = wake;
+        if wake != NO_WAKE {
+            armed += 1;
+        }
+    }
+    sh.armed_delta = armed;
+}
+
+/// Saturated phase B (per shard): dense gather — copy every wired
+/// out-slot into the in-slot it feeds for the shard's nodes, recomputing
+/// `has_input` and the shard's pending count in the same pass.
+unsafe fn shard_gather<A: Automaton>(ctx: *const (), s: usize) {
+    let c = &*ctx.cast::<ParCtx<A>>();
+    let sh = &mut *c.shards.add(s);
+    let delta = c.delta;
+    let blank = A::Sig::default();
+    let mut pending = 0i64;
+    for n in sh.lo..sh.hi {
+        let mut has = false;
+        for i in 0..delta {
+            let in_slot = n * delta + i;
+            let r = *c.route_in.add(in_slot);
+            let dst = c.in_buf.add(in_slot);
+            if r == NO_ROUTE {
+                if *dst != blank {
+                    *dst = A::Sig::default();
+                }
+            } else {
+                *dst = *c.out_buf.add(r as usize);
+                if *dst != blank {
+                    has = true;
+                }
+            }
+        }
+        *c.has_input.add(n) = has;
+        if has {
+            pending += 1;
+        }
+    }
+    sh.pending_delta = pending;
+}
+
 impl<A: Automaton> Engine<A> {
     /// Build an engine over `topo`, constructing one automaton per node via
     /// `factory`. Node 0 is the root by convention (callers that want a
@@ -321,6 +638,25 @@ impl<A: Automaton> Engine<A> {
         topo: &Topology,
         mode: EngineMode,
         root: NodeId,
+        factory: &mut dyn FnMut(NodeMeta) -> A,
+    ) -> Self {
+        Self::with_root_sharded(topo, mode, root, None, factory)
+    }
+
+    /// Like [`Engine::with_root`] with an explicit parallel shard count.
+    ///
+    /// `par_shards` only affects [`EngineMode::Parallel`] (clamped to
+    /// `1..=`[`MAX_SHARDS`]); `None` consults the `GTD_PAR_SHARDS`
+    /// environment variable, then auto-sizes by core count with at least
+    /// ~256 nodes per shard. An explicit count (knob or env) also forces
+    /// event ticks over the worker pool regardless of frontier size, so
+    /// determinism sweeps exercise the pooled phases. Transcripts are
+    /// bit-identical across every shard count.
+    pub fn with_root_sharded(
+        topo: &Topology,
+        mode: EngineMode,
+        root: NodeId,
+        par_shards: Option<usize>,
         factory: &mut dyn FnMut(NodeMeta) -> A,
     ) -> Self {
         assert!(root.idx() < topo.num_nodes(), "root must exist");
@@ -339,6 +675,45 @@ impl<A: Automaton> Engine<A> {
         let mut route_in = vec![NO_ROUTE; n * delta];
         let mut route_out = vec![NO_ROUTE; n * delta];
         fill_routes(topo, delta, &mut route_in, &mut route_out);
+        let (s_count, forced_fanout) = match mode {
+            EngineMode::Dense => (0, false),
+            EngineMode::Sparse => (1, false),
+            EngineMode::Parallel => resolve_shards(n, par_shards),
+        };
+        let chunk = if s_count > 0 {
+            n.div_ceil(s_count).max(1)
+        } else {
+            1
+        };
+        // tick 0's wheel slot holds every owned node (the power-on step:
+        // every node must be stepped at least once so initiators can
+        // start protocols without external input); Dense steps everyone
+        // unconditionally and keeps no shards at all.
+        let shards: Vec<Shard> = (0..s_count)
+            .map(|s| {
+                let lo = (s * chunk).min(n);
+                let hi = ((s + 1) * chunk).min(n);
+                Shard {
+                    lo,
+                    hi,
+                    wheel: std::array::from_fn(|i| {
+                        if i == 0 {
+                            (lo as u32..hi as u32).collect()
+                        } else {
+                            Vec::new()
+                        }
+                    }),
+                    timers: BinaryHeap::new(),
+                    frontier: Vec::new(),
+                    stepped: Vec::with_capacity(hi - lo),
+                    lanes: (0..s_count).map(|_| Vec::new()).collect(),
+                    pending_delta: 0,
+                    armed_delta: 0,
+                }
+            })
+            .collect();
+        let pool =
+            (mode == EngineMode::Parallel && s_count > 1).then(|| WorkerPool::new(s_count - 1));
         Engine {
             mode,
             delta,
@@ -349,27 +724,17 @@ impl<A: Automaton> Engine<A> {
             out_buf: vec![A::Sig::default(); n * delta],
             route_in,
             route_out,
-            // Every node must be stepped at least once so initiators (the
-            // root) can start protocols without external input: arm every
-            // wake for tick 0.
+            // Arm every wake for tick 0 (the power-on step).
             wake_at: vec![0; n],
             has_input: vec![false; n],
             pending_inputs: 0,
             armed: n,
-            // tick 0's wheel slot holds every node (the power-on step);
-            // the dense modes step everyone unconditionally and never
-            // drain the wheel, so only sparse indexes it.
-            wheel: std::array::from_fn(|i| {
-                if i == 0 && mode == EngineMode::Sparse {
-                    (0..n as u32).collect()
-                } else {
-                    Vec::new()
-                }
-            }),
-            timers: BinaryHeap::new(),
-            frontier: Vec::new(),
+            shards,
+            chunk,
+            frontier_dirty: false,
+            forced_fanout,
+            pool,
             event_bufs: (0..n).map(|_| Vec::new()).collect(),
-            stepped: Vec::with_capacity(n),
             apply_scratch: ApplyScratch::default(),
         }
     }
@@ -386,6 +751,20 @@ impl<A: Automaton> Engine<A> {
         self.tick
     }
 
+    /// Frontier partitions this engine schedules over (0 for Dense, 1 for
+    /// Sparse, the resolved shard count for Parallel).
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Pre-spawned pool workers (shard count − 1 for Parallel with more
+    /// than one shard; 0 otherwise — the main thread is always a worker).
+    #[inline]
+    pub fn pool_workers(&self) -> usize {
+        self.pool.as_ref().map_or(0, WorkerPool::workers)
+    }
+
     /// Immutable view of an automaton (invariant checks, tracing).
     #[inline]
     pub fn node(&self, n: NodeId) -> &A {
@@ -398,22 +777,30 @@ impl<A: Automaton> Engine<A> {
         &self.nodes
     }
 
-    /// Index node `n`'s wake at tick `wake` into the sparse timer
+    /// The shard owning node `n`.
+    #[inline]
+    fn shard_of(&self, n: usize) -> usize {
+        (n / self.chunk).min(self.shards.len().saturating_sub(1))
+    }
+
+    /// Index node `n`'s wake at tick `wake` into its shard's timer
     /// structures: near wakes go to the wheel slot that drains at exactly
     /// that tick, far ones to the overflow heap. Caller has already
     /// stored `wake` in `wake_at` (which is what validates entries when
-    /// they surface). The dense modes step every node anyway and consult
-    /// `wake_at` directly, so indexing there would only accumulate
-    /// entries nothing ever drains.
+    /// they surface). Dense keeps no shards and consults `wake_at` by
+    /// scan; a dirty frontier skips indexing (the rebuild re-indexes).
     #[inline]
     fn schedule_wake(&mut self, n: u32, wake: u64) {
-        if self.mode != EngineMode::Sparse {
+        if self.shards.is_empty() || self.frontier_dirty {
             return;
         }
-        if wake.saturating_sub(self.tick) < WHEEL as u64 {
-            self.wheel[(wake % WHEEL as u64) as usize].push(n);
+        let tick = self.tick;
+        let s = self.shard_of(n as usize);
+        let sh = &mut self.shards[s];
+        if wake.saturating_sub(tick) < WHEEL as u64 {
+            sh.wheel[(wake % WHEEL as u64) as usize].push(n);
         } else {
-            self.timers.push(Reverse((wake, n)));
+            sh.timers.push(Reverse((wake, n)));
         }
     }
 
@@ -432,7 +819,7 @@ impl<A: Automaton> Engine<A> {
     /// Mutable access to one automaton — the "outside source" of the paper
     /// nudging a processor (e.g. the master computer restarting the root
     /// for a re-map). The node is also scheduled for a step so the nudge
-    /// takes effect even in sparse mode.
+    /// takes effect even in the event-driven modes.
     pub fn node_mut(&mut self, n: NodeId) -> &mut A {
         self.arm(n.idx(), self.tick);
         &mut self.nodes[n.idx()]
@@ -484,6 +871,9 @@ impl<A: Automaton> Engine<A> {
     /// In-flight characters survive exactly on wires that connect the same
     /// *physical* processors through the same ports on both sides of the
     /// change; everything else is invalidated, as for a plain rewire.
+    /// The sharded frontier is rebuilt for the new node count: shard
+    /// ranges are recomputed (the shard *count* is fixed at construction)
+    /// and every worklist, wheel, heap, and lane is reindexed.
     pub fn apply_topology_with(
         &mut self,
         new_topo: &Topology,
@@ -583,7 +973,8 @@ impl<A: Automaton> Engine<A> {
             None => self.tick,
         }));
         // Notify surviving processors whose port awareness changed and
-        // schedule them so sparse mode steps them exactly when dense would.
+        // schedule them so the event modes step them exactly when dense
+        // would.
         for (new_id, &old) in inv.iter().enumerate() {
             let Some(old_id) = old else { continue };
             let changed = (0..delta).any(|p| {
@@ -612,21 +1003,42 @@ impl<A: Automaton> Engine<A> {
         self.apply_scratch = scratch;
         self.out_buf.clear();
         self.out_buf.resize(new_n * delta, A::Sig::default());
-        // Rebuild the frontier bookkeeping for the new indexing.
+        // Rebuild the sharded frontier for the new indexing: recompute
+        // shard ranges (the count is fixed), clear every worklist, then
+        // re-mark pending inputs and re-index armed wakes.
         self.has_input.clear();
         self.has_input.resize(new_n, false);
-        self.frontier.clear();
+        if !self.shards.is_empty() {
+            self.chunk = new_n.div_ceil(self.shards.len()).max(1);
+        }
+        let chunk = self.chunk;
+        for (s, sh) in self.shards.iter_mut().enumerate() {
+            sh.lo = (s * chunk).min(new_n);
+            sh.hi = ((s + 1) * chunk).min(new_n);
+            for slot in &mut sh.wheel {
+                slot.clear();
+            }
+            sh.timers.clear();
+            sh.frontier.clear();
+            sh.stepped.clear();
+            for lane in &mut sh.lanes {
+                lane.clear();
+            }
+            sh.pending_delta = 0;
+            sh.armed_delta = 0;
+        }
+        self.frontier_dirty = false;
         self.pending_inputs = 0;
-        for (n, chunk) in self.in_buf.chunks(delta).enumerate() {
-            if chunk.iter().any(|s| *s != blank) {
+        for n in 0..new_n {
+            let sigs = &self.in_buf[n * delta..(n + 1) * delta];
+            if sigs.iter().any(|s| *s != blank) {
                 self.has_input[n] = true;
                 self.pending_inputs += 1;
-                self.frontier.push(n as u32);
+                if !self.shards.is_empty() {
+                    let s = self.shard_of(n);
+                    self.shards[s].frontier.push(n as u32);
+                }
             }
-        }
-        self.timers.clear();
-        for slot in &mut self.wheel {
-            slot.clear();
         }
         self.armed = 0;
         for n in 0..new_n {
@@ -636,7 +1048,6 @@ impl<A: Automaton> Engine<A> {
                 self.schedule_wake(n as u32, w);
             }
         }
-        self.stepped.clear();
     }
 
     /// True when nothing is pending: no node has an armed wake deadline
@@ -666,39 +1077,43 @@ impl<A: Automaton> Engine<A> {
     }
 
     /// The earliest armed wake deadline, if any. Drops stale timer-heap
-    /// entries as they surface (amortized O(1) in sparse mode; a linear
-    /// scan in the dense modes, which pay O(N) per tick anyway).
+    /// entries as they surface (amortized O(1) in the event modes; a
+    /// linear scan in Dense — which pays O(N) per tick anyway — and
+    /// while the frontier is dirty after saturated ticks).
     fn next_wake(&mut self) -> Option<u64> {
-        match self.mode {
-            EngineMode::Sparse => {
-                // Earliest genuine wake on the wheel: scan the coming
-                // WHEEL slots in tick order; the first slot holding a
-                // validated entry is exact (an earlier genuine wake would
-                // have a validated entry in an earlier slot or the heap).
-                let mut best = None;
-                for d in 0..WHEEL as u64 {
-                    let t_cand = self.tick + d;
-                    let slot = (t_cand % WHEEL as u64) as usize;
-                    if self.wheel[slot]
-                        .iter()
-                        .any(|&n| self.wake_at[n as usize] <= t_cand)
-                    {
-                        best = Some(t_cand);
-                        break;
-                    }
-                }
-                // Earliest genuine far wake: drop stale heap tops.
-                while let Some(&Reverse((at, n))) = self.timers.peek() {
-                    if self.wake_at[n as usize] == at {
-                        best = Some(best.map_or(at, |b: u64| b.min(at)));
-                        break;
-                    }
-                    self.timers.pop();
-                }
-                best
-            }
-            _ => self.wake_at.iter().copied().filter(|&w| w != NO_WAKE).min(),
+        if self.shards.is_empty() || self.frontier_dirty {
+            return self.wake_at.iter().copied().filter(|&w| w != NO_WAKE).min();
         }
+        // Earliest genuine wake on any shard's wheel: scan the coming
+        // WHEEL slots in tick order; the first slot holding a validated
+        // entry is exact (an earlier genuine wake would have a validated
+        // entry in an earlier slot or a heap).
+        let mut best = None;
+        'wheels: for d in 0..WHEEL as u64 {
+            let t_cand = self.tick + d;
+            let slot = (t_cand % WHEEL as u64) as usize;
+            for sh in &self.shards {
+                if sh.wheel[slot]
+                    .iter()
+                    .any(|&n| self.wake_at[n as usize] <= t_cand)
+                {
+                    best = Some(t_cand);
+                    break 'wheels;
+                }
+            }
+        }
+        // Earliest genuine far wake: drop stale tops off each shard heap.
+        let wake_at = &self.wake_at;
+        for sh in &mut self.shards {
+            while let Some(&Reverse((at, n))) = sh.timers.peek() {
+                if wake_at[n as usize] == at {
+                    best = Some(best.map_or(at, |b: u64| b.min(at)));
+                    break;
+                }
+                sh.timers.pop();
+            }
+        }
+        best
     }
 
     /// Fast-forward a **lull**: if the coming tick would step nothing (no
@@ -729,12 +1144,27 @@ impl<A: Automaton> Engine<A> {
     }
 
     /// Advance one global clock tick. Events emitted by nodes are appended
-    /// to `events` in ascending node order (deterministic across modes).
+    /// to `events` in ascending node order (deterministic across modes and
+    /// shard counts).
     pub fn tick(&mut self, events: &mut Vec<(NodeId, A::Event)>) {
         match self.mode {
-            EngineMode::Dense => self.tick_dense(events, false),
-            EngineMode::Parallel => self.tick_dense(events, true),
-            EngineMode::Sparse => self.tick_sparse(events),
+            EngineMode::Dense => self.tick_dense(events),
+            EngineMode::Sparse => self.tick_event(events),
+            EngineMode::Parallel => {
+                // Saturation: once half the nodes hold a pending input,
+                // a dense-scan tick beats worklist bookkeeping. Either
+                // path is observationally identical (extra steps are
+                // no-ops by the deadline contract), so the threshold
+                // affects speed only, never transcripts.
+                if self.pending_inputs * 2 >= self.nodes.len() {
+                    self.tick_saturated(events);
+                } else {
+                    if self.frontier_dirty {
+                        self.rebuild_frontier();
+                    }
+                    self.tick_event(events);
+                }
+            }
         }
         self.tick += 1;
     }
@@ -769,20 +1199,162 @@ impl<A: Automaton> Engine<A> {
         (all, false)
     }
 
-    fn tick_dense(&mut self, events: &mut Vec<(NodeId, A::Event)>, parallel: bool) {
-        let n = self.nodes.len();
+    /// The type-erased table view the tick phases work through.
+    fn par_ctx(&mut self) -> ParCtx<A> {
+        ParCtx {
+            nodes: self.nodes.as_mut_ptr(),
+            in_buf: self.in_buf.as_mut_ptr(),
+            out_buf: self.out_buf.as_mut_ptr(),
+            event_bufs: self.event_bufs.as_mut_ptr(),
+            wake_at: self.wake_at.as_mut_ptr(),
+            has_input: self.has_input.as_mut_ptr(),
+            shards: self.shards.as_mut_ptr(),
+            route_in: self.route_in.as_ptr(),
+            route_out: self.route_out.as_ptr(),
+            num_shards: self.shards.len(),
+            chunk: self.chunk,
+            delta: self.delta,
+            tick: self.tick,
+        }
+    }
+
+    /// Run each phase over every shard, with a barrier between phases:
+    /// fanned over the worker pool when `use_pool`, inline otherwise.
+    /// Both drivers execute the identical phase functions, which is what
+    /// keeps pooled and sequential ticks bit-identical.
+    fn run_phases(&mut self, phases: &[PhaseFn], use_pool: bool) {
+        let ctx = self.par_ctx();
+        let p = (&ctx as *const ParCtx<A>).cast::<()>();
+        let shards = ctx.num_shards;
+        match (&self.pool, use_pool) {
+            (Some(pool), true) => {
+                for &phase in phases {
+                    // SAFETY: ctx lives until this call returns, and each
+                    // phase touches only shard-disjoint state (see ParCtx).
+                    unsafe { pool.dispatch(phase, p, shards) };
+                }
+            }
+            _ => {
+                for &phase in phases {
+                    for s in 0..shards {
+                        // SAFETY: as above, with no concurrency at all.
+                        unsafe { phase(p, s) };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fold the per-shard tick deltas into the engine-wide counters.
+    /// After a saturated tick the per-shard values are absolute recounts;
+    /// after an event tick they are increments.
+    fn settle_counters(&mut self, absolute: bool) {
+        let mut pending = 0i64;
+        let mut armed = 0i64;
+        for sh in &mut self.shards {
+            pending += sh.pending_delta;
+            armed += sh.armed_delta;
+            sh.pending_delta = 0;
+            sh.armed_delta = 0;
+        }
+        if !absolute {
+            pending += self.pending_inputs as i64;
+            armed += self.armed as i64;
+        }
+        self.pending_inputs = pending as usize;
+        self.armed = armed as usize;
+    }
+
+    /// One event-driven tick over the shards (Sparse always, Parallel
+    /// below saturation): step/scatter/merge phases with barriers, then
+    /// counter settlement and the event drain. The pool engages when the
+    /// active set justifies dispatch (or fan-out is forced); otherwise
+    /// the same phases run inline — the active-fraction fallback that
+    /// keeps Parallel from ever losing to Sparse on quiet phases.
+    fn tick_event(&mut self, events: &mut Vec<(NodeId, A::Event)>) {
+        let s_count = self.shards.len();
+        let use_pool = self.pool.is_some()
+            && (self.forced_fanout
+                || self.pending_inputs + self.armed >= s_count * PAR_ACTIVE_PER_SHARD);
+        let phases: [PhaseFn; 3] = [shard_step::<A>, shard_scatter::<A>, shard_merge::<A>];
+        self.run_phases(&phases, use_pool);
+        self.settle_counters(false);
+        // Drain events shard by shard: ranges ascend and each step list
+        // is sorted, so the order is ascending node id — identical to
+        // Dense and to every other shard count.
+        for si in 0..s_count {
+            for i in 0..self.shards[si].stepped.len() {
+                let n = self.shards[si].stepped[i] as usize;
+                if !self.event_bufs[n].is_empty() {
+                    events.extend(self.event_bufs[n].drain(..).map(|e| (NodeId(n as u32), e)));
+                }
+            }
+        }
+    }
+
+    /// One saturated tick (Parallel only): dense-scan step + gather over
+    /// shard ranges, skipping all worklist bookkeeping. Marks the
+    /// frontier dirty — the wheel/heap/frontier no longer reflect
+    /// `wake_at`/`has_input` and are rebuilt before the next event tick.
+    fn tick_saturated(&mut self, events: &mut Vec<(NodeId, A::Event)>) {
+        let use_pool = self.pool.is_some();
+        let phases: [PhaseFn; 2] = [shard_step_all::<A>, shard_gather::<A>];
+        self.run_phases(&phases, use_pool);
+        self.settle_counters(true);
+        self.frontier_dirty = true;
+        for (n, buf) in self.event_bufs.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                events.extend(buf.drain(..).map(|e| (NodeId(n as u32), e)));
+            }
+        }
+    }
+
+    /// Re-derive every shard's worklists from the authoritative tables
+    /// (`has_input`, `wake_at`) after saturated ticks bypassed them. O(N);
+    /// runs only on the saturated→event transition.
+    fn rebuild_frontier(&mut self) {
+        for sh in &mut self.shards {
+            for slot in &mut sh.wheel {
+                slot.clear();
+            }
+            sh.timers.clear();
+            sh.frontier.clear();
+            sh.stepped.clear();
+        }
+        self.frontier_dirty = false;
+        self.pending_inputs = 0;
+        self.armed = 0;
+        for n in 0..self.nodes.len() {
+            if self.has_input[n] {
+                self.pending_inputs += 1;
+                let s = self.shard_of(n);
+                self.shards[s].frontier.push(n as u32);
+            }
+            let w = self.wake_at[n];
+            if w != NO_WAKE {
+                self.armed += 1;
+                self.schedule_wake(n as u32, w);
+            }
+        }
+    }
+
+    /// One dense tick: step everyone, gather every wire, recount the
+    /// frontier counters wholesale. Sequential — the reference
+    /// implementation stays the simplest possible loop.
+    fn tick_dense(&mut self, events: &mut Vec<(NodeId, A::Event)>) {
         let delta = self.delta;
         let tick = self.tick;
-        let parallel = parallel && n >= PAR_MIN_NODES;
         // Phase 1: step everyone against the in_buf snapshot. Each node's
         // wake slot is reset and re-requested within its step (the
         // deadline contract keeps re-requests idempotent).
         let in_buf = &self.in_buf;
-        let step_one = |idx: usize,
-                        node: &mut A,
-                        out_chunk: &mut [A::Sig],
-                        evs: &mut Vec<A::Event>,
-                        wake: &mut u64| {
+        for (idx, ((node, out_chunk), (evs, wake))) in self
+            .nodes
+            .iter_mut()
+            .zip(self.out_buf.chunks_mut(delta))
+            .zip(self.event_bufs.iter_mut().zip(self.wake_at.iter_mut()))
+            .enumerate()
+        {
             for s in out_chunk.iter_mut() {
                 *s = A::Sig::default();
             }
@@ -795,58 +1367,6 @@ impl<A: Automaton> Engine<A> {
                 wake,
             };
             node.step(&mut ctx);
-        };
-        if parallel {
-            // Fan contiguous node ranges out over scoped threads: each
-            // worker owns disjoint slices of every per-node table, while
-            // all share the immutable in_buf snapshot.
-            let per = n.div_ceil(par_workers(n));
-            std::thread::scope(|scope| {
-                let mut nodes = self.nodes.as_mut_slice();
-                let mut outs = self.out_buf.as_mut_slice();
-                let mut evs = self.event_bufs.as_mut_slice();
-                let mut wakes = self.wake_at.as_mut_slice();
-                let mut base = 0usize;
-                let step_one = &step_one;
-                while !nodes.is_empty() {
-                    let take = per.min(nodes.len());
-                    let (node_c, node_rest) = nodes.split_at_mut(take);
-                    let (out_c, out_rest) = outs.split_at_mut(take * delta);
-                    let (ev_c, ev_rest) = evs.split_at_mut(take);
-                    let (wake_c, wake_rest) = wakes.split_at_mut(take);
-                    scope.spawn(move || {
-                        for (j, ((node, evbuf), wake)) in node_c
-                            .iter_mut()
-                            .zip(ev_c.iter_mut())
-                            .zip(wake_c.iter_mut())
-                            .enumerate()
-                        {
-                            step_one(
-                                base + j,
-                                node,
-                                &mut out_c[j * delta..(j + 1) * delta],
-                                evbuf,
-                                wake,
-                            );
-                        }
-                    });
-                    nodes = node_rest;
-                    outs = out_rest;
-                    evs = ev_rest;
-                    wakes = wake_rest;
-                    base += take;
-                }
-            });
-        } else {
-            for (idx, ((node, out_chunk), (evs, wake))) in self
-                .nodes
-                .iter_mut()
-                .zip(self.out_buf.chunks_mut(delta))
-                .zip(self.event_bufs.iter_mut().zip(self.wake_at.iter_mut()))
-                .enumerate()
-            {
-                step_one(idx, node, out_chunk, evs, wake);
-            }
         }
         // Phase 2: gather — route every wired out-slot to its in-slot by
         // plain copy (the `Copy` bound keeps this a word move, never a
@@ -854,182 +1374,36 @@ impl<A: Automaton> Engine<A> {
         let out_buf = &self.out_buf;
         let route_in = &self.route_in;
         let blank = A::Sig::default();
-        let gather_one = |in_slot: usize, dst: &mut A::Sig, has: &mut bool| {
-            let r = route_in[in_slot];
-            if r == NO_ROUTE {
-                if *dst != blank {
-                    *dst = A::Sig::default();
-                }
-            } else {
-                *dst = out_buf[r as usize];
-                if *dst != blank {
-                    *has = true;
-                }
-            }
-        };
-        if parallel {
-            let per = n.div_ceil(par_workers(n));
-            std::thread::scope(|scope| {
-                let mut ins = self.in_buf.as_mut_slice();
-                let mut has = self.has_input.as_mut_slice();
-                let mut base = 0usize;
-                let gather_one = &gather_one;
-                while !ins.is_empty() {
-                    let take = (per * delta).min(ins.len());
-                    let (in_c, in_rest) = ins.split_at_mut(take);
-                    let (has_c, has_rest) = has.split_at_mut(take / delta);
-                    scope.spawn(move || {
-                        for (k, (chunk, h)) in
-                            in_c.chunks_mut(delta).zip(has_c.iter_mut()).enumerate()
-                        {
-                            *h = false;
-                            for (i, dst) in chunk.iter_mut().enumerate() {
-                                gather_one((base + k) * delta + i, dst, h);
-                            }
-                        }
-                    });
-                    ins = in_rest;
-                    has = has_rest;
-                    base += take / delta;
-                }
-            });
-        } else {
-            for (nid, (chunk, has)) in self
-                .in_buf
-                .chunks_mut(delta)
-                .zip(self.has_input.iter_mut())
-                .enumerate()
-            {
-                *has = false;
-                for (i, dst) in chunk.iter_mut().enumerate() {
-                    gather_one(nid * delta + i, dst, has);
+        for (nid, (chunk, has)) in self
+            .in_buf
+            .chunks_mut(delta)
+            .zip(self.has_input.iter_mut())
+            .enumerate()
+        {
+            *has = false;
+            for (i, dst) in chunk.iter_mut().enumerate() {
+                let r = route_in[nid * delta + i];
+                if r == NO_ROUTE {
+                    if *dst != blank {
+                        *dst = A::Sig::default();
+                    }
+                } else {
+                    *dst = out_buf[r as usize];
+                    if *dst != blank {
+                        *has = true;
+                    }
                 }
             }
         }
-        // Phase 3: refresh the frontier counters wholesale — the dense
-        // modes already pay O(N) per tick, and skipping the timer heap
-        // here keeps their inner loops identical to the pre-frontier
-        // engine (next_wake falls back to a scan in these modes).
+        // Phase 3: refresh the frontier counters wholesale — dense pays
+        // O(N) per tick anyway (the saturated parallel path fuses these
+        // recounts into its scan, which is how it wins).
         self.pending_inputs = self.has_input.iter().filter(|&&h| h).count();
         self.armed = self.wake_at.iter().filter(|&&w| w != NO_WAKE).count();
         // Phase 4: drain events in node order.
         for (n, buf) in self.event_bufs.iter_mut().enumerate() {
             if !buf.is_empty() {
                 events.extend(buf.drain(..).map(|e| (NodeId(n as u32), e)));
-            }
-        }
-    }
-
-    fn tick_sparse(&mut self, events: &mut Vec<(NodeId, A::Event)>) {
-        let delta = self.delta;
-        let tick = self.tick;
-        let blank = A::Sig::default();
-        // Phase 1: the step list is the active frontier — nodes with a
-        // pending input (marked at signal-write time by the previous
-        // tick's scatter) plus nodes whose wake deadline is due (surfaced
-        // by the timer heap; stale entries are dropped). O(active), never
-        // a scan over all N nodes.
-        self.stepped.clear();
-        self.stepped.append(&mut self.frontier);
-        // Drain this tick's wheel slot (near wakes land in the slot that
-        // drains at exactly their tick; entries re-armed since are stale
-        // and fail validation), then any due far wakes off the heap.
-        let slot = (tick % WHEEL as u64) as usize;
-        let mut due = std::mem::take(&mut self.wheel[slot]);
-        for n in due.drain(..) {
-            if self.wake_at[n as usize] <= tick {
-                self.stepped.push(n);
-            }
-        }
-        self.wheel[slot] = due;
-        while let Some(&Reverse((at, n))) = self.timers.peek() {
-            if at > tick {
-                break;
-            }
-            self.timers.pop();
-            if self.wake_at[n as usize] <= tick {
-                self.stepped.push(n);
-            }
-        }
-        // Events must drain in ascending node order for cross-mode
-        // determinism; dedup removes input+wake double entries.
-        self.stepped.sort_unstable();
-        self.stepped.dedup();
-        // Phase 2: step the frontier. out_buf is all-blank between ticks
-        // (invariant), so stepped nodes write into clean slices.
-        for &n in &self.stepped {
-            let n = n as usize;
-            let old_wake = self.wake_at[n];
-            let mut wake = NO_WAKE;
-            let mut ctx = StepCtx {
-                tick,
-                inputs: &self.in_buf[n * delta..(n + 1) * delta],
-                outputs: &mut self.out_buf[n * delta..(n + 1) * delta],
-                events: &mut self.event_bufs[n],
-                wake: &mut wake,
-            };
-            self.nodes[n].step(&mut ctx);
-            if wake != old_wake {
-                match (old_wake == NO_WAKE, wake == NO_WAKE) {
-                    (true, false) => self.armed += 1,
-                    (false, true) => self.armed -= 1,
-                    _ => {}
-                }
-                self.wake_at[n] = wake;
-                if wake != NO_WAKE {
-                    // inline schedule_wake: `self` is field-borrowed here
-                    if wake - tick < WHEEL as u64 {
-                        self.wheel[(wake % WHEEL as u64) as usize].push(n as u32);
-                    } else {
-                        self.timers.push(Reverse((wake, n as u32)));
-                    }
-                }
-            }
-        }
-        // Phase 3: clear consumed inputs.
-        for &n in &self.stepped {
-            let n = n as usize;
-            if self.has_input[n] {
-                for s in &mut self.in_buf[n * delta..(n + 1) * delta] {
-                    if *s != blank {
-                        *s = A::Sig::default();
-                    }
-                }
-                self.has_input[n] = false;
-                self.pending_inputs -= 1;
-            }
-        }
-        // Phase 4: scatter the outputs of stepped nodes by move, restoring
-        // the all-blank out_buf invariant as we go. This is where the
-        // frontier is intrusive: delivering a character marks the
-        // receiving node for the coming tick, so no later scan is needed.
-        for &n in &self.stepped {
-            let n = n as usize;
-            for o in 0..delta {
-                let out_slot = n * delta + o;
-                let sig = self.out_buf[out_slot];
-                if sig == blank {
-                    continue;
-                }
-                self.out_buf[out_slot] = A::Sig::default();
-                let r = self.route_out[out_slot];
-                if r != NO_ROUTE {
-                    let in_slot = r as usize;
-                    self.in_buf[in_slot] = sig;
-                    let dst = in_slot / delta;
-                    if !self.has_input[dst] {
-                        self.has_input[dst] = true;
-                        self.pending_inputs += 1;
-                        self.frontier.push(dst as u32);
-                    }
-                }
-            }
-        }
-        // Phase 5: drain events in node order (step list is already sorted).
-        for &n in &self.stepped {
-            let n = n as usize;
-            if !self.event_bufs[n].is_empty() {
-                events.extend(self.event_bufs[n].drain(..).map(|e| (NodeId(n as u32), e)));
             }
         }
     }
@@ -1089,9 +1463,8 @@ mod tests {
         }
     }
 
-    fn hopper_engine(mode: EngineMode, dwell: u64) -> Engine<Hopper> {
-        let topo = generators::ring(4);
-        Engine::new(&topo, mode, |meta| Hopper {
+    fn hopper_factory(meta: NodeMeta) -> Hopper {
+        Hopper {
             meta_is_root: meta.is_root,
             out_ports: meta
                 .out_connected
@@ -1101,9 +1474,25 @@ mod tests {
                 .map(|(i, _)| i)
                 .collect(),
             pending: None,
-            dwell,
+            dwell: 0,
             seen: Vec::new(),
             started: false,
+        }
+    }
+
+    fn hopper_engine(mode: EngineMode, dwell: u64) -> Engine<Hopper> {
+        hopper_engine_sharded(mode, dwell, None)
+    }
+
+    fn hopper_engine_sharded(
+        mode: EngineMode,
+        dwell: u64,
+        shards: Option<usize>,
+    ) -> Engine<Hopper> {
+        let topo = generators::ring(4);
+        Engine::with_root_sharded(&topo, mode, NodeId(0), shards, &mut |meta| Hopper {
+            dwell,
+            ..hopper_factory(meta)
         })
     }
 
@@ -1136,6 +1525,101 @@ mod tests {
             let par = run_to_quiet(&mut hopper_engine(EngineMode::Parallel, dwell));
             assert_eq!(base, sparse, "dense vs sparse, dwell {dwell}");
             assert_eq!(base, par, "dense vs parallel, dwell {dwell}");
+        }
+    }
+
+    #[test]
+    fn all_shard_counts_agree_with_dense() {
+        // An explicit shard count forces event ticks through the worker
+        // pool, so this sweep exercises the pooled step/scatter/merge
+        // phases and cross-shard lanes, not just the inline driver.
+        for dwell in [0u64, 2] {
+            let base = run_to_quiet(&mut hopper_engine(EngineMode::Dense, dwell));
+            for shards in [1usize, 2, 3, 7, 16] {
+                let mut eng = hopper_engine_sharded(EngineMode::Parallel, dwell, Some(shards));
+                assert_eq!(eng.shard_count(), shards);
+                assert_eq!(eng.pool_workers(), shards - 1);
+                let got = run_to_quiet(&mut eng);
+                assert_eq!(
+                    base, got,
+                    "dense vs parallel/{shards} shards, dwell {dwell}"
+                );
+            }
+        }
+    }
+
+    /// Broadcast automaton: every received value is re-emitted + 1 on all
+    /// out-ports until a cap — floods the whole network, driving Parallel
+    /// across the saturation threshold and back (frontier rebuild path).
+    #[derive(Clone)]
+    struct Flooder {
+        meta_is_root: bool,
+        out_ports: Vec<usize>,
+        started: bool,
+    }
+
+    impl Automaton for Flooder {
+        type Sig = U32Sig;
+        type Event = u32;
+
+        fn step(&mut self, ctx: &mut StepCtx<'_, U32Sig, u32>) {
+            let mut best = 0;
+            if self.meta_is_root && !self.started {
+                self.started = true;
+                best = 1;
+            }
+            for s in ctx.inputs {
+                if s.0 != 0 && s.0 > best {
+                    best = s.0;
+                }
+            }
+            if best != 0 && best < 12 {
+                ctx.events.push(best);
+                for &o in &self.out_ports {
+                    ctx.outputs[o] = U32Sig(best + 1);
+                }
+            }
+        }
+    }
+
+    fn flooder_engine(mode: EngineMode, shards: Option<usize>) -> Engine<Flooder> {
+        let topo = generators::random_sc(48, 2, 11);
+        Engine::with_root_sharded(&topo, mode, NodeId(0), shards, &mut |meta| Flooder {
+            meta_is_root: meta.is_root,
+            out_ports: meta
+                .out_connected
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c)
+                .map(|(i, _)| i)
+                .collect(),
+            started: false,
+        })
+    }
+
+    #[test]
+    fn saturated_ticks_agree_with_dense_across_shard_counts() {
+        let run = |mode, shards| {
+            let mut eng = flooder_engine(mode, shards);
+            let mut events = Vec::new();
+            for _ in 0..40 {
+                eng.tick(&mut events);
+                if eng.is_quiet() {
+                    break;
+                }
+            }
+            assert!(eng.is_quiet());
+            events
+        };
+        let base = run(EngineMode::Dense, None);
+        assert!(!base.is_empty());
+        assert_eq!(base, run(EngineMode::Sparse, None), "dense vs sparse");
+        for shards in [1usize, 2, 7, 16] {
+            assert_eq!(
+                base,
+                run(EngineMode::Parallel, Some(shards)),
+                "dense vs parallel/{shards} shards across saturation"
+            );
         }
     }
 
@@ -1281,9 +1765,15 @@ mod tests {
     #[test]
     fn repeated_rewires_preserve_wake_deadlines_and_reuse_scratch() {
         // A node mid-dwell keeps its wake across a rewire that does not
-        // touch its ports, in both stepping disciplines.
-        for mode in [EngineMode::Dense, EngineMode::Sparse] {
-            let mut eng = hopper_engine(mode, 4);
+        // touch its ports, in every stepping discipline including the
+        // pooled sharded one.
+        let cases = [
+            (EngineMode::Dense, None),
+            (EngineMode::Sparse, None),
+            (EngineMode::Parallel, Some(3)),
+        ];
+        for (mode, shards) in cases {
+            let mut eng = hopper_engine_sharded(mode, 4, shards);
             let mut events = Vec::new();
             eng.tick(&mut events); // root emits 1
             eng.tick(&mut events); // n1 adopts it, arms wake at 1 + 4
@@ -1295,24 +1785,7 @@ mod tests {
             let mut tail = run_to_quiet(&mut eng);
             events.append(&mut tail);
             let vals: Vec<u32> = events.iter().map(|&(_, v)| v).collect();
-            assert_eq!(vals, vec![1, 2, 3, 4, 5], "{mode:?}");
-        }
-    }
-
-    fn hopper_factory(meta: NodeMeta) -> Hopper {
-        Hopper {
-            meta_is_root: meta.is_root,
-            out_ports: meta
-                .out_connected
-                .iter()
-                .enumerate()
-                .filter(|(_, &c)| c)
-                .map(|(i, _)| i)
-                .collect(),
-            pending: None,
-            dwell: 0,
-            seen: Vec::new(),
-            started: false,
+            assert_eq!(vals, vec![1, 2, 3, 4, 5], "{mode:?} {shards:?}");
         }
     }
 
@@ -1331,10 +1804,16 @@ mod tests {
                 NodeId(0),
             )
             .unwrap();
-        let runs: Vec<Vec<(NodeId, u32)>> = [EngineMode::Dense, EngineMode::Sparse]
+        let cases = [
+            (EngineMode::Dense, None),
+            (EngineMode::Sparse, None),
+            (EngineMode::Parallel, Some(2)),
+            (EngineMode::Parallel, Some(16)),
+        ];
+        let runs: Vec<Vec<(NodeId, u32)>> = cases
             .into_iter()
-            .map(|mode| {
-                let mut eng = hopper_engine(mode, 0);
+            .map(|(mode, shards)| {
+                let mut eng = hopper_engine_sharded(mode, 0, shards);
                 let mut events = Vec::new();
                 eng.tick(&mut events);
                 eng.apply_topology_with(&joined, change, &mut hopper_factory);
@@ -1344,7 +1823,9 @@ mod tests {
                 events
             })
             .collect();
-        assert_eq!(runs[0], runs[1], "dense vs sparse across a join");
+        for r in &runs[1..] {
+            assert_eq!(&runs[0], r, "all disciplines agree across a join");
+        }
         // the newcomer (n4) took part in the hop chain
         assert!(
             runs[0].iter().any(|&(n, _)| n == NodeId(4)),
@@ -1399,5 +1880,17 @@ mod tests {
                 .collect();
         assert_eq!(runs[0], runs[1], "dense vs sparse across rewire");
         assert_eq!(runs[0], runs[2], "dense vs parallel across rewire");
+    }
+
+    #[test]
+    fn auto_sharding_stays_sequential_on_tiny_networks() {
+        // ring(4) is far below a shard's worth of nodes: no pool.
+        let eng = hopper_engine(EngineMode::Parallel, 0);
+        assert_eq!(eng.shard_count(), 1);
+        assert_eq!(eng.pool_workers(), 0);
+        let sparse = hopper_engine(EngineMode::Sparse, 0);
+        assert_eq!(sparse.shard_count(), 1);
+        let dense = hopper_engine(EngineMode::Dense, 0);
+        assert_eq!(dense.shard_count(), 0);
     }
 }

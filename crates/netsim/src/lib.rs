@@ -24,8 +24,9 @@
 //!    which, on every global clock tick, each automaton reads one
 //!    constant-size character per in-port, performs a state change, and
 //!    writes one character per out-port. Three execution strategies are
-//!    provided (dense, sparse/event-driven, and thread-parallel) which are
-//!    observationally identical; equivalence is enforced by tests.
+//!    provided (dense, sparse/event-driven, and sharded-parallel over a
+//!    persistent worker pool) which are observationally identical;
+//!    equivalence is enforced by tests.
 //!
 //! Nothing in this crate knows about snakes or the GTD protocol; it is the
 //! "hardware" on which `gtd-snake` and `gtd-core` run.
@@ -59,6 +60,7 @@ pub mod engine;
 pub mod generators;
 pub mod ids;
 pub mod mutation;
+mod pool;
 pub mod rng;
 pub mod spec;
 pub mod topology;

@@ -165,19 +165,29 @@ impl Automaton for Scrambler {
 }
 
 fn run_scrambler(topo: &Topology, mode: EngineMode, ticks: u64) -> Vec<(NodeId, u64)> {
-    let mut engine = Engine::new(topo, mode, |meta| Scrambler {
-        acc: 0,
-        fires_left: 0,
-        out_ports: meta
-            .out_connected
-            .iter()
-            .enumerate()
-            .filter(|&(_, &c)| c)
-            .map(|(i, _)| i)
-            .collect(),
-        is_root: meta.is_root,
-        started: false,
-    });
+    run_scrambler_sharded(topo, mode, ticks, None)
+}
+
+fn run_scrambler_sharded(
+    topo: &Topology,
+    mode: EngineMode,
+    ticks: u64,
+    shards: Option<usize>,
+) -> Vec<(NodeId, u64)> {
+    let mut engine =
+        Engine::with_root_sharded(topo, mode, NodeId(0), shards, &mut |meta| Scrambler {
+            acc: 0,
+            fires_left: 0,
+            out_ports: meta
+                .out_connected
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c)
+                .map(|(i, _)| i)
+                .collect(),
+            is_root: meta.is_root,
+            started: false,
+        });
     let mut all = Vec::new();
     let mut events = Vec::new();
     for _ in 0..ticks {
@@ -205,14 +215,20 @@ proptest! {
 }
 
 #[test]
-fn parallel_thread_fanout_matches_dense_above_threshold() {
-    // Every generated proptest topology sits far below PAR_MIN_NODES,
-    // where Parallel falls back to the sequential dense path. This
-    // instance is large enough to actually exercise the scoped-thread
-    // fan-out (step + gather partitioning across workers).
-    let topo = generators::random_sc(2 * gtd_netsim::engine::PAR_MIN_NODES, 3, 42);
+fn pooled_sharded_parallel_matches_dense_at_scale() {
+    // Every generated proptest topology is tiny, where auto-sharding
+    // keeps Parallel sequential. This instance forces multi-shard worker
+    // pools so the pooled step/scatter/merge phases, cross-shard lanes,
+    // saturated ticks, and the frontier rebuild all actually run — and
+    // must stay bit-identical to dense at every shard count.
+    let topo = generators::random_sc(1024, 3, 42);
     let dense = run_scrambler(&topo, EngineMode::Dense, 150);
-    let parallel = run_scrambler(&topo, EngineMode::Parallel, 150);
     assert!(!dense.is_empty(), "scrambler must emit events");
-    assert_eq!(dense, parallel, "threaded parallel diverged from dense");
+    for shards in [2usize, 7, 16] {
+        let parallel = run_scrambler_sharded(&topo, EngineMode::Parallel, 150, Some(shards));
+        assert_eq!(
+            dense, parallel,
+            "parallel/{shards} shards diverged from dense"
+        );
+    }
 }

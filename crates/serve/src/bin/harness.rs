@@ -10,7 +10,7 @@
 //! harness serve --listen ADDR [--workers N] [--cache FILE]
 //!               [--resume-from OLD.jsonl] [--lease-ms MS] [--max-attempts K]
 //! harness work --connect ADDR
-//! harness bench [--reps K] [--window T] [--json FILE]
+//! harness bench [--reps K] [--window T] [--modes x,y] [--json FILE]
 //! harness compare OLD.jsonl NEW.jsonl [--threshold PCT]
 //! ```
 //!
@@ -68,7 +68,7 @@ fn usage(code: i32) -> ! {
          harness serve --listen ADDR [--workers N] [--cache FILE]\n               \
          [--resume-from OLD.jsonl] [--lease-ms MS] [--max-attempts K]\n  \
          harness work --connect ADDR\n  \
-         harness bench [--reps K] [--window T] [--json FILE]\n  \
+         harness bench [--reps K] [--window T] [--modes x,y] [--json FILE]\n  \
          harness compare OLD.jsonl NEW.jsonl [--threshold PCT]\n\n\
          `harness list` prints the spec grammar; e.g. --spec ring:64 --spec debruijn:2,5\n\
          dynamic specs append mutation suffixes: --spec ring:64+node-leave=3@t500\n\
@@ -731,25 +731,38 @@ fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
 /// the deterministic tick counts against a committed baseline while the
 /// wall-time fields track the perf trajectory.
 ///
-/// Four regimes:
+/// Five regimes:
 /// * full protocol runs (`ring:64`) — session-driven, lull-skipping;
 /// * a quiet-heavy stepping window (`ring:1024` mid-GTD) — the regime the
 ///   event-driven frontier exists for: dense pays O(N) per tick, the
 ///   frontier O(active);
-/// * a flood-saturated window (`random-sc:4096` during an IG flood) — the
-///   regime the thread-parallel mode exists for;
+/// * flood-saturated windows (`random-sc:4096` and `random-sc:16384`
+///   during an IG flood) — the regimes the sharded parallel mode exists
+///   for, the larger one with real fan-out headroom;
 /// * a dynamic timeline with a far-future mutation — exercising the O(1)
 ///   idle fast-forward.
 fn cmd_bench(args: &[String]) {
     let mut json_path = String::from("BENCH_engine.json");
     let mut reps = 3usize;
     let mut window = 50_000u64;
+    let mut modes: Vec<EngineMode> = EngineMode::ALL.to_vec();
     let mut it = args.iter().cloned();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json_path = flag_value(&mut it, "--json"),
             "--reps" => reps = parse_int(&flag_value(&mut it, "--reps"), "--reps").max(1),
             "--window" => window = parse_int(&flag_value(&mut it, "--window"), "--window") as u64,
+            "--modes" => {
+                match flag_value(&mut it, "--modes")
+                    .split(',')
+                    .map(str::parse)
+                    .collect::<Result<Vec<EngineMode>, String>>()
+                {
+                    Ok(m) if !m.is_empty() => modes = m,
+                    Ok(_) => bail("--modes needs at least one engine mode"),
+                    Err(e) => bail(&e),
+                }
+            }
             other => bail(&format!(
                 "unknown bench flag {other:?} (see `harness help`)"
             )),
@@ -767,13 +780,19 @@ fn cmd_bench(args: &[String]) {
                 .unwrap_or_else(|e| bail(&format!("{spec}: {e}")));
             let built = topo.build();
             let mut dense_tps = 0.0f64;
-            for mode in EngineMode::ALL {
+            for &mode in &modes {
                 let m = measure(reps, || run_one(mode));
                 let tps = m.ticks as f64 / m.median_secs;
                 if mode == EngineMode::Dense {
                     dense_tps = tps;
                 }
-                let speedup = tps / dense_tps;
+                // With `--modes` excluding dense there is no reference
+                // run; the ratio degrades to 1.0 (compare ignores it).
+                let speedup = if dense_tps > 0.0 {
+                    tps / dense_tps
+                } else {
+                    1.0
+                };
                 t.row(vec![
                     spec.to_string(),
                     driver.to_string(),
@@ -781,7 +800,11 @@ fn cmd_bench(args: &[String]) {
                     m.ticks.to_string(),
                     format!("{:.2}", m.median_secs * 1e3),
                     format!("{:.2}", tps / 1e6),
-                    format!("{speedup:.1}x"),
+                    if dense_tps > 0.0 {
+                        format!("{speedup:.1}x")
+                    } else {
+                        "n/a".into()
+                    },
                 ]);
                 // Grid-shaped so `harness compare` groups and gates the
                 // deterministic `rounds`; the "bench" marker keeps
@@ -846,12 +869,14 @@ fn cmd_bench(args: &[String]) {
             (window, secs)
         });
     }
-    // Flood-saturated window: every node active every tick (e8b's
-    // regime). Construction and the 20 saturation ticks stay outside
-    // the timed window, which spans ticks 20..60.
-    {
+    // Flood-saturated windows: every node active every tick (e8b's
+    // regime), at two scales — 4096 is the historical baseline, 16384
+    // is where parallel fan-out headroom is real. Construction and the
+    // 20 saturation ticks stay outside the timed window, which spans
+    // ticks 20..60.
+    for n in [4096, 16384] {
         let spec = TopologySpec::RandomSc {
-            n: 4096,
+            n,
             delta: 3,
             seed: 9,
         };

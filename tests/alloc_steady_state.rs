@@ -1,10 +1,12 @@
 //! Zero-allocation steady state: once the engine's per-tick scratch
-//! (event buffers, step list, frontier worklist, timing wheel, dwell
-//! queues) has reached its high-water capacity, the sequential tick loop
-//! must never touch the allocator again. A counting global allocator
-//! measures a complete second mapping round after a warm-up round — any
-//! allocation in `Engine::tick`, the scatter/gather, `ProtocolNode::step`
-//! or the snake queues fails the test.
+//! (event buffers, step list, per-shard frontiers, timing wheels, dwell
+//! queues) has reached its high-water capacity, the tick loop must never
+//! touch the allocator again — in every mode, including the sharded
+//! parallel engine whose pooled phase dispatch is pure atomics. The
+//! counting global allocator is process-wide, so worker-pool threads are
+//! inside the measured window too. Any allocation in `Engine::tick`, a
+//! shard phase, the pool handshake, `ProtocolNode::step` or the snake
+//! queues fails the test.
 //!
 //! (This file holds exactly one test: the counter is global to the test
 //! binary, and a concurrently running test would pollute the window.)
@@ -57,9 +59,17 @@ fn run_one_mapping(
 
 #[test]
 fn steady_state_tick_loop_is_allocation_free() {
-    for mode in [EngineMode::Dense, EngineMode::Sparse] {
+    for (mode, shards) in [
+        (EngineMode::Dense, None),
+        (EngineMode::Sparse, None),
+        (EngineMode::Parallel, None),
+        // A forced two-shard split engages the persistent worker pool,
+        // putting the epoch-handshake dispatch and the pooled
+        // step/scatter/merge phases inside the measured window.
+        (EngineMode::Parallel, Some(2)),
+    ] {
         let topo = generators::ring(32);
-        let mut engine = gtd::protocol::build_gtd_engine(&topo, mode);
+        let mut engine = gtd::protocol::build_gtd_engine_sharded(&topo, mode, shards);
         let mut events: Vec<(NodeId, TranscriptEvent)> = Vec::with_capacity(1024);
         // Warm-up: one complete mapping drives every queue, buffer and
         // timer structure to its high-water capacity (runs are
@@ -80,11 +90,14 @@ fn steady_state_tick_loop_is_allocation_free() {
             engine.tick(&mut events);
         }
         let after = ALLOCS.load(Ordering::Relaxed);
-        assert!(ticks > 1_000, "window must cover a real mapping ({mode:?})");
+        assert!(
+            ticks > 1_000,
+            "window must cover a real mapping ({mode:?}/{shards:?})"
+        );
         assert_eq!(
             after - before,
             0,
-            "{mode:?}: the steady-state tick loop allocated"
+            "{mode:?}/{shards:?}: the steady-state tick loop allocated"
         );
     }
 }

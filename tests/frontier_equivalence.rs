@@ -60,6 +60,36 @@ fn all_families_and_mutation_kinds_are_bit_identical_across_modes() {
     }
 }
 
+/// Shard-count sweep for the sharded parallel engine: an explicit
+/// `par_shards` knob forces event ticks through the persistent worker
+/// pool (even where the active-fraction heuristic would run inline), so
+/// this exercises the pooled step/scatter/merge phases, cross-shard
+/// lanes, saturated ticks and post-mutation shard rebuilds. Timelines,
+/// transcripts, mutation outcomes and remap latencies must be
+/// bit-identical to dense at every shard count.
+#[test]
+fn parallel_shard_counts_are_bit_identical() {
+    let specs = ten_family_specs();
+    for spec in specs.iter().take(5) {
+        let topo = spec.build();
+        for kind in MutationKind::ALL.into_iter().take(3) {
+            let schedule = MutationSchedule::new().with(35, TopologyMutation { kind, selector: 1 });
+            let dense = run(&topo, EngineMode::Dense, &schedule);
+            for shards in [1usize, 2, 7, 16] {
+                let sharded = GtdSession::on(&topo)
+                    .mode(EngineMode::Parallel)
+                    .par_shards(shards)
+                    .run_dynamic(&schedule)
+                    .expect("timeline completes");
+                assert_eq!(
+                    dense, sharded,
+                    "{spec} + {kind:?}: dense vs parallel/{shards} shards"
+                );
+            }
+        }
+    }
+}
+
 /// A far-future mutation tick forces the session through the frontier's
 /// O(1) idle fast-forward in every mode: the timelines must still agree
 /// tick-for-tick (the skipped span is observationally empty), and the
