@@ -107,7 +107,6 @@ pub fn canonical_map_key(topo: &Topology, root: NodeId) -> Vec<(u64, Port, u64, 
     }
     let mut key: Vec<(u64, Port, u64, Port)> = topo
         .edges()
-        .into_iter()
         .map(|e| (name[e.src.idx()], e.src_port, name[e.dst.idx()], e.dst_port))
         .collect();
     key.sort_unstable();

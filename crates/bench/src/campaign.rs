@@ -144,6 +144,7 @@ impl CellSpec {
                     verified: run.verify_against(topo),
                     rcas: run.stats.map(|s| s.rcas()),
                     bcas: run.stats.map(|s| s.bcas()),
+                    dropped: run.stats.map(|s| s.dropped),
                     clean: run.clean,
                     phases: run.phases,
                     remap: None,
@@ -157,6 +158,7 @@ impl CellSpec {
                     verified: run.verified,
                     rcas: None,
                     bcas: None,
+                    dropped: None,
                     clean: None,
                     phases: None,
                     remap: Some(RemapSummary {
@@ -642,6 +644,9 @@ pub struct CellOutcome {
     pub rcas: Option<usize>,
     /// BCAs run (static GTD cells only).
     pub bcas: Option<usize>,
+    /// Snake characters refused by the bounded dwell queues (static GTD
+    /// cells only; 0 on clean runs).
+    pub dropped: Option<u64>,
     /// Lemma 4.2 cleanliness (static GTD cells only).
     pub clean: Option<bool>,
     /// Phase breakdown of the run's ticks (static GTD cells only).
@@ -819,6 +824,7 @@ impl RunRecord {
                 verified: bool_field(row, "verified")?,
                 rcas: num_field(row, "rcas").map(|r| r as usize),
                 bcas: num_field(row, "bcas").map(|b| b as usize),
+                dropped: num_field(row, "dropped"),
                 clean: bool_field(row, "clean"),
                 phases,
                 remap,
@@ -877,6 +883,9 @@ impl RunRecord {
                 }
                 if let Some(bcas) = out.bcas {
                     map.insert("bcas".into(), JsonValue::Num(bcas as f64));
+                }
+                if let Some(dropped) = out.dropped {
+                    map.insert("dropped".into(), JsonValue::Num(dropped as f64));
                 }
                 if let Some(clean) = out.clean {
                     map.insert("clean".into(), JsonValue::Bool(clean));

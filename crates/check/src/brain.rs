@@ -760,6 +760,46 @@ mod tests {
     }
 
     #[test]
+    fn slow_but_heartbeating_worker_keeps_huge_lease() {
+        // A million-node cell's lease (n-scaled cap) outlives the old
+        // flat 120s ceiling many times over; liveness must come from
+        // heartbeats, not from the lease running out.
+        let mut s = State::new(Options::default(), Faults::NONE);
+        s.step(Event::WorkerJoin { id: 1 });
+        let fx = s.step(Event::Submit {
+            cells: vec![CellSeed {
+                cached: false,
+                lease_ms: 1_200_000,
+            }],
+        });
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Assign { task: 1, .. })));
+        // Tick far past 120s, heartbeating inside silence_ms (5s).
+        let mut now = 0;
+        while now < 400_000 {
+            now += 4_000;
+            s.step(Event::WorkerSeen { id: 1 });
+            let fx = s.step(Event::Tick { now_ms: now });
+            assert!(
+                !fx.iter().any(|e| matches!(e, Effect::Fail { .. })),
+                "heartbeating worker revoked at t={now}ms"
+            );
+        }
+        assert_eq!(s.grid.as_ref().map(|g| g.retries), Some(0));
+        // The slow answer is still accepted on the original lease.
+        let fx = s.step(Event::Result {
+            worker: 1,
+            task: 1,
+            cacheable: true,
+        });
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Accept { task: 1, .. })));
+        assert!(fx.iter().any(|e| matches!(e, Effect::GridDone { .. })));
+    }
+
+    #[test]
     fn cached_seeds_complete_without_workers() {
         let mut s = State::new(opts(), Faults::NONE);
         let cells = vec![

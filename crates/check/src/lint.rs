@@ -29,9 +29,12 @@ pub const LINT_RULES: &[LintRule] = &[
         name: "no-alloc-in-tick-path",
         summary: "no allocating calls inside Engine::tick and its mode bodies \
                   (tick_dense/tick_event/tick_saturated), the shard phases, the \
-                  worker-pool dispatch path, or Node::flush_due",
+                  worker-pool dispatch path, Node::flush_due, or the per-epoch \
+                  topology queries (CSR views, masks, rewire hooks)",
         rationale: "the per-tick path is the O(N*D) inner loop the paper's cost model \
-                    measures; one stray format!/clone turns the profile to noise",
+                    measures; one stray format!/clone turns the profile to noise — \
+                    and the remap/verify paths re-query the topology every epoch, \
+                    so its connectivity views must stay allocation-free too",
     },
     LintRule {
         name: "no-lock-in-tick-path",
@@ -260,7 +263,9 @@ fn scan_scoped_fns(
 
 /// The per-tick hot path: `Engine::tick`, the three mode bodies, the
 /// shard phase functions the pool fans out, the frontier rebuild, and
-/// the pool's own dispatch/claim/worker loop.
+/// the pool's own dispatch/claim/worker loop — plus the per-epoch paths:
+/// the topology's CSR connectivity views (iterator/mask forms, queried
+/// on every remap and verify) and the automaton's rewire hooks.
 const TICK_PATH_SCOPES: &[(&str, &[&str])] = &[
     (
         "crates/netsim/src/engine.rs",
@@ -282,7 +287,22 @@ const TICK_PATH_SCOPES: &[(&str, &[&str])] = &[
         "crates/netsim/src/pool.rs",
         &["dispatch", "run_claims", "worker_loop"],
     ),
-    ("crates/core/src/node.rs", &["flush_due"]),
+    (
+        "crates/netsim/src/topology.rs",
+        &[
+            "out_endpoint",
+            "in_endpoint",
+            "out_mask",
+            "in_mask",
+            "out_connected",
+            "in_connected",
+            "edges",
+        ],
+    ),
+    (
+        "crates/core/src/node.rs",
+        &["flush_due", "on_rewire", "on_join"],
+    ),
 ];
 
 fn no_alloc_in_tick_path(ws: &Workspace, out: &mut Vec<Violation>) {

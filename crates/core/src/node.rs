@@ -24,7 +24,7 @@
 //! differs).
 
 use crate::events::{RcaReport, TranscriptEvent};
-use gtd_netsim::{Automaton, NodeMeta, Port, StepCtx};
+use gtd_netsim::{Automaton, NodeMeta, Port, PortMask, StepCtx};
 use gtd_snake::{
     BcaMsg, DfsToken, DyingPassage, GrowEmit, GrowRelay, Hop, LoopMarks, LoopToken, MarkPair,
     Signal, SnakeChar, SnakeKind, SPEED1_DWELL,
@@ -146,8 +146,8 @@ struct DfsState {
 pub struct ProtocolNode {
     // -- static configuration (power-on facts) --
     is_root: bool,
-    delta: usize,
-    out_ports: Vec<Port>,
+    delta: u8,
+    out_ports: PortMask,
     start: StartBehavior,
     started: bool,
 
@@ -196,16 +196,18 @@ pub struct ProtocolNode {
 }
 
 impl ProtocolNode {
+    /// Snake characters this processor's bounded growing-snake queues
+    /// refused at capacity (lifetime total; 0 on clean runs).
+    pub fn stat_dropped(&self) -> u64 {
+        self.ig.dropped() + self.og.dropped() + self.bg.dropped()
+    }
+}
+
+impl ProtocolNode {
     /// Build the processor for one network position. `start` is
     /// [`StartBehavior::GtdRoot`] on the root for a full GTD run.
     pub fn new(meta: &NodeMeta, start: StartBehavior) -> Self {
-        let out_ports: Vec<Port> = meta
-            .out_connected
-            .iter()
-            .enumerate()
-            .filter(|&(_, &c)| c)
-            .map(|(o, _)| Port(o as u8))
-            .collect();
+        let out_ports = meta.out_connected;
         assert!(
             !out_ports.is_empty(),
             "the model requires a connected out-port"
@@ -215,7 +217,7 @@ impl ProtocolNode {
         }
         ProtocolNode {
             is_root: meta.is_root,
-            delta: meta.delta as usize,
+            delta: meta.delta,
             out_ports,
             start,
             started: false,
@@ -366,13 +368,13 @@ impl ProtocolNode {
     // ------------------------------------------------------------------
 
     fn broadcast_snake(&self, outputs: &mut [Signal], kind: SnakeKind, c: SnakeChar) {
-        for &o in &self.out_ports {
+        for o in self.out_ports.iter() {
             outputs[o.idx()].put_snake(kind, c);
         }
     }
 
     fn broadcast_kill(&self, outputs: &mut [Signal]) {
-        for &o in &self.out_ports {
+        for o in self.out_ports.iter() {
             outputs[o.idx()].kill = true;
         }
     }
@@ -452,8 +454,7 @@ impl ProtocolNode {
     /// Send the DFS token out the current out-port, backtrack via BCA, or —
     /// at the root — terminate (§3).
     fn advance_dfs(&mut self, now: u64, ctx: &mut Ctx) {
-        if self.dfs.cursor < self.out_ports.len() {
-            let o = self.out_ports[self.dfs.cursor];
+        if let Some(o) = self.out_ports.nth(self.dfs.cursor) {
             self.dfs.awaiting = true;
             ctx.outputs[o.idx()].put_dfs(DfsToken { sender_out_port: o });
         } else if self.is_root {
@@ -938,13 +939,13 @@ impl ProtocolNode {
             if let Some(e) = relay.due(now) {
                 match e {
                     GrowEmit::Heads => {
-                        for &o in &self.out_ports {
+                        for o in self.out_ports.iter() {
                             outputs[o.idx()].put_snake(kind, SnakeChar::Head(Hop::star(o)));
                         }
                     }
                     GrowEmit::Relay(c) => self.broadcast_snake(outputs, kind, c),
                     GrowEmit::Extend => {
-                        for &o in &self.out_ports {
+                        for o in self.out_ports.iter() {
                             outputs[o.idx()].put_snake(kind, SnakeChar::Body(Hop::star(o)));
                         }
                     }
@@ -1035,14 +1036,14 @@ impl Automaton for ProtocolNode {
                 awaiting: false,
                 done: false,
             };
-            for &o in &self.out_ports {
+            for o in self.out_ports.iter() {
                 ctx.outputs[o.idx()].reset = Some(self.reset_parity);
             }
             ctx.events.push(TranscriptEvent::Start);
             self.advance_dfs(now, ctx);
         }
         if !self.is_root {
-            let stamp = (0..self.delta).find_map(|i| ctx.inputs[i].reset);
+            let stamp = (0..self.delta as usize).find_map(|i| ctx.inputs[i].reset);
             if let Some(p) = stamp {
                 if p != self.reset_parity {
                     // first copy of the new round: clear, stamp, forward.
@@ -1054,7 +1055,7 @@ impl Automaton for ProtocolNode {
                         awaiting: false,
                         done: false,
                     };
-                    for &o in &self.out_ports {
+                    for o in self.out_ports.iter() {
                         ctx.outputs[o.idx()].reset = Some(p);
                     }
                 }
@@ -1063,7 +1064,7 @@ impl Automaton for ProtocolNode {
 
         // Phase 1: KILL tokens — erasure wins ties with arriving characters.
         let mut killed = false;
-        for i in 0..self.delta {
+        for i in 0..self.delta as usize {
             if ctx.inputs[i].kill && self.kill_accepted(Port(i as u8)) {
                 killed = true;
             }
@@ -1079,7 +1080,7 @@ impl Automaton for ProtocolNode {
         // Phase 2: growing-snake characters (ascending port order ⇒ the
         // paper's lowest-in-port tie-break).
         if !killed {
-            for i in 0..self.delta {
+            for i in 0..self.delta as usize {
                 let p = Port(i as u8);
                 let sig = ctx.inputs[i];
                 if let Some(c) = sig.snake(SnakeKind::Ig) {
@@ -1095,7 +1096,7 @@ impl Automaton for ProtocolNode {
         }
 
         // Phase 3: dying-snake characters.
-        for i in 0..self.delta {
+        for i in 0..self.delta as usize {
             let p = Port(i as u8);
             let sig = ctx.inputs[i];
             if let Some(c) = sig.snake(SnakeKind::Id) {
@@ -1110,7 +1111,7 @@ impl Automaton for ProtocolNode {
         }
 
         // Phase 4: loop tokens (speed-1).
-        for i in 0..self.delta {
+        for i in 0..self.delta as usize {
             if let Some(tok) = ctx.inputs[i].loop_tok {
                 self.on_loop(Port(i as u8), tok, now, ctx);
             }
@@ -1118,14 +1119,14 @@ impl Automaton for ProtocolNode {
 
         // Phase 5: UNMARK tokens (speed-3: processed and forwarded within
         // the same tick).
-        for i in 0..self.delta {
+        for i in 0..self.delta as usize {
             if ctx.inputs[i].unmark {
                 self.on_unmark(Port(i as u8), now, ctx);
             }
         }
 
         // Phase 6: the DFS token.
-        for i in 0..self.delta {
+        for i in 0..self.delta as usize {
             if let Some(d) = ctx.inputs[i].dfs {
                 self.on_dfs_forward(d.sender_out_port, Port(i as u8), now, ctx);
             }
@@ -1151,13 +1152,7 @@ impl Automaton for ProtocolNode {
         // the connected out-port list. Snake and DFS state are left alone
         // — the session-level remap driver decides whether the disturbed
         // run needs a RESET flood or a full power-cycle.
-        self.out_ports = meta
-            .out_connected
-            .iter()
-            .enumerate()
-            .filter(|&(_, &c)| c)
-            .map(|(o, _)| Port(o as u8))
-            .collect();
+        self.out_ports = meta.out_connected;
         if self.dfs.cursor > self.out_ports.len() {
             self.dfs.cursor = self.out_ports.len();
         }

@@ -152,6 +152,11 @@ pub struct RunStats {
     pub local_forwards: usize,
     /// Root-local backs (BCA returned the token to the root).
     pub local_backs: usize,
+    /// Snake characters the processors' bounded dwell queues refused at
+    /// capacity during this run (summed over all processors at round end;
+    /// see `DwellQueue::push_bounded`). Always 0 on clean runs — non-zero
+    /// only when a live topology mutation orphaned a growing stream.
+    pub dropped: u64,
 }
 
 impl RunStats {
@@ -547,6 +552,9 @@ impl<'a> GtdSession<'a> {
         let capture = self.capture;
         let mut outcomes: Vec<RunOutcome> = Vec::with_capacity(rounds);
         let mut scratch = Vec::new();
+        // Drop counters are lifetime totals on the automata; report each
+        // round's delta so per-round stats stay independent.
+        let mut dropped_before = 0u64;
         for round in 0..rounds {
             let mut master = MasterComputer::new();
             let mut events: Vec<(u64, TranscriptEvent)> = Vec::new();
@@ -602,6 +610,9 @@ impl<'a> GtdSession<'a> {
                 settle += 1;
                 assert!(settle < 1000, "network failed to settle after termination");
             }
+            stats.dropped =
+                engine.nodes().iter().map(|n| n.stat_dropped()).sum::<u64>() - dropped_before;
+            dropped_before += stats.dropped;
             let clean_at_end = engine.signals_in_flight() == 0
                 && engine.nodes().iter().all(|n| n.snake_state_pristine());
             let all_visited = engine.nodes().iter().all(|n| n.dfs_visited());

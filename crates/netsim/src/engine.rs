@@ -49,7 +49,7 @@
 //! list is sorted, and every heuristic (pool engagement, saturation)
 //! only chooses between observationally-equivalent paths.
 
-use crate::ids::{NodeId, Port};
+use crate::ids::{NodeId, Port, PortMask};
 use crate::mutation::MembershipChange;
 use crate::pool::{PhaseFn, WorkerPool};
 use crate::topology::Topology;
@@ -66,10 +66,10 @@ pub struct NodeMeta {
     pub id: NodeId,
     /// True for the distinguished root processor.
     pub is_root: bool,
-    /// `in_connected[i]` — is in-port `i` wired?
-    pub in_connected: Vec<bool>,
-    /// `out_connected[o]` — is out-port `o` wired?
-    pub out_connected: Vec<bool>,
+    /// Bit `i` set — is in-port `i` wired?
+    pub in_connected: PortMask,
+    /// Bit `o` set — is out-port `o` wired?
+    pub out_connected: PortMask,
     /// The network constant δ.
     pub delta: u8,
 }
@@ -667,8 +667,8 @@ impl<A: Automaton> Engine<A> {
             nodes.push(factory(NodeMeta {
                 id,
                 is_root: id == root,
-                in_connected: topo.in_connected(id),
-                out_connected: topo.out_connected(id),
+                in_connected: topo.in_mask(id),
+                out_connected: topo.out_mask(id),
                 delta: topo.delta(),
             }));
         }
@@ -946,8 +946,8 @@ impl<A: Automaton> Engine<A> {
                 let meta = NodeMeta {
                     id: node,
                     is_root: false,
-                    in_connected: new_topo.in_connected(node),
-                    out_connected: new_topo.out_connected(node),
+                    in_connected: new_topo.in_mask(node),
+                    out_connected: new_topo.out_mask(node),
                     delta: new_topo.delta(),
                 };
                 let mut automaton = factory(meta.clone());
@@ -987,8 +987,8 @@ impl<A: Automaton> Engine<A> {
                 self.nodes[new_id].on_rewire(&NodeMeta {
                     id,
                     is_root: id == self.root,
-                    in_connected: new_topo.in_connected(id),
-                    out_connected: new_topo.out_connected(id),
+                    in_connected: new_topo.in_mask(id),
+                    out_connected: new_topo.out_mask(id),
                     delta: new_topo.delta(),
                 });
                 wake_at[new_id] = wake_at[new_id].min(self.tick);
@@ -1466,13 +1466,7 @@ mod tests {
     fn hopper_factory(meta: NodeMeta) -> Hopper {
         Hopper {
             meta_is_root: meta.is_root,
-            out_ports: meta
-                .out_connected
-                .iter()
-                .enumerate()
-                .filter(|(_, &c)| c)
-                .map(|(i, _)| i)
-                .collect(),
+            out_ports: meta.out_connected.iter().map(|p| p.idx()).collect(),
             pending: None,
             dwell: 0,
             seen: Vec::new(),
@@ -1586,13 +1580,7 @@ mod tests {
         let topo = generators::random_sc(48, 2, 11);
         Engine::with_root_sharded(&topo, mode, NodeId(0), shards, &mut |meta| Flooder {
             meta_is_root: meta.is_root,
-            out_ports: meta
-                .out_connected
-                .iter()
-                .enumerate()
-                .filter(|(_, &c)| c)
-                .map(|(i, _)| i)
-                .collect(),
+            out_ports: meta.out_connected.iter().map(|p| p.idx()).collect(),
             started: false,
         })
     }

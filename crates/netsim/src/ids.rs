@@ -48,6 +48,102 @@ impl std::fmt::Display for Port {
     }
 }
 
+/// A set of port numbers as a 64-bit mask: bit `p` set ⇔ port `p` present.
+///
+/// Connectivity awareness (§1.2.1) is per-port boolean state; one machine
+/// word replaces the per-node `Vec<bool>` the engine used to allocate for
+/// every processor's metadata. δ is capped at 64
+/// ([`crate::topology::MAX_DELTA`]) so every legal port fits.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct PortMask(u64);
+
+impl PortMask {
+    /// The empty set.
+    pub const EMPTY: PortMask = PortMask(0);
+
+    /// Build from a raw bit pattern (bit `p` ⇔ port `p`).
+    #[inline]
+    pub fn from_bits(bits: u64) -> Self {
+        PortMask(bits)
+    }
+
+    /// The raw bit pattern.
+    #[inline]
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// A copy with `p` added.
+    #[inline]
+    pub fn with(self, p: Port) -> Self {
+        debug_assert!(p.0 < 64, "ports are bounded by MAX_DELTA = 64");
+        PortMask(self.0 | 1u64 << p.0)
+    }
+
+    /// Is `p` in the set?
+    #[inline]
+    pub fn contains(self, p: Port) -> bool {
+        p.0 < 64 && self.0 & (1u64 << p.0) != 0
+    }
+
+    /// Number of ports in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Is the set empty?
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The `i`-th port in ascending order, if any.
+    #[inline]
+    pub fn nth(self, i: usize) -> Option<Port> {
+        self.iter().nth(i)
+    }
+
+    /// Iterate over the ports in ascending order.
+    #[inline]
+    pub fn iter(self) -> PortMaskIter {
+        PortMaskIter(self.0)
+    }
+}
+
+impl IntoIterator for PortMask {
+    type Item = Port;
+    type IntoIter = PortMaskIter;
+    fn into_iter(self) -> PortMaskIter {
+        self.iter()
+    }
+}
+
+/// Ascending-order iterator over a [`PortMask`].
+#[derive(Clone, Copy, Debug)]
+pub struct PortMaskIter(u64);
+
+impl Iterator for PortMaskIter {
+    type Item = Port;
+
+    #[inline]
+    fn next(&mut self) -> Option<Port> {
+        if self.0 == 0 {
+            return None;
+        }
+        let p = self.0.trailing_zeros() as u8;
+        self.0 &= self.0 - 1;
+        Some(Port(p))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for PortMaskIter {}
+
 /// One end of a wire: a specific port on a specific processor.
 ///
 /// Stored in the topology's adjacency tables: the entry for an out-port
@@ -100,6 +196,19 @@ mod tests {
         assert_eq!(format!("{e}"), "n1:p2");
         assert_eq!(e, Endpoint::new(NodeId(1), Port(2)));
         assert_ne!(e, Endpoint::new(NodeId(1), Port(3)));
+    }
+
+    #[test]
+    fn port_mask_set_semantics() {
+        let m = PortMask::EMPTY.with(Port(0)).with(Port(5)).with(Port(63));
+        assert!(m.contains(Port(0)) && m.contains(Port(5)) && m.contains(Port(63)));
+        assert!(!m.contains(Port(1)));
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.iter().collect::<Vec<_>>(), [Port(0), Port(5), Port(63)]);
+        assert_eq!(m.nth(1), Some(Port(5)));
+        assert_eq!(m.nth(3), None);
+        assert!(PortMask::EMPTY.is_empty());
+        assert_eq!(std::mem::size_of::<PortMask>(), 8);
     }
 
     #[test]

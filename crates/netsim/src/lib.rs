@@ -66,10 +66,10 @@ pub mod spec;
 pub mod topology;
 
 pub use engine::{Automaton, Engine, EngineMode, NodeMeta, StepCtx};
-pub use ids::{Endpoint, NodeId, Port};
+pub use ids::{Endpoint, NodeId, Port, PortMask};
 pub use mutation::{
     AppliedMutation, MembershipChange, MutationError, MutationKind, MutationSchedule, MutationSpec,
     MutationSuffixError, ScheduledMutation, TopologyMutation, MUTATION_REGISTRY,
 };
 pub use spec::{DynamicSpec, FamilySpec, ParamSpec, ParseSpecError, TopologySpec};
-pub use topology::{Edge, Topology, TopologyBuilder, TopologyError};
+pub use topology::{Edge, Topology, TopologyBuilder, TopologyError, MAX_DELTA};

@@ -534,17 +534,15 @@ fn rebuild(n: usize, delta: u8, edges: &[Edge]) -> Option<Topology> {
 }
 
 fn free_out_port(topo: &Topology, node: NodeId) -> Option<Port> {
-    topo.out_connected(node)
-        .iter()
-        .position(|&c| !c)
-        .map(|o| Port(o as u8))
+    (0..topo.delta())
+        .map(Port)
+        .find(|&o| !topo.out_mask(node).contains(o))
 }
 
 fn free_in_port(topo: &Topology, node: NodeId) -> Option<Port> {
-    topo.in_connected(node)
-        .iter()
-        .position(|&c| !c)
-        .map(|i| Port(i as u8))
+    (0..topo.delta())
+        .map(Port)
+        .find(|&i| !topo.in_mask(node).contains(i))
 }
 
 /// Remove processor `x`, shift higher ids down, and re-stitch its wires:

@@ -400,8 +400,15 @@ impl TopologySpec {
     ///
     /// [`FromStr`] validates automatically, so parsed specs always build;
     /// directly-constructed values can be checked here to get a structured
-    /// error instead of a generator panic.
+    /// error instead of a generator panic. Includes the 32-bit wire-slot
+    /// bound (`n·δ < u32::MAX`) the engine's flat route tables require.
     pub fn validate(&self) -> Result<(), ParseSpecError> {
+        // `n·δ` must stay below u32::MAX: slot indices are u32 and the
+        // engine reserves u32::MAX as its unrouted sentinel.
+        fn slots_overflow(n: usize, delta: u8) -> bool {
+            n.checked_mul(delta as usize)
+                .is_none_or(|slots| slots >= u32::MAX as usize)
+        }
         let fail = |constraint: String| {
             Err(ParseSpecError::OutOfRange {
                 family: self.family_name(),
@@ -441,6 +448,26 @@ impl TopologySpec {
             }
             TopologySpec::TreeLoop { h, .. } if !(1..=20).contains(&h) => {
                 fail(format!("h must be in 1..=20 (got {h})"))
+            }
+            // Wire-slot bound: the engine's flat route tables index the
+            // n·δ port slots with `u32` (one value reserved as the
+            // unrouted sentinel), so networks whose slot count does not
+            // fit in 32 bits must be rejected here with a structured
+            // error — not silently truncated, and not a builder panic
+            // halfway through generation.
+            TopologySpec::Ring { n } | TopologySpec::LineBidi { n } if slots_overflow(n, 2) => {
+                fail(format!("n too large: {n}*2 wire slots must fit in 32 bits"))
+            }
+            TopologySpec::Torus { w, h } if slots_overflow(w.saturating_mul(h), 2) => fail(
+                format!("{w}x{h} too large: w*h*2 wire slots must fit in 32 bits"),
+            ),
+            TopologySpec::RandomSc { n, delta, .. } if slots_overflow(n, delta) => fail(format!(
+                "n too large: {n}*{delta} wire slots must fit in 32 bits"
+            )),
+            TopologySpec::BidiGridFaulty { w, h, .. } if slots_overflow(w.saturating_mul(h), 4) => {
+                fail(format!(
+                    "{w}x{h} too large: w*h*4 wire slots must fit in 32 bits"
+                ))
             }
             _ => Ok(()),
         }
@@ -885,6 +912,32 @@ mod tests {
                 "{bad} -> {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn oversized_networks_are_structured_errors_not_truncation() {
+        // n·δ must fit in 32 bits (flat route-table slot indices with a
+        // u32 sentinel); anything larger is a structured parse error, not
+        // a silent node-id truncation inside the engine.
+        for bad in [
+            "ring:4294967295",
+            "ring:18446744073709551615",
+            "line-bidi:2147483648",
+            "torus:65536,65536",
+            "random-sc:n=4294967295,delta=3,seed=1",
+            "random-sc:n=1431655766,delta=3,seed=1",
+            "bidi-grid-faulty:w=40000,h=40000,p=0.1,seed=0",
+        ] {
+            let err = bad.parse::<TopologySpec>().unwrap_err();
+            assert!(
+                matches!(err, ParseSpecError::OutOfRange { .. }),
+                "{bad} -> {err:?}"
+            );
+            assert!(err.to_string().contains("32 bits"), "{bad} -> {err}");
+        }
+        // The million-node bench regime sits comfortably inside the bound.
+        let ok: TopologySpec = "random-sc:n=1000000,delta=3,seed=9".parse().unwrap();
+        ok.validate().unwrap();
     }
 
     #[test]

@@ -7,8 +7,24 @@
 //! link) or by several parallel wires; a processor is never wired to itself
 //! (self-loops carry no information in the model and the paper never uses
 //! them — see DESIGN.md §5).
+//!
+//! ## Storage
+//!
+//! A finished [`Topology`] is stored in compressed-sparse-row form: one
+//! `offsets` array per direction (length N+1) plus one packed entry per
+//! wire end. Node `v`'s wired out-ports live at
+//! `out_adj[out_off[v] .. out_off[v+1]]`, sorted by local port number.
+//! Entries are 8 bytes each, so a δ=3 network costs ~56 bytes/node — flat,
+//! cache-friendly, and free of the per-node `Vec` headers and heap blocks
+//! the million-node regimes cannot afford. The query API below exposes thin
+//! views (iterators and O(1) lookups) over these arrays; nothing allocates.
 
-use crate::ids::{Endpoint, NodeId, Port};
+use crate::ids::{Endpoint, NodeId, Port, PortMask};
+
+/// Largest supported port bound δ. Connectivity masks are single 64-bit
+/// words ([`PortMask`]); the paper's δ is a small constant, so this is not
+/// a practical restriction.
+pub const MAX_DELTA: u8 = 64;
 
 /// A single wire: out-port `src_port` of `src` feeds in-port `dst_port` of `dst`.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -68,13 +84,23 @@ impl std::fmt::Display for TopologyError {
 
 impl std::error::Error for TopologyError {}
 
-/// Per-node wiring table.
-#[derive(Clone, PartialEq, Eq, Debug)]
-struct NodeWiring {
-    /// `outs[o]` = remote `(node, in-port)` fed by our out-port `o`.
-    outs: Vec<Option<Endpoint>>,
-    /// `ins[i]` = remote `(node, out-port)` feeding our in-port `i`.
-    ins: Vec<Option<Endpoint>>,
+/// One wired port in a CSR adjacency row: the local port number plus the
+/// packed remote endpoint. 8 bytes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct CsrEntry {
+    /// Local port number (out-port in `out_adj`, in-port in `in_adj`).
+    local: u8,
+    /// Remote port number on `peer`.
+    peer_port: u8,
+    /// Remote processor.
+    peer: u32,
+}
+
+impl CsrEntry {
+    #[inline]
+    fn endpoint(self) -> Endpoint {
+        Endpoint::new(NodeId(self.peer), Port(self.peer_port))
+    }
 }
 
 /// An immutable, validated network topology.
@@ -86,7 +112,14 @@ struct NodeWiring {
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Topology {
     delta: u8,
-    nodes: Vec<NodeWiring>,
+    n: u32,
+    /// CSR offsets: node `v`'s wired out-ports are `out_adj[out_off[v] ..
+    /// out_off[v+1]]`, ascending by port. Length N+1.
+    out_off: Vec<u32>,
+    out_adj: Vec<CsrEntry>,
+    /// Mirror of the out-tables for the in-direction. Length N+1.
+    in_off: Vec<u32>,
+    in_adj: Vec<CsrEntry>,
 }
 
 impl Topology {
@@ -99,110 +132,129 @@ impl Topology {
     /// Number of processors N.
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.n as usize
     }
 
     /// Number of wires E.
+    #[inline]
     pub fn num_edges(&self) -> usize {
-        self.nodes
-            .iter()
-            .map(|n| n.outs.iter().flatten().count())
-            .sum()
+        self.out_adj.len()
     }
 
     /// Iterate over all node ids `0..N`.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.nodes.len() as u32).map(NodeId)
+        (0..self.n).map(NodeId)
+    }
+
+    /// The CSR row of wired out-ports for `node`.
+    #[inline]
+    fn out_row(&self, node: NodeId) -> &[CsrEntry] {
+        &self.out_adj[self.out_off[node.idx()] as usize..self.out_off[node.idx() + 1] as usize]
+    }
+
+    /// The CSR row of wired in-ports for `node`.
+    #[inline]
+    fn in_row(&self, node: NodeId) -> &[CsrEntry] {
+        &self.in_adj[self.in_off[node.idx()] as usize..self.in_off[node.idx() + 1] as usize]
     }
 
     /// The remote endpoint fed by `node`'s out-port `port`, if wired.
+    ///
+    /// Rows are sorted by port and at most δ long, so a linear scan is
+    /// both correct and faster than a binary search at the paper's δ.
     #[inline]
     pub fn out_endpoint(&self, node: NodeId, port: Port) -> Option<Endpoint> {
-        self.nodes[node.idx()]
-            .outs
-            .get(port.idx())
-            .copied()
-            .flatten()
+        self.out_row(node)
+            .iter()
+            .find(|e| e.local == port.0)
+            .map(|e| e.endpoint())
     }
 
     /// The remote endpoint feeding `node`'s in-port `port`, if wired.
     #[inline]
     pub fn in_endpoint(&self, node: NodeId, port: Port) -> Option<Endpoint> {
-        self.nodes[node.idx()]
-            .ins
-            .get(port.idx())
-            .copied()
-            .flatten()
+        self.in_row(node)
+            .iter()
+            .find(|e| e.local == port.0)
+            .map(|e| e.endpoint())
     }
 
-    /// Out-port connectivity mask of a node (out-port awareness, §1.2.1).
-    pub fn out_connected(&self, node: NodeId) -> Vec<bool> {
-        self.nodes[node.idx()]
-            .outs
+    /// Out-port connectivity of a node as a bitmask (out-port awareness,
+    /// §1.2.1). Bit `o` set ⇔ out-port `o` is wired.
+    #[inline]
+    pub fn out_mask(&self, node: NodeId) -> PortMask {
+        self.out_row(node)
             .iter()
-            .map(Option::is_some)
-            .collect()
+            .fold(PortMask::EMPTY, |m, e| m.with(Port(e.local)))
     }
 
-    /// In-port connectivity mask of a node (in-port awareness, §1.2.1).
-    pub fn in_connected(&self, node: NodeId) -> Vec<bool> {
-        self.nodes[node.idx()]
-            .ins
+    /// In-port connectivity of a node as a bitmask (in-port awareness, §1.2.1).
+    #[inline]
+    pub fn in_mask(&self, node: NodeId) -> PortMask {
+        self.in_row(node)
             .iter()
-            .map(Option::is_some)
-            .collect()
+            .fold(PortMask::EMPTY, |m, e| m.with(Port(e.local)))
+    }
+
+    /// Out-port connectivity flags of a node, one `bool` per port `0..δ`,
+    /// without allocating (borrows the CSR row).
+    pub fn out_connected(&self, node: NodeId) -> impl Iterator<Item = bool> + '_ {
+        let m = self.out_mask(node);
+        (0..self.delta).map(move |p| m.contains(Port(p)))
+    }
+
+    /// In-port connectivity flags of a node, one `bool` per port `0..δ`,
+    /// without allocating (borrows the CSR row).
+    pub fn in_connected(&self, node: NodeId) -> impl Iterator<Item = bool> + '_ {
+        let m = self.in_mask(node);
+        (0..self.delta).map(move |p| m.contains(Port(p)))
     }
 
     /// Connected out-degree of a node.
+    #[inline]
     pub fn out_degree(&self, node: NodeId) -> usize {
-        self.nodes[node.idx()].outs.iter().flatten().count()
+        self.out_row(node).len()
     }
 
     /// Connected in-degree of a node.
+    #[inline]
     pub fn in_degree(&self, node: NodeId) -> usize {
-        self.nodes[node.idx()].ins.iter().flatten().count()
+        self.in_row(node).len()
     }
 
     /// Out-neighbours of a node as `(out-port, remote endpoint)` pairs, in
     /// ascending port order.
     pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = (Port, Endpoint)> + '_ {
-        self.nodes[node.idx()]
-            .outs
+        self.out_row(node)
             .iter()
-            .enumerate()
-            .filter_map(|(o, ep)| ep.map(|ep| (Port(o as u8), ep)))
+            .map(|e| (Port(e.local), e.endpoint()))
     }
 
     /// In-neighbours of a node as `(in-port, remote endpoint)` pairs, in
     /// ascending port order.
     pub fn in_edges(&self, node: NodeId) -> impl Iterator<Item = (Port, Endpoint)> + '_ {
-        self.nodes[node.idx()]
-            .ins
+        self.in_row(node)
             .iter()
-            .enumerate()
-            .filter_map(|(i, ep)| ep.map(|ep| (Port(i as u8), ep)))
+            .map(|e| (Port(e.local), e.endpoint()))
     }
 
-    /// Every wire in the network, in `(src node, src port)` order.
-    pub fn edges(&self) -> Vec<Edge> {
-        let mut out = Vec::with_capacity(self.num_edges());
-        for src in self.node_ids() {
-            for (src_port, ep) in self.out_edges(src) {
-                out.push(Edge {
-                    src,
-                    src_port,
-                    dst: ep.node,
-                    dst_port: ep.port,
-                });
-            }
-        }
-        out
+    /// Every wire in the network, in `(src node, src port)` order, as a
+    /// non-allocating view over the CSR arrays.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.node_ids().flat_map(move |src| {
+            self.out_edges(src).map(move |(src_port, ep)| Edge {
+                src,
+                src_port,
+                dst: ep.node,
+                dst_port: ep.port,
+            })
+        })
     }
 
     /// The edge set as a sorted vector — the canonical form used to compare a
     /// reconstructed map against ground truth.
     pub fn sorted_edges(&self) -> Vec<Edge> {
-        let mut e = self.edges();
+        let mut e: Vec<Edge> = self.edges().collect();
         e.sort_unstable();
         e
     }
@@ -224,14 +276,15 @@ impl Topology {
     /// deserialization. Checks that out- and in-tables mirror each other and
     /// that model requirements hold.
     pub fn validate(&self) -> Result<(), TopologyError> {
-        if self.nodes.len() < 2 {
+        if self.n < 2 {
             return Err(TopologyError::Malformed(
                 "the model requires at least two processors".into(),
             ));
         }
         for node in self.node_ids() {
-            let w = &self.nodes[node.idx()];
-            if w.outs.len() > self.delta as usize || w.ins.len() > self.delta as usize {
+            if self.out_degree(node) > self.delta as usize
+                || self.in_degree(node) > self.delta as usize
+            {
                 return Err(TopologyError::Malformed(format!(
                     "{node} has more than delta = {} ports",
                     self.delta
@@ -276,27 +329,46 @@ impl Topology {
 /// Port numbers can be chosen explicitly ([`TopologyBuilder::connect`]) or
 /// auto-assigned to the lowest free ports ([`TopologyBuilder::connect_auto`]),
 /// which keeps generator output deterministic in edge-insertion order.
+///
+/// Internally the builder keeps two flat `n·δ` slot tables (`slot = node·δ +
+/// port`) and compresses them to the CSR form of [`Topology`] at
+/// [`TopologyBuilder::build`].
 #[derive(Clone, Debug)]
 pub struct TopologyBuilder {
     delta: u8,
-    nodes: Vec<NodeWiring>,
+    n: usize,
+    /// `outs[v·δ + o]` = remote `(node, in-port)` fed by `v`'s out-port `o`.
+    outs: Vec<Option<Endpoint>>,
+    /// `ins[v·δ + i]` = remote `(node, out-port)` feeding `v`'s in-port `i`.
+    ins: Vec<Option<Endpoint>>,
 }
 
 impl TopologyBuilder {
     /// Start a network with `n` processors and port bound `delta` (δ ≥ 2,
     /// as in the paper).
+    ///
+    /// Panics when `n·δ` does not fit in 32 bits: the engine's flat route
+    /// tables index wire slots with `u32` (one value reserved as the
+    /// unrouted sentinel), and silently truncating node ids there would
+    /// corrupt the wiring. Spec-driven construction rejects such sizes
+    /// earlier with a structured parse error.
     pub fn new(n: usize, delta: u8) -> Self {
         assert!(delta >= 2, "the paper requires delta >= 2");
+        assert!(
+            delta <= MAX_DELTA,
+            "delta must be <= {MAX_DELTA} (connectivity masks are 64-bit)"
+        );
         assert!(n >= 2, "the model requires at least two processors");
+        assert!(
+            n.checked_mul(delta as usize)
+                .is_some_and(|slots| slots < u32::MAX as usize),
+            "network too large: n * delta must fit in 32 bits"
+        );
         TopologyBuilder {
             delta,
-            nodes: vec![
-                NodeWiring {
-                    outs: vec![None; delta as usize],
-                    ins: vec![None; delta as usize],
-                };
-                n
-            ],
+            n,
+            outs: vec![None; n * delta as usize],
+            ins: vec![None; n * delta as usize],
         }
     }
 
@@ -307,11 +379,22 @@ impl TopologyBuilder {
 
     /// Number of processors.
     pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.n
+    }
+
+    #[inline]
+    fn slot(&self, node: NodeId, port: Port) -> usize {
+        node.idx() * self.delta as usize + port.idx()
+    }
+
+    #[inline]
+    fn slots(&self, node: NodeId) -> std::ops::Range<usize> {
+        let base = node.idx() * self.delta as usize;
+        base..base + self.delta as usize
     }
 
     fn check_node(&self, n: NodeId) -> Result<(), TopologyError> {
-        if n.idx() >= self.nodes.len() {
+        if n.idx() >= self.n {
             Err(TopologyError::UnknownNode(n))
         } else {
             Ok(())
@@ -345,22 +428,23 @@ impl TopologyBuilder {
                 delta: self.delta,
             });
         }
-        if self.nodes[src.idx()].outs[src_port.idx()].is_some() {
+        if self.outs[self.slot(src, src_port)].is_some() {
             return Err(TopologyError::PortBusy {
                 node: src,
                 port: src_port,
                 is_out: true,
             });
         }
-        if self.nodes[dst.idx()].ins[dst_port.idx()].is_some() {
+        if self.ins[self.slot(dst, dst_port)].is_some() {
             return Err(TopologyError::PortBusy {
                 node: dst,
                 port: dst_port,
                 is_out: false,
             });
         }
-        self.nodes[src.idx()].outs[src_port.idx()] = Some(Endpoint::new(dst, dst_port));
-        self.nodes[dst.idx()].ins[dst_port.idx()] = Some(Endpoint::new(src, src_port));
+        let (so, si) = (self.slot(src, src_port), self.slot(dst, dst_port));
+        self.outs[so] = Some(Endpoint::new(dst, dst_port));
+        self.ins[si] = Some(Endpoint::new(src, src_port));
         Ok(())
     }
 
@@ -376,16 +460,14 @@ impl TopologyBuilder {
         if src == dst {
             return Err(TopologyError::SelfLoop(src));
         }
-        let o = self.nodes[src.idx()]
-            .outs
+        let o = self.outs[self.slots(src)]
             .iter()
             .position(Option::is_none)
             .ok_or(TopologyError::NodeFull {
                 node: src,
                 is_out: true,
             })?;
-        let i = self.nodes[dst.idx()]
-            .ins
+        let i = self.ins[self.slots(dst)]
             .iter()
             .position(Option::is_none)
             .ok_or(TopologyError::NodeFull {
@@ -400,26 +482,50 @@ impl TopologyBuilder {
     /// True if `src` has a free out-port and `dst` a free in-port.
     pub fn can_connect(&self, src: NodeId, dst: NodeId) -> bool {
         src != dst
-            && src.idx() < self.nodes.len()
-            && dst.idx() < self.nodes.len()
-            && self.nodes[src.idx()].outs.iter().any(Option::is_none)
-            && self.nodes[dst.idx()].ins.iter().any(Option::is_none)
+            && src.idx() < self.n
+            && dst.idx() < self.n
+            && self.outs[self.slots(src)].iter().any(Option::is_none)
+            && self.ins[self.slots(dst)].iter().any(Option::is_none)
     }
 
     /// True if some wire `src → dst` already exists (any port pair).
     pub fn has_edge(&self, src: NodeId, dst: NodeId) -> bool {
-        self.nodes[src.idx()]
-            .outs
+        self.outs[self.slots(src)]
             .iter()
             .flatten()
             .any(|ep| ep.node == dst)
     }
 
-    /// Finish and validate.
+    /// Finish and validate: compress the slot tables to CSR form.
     pub fn build(self) -> Result<Topology, TopologyError> {
+        let delta = self.delta as usize;
+        let pack = |slots: &[Option<Endpoint>]| {
+            let mut off = Vec::with_capacity(self.n + 1);
+            let mut adj = Vec::with_capacity(slots.iter().flatten().count());
+            off.push(0u32);
+            for node in 0..self.n {
+                for port in 0..delta {
+                    if let Some(ep) = slots[node * delta + port] {
+                        adj.push(CsrEntry {
+                            local: port as u8,
+                            peer_port: ep.port.0,
+                            peer: ep.node.0,
+                        });
+                    }
+                }
+                off.push(adj.len() as u32);
+            }
+            (off, adj)
+        };
+        let (out_off, out_adj) = pack(&self.outs);
+        let (in_off, in_adj) = pack(&self.ins);
         let t = Topology {
             delta: self.delta,
-            nodes: self.nodes,
+            n: self.n as u32,
+            out_off,
+            out_adj,
+            in_off,
+            in_adj,
         };
         t.validate()?;
         Ok(t)
@@ -564,6 +670,24 @@ mod tests {
     }
 
     #[test]
+    fn connectivity_views_match_wiring() {
+        let mut b = TopologyBuilder::new(2, 3);
+        b.connect(NodeId(0), Port(2), NodeId(1), Port(1)).unwrap();
+        b.connect(NodeId(1), Port(0), NodeId(0), Port(0)).unwrap();
+        let t = b.build().unwrap();
+        assert_eq!(
+            t.out_connected(NodeId(0)).collect::<Vec<_>>(),
+            vec![false, false, true]
+        );
+        assert_eq!(
+            t.in_connected(NodeId(1)).collect::<Vec<_>>(),
+            vec![false, true, false]
+        );
+        assert_eq!(t.out_mask(NodeId(0)).iter().collect::<Vec<_>>(), [Port(2)]);
+        assert_eq!(t.in_mask(NodeId(0)).iter().collect::<Vec<_>>(), [Port(0)]);
+    }
+
+    #[test]
     fn walk_out_ports_follows_wires() {
         let t = two_cycle();
         assert_eq!(t.walk_out_ports(NodeId(0), &[Port(0)]), Some(NodeId(1)));
@@ -599,5 +723,11 @@ mod tests {
     #[should_panic(expected = "two processors")]
     fn single_node_panics() {
         let _ = TopologyBuilder::new(1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "fit in 32 bits")]
+    fn oversized_network_panics() {
+        let _ = TopologyBuilder::new(u32::MAX as usize, 2);
     }
 }

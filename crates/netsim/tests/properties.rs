@@ -178,13 +178,7 @@ fn run_scrambler_sharded(
         Engine::with_root_sharded(topo, mode, NodeId(0), shards, &mut |meta| Scrambler {
             acc: 0,
             fires_left: 0,
-            out_ports: meta
-                .out_connected
-                .iter()
-                .enumerate()
-                .filter(|&(_, &c)| c)
-                .map(|(i, _)| i)
-                .collect(),
+            out_ports: meta.out_connected.iter().map(|p| p.idx()).collect(),
             is_root: meta.is_root,
             started: false,
         });

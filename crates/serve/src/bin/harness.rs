@@ -8,7 +8,8 @@
 //!              [--cell-timeout MS] [--via ADDR]
 //!              [--resume-from OLD.jsonl] [--json FILE] [--csv FILE]
 //! harness serve --listen ADDR [--workers N] [--cache FILE]
-//!               [--resume-from OLD.jsonl] [--lease-ms MS] [--max-attempts K]
+//!               [--resume-from OLD.jsonl] [--lease-ms MS] [--lease-max-ms MS]
+//!               [--max-attempts K]
 //! harness work --connect ADDR
 //! harness bench [--reps K] [--window T] [--modes x,y] [--json FILE]
 //! harness compare OLD.jsonl NEW.jsonl [--threshold PCT]
@@ -66,7 +67,7 @@ fn usage(code: i32) -> ! {
          [--cell-timeout MS] [--via ADDR]\n               \
          [--resume-from OLD.jsonl] [--json FILE] [--csv FILE]\n  \
          harness serve --listen ADDR [--workers N] [--cache FILE]\n               \
-         [--resume-from OLD.jsonl] [--lease-ms MS] [--max-attempts K]\n  \
+         [--resume-from OLD.jsonl] [--lease-ms MS] [--lease-max-ms MS] [--max-attempts K]\n  \
          harness work --connect ADDR\n  \
          harness bench [--reps K] [--window T] [--modes x,y] [--json FILE]\n  \
          harness compare OLD.jsonl NEW.jsonl [--threshold PCT]\n\n\
@@ -419,6 +420,12 @@ fn cmd_serve(args: &[String]) {
                 )
                     as u64))
             }
+            "--lease-max-ms" => {
+                opts.lease_max = Some(std::time::Duration::from_millis(parse_int(
+                    &flag_value(&mut it, "--lease-max-ms"),
+                    "--lease-max-ms",
+                ) as u64))
+            }
             "--max-attempts" => {
                 opts.max_attempts =
                     parse_int(&flag_value(&mut it, "--max-attempts"), "--max-attempts") as u32;
@@ -725,13 +732,31 @@ fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, t0.elapsed().as_secs_f64())
 }
 
+/// Peak resident set size of this process in KiB: `VmHWM` from
+/// `/proc/self/status`. Returns 0 where the file or field is missing
+/// (non-Linux), keeping the JSONL schema stable everywhere. The value is
+/// a process-wide high-water mark, so within one bench run it is
+/// monotone across regimes — the biggest regime runs last so the smaller
+/// rows stay meaningful.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
 /// `harness bench`: the e2/e8 engine workloads as machine-readable perf
 /// records — median ticks/sec per spec × mode — written as grid-shaped
 /// JSONL rows (default `BENCH_engine.json`) so `harness compare` can gate
 /// the deterministic tick counts against a committed baseline while the
 /// wall-time fields track the perf trajectory.
 ///
-/// Five regimes:
+/// Six regimes:
 /// * full protocol runs (`ring:64`) — session-driven, lull-skipping;
 /// * a quiet-heavy stepping window (`ring:1024` mid-GTD) — the regime the
 ///   event-driven frontier exists for: dense pays O(N) per tick, the
@@ -740,7 +765,14 @@ fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
 ///   during an IG flood) — the regimes the sharded parallel mode exists
 ///   for, the larger one with real fan-out headroom;
 /// * a dynamic timeline with a far-future mutation — exercising the O(1)
-///   idle fast-forward.
+///   idle fast-forward;
+/// * a million-node flood window (`random-sc:1000000`, last so the
+///   process-wide RSS high-water mark doesn't bleed into smaller rows) —
+///   the memory regime the CSR/slab layout exists for.
+///
+/// Every row carries `peak_rss_kb` (0 off-Linux); `harness compare`
+/// ignores it like the wall-time fields — informational, never
+/// REGRESSED.
 fn cmd_bench(args: &[String]) {
     let mut json_path = String::from("BENCH_engine.json");
     let mut reps = 3usize;
@@ -770,7 +802,14 @@ fn cmd_bench(args: &[String]) {
     }
 
     let mut t = Table::new(&[
-        "workload", "driver", "mode", "ticks", "wall ms", "Mticks/s", "vs dense",
+        "workload",
+        "driver",
+        "mode",
+        "ticks",
+        "wall ms",
+        "Mticks/s",
+        "vs dense",
+        "peak RSS MB",
     ]);
     let mut rows: Vec<String> = Vec::new();
     let mut bench_workload =
@@ -793,6 +832,7 @@ fn cmd_bench(args: &[String]) {
                 } else {
                     1.0
                 };
+                let rss_kb = peak_rss_kb();
                 t.row(vec![
                     spec.to_string(),
                     driver.to_string(),
@@ -805,6 +845,7 @@ fn cmd_bench(args: &[String]) {
                     } else {
                         "n/a".into()
                     },
+                    format!("{:.0}", rss_kb as f64 / 1024.0),
                 ]);
                 // Grid-shaped so `harness compare` groups and gates the
                 // deterministic `rounds`; the "bench" marker keeps
@@ -828,6 +869,7 @@ fn cmd_bench(args: &[String]) {
                     "wall_ms": m.median_secs * 1e3,
                     "ticks_per_sec": tps,
                     "speedup_vs_dense": speedup,
+                    "peak_rss_kb": rss_kb,
                 });
                 rows.push(row.render());
             }
@@ -925,6 +967,44 @@ fn cmd_bench(args: &[String]) {
             });
             assert!(out.final_verified(), "final map must verify");
             (out.total_ticks, secs)
+        });
+    }
+    // Million-node flood window: the memory regime. A full map is out of
+    // budget here; a short saturating window is enough to charge the
+    // whole CSR topology + SoA automaton state against peak RSS and to
+    // track per-tick cost at scale. Runs last because VmHWM is a
+    // process-wide high-water mark.
+    {
+        let spec = TopologySpec::RandomSc {
+            n: 1_000_000,
+            delta: 3,
+            seed: 9,
+        };
+        let topo = spec.build();
+        bench_workload(&spec.to_string(), "engine", &mut |mode| {
+            let mut engine = gtd_netsim::Engine::new(&topo, mode, |meta| {
+                let start = if meta.id == NodeId(1) {
+                    gtd_core::StartBehavior::SingleRca
+                } else {
+                    gtd_core::StartBehavior::Passive
+                };
+                gtd_core::ProtocolNode::new(&meta, start)
+            });
+            let mut events = Vec::new();
+            // ~2 ticks of dwell per hop and log₃(10⁶) ≈ 13 hops: 30
+            // warm-up ticks reach the whole graph, so the window (and
+            // the RSS high-water mark) measures the saturated state.
+            for _ in 0..30 {
+                engine.tick(&mut events);
+            }
+            let steps = 10u64;
+            let ((), secs) = timed(|| {
+                for _ in 0..steps {
+                    engine.tick(&mut events);
+                }
+            });
+            events.clear();
+            (steps, secs)
         });
     }
 

@@ -73,6 +73,9 @@ pub struct ServeOptions {
     /// Fixed lease duration overriding the tick-budget derivation —
     /// mainly for tests that need fast expiry.
     pub lease_override: Option<Duration>,
+    /// Upper clamp for derived leases, overriding the n-scaled default
+    /// (`--lease-max-ms`). Ignored when `lease_override` is set.
+    pub lease_max: Option<Duration>,
     /// Total attempts per cell before it fails as `worker-lost` (first
     /// issue + re-issues). At least 1.
     pub max_attempts: u32,
@@ -88,6 +91,7 @@ impl Default for ServeOptions {
             cache_path: None,
             seed: Vec::new(),
             lease_override: None,
+            lease_max: None,
             max_attempts: 3,
             no_worker_grace: Duration::from_secs(15),
         }
@@ -586,7 +590,7 @@ impl Shell {
             }));
             let lease = match self.opts.lease_override {
                 Some(d) => d,
-                None => lease_for(cell, &topos[&cell.spec.to_string()]),
+                None => lease_for(cell, &topos[&cell.spec.to_string()], self.opts.lease_max),
             };
             seeds.push(CellSeed {
                 cached: cached.is_some(),
@@ -606,11 +610,21 @@ impl Shell {
 
 /// Lease duration for a cell: proportional to the work the cell may
 /// honestly do (its tick budget × the number of mapping epochs), assuming
-/// a conservative 100k engine-ticks/sec floor, clamped to [2s, 120s].
-fn lease_for(cell: &CellSpec, topo: &Topology) -> Duration {
+/// a conservative 100k engine-ticks/sec floor, clamped to [2s, cap].
+///
+/// The cap used to be a flat 120s, which a million-node cell exceeds on
+/// any honest worker — every lease expired mid-run and the cell looped
+/// to `worker-lost`. The default cap now scales with the cell's size
+/// (120s per 100k nodes) so huge-but-heartbeating cells keep their
+/// lease; `max` (`--lease-max-ms`) overrides the cap outright.
+fn lease_for(cell: &CellSpec, topo: &Topology, max: Option<Duration>) -> Duration {
     let budget = cell.budget.unwrap_or_else(|| default_tick_budget(topo));
     let epochs = 1 + cell.spec.schedule.items().len() as u64;
-    Duration::from_millis((budget.saturating_mul(epochs) / 100).clamp(2_000, 120_000))
+    let cap = match max {
+        Some(d) => (d.as_millis() as u64).max(1),
+        None => 120_000u64.saturating_mul(((topo.num_nodes() as u64).div_ceil(100_000)).max(1)),
+    };
+    Duration::from_millis((budget.saturating_mul(epochs) / 100).clamp(2_000.min(cap), cap))
 }
 
 /// The structured record for a cell the service gave up on.
@@ -658,4 +672,51 @@ fn service_row(
         }
     }
     row
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // asserts may panic freely
+mod tests {
+    use super::*;
+    use gtd_netsim::{DynamicSpec, EngineMode, NodeId};
+
+    fn cell(spec: &str, budget: Option<u64>) -> (CellSpec, Topology) {
+        let spec: DynamicSpec = spec.parse().expect("spec parses");
+        let topo = spec.build();
+        let cell = CellSpec {
+            spec,
+            mapper: "snake".into(),
+            mode: EngineMode::Sparse,
+            policy: Default::default(),
+            root: NodeId(0),
+            rep: 0,
+            budget,
+        };
+        (cell, topo)
+    }
+
+    #[test]
+    fn lease_cap_scales_with_cell_size() {
+        // Small cells keep the historical 120s ceiling.
+        let (small, topo) = cell("ring:64", Some(100_000_000));
+        assert_eq!(
+            lease_for(&small, &topo, None),
+            Duration::from_millis(120_000)
+        );
+        // A huge cell's honest runtime exceeds 120s; the cap scales with
+        // n (120s per 100k nodes) instead of revoking mid-run.
+        let (big, topo) = cell("ring:200001", Some(100_000_000));
+        assert_eq!(lease_for(&big, &topo, None), Duration::from_millis(360_000));
+        // --lease-max-ms restores a hard ceiling when asked for.
+        assert_eq!(
+            lease_for(&big, &topo, Some(Duration::from_millis(120_000))),
+            Duration::from_millis(120_000)
+        );
+        // A cap below the 2s floor wins: the operator asked for it.
+        let (tiny, topo) = cell("ring:64", Some(1));
+        assert_eq!(
+            lease_for(&tiny, &topo, Some(Duration::from_millis(500))),
+            Duration::from_millis(500)
+        );
+    }
 }

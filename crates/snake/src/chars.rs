@@ -126,13 +126,15 @@ impl Hop {
 
 /// One snake character (kind is carried by the [`crate::Signal`] slot, so
 /// the character itself only stores role and hop).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub enum SnakeChar {
     /// A head character `XH(i, j)`.
     Head(Hop),
     /// A body character `X(i, j)`.
     Body(Hop),
-    /// The unique tail character `XT`.
+    /// The unique tail character `XT`. Also the `Default` filler for dead
+    /// dwell-slab slots (never read; any variant would do).
+    #[default]
     Tail,
 }
 

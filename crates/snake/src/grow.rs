@@ -30,7 +30,7 @@ use crate::speed::{DwellQueue, SPEED1_DWELL};
 use gtd_netsim::Port;
 
 /// A scheduled growing-snake emission.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum GrowEmit {
     /// Emit `Head(o, ∗)` through each connected out-port `o` (birth).
     Heads,
@@ -39,7 +39,9 @@ pub enum GrowEmit {
     /// Emit a fresh `Body(o, ∗)` through each connected out-port `o`
     /// (tail-extension rule).
     Extend,
-    /// Emit the tail through every out-port.
+    /// Emit the tail through every out-port. Also the `Default` filler
+    /// for dead dwell-slab slots (never read; any variant would do).
+    #[default]
     Tail,
 }
 
@@ -142,6 +144,8 @@ impl GrowRelay {
                 if self.q.len() + 2 <= DwellQueue::<GrowEmit>::HARD_CAP {
                     self.q.push(now + SPEED1_DWELL, GrowEmit::Extend);
                     self.q.push(now + SPEED1_DWELL + 1, GrowEmit::Tail);
+                } else {
+                    self.q.record_drops(2);
                 }
             }
             other => {
@@ -184,6 +188,12 @@ impl GrowRelay {
     /// Number of characters currently dwelling here (E5 census).
     pub fn pending_len(&self) -> usize {
         self.q.len()
+    }
+
+    /// Scheduled emissions refused at the capacity bound over this relay's
+    /// lifetime (see [`GrowRelay::relay`]). 0 on clean runs.
+    pub fn dropped(&self) -> u64 {
+        self.q.dropped()
     }
 
     /// KILL-token erasure: "completely eradicate all traces of growing

@@ -20,8 +20,19 @@
 //! equals the arrival rate, at most one per tick), so the processor stays
 //! finite-state; [`DwellQueue::HARD_CAP`] turns any violation of that
 //! reasoning into a loud failure instead of silent unbounded memory.
-
-use std::collections::VecDeque;
+//!
+//! ## Storage
+//!
+//! The queue is backed by a lazily-allocated **fixed-capacity slab**: one
+//! heap block of exactly [`DwellQueue::HARD_CAP`] slots, allocated on the
+//! first push, retained across [`DwellQueue::clear`], and never resized. An
+//! idle lane costs one pointer; an active lane costs one allocation for the
+//! lifetime of the processor — there is no growable `VecDeque` to
+//! reallocate mid-protocol, which is what keeps the steady-state tick loop
+//! allocation-free at million-node scale. Deadlines are stored as `u16`
+//! offsets from a slab-local base tick (rebased on every pop, so the live
+//! span stays within a few dwell windows) — 4 bytes per slot of
+//! bookkeeping instead of a 16-byte `(u64, T)` tuple.
 
 /// Ticks a speed-1 construct dwells between reception and re-emission.
 pub const SPEED1_DWELL: u64 = 2;
@@ -29,52 +40,110 @@ pub const SPEED1_DWELL: u64 = 2;
 /// Ticks a speed-3 construct dwells between reception and re-emission.
 pub const SPEED3_DWELL: u64 = 0;
 
+const CAP: usize = 16;
+
+/// The lazily-allocated backing store: a bounded ring of `CAP` slots.
+#[derive(Clone, Debug)]
+struct Slab<T> {
+    /// Absolute tick that offset 0 encodes; rebased so the front entry's
+    /// offset is always 0 after a pop.
+    base: u64,
+    head: u8,
+    len: u8,
+    /// Per-slot deadline as `base + offs[slot]`.
+    offs: [u16; CAP],
+    items: [T; CAP],
+}
+
+impl<T: Copy + Default> Slab<T> {
+    fn new() -> Self {
+        Slab {
+            base: 0,
+            head: 0,
+            len: 0,
+            offs: [0; CAP],
+            items: [T::default(); CAP],
+        }
+    }
+
+    #[inline]
+    fn slot(&self, i: usize) -> usize {
+        (self.head as usize + i) % CAP
+    }
+
+    #[inline]
+    fn deadline_at(&self, i: usize) -> u64 {
+        self.base + self.offs[self.slot(i)] as u64
+    }
+}
+
 /// A FIFO of items with emission deadlines, preserving arrival order.
 ///
 /// Deadlines must be pushed in non-decreasing order (streams cannot
 /// overtake themselves); this is asserted.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// Equality compares the live `(deadline, item)` sequence plus the drop
+/// counter; slab identity and dead slots are ignored.
+#[derive(Clone, Debug)]
 pub struct DwellQueue<T> {
-    items: VecDeque<(u64, T)>,
+    slab: Option<Box<Slab<T>>>,
+    /// Scheduled emissions refused at [`DwellQueue::HARD_CAP`] (see
+    /// [`DwellQueue::push_bounded`]); never reset, surfaced per-run as the
+    /// `dropped` statistic.
+    dropped: u64,
 }
 
 impl<T> Default for DwellQueue<T> {
     fn default() -> Self {
         DwellQueue {
-            items: VecDeque::new(),
+            slab: None,
+            dropped: 0,
         }
     }
 }
 
-impl<T> DwellQueue<T> {
+impl<T: Copy + Default> DwellQueue<T> {
     /// Finite-state guard: a correct protocol never holds more than a
     /// handful of characters per construct per processor (analysis in the
     /// module docs says ≲ 4). Exceeding this means the automaton is no
     /// longer finite-state — fail loudly.
-    pub const HARD_CAP: usize = 16;
+    pub const HARD_CAP: usize = CAP;
 
-    /// New empty queue.
+    /// New empty queue. Allocates nothing until the first push.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Schedule `item` for emission at `deadline`.
     pub fn push(&mut self, deadline: u64, item: T) {
-        if let Some(&(last, _)) = self.items.back() {
+        let slab = self.slab.get_or_insert_with(|| Box::new(Slab::new()));
+        if slab.len == 0 {
+            slab.base = deadline;
+            slab.head = 0;
+        } else {
+            let last = slab.base + slab.offs[slab.slot(slab.len as usize - 1)] as u64;
             assert!(
                 deadline >= last,
                 "DwellQueue deadlines must be non-decreasing ({deadline} < {last})"
             );
         }
-        self.items.push_back((deadline, item));
         assert!(
-            self.items.len() <= Self::HARD_CAP,
+            (slab.len as usize) < CAP,
             "DwellQueue overflow: the automaton is no longer finite-state"
         );
+        // The front offset is rebased to 0 on every pop, so the live span
+        // is a few dwell windows at most — u16 is generous.
+        let off = deadline - slab.base;
+        assert!(off <= u16::MAX as u64, "DwellQueue deadline span overflow");
+        let slot = slab.slot(slab.len as usize);
+        slab.offs[slot] = off as u16;
+        slab.items[slot] = item;
+        slab.len += 1;
     }
 
     /// Capacity-bounded [`DwellQueue::push`]: when the buffer is full,
-    /// drop `item` and return `false` instead of panicking.
+    /// drop `item`, count the drop, and return `false` instead of
+    /// panicking.
     ///
     /// A clean protocol run never holds more than a handful of characters
     /// per construct (see [`DwellQueue::HARD_CAP`]), so in undisturbed
@@ -86,48 +155,97 @@ impl<T> DwellQueue<T> {
     /// characters from a stream that only exists because the network
     /// changed under it loses nothing (the session-level remap driver
     /// recovers the disturbed epoch), while keeping the automaton honest
-    /// about its constant size.
+    /// about its constant size. Every refusal increments
+    /// [`DwellQueue::dropped`] so lossy-cap behavior is observable.
     pub fn push_bounded(&mut self, deadline: u64, item: T) -> bool {
-        if self.items.len() >= Self::HARD_CAP {
+        if self.len() >= Self::HARD_CAP {
+            self.dropped += 1;
             return false;
         }
         self.push(deadline, item);
         true
     }
 
+    /// Record `k` scheduled emissions refused without entering the queue
+    /// (the all-or-nothing tail-extension rule drops pairs up front).
+    pub fn record_drops(&mut self, k: u64) {
+        self.dropped += k;
+    }
+
+    /// Total scheduled emissions refused at capacity over this queue's
+    /// lifetime. 0 on clean (mutation-free) runs.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
     /// Pop the next item whose deadline is ≤ `now`, if any.
     pub fn pop_due(&mut self, now: u64) -> Option<T> {
-        match self.items.front() {
-            Some(&(deadline, _)) if deadline <= now => self.items.pop_front().map(|(_, t)| t),
-            _ => None,
+        let slab = self.slab.as_deref_mut()?;
+        if slab.len == 0 || slab.base + slab.offs[slab.head as usize] as u64 > now {
+            return None;
         }
+        let item = slab.items[slab.head as usize];
+        slab.head = ((slab.head as usize + 1) % CAP) as u8;
+        slab.len -= 1;
+        // Rebase so the new front sits at offset 0; keeps every live
+        // offset within a dwell-window span of the base however long the
+        // queue stays continuously occupied.
+        if slab.len > 0 {
+            let d = slab.offs[slab.head as usize];
+            if d > 0 {
+                slab.base += d as u64;
+                for i in 0..slab.len as usize {
+                    let s = (slab.head as usize + i) % CAP;
+                    slab.offs[s] -= d;
+                }
+            }
+        }
+        Some(item)
     }
 
     /// Earliest pending deadline.
     pub fn next_deadline(&self) -> Option<u64> {
-        self.items.front().map(|&(d, _)| d)
+        let slab = self.slab.as_deref()?;
+        (slab.len > 0).then(|| slab.deadline_at(0))
     }
 
     /// Number of queued items.
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.slab.as_deref().map_or(0, |s| s.len as usize)
     }
 
     /// Is the queue empty?
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.len() == 0
     }
 
-    /// Drop everything (KILL-token erasure).
+    /// Drop everything (KILL-token erasure). The slab is retained for
+    /// reuse; the drop counter is a lifetime statistic and survives too.
     pub fn clear(&mut self) {
-        self.items.clear();
+        if let Some(slab) = self.slab.as_deref_mut() {
+            slab.len = 0;
+            slab.head = 0;
+        }
     }
 
     /// Iterate over pending `(deadline, item)` pairs (diagnostics).
-    pub fn iter(&self) -> impl Iterator<Item = &(u64, T)> {
-        self.items.iter()
+    pub fn iter(&self) -> impl Iterator<Item = (u64, T)> + '_ {
+        let slab = self.slab.as_deref();
+        let len = slab.map_or(0, |s| s.len as usize);
+        (0..len).map(move |i| {
+            let s = slab.expect("len > 0 implies a slab");
+            (s.deadline_at(i), s.items[s.slot(i)])
+        })
     }
 }
+
+impl<T: Copy + Default + PartialEq> PartialEq for DwellQueue<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.dropped == other.dropped && self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl<T: Copy + Default + Eq> Eq for DwellQueue<T> {}
 
 #[cfg(test)]
 mod tests {
@@ -142,14 +260,14 @@ mod tests {
     #[test]
     fn pop_respects_deadlines_and_order() {
         let mut q = DwellQueue::new();
-        q.push(5, 'a');
-        q.push(5, 'b');
-        q.push(7, 'c');
+        q.push(5, b'a');
+        q.push(5, b'b');
+        q.push(7, b'c');
         assert_eq!(q.pop_due(4), None);
-        assert_eq!(q.pop_due(5), Some('a'));
-        assert_eq!(q.pop_due(5), Some('b'));
+        assert_eq!(q.pop_due(5), Some(b'a'));
+        assert_eq!(q.pop_due(5), Some(b'b'));
         assert_eq!(q.pop_due(5), None); // 'c' not due yet
-        assert_eq!(q.pop_due(8), Some('c'));
+        assert_eq!(q.pop_due(8), Some(b'c'));
         assert!(q.is_empty());
     }
 
@@ -172,6 +290,59 @@ mod tests {
         assert_eq!(q.len(), 2);
         q.clear();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn slab_ring_wraps_and_rebases() {
+        // Drive far more traffic than CAP through the queue; the ring
+        // must wrap and the offset rebasing must keep deadlines exact.
+        let mut q = DwellQueue::new();
+        let mut expect = std::collections::VecDeque::new();
+        let mut next = 0u64;
+        for round in 0..10u64 {
+            let t = round * 1_000_000; // huge gaps stress the u16 offsets
+            for k in 0..7 {
+                q.push(t + k, next);
+                expect.push_back(next);
+                next += 1;
+            }
+            for _ in 0..7 {
+                assert_eq!(q.pop_due(t + 10), expect.pop_front());
+            }
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn push_bounded_counts_drops() {
+        let mut q = DwellQueue::new();
+        for i in 0..DwellQueue::<u32>::HARD_CAP as u64 {
+            assert!(q.push_bounded(i, 0u32));
+        }
+        assert_eq!(q.dropped(), 0);
+        assert!(!q.push_bounded(99, 0u32));
+        assert!(!q.push_bounded(99, 0u32));
+        assert_eq!(q.dropped(), 2);
+        // the counter survives erasure — it is a lifetime statistic
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.dropped(), 2);
+        q.record_drops(3);
+        assert_eq!(q.dropped(), 5);
+    }
+
+    #[test]
+    fn equality_ignores_dead_slots() {
+        let mut a = DwellQueue::new();
+        let mut b = DwellQueue::new();
+        // Different slab histories, same live contents.
+        a.push(1, 7u32);
+        a.pop_due(1);
+        a.push(5, 9);
+        b.push(5, 9);
+        assert_eq!(a, b);
+        b.pop_due(5);
+        assert_ne!(a, b);
     }
 
     #[test]
