@@ -27,9 +27,10 @@
 
 use crate::{flood_echo, source_routed_dfs};
 use gtd_core::{
-    EpochStatus, GtdError, GtdSession, PhaseBreakdown, RemapPolicy, RunStats, VerifyError,
+    phase_breakdown, EpochStatus, GtdError, GtdSession, PhaseBreakdown, RemapPolicy, RunStats,
+    VerifyError,
 };
-use gtd_netsim::{Edge, EngineMode, MutationSchedule, NodeId, Topology};
+use gtd_netsim::{Edge, EngineMode, FaultPlane, MutationSchedule, NodeId, Topology};
 
 /// Why a mapper failed to produce a comparable edge set.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -39,6 +40,23 @@ pub enum MapperError {
     /// The reconstructed map could not be resolved against ground truth
     /// (protocol bug — Theorem 4.1 promises this never happens).
     Unresolvable(VerifyError),
+    /// The GTD run survived an unreliable wire plane (paper §1.2.2) but
+    /// exhausted its retry budget without a verified map. This is the
+    /// *structured* degradation outcome: the run terminated cleanly and
+    /// carries the evidence of how far each attempt got.
+    Degraded {
+        /// Best status across the attempts ([`EpochStatus::Partial`] when
+        /// some edges decoded, [`EpochStatus::Exhausted`] when none did).
+        status: EpochStatus,
+        /// Retries spent (attempts minus one).
+        retries: u32,
+        /// Edges in the best partial map (exact on the edges it covers).
+        partial_edges: usize,
+        /// Characters the fault plane destroyed outright.
+        fault_dropped: u64,
+        /// Characters the fault plane delivered late.
+        fault_delayed: u64,
+    },
 }
 
 impl std::fmt::Display for MapperError {
@@ -46,6 +64,18 @@ impl std::fmt::Display for MapperError {
         match self {
             MapperError::Gtd(e) => write!(f, "gtd run failed: {e}"),
             MapperError::Unresolvable(e) => write!(f, "map does not resolve: {e}"),
+            MapperError::Degraded {
+                status,
+                retries,
+                partial_edges,
+                fault_dropped,
+                fault_delayed,
+            } => write!(
+                f,
+                "degraded to {status:?} after {retries} retries \
+                 ({partial_edges} partial edges; faults dropped {fault_dropped}, \
+                 delayed {fault_delayed})"
+            ),
         }
     }
 }
@@ -111,6 +141,12 @@ pub struct DynamicRun {
     pub total_rounds: u64,
     /// Did the final map match the final topology?
     pub verified: bool,
+    /// Characters the fault plane destroyed over the whole timeline
+    /// (GTD live timeline only; the analytic baselines never touch a
+    /// wire, so they report 0 even under an active plane).
+    pub fault_dropped: u64,
+    /// Characters the fault plane delivered late (GTD only, as above).
+    pub fault_delayed: u64,
 }
 
 impl DynamicRun {
@@ -177,6 +213,8 @@ pub trait TopologyMapper {
             epoch_nodes,
             total_rounds: total,
             verified,
+            fault_dropped: 0,
+            fault_delayed: 0,
         })
     }
 }
@@ -200,6 +238,14 @@ pub struct GtdMapper {
     /// run out; eager: power-cycle at the mutation). Static runs and the
     /// analytic baselines ignore it — they re-map instantly either way.
     pub policy: RemapPolicy,
+    /// Wire-level fault plane for protocol runs ([`FaultPlane::NONE`]
+    /// for reliable wires). The analytic baselines are *fault-immune*:
+    /// they compute on the topology graph, never on simulated wires, so
+    /// the plane only affects `"gtd"`.
+    pub fault: FaultPlane,
+    /// Extra attempts a faulted static run may spend before degrading
+    /// to [`MapperError::Degraded`] (ignored on reliable wires).
+    pub max_retries: u32,
 }
 
 impl Default for GtdMapper {
@@ -209,6 +255,8 @@ impl Default for GtdMapper {
             tick_budget: None,
             capture_phases: false,
             policy: RemapPolicy::Lazy,
+            fault: FaultPlane::NONE,
+            max_retries: 3,
         }
     }
 }
@@ -225,6 +273,38 @@ impl TopologyMapper for GtdMapper {
             .capture_transcript(self.capture_phases);
         if let Some(budget) = self.tick_budget {
             session = session.tick_budget(budget);
+        }
+        if self.fault.is_active() {
+            // Unreliable wires: drive the wedge-detecting retry loop and
+            // translate a spent retry budget into the structured
+            // degradation error instead of a hang or a panic.
+            let res = session
+                .faults(self.fault)
+                .max_retries(self.max_retries)
+                .run_resilient()?;
+            if !res.verified() {
+                return Err(MapperError::Degraded {
+                    status: res.status,
+                    retries: res.retries(),
+                    partial_edges: res.map.as_ref().map_or(0, |m| m.num_edges()),
+                    fault_dropped: res.stats.fault_dropped,
+                    fault_delayed: res.stats.fault_delayed,
+                });
+            }
+            let map = res.map.as_ref().expect("verified outcomes carry a map");
+            let edges = map
+                .resolve_edges(topo, root)
+                .map_err(MapperError::Unresolvable)?;
+            return Ok(MapperRun {
+                rounds: res.ticks,
+                messages: None,
+                edges,
+                stats: Some(res.stats),
+                phases: self.capture_phases.then(|| phase_breakdown(&res.events)),
+                // Bounded settle under faults: a dropped UNMARK can leave
+                // a stray circulating, so cleanliness is not asserted.
+                clean: None,
+            });
         }
         let outcome = session.run()?;
         let edges = outcome
@@ -256,6 +336,8 @@ impl TopologyMapper for GtdMapper {
             .root(root)
             .mode(self.mode)
             .policy(self.policy)
+            .faults(self.fault)
+            .max_retries(self.max_retries)
             .capture_transcript(false);
         if let Some(budget) = self.tick_budget {
             session = session.tick_budget(budget);
@@ -276,6 +358,8 @@ impl TopologyMapper for GtdMapper {
             epoch_nodes: out.epoch_nodes(),
             total_rounds: out.total_ticks,
             verified: out.final_verified(),
+            fault_dropped: out.fault_dropped,
+            fault_delayed: out.fault_delayed,
         })
     }
 }
@@ -338,6 +422,11 @@ pub struct MapperConfig {
     /// Remap trigger for dynamic timelines (GTD only; the analytic
     /// baselines re-map instantly under either policy).
     pub policy: RemapPolicy,
+    /// Wire-level fault plane (GTD only — the baselines are analytic
+    /// machines with no wires to fault).
+    pub fault: FaultPlane,
+    /// Retry budget for faulted static runs (GTD only).
+    pub max_retries: u32,
 }
 
 impl Default for MapperConfig {
@@ -347,6 +436,8 @@ impl Default for MapperConfig {
             tick_budget: None,
             capture_phases: false,
             policy: RemapPolicy::Lazy,
+            fault: FaultPlane::NONE,
+            max_retries: 3,
         }
     }
 }
@@ -369,6 +460,8 @@ pub fn mapper_by_name(
             tick_budget: cfg.tick_budget,
             capture_phases: cfg.capture_phases,
             policy: cfg.policy,
+            fault: cfg.fault,
+            max_retries: cfg.max_retries,
         })),
         "routed-dfs" => Some(Box::new(RoutedDfsMapper)),
         "flood-echo" => Some(Box::new(FloodEchoMapper)),
@@ -575,6 +668,107 @@ mod tests {
             gtd.remap_latencies,
             flood.remap_latencies
         );
+    }
+
+    #[test]
+    fn faulted_gtd_mapper_retries_its_way_to_a_verified_map() {
+        // Every dropped character is fatal on a ring (single token, no
+        // redundant wires), so a lossy run verifies exactly when a
+        // re-seeded retry happens to be drop-free — the retry loop is
+        // what rescues the run, not luck on the first attempt.
+        let topo = generators::ring(6);
+        let mapper = GtdMapper {
+            fault: FaultPlane {
+                loss: 0.001,
+                delay_min: 0,
+                delay_max: 0,
+                seed: 8,
+            },
+            ..GtdMapper::default()
+        };
+        let run = mapper.map_network(&topo, NodeId(0)).unwrap();
+        assert!(run.verify_against(&topo));
+        let stats = run.stats.unwrap();
+        assert!(stats.retries > 0, "expected the retry loop to fire");
+        assert_eq!(stats.fault_dropped, 0, "the winning attempt is drop-free");
+        // Cleanliness is not asserted under faults (bounded settle).
+        assert_eq!(run.clean, None);
+    }
+
+    #[test]
+    fn total_loss_surfaces_as_structured_degradation() {
+        let topo = generators::ring(8);
+        let mapper = GtdMapper {
+            fault: FaultPlane {
+                loss: 1.0,
+                delay_min: 0,
+                delay_max: 0,
+                seed: 1,
+            },
+            max_retries: 1,
+            ..GtdMapper::default()
+        };
+        match mapper.map_network(&topo, NodeId(0)) {
+            Err(MapperError::Degraded {
+                status,
+                retries,
+                partial_edges,
+                fault_dropped,
+                ..
+            }) => {
+                assert_eq!(status, EpochStatus::Exhausted);
+                assert_eq!(retries, 1);
+                assert_eq!(partial_edges, 0);
+                assert!(fault_dropped > 0);
+            }
+            other => panic!("expected structured degradation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn analytic_baselines_are_fault_immune() {
+        let topo = generators::random_sc(14, 3, 6);
+        let cfg = MapperConfig {
+            fault: FaultPlane {
+                loss: 1.0,
+                delay_min: 0,
+                delay_max: 0,
+                seed: 3,
+            },
+            ..MapperConfig::default()
+        };
+        for name in ["flood-echo", "routed-dfs"] {
+            let mapper = mapper_by_name(name, &cfg).unwrap();
+            let run = mapper.map_network(&topo, NodeId(0)).unwrap();
+            assert!(run.verify_against(&topo), "{name} faulted by a plane");
+        }
+    }
+
+    #[test]
+    fn faulted_dynamic_timeline_reports_fault_counters() {
+        use gtd_netsim::{MutationKind, MutationSchedule, TopologyMutation};
+        let topo = generators::ring(10);
+        let schedule = MutationSchedule::new().with(
+            80,
+            TopologyMutation {
+                kind: MutationKind::RewirePort,
+                selector: 2,
+            },
+        );
+        let mapper = GtdMapper {
+            fault: FaultPlane {
+                loss: 0.0,
+                delay_min: 1,
+                delay_max: 1,
+                seed: 4,
+            },
+            ..GtdMapper::default()
+        };
+        let run = mapper.map_dynamic(&topo, &schedule, NodeId(0)).unwrap();
+        assert!(run.verified, "constant delay must still verify");
+        assert!(run.fault_delayed > 0);
+        // (A constant delay can still collision-drop at mutation or
+        // power-cycle boundaries, so fault_dropped is not asserted zero.)
     }
 
     #[test]

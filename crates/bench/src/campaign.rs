@@ -127,7 +127,13 @@ impl CellSpec {
             tick_budget: self.budget,
             capture_phases: true,
             policy: self.policy,
+            fault: self.spec.fault,
+            ..MapperConfig::default()
         };
+        // Fault counters are only rendered for cells whose spec carries an
+        // active plane, so reliable-wire rows stay byte-identical to
+        // exports from before the fault plane existed.
+        let faulted = self.spec.fault.is_active();
         let result = match mapper_by_name(&self.mapper, &cfg) {
             None => Err(CellError {
                 kind: "precondition",
@@ -148,6 +154,9 @@ impl CellSpec {
                     clean: run.clean,
                     phases: run.phases,
                     remap: None,
+                    fault_dropped: run.stats.filter(|_| faulted).map(|s| s.fault_dropped),
+                    fault_delayed: run.stats.filter(|_| faulted).map(|s| s.fault_delayed),
+                    retries: run.stats.filter(|_| faulted).map(|s| s.retries),
                 }),
                 Err(e) => Err(CellError::from(e)),
             },
@@ -167,6 +176,9 @@ impl CellSpec {
                         latencies: run.remap_latencies,
                         epoch_nodes: run.epoch_nodes,
                     }),
+                    fault_dropped: faulted.then_some(run.fault_dropped),
+                    fault_delayed: faulted.then_some(run.fault_delayed),
+                    retries: None,
                 }),
                 Err(e) => Err(CellError::from(e)),
             },
@@ -542,12 +554,13 @@ impl CellError {
     /// `worker-lost` (the campaign service gave up on a cell after its
     /// retry budget). Operational records are never admitted to the
     /// incremental cache (see [`RunRecord::is_cacheable`]).
-    pub const KINDS: [&'static str; 7] = [
+    pub const KINDS: [&'static str; 8] = [
         "budget-exhausted",
         "precondition",
         "decode",
         "remap-diverged",
         "unresolvable",
+        "fault-degraded",
         "cell-timeout",
         "worker-lost",
     ];
@@ -573,6 +586,9 @@ impl From<MapperError> for CellError {
             MapperError::Gtd(GtdError::Decode(_)) => "decode",
             MapperError::Gtd(GtdError::RemapDiverged { .. }) => "remap-diverged",
             MapperError::Unresolvable(_) => "unresolvable",
+            // Deterministic (DetRng-seeded plane), so degraded cells are
+            // cacheable like any other logical outcome.
+            MapperError::Degraded { .. } => "fault-degraded",
         };
         debug_assert!(
             CellError::kind_from_str(kind).is_some(),
@@ -653,6 +669,15 @@ pub struct CellOutcome {
     pub phases: Option<PhaseBreakdown>,
     /// Remapping timeline results (dynamic cells only).
     pub remap: Option<RemapSummary>,
+    /// Characters the wire fault plane destroyed (GTD cells whose spec
+    /// carries an active plane; `None` on reliable wires so legacy rows
+    /// re-render byte-identically).
+    pub fault_dropped: Option<u64>,
+    /// Characters the wire fault plane delivered late (as above).
+    pub fault_delayed: Option<u64>,
+    /// Retries the faulted static run spent before verifying (as above;
+    /// dynamic timelines account retries per epoch instead).
+    pub retries: Option<u32>,
 }
 
 /// One grid cell's identity and result.
@@ -828,6 +853,9 @@ impl RunRecord {
                 clean: bool_field(row, "clean"),
                 phases,
                 remap,
+                fault_dropped: num_field(row, "fault_dropped"),
+                fault_delayed: num_field(row, "fault_delayed"),
+                retries: num_field(row, "retries").map(|r| r as u32),
             })
         } else {
             let kind = CellError::kind_from_str(&str_field(row, "error_kind")?)?;
@@ -868,6 +896,15 @@ impl RunRecord {
         };
         if let Some(budget) = self.budget {
             map.insert("budget".into(), JsonValue::Num(budget as f64));
+        }
+        // The spec string is canonical, so its fault segments (between the
+        // base and the first mutation suffix) ARE the plane's seed and
+        // parameters; echo them in a dedicated member so fault schedules
+        // are greppable without re-parsing specs. Derived from `spec`, so
+        // parse → re-render stays byte-identical.
+        if let Some(start) = self.spec.find('~') {
+            let end = self.spec.find('+').unwrap_or(self.spec.len());
+            map.insert("fault".into(), JsonValue::Str(self.spec[start..end].into()));
         }
         match &self.result {
             Ok(out) => {
@@ -925,6 +962,15 @@ impl RunRecord {
                                 .collect(),
                         ),
                     );
+                }
+                if let Some(fd) = out.fault_dropped {
+                    map.insert("fault_dropped".into(), JsonValue::Num(fd as f64));
+                }
+                if let Some(fd) = out.fault_delayed {
+                    map.insert("fault_delayed".into(), JsonValue::Num(fd as f64));
+                }
+                if let Some(r) = out.retries {
+                    map.insert("retries".into(), JsonValue::Num(r as f64));
                 }
             }
             Err(err) => {
@@ -1062,47 +1108,67 @@ impl CampaignReport {
     /// containing commas or quotes are quoted per RFC 4180.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "spec,mapper,mode,policy,root,rep,n,e,ok,rounds,messages,verified,clean,epochs,epoch_n,remap_median,error_kind,error\n",
+            "spec,mapper,mode,policy,root,rep,n,e,ok,rounds,messages,verified,clean,epochs,epoch_n,remap_median,fault_dropped,fault_delayed,retries,error_kind,error\n",
         );
         for rec in &self.records {
-            let (rounds, messages, verified, clean, epochs, epoch_n, remap_median, kind, error) =
-                match &rec.result {
-                    Ok(o) => (
-                        o.rounds.to_string(),
-                        o.messages.map_or(String::new(), |m| m.to_string()),
-                        o.verified.to_string(),
-                        o.clean.map_or(String::new(), |c| c.to_string()),
-                        o.remap
-                            .as_ref()
-                            .map_or(String::new(), |r| r.epochs.to_string()),
-                        // per-epoch processor counts, ';'-joined (one CSV
-                        // field, no quoting needed)
-                        o.remap.as_ref().map_or(String::new(), |r| {
-                            r.epoch_nodes
-                                .iter()
-                                .map(usize::to_string)
-                                .collect::<Vec<_>>()
-                                .join(";")
-                        }),
-                        o.remap
-                            .as_ref()
-                            .and_then(RemapSummary::median_latency)
-                            .map_or(String::new(), |l| l.to_string()),
-                        String::new(),
-                        String::new(),
-                    ),
-                    Err(e) => (
-                        String::new(),
-                        String::new(),
-                        String::new(),
-                        String::new(),
-                        String::new(),
-                        String::new(),
-                        String::new(),
-                        e.kind.to_string(),
-                        e.message.clone(),
-                    ),
-                };
+            let blank = String::new;
+            let opt = |v: Option<String>| v.unwrap_or_default();
+            let (
+                rounds,
+                messages,
+                verified,
+                clean,
+                epochs,
+                epoch_n,
+                remap_median,
+                fault_dropped,
+                fault_delayed,
+                retries,
+                kind,
+                error,
+            ) = match &rec.result {
+                Ok(o) => (
+                    o.rounds.to_string(),
+                    o.messages.map_or(String::new(), |m| m.to_string()),
+                    o.verified.to_string(),
+                    o.clean.map_or(String::new(), |c| c.to_string()),
+                    o.remap
+                        .as_ref()
+                        .map_or(String::new(), |r| r.epochs.to_string()),
+                    // per-epoch processor counts, ';'-joined (one CSV
+                    // field, no quoting needed)
+                    o.remap.as_ref().map_or(String::new(), |r| {
+                        r.epoch_nodes
+                            .iter()
+                            .map(usize::to_string)
+                            .collect::<Vec<_>>()
+                            .join(";")
+                    }),
+                    o.remap
+                        .as_ref()
+                        .and_then(RemapSummary::median_latency)
+                        .map_or(String::new(), |l| l.to_string()),
+                    opt(o.fault_dropped.map(|v| v.to_string())),
+                    opt(o.fault_delayed.map(|v| v.to_string())),
+                    opt(o.retries.map(|v| v.to_string())),
+                    String::new(),
+                    String::new(),
+                ),
+                Err(e) => (
+                    blank(),
+                    blank(),
+                    blank(),
+                    blank(),
+                    blank(),
+                    blank(),
+                    blank(),
+                    blank(),
+                    blank(),
+                    blank(),
+                    e.kind.to_string(),
+                    e.message.clone(),
+                ),
+            };
             let fields = [
                 rec.spec.clone(),
                 rec.mapper.clone(),
@@ -1120,6 +1186,9 @@ impl CampaignReport {
                 epochs,
                 epoch_n,
                 remap_median,
+                fault_dropped,
+                fault_delayed,
+                retries,
                 kind,
                 error,
             ];
@@ -1245,5 +1314,118 @@ mod tests {
         assert!(header.starts_with("spec,mapper,"));
         let row = lines.next().unwrap();
         assert!(row.starts_with("\"debruijn:2,3\",flood-echo,"), "{row}");
+    }
+
+    #[test]
+    fn fault_schedules_are_part_of_the_cache_key() {
+        // The canonical spec string embeds the fault suffixes (loss,
+        // delay, seed), and the spec string is the first component of the
+        // cache key — so a record produced under one fault schedule can
+        // never satisfy a cell under another, and `--resume-from` is safe
+        // across fault-plane changes by construction.
+        let mk = |s: &str| CellSpec {
+            spec: s.parse().unwrap(),
+            mapper: "gtd".into(),
+            mode: EngineMode::Sparse,
+            policy: RemapPolicy::Lazy,
+            root: NodeId(0),
+            rep: 0,
+            budget: None,
+        };
+        let reliable = mk("ring:8");
+        let lossy = mk("ring:8~loss=0.01~fault-seed=7");
+        let reseeded = mk("ring:8~loss=0.01~fault-seed=8");
+        let delayed = mk("ring:8~delay=1..2~fault-seed=7");
+        let keys = [reliable.key(), lossy.key(), reseeded.key(), delayed.key()];
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b, "fault schedules collided in the cache key");
+            }
+        }
+        // An all-zero plane parses back to the unfaulted spec, so it
+        // shares the unfaulted cell's key (and may reuse its cached row).
+        assert_eq!(mk("ring:8~loss=0").key(), reliable.key());
+        // And the executed record's key matches its cell's key, so the
+        // resume cache actually admits faulted rows.
+        let rec = lossy.execute_built();
+        assert_eq!(rec.cache_key(), lossy.key());
+        assert!(rec.is_cacheable());
+    }
+
+    #[test]
+    fn resume_never_crosses_fault_schedules() {
+        let first = Campaign::new()
+            .parse_specs(["ring:6~loss=0.001~fault-seed=8"])
+            .unwrap()
+            .mappers(["gtd"])
+            .run()
+            .unwrap();
+        assert_eq!(first.cached, 0);
+        // Same grid resumed from its own export: fully cached.
+        let again = Campaign::new()
+            .parse_specs(["ring:6~loss=0.001~fault-seed=8"])
+            .unwrap()
+            .mappers(["gtd"])
+            .resume_from(first.records.clone())
+            .run()
+            .unwrap();
+        assert_eq!(again.cached, 1);
+        assert_eq!(again.records, first.records);
+        // A different fault seed is a different cell: nothing reused.
+        let reseeded = Campaign::new()
+            .parse_specs(["ring:6~loss=0.001~fault-seed=9"])
+            .unwrap()
+            .mappers(["gtd"])
+            .resume_from(first.records.clone())
+            .run()
+            .unwrap();
+        assert_eq!(reseeded.cached, 0);
+    }
+
+    #[test]
+    fn faulted_rows_carry_fault_fields_and_round_trip() {
+        let report = Campaign::new()
+            .parse_specs(["ring:6~loss=0.001~fault-seed=8", "ring:6"])
+            .unwrap()
+            .mappers(["gtd"])
+            .run()
+            .unwrap();
+        let jsonl = report.to_jsonl();
+        let (faulted_row, reliable_row) = {
+            let mut lines = jsonl.lines();
+            (lines.next().unwrap(), lines.next().unwrap())
+        };
+        // The faulted row records the schedule (seed included) and the
+        // counters; the reliable row is schema-identical to a pre-fault
+        // export.
+        assert!(faulted_row.contains("\"fault\":\"~loss=0.001~fault-seed=8\""));
+        assert!(faulted_row.contains("\"fault_dropped\""));
+        assert!(faulted_row.contains("\"retries\""));
+        for key in ["fault", "fault_dropped", "fault_delayed", "retries"] {
+            assert!(!reliable_row.contains(&format!("\"{key}\"")), "{key}");
+        }
+        // Byte-identical round-trip, fault fields included. (Full record
+        // equality is not asserted: the export intentionally drops the
+        // phase breakdown's RCA count — see `from_json`.)
+        let parsed = parse_jsonl(&jsonl).unwrap();
+        let rerendered: String = parsed.iter().map(|r| r.to_json().render() + "\n").collect();
+        assert_eq!(rerendered, jsonl);
+    }
+
+    #[test]
+    fn hopeless_fault_schedules_degrade_to_a_structured_cell_error() {
+        let report = Campaign::new()
+            .parse_specs(["ring:6~loss=1~fault-seed=1"])
+            .unwrap()
+            .mappers(["gtd", "flood-echo"])
+            .run()
+            .unwrap();
+        let err = report.records[0].result.as_ref().unwrap_err();
+        assert_eq!(err.kind, "fault-degraded");
+        assert!(err.message.contains("Exhausted"), "{}", err.message);
+        // Degraded cells are deterministic, so the cache may reuse them.
+        assert!(report.records[0].is_cacheable());
+        // The analytic baseline never touches a wire: same spec, still ok.
+        assert!(report.records[1].result.is_ok());
     }
 }

@@ -67,8 +67,8 @@ pub const LINT_RULES: &[LintRule] = &[
     },
     LintRule {
         name: "registry-sync",
-        summary: "MutationKind/TopologySpec variants match their registry tables, \
-                  examples parse, and every family is in the README",
+        summary: "MutationKind/TopologySpec/FaultPlane knobs match their registry \
+                  tables, examples parse, and every family and knob is in the README",
         rationale: "the registries are the source of truth for harness list, the \
                     suffix grammar, and the docs; the compiler cannot see a missing \
                     row",
@@ -537,6 +537,40 @@ fn registry_sync(ws: &Workspace, out: &mut Vec<Violation>) {
                 format!(
                     "topology family `{}` is missing from the README table",
                     fam.name
+                ),
+            );
+        }
+    }
+    // FaultPlane knobs ↔ FAULT_REGISTRY ↔ suffix grammar ↔ README.
+    for knob in gtd_netsim::spec::FAULT_REGISTRY {
+        if knob.example.parse::<gtd_netsim::DynamicSpec>().is_err() {
+            push(
+                spec_rs,
+                1,
+                format!(
+                    "fault registry example `{}` does not parse under the \
+                     suffix grammar",
+                    knob.example
+                ),
+            );
+        }
+        if !knob.example.contains(&format!("~{}=", knob.name)) {
+            push(
+                spec_rs,
+                1,
+                format!(
+                    "fault registry example `{}` does not use the `{}` knob",
+                    knob.example, knob.name
+                ),
+            );
+        }
+        if !ws.readme.contains(&format!("`{}`", knob.name)) && !ws.readme.contains(knob.example) {
+            push(
+                "README.md",
+                1,
+                format!(
+                    "fault knob `{}` is missing from the README fault-model table",
+                    knob.name
                 ),
             );
         }

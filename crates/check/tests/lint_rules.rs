@@ -25,6 +25,9 @@ fn full_readme() -> String {
         readme.push_str(f.name);
         readme.push('\n');
     }
+    for k in gtd_netsim::spec::FAULT_REGISTRY {
+        readme.push_str(&format!("`{}`\n", k.name));
+    }
     readme
 }
 
@@ -214,7 +217,9 @@ fn registry_drift_is_flagged() {
 #[test]
 fn registry_names_missing_from_readme_are_flagged() {
     let hits = findings("registry-sync", vec![], "");
-    let expected = gtd_netsim::MUTATION_REGISTRY.len() + gtd_netsim::spec::REGISTRY.len();
+    let expected = gtd_netsim::MUTATION_REGISTRY.len()
+        + gtd_netsim::spec::REGISTRY.len()
+        + gtd_netsim::spec::FAULT_REGISTRY.len();
     assert_eq!(hits.len(), expected, "{hits:?}");
     assert!(hits.iter().all(|v| v.file == "README.md"));
 }

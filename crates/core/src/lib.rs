@@ -45,12 +45,13 @@ pub mod session;
 
 pub use events::{RcaReport, TranscriptEvent};
 pub use master::{DecodeError, MapEdge, MasterComputer, NetworkMap, VerifyError};
-pub use node::{ProtocolNode, StartBehavior};
+pub use node::{ProtocolNode, StartBehavior, RESTART_DOWNTIME};
 pub use phases::{phase_breakdown, PhaseBreakdown};
 pub use runner::{
     build_gtd_engine, build_gtd_engine_sharded, run_single_bca, run_single_rca, BcaProbe, RcaProbe,
 };
 pub use session::{
-    default_tick_budget, EpochOutcome, EpochStatus, GtdError, GtdSession, MutationOutcome,
-    PreconditionViolation, RemapOutcome, RemapPolicy, RunOutcome, RunStats,
+    default_progress_window, default_tick_budget, AttemptOutcome, EpochOutcome, EpochStatus,
+    GtdError, GtdSession, MutationOutcome, PreconditionViolation, RemapOutcome, RemapPolicy,
+    ResilientOutcome, RunOutcome, RunStats,
 };

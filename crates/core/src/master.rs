@@ -420,6 +420,14 @@ impl MasterComputer {
         if !self.terminated {
             return Err(DecodeError::UnexpectedEvent("transcript incomplete"));
         }
+        Ok(self.into_partial_map())
+    }
+
+    /// Hand over whatever map the transcript built so far, terminated or
+    /// not — the graceful-degradation path for faulted sessions that ran
+    /// out of retries: every edge in it was reported by a completed RCA,
+    /// so the partial map is exact on what it covers, merely incomplete.
+    pub fn into_partial_map(self) -> NetworkMap {
         let mut edges: Vec<MapEdge> = self
             .edges
             .into_iter()
@@ -431,10 +439,10 @@ impl MasterComputer {
             })
             .collect();
         edges.sort_unstable();
-        Ok(NetworkMap {
+        NetworkMap {
             paths: self.paths,
             edges,
-        })
+        }
     }
 }
 

@@ -32,6 +32,13 @@ use gtd_snake::{
 
 type Ctx<'a> = StepCtx<'a, Signal, TranscriptEvent>;
 
+/// Downtime (in ticks) a power-cycled processor spends dark before it
+/// rejoins with amnesia — the `node-restart` fault's fixed repair time.
+/// Long enough that in-flight characters addressed to the old
+/// incarnation die against the dark window rather than racing the fresh
+/// power-on.
+pub const RESTART_DOWNTIME: u64 = 24;
+
 /// What a processor does when first powered on.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum StartBehavior {
@@ -182,6 +189,15 @@ pub struct ProtocolNode {
     /// Re-map round parity: a RESET is accepted only when its stamp
     /// differs, so straggler flood copies are idempotent within a round.
     reset_parity: bool,
+    /// `node-restart` fault: while `tick < offline_until` the processor
+    /// is dark — it consumes (and loses) every arriving character and
+    /// emits nothing. 0 on processors that never restarted.
+    offline_until: u64,
+    /// Characters lost to power cycles: relay drop counts folded in at
+    /// [`ProtocolNode::restart`] (amnesia would otherwise zero them) plus
+    /// everything consumed while dark. Keeps
+    /// [`ProtocolNode::stat_dropped`] monotonic across restarts.
+    dropped_carry: u64,
 
     // -- simulator-side counters (diagnostics/experiments only; a real
     // finite-state processor would not carry these) --
@@ -196,10 +212,11 @@ pub struct ProtocolNode {
 }
 
 impl ProtocolNode {
-    /// Snake characters this processor's bounded growing-snake queues
-    /// refused at capacity (lifetime total; 0 on clean runs).
+    /// Snake characters this processor lost: refused at capacity by the
+    /// bounded growing-snake queues, plus everything a `node-restart`
+    /// power cycle destroyed (lifetime total; 0 on clean runs).
     pub fn stat_dropped(&self) -> u64 {
-        self.ig.dropped() + self.og.dropped() + self.bg.dropped()
+        self.ig.dropped() + self.og.dropped() + self.bg.dropped() + self.dropped_carry
     }
 }
 
@@ -236,6 +253,8 @@ impl ProtocolNode {
             bca_probe: false,
             pending_restart: false,
             reset_parity: false,
+            offline_until: 0,
+            dropped_carry: 0,
             stat_kills_accepted: 0,
             stat_rcas_started: 0,
             stat_bcas_started: 0,
@@ -361,6 +380,49 @@ impl ProtocolNode {
     /// crosses every edge).
     pub fn dfs_visited(&self) -> bool {
         self.dfs.visited
+    }
+
+    /// Is this processor dark from a `node-restart` power cycle at `now`?
+    pub fn is_offline(&self, now: u64) -> bool {
+        now < self.offline_until
+    }
+
+    /// `node-restart` fault: power-cycle this processor at tick `now`.
+    /// The processor goes dark for [`RESTART_DOWNTIME`] ticks, then
+    /// rejoins with total amnesia — factory-fresh protocol state, reset
+    /// parity cleared (so the next RESET flood's stamp always reads as a
+    /// new round), power-on behaviour re-armed. Only the power-on facts
+    /// (`is_root`, δ, port awareness, start behaviour) and the
+    /// simulator-side diagnostic counters survive; relay drop counts are
+    /// folded into the carry first so `stat_dropped` never moves
+    /// backwards. The root hosts the master computer and cannot restart.
+    pub fn restart(&mut self, now: u64) {
+        assert!(!self.is_root, "the master computer's host never restarts");
+        self.dropped_carry += self.ig.dropped() + self.og.dropped() + self.bg.dropped();
+        self.ig = GrowRelay::new(SnakeKind::Ig);
+        self.og = GrowRelay::new(SnakeKind::Og);
+        self.bg = GrowRelay::new(SnakeKind::Bg);
+        self.dying_id = DyingPassage::new(SnakeKind::Id);
+        self.dying_od = DyingPassage::new(SnakeKind::Od);
+        self.dying_bd = DyingPassage::new(SnakeKind::Bd);
+        self.marks = LoopMarks::new();
+        self.pending_loop = None;
+        self.pending_bca = None;
+        self.rca = RcaState::Idle;
+        self.root_rca = RootRca::Open;
+        self.bca = BcaState::Idle;
+        self.bca_probe = false;
+        self.pending_restart = false;
+        self.reset_parity = false;
+        self.started = false;
+        self.dfs = DfsState {
+            visited: false,
+            parent: None,
+            cursor: 0,
+            awaiting: false,
+            done: false,
+        };
+        self.offline_until = now + RESTART_DOWNTIME;
     }
 
     // ------------------------------------------------------------------
@@ -512,8 +574,13 @@ impl ProtocolNode {
                     if let Some(c) = self.ig.accept(p, c) {
                         // First IG head of this RCA: adopt, transcribe, and
                         // begin converting to the OG snake (step 2). The OG
-                        // relay becomes the OG tree's origin.
-                        let hop = c.hop().expect("adoption starts on a head");
+                        // relay becomes the OG tree's origin. A headless
+                        // character here means the relay kept stale adoption
+                        // state across a lossy schedule (a dropped KILL) —
+                        // drop it rather than corrupt the transcript.
+                        let Some(hop) = c.hop() else {
+                            return;
+                        };
                         ctx.events.push(TranscriptEvent::IgHop(hop));
                         self.og.mark_initiator();
                         self.og.relay(c, now);
@@ -533,8 +600,13 @@ impl ProtocolNode {
                                 self.root_rca = RootRca::AwaitId;
                             }
                             other => {
-                                ctx.events
-                                    .push(TranscriptEvent::IgHop(other.hop().expect("body hop")));
+                                // Heads and bodies always carry a hop; guard
+                                // anyway so a fault-mangled stream is dropped
+                                // instead of panicking mid-conversion.
+                                let Some(hop) = other.hop() else {
+                                    return;
+                                };
+                                ctx.events.push(TranscriptEvent::IgHop(hop));
                                 self.og.relay(other, now);
                             }
                         }
@@ -1003,6 +1075,20 @@ impl Automaton for ProtocolNode {
 
     fn step(&mut self, ctx: &mut Ctx) {
         let now = ctx.tick;
+
+        // A power-cycled processor is dark: every arriving character is
+        // consumed and lost, nothing is emitted, and the engine is asked
+        // to wake us exactly when the downtime expires (so the amnesiac
+        // power-on lands on the same tick in every engine mode).
+        if now < self.offline_until {
+            let blank = Signal::default();
+            self.dropped_carry += ctx.inputs[..self.delta as usize]
+                .iter()
+                .filter(|s| **s != blank)
+                .count() as u64;
+            ctx.request_restep_at(self.offline_until);
+            return;
+        }
 
         // Power-on behaviour.
         if !self.started {

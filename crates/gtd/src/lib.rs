@@ -67,13 +67,14 @@ pub use gtd_bench::{
     RemapSummary, RunRecord, Workload,
 };
 pub use gtd_core::{
-    default_tick_budget, phase_breakdown, DecodeError, EpochOutcome, EpochStatus, GtdError,
-    GtdSession, MasterComputer, MutationOutcome, NetworkMap, PhaseBreakdown, PreconditionViolation,
-    ProtocolNode, RemapOutcome, RemapPolicy, RunOutcome, RunStats, StartBehavior, TranscriptEvent,
-    VerifyError,
+    default_tick_budget, phase_breakdown, AttemptOutcome, DecodeError, EpochOutcome, EpochStatus,
+    GtdError, GtdSession, MasterComputer, MutationOutcome, NetworkMap, PhaseBreakdown,
+    PreconditionViolation, ProtocolNode, RemapOutcome, RemapPolicy, ResilientOutcome, RunOutcome,
+    RunStats, StartBehavior, TranscriptEvent, VerifyError,
 };
 pub use gtd_netsim::{
     algo, generators, mutation, spec, AppliedMutation, DynamicSpec, Edge, Engine, EngineMode,
-    MembershipChange, MutationError, MutationKind, MutationSchedule, NodeId, ParseSpecError, Port,
-    ScheduledMutation, Topology, TopologyBuilder, TopologyMutation, TopologySpec,
+    FaultPlane, MembershipChange, MutationError, MutationKind, MutationSchedule, NodeId,
+    ParseSpecError, Port, ScheduledMutation, Topology, TopologyBuilder, TopologyMutation,
+    TopologySpec,
 };

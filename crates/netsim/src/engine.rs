@@ -270,6 +270,128 @@ struct Shard {
     armed_delta: i64,
 }
 
+/// Deterministic unreliable-wire model interposed on signal delivery —
+/// the fault axis that breaks the paper's synchronous-reliable wire
+/// assumption (§1.1) on purpose, sustained rather than one-shot (§1.2.2).
+///
+/// Every non-blank character written onto a wire is independently
+/// dropped with probability `loss`, and otherwise delayed by a number
+/// of extra ticks drawn uniformly from `delay_min..=delay_max` (a draw
+/// of 0 delivers on schedule). Decisions are **stateless**: each is a
+/// pure hash of `(seed, out-slot, emit tick)`, never a sequential RNG
+/// stream, so they are independent of step order, shard count, engine
+/// mode, and the saturation heuristic — which is what keeps faulted
+/// transcripts byte-identical across dense/sparse/parallel and every
+/// shard count. An inactive plane (`loss == 0`, no delay) installs no
+/// state at all, so unfaulted runs stay bit-identical **and**
+/// allocation-free.
+#[derive(Clone, Copy, PartialEq, Default, Debug)]
+pub struct FaultPlane {
+    /// Per-character drop probability in `[0, 1]`.
+    pub loss: f64,
+    /// Minimum extra delivery delay in ticks.
+    pub delay_min: u64,
+    /// Maximum extra delivery delay in ticks (0 disables the delay axis).
+    pub delay_max: u64,
+    /// Seed for the per-character fault hash.
+    pub seed: u64,
+}
+
+impl FaultPlane {
+    /// The reliable plane: nothing dropped, nothing delayed.
+    pub const NONE: FaultPlane = FaultPlane {
+        loss: 0.0,
+        delay_min: 0,
+        delay_max: 0,
+        seed: 0,
+    };
+
+    /// Does this plane ever touch a character?
+    pub fn is_active(&self) -> bool {
+        self.loss > 0.0 || self.delay_max > 0
+    }
+
+    /// The same fault axes under a retry-attempt-specific seed. A fresh
+    /// power-cycle resets the engine clock, so retrying under the
+    /// *identical* seed would replay the identical drop pattern and
+    /// wedge identically forever; mixing the attempt index breaks that
+    /// loop while staying fully deterministic.
+    pub fn with_attempt(&self, attempt: u32) -> FaultPlane {
+        if attempt == 0 {
+            return *self;
+        }
+        FaultPlane {
+            seed: fault_hash(self.seed, u64::from(attempt), 0, 2),
+            ..*self
+        }
+    }
+}
+
+/// Stateless per-character fault hash: a splitmix64-style finalizer over
+/// the mixed identity `(seed, a, b, salt)`. Order-independent by
+/// construction — no sequential stream state anywhere.
+fn fault_hash(seed: u64, a: u64, b: u64, salt: u64) -> u64 {
+    let mut z = seed
+        ^ a.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ b.wrapping_mul(0xd1b5_4a32_d192_ed03)
+        ^ salt.wrapping_mul(0x8cb9_2ba7_2f3d_8dd7);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One character's fate under the plane: `None` = dropped, `Some(0)` =
+/// deliver on schedule, `Some(d)` = deliver `d` ticks late.
+#[inline]
+fn fault_decide(plane: &FaultPlane, threshold: u64, out_slot: usize, emit: u64) -> Option<u64> {
+    if plane.loss > 0.0 && fault_hash(plane.seed, out_slot as u64, emit, 0) < threshold {
+        return None;
+    }
+    if plane.delay_max == 0 {
+        return Some(0);
+    }
+    let span = plane.delay_max - plane.delay_min + 1;
+    Some(plane.delay_min + fault_hash(plane.seed, out_slot as u64, emit, 1) % span)
+}
+
+/// A character taken off its wire by the fault plane, due for delivery at
+/// the top of tick `due` (= `emit + 1 + extra`; on-schedule characters
+/// are read at `emit + 1`).
+struct Delayed<S> {
+    due: u64,
+    in_slot: u32,
+    emit: u64,
+    sig: S,
+}
+
+/// Per-shard fault accumulation for one tick: written only by the owning
+/// shard's phase (no contention), folded into [`FaultState`] after the
+/// phase barriers. Accumulation order across shards is irrelevant —
+/// delivery sorts by `(in_slot, emit)`.
+struct FaultShard<S> {
+    dropped: u64,
+    delayed: Vec<Delayed<S>>,
+}
+
+/// Live fault-plane state: the configuration plus the delayed in-flight
+/// set and lifetime counters. Boxed behind an `Option` on the engine so
+/// the reliable path pays one null check per delivery site.
+struct FaultState<S> {
+    plane: FaultPlane,
+    /// `loss` scaled to the hash range (precomputed).
+    threshold: u64,
+    /// Characters in flight past their on-schedule delivery tick.
+    delayed: Vec<Delayed<S>>,
+    /// One accumulation cell per shard (empty for Dense).
+    scratch: Vec<FaultShard<S>>,
+    /// Reusable batch buffer for due deliveries.
+    due_scratch: Vec<Delayed<S>>,
+    /// Lifetime count of characters the plane destroyed.
+    dropped: u64,
+    /// Lifetime count of characters the plane delayed.
+    delayed_total: u64,
+}
+
 /// Pick the parallel shard count: an explicit builder knob wins, then the
 /// `GTD_PAR_SHARDS` environment variable, then auto-sizing (core count,
 /// but at least [`NODES_PER_SHARD`] nodes per shard). Returns the count
@@ -346,6 +468,9 @@ pub struct Engine<A: Automaton> {
     /// [`Engine::apply_topology_with`], reused across mutations so
     /// mutation-dense schedules don't reallocate per event.
     apply_scratch: ApplyScratch<A::Sig>,
+    /// The unreliable-wire model, when one is interposed
+    /// ([`Engine::set_fault_plane`]); `None` on the reliable path.
+    fault: Option<Box<FaultState<A::Sig>>>,
 }
 
 /// Reusable buffers for the atomic rewire path.
@@ -404,6 +529,11 @@ struct ParCtx<A: Automaton> {
     shards: *mut Shard,
     route_in: *const u32,
     route_out: *const u32,
+    /// Per-shard fault accumulation cells (null when no plane is active).
+    /// Each phase touches only `fault.add(s)` — its own shard's cell.
+    fault: *mut FaultShard<A::Sig>,
+    fplane: FaultPlane,
+    fthreshold: u64,
     num_shards: usize,
     chunk: usize,
     delta: usize,
@@ -516,6 +646,24 @@ unsafe fn shard_scatter<A: Automaton>(ctx: *const (), s: usize) {
                 continue;
             }
             let in_slot = r as usize;
+            if !c.fault.is_null() {
+                match fault_decide(&c.fplane, c.fthreshold, out_slot, c.tick) {
+                    None => {
+                        (*c.fault.add(s)).dropped += 1;
+                        continue;
+                    }
+                    Some(0) => {}
+                    Some(d) => {
+                        (*c.fault.add(s)).delayed.push(Delayed {
+                            due: c.tick + 1 + d,
+                            in_slot: r,
+                            emit: c.tick,
+                            sig,
+                        });
+                        continue;
+                    }
+                }
+            }
             *c.in_buf.add(in_slot) = sig;
             let dst = in_slot / delta;
             let d = (dst / c.chunk).min(c.num_shards - 1);
@@ -611,7 +759,26 @@ unsafe fn shard_gather<A: Automaton>(ctx: *const (), s: usize) {
                     *dst = A::Sig::default();
                 }
             } else {
-                *dst = *c.out_buf.add(r as usize);
+                let mut sig = *c.out_buf.add(r as usize);
+                if sig != blank && !c.fault.is_null() {
+                    match fault_decide(&c.fplane, c.fthreshold, r as usize, c.tick) {
+                        None => {
+                            (*c.fault.add(s)).dropped += 1;
+                            sig = blank;
+                        }
+                        Some(0) => {}
+                        Some(d) => {
+                            (*c.fault.add(s)).delayed.push(Delayed {
+                                due: c.tick + 1 + d,
+                                in_slot: in_slot as u32,
+                                emit: c.tick,
+                                sig,
+                            });
+                            sig = blank;
+                        }
+                    }
+                }
+                *dst = sig;
                 if *dst != blank {
                     has = true;
                 }
@@ -736,7 +903,50 @@ impl<A: Automaton> Engine<A> {
             pool,
             event_bufs: (0..n).map(|_| Vec::new()).collect(),
             apply_scratch: ApplyScratch::default(),
+            fault: None,
         }
+    }
+
+    /// Interpose `plane` on every wire delivery (see [`FaultPlane`]).
+    /// An inactive plane installs nothing — the reliable path stays
+    /// byte-identical and allocation-free. Replaces any previous plane
+    /// and discards its delayed in-flight characters.
+    pub fn set_fault_plane(&mut self, plane: FaultPlane) {
+        if !plane.is_active() {
+            self.fault = None;
+            return;
+        }
+        let threshold = (plane.loss.clamp(0.0, 1.0) * (u64::MAX as f64)) as u64;
+        let shards = self.shards.len();
+        self.fault = Some(Box::new(FaultState {
+            plane,
+            threshold,
+            delayed: Vec::new(),
+            scratch: (0..shards)
+                .map(|_| FaultShard {
+                    dropped: 0,
+                    delayed: Vec::new(),
+                })
+                .collect(),
+            due_scratch: Vec::new(),
+            dropped: 0,
+            delayed_total: 0,
+        }));
+    }
+
+    /// The interposed fault plane ([`FaultPlane::NONE`] when reliable).
+    pub fn fault_plane(&self) -> FaultPlane {
+        self.fault.as_ref().map_or(FaultPlane::NONE, |f| f.plane)
+    }
+
+    /// Lifetime count of characters the fault plane destroyed.
+    pub fn fault_dropped(&self) -> u64 {
+        self.fault.as_ref().map_or(0, |f| f.dropped)
+    }
+
+    /// Lifetime count of characters the fault plane delayed.
+    pub fn fault_delayed(&self) -> u64 {
+        self.fault.as_ref().map_or(0, |f| f.delayed_total)
     }
 
     /// Number of automata.
@@ -887,6 +1097,13 @@ impl<A: Automaton> Engine<A> {
             delta,
             "mutations preserve the port bound"
         );
+        // A rewire invalidates delayed characters wholesale: their wire
+        // identity (in-slot) may no longer mean the same physical wire,
+        // so the plane destroys them rather than misdeliver.
+        if let Some(f) = self.fault.as_deref_mut() {
+            f.dropped += f.delayed.len() as u64;
+            f.delayed.clear();
+        }
         let new_n = new_topo.num_nodes();
         let mut scratch = std::mem::take(&mut self.apply_scratch);
         // new-id → old-id of the same physical processor (None: newcomer).
@@ -1056,14 +1273,18 @@ impl<A: Automaton> Engine<A> {
     /// network stays quiet forever.
     #[inline]
     pub fn is_quiet(&self) -> bool {
-        self.pending_inputs == 0 && self.armed == 0
+        self.pending_inputs == 0
+            && self.armed == 0
+            && self.fault.as_ref().is_none_or(|f| f.delayed.is_empty())
     }
 
     /// Census of non-blank signals currently in flight (delivered for the
-    /// coming tick). Used by the Lemma 4.2 cleanliness experiments.
+    /// coming tick, plus any the fault plane is holding back). Used by
+    /// the Lemma 4.2 cleanliness experiments.
     pub fn signals_in_flight(&self) -> usize {
         let blank = A::Sig::default();
         self.in_buf.iter().filter(|s| **s != blank).count()
+            + self.fault.as_ref().map_or(0, |f| f.delayed.len())
     }
 
     /// Fast-forward a quiet network by `ticks` clock pulses. A quiet
@@ -1131,10 +1352,18 @@ impl<A: Automaton> Engine<A> {
         if self.pending_inputs > 0 || limit <= self.tick {
             return 0;
         }
-        let target = match self.next_wake() {
+        let mut target = match self.next_wake() {
             Some(w) => w.min(limit),
             None => limit,
         };
+        // A delayed character's due tick is a delivery deadline: jumping
+        // past it would miss the delivery, so it caps the skip exactly
+        // like an armed wake (and identically in every mode).
+        if let Some(f) = self.fault.as_ref() {
+            if let Some(min_due) = f.delayed.iter().map(|d| d.due).min() {
+                target = target.min(min_due);
+            }
+        }
         if target <= self.tick {
             return 0;
         }
@@ -1147,6 +1376,7 @@ impl<A: Automaton> Engine<A> {
     /// to `events` in ascending node order (deterministic across modes and
     /// shard counts).
     pub fn tick(&mut self, events: &mut Vec<(NodeId, A::Event)>) {
+        self.deliver_due_faults();
         match self.mode {
             EngineMode::Dense => self.tick_dense(events),
             EngineMode::Sparse => self.tick_event(events),
@@ -1199,9 +1429,87 @@ impl<A: Automaton> Engine<A> {
         (all, false)
     }
 
+    /// Deliver every delayed character that has come due — at the top of
+    /// the tick, into blank in-slots only: a character freshly delivered
+    /// on its wire wins over a late one, and among late characters for
+    /// the same in-slot the latest emission wins (the rest count as
+    /// dropped). Sorting the batch by `(in_slot, emit)` — unique, since
+    /// `route_out` is bijective — makes the outcome independent of the
+    /// order shards appended to the delayed set, preserving byte-identity
+    /// across modes and shard counts.
+    fn deliver_due_faults(&mut self) {
+        let Some(f) = self.fault.as_deref_mut() else {
+            return;
+        };
+        if f.delayed.is_empty() {
+            return;
+        }
+        let tick = self.tick;
+        let due = &mut f.due_scratch;
+        due.clear();
+        let mut i = 0;
+        while i < f.delayed.len() {
+            if f.delayed[i].due <= tick {
+                due.push(f.delayed.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        if due.is_empty() {
+            return;
+        }
+        due.sort_unstable_by_key(|d| (d.in_slot, d.emit));
+        let blank = A::Sig::default();
+        let delta = self.delta;
+        for i in 0..due.len() {
+            let d = &due[i];
+            let slot = d.in_slot as usize;
+            let last_for_slot = due.get(i + 1).is_none_or(|n| n.in_slot != d.in_slot);
+            if !last_for_slot || self.in_buf[slot] != blank {
+                f.dropped += 1;
+                continue;
+            }
+            self.in_buf[slot] = d.sig;
+            let n = slot / delta;
+            if !self.has_input[n] {
+                self.has_input[n] = true;
+                self.pending_inputs += 1;
+                // Between ticks, so the engine-wide counter is adjusted
+                // directly; a dirty frontier re-derives from `has_input`.
+                if !self.shards.is_empty() && !self.frontier_dirty {
+                    let s = (n / self.chunk).min(self.shards.len() - 1);
+                    self.shards[s].frontier.push(n as u32);
+                }
+            }
+        }
+        due.clear();
+    }
+
+    /// Fold the per-shard fault accumulation cells into the global plane
+    /// state after the tick's phase barriers.
+    fn settle_faults(&mut self) {
+        let Some(f) = self.fault.as_deref_mut() else {
+            return;
+        };
+        for i in 0..f.scratch.len() {
+            f.dropped += std::mem::take(&mut f.scratch[i].dropped);
+            f.delayed_total += f.scratch[i].delayed.len() as u64;
+            let mut v = std::mem::take(&mut f.scratch[i].delayed);
+            f.delayed.append(&mut v);
+            f.scratch[i].delayed = v;
+        }
+    }
+
     /// The type-erased table view the tick phases work through.
     fn par_ctx(&mut self) -> ParCtx<A> {
+        let (fault, fplane, fthreshold) = match self.fault.as_deref_mut() {
+            Some(f) => (f.scratch.as_mut_ptr(), f.plane, f.threshold),
+            None => (std::ptr::null_mut(), FaultPlane::NONE, 0),
+        };
         ParCtx {
+            fault,
+            fplane,
+            fthreshold,
             nodes: self.nodes.as_mut_ptr(),
             in_buf: self.in_buf.as_mut_ptr(),
             out_buf: self.out_buf.as_mut_ptr(),
@@ -1279,6 +1587,7 @@ impl<A: Automaton> Engine<A> {
         let phases: [PhaseFn; 3] = [shard_step::<A>, shard_scatter::<A>, shard_merge::<A>];
         self.run_phases(&phases, use_pool);
         self.settle_counters(false);
+        self.settle_faults();
         // Drain events shard by shard: ranges ascend and each step list
         // is sorted, so the order is ascending node id — identical to
         // Dense and to every other shard count.
@@ -1301,6 +1610,7 @@ impl<A: Automaton> Engine<A> {
         let phases: [PhaseFn; 2] = [shard_step_all::<A>, shard_gather::<A>];
         self.run_phases(&phases, use_pool);
         self.settle_counters(true);
+        self.settle_faults();
         self.frontier_dirty = true;
         for (n, buf) in self.event_bufs.iter_mut().enumerate() {
             if !buf.is_empty() {
@@ -1370,10 +1680,12 @@ impl<A: Automaton> Engine<A> {
         }
         // Phase 2: gather — route every wired out-slot to its in-slot by
         // plain copy (the `Copy` bound keeps this a word move, never a
-        // clone or an allocation).
+        // clone or an allocation). An active fault plane interposes the
+        // same stateless per-character decision the sharded paths make.
         let out_buf = &self.out_buf;
         let route_in = &self.route_in;
         let blank = A::Sig::default();
+        let mut fault = self.fault.take();
         for (nid, (chunk, has)) in self
             .in_buf
             .chunks_mut(delta)
@@ -1388,13 +1700,36 @@ impl<A: Automaton> Engine<A> {
                         *dst = A::Sig::default();
                     }
                 } else {
-                    *dst = out_buf[r as usize];
+                    let mut sig = out_buf[r as usize];
+                    if sig != blank {
+                        if let Some(f) = fault.as_deref_mut() {
+                            match fault_decide(&f.plane, f.threshold, r as usize, tick) {
+                                None => {
+                                    f.dropped += 1;
+                                    sig = blank;
+                                }
+                                Some(0) => {}
+                                Some(d) => {
+                                    f.delayed.push(Delayed {
+                                        due: tick + 1 + d,
+                                        in_slot: (nid * delta + i) as u32,
+                                        emit: tick,
+                                        sig,
+                                    });
+                                    f.delayed_total += 1;
+                                    sig = blank;
+                                }
+                            }
+                        }
+                    }
+                    *dst = sig;
                     if *dst != blank {
                         *has = true;
                     }
                 }
             }
         }
+        self.fault = fault;
         // Phase 3: refresh the frontier counters wholesale — dense pays
         // O(N) per tick anyway (the saturated parallel path fuses these
         // recounts into its scan, which is how it wins).
@@ -1868,6 +2203,160 @@ mod tests {
                 .collect();
         assert_eq!(runs[0], runs[1], "dense vs sparse across rewire");
         assert_eq!(runs[0], runs[2], "dense vs parallel across rewire");
+    }
+
+    #[test]
+    fn inactive_fault_plane_installs_no_state() {
+        let mut eng = hopper_engine(EngineMode::Sparse, 0);
+        eng.set_fault_plane(FaultPlane::NONE);
+        assert!(eng.fault.is_none());
+        eng.set_fault_plane(FaultPlane {
+            loss: 0.0,
+            delay_min: 0,
+            delay_max: 0,
+            seed: 99,
+        });
+        assert!(eng.fault.is_none());
+        let events = run_to_quiet(&mut eng);
+        let base = run_to_quiet(&mut hopper_engine(EngineMode::Sparse, 0));
+        assert_eq!(events, base, "a zero plane is bit-identical to none");
+        assert_eq!(eng.fault_dropped(), 0);
+        assert_eq!(eng.fault_delayed(), 0);
+    }
+
+    #[test]
+    fn total_loss_kills_every_character() {
+        let mut eng = hopper_engine(EngineMode::Dense, 0);
+        eng.set_fault_plane(FaultPlane {
+            loss: 1.0,
+            delay_min: 0,
+            delay_max: 0,
+            seed: 7,
+        });
+        let events = run_to_quiet(&mut eng);
+        assert!(events.is_empty(), "nothing survives a loss=1 plane");
+        assert!(eng.fault_dropped() >= 1);
+    }
+
+    #[test]
+    fn pure_delay_preserves_values_and_defers_them() {
+        let run = |plane: Option<FaultPlane>| {
+            let mut eng = hopper_engine(EngineMode::Sparse, 0);
+            if let Some(p) = plane {
+                eng.set_fault_plane(p);
+            }
+            let events = run_to_quiet(&mut eng);
+            (events, eng.tick_count(), eng.fault_delayed())
+        };
+        let (base, base_ticks, _) = run(None);
+        let (delayed, delayed_ticks, delayed_count) = run(Some(FaultPlane {
+            loss: 0.0,
+            delay_min: 2,
+            delay_max: 2,
+            seed: 3,
+        }));
+        let vals = |evs: &[(NodeId, u32)]| evs.iter().map(|&(n, v)| (n.0, v)).collect::<Vec<_>>();
+        assert_eq!(vals(&base), vals(&delayed), "delay reorders nothing here");
+        assert!(delayed_count >= 1, "every hop was delayed");
+        assert!(
+            delayed_ticks >= base_ticks + 2,
+            "the chain finishes later under delay ({delayed_ticks} vs {base_ticks})"
+        );
+    }
+
+    #[test]
+    fn faulted_transcripts_agree_across_modes_and_shard_counts() {
+        let plane = FaultPlane {
+            loss: 0.25,
+            delay_min: 1,
+            delay_max: 3,
+            seed: 42,
+        };
+        let run = |mode, shards| {
+            let mut eng = flooder_engine(mode, shards);
+            eng.set_fault_plane(plane);
+            let mut events = Vec::new();
+            for _ in 0..200 {
+                eng.tick(&mut events);
+                if eng.is_quiet() {
+                    break;
+                }
+            }
+            assert!(eng.is_quiet(), "{mode:?}/{shards:?} must quiesce");
+            (
+                events,
+                eng.tick_count(),
+                eng.fault_dropped(),
+                eng.fault_delayed(),
+            )
+        };
+        let base = run(EngineMode::Dense, None);
+        assert!(base.2 > 0, "the plane dropped something");
+        assert!(base.3 > 0, "the plane delayed something");
+        assert_eq!(base, run(EngineMode::Sparse, None), "dense vs sparse");
+        for shards in [1usize, 2, 7, 16] {
+            assert_eq!(
+                base,
+                run(EngineMode::Parallel, Some(shards)),
+                "dense vs parallel/{shards} under faults"
+            );
+        }
+    }
+
+    #[test]
+    fn skip_lull_stops_at_a_delayed_delivery() {
+        // dwell 0 hoppers + a long pure delay: after the root's emission
+        // is taken off the wire, nothing is armed — only the delayed
+        // character's due tick keeps the network alive.
+        let mut eng = hopper_engine(EngineMode::Sparse, 0);
+        eng.set_fault_plane(FaultPlane {
+            loss: 0.0,
+            delay_min: 20,
+            delay_max: 20,
+            seed: 1,
+        });
+        let mut events = Vec::new();
+        eng.tick(&mut events); // root emits 1; the plane holds it back
+        assert!(!eng.is_quiet(), "a delayed character counts as in flight");
+        assert_eq!(eng.signals_in_flight(), 1);
+        let skipped = eng.skip_lull(u64::MAX);
+        assert!(skipped > 0 && skipped <= 21, "skip capped by the due tick");
+        let tail = run_to_quiet(&mut eng);
+        assert_eq!(tail.len(), 5, "the full hop chain still completes");
+    }
+
+    #[test]
+    fn with_attempt_varies_the_seed_deterministically() {
+        let p = FaultPlane {
+            loss: 0.5,
+            delay_min: 0,
+            delay_max: 0,
+            seed: 11,
+        };
+        assert_eq!(p.with_attempt(0), p);
+        assert_ne!(p.with_attempt(1).seed, p.seed);
+        assert_eq!(p.with_attempt(3), p.with_attempt(3));
+        assert_ne!(p.with_attempt(1).seed, p.with_attempt(2).seed);
+        assert_eq!(p.with_attempt(1).loss, p.loss);
+    }
+
+    #[test]
+    fn rewire_destroys_delayed_characters() {
+        let mut eng = hopper_engine(EngineMode::Sparse, 0);
+        eng.set_fault_plane(FaultPlane {
+            loss: 0.0,
+            delay_min: 50,
+            delay_max: 50,
+            seed: 5,
+        });
+        let mut events = Vec::new();
+        eng.tick(&mut events);
+        assert_eq!(eng.signals_in_flight(), 1, "held by the plane");
+        eng.apply_topology(&ring4_rerouted());
+        assert_eq!(eng.signals_in_flight(), 0, "flushed by the rewire");
+        assert_eq!(eng.fault_dropped(), 1, "flushed characters count dropped");
+        let tail = run_to_quiet(&mut eng);
+        assert!(tail.is_empty());
     }
 
     #[test]

@@ -65,11 +65,14 @@ pub mod rng;
 pub mod spec;
 pub mod topology;
 
-pub use engine::{Automaton, Engine, EngineMode, NodeMeta, StepCtx};
+pub use engine::{Automaton, Engine, EngineMode, FaultPlane, NodeMeta, StepCtx};
 pub use ids::{Endpoint, NodeId, Port, PortMask};
 pub use mutation::{
-    AppliedMutation, MembershipChange, MutationError, MutationKind, MutationSchedule, MutationSpec,
-    MutationSuffixError, ScheduledMutation, TopologyMutation, MUTATION_REGISTRY,
+    burst_r_parts, burst_r_selector, restart_victim, AppliedMutation, MembershipChange,
+    MutationError, MutationKind, MutationSchedule, MutationSpec, MutationSuffixError,
+    ScheduledMutation, TopologyMutation, MUTATION_REGISTRY,
 };
-pub use spec::{DynamicSpec, FamilySpec, ParamSpec, ParseSpecError, TopologySpec};
+pub use spec::{
+    DynamicSpec, FamilySpec, FaultKnobSpec, ParamSpec, ParseSpecError, TopologySpec, FAULT_REGISTRY,
+};
 pub use topology::{Edge, Topology, TopologyBuilder, TopologyError, MAX_DELTA};

@@ -83,11 +83,22 @@ pub enum MutationKind {
     /// can be dropped — one scheduled event, the paper's §1.2.2 region
     /// fault in miniature.
     Burst,
+    /// `node-restart` — power-cycle one processor: it leaves the protocol
+    /// at the scheduled tick and rejoins with amnesia after a fixed
+    /// downtime, its wires untouched (the paper's §1.2.2 transient fault,
+    /// exercising RESET parity). Structurally the identity — live
+    /// drivers reset the victim's automaton via [`restart_victim`].
+    NodeRestart,
+    /// `burst-r` — radius-r region failure: drop the out-wires of every
+    /// processor within `r` out-hops of the victim where validity and
+    /// strong connectivity allow. The selector packs `victim:radius`
+    /// (see [`burst_r_selector`] / [`burst_r_parts`]).
+    BurstRadius,
 }
 
 impl MutationKind {
     /// Every kind, in canonical (registry) order.
-    pub const ALL: [MutationKind; 7] = [
+    pub const ALL: [MutationKind; 9] = [
         MutationKind::DropEdge,
         MutationKind::AddEdge,
         MutationKind::RewirePort,
@@ -95,6 +106,8 @@ impl MutationKind {
         MutationKind::NodeJoin,
         MutationKind::NodeLeave,
         MutationKind::Burst,
+        MutationKind::NodeRestart,
+        MutationKind::BurstRadius,
     ];
 
     /// Stable suffix-grammar name.
@@ -107,6 +120,8 @@ impl MutationKind {
             MutationKind::NodeJoin => "node-join",
             MutationKind::NodeLeave => "node-leave",
             MutationKind::Burst => "burst",
+            MutationKind::NodeRestart => "node-restart",
+            MutationKind::BurstRadius => "burst-r",
         }
     }
 
@@ -177,7 +192,46 @@ pub const MUTATION_REGISTRY: &[MutationSpec] = &[
         example: "burst=5@t800",
         summary: "correlated failure of one processor's out-wires (drop or head-exchange)",
     },
+    MutationSpec {
+        name: "node-restart",
+        example: "node-restart=3@t400",
+        summary: "power-cycle a processor: amnesia rejoin after a fixed downtime, wires unchanged",
+    },
+    MutationSpec {
+        name: "burst-r",
+        example: "burst-r=5:2@t800",
+        summary: "radius-r region failure: drop out-wires of every processor within r hops",
+    },
 ];
+
+/// Pack a `burst-r` `victim:radius` pair into a selector (victim in the
+/// low 32 bits, radius in the high 32).
+pub fn burst_r_selector(victim: u64, radius: u64) -> u64 {
+    (radius.min(u64::from(u32::MAX)) << 32) | (victim & u64::from(u32::MAX))
+}
+
+/// Unpack a `burst-r` selector into `(victim scan start, raw radius)`.
+/// The exact inverse of [`burst_r_selector`] — a radius of zero is kept
+/// as written so `Display`/`FromStr` round-trip bit-for-bit; application
+/// clamps the radius to ≥ 1, so a bare selector (radius bits zero) still
+/// behaves as a radius-1 burst around the victim.
+pub fn burst_r_parts(selector: u64) -> (u64, u64) {
+    (selector & u64::from(u32::MAX), selector >> 32)
+}
+
+/// The processor a `node-restart` mutation power-cycles: a deterministic
+/// cyclic scan from the selector, skipping the root (the collector's host
+/// never goes dark; the model's n ≥ 2 guarantees a candidate).
+pub fn restart_victim(topo: &Topology, selector: u64, root: NodeId) -> NodeId {
+    let n = topo.num_nodes();
+    for k in 0..n {
+        let x = NodeId((((selector % n as u64) as usize + k) % n) as u32);
+        if x != root {
+            return x;
+        }
+    }
+    root // unreachable: the model requires at least two processors
+}
 
 /// One structural edit, selected deterministically.
 ///
@@ -196,7 +250,13 @@ pub struct TopologyMutation {
 
 impl fmt::Display for TopologyMutation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}={}", self.kind, self.selector)
+        match self.kind {
+            MutationKind::BurstRadius => {
+                let (victim, radius) = burst_r_parts(self.selector);
+                write!(f, "{}={victim}:{radius}", self.kind)
+            }
+            _ => write!(f, "{}={}", self.kind, self.selector),
+        }
     }
 }
 
@@ -340,14 +400,32 @@ impl ScheduledMutation {
         })?;
         let selector_text =
             selector_text.ok_or((Some(tick), MutationSuffixError::MissingSelector))?;
-        let selector: u64 = selector_text.parse().map_err(|_| {
+        let bad_selector = |value: &str| {
             (
                 Some(tick),
                 MutationSuffixError::BadSelector {
-                    value: selector_text.to_string(),
+                    value: value.to_string(),
                 },
             )
-        })?;
+        };
+        // `burst-r` selectors are `victim:radius` pairs (bare `victim`
+        // reads as radius 1); every other kind takes a plain integer.
+        let selector: u64 = if kind == MutationKind::BurstRadius {
+            let (v_text, r_text) = match selector_text.split_once(':') {
+                Some((v, r)) => (v.trim(), Some(r.trim())),
+                None => (selector_text, None),
+            };
+            let victim: u64 = v_text.parse().map_err(|_| bad_selector(selector_text))?;
+            let radius: u64 = match r_text {
+                Some(t) => t.parse().map_err(|_| bad_selector(selector_text))?,
+                None => 1,
+            };
+            burst_r_selector(victim, radius)
+        } else {
+            selector_text
+                .parse()
+                .map_err(|_| bad_selector(selector_text))?
+        };
         Ok(ScheduledMutation {
             tick,
             mutation: TopologyMutation { kind, selector },
@@ -591,6 +669,54 @@ fn try_leave(topo: &Topology, x: NodeId) -> Option<Topology> {
     algo::is_strongly_connected(&t).then_some(t)
 }
 
+/// Radius-`r` region failure around `x`: BFS the out-edge ball of radius
+/// `r` from the victim, then greedily drop each ball processor's
+/// out-wires where validity and strong connectivity allow (always
+/// keeping a processor's last out-wire). Ball processors are dropped in
+/// ascending id order, so the edit is deterministic. `None` when the
+/// region cannot lose a single wire.
+fn try_burst_r(topo: &Topology, x: NodeId, radius: u64) -> Option<Topology> {
+    let n = topo.num_nodes();
+    let delta = topo.delta();
+    let mut dist = vec![u64::MAX; n];
+    dist[x.idx()] = 0;
+    let mut ball = vec![x];
+    let mut queue = std::collections::VecDeque::from([x]);
+    while let Some(u) = queue.pop_front() {
+        if dist[u.idx()] == radius {
+            continue;
+        }
+        for (_, ep) in topo.out_edges(u) {
+            if dist[ep.node.idx()] == u64::MAX {
+                dist[ep.node.idx()] = dist[u.idx()] + 1;
+                ball.push(ep.node);
+                queue.push_back(ep.node);
+            }
+        }
+    }
+    ball.sort_unstable();
+    let mut cur = topo.clone();
+    let mut dropped = 0usize;
+    for &b in &ball {
+        let ports: Vec<Port> = cur.out_edges(b).map(|(o, _)| o).collect();
+        for o in ports {
+            if cur.out_degree(b) <= 1 {
+                break;
+            }
+            let rest: Vec<Edge> = cur
+                .sorted_edges()
+                .into_iter()
+                .filter(|e| !(e.src == b && e.src_port == o))
+                .collect();
+            if let Some(t) = rebuild(n, delta, &rest) {
+                cur = t;
+                dropped += 1;
+            }
+        }
+    }
+    (dropped > 0).then_some(cur)
+}
+
 /// Correlated failure of `x`'s out-wires: greedily drop each out-wire
 /// whose removal keeps the network valid and strongly connected (always
 /// keeping x's last one); when nothing is droppable, exchange the heads
@@ -829,6 +955,24 @@ impl Topology {
                 for k in 0..n {
                     let x = NodeId((((m.selector % n as u64) as usize + k) % n) as u32);
                     if let Some(t) = try_burst(self, x) {
+                        return Ok((t, MembershipChange::None));
+                    }
+                }
+                Err(no_candidate)
+            }
+            MutationKind::NodeRestart => {
+                // Structurally the identity: the victim's processor state
+                // resets (amnesia) but the physical network is untouched.
+                // Timeline folds treat it as a no-op; live drivers
+                // power-cycle the victim chosen by [`restart_victim`].
+                Ok((self.clone(), MembershipChange::None))
+            }
+            MutationKind::BurstRadius => {
+                let (start, radius) = burst_r_parts(m.selector);
+                let radius = radius.max(1);
+                for k in 0..n {
+                    let x = NodeId((((start % n as u64) as usize + k) % n) as u32);
+                    if let Some(t) = try_burst_r(self, x, radius) {
                         return Ok((t, MembershipChange::None));
                     }
                 }
@@ -1140,6 +1284,108 @@ mod tests {
         let applied = topo.apply_or_fallback_rooted(&mutation(MutationKind::Burst, 0), NodeId(0));
         assert_eq!(applied.kind, MutationKind::SwapLabels);
         assert_eq!(applied.membership, MembershipChange::None);
+    }
+
+    #[test]
+    fn registry_and_kind_list_stay_in_sync() {
+        assert_eq!(MUTATION_REGISTRY.len(), MutationKind::ALL.len());
+        for (spec, kind) in MUTATION_REGISTRY.iter().zip(MutationKind::ALL) {
+            assert_eq!(spec.name, kind.name());
+            let sm: ScheduledMutation = spec.example.parse().unwrap();
+            assert_eq!(sm.mutation.kind, kind, "{}", spec.example);
+        }
+    }
+
+    #[test]
+    fn node_restart_is_structurally_the_identity() {
+        let topo = generators::random_sc(12, 3, 4);
+        let (t, change) = topo
+            .apply_rooted(&mutation(MutationKind::NodeRestart, 5), NodeId(0))
+            .unwrap();
+        assert_eq!(t, topo);
+        assert_eq!(change, MembershipChange::None);
+    }
+
+    #[test]
+    fn restart_victim_scans_cyclically_and_skips_the_root() {
+        let topo = generators::ring(4);
+        assert_eq!(restart_victim(&topo, 2, NodeId(0)), NodeId(2));
+        assert_eq!(restart_victim(&topo, 0, NodeId(0)), NodeId(1));
+        // the scan wraps past the root
+        assert_eq!(restart_victim(&topo, 1, NodeId(1)), NodeId(2));
+        assert_eq!(restart_victim(&topo, 5, NodeId(1)), NodeId(2));
+        // deterministic
+        assert_eq!(
+            restart_victim(&topo, 7, NodeId(0)),
+            restart_victim(&topo, 7, NodeId(0))
+        );
+    }
+
+    #[test]
+    fn burst_r_selector_packs_and_unpacks() {
+        let sel = burst_r_selector(5, 2);
+        assert_eq!(burst_r_parts(sel), (5, 2));
+        // parts is the exact inverse of the pack: raw radii survive, so
+        // Display/FromStr round-trip on arbitrary selectors (radius 0 is
+        // clamped to 1 only when the burst is applied)
+        assert_eq!(burst_r_parts(3), (3, 0));
+        assert_eq!(burst_r_parts(burst_r_selector(3, 0)), (3, 0));
+    }
+
+    #[test]
+    fn burst_r_suffixes_round_trip_canonically() {
+        let sm: ScheduledMutation = "burst-r=5:2@t800".parse().unwrap();
+        assert_eq!(sm.to_string(), "burst-r=5:2@t800");
+        assert_eq!(burst_r_parts(sm.mutation.selector), (5, 2));
+        // a bare victim canonicalizes to radius 1
+        let bare: ScheduledMutation = "burst-r=3@t400".parse().unwrap();
+        assert_eq!(bare.to_string(), "burst-r=3:1@t400");
+        // malformed pairs are structured errors
+        assert!(matches!(
+            ScheduledMutation::parse_suffix("burst-r=a:2@t1"),
+            Err((Some(1), MutationSuffixError::BadSelector { .. }))
+        ));
+        assert!(matches!(
+            ScheduledMutation::parse_suffix("burst-r=1:x@t1"),
+            Err((Some(1), MutationSuffixError::BadSelector { .. }))
+        ));
+    }
+
+    #[test]
+    fn burst_r_drops_wires_across_the_whole_ball() {
+        let topo = generators::complete_bidi(6);
+        let r1 = topo
+            .apply(&mutation(MutationKind::BurstRadius, burst_r_selector(2, 1)))
+            .unwrap();
+        let r2 = topo
+            .apply(&mutation(MutationKind::BurstRadius, burst_r_selector(2, 2)))
+            .unwrap();
+        assert!(r1.num_edges() < topo.num_edges());
+        // a wider ball can only lose at least as many wires
+        assert!(r2.num_edges() <= r1.num_edges(), "radius widens the damage");
+        for t in [&r1, &r2] {
+            t.validate().unwrap();
+            assert!(algo::is_strongly_connected(t));
+            for id in t.node_ids() {
+                assert!(t.out_degree(id) >= 1 && t.in_degree(id) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn burst_r_on_a_ring_falls_back_to_a_swap() {
+        let topo = generators::ring(6);
+        assert_eq!(
+            topo.apply(&mutation(MutationKind::BurstRadius, burst_r_selector(1, 3))),
+            Err(MutationError::NoCandidate {
+                kind: MutationKind::BurstRadius
+            })
+        );
+        let applied = topo.apply_or_fallback_rooted(
+            &mutation(MutationKind::BurstRadius, burst_r_selector(1, 3)),
+            NodeId(0),
+        );
+        assert_eq!(applied.kind, MutationKind::SwapLabels);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! assert_eq!(named.to_string(), "random-sc:n=64,delta=3,seed=7");
 //! ```
 
+use crate::engine::FaultPlane;
 use crate::generators;
 use crate::mutation::{MutationSchedule, MutationSuffixError, ScheduledMutation};
 use crate::topology::Topology;
@@ -228,6 +229,41 @@ pub const REGISTRY: &[FamilySpec] = &[
     },
 ];
 
+/// Registry entry describing one fault-plane suffix knob (`~key=value`).
+#[derive(Clone, Copy, Debug)]
+pub struct FaultKnobSpec {
+    /// Knob name (the `key` in `~key=value`).
+    pub name: &'static str,
+    /// A canonical, parseable example spec string using the knob.
+    pub example: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+}
+
+/// Every fault-plane suffix knob, in display order. Like [`REGISTRY`]
+/// this is the single source of truth tools enumerate (`harness list`,
+/// docs). The knobs configure the engine's [`FaultPlane`]: decisions are
+/// stateless per-character hashes, so a faulted spec's transcript is
+/// byte-identical across engine modes and shard counts, and `~loss=0`
+/// (or any all-zero combination) parses to exactly the unfaulted spec.
+pub const FAULT_REGISTRY: &[FaultKnobSpec] = &[
+    FaultKnobSpec {
+        name: "loss",
+        example: "ring:64~loss=0.01",
+        summary: "per-character drop probability in [0, 1]",
+    },
+    FaultKnobSpec {
+        name: "delay",
+        example: "ring:64~delay=1..3",
+        summary: "extra per-character delivery delay in ticks (d or a..b)",
+    },
+    FaultKnobSpec {
+        name: "fault-seed",
+        example: "ring:64~loss=0.02~fault-seed=42",
+        summary: "seed for the stateless per-character fault hash",
+    },
+];
+
 /// Look up a family by name.
 pub fn family(name: &str) -> Option<&'static FamilySpec> {
     REGISTRY.iter().find(|f| f.name == name)
@@ -304,6 +340,14 @@ pub enum ParseSpecError {
         /// Human-readable constraint, e.g. `"n must be >= 2"`.
         constraint: String,
     },
+    /// A fault suffix (`~key=value`) of a [`DynamicSpec`] is malformed
+    /// or out of range.
+    BadFaultSuffix {
+        /// The offending segment text (without the leading `~`).
+        segment: String,
+        /// What is wrong with it.
+        reason: String,
+    },
     /// A mutation suffix (`+kind=selector@tTICK`) of a
     /// [`DynamicSpec`] is malformed.
     BadMutationSuffix {
@@ -360,6 +404,9 @@ impl fmt::Display for ParseSpecError {
             ),
             ParseSpecError::OutOfRange { family, constraint } => {
                 write!(f, "{family}: {constraint}")
+            }
+            ParseSpecError::BadFaultSuffix { segment, reason } => {
+                write!(f, "fault suffix ~{segment}: {reason}")
             }
             ParseSpecError::BadMutationSuffix {
                 suffix,
@@ -665,32 +712,39 @@ impl FromStr for TopologySpec {
     }
 }
 
-/// A topology spec plus a mutation timeline: the full grammar
-/// `family:args+kind=selector@tTICK+…` (paper §1: "the topology … might
-/// change").
+/// A topology spec plus a fault plane and a mutation timeline: the full
+/// grammar `family:args~key=value~…+kind=selector@tTICK+…` (paper §1:
+/// "the topology … might change"; §1.2.2: faulty communication).
 ///
 /// An empty schedule is a static scenario, so every plain
 /// [`TopologySpec`] string parses as a `DynamicSpec` too. The canonical
-/// rendering orders suffixes by tick and round-trips through
-/// `Display`/`FromStr`.
+/// rendering puts fault segments (`~loss=…`, `~delay=…`, `~fault-seed=…`
+/// — see [`FAULT_REGISTRY`]) between the base and the tick-ordered
+/// mutation suffixes, omits inactive fault axes, and round-trips
+/// through `Display`/`FromStr`; an all-zero fault plane parses to
+/// exactly the unfaulted spec, so `ring:8~loss=0` *is* `ring:8`.
 ///
 /// ```
 /// use gtd_netsim::{DynamicSpec, MutationKind};
 ///
-/// let spec: DynamicSpec = "ring:64+drop-edge=3@t500".parse().unwrap();
+/// let spec: DynamicSpec = "ring:64~loss=0.01+drop-edge=3@t500".parse().unwrap();
 /// assert_eq!(spec.base.to_string(), "ring:64");
+/// assert_eq!(spec.fault.loss, 0.01);
 /// assert_eq!(spec.schedule.len(), 1);
 /// assert_eq!(spec.schedule.items()[0].tick, 500);
 /// assert_eq!(spec.schedule.items()[0].mutation.kind, MutationKind::DropEdge);
-/// assert_eq!(spec.to_string(), "ring:64+drop-edge=3@t500");
+/// assert_eq!(spec.to_string(), "ring:64~loss=0.01+drop-edge=3@t500");
 ///
 /// let fixed: DynamicSpec = "ring:16".parse().unwrap();
 /// assert!(fixed.is_static());
+/// assert_eq!(fixed.effective_faults(), None);
 /// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct DynamicSpec {
     /// The initial topology.
     pub base: TopologySpec,
+    /// Wire-level fault plane ([`FaultPlane::NONE`] when reliable).
+    pub fault: FaultPlane,
     /// Tick-stamped mutations applied over the run.
     pub schedule: MutationSchedule,
 }
@@ -700,6 +754,7 @@ impl DynamicSpec {
     pub fn fixed(base: TopologySpec) -> Self {
         DynamicSpec {
             base,
+            fault: FaultPlane::NONE,
             schedule: MutationSchedule::new(),
         }
     }
@@ -709,10 +764,31 @@ impl DynamicSpec {
         self.schedule.is_empty()
     }
 
-    /// Check the base family's parameter constraints (mutation validity
-    /// is decided against the live topology at apply time).
+    /// The fault plane to install on the engine, or `None` when the
+    /// spec is reliable — callers skip `set_fault_plane` entirely so the
+    /// unfaulted path stays bit-identical and allocation-free.
+    pub fn effective_faults(&self) -> Option<FaultPlane> {
+        self.fault.is_active().then_some(self.fault)
+    }
+
+    /// Check the base family's parameter constraints and the fault
+    /// plane's ranges (mutation validity is decided against the live
+    /// topology at apply time).
     pub fn validate(&self) -> Result<(), ParseSpecError> {
-        self.base.validate()
+        self.base.validate()?;
+        if !self.fault.loss.is_finite() || !(0.0..=1.0).contains(&self.fault.loss) {
+            return Err(ParseSpecError::BadFaultSuffix {
+                segment: format!("loss={}", self.fault.loss),
+                reason: "loss must be in [0, 1]".to_string(),
+            });
+        }
+        if self.fault.delay_min > self.fault.delay_max {
+            return Err(ParseSpecError::BadFaultSuffix {
+                segment: format!("delay={}..{}", self.fault.delay_min, self.fault.delay_max),
+                reason: "delay range must satisfy min <= max".to_string(),
+            });
+        }
+        Ok(())
     }
 
     /// Build the initial topology (tick 0, before any mutation).
@@ -744,6 +820,29 @@ impl From<TopologySpec> for DynamicSpec {
 impl fmt::Display for DynamicSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.base)?;
+        // Canonical fault rendering: inactive axes are omitted, a
+        // degenerate delay range prints as a single value, and the seed
+        // only appears on an active plane — so an all-zero plane renders
+        // (and therefore compares) exactly like the unfaulted spec.
+        if self.fault.is_active() {
+            if self.fault.loss > 0.0 {
+                write!(f, "~loss={}", self.fault.loss)?;
+            }
+            if self.fault.delay_max > 0 {
+                if self.fault.delay_min == self.fault.delay_max {
+                    write!(f, "~delay={}", self.fault.delay_max)?;
+                } else {
+                    write!(
+                        f,
+                        "~delay={}..{}",
+                        self.fault.delay_min, self.fault.delay_max
+                    )?;
+                }
+            }
+            if self.fault.seed != 0 {
+                write!(f, "~fault-seed={}", self.fault.seed)?;
+            }
+        }
         for sm in self.schedule.iter() {
             write!(f, "+{sm}")?;
         }
@@ -751,12 +850,92 @@ impl fmt::Display for DynamicSpec {
     }
 }
 
+/// Parse the `~key=value` fault segments following the base spec.
+fn parse_fault_segments<'a>(
+    segments: impl Iterator<Item = &'a str>,
+) -> Result<FaultPlane, ParseSpecError> {
+    let bad = |segment: &str, reason: String| ParseSpecError::BadFaultSuffix {
+        segment: segment.to_string(),
+        reason,
+    };
+    let mut fault = FaultPlane::NONE;
+    let mut seen = [false; 3]; // loss, delay, fault-seed
+    for segment in segments {
+        let segment = segment.trim();
+        let Some((key, value)) = segment.split_once('=') else {
+            return Err(bad(segment, "expected key=value".to_string()));
+        };
+        let (key, value) = (key.trim(), value.trim());
+        let idx = match key {
+            "loss" => 0,
+            "delay" => 1,
+            "fault-seed" => 2,
+            _ => {
+                let known: Vec<&str> = FAULT_REGISTRY.iter().map(|k| k.name).collect();
+                return Err(bad(
+                    segment,
+                    format!("unknown fault knob {key:?} (known: {})", known.join(", ")),
+                ));
+            }
+        };
+        if std::mem::replace(&mut seen[idx], true) {
+            return Err(bad(segment, format!("fault knob {key:?} given twice")));
+        }
+        match idx {
+            0 => {
+                let loss: f64 = value
+                    .parse()
+                    .map_err(|_| bad(segment, format!("{value:?} is not a number")))?;
+                if !loss.is_finite() || !(0.0..=1.0).contains(&loss) {
+                    return Err(bad(segment, "loss must be in [0, 1]".to_string()));
+                }
+                fault.loss = loss;
+            }
+            1 => {
+                let (lo, hi) = match value.split_once("..") {
+                    Some((lo, hi)) => (lo.trim(), hi.trim()),
+                    None => (value, value),
+                };
+                let parse_tick = |t: &str| {
+                    t.parse::<u64>()
+                        .map_err(|_| bad(segment, format!("{t:?} is not a tick count")))
+                };
+                let (min, max) = (parse_tick(lo)?, parse_tick(hi)?);
+                if min > max {
+                    return Err(bad(
+                        segment,
+                        "delay range must satisfy min <= max".to_string(),
+                    ));
+                }
+                fault.delay_min = min;
+                fault.delay_max = max;
+            }
+            _ => {
+                fault.seed = value
+                    .parse()
+                    .map_err(|_| bad(segment, format!("{value:?} is not a seed")))?;
+            }
+        }
+    }
+    // Normalize: a plane with no active axis is *the* reliable plane —
+    // `~loss=0` and a lone `~fault-seed=…` parse to the unfaulted spec.
+    if !fault.is_active() {
+        fault = FaultPlane::NONE;
+    }
+    Ok(fault)
+}
+
 impl FromStr for DynamicSpec {
     type Err = ParseSpecError;
 
     fn from_str(s: &str) -> Result<Self, ParseSpecError> {
         let mut parts = s.split('+');
-        let base: TopologySpec = parts.next().unwrap_or("").parse()?;
+        let head = parts.next().unwrap_or("");
+        // Fault segments sit between the base spec and the mutation
+        // suffixes: `family:args~loss=0.01~delay=1..3+rewire=2@t200`.
+        let mut segments = head.split('~');
+        let base: TopologySpec = segments.next().unwrap_or("").parse()?;
+        let fault = parse_fault_segments(segments)?;
         let mut schedule = MutationSchedule::new();
         for (i, suffix) in parts.enumerate() {
             let suffix = suffix.trim();
@@ -772,7 +951,11 @@ impl FromStr for DynamicSpec {
                 }
             }
         }
-        Ok(DynamicSpec { base, schedule })
+        Ok(DynamicSpec {
+            base,
+            fault,
+            schedule,
+        })
     }
 }
 
@@ -1061,6 +1244,108 @@ mod tests {
                 assert!(msg.contains(&format!("tick {t}")), "{msg}");
             }
         }
+    }
+
+    #[test]
+    fn fault_suffixes_parse_and_render_canonically() {
+        let spec: DynamicSpec = "ring:64~loss=0.01~delay=1..3~fault-seed=42+rewire=2@t200"
+            .parse()
+            .unwrap();
+        assert_eq!(spec.base, TopologySpec::Ring { n: 64 });
+        assert_eq!(
+            spec.fault,
+            FaultPlane {
+                loss: 0.01,
+                delay_min: 1,
+                delay_max: 3,
+                seed: 42
+            }
+        );
+        assert_eq!(spec.schedule.len(), 1);
+        assert_eq!(
+            spec.to_string(),
+            "ring:64~loss=0.01~delay=1..3~fault-seed=42+rewire=2@t200"
+        );
+        let back: DynamicSpec = spec.to_string().parse().unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(spec.effective_faults(), Some(spec.fault));
+    }
+
+    #[test]
+    fn degenerate_delay_ranges_render_as_a_single_value() {
+        let a: DynamicSpec = "ring:8~delay=2".parse().unwrap();
+        let b: DynamicSpec = "ring:8~delay=2..2".parse().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.fault.delay_min, 2);
+        assert_eq!(a.fault.delay_max, 2);
+        assert_eq!(b.to_string(), "ring:8~delay=2");
+    }
+
+    #[test]
+    fn zero_fault_suffixes_are_exactly_the_unfaulted_spec() {
+        let plain: DynamicSpec = "ring:8".parse().unwrap();
+        for text in ["ring:8~loss=0", "ring:8~delay=0", "ring:8~fault-seed=7"] {
+            let spec: DynamicSpec = text.parse().unwrap();
+            assert_eq!(spec, plain, "{text}");
+            assert_eq!(spec.fault, FaultPlane::NONE, "{text}");
+            assert_eq!(spec.effective_faults(), None, "{text}");
+            assert_eq!(spec.to_string(), "ring:8", "{text}");
+        }
+        // …but a seed on an *active* plane is kept
+        let seeded: DynamicSpec = "ring:8~loss=0.5~fault-seed=7".parse().unwrap();
+        assert_eq!(seeded.fault.seed, 7);
+    }
+
+    #[test]
+    fn malformed_fault_suffixes_are_structured_errors() {
+        for (text, needle) in [
+            ("ring:8~loss", "key=value"),
+            ("ring:8~loss=2", "loss must be in [0, 1]"),
+            ("ring:8~loss=-0.5", "loss must be in [0, 1]"),
+            ("ring:8~loss=nan", "loss must be in [0, 1]"),
+            ("ring:8~loss=banana", "not a number"),
+            ("ring:8~delay=3..1", "min <= max"),
+            ("ring:8~delay=x..2", "not a tick count"),
+            ("ring:8~jitter=2", "unknown fault knob"),
+            ("ring:8~loss=0.1~loss=0.2", "given twice"),
+        ] {
+            let err = text.parse::<DynamicSpec>().unwrap_err();
+            assert!(
+                matches!(err, ParseSpecError::BadFaultSuffix { .. }),
+                "{text} -> {err:?}"
+            );
+            assert!(err.to_string().contains(needle), "{text} -> {err}");
+        }
+    }
+
+    #[test]
+    fn fault_registry_examples_parse_and_use_their_knob() {
+        for knob in FAULT_REGISTRY {
+            let spec: DynamicSpec = knob
+                .example
+                .parse()
+                .unwrap_or_else(|e| panic!("{}: {e}", knob.example));
+            assert!(spec.fault.is_active(), "{}", knob.example);
+            assert!(knob.example.contains(&format!("~{}=", knob.name)));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_planes_built_directly() {
+        let mut spec = DynamicSpec::fixed(TopologySpec::Ring { n: 8 });
+        spec.validate().unwrap();
+        spec.fault.loss = 1.5;
+        assert!(matches!(
+            spec.validate(),
+            Err(ParseSpecError::BadFaultSuffix { .. })
+        ));
+        spec.fault.loss = 0.1;
+        spec.fault.delay_min = 5;
+        spec.fault.delay_max = 2;
+        assert!(matches!(
+            spec.validate(),
+            Err(ParseSpecError::BadFaultSuffix { .. })
+        ));
     }
 
     #[test]

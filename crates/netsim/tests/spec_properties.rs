@@ -4,8 +4,8 @@
 //! corresponding `generators::*` call.
 
 use gtd_netsim::{
-    generators, spec, DynamicSpec, MembershipChange, MutationKind, MutationSchedule, NodeId,
-    ScheduledMutation, TopologyMutation, TopologySpec,
+    generators, spec, DynamicSpec, FaultPlane, MembershipChange, MutationKind, MutationSchedule,
+    NodeId, ScheduledMutation, TopologyMutation, TopologySpec,
 };
 use proptest::prelude::*;
 
@@ -68,8 +68,31 @@ fn arb_schedule() -> impl Strategy<Value = MutationSchedule> {
     })
 }
 
+/// A random fault plane in canonical form: inactive combinations
+/// collapse to `FaultPlane::NONE`, exactly as the parser normalizes
+/// them, so struct-level round-trips stay exact.
+fn arb_fault() -> impl Strategy<Value = FaultPlane> {
+    (0u64..=1_000, 0u64..4, 0u64..4, 0u64..1_000).prop_map(|(loss_mil, dmin, span, seed)| {
+        let plane = FaultPlane {
+            loss: loss_mil as f64 / 1000.0,
+            delay_min: dmin,
+            delay_max: dmin + span,
+            seed,
+        };
+        if plane.is_active() {
+            plane
+        } else {
+            FaultPlane::NONE
+        }
+    })
+}
+
 fn arb_dynamic_spec() -> impl Strategy<Value = DynamicSpec> {
-    (arb_spec(), arb_schedule()).prop_map(|(base, schedule)| DynamicSpec { base, schedule })
+    (arb_spec(), arb_fault(), arb_schedule()).prop_map(|(base, fault, schedule)| DynamicSpec {
+        base,
+        fault,
+        schedule,
+    })
 }
 
 proptest! {
@@ -153,6 +176,7 @@ proptest! {
         let (base_spec, schedule) = pair;
         let s = DynamicSpec {
             base: base_spec,
+            fault: FaultPlane::NONE,
             schedule: schedule.iter().take(2).copied().collect(),
         };
         let base = s.build();

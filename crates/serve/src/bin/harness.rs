@@ -10,7 +10,7 @@
 //! harness serve --listen ADDR [--workers N] [--cache FILE]
 //!               [--resume-from OLD.jsonl] [--lease-ms MS] [--lease-max-ms MS]
 //!               [--max-attempts K]
-//! harness work --connect ADDR
+//! harness work --connect ADDR [--connect-retries K] [--connect-backoff-ms MS]
 //! harness bench [--reps K] [--window T] [--modes x,y] [--json FILE]
 //! harness compare OLD.jsonl NEW.jsonl [--threshold PCT]
 //! ```
@@ -68,11 +68,12 @@ fn usage(code: i32) -> ! {
          [--resume-from OLD.jsonl] [--json FILE] [--csv FILE]\n  \
          harness serve --listen ADDR [--workers N] [--cache FILE]\n               \
          [--resume-from OLD.jsonl] [--lease-ms MS] [--lease-max-ms MS] [--max-attempts K]\n  \
-         harness work --connect ADDR\n  \
+         harness work --connect ADDR [--connect-retries K] [--connect-backoff-ms MS]\n  \
          harness bench [--reps K] [--window T] [--modes x,y] [--json FILE]\n  \
          harness compare OLD.jsonl NEW.jsonl [--threshold PCT]\n\n\
          `harness list` prints the spec grammar; e.g. --spec ring:64 --spec debruijn:2,5\n\
          dynamic specs append mutation suffixes: --spec ring:64+node-leave=3@t500\n\
+         fault suffixes ride before mutations: --spec ring:64~loss=0.01~delay=1..3\n\
          `grid --resume-from` skips cells already recorded in a previous JSONL export\n\
          `grid --via` submits the grid to a `harness serve` coordinator (same flags,\n\
          byte-identical exports); `serve --workers N` spawns its own worker fleet\n\
@@ -132,6 +133,20 @@ fn cmd_list(args: &[String]) {
     print!("{}", t.render());
     println!("e.g. ring:64+node-leave=3@t500  (kinds without a valid candidate fall back to swap;");
     println!("node-join/node-leave change N — the collector's host never leaves)");
+
+    println!("\nfault-plane suffixes (append ~key=value to any spec, before mutations):\n");
+    let mut t = Table::new(&["knob", "example", "effect"]);
+    for k in spec::FAULT_REGISTRY {
+        t.row(vec![
+            k.name.to_string(),
+            k.example.to_string(),
+            k.summary.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("e.g. ring:64~loss=0.01~delay=1..3~fault-seed=7+node-leave=1@t200");
+    println!("faulted transcripts are byte-identical across engine modes and shard counts;");
+    println!("~loss=0 (or any all-zero plane) is exactly the unfaulted spec");
 
     println!("\nchecks (gtd-lint rules; run `cargo run -p gtd-check --bin gtd-lint`):\n");
     let mut t = Table::new(&["rule", "enforces"]);
@@ -459,18 +474,34 @@ fn cmd_serve(args: &[String]) {
 }
 
 /// `harness work`: run one worker against a coordinator until it goes
-/// away or sends `shutdown`.
+/// away or sends `shutdown`. The initial connection retries with capped
+/// exponential backoff (deterministic jitter), so a worker may be
+/// started *before* its coordinator.
 fn cmd_work(args: &[String]) {
     let mut connect: Option<String> = None;
+    let mut retries = 5u32;
+    let mut backoff_ms = 200u64;
     let mut it = args.iter().cloned();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--connect" => connect = Some(flag_value(&mut it, "--connect")),
+            "--connect-retries" => {
+                retries = parse_int(
+                    &flag_value(&mut it, "--connect-retries"),
+                    "--connect-retries",
+                ) as u32
+            }
+            "--connect-backoff-ms" => {
+                backoff_ms = parse_int(
+                    &flag_value(&mut it, "--connect-backoff-ms"),
+                    "--connect-backoff-ms",
+                ) as u64
+            }
             other => bail(&format!("unknown work flag {other:?} (see `harness help`)")),
         }
     }
     let addr = connect.unwrap_or_else(|| bail("work needs --connect ADDR"));
-    match gtd_serve::run_worker(&addr) {
+    match gtd_serve::run_worker_with_retry(&addr, retries, backoff_ms) {
         Ok(cells) => println!("worker done: {cells} cell(s) executed"),
         Err(e) => bail(&format!("work: {e}")),
     }
@@ -486,30 +517,60 @@ struct GroupSamples {
     rounds: Vec<u64>,
     remap: Vec<u64>,
     errors: usize,
+    /// Informational only — delivery/fault counters are reported in the
+    /// comparison table but never flag a group as REGRESSED on their
+    /// own: a faulted schedule is *expected* to drop and delay.
+    dropped: u64,
+    fault_dropped: u64,
+    fault_delayed: u64,
+    retries: u64,
+}
+
+impl GroupSamples {
+    /// Compact informational cell: summed delivery/fault counters, or
+    /// `-` when the side recorded none (e.g. a pre-fault-schema file).
+    fn fault_column(&self) -> String {
+        let parts: Vec<String> = [
+            ("drop", self.dropped),
+            ("lost", self.fault_dropped),
+            ("late", self.fault_delayed),
+            ("retry", self.retries),
+        ]
+        .iter()
+        .filter(|(_, v)| *v > 0)
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect();
+        if parts.is_empty() {
+            "-".into()
+        } else {
+            parts.join(" ")
+        }
+    }
 }
 
 /// One compare group's identity: (spec, mapper, mode, policy).
 type GroupKey = (String, String, String, String);
 
-/// Load a `harness grid --json` / `harness bench --json` export into
-/// per-(spec, mapper, mode, policy) samples, via the same record parser
-/// the incremental cache uses ([`RunRecord::from_json`]). Rows of other
-/// shapes (e.g. `harness run --json` experiment rows) are skipped, so
-/// mixed files degrade gracefully; rows predating the policy axis
-/// default to `lazy` (its historical value). A row that names a grid
-/// group but fails full record parsing (an error kind or field this
-/// build does not know) still counts as an error in its group — a
-/// foreign failed cell must never vanish from a regression comparison.
-fn load_grid_jsonl(path: &str) -> std::collections::BTreeMap<GroupKey, GroupSamples> {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| bail(&format!("{path}: {e}")));
+/// Parse a grid JSONL export body into per-(spec, mapper, mode, policy)
+/// samples, via the same record parser the incremental cache uses
+/// ([`RunRecord::from_json`]). Rows of other shapes (e.g. `harness run
+/// --json` experiment rows) are skipped, so mixed files degrade
+/// gracefully; rows predating the policy axis default to `lazy` (its
+/// historical value), and rows predating the fault schema simply
+/// contribute no fault counters. A row that names a grid group but
+/// fails full record parsing (an error kind or field this build does
+/// not know) still counts as an error in its group — a foreign failed
+/// cell must never vanish from a regression comparison.
+fn parse_grid_rows(
+    text: &str,
+) -> Result<std::collections::BTreeMap<GroupKey, GroupSamples>, String> {
     let mut groups: std::collections::BTreeMap<GroupKey, GroupSamples> =
         std::collections::BTreeMap::new();
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let row = JsonValue::parse(line)
-            .unwrap_or_else(|e| bail(&format!("{path}:{}: not JSON: {e}", lineno + 1)));
+        let row = JsonValue::parse(line).map_err(|e| format!("{}: not JSON: {e}", lineno + 1))?;
         let key = |row: &JsonValue| -> Option<GroupKey> {
             Some((
                 str_field(row, "spec")?,
@@ -534,6 +595,10 @@ fn load_grid_jsonl(path: &str) -> std::collections::BTreeMap<GroupKey, GroupSamp
                         if let Some(r) = &cell.remap {
                             g.remap.extend(r.latencies.iter().flatten());
                         }
+                        g.dropped += cell.dropped.unwrap_or(0);
+                        g.fault_dropped += cell.fault_dropped.unwrap_or(0);
+                        g.fault_delayed += cell.fault_delayed.unwrap_or(0);
+                        g.retries += u64::from(cell.retries.unwrap_or(0));
                     }
                     Err(_) => g.errors += 1,
                 }
@@ -547,7 +612,13 @@ fn load_grid_jsonl(path: &str) -> std::collections::BTreeMap<GroupKey, GroupSamp
             }
         }
     }
-    groups
+    Ok(groups)
+}
+
+/// [`parse_grid_rows`] over a file, bailing with the path on any error.
+fn load_grid_jsonl(path: &str) -> std::collections::BTreeMap<GroupKey, GroupSamples> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| bail(&format!("{path}: {e}")));
+    parse_grid_rows(&text).unwrap_or_else(|e| bail(&format!("{path}:{e}")))
 }
 
 /// `harness compare old.jsonl new.jsonl`: per-(spec, mapper, mode)
@@ -602,6 +673,8 @@ fn cmd_compare(args: &[String]) {
         "delta %",
         "remap old",
         "remap new",
+        "faults old",
+        "faults new",
         "flag",
     ]);
     let fmt = |v: Option<u64>| v.map_or("-".to_string(), |x| x.to_string());
@@ -610,7 +683,14 @@ fn cmd_compare(args: &[String]) {
     for key in keys {
         let (o, n) = (old.remove(&key), new.remove(&key));
         let (spec, mapper, mode, policy) = key;
-        let row = |t: &mut Table, o_med, n_med, o_remap, n_remap, flag: String| {
+        let row = |t: &mut Table,
+                   o_med,
+                   n_med,
+                   o_remap,
+                   n_remap,
+                   o_faults: String,
+                   n_faults: String,
+                   flag: String| {
             let (delta, pct) = match (o_med, n_med) {
                 (Some(a), Some(b)) => (
                     format!("{:+}", b as i64 - a as i64),
@@ -633,6 +713,8 @@ fn cmd_compare(args: &[String]) {
                 pct,
                 fmt(o_remap),
                 fmt(n_remap),
+                o_faults,
+                n_faults,
                 flag,
             ]);
         };
@@ -650,6 +732,8 @@ fn cmd_compare(args: &[String]) {
                     (Some(a), Some(b)) => (b as f64) > (a as f64) * (1.0 + threshold / 100.0),
                     _ => false,
                 };
+                // Fault counters stay informational: a schedule that
+                // drops more characters is not by itself a regression.
                 let regressed =
                     worse(o_med, n_med) || worse(o_remap, n_remap) || n.errors > o.errors;
                 if regressed {
@@ -661,6 +745,8 @@ fn cmd_compare(args: &[String]) {
                     n_med,
                     o_remap,
                     n_remap,
+                    o.fault_column(),
+                    n.fault_column(),
                     if regressed {
                         "REGRESSED".into()
                     } else {
@@ -674,7 +760,16 @@ fn cmd_compare(args: &[String]) {
                     gtd_bench::campaign::lower_median(&mut o.rounds),
                     gtd_bench::campaign::lower_median(&mut o.remap),
                 );
-                row(&mut t, o_med, None, o_remap, None, "only in old".into());
+                row(
+                    &mut t,
+                    o_med,
+                    None,
+                    o_remap,
+                    None,
+                    o.fault_column(),
+                    "-".into(),
+                    "only in old".into(),
+                );
             }
             (None, Some(mut n)) => {
                 missing += 1;
@@ -682,7 +777,16 @@ fn cmd_compare(args: &[String]) {
                     gtd_bench::campaign::lower_median(&mut n.rounds),
                     gtd_bench::campaign::lower_median(&mut n.remap),
                 );
-                row(&mut t, None, n_med, None, n_remap, "only in new".into());
+                row(
+                    &mut t,
+                    None,
+                    n_med,
+                    None,
+                    n_remap,
+                    "-".into(),
+                    n.fault_column(),
+                    "only in new".into(),
+                );
             }
             (None, None) => unreachable!("key came from one of the maps"),
         }
@@ -756,7 +860,7 @@ fn peak_rss_kb() -> u64 {
 /// the deterministic tick counts against a committed baseline while the
 /// wall-time fields track the perf trajectory.
 ///
-/// Six regimes:
+/// Seven regimes:
 /// * full protocol runs (`ring:64`) — session-driven, lull-skipping;
 /// * a quiet-heavy stepping window (`ring:1024` mid-GTD) — the regime the
 ///   event-driven frontier exists for: dense pays O(N) per tick, the
@@ -766,6 +870,9 @@ fn peak_rss_kb() -> u64 {
 ///   for, the larger one with real fan-out headroom;
 /// * a dynamic timeline with a far-future mutation — exercising the O(1)
 ///   idle fast-forward;
+/// * a chaos run (`ring:8~loss=0.0005~fault-seed=2`) — the resilient
+///   session retrying through a lossy wire until a drop-free attempt
+///   verifies, pricing the whole retry loop;
 /// * a million-node flood window (`random-sc:1000000`, last so the
 ///   process-wide RSS high-water mark doesn't bleed into smaller rows) —
 ///   the memory regime the CSR/slab layout exists for.
@@ -967,6 +1074,36 @@ fn cmd_bench(args: &[String]) {
             });
             assert!(out.final_verified(), "final map must verify");
             (out.total_ticks, secs)
+        });
+    }
+    // Chaos regime: a lossy ring driven through the resilient session
+    // path. The fault hash is stateless, so the retry schedule — two
+    // wedged attempts, then a drop-free third that verifies — and the
+    // winning attempt's tick count are deterministic across modes and
+    // reps (compare-gateable); the wall window prices the whole
+    // retry loop, wasted attempts included, which is what a mapping
+    // costs on an unreliable network.
+    {
+        let spec: DynamicSpec = "ring:8~loss=0.0005~fault-seed=2"
+            .parse()
+            .expect("literal spec parses");
+        let topo = spec.build();
+        bench_workload(&spec.to_string(), "gtd", &mut |mode| {
+            let (res, secs) = timed(|| {
+                GtdSession::on(&topo)
+                    .mode(mode)
+                    .capture_transcript(false)
+                    .faults(spec.fault)
+                    .max_retries(3)
+                    .run_resilient()
+                    .expect("well-formed session")
+            });
+            assert!(res.verified(), "hunted fault seed must verify");
+            assert!(
+                res.retries() > 0,
+                "chaos regime must exercise the retry path"
+            );
+            (res.ticks, secs)
         });
     }
     // Million-node flood window: the memory regime. A full map is out of
@@ -1585,4 +1722,76 @@ fn e8_engine(out: &mut Out, scale: usize) {
     }
     out.table(&t);
     println!("during flood saturation every node is active; the thread fan-out amortizes.");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `compare` must aggregate mixed-schema files: rows predating the
+    /// fault schema (no `fault_*`/`retries` members, maybe no `policy`)
+    /// land in the right group with empty fault counters, new-schema
+    /// rows fold their counters in, `fault-degraded` rows count as
+    /// errors, and grid-shaped rows this build cannot parse still count
+    /// as errors instead of vanishing.
+    #[test]
+    fn parse_grid_rows_handles_mixed_schemas() {
+        let text = concat!(
+            // old schema: no policy member, PR-9 dropped counter only
+            r#"{"spec":"ring:8","mapper":"gtd","mode":"dense","root":0,"rep":0,"n":8,"e":16,"ok":true,"rounds":100,"verified":true,"dropped":3}"#,
+            "\n",
+            // new schema: faulted spec with the full counter set
+            r#"{"spec":"ring:8~loss=0.01~fault-seed=8","mapper":"gtd","mode":"dense","policy":"lazy","root":0,"rep":0,"n":8,"e":16,"ok":true,"rounds":120,"verified":true,"fault":"~loss=0.01~fault-seed=8","fault_dropped":2,"fault_delayed":1,"retries":1}"#,
+            "\n",
+            // new schema: structured degradation is an error in its group
+            r#"{"spec":"ring:8~loss=1~fault-seed=1","mapper":"gtd","mode":"dense","policy":"lazy","root":0,"rep":0,"n":8,"e":16,"ok":false,"error_kind":"fault-degraded","error":"degraded to Exhausted after 3 retries"}"#,
+            "\n",
+            // not a grid row at all: skipped, not an error anywhere
+            r#"{"experiment":"E1","claim":"lemma 4.1"}"#,
+            "\n",
+            // grid-shaped but unparseable here (future error kind):
+            // still an error in its group
+            r#"{"spec":"ring:8","mapper":"gtd","mode":"dense","ok":false,"error_kind":"from-the-future","error":"?"}"#,
+            "\n",
+        );
+        let groups = parse_grid_rows(text).expect("well-formed JSONL parses");
+        assert_eq!(groups.len(), 3, "three distinct (spec, …) groups");
+
+        let plain = &groups[&("ring:8".into(), "gtd".into(), "dense".into(), "lazy".into())];
+        assert_eq!(plain.rounds, vec![100]);
+        assert_eq!(plain.errors, 1, "unparseable grid row stays visible");
+        assert_eq!((plain.dropped, plain.fault_dropped), (3, 0));
+        assert_eq!(plain.fault_column(), "drop=3");
+
+        let faulted = &groups[&(
+            "ring:8~loss=0.01~fault-seed=8".into(),
+            "gtd".into(),
+            "dense".into(),
+            "lazy".into(),
+        )];
+        assert_eq!(faulted.rounds, vec![120]);
+        assert_eq!(
+            (
+                faulted.fault_dropped,
+                faulted.fault_delayed,
+                faulted.retries
+            ),
+            (2, 1, 1)
+        );
+        assert_eq!(faulted.fault_column(), "lost=2 late=1 retry=1");
+
+        let degraded = &groups[&(
+            "ring:8~loss=1~fault-seed=1".into(),
+            "gtd".into(),
+            "dense".into(),
+            "lazy".into(),
+        )];
+        assert_eq!((degraded.errors, degraded.rounds.len()), (1, 0));
+        assert_eq!(degraded.fault_column(), "-", "no counters recorded");
+
+        assert!(
+            parse_grid_rows("not json\n").is_err(),
+            "a malformed line is a file-level error, not a silent skip"
+        );
+    }
 }

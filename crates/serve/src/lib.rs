@@ -40,4 +40,4 @@ pub mod worker;
 pub use client::{connect_with_retry, run_grid, ServeError, ServedGrid};
 pub use coordinator::{serve, ServeOptions, ServerHandle};
 pub use protocol::{GridRequest, Message, ProtocolError};
-pub use worker::run_worker;
+pub use worker::{run_worker, run_worker_with_retry};

@@ -5,6 +5,7 @@
 
 use crate::protocol::{read_message, write_message, Message, ProtocolError};
 use gtd_bench::CellSpec;
+use gtd_netsim::rng::DetRng;
 use gtd_netsim::Topology;
 use std::collections::HashMap;
 use std::io::BufReader;
@@ -31,7 +32,50 @@ pub const STALL_ENV: &str = "GTD_SERVE_STALL_SPEC";
 /// Run a worker against `addr` until the coordinator shuts it down or
 /// the connection drops. Returns the number of cells executed.
 pub fn run_worker(addr: &str) -> std::io::Result<u64> {
-    let stream = TcpStream::connect(addr)?;
+    run_worker_on(TcpStream::connect(addr)?)
+}
+
+/// [`run_worker`], but tolerate a coordinator that is not up yet: retry
+/// the initial connection up to `connect_retries` times with capped
+/// exponential backoff. Attempt `k` sleeps `backoff_ms << k` (capped at
+/// 10 s) plus a deterministic jitter in `[0, sleep/2]` drawn from a
+/// [`DetRng`] seeded by the address — so a fleet of workers pointed at
+/// the same coordinator fans out over distinct wake times per worker
+/// process start order, yet a single worker's retry schedule is
+/// reproducible. Only the connection is retried; once the lease loop is
+/// running, a dropped coordinator ends the worker as before.
+pub fn run_worker_with_retry(
+    addr: &str,
+    connect_retries: u32,
+    backoff_ms: u64,
+) -> std::io::Result<u64> {
+    const CAP: Duration = Duration::from_secs(10);
+    // FNV-1a over the address: same target, same jitter stream.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in addr.bytes() {
+        seed = (seed ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut rng = DetRng::seed_from_u64(seed);
+    let mut attempt = 0u32;
+    let stream = loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => break s,
+            Err(e) if attempt >= connect_retries => return Err(e),
+            Err(_) => {
+                let base =
+                    Duration::from_millis(backoff_ms.max(1).saturating_mul(1 << attempt.min(16)))
+                        .min(CAP);
+                let jitter =
+                    base.mul_f64((rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 / 2.0);
+                std::thread::sleep(base + jitter);
+                attempt += 1;
+            }
+        }
+    };
+    run_worker_on(stream)
+}
+
+fn run_worker_on(stream: TcpStream) -> std::io::Result<u64> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let writer = Arc::new(Mutex::new(stream));
     write_message(&mut *lock_writer(&writer), &Message::Hello)?;

@@ -1,0 +1,78 @@
+//! Worker-side connect retry: a worker may be started *before* its
+//! coordinator and still join the fleet once the service comes up —
+//! the deployment order stops mattering.
+
+use gtd_serve::{run_grid, run_worker_with_retry, serve, GridRequest, ServeOptions};
+use std::net::TcpListener;
+use std::time::Duration;
+
+const CONNECT: Duration = Duration::from_secs(10);
+
+fn request() -> GridRequest {
+    GridRequest::new(["ring:12", "debruijn:2,3"], ["gtd", "flood-echo"])
+}
+
+#[test]
+fn worker_started_before_the_coordinator_joins_once_it_is_up() {
+    // Learn a free port by binding and dropping a listener; the tiny
+    // window in which another process could steal it is acceptable in
+    // the test container.
+    let port = {
+        let probe = TcpListener::bind("127.0.0.1:0").expect("bind probe");
+        probe.local_addr().expect("probe addr").port()
+    };
+    let addr = format!("127.0.0.1:{port}");
+
+    // Start the worker FIRST: nothing is listening yet, so its first
+    // connect attempts fail and the retry loop carries it until the
+    // coordinator appears. The thread is never joined — the coordinator
+    // runs until the process dies, like every other serve test.
+    {
+        let addr = addr.clone();
+        std::thread::spawn(move || run_worker_with_retry(&addr, 12, 20));
+    }
+    std::thread::sleep(Duration::from_millis(50));
+
+    let handle = serve(ServeOptions {
+        listen: addr.clone(),
+        ..ServeOptions::default()
+    })
+    .expect("coordinator binds the probed port");
+
+    let expected = request()
+        .to_campaign()
+        .expect("request is valid")
+        .run()
+        .expect("in-process grid runs")
+        .to_jsonl();
+    let served = run_grid(&handle.addr.to_string(), &request(), CONNECT).expect("grid serves");
+    assert_eq!(
+        served.report.to_jsonl(),
+        expected,
+        "a late-joining worker must not change the bytes"
+    );
+    assert_eq!(served.errors, 0);
+    assert!(
+        !served.worker_cells.is_empty(),
+        "the pre-started worker must have executed cells"
+    );
+    let executed: u64 = served.worker_cells.values().sum();
+    assert_eq!(
+        executed as usize,
+        served.report.records.len(),
+        "every cell came through the late-joining worker"
+    );
+}
+
+#[test]
+fn connect_retries_are_bounded() {
+    // Nothing ever listens here: the retry budget must be honoured and
+    // the final connect error surfaced, not swallowed.
+    let port = {
+        let probe = TcpListener::bind("127.0.0.1:0").expect("bind probe");
+        probe.local_addr().expect("probe addr").port()
+    };
+    let err = run_worker_with_retry(&format!("127.0.0.1:{port}"), 2, 1)
+        .expect_err("no coordinator ever appears");
+    assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused);
+}

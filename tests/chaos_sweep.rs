@@ -1,0 +1,155 @@
+//! Chaos sweep: the fault plane and the fault-era mutation kinds must
+//! never panic, always end in a structured status, and preserve the
+//! engine's determinism contract — byte-identical outcomes across all
+//! three engine modes and every shard count — on every topology family.
+//! An all-zero plane must be indistinguishable from no plane at all.
+
+use gtd::{
+    mutation, DynamicSpec, EngineMode, FaultPlane, GtdSession, MutationKind, MutationSchedule,
+    TopologyMutation, TopologySpec,
+};
+
+/// One small instance for each of five structurally distinct families.
+fn five_family_specs() -> Vec<TopologySpec> {
+    [
+        "ring:9",
+        "torus:3,3",
+        "debruijn:2,3",
+        "hypercube:3",
+        "random-sc:n=12,delta=3,seed=3",
+    ]
+    .iter()
+    .map(|s| s.parse().expect("literal spec parses"))
+    .collect()
+}
+
+/// The chaos grid: 5 families × {loss, delay} × 3 modes × parallel
+/// shard counts {1, 2, 7}. Every cell must complete panic-free in a
+/// structured `Verified`/`Partial`/`Exhausted` status (which of the
+/// three is the fault schedule's business, not this test's), and the
+/// whole `ResilientOutcome` — status, attempts ledger, transcript,
+/// map, counters — must be bit-identical across modes and shards.
+#[test]
+fn faulted_runs_are_structured_and_bit_identical_across_modes_and_shards() {
+    let planes = [
+        FaultPlane {
+            loss: 0.002,
+            delay_min: 0,
+            delay_max: 0,
+            seed: 3,
+        },
+        FaultPlane {
+            loss: 0.0,
+            delay_min: 1,
+            delay_max: 2,
+            seed: 5,
+        },
+    ];
+    for spec in five_family_specs() {
+        let topo = spec.build();
+        for plane in planes {
+            let run = |mode: EngineMode, shards: Option<usize>| {
+                let mut session = GtdSession::on(&topo)
+                    .mode(mode)
+                    .faults(plane)
+                    .max_retries(2);
+                if let Some(s) = shards {
+                    session = session.par_shards(s);
+                }
+                session.run_resilient().expect("preconditions hold")
+            };
+            let dense = run(EngineMode::Dense, None);
+            assert_eq!(
+                dense,
+                run(EngineMode::Sparse, None),
+                "{spec} {plane:?}: dense vs sparse"
+            );
+            for shards in [1usize, 2, 7] {
+                assert_eq!(
+                    dense,
+                    run(EngineMode::Parallel, Some(shards)),
+                    "{spec} {plane:?}: dense vs parallel/{shards} shards"
+                );
+            }
+            // Structured degradation: a non-verified outcome still
+            // carries the retry ledger, and a partial map only ever
+            // under-reports (exact on what it covers).
+            assert_eq!(dense.attempts.len() as u32, dense.retries() + 1);
+            if let Some(map) = &dense.map {
+                assert!(map.num_edges() <= topo.num_edges(), "{spec}");
+            }
+        }
+    }
+}
+
+/// The fault-era mutation kinds ride the same contract as the clean
+/// ones: 5 families × {node-restart, burst-r} × 3 modes × shard counts
+/// {1, 2, 7}, every timeline panic-free and bit-identical to dense.
+#[test]
+fn restart_and_burst_r_timelines_are_bit_identical_across_modes_and_shards() {
+    let mutations = [
+        TopologyMutation {
+            kind: MutationKind::NodeRestart,
+            selector: 1,
+        },
+        TopologyMutation {
+            kind: MutationKind::BurstRadius,
+            selector: mutation::burst_r_selector(2, 1),
+        },
+    ];
+    for spec in five_family_specs() {
+        let topo = spec.build();
+        for m in mutations {
+            let schedule = MutationSchedule::new().with(35, m);
+            let run = |mode: EngineMode, shards: Option<usize>| {
+                let mut session = GtdSession::on(&topo).mode(mode);
+                if let Some(s) = shards {
+                    session = session.par_shards(s);
+                }
+                session.run_dynamic(&schedule).expect("timeline completes")
+            };
+            let dense = run(EngineMode::Dense, None);
+            assert_eq!(
+                dense,
+                run(EngineMode::Sparse, None),
+                "{spec} + {:?}: dense vs sparse",
+                m.kind
+            );
+            for shards in [1usize, 2, 7] {
+                assert_eq!(
+                    dense,
+                    run(EngineMode::Parallel, Some(shards)),
+                    "{spec} + {:?}: dense vs parallel/{shards} shards",
+                    m.kind
+                );
+            }
+            assert!(dense.final_verified(), "{spec} + {:?}", m.kind);
+        }
+    }
+}
+
+/// `~loss=0` (or any all-zero plane) parses to exactly the unfaulted
+/// spec, and a session carrying the inactive plane produces the
+/// bit-identical run: ticks, transcript, map and counters.
+#[test]
+fn zero_fault_plane_is_bit_identical_to_the_unfaulted_run() {
+    for spec in five_family_specs() {
+        let zero: DynamicSpec = format!("{spec}~loss=0~delay=0")
+            .parse()
+            .expect("zero-fault suffix parses");
+        let plain: DynamicSpec = spec.to_string().parse().expect("base spec parses");
+        assert_eq!(zero, plain, "all-zero plane normalizes away");
+        assert!(!zero.fault.is_active());
+
+        let topo = spec.build();
+        let unfaulted = GtdSession::on(&topo).run().expect("terminates");
+        let zeroed = GtdSession::on(&topo)
+            .faults(zero.fault)
+            .run()
+            .expect("terminates");
+        assert_eq!(unfaulted.ticks, zeroed.ticks, "{spec}");
+        assert_eq!(unfaulted.events, zeroed.events, "{spec}");
+        assert_eq!(unfaulted.map, zeroed.map, "{spec}");
+        assert_eq!(unfaulted.stats, zeroed.stats, "{spec}");
+    }
+}

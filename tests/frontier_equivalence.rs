@@ -37,7 +37,7 @@ fn run(topo: &gtd::Topology, mode: EngineMode, schedule: &MutationSchedule) -> R
         .expect("timeline completes")
 }
 
-/// The full grid: 10 families × 7 mutation kinds × 3 engine modes, each
+/// The full grid: 10 families × 9 mutation kinds × 3 engine modes, each
 /// mutation landing mid-first-epoch. Dense is the reference; sparse
 /// (frontier) and parallel must reproduce its epochs, tick-stamped
 /// transcripts, mutation outcomes and remap latencies exactly.
@@ -45,7 +45,7 @@ fn run(topo: &gtd::Topology, mode: EngineMode, schedule: &MutationSchedule) -> R
 fn all_families_and_mutation_kinds_are_bit_identical_across_modes() {
     let specs = ten_family_specs();
     assert_eq!(specs.len(), 10, "one instance per registered family");
-    assert_eq!(MutationKind::ALL.len(), 7);
+    assert_eq!(MutationKind::ALL.len(), 9);
     for spec in &specs {
         let topo = spec.build();
         for kind in MutationKind::ALL {
